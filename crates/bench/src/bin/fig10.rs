@@ -1,0 +1,59 @@
+//! Fig. 10 — optimal solution time vs number of IP constraints (log-log
+//! scatter over the functions solved optimally).
+//!
+//! The paper fits roughly `O(n^2.5)`. Absolute times are incomparable
+//! (CPLEX 6.0 on a 1998 PA-8000 vs this from-scratch solver), but the
+//! growth exponent is the figure's point. CSV on stdout, fit and ASCII
+//! scatter on stderr.
+
+use regalloc_bench::{loglog_slope, run_all, Options};
+
+fn main() {
+    let o = Options::from_args();
+    eprintln!(
+        "generating suites at scale {} (seed {}), solver limit {:?}…",
+        o.scale, o.seed, o.time_limit
+    );
+    let recs = run_all(&o);
+
+    println!("constraints,solve_seconds,benchmark,function");
+    let mut pts = Vec::new();
+    for r in recs.iter().filter(|r| r.optimal) {
+        let secs = r.solve_time.as_secs_f64();
+        println!(
+            "{},{:.6},{},{}",
+            r.constraints,
+            secs,
+            r.benchmark.name(),
+            r.name
+        );
+        pts.push((r.constraints as f64, secs));
+    }
+    let slope = loglog_slope(&pts);
+    eprintln!();
+    eprintln!(
+        "Fig. 10: optimal solve time ~ constraints^{slope:.2} over {} optimally-solved functions",
+        pts.len()
+    );
+    eprintln!("paper: \"roughly O(n^2.5) with respect to the number of constraints\"");
+
+    let (w, h) = (64usize, 20usize);
+    let (min_x, max_x) = (10.0_f64.ln(), 10000.0_f64.ln());
+    let (min_y, max_y) = (1e-4_f64.ln(), 10.0_f64.ln());
+    let mut grid = vec![vec![b' '; w]; h];
+    for (x, y) in &pts {
+        if *y <= 0.0 {
+            continue;
+        }
+        let gx = ((x.ln() - min_x) / (max_x - min_x) * (w - 1) as f64)
+            .clamp(0.0, (w - 1) as f64) as usize;
+        let gy = ((y.ln() - min_y) / (max_y - min_y) * (h - 1) as f64)
+            .clamp(0.0, (h - 1) as f64) as usize;
+        grid[h - 1 - gy][gx] = b'o';
+    }
+    eprintln!("solve time (log) ^");
+    for row in grid {
+        eprintln!("  |{}", String::from_utf8_lossy(&row));
+    }
+    eprintln!("  +{}> constraints (log)", "-".repeat(w));
+}

@@ -1,0 +1,86 @@
+//! Table 3 — components of dynamic spill-code overhead, IP vs the
+//! graph-coloring baseline ("GCC").
+//!
+//! Counts are profile-weighted net instruction counts (inserted −
+//! deleted), exactly as in the paper: rematerialisation can go negative
+//! for the baseline (deleted constant definitions), copies go negative
+//! for the IP allocator (§5.1 copy deletion beats insertion).
+//!
+//! Two aggregations are reported:
+//!  * over every attempted function (the paper's setting — its solver
+//!    solved 98% of functions optimally, ours cannot, so warm-start
+//!    allocations dilute the IP side);
+//!  * over the optimally-solved subset, where the reproduction's IP
+//!    allocations are provably the cost-model minimum.
+
+use regalloc_bench::{ratio, run_all, Options, Record};
+
+fn print_block(title: &str, rows: &[&Record]) {
+    let mut ip = regalloc_core::SpillStats::default();
+    let mut gc = regalloc_core::SpillStats::default();
+    let (mut ipb, mut gcb) = (0u64, 0u64);
+    for r in rows {
+        ip += r.ip;
+        gc += r.gc;
+        ipb += r.ip_bytes;
+        gcb += r.gc_bytes;
+    }
+    println!("{title} ({} functions)", rows.len());
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "Overhead Type", "IP", "GCC", "IP/GCC"
+    );
+    let lines = [
+        ("Spill Load", ip.loads, gc.loads),
+        ("Spill Store", ip.stores, gc.stores),
+        ("Rematerialization", ip.remats, gc.remats),
+        ("Copy", ip.copies, gc.copies),
+    ];
+    for (name, a, b) in lines {
+        println!("{:<18} {:>12} {:>12} {:>9}", name, a, b, ratio(a, b));
+    }
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "Total",
+        ip.total_insts(),
+        gc.total_insts(),
+        ratio(ip.total_insts(), gc.total_insts())
+    );
+    let (ic, gcx) = (ip.overhead_cycles(), gc.overhead_cycles());
+    println!("dynamic overhead: IP {ic} cycles, GCC {gcx} cycles");
+    println!(
+        "spill code size: IP {} bytes, GCC {} bytes (whole functions: {ipb} vs {gcb})",
+        ip.code_bytes, gc.code_bytes
+    );
+    // eq. (1) exactly as the paper computes it: Table 3's dynamic counts
+    // weighted by Table 1's cycle costs, plus B × the static spill-code
+    // bytes.
+    let e1_ip = ic + 1000 * ip.code_bytes;
+    let e1_gc = gcx + 1000 * gc.code_bytes;
+    println!("eq.(1) overhead (B = 1000): IP {e1_ip}, GCC {e1_gc}");
+    if e1_gc > 0 {
+        println!(
+            "the IP allocator changes register-allocation overhead by {:+.0}%",
+            100.0 * (e1_ip - e1_gc) as f64 / e1_gc as f64
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let o = Options::from_args();
+    eprintln!(
+        "generating suites at scale {} (seed {}), solver limit {:?} per function…",
+        o.scale, o.seed, o.time_limit
+    );
+    let recs = run_all(&o);
+    let attempted: Vec<&Record> = recs.iter().filter(|r| r.attempted).collect();
+    let optimal: Vec<&Record> = recs.iter().filter(|r| r.optimal).collect();
+
+    println!("Table 3. Components of dynamic spill code overhead.");
+    println!();
+    print_block("All attempted functions", &attempted);
+    print_block("Optimally solved subset", &optimal);
+    println!("paper: loads 0.41, stores 0.56, remat -29, copy 6.3, total 0.36;");
+    println!("       551M vs 1410M cycles — a 61% overhead reduction.");
+}

@@ -1,0 +1,251 @@
+//! Shared experiment machinery for the paper-reproduction binaries.
+//!
+//! Each binary regenerates one table or figure of Kong & Wilken (MICRO
+//! 1998); see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for recorded paper-vs-measured results:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — spill-code cost constants |
+//! | `table2` | Table 2 — functions total/attempted/solved/optimal |
+//! | `table3` | Table 3 — dynamic spill-overhead components, IP vs GCC |
+//! | `fig9` | Fig. 9 — IP constraints vs intermediate instructions |
+//! | `fig10` | Fig. 10 — optimal solution time vs constraints |
+//! | `risc_compare` | §6 — x86 model size vs the 24-register RISC model |
+//!
+//! All binaries accept `--scale <f>` (fraction of each benchmark's
+//! function count, default 0.2), `--seed <n>` (default 1998) and
+//! `--time-limit <seconds>` (per-function solver budget, default 4; the
+//! paper allowed CPLEX 1024 seconds per function on 1998 hardware).
+
+use std::time::Duration;
+
+use regalloc_coloring::ColoringAllocator;
+use regalloc_core::{IpAllocator, SpillStats};
+use regalloc_ilp::SolverConfig;
+use regalloc_workloads::{Benchmark, Suite};
+use regalloc_x86::X86Machine;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Fraction of each benchmark's paper function count to generate.
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-function solver budget.
+    pub time_limit: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scale: 0.2,
+            seed: 1998,
+            time_limit: Duration::from_secs(4),
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--scale`, `--seed` and `--time-limit` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Options {
+        let mut o = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value for {}", args[i]))
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    o.scale = need(i).parse().expect("--scale takes a float");
+                    i += 2;
+                }
+                "--seed" => {
+                    o.seed = need(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--time-limit" => {
+                    let secs: f64 = need(i).parse().expect("--time-limit takes seconds");
+                    o.time_limit = Duration::from_secs_f64(secs);
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}; supported: --scale --seed --time-limit"),
+            }
+        }
+        o
+    }
+
+    /// The solver configuration the options describe.
+    pub fn solver(&self) -> SolverConfig {
+        SolverConfig {
+            time_limit: self.time_limit,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-function measurement record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Source benchmark.
+    pub benchmark: Benchmark,
+    /// Function name.
+    pub name: String,
+    /// Intermediate instructions (Fig. 9 x-axis).
+    pub insts: usize,
+    /// True when the function was handed to the allocators (no 64-bit
+    /// values).
+    pub attempted: bool,
+    /// IP constraints (Fig. 9 y-axis, Fig. 10 x-axis).
+    pub constraints: usize,
+    /// IP decision variables.
+    pub variables: usize,
+    /// Solver produced an allocation (Table 2 "solved").
+    pub solved: bool,
+    /// Solver proved optimality (Table 2 "optimal").
+    pub optimal: bool,
+    /// IP solve time (Fig. 10 y-axis).
+    pub solve_time: Duration,
+    /// IP allocator spill accounting.
+    pub ip: SpillStats,
+    /// Graph-coloring baseline spill accounting.
+    pub gc: SpillStats,
+    /// Encoded size of the IP pipeline's output, in bytes.
+    pub ip_bytes: u64,
+    /// Encoded size of the baseline's output, in bytes.
+    pub gc_bytes: u64,
+}
+
+/// Run both allocators over every generated benchmark.
+pub fn run_all(o: &Options) -> Vec<Record> {
+    let machine = X86Machine::pentium();
+    let ip = IpAllocator::new(&machine).with_solver_config(o.solver());
+    let gc = ColoringAllocator::new(&machine);
+    let mut out = Vec::new();
+    for b in Benchmark::all() {
+        let suite = Suite::generate_scaled(b, o.seed, o.scale);
+        for f in &suite.functions {
+            if f.uses_64bit() {
+                out.push(Record {
+                    benchmark: b,
+                    name: f.name().to_string(),
+                    insts: f.num_insts(),
+                    attempted: false,
+                    constraints: 0,
+                    variables: 0,
+                    solved: false,
+                    optimal: false,
+                    solve_time: Duration::ZERO,
+                    ip: SpillStats::default(),
+                    gc: SpillStats::default(),
+                    ip_bytes: 0,
+                    gc_bytes: 0,
+                });
+                continue;
+            }
+            let a = ip.allocate(f).expect("attempted");
+            let c = gc.allocate(f).expect("attempted");
+            // Paper pipeline: a function the IP solver does not solve
+            // keeps the compiler's default (graph-coloring) allocation,
+            // so its IP-side overhead equals the baseline's.
+            let ip_stats = if a.solved { a.stats } else { c.stats };
+            let ip_func = if a.solved { &a.func } else { &c.func };
+            let ip_bytes = regalloc_x86::encoding::function_size(&machine, ip_func);
+            let gc_bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
+            out.push(Record {
+                benchmark: b,
+                name: f.name().to_string(),
+                insts: f.num_insts(),
+                attempted: true,
+                constraints: a.num_constraints,
+                variables: a.num_vars,
+                solved: a.solved,
+                optimal: a.solved_optimally,
+                solve_time: a.solve_time,
+                ip: ip_stats,
+                gc: c.stats,
+                ip_bytes,
+                gc_bytes,
+            });
+        }
+    }
+    out
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the growth exponent
+/// quoted for Figs. 9 and 10 (the paper reports roughly `O(n^2.5)` for
+/// solve time vs constraints).
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Render a ratio like the paper's Table 3 (`IP/GCC` column): two decimal
+/// places, with the sign conventions of net counts preserved.
+pub fn ratio(a: i64, b: i64) -> String {
+    if b == 0 {
+        return "—".to_string();
+    }
+    format!("{:.2}", a as f64 / b as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_power_law() {
+        let pts: Vec<(f64, f64)> = (1..50)
+            .map(|i| (i as f64, (i as f64).powf(2.5) * 3.0))
+            .collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 2.5).abs() < 1e-6, "slope {s}");
+    }
+
+    #[test]
+    fn slope_handles_degenerate_input() {
+        assert!(loglog_slope(&[]).is_nan());
+        assert!(loglog_slope(&[(1.0, 1.0)]).is_nan());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(36, 100), "0.36");
+        assert_eq!(ratio(-331, -53), "6.25");
+        assert_eq!(ratio(1, 0), "—");
+    }
+
+    #[test]
+    fn tiny_run_produces_records() {
+        let o = Options {
+            scale: 0.004,
+            seed: 3,
+            time_limit: Duration::from_millis(100),
+        };
+        let recs = run_all(&o);
+        assert!(recs.len() >= 6, "at least one function per benchmark");
+        assert!(recs.iter().any(|r| !r.attempted), "64-bit functions remain");
+        for r in recs.iter().filter(|r| r.attempted) {
+            assert!(r.constraints > 0);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Tests of the traditional pre-allocation lowering (§5.1 "traditional
+//! approach" plus pin-copies), observed through the public allocator: the
+//! pre-pass decisions leave fingerprints in the emitted code and stats.
+
+use regalloc_coloring::ColoringAllocator;
+use regalloc_core::check;
+use regalloc_ir::{BinOp, FunctionBuilder, Inst, Loc, Operand, Width};
+use regalloc_x86::{X86Machine, X86RegFile};
+
+/// The traditional pre-pass must insert (and ideally coalesce away) a
+/// copy when the combined source lives past a two-address instruction.
+#[test]
+fn live_lhs_of_subtract_keeps_its_value() {
+    let mut b = FunctionBuilder::new("p1");
+    let x = b.new_sym(Width::B32);
+    let y = b.new_sym(Width::B32);
+    let d = b.new_sym(Width::B32);
+    let e = b.new_sym(Width::B32);
+    b.load_imm(x, 90);
+    b.load_imm(y, 40);
+    b.bin(BinOp::Sub, d, Operand::sym(x), Operand::sym(y));
+    b.bin(BinOp::Add, e, Operand::sym(d), Operand::sym(x)); // x live past sub
+    b.ret(Some(e)); // (90-40) + 90 = 140
+    let f = b.finish();
+    let m = X86Machine::pentium();
+    let out = ColoringAllocator::new(&m).allocate(&f).unwrap();
+    check::equivalent::<X86RegFile>(&f, &out.func, 5, 1).unwrap();
+    // At least one real copy must survive (x cannot both be overwritten
+    // by the subtract and used afterwards).
+    let copies = out
+        .func
+        .insts()
+        .filter(|(_, _, i)| matches!(i, Inst::Copy { .. }))
+        .count();
+    assert!(copies >= 1, "the traditional lowering needs a copy:\n{}", out.func);
+}
+
+/// `d = x op d` with a non-commutative op must shelter the rhs before the
+/// combining copy clobbers it.
+#[test]
+fn dst_in_rhs_position_is_sheltered() {
+    let mut b = FunctionBuilder::new("p2");
+    let x = b.new_sym(Width::B32);
+    let d = b.new_sym(Width::B32);
+    b.load_imm(x, 100);
+    b.load_imm(d, 1);
+    b.push(Inst::Bin {
+        op: BinOp::Sub,
+        dst: regalloc_ir::Dst::sym(d),
+        lhs: Operand::sym(x),
+        rhs: Operand::sym(d),
+        width: Width::B32,
+    });
+    b.ret(Some(d)); // 100 - 1 = 99
+    let f = b.finish();
+    let m = X86Machine::pentium();
+    let out = ColoringAllocator::new(&m).allocate(&f).unwrap();
+    check::equivalent::<X86RegFile>(&f, &out.func, 5, 2).unwrap();
+}
+
+/// Commutative `d = imm + s` puts the register source in the combined
+/// position (no register can hold an immediate).
+#[test]
+fn immediate_lhs_swaps() {
+    let mut b = FunctionBuilder::new("p3");
+    let s = b.new_sym(Width::B32);
+    let d = b.new_sym(Width::B32);
+    b.load_imm(s, 5);
+    b.push(Inst::Bin {
+        op: BinOp::Add,
+        dst: regalloc_ir::Dst::sym(d),
+        lhs: Operand::Imm(37),
+        rhs: Operand::sym(s),
+        width: Width::B32,
+    });
+    b.ret(Some(d)); // 42
+    let f = b.finish();
+    let m = X86Machine::pentium();
+    let out = ColoringAllocator::new(&m).allocate(&f).unwrap();
+    check::equivalent::<X86RegFile>(&f, &out.func, 5, 3).unwrap();
+    for (_, _, inst) in out.func.insts() {
+        if let Inst::Bin { lhs, dst, .. } = inst {
+            let (Operand::Loc(Loc::Real(l)), regalloc_ir::Dst::Loc(Loc::Real(dr))) = (lhs, dst)
+            else {
+                panic!("lhs must be a register after lowering: {inst}");
+            };
+            assert_eq!(l, dr);
+        }
+    }
+}
+
+/// Non-commutative `d = imm - s` loads the immediate into the destination
+/// first.
+#[test]
+fn immediate_lhs_of_subtract_materialises() {
+    let mut b = FunctionBuilder::new("p4");
+    let s = b.new_sym(Width::B32);
+    let d = b.new_sym(Width::B32);
+    b.load_imm(s, 2);
+    b.push(Inst::Bin {
+        op: BinOp::Sub,
+        dst: regalloc_ir::Dst::sym(d),
+        lhs: Operand::Imm(44),
+        rhs: Operand::sym(s),
+        width: Width::B32,
+    });
+    b.ret(Some(d)); // 42
+    let f = b.finish();
+    let m = X86Machine::pentium();
+    let out = ColoringAllocator::new(&m).allocate(&f).unwrap();
+    check::equivalent::<X86RegFile>(&f, &out.func, 5, 4).unwrap();
+}
+
+/// The return-value pin-copy lands the result in EAX even when the value
+/// also has other uses.
+#[test]
+fn return_pin_copy() {
+    let mut b = FunctionBuilder::new("p5");
+    let g = b.new_global("G", Width::B32, 0);
+    let x = b.new_sym(Width::B32);
+    b.load_imm(x, 17);
+    b.store_global(g, Operand::sym(x));
+    b.ret(Some(x));
+    let f = b.finish();
+    let m = X86Machine::pentium();
+    let out = ColoringAllocator::new(&m).allocate(&f).unwrap();
+    check::equivalent::<X86RegFile>(&f, &out.func, 5, 5).unwrap();
+    let last = out.func.block(out.func.entry()).insts.last().unwrap();
+    match last {
+        Inst::Ret {
+            val: Some(Operand::Loc(Loc::Real(r))),
+        } => assert_eq!(*r, regalloc_x86::regs::EAX),
+        other => panic!("unexpected {other}"),
+    }
+}

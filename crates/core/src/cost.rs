@@ -1,0 +1,82 @@
+//! The §4 cost model: `cost(x) = A·cycle(x) + B·size(x) + C·data(x)`.
+
+/// Cost-model weights.
+///
+/// * `A` is per-action: the execution count of the instruction the action
+///   applies to, supplied by the [`Profile`](regalloc_ir::Profile);
+/// * [`b`](CostModel::b) weights each byte of instruction-size increase
+///   (memory-hierarchy delay per code byte);
+/// * [`c`](CostModel::c) weights each byte of data-memory traffic.
+///
+/// The paper's experiments use the simplified model `B = 1000`, `C = 0`
+/// ([`CostModel::paper`]); §4 also motivates a pure code-size mode for
+/// embedded targets ([`CostModel::size_only`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostModel {
+    /// Weight per byte of instruction-size increase (the paper's `B`).
+    pub b: i64,
+    /// Weight per byte of data-memory access (the paper's `C`).
+    pub c: i64,
+    /// Weight applied to the cycle component (1 in the paper; 0 in the
+    /// size-only mode).
+    pub cycle_weight: i64,
+}
+
+impl CostModel {
+    /// The paper's experimental weights: cycles fully weighted,
+    /// `B = 1000` (≈ cycles to fault in one byte of code from disk),
+    /// `C = 0`.
+    pub fn paper() -> CostModel {
+        CostModel {
+            b: 1000,
+            c: 0,
+            cycle_weight: 1,
+        }
+    }
+
+    /// Optimise purely for program size (§4): cycle and data components
+    /// excluded entirely.
+    pub fn size_only() -> CostModel {
+        CostModel {
+            b: 1,
+            c: 0,
+            cycle_weight: 0,
+        }
+    }
+
+    /// Evaluate eq. (1) for one allocation action.
+    ///
+    /// `freq` is the factor *A* (execution count of the instruction the
+    /// action applies to), `cycles` the action's processor cycles, `bytes`
+    /// its instruction-size increase, `data_bytes` its data-memory
+    /// traffic.
+    pub fn action_cost(&self, freq: u64, cycles: u64, bytes: u64, data_bytes: u64) -> i64 {
+        self.cycle_weight * (freq as i64) * (cycles as i64)
+            + self.b * (bytes as i64)
+            + self.c * (data_bytes as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights() {
+        let m = CostModel::paper();
+        // A load executed 10 times: 10 cycles + 3 bytes × 1000.
+        assert_eq!(m.action_cost(10, 1, 3, 4), 10 + 3000);
+    }
+
+    #[test]
+    fn size_only_ignores_cycles_and_data() {
+        let m = CostModel::size_only();
+        assert_eq!(m.action_cost(1_000_000, 5, 3, 4), 3);
+    }
+
+    #[test]
+    fn zero_byte_actions_cost_cycles_only() {
+        let m = CostModel::paper();
+        assert_eq!(m.action_cost(7, 2, 0, 0), 14);
+    }
+}

@@ -1,0 +1,171 @@
+//! The spill-everything fallback allocation.
+//!
+//! Functions whose integer program cannot be solved within the budget
+//! still need runnable code (in the paper they fall back to the default
+//! allocator). This module produces the simplest correct allocation:
+//! every symbolic register lives in its spill slot; each instruction
+//! loads its operands into scratch registers chosen to satisfy the
+//! machine's operand constraints (width classes, pinned registers,
+//! two-address form, overlap), and stores its result back.
+//!
+//! The fallback is also a useful worst-case baseline: its overhead is what
+//! a register allocator exists to remove.
+
+use std::collections::HashMap;
+
+use regalloc_ir::{Dst, Function, Inst, Loc, Operand, PhysReg, Profile, SlotId, SymId};
+use regalloc_x86::Machine;
+
+use crate::stats::SpillStats;
+
+/// Allocate `f` by spilling every symbolic register.
+///
+/// # Panics
+///
+/// Panics if an instruction's operand pinnings cannot be satisfied with
+/// the machine's scratch registers — impossible for the instruction
+/// shapes the IR builder produces on the provided machine models.
+pub fn spill_everything<M: Machine>(
+    f: &Function,
+    profile: &Profile,
+    machine: &M,
+) -> (Function, SpillStats) {
+    let mut nf = f.clone();
+    let mut stats = SpillStats::default();
+    let sc = *machine.spill_costs();
+    let mut slots: HashMap<SymId, SlotId> = HashMap::new();
+    let mut slot_of = |s: SymId, nf: &mut Function| -> SlotId {
+        *slots
+            .entry(s)
+            .or_insert_with(|| nf.add_slot(f.sym_width(s), None))
+    };
+
+    for b in f.block_ids() {
+        let freq = profile.freq(b) as i64;
+        let mut out: Vec<Inst> = Vec::new();
+        for inst in &f.block(b).insts {
+            let mut new = inst.clone();
+            // Swap a commutative immediate lhs so a register source sits
+            // in the combined (two-address) position.
+            if let Inst::Bin { op, lhs, rhs, .. } = &mut new {
+                if machine.is_two_address(inst)
+                    && op.is_commutative()
+                    && !matches!(lhs, Operand::Loc(Loc::Sym(_)))
+                    && matches!(rhs, Operand::Loc(Loc::Sym(_)))
+                {
+                    std::mem::swap(lhs, rhs);
+                }
+            }
+
+            // Choose a register per use occurrence, in visit order,
+            // respecting pinnings and avoiding overlap between distinct
+            // symbolics. The same symbolic reuses its register when the
+            // occurrence's constraint admits it.
+            let mut taken: Vec<(SymId, PhysReg)> = Vec::new();
+            let mut role_regs: Vec<(SymId, PhysReg)> = Vec::new();
+            {
+                let probe = new.clone();
+                probe.visit_uses(&mut |l, role| {
+                    if let Loc::Sym(s) = l {
+                        let w = f.sym_width(s);
+                        let c = machine.use_constraints(&probe, role, w);
+                        let reuse = taken
+                            .iter()
+                            .find(|(ts, tr)| *ts == s && c.admits(*tr))
+                            .map(|(_, tr)| *tr);
+                        let r = reuse.unwrap_or_else(|| {
+                            machine
+                                .regs_for_width(w)
+                                .iter()
+                                .copied()
+                                .find(|r| {
+                                    c.admits(*r)
+                                        && !taken.iter().any(|(ts, tr)| {
+                                            *ts != s && machine.aliases(*tr).contains(r)
+                                        })
+                                })
+                                .expect("fallback: ran out of scratch registers")
+                        });
+                        if reuse.is_none() {
+                            taken.push((s, r));
+                        }
+                        role_regs.push((s, r));
+                    }
+                });
+            }
+
+            // Definition register: the lhs-position register for
+            // two-address instructions, else the first admitted register.
+            let def_reg: Option<PhysReg> = new.sym_def().map(|d| {
+                let w = f.sym_width(d);
+                if machine.is_two_address(&new) {
+                    if let Some(&(_, r)) = role_regs.first() {
+                        // lhs/src is visited first for Bin/Un.
+                        return r;
+                    }
+                }
+                let c = machine.def_constraints(&new, w);
+                machine
+                    .regs_for_width(w)
+                    .iter()
+                    .copied()
+                    .find(|r| c.admits(*r))
+                    .expect("fallback: no definition register admitted")
+            });
+
+            // Emit the loads (one per distinct (symbolic, register) pair).
+            let mut emitted: Vec<(SymId, PhysReg)> = Vec::new();
+            for &(s, r) in &role_regs {
+                if emitted.contains(&(s, r)) {
+                    continue;
+                }
+                emitted.push((s, r));
+                let slot = slot_of(s, &mut nf);
+                out.push(Inst::SpillLoad {
+                    dst: Loc::Real(r),
+                    slot,
+                    width: f.sym_width(s),
+                });
+                stats.loads += freq;
+                stats.code_bytes += sc.load_bytes as i64;
+            }
+
+            // Apply: use occurrences in visit order, then the definition.
+            let n_uses = role_regs.len();
+            let mut k = 0;
+            new.visit_locs_mut(&mut |l| {
+                if matches!(l, Loc::Sym(_)) {
+                    if k < n_uses {
+                        *l = Loc::Real(role_regs[k].1);
+                        k += 1;
+                    } else {
+                        *l = Loc::Real(def_reg.expect("definition register"));
+                    }
+                }
+            });
+            // Two-address: the dst equals the lhs-position register by
+            // construction of `def_reg`.
+            if let (true, Some(dr)) = (machine.is_two_address(inst), def_reg) {
+                match &mut new {
+                    Inst::Bin { dst, .. } | Inst::Un { dst, .. } => *dst = Dst::Loc(Loc::Real(dr)),
+                    _ => {}
+                }
+            }
+            out.push(new);
+
+            // Store the result.
+            if let Some(d) = inst.sym_def() {
+                let slot = slot_of(d, &mut nf);
+                out.push(Inst::SpillStore {
+                    slot,
+                    src: Loc::Real(def_reg.unwrap()),
+                    width: f.sym_width(d),
+                });
+                stats.stores += freq;
+                stats.code_bytes += sc.store_bytes as i64;
+            }
+        }
+        nf.block_mut(b).insts = out;
+    }
+    (nf, stats)
+}

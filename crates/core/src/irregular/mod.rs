@@ -1,0 +1,20 @@
+//! The §5 irregular-architecture extensions to the base ORA model.
+//!
+//! Each submodule implements one extension family; the model
+//! [`build`](crate::build)er drives them:
+//!
+//! * [`two_address`] — combined source/destination register specifiers
+//!   with optimal copy insertion (§5.1),
+//! * [`mem_operand`] — separate and combined source/destination memory
+//!   specifiers (§5.2),
+//! * [`overlap`] — generalised single-symbolic constraints for registers
+//!   that share bit fields (§5.3),
+//! * [`encoding`] — per-register encoding costs and exclusions (§5.4),
+//! * [`predefined`] — predefined memory symbolic registers and
+//!   home-location coalescing (§5.5).
+
+pub mod encoding;
+pub mod mem_operand;
+pub mod overlap;
+pub mod predefined;
+pub mod two_address;

@@ -1,0 +1,41 @@
+//! §5.5 — predefined memory symbolic registers.
+//!
+//! A *predefined memory value* exists in memory at function entry (here:
+//! an incoming parameter in its stack slot). When a symbolic register is
+//! defined by loading such a value and the §5.5 safety conditions hold —
+//! (1) the definition is exactly that load, (2) the live ranges cannot
+//! interfere, (3) the value is not aliased — the symbolic's home memory
+//! location is *coalesced* with the predefined value's, with three
+//! benefits the paper enumerates: the defining load is deleted outright,
+//! runtime memory shrinks, and the IP gets smaller because the symbolic
+//! register network between the deleted definition and the first use
+//! degenerates to memory-only residence.
+//!
+//! Detection lives in [`analysis`](crate::analysis) (see
+//! `Analysis::predefined`); this module implements the model-side
+//! treatment of the deleted definition event:
+//!
+//! * no `def[r]` variables and no must-define constraint — the value
+//!   simply *is* in memory, so the slot-validity variable `xm` of the
+//!   outgoing segment is left unconstrained (free to be 1 at zero cost);
+//! * the register-residence variables `x[S, post-def, r]` are fixed to 0 —
+//!   the value can only enter a register through a later load, which the
+//!   ordinary event machinery prices.
+//!
+//! The rewriter deletes the defining load (the paper's first benefit) and
+//! allocates the symbolic's spill slot *on top of* the parameter's home
+//! location ([`SlotInfo::home`](regalloc_ir::SlotInfo)), so spills of the
+//! symbolic store through to the slot the value came from — which is
+//! exactly the hazard of Figs. 7 and 8 that the safety conditions exist to
+//! prevent, and the executable interpreter makes violations observable.
+
+use regalloc_ilp::Model;
+
+/// Fix the post-definition register-residence variables of a predefined
+/// memory symbolic to zero (the value exists only in memory until its
+/// first load).
+pub fn fix_predef_def_registers(model: &mut Model, xs: &[Option<regalloc_ilp::VarId>]) {
+    for x in xs.iter().flatten() {
+        model.fix(*x, false);
+    }
+}

@@ -1,0 +1,127 @@
+//! §5.1 — combined source/destination specifiers and copy insertion.
+//!
+//! On a two-address machine the instruction `S1 = S2 op S3` writes its
+//! result over the register holding one of its sources. The traditional
+//! approach commits to one source *before* allocation by inserting a copy;
+//! the paper instead lets the IP choose:
+//!
+//! * each eligible source operand gets *copy-insertion* variables
+//!   `copy[S,r]` ("copy S into r just before the instruction"),
+//!   constrained by `Σ_r copy[S,r] ≤ Σ_r x[S,pre,r]` — a copy is possible
+//!   only if S is in some register just prior;
+//! * each eligible source gets *use-end* variables
+//!   `useEnd[S,r] ≤ use[S,r]`, with `useEnd[S,r] + x[S,post,r] ≤ 1` when
+//!   S lives on (the allocation of S to r must actually end);
+//! * the *combined specifier* constraint ties the definition to an ending
+//!   source allocation: `def[S1,r] ≤ useEnd[S2,r] + useEnd[S3,r]`
+//!   (the `S3` term only for commutative operations).
+//!
+//! The same `useEnd` machinery supports copy *deletion*: an input
+//! `Copy S1 ← S2` can be removed exactly when `S1` is defined into a
+//! register in which `S2`'s allocation ends, captured by negatively-costed
+//! variables `dz[r] ≤ def[S1,r]`, `dz[r] ≤ useEnd[S2,r]`.
+
+use regalloc_ir::{Inst, Loc, Operand, SymId};
+
+/// Which source operands of `inst` share the combined source/destination
+/// specifier.
+///
+/// Returns `(lhs, rhs)`:
+/// * `lhs` — the symbolic in the combined position (`None` when the
+///   position holds an immediate),
+/// * `rhs` — for *commutative* operations, the symbolic in the other
+///   source position, which may equally well be combined (§5.1).
+pub fn two_addr_parts(inst: &Inst) -> (Option<SymId>, Option<SymId>) {
+    match inst {
+        Inst::Bin { op, lhs, rhs, .. } => {
+            let l = match lhs {
+                Operand::Loc(Loc::Sym(s)) => Some(*s),
+                _ => None,
+            };
+            let r = if op.is_commutative() {
+                match rhs {
+                    Operand::Loc(Loc::Sym(s)) => Some(*s),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            (l, r)
+        }
+        Inst::Un { src, .. } => {
+            let l = match src {
+                Operand::Loc(Loc::Sym(s)) => Some(*s),
+                _ => None,
+            };
+            (l, None)
+        }
+        _ => (None, None),
+    }
+}
+
+/// True if `sym` occupies a source position of `inst` that may be chosen
+/// as the combined source/destination operand — and therefore gets
+/// copy-insertion and use-end variables.
+pub fn is_combinable_source(inst: &Inst, sym: SymId) -> bool {
+    let (l, r) = two_addr_parts(inst);
+    l == Some(sym) || r == Some(sym)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regalloc_ir::{BinOp, Dst, UnOp, Width};
+
+    fn bin(op: BinOp, lhs: Operand, rhs: Operand) -> Inst {
+        Inst::Bin {
+            op,
+            dst: Dst::sym(SymId(0)),
+            lhs,
+            rhs,
+            width: Width::B32,
+        }
+    }
+
+    #[test]
+    fn commutative_offers_both_sources() {
+        let i = bin(BinOp::Add, Operand::sym(SymId(1)), Operand::sym(SymId(2)));
+        assert_eq!(two_addr_parts(&i), (Some(SymId(1)), Some(SymId(2))));
+        assert!(is_combinable_source(&i, SymId(1)));
+        assert!(is_combinable_source(&i, SymId(2)));
+        assert!(!is_combinable_source(&i, SymId(3)));
+    }
+
+    #[test]
+    fn non_commutative_offers_only_lhs() {
+        let i = bin(BinOp::Sub, Operand::sym(SymId(1)), Operand::sym(SymId(2)));
+        assert_eq!(two_addr_parts(&i), (Some(SymId(1)), None));
+        assert!(!is_combinable_source(&i, SymId(2)));
+    }
+
+    #[test]
+    fn immediate_lhs_of_commutative_leaves_rhs() {
+        let i = bin(BinOp::Add, Operand::Imm(3), Operand::sym(SymId(2)));
+        assert_eq!(two_addr_parts(&i), (None, Some(SymId(2))));
+    }
+
+    #[test]
+    fn unary_source_is_combined() {
+        let i = Inst::Un {
+            op: UnOp::Neg,
+            dst: Dst::sym(SymId(0)),
+            src: Operand::sym(SymId(1)),
+            width: Width::B32,
+        };
+        assert_eq!(two_addr_parts(&i), (Some(SymId(1)), None));
+    }
+
+    #[test]
+    fn three_address_instructions_have_no_parts() {
+        let i = Inst::Copy {
+            dst: Loc::Sym(SymId(0)),
+            src: Loc::Sym(SymId(1)),
+            width: Width::B32,
+        };
+        assert_eq!(two_addr_parts(&i), (None, None));
+    }
+}

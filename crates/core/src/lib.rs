@@ -1,0 +1,266 @@
+//! The ORA-style 0-1 integer-programming register allocator with precise
+//! models of irregular-architecture features — the primary contribution of
+//! Kong & Wilken, *Precise Register Allocation for Irregular
+//! Architectures* (MICRO 1998).
+//!
+//! # Architecture
+//!
+//! The allocator follows the three-module ORA structure of §2 / Fig. 1 of
+//! the paper:
+//!
+//! 1. **Analysis** ([`analysis`]): walks the function, liveness and profile
+//!    to find every point where a register-allocation decision must be
+//!    made, producing symbolic-register *events* (definitions, uses, calls
+//!    crossed, block boundaries) and the segments between them.
+//! 2. **Solver** ([`build`] + the `regalloc-ilp` crate): turns the decision
+//!    table into a 0-1 integer program — one binary variable per possible
+//!    allocation action, costed by the §4 model
+//!    `cost(x) = A·cycle(x) + B·size(x) + C·data(x)` — and solves it.
+//!    The irregular-architecture extensions of §5 are all here:
+//!    * combined source/destination specifiers with optimal copy insertion
+//!      ([`irregular::two_address`], §5.1),
+//!    * separate and combined source/destination *memory* operands
+//!      ([`irregular::mem_operand`], §5.2),
+//!    * overlapping registers via generalised single-symbolic constraints
+//!      ([`irregular::overlap`], §5.3),
+//!    * per-register encoding costs and exclusions — short AL/AX/EAX
+//!      opcodes, ESP/EBP addressing penalties, scaled-index exclusion —
+//!      supplied by the machine model and priced into use/def variables
+//!      (§5.4),
+//!    * predefined memory symbolic registers with home-location coalescing
+//!      ([`irregular::predefined`], §5.5).
+//! 3. **Rewrite** ([`rewrite`]): reads the solved decision variables back
+//!    out of the table and rewrites the function — real registers
+//!    substituted, spill loads/stores/rematerialisations/copies inserted,
+//!    deletable copies removed.
+//!
+//! Functions the solver cannot finish within its budget receive the
+//! [`fallback`] spill-everything allocation (as unsolved functions fell
+//! back to GCC's allocator in the paper), so [`IpAllocator::allocate`]
+//! always returns runnable code; [`AllocOutcome::solved`] and
+//! [`AllocOutcome::solved_optimally`] carry the Table 2 taxonomy.
+//!
+//! # Example
+//!
+//! ```
+//! use regalloc_ir::{FunctionBuilder, Width, BinOp, Operand};
+//! use regalloc_x86::X86Machine;
+//! use regalloc_core::IpAllocator;
+//!
+//! let mut b = FunctionBuilder::new("f");
+//! let p = b.new_param("p", Width::B32);
+//! let x = b.new_sym(Width::B32);
+//! let y = b.new_sym(Width::B32);
+//! b.load_global(x, p);
+//! b.bin(BinOp::Add, y, Operand::sym(x), Operand::Imm(1));
+//! b.ret(Some(y));
+//! let f = b.finish();
+//!
+//! let machine = X86Machine::pentium();
+//! let out = IpAllocator::new(&machine).allocate(&f).unwrap();
+//! assert!(out.solved_optimally);
+//! assert!(regalloc_ir::verify_allocated(&out.func).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod build;
+pub mod check;
+pub mod cost;
+pub mod fallback;
+pub mod irregular;
+pub mod rewrite;
+pub mod stats;
+pub mod warm;
+
+use std::time::{Duration, Instant};
+
+use regalloc_ilp::{solve, SolverConfig, Status};
+use regalloc_ir::{Cfg, Function, Liveness, LoopInfo, Profile};
+use regalloc_x86::Machine;
+
+pub use cost::CostModel;
+pub use stats::SpillStats;
+
+/// Why a function could not be allocated at all.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// The function manipulates 64-bit values, which the allocator does
+    /// not handle (such functions are "not attempted" in Table 2 of the
+    /// paper).
+    Uses64Bit,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Uses64Bit => write!(f, "function uses 64-bit values"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The result of allocating one function.
+#[derive(Clone, Debug)]
+pub struct AllocOutcome {
+    /// The rewritten function (all registers physical, spill code
+    /// inserted). When `solved` is false this is the [`fallback`]
+    /// allocation.
+    pub func: Function,
+    /// Spill-code accounting for the Table 3 comparison.
+    pub stats: SpillStats,
+    /// True if the IP solver produced the allocation (Table 2 "solved").
+    pub solved: bool,
+    /// True if the solver also proved optimality (Table 2 "optimal").
+    pub solved_optimally: bool,
+    /// Constraints in the integer program (Figs. 9 and 10).
+    pub num_constraints: usize,
+    /// Decision variables in the integer program.
+    pub num_vars: usize,
+    /// Intermediate instructions analysed (x-axis of Fig. 9).
+    pub num_insts: usize,
+    /// Time spent in the IP solver.
+    pub solve_time: Duration,
+    /// Time spent building the model.
+    pub build_time: Duration,
+    /// Branch-and-bound nodes used.
+    pub solver_nodes: u64,
+}
+
+/// The integer-programming register allocator.
+///
+/// Construct with a [`Machine`] model, optionally adjust the cost weights
+/// and solver budget, then call [`IpAllocator::allocate`] per function.
+#[derive(Clone, Debug)]
+pub struct IpAllocator<'m, M> {
+    machine: &'m M,
+    cost: CostModel,
+    solver: SolverConfig,
+}
+
+impl<'m, M: Machine> IpAllocator<'m, M> {
+    /// An allocator with the paper's experimental cost weights
+    /// (`B = 1000`, `C = 0`) and the default solver budget.
+    pub fn new(machine: &'m M) -> IpAllocator<'m, M> {
+        IpAllocator {
+            machine,
+            cost: CostModel::paper(),
+            solver: SolverConfig::default(),
+        }
+    }
+
+    /// Replace the cost model (e.g. [`CostModel::size_only`] for embedded
+    /// code-size optimisation, §4).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the solver budget (the paper's analogue is the CPLEX
+    /// 1024-second per-function limit).
+    pub fn with_solver_config(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &M {
+        self.machine
+    }
+
+    /// Allocate registers for `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Uses64Bit`] for functions the allocator does
+    /// not attempt.
+    pub fn allocate(&self, f: &Function) -> Result<AllocOutcome, AllocError> {
+        if f.uses_64bit() {
+            return Err(AllocError::Uses64Bit);
+        }
+        let cfg = Cfg::new(f);
+        let loops = LoopInfo::new(f, &cfg);
+        let profile = Profile::estimate(f, &cfg, &loops);
+        self.allocate_with_profile(f, &cfg, &profile)
+    }
+
+    /// Allocate with an externally supplied profile (the factor *A* of the
+    /// cost model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Uses64Bit`] for functions the allocator does
+    /// not attempt.
+    pub fn allocate_with_profile(
+        &self,
+        f: &Function,
+        cfg: &Cfg,
+        profile: &Profile,
+    ) -> Result<AllocOutcome, AllocError> {
+        if f.uses_64bit() {
+            return Err(AllocError::Uses64Bit);
+        }
+        let live = Liveness::new(f, cfg);
+
+        let t0 = Instant::now();
+        let analysis = analysis::analyze(f, cfg, &live, self.machine);
+        let built = build::build_model(f, cfg, profile, &analysis, self.machine, &self.cost);
+        let build_time = t0.elapsed();
+
+        let num_constraints = built.model.num_rows();
+        let num_vars = built.model.num_vars();
+
+        // Seed the search with the spill-everything assignment: the solver
+        // then always has an allocation to return (Table 2 "solved") and
+        // an upper bound to prune against from the first node.
+        let warm = warm::spill_everything_assignment(f, &analysis, &built, self.machine);
+        let sol = solve(&built.model, &self.solver, Some(&warm));
+        let solve_time = sol.solve_time;
+        // Table 2 semantics: "solved" means the *solver* produced an
+        // allocation (an optimality proof or an incumbent it found
+        // itself); returning only the seeded warm start counts as
+        // unsolved, exactly as a CPLEX timeout with no incumbent did in
+        // the paper — though the warm-start allocation is still used for
+        // the emitted code.
+        let (solved, optimal) = match sol.status {
+            Status::Optimal => (true, true),
+            Status::Feasible => (!sol.warm_start_only, false),
+            Status::Infeasible | Status::Unknown => (false, false),
+        };
+
+        let (func, stats) = if sol.has_solution() {
+            rewrite::apply(f, profile, &analysis, &built, &sol.values, self.machine)
+        } else {
+            fallback::spill_everything(f, profile, self.machine)
+        };
+
+        Ok(AllocOutcome {
+            func,
+            stats,
+            solved,
+            solved_optimally: optimal,
+            num_constraints,
+            num_vars,
+            num_insts: f.num_insts(),
+            solve_time,
+            build_time,
+            solver_nodes: sol.nodes,
+        })
+    }
+
+    /// Build the integer program without solving it (used by the model-
+    /// size experiments, Figs. 9/10 and the x86-vs-RISC comparison).
+    pub fn build_only(&self, f: &Function) -> Result<build::BuiltModel, AllocError> {
+        if f.uses_64bit() {
+            return Err(AllocError::Uses64Bit);
+        }
+        let cfg = Cfg::new(f);
+        let loops = LoopInfo::new(f, &cfg);
+        let profile = Profile::estimate(f, &cfg, &loops);
+        let live = Liveness::new(f, &cfg);
+        let analysis = analysis::analyze(f, &cfg, &live, self.machine);
+        Ok(build::build_model(
+            f, &cfg, &profile, &analysis, self.machine, &self.cost,
+        ))
+    }
+}

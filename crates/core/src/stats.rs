@@ -1,0 +1,91 @@
+//! Spill-code accounting — the data behind the paper's Table 3.
+
+use std::ops::AddAssign;
+
+/// Dynamic (profile-weighted) spill-code overhead of one allocation.
+///
+/// Counts are *net*: instructions inserted count positively, instructions
+/// deleted (coalesced copies, the original defining loads of predefined
+/// memory symbolic registers) count negatively — which is how the paper's
+/// Table 3 arrives at negative rematerialisation (GCC) and copy (IP) rows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpillStats {
+    /// Net dynamic spill loads.
+    pub loads: i64,
+    /// Net dynamic spill stores.
+    pub stores: i64,
+    /// Net dynamic rematerialisations.
+    pub remats: i64,
+    /// Net dynamic copies (inserted − deleted).
+    pub copies: i64,
+    /// Extra dynamic cycles from memory operands (§5.2) — folded accesses
+    /// that are not separate instructions and therefore excluded from the
+    /// instruction counts above, but part of the cycle overhead.
+    pub mem_operand_cycles: i64,
+    /// Static code-size change in bytes.
+    pub code_bytes: i64,
+}
+
+impl SpillStats {
+    /// Total net dynamic spill instructions (the paper's Table 3 "total").
+    pub fn total_insts(&self) -> i64 {
+        self.loads + self.stores + self.remats + self.copies
+    }
+
+    /// Total dynamic cycle overhead per eq. (1) with unit spill-code cycle
+    /// costs (Table 1: every spill instruction is one cycle) plus memory-
+    /// operand extras.
+    pub fn overhead_cycles(&self) -> i64 {
+        self.total_insts() + self.mem_operand_cycles
+    }
+}
+
+impl AddAssign for SpillStats {
+    fn add_assign(&mut self, o: SpillStats) {
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.remats += o.remats;
+        self.copies += o.copies;
+        self.mem_operand_cycles += o.mem_operand_cycles;
+        self.code_bytes += o.code_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = SpillStats {
+            loads: 10,
+            stores: 5,
+            remats: 2,
+            copies: -3,
+            mem_operand_cycles: 4,
+            code_bytes: 42,
+        };
+        assert_eq!(s.total_insts(), 14);
+        assert_eq!(s.overhead_cycles(), 18);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = SpillStats::default();
+        a += SpillStats {
+            loads: 1,
+            stores: 2,
+            remats: 3,
+            copies: -1,
+            mem_operand_cycles: 0,
+            code_bytes: 7,
+        };
+        a += SpillStats {
+            loads: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.loads, 2);
+        assert_eq!(a.total_insts(), 6);
+        assert_eq!(a.code_bytes, 7);
+    }
+}

@@ -1,0 +1,149 @@
+//! Warm-start construction: a feasible variable assignment corresponding
+//! to the spill-everything allocation.
+//!
+//! Branch-and-bound benefits enormously from starting with *some*
+//! incumbent: it can prune against it immediately and always has a usable
+//! answer when the time budget expires (the paper's Table 2 "solved"
+//! column counts exactly the functions for which the solver produced an
+//! allocation). This module mirrors [`fallback`](crate::fallback) in the
+//! decision-variable domain: every symbolic lives in its slot (`xm = 1`
+//! on every segment), each use is fed by a fresh reload into a scratch
+//! register chosen exactly as the fallback chooses it, every definition
+//! goes to a register and is stored back, and no copies or memory
+//! operands are used.
+
+use regalloc_ilp::VarId;
+use regalloc_ir::{Function, PhysReg, SymId};
+use regalloc_x86::Machine;
+
+use crate::analysis::Analysis;
+use crate::build::BuiltModel;
+use crate::irregular::two_address;
+
+/// Build the spill-everything assignment for `built`.
+///
+/// The result is guaranteed feasible for correctly-built models; the
+/// solver re-validates it and silently ignores an infeasible warm start,
+/// so a bug here degrades solution availability, not correctness.
+pub fn spill_everything_assignment<M: Machine>(
+    f: &Function,
+    a: &Analysis,
+    built: &BuiltModel,
+    machine: &M,
+) -> Vec<bool> {
+    let mut v = vec![false; built.model.num_vars()];
+    let set = |var: Option<VarId>, val: bool, v: &mut Vec<bool>| {
+        if let Some(x) = var {
+            v[x.index()] = val;
+        }
+    };
+
+    // Every segment's slot holds the value; no register residence.
+    for &xm in &built.seg_xm {
+        v[xm.index()] = true;
+    }
+
+    for block in f.block_ids() {
+        for group in &a.block_groups[block.index()] {
+            match group.inst {
+                None => {
+                    // Entry joins: memory flows in from every predecessor.
+                    for &ei in &group.events {
+                        if let Some(j) = &built.events[ei].join {
+                            if let Some(jm) = j.jm {
+                                v[jm.index()] = true;
+                            }
+                        }
+                    }
+                }
+                Some(ii) => {
+                    let inst = &f.block(block).insts[ii];
+                    // Choose scratch registers per use occurrence exactly
+                    // like the fallback: reuse a symbolic's register when
+                    // admitted, avoid overlap between distinct symbolics.
+                    let mut taken: Vec<(SymId, PhysReg)> = Vec::new();
+                    for &ei in &group.events {
+                        let e = &a.events[ei];
+                        let ev = &built.events[ei];
+                        let regs = machine.regs_for_width(f.sym_width(e.sym));
+                        let mut my_reg: Option<usize> = None;
+                        for (ri, rv) in ev.roles.iter().enumerate() {
+                            let role = e.roles[ri];
+                            let c = machine.use_constraints(inst, role, f.sym_width(e.sym));
+                            // Reuse if the previous pick is admitted.
+                            let reuse = my_reg.filter(|&i| c.admits(regs[i]));
+                            let i = reuse.unwrap_or_else(|| {
+                                regs.iter()
+                                    .position(|r| {
+                                        c.admits(*r)
+                                            && rv.use_r
+                                                [regs.iter().position(|x| x == r).unwrap()]
+                                            .is_some()
+                                            && !taken.iter().any(|(ts, tr)| {
+                                                *ts != e.sym
+                                                    && machine.aliases(*tr).contains(r)
+                                            })
+                                    })
+                                    .expect("warm start: no admissible scratch register")
+                            });
+                            if reuse.is_none() {
+                                taken.push((e.sym, regs[i]));
+                                set(ev.load[i], true, &mut v);
+                            }
+                            my_reg = Some(i);
+                            set(rv.use_r[i], true, &mut v);
+                            set(rv.use_end[i], true, &mut v);
+                        }
+                    }
+                    // Definitions: two-address reuses the combined source's
+                    // register; otherwise the first admitted register.
+                    for &ei in &group.events {
+                        let e = &a.events[ei];
+                        let ev = &built.events[ei];
+                        if !e.defines || e.predef_def {
+                            continue;
+                        }
+                        let di = if machine.is_two_address(inst) {
+                            // The lhs (or commutative rhs) symbolic's
+                            // chosen register: find its use-end that we set.
+                            let (l, r) = two_address::two_addr_parts(inst);
+                            let src = l.or(r);
+                            src.and_then(|s| {
+                                let sei = group
+                                    .events
+                                    .iter()
+                                    .copied()
+                                    .find(|&x| a.events[x].sym == s)?;
+                                built.events[sei].roles.iter().find_map(|rv| {
+                                    rv.use_end
+                                        .iter()
+                                        .position(|ue| ue.is_some_and(|u| v[u.index()]))
+                                })
+                            })
+                        } else {
+                            None
+                        };
+                        let di = di.unwrap_or_else(|| {
+                            ev.def
+                                .iter()
+                                .position(Option::is_some)
+                                .expect("warm start: no definition register")
+                        });
+                        if ev.def[di].is_some() {
+                            set(ev.def[di], true, &mut v);
+                        } else {
+                            // Two-address source register not admitted for
+                            // the def (cannot happen on provided machines).
+                            let alt = ev.def.iter().position(Option::is_some).unwrap();
+                            set(ev.def[alt], true, &mut v);
+                        }
+                        if e.gout.is_some() {
+                            set(ev.store, true, &mut v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    v
+}

@@ -1,0 +1,599 @@
+//! Depth-first branch-and-bound over the LP relaxation.
+
+use std::time::{Duration, Instant};
+
+use crate::model::Model;
+use crate::presolve::{propagate, Propagation};
+use crate::simplex::{solve_lp, LpOutcome};
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Wall-clock limit for the whole solve. The paper allowed CPLEX 1024
+    /// seconds per function on 1998 hardware; the experiment harness uses
+    /// a scaled-down default.
+    pub time_limit: Duration,
+    /// Simplex iteration limit per LP relaxation.
+    pub lp_iter_limit: u64,
+    /// Node limit for the branch-and-bound search.
+    pub node_limit: u64,
+    /// Models with more rows than this are declined with
+    /// [`Status::Unknown`] (the dense basis inverse would be too large) —
+    /// the analogue of the memory limits that left a few of the paper's
+    /// functions unsolved.
+    pub max_rows: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            time_limit: Duration::from_secs(4),
+            lp_iter_limit: 400_000,
+            node_limit: 200_000,
+            max_rows: 6_000,
+        }
+    }
+}
+
+/// Solve outcome classification, matching the taxonomy of the paper's
+/// Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// An optimal solution was found and proved optimal.
+    Optimal,
+    /// A feasible solution was found, but optimality was not proved within
+    /// the limits.
+    Feasible,
+    /// The model was proved infeasible.
+    Infeasible,
+    /// No conclusion within the limits.
+    Unknown,
+}
+
+/// The result of a solve.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Outcome classification.
+    pub status: Status,
+    /// The best assignment found (empty when none exists).
+    pub values: Vec<bool>,
+    /// Objective of `values` (meaningless unless a solution exists).
+    pub objective: f64,
+    /// Branch-and-bound nodes processed.
+    pub nodes: u64,
+    /// True when the best assignment is exactly the caller-supplied warm
+    /// start and the search never found anything on its own (the paper's
+    /// Table 2 counts such functions as *unsolved* — the solver produced
+    /// nothing — even though a usable allocation exists).
+    pub warm_start_only: bool,
+    /// Total simplex iterations.
+    pub lp_iters: u64,
+    /// Wall-clock time spent.
+    pub solve_time: Duration,
+}
+
+impl Solution {
+    /// Value of a variable in the best assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution was found.
+    pub fn value(&self, v: crate::model::VarId) -> bool {
+        self.values[v.index()]
+    }
+
+    /// True if a usable assignment is present.
+    pub fn has_solution(&self) -> bool {
+        matches!(self.status, Status::Optimal | Status::Feasible)
+    }
+}
+
+struct Node {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+}
+
+/// Round an LP point to the nearest 0-1 assignment.
+fn round_point(x: &[f64]) -> Vec<bool> {
+    x.iter().map(|v| *v >= 0.5).collect()
+}
+
+/// LP-guided diving: repeatedly solve the relaxation, freeze the
+/// (nearly-)integral variables, and fix the least-fractional remaining
+/// variable to its nearest bound, until the point is integral or the
+/// dive dead-ends. A strong primal heuristic for these network-like
+/// models, whose LP optima are close to integral.
+fn dive(
+    model: &Model,
+    lb0: &[f64],
+    ub0: &[f64],
+    cfg: &SolverConfig,
+    deadline: Instant,
+) -> Option<(Vec<bool>, f64)> {
+    let mut lb = lb0.to_vec();
+    let mut ub = ub0.to_vec();
+    // When a fix dead-ends, retry once with the opposite value before
+    // giving up (fractional action variables often round down onto an
+    // unsatisfiable must-allocate row).
+    let mut retry: Option<(Vec<f64>, Vec<f64>, usize, f64)> = None;
+    let mut backtracks = 0u32;
+    for _ in 0..(2 * model.num_vars()).max(16) {
+        if Instant::now() >= deadline {
+            return None;
+        }
+        let feasible = matches!(propagate(model, &mut lb, &mut ub), Propagation::Ok);
+        let lp = if feasible {
+            solve_lp(model, &lb, &ub, cfg.lp_iter_limit, Some(deadline))
+        } else {
+            LpOutcome::Infeasible
+        };
+        let x = match lp {
+            LpOutcome::Optimal { x, .. } => x,
+            LpOutcome::Infeasible => {
+                // One-level backtrack: flip the last dive fix.
+                match retry.take() {
+                    Some((plb, pub_, j, r)) if backtracks < 32 => {
+                        backtracks += 1;
+                        lb = plb;
+                        ub = pub_;
+                        lb[j] = 1.0 - r;
+                        ub[j] = 1.0 - r;
+                        continue;
+                    }
+                    _ => return None,
+                }
+            }
+            LpOutcome::Limit => return None,
+        };
+        // Freeze everything already integral.
+        let mut best: Option<(usize, f64)> = None; // least fractional
+        let mut any_frac = false;
+        for (j, v) in x.iter().enumerate() {
+            let f = v.fract().min(1.0 - v.fract());
+            if f <= 1e-6 {
+                let r = if *v >= 0.5 { 1.0 } else { 0.0 };
+                lb[j] = r;
+                ub[j] = r;
+            } else {
+                any_frac = true;
+                if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
+                    best = Some((j, f));
+                }
+            }
+        }
+        if !any_frac {
+            let cand = round_point(&x);
+            if model.is_feasible(&cand) {
+                let obj = model.objective(&cand);
+                return Some((cand, obj));
+            }
+            return None;
+        }
+        let (j, _) = best.unwrap();
+        let r = if x[j] >= 0.5 { 1.0 } else { 0.0 };
+        retry = Some((lb.clone(), ub.clone(), j, r));
+        lb[j] = r;
+        ub[j] = r;
+    }
+    None
+}
+
+/// Solve the 0-1 program `model`.
+///
+/// `warm_start`, when provided and feasible, seeds the incumbent — the
+/// register allocator passes its spill-everything fallback here so a
+/// usable allocation always exists even when the search times out.
+pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> Solution {
+    let start = Instant::now();
+    let deadline = start + cfg.time_limit;
+    let n = model.num_vars();
+
+    let mut best: Option<(Vec<bool>, f64)> = None;
+    let mut warm_start_only = false;
+    if let Some(w) = warm_start {
+        if w.len() == n && model.is_feasible(w) {
+            best = Some((w.to_vec(), model.objective(w)));
+            warm_start_only = true;
+        }
+    }
+
+    let mut nodes = 0u64;
+    let mut lp_iters = 0u64;
+    let integral = model.has_integral_costs();
+    let finish = |status: Status,
+                  best: Option<(Vec<bool>, f64)>,
+                  nodes,
+                  lp_iters,
+                  warm_start_only: bool| {
+        let (values, objective) = best.unwrap_or((Vec::new(), f64::INFINITY));
+        Solution {
+            status,
+            values,
+            objective,
+            nodes,
+            lp_iters,
+            warm_start_only,
+            solve_time: start.elapsed(),
+        }
+    };
+
+    if model.num_rows() > cfg.max_rows {
+        let status = if best.is_some() {
+            Status::Feasible
+        } else {
+            Status::Unknown
+        };
+        return finish(status, best, 0, 0, warm_start_only);
+    }
+
+    // Primal dive from the root for a strong initial incumbent (the warm
+    // start, when provided, is typically a weak spill-everything bound).
+    {
+        let dive_deadline =
+            (Instant::now() + cfg.time_limit.mul_f64(0.8)).min(deadline);
+        if let Some((cand, obj)) = dive(model, &vec![0.0; n], &vec![1.0; n], cfg, dive_deadline)
+        {
+            if best.as_ref().is_none_or(|(_, inc)| obj < *inc - 1e-9) {
+                best = Some((cand, obj));
+            }
+            warm_start_only = false;
+        }
+    }
+
+    // Root node with declared fixings applied.
+    let root = Node {
+        lb: vec![0.0; n],
+        ub: vec![1.0; n],
+    };
+    let mut stack = vec![root];
+    // True once any node had to be abandoned (LP limit/numerical): the
+    // optimality proof is lost but incumbents remain valid.
+    let mut proof_lost = false;
+
+    while let Some(mut node) = stack.pop() {
+        if Instant::now() >= deadline || nodes >= cfg.node_limit {
+            proof_lost = true;
+            break;
+        }
+        nodes += 1;
+
+        match propagate(model, &mut node.lb, &mut node.ub) {
+            Propagation::Infeasible => continue,
+            Propagation::Ok => {}
+        }
+
+        let lp = solve_lp(model, &node.lb, &node.ub, cfg.lp_iter_limit, Some(deadline));
+        let (x, obj, iters) = match lp {
+            LpOutcome::Optimal { x, obj, iters } => (x, obj, iters),
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Limit => {
+                proof_lost = true;
+                continue;
+            }
+        };
+        lp_iters += iters;
+
+        // Bound pruning (round up for integral costs, with slack scaled to
+        // the objective magnitude to absorb LP round-off).
+        let slack = 1e-6_f64.max(obj.abs() * 1e-9);
+        let bound = if integral { (obj - slack).ceil() } else { obj };
+        if let Some((_, inc)) = &best {
+            if bound >= *inc - 1e-9 {
+                continue;
+            }
+        }
+
+        // Integral solution? Otherwise pick the branching variable:
+        // most costly first (driving the objective bound apart quickly),
+        // most fractional among equals.
+        let frac = x
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.fract().min(1.0 - v.fract()) > 1e-6)
+            .max_by(|(i, a), (j, b)| {
+                let ca = model.costs()[*i].abs();
+                let cb = model.costs()[*j].abs();
+                let fa = 0.5 - (a.fract() - 0.5).abs();
+                let fb = 0.5 - (b.fract() - 0.5).abs();
+                (ca, fa).partial_cmp(&(cb, fb)).unwrap()
+            });
+        match frac {
+            None => {
+                let cand = round_point(&x);
+                if model.is_feasible(&cand) {
+                    let co = model.objective(&cand);
+                    if best.as_ref().is_none_or(|(_, inc)| co < *inc - 1e-9) {
+                        best = Some((cand, co));
+                    }
+                    warm_start_only = false;
+                } else {
+                    // Numerically integral LP point that fails the exact
+                    // check: abandon the subtree's optimality claim.
+                    proof_lost = true;
+                }
+            }
+            Some((j, xj)) => {
+                // Also try cheap rounding for an early incumbent.
+                if best.is_none() {
+                    let cand = round_point(&x);
+                    if model.is_feasible(&cand) {
+                        let co = model.objective(&cand);
+                        best = Some((cand, co));
+                        warm_start_only = false;
+                    }
+                }
+                // Branch: explore the rounded side first (pushed last).
+                let mut hi_side = Node {
+                    lb: node.lb.clone(),
+                    ub: node.ub.clone(),
+                };
+                hi_side.lb[j] = 1.0;
+                let mut lo_side = node;
+                lo_side.ub[j] = 0.0;
+                if *xj >= 0.5 {
+                    stack.push(lo_side);
+                    stack.push(hi_side);
+                } else {
+                    stack.push(hi_side);
+                    stack.push(lo_side);
+                }
+            }
+        }
+    }
+
+    let status = match (&best, proof_lost || !stack.is_empty()) {
+        (Some(_), false) => Status::Optimal,
+        (Some(_), true) => Status::Feasible,
+        (None, false) => Status::Infeasible,
+        (None, true) => Status::Unknown,
+    };
+    // A completed search that never replaced the warm start has *proved*
+    // it optimal; that counts as the solver's own result.
+    let wso = warm_start_only && status != Status::Optimal;
+    finish(status, best, nodes, lp_iters, wso)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    #[test]
+    fn trivial_empty_model() {
+        let m = Model::new();
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn knapsack_forces_integrality() {
+        // min -(2a + 3b + 4c) s.t. a + b + c <= 2 -> pick b and c: -7.
+        let mut m = Model::new();
+        let a = m.add_var(-2.0, "a");
+        let b = m.add_var(-3.0, "b");
+        let c = m.add_var(-4.0, "c");
+        m.add_le(vec![(a, 1.0), (b, 1.0), (c, 1.0)], 2.0);
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round() as i64, -7);
+        assert!(!s.value(a));
+        assert!(s.value(b));
+        assert!(s.value(c));
+    }
+
+    #[test]
+    fn fractional_lp_branches_to_integer() {
+        // Odd-cycle vertex packing: max x0+x1+x2 s.t. pairwise sums <= 1.
+        // LP optimum is 1.5 (all at 0.5); IP optimum is 1.
+        let mut m = Model::new();
+        let v: Vec<_> = (0..3).map(|i| m.add_var(-1.0, format!("x{i}"))).collect();
+        for i in 0..3 {
+            m.add_le(vec![(v[i], 1.0), (v[(i + 1) % 3], 1.0)], 1.0);
+        }
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round() as i64, -1);
+        assert_eq!(s.values.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn infeasible_model() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        let b = m.add_var(0.0, "b");
+        m.add_ge(vec![(a, 1.0), (b, 1.0)], 2.0);
+        m.add_le(vec![(a, 1.0), (b, 1.0)], 1.0);
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Infeasible);
+        assert!(!s.has_solution());
+    }
+
+    #[test]
+    fn respects_fixings() {
+        let mut m = Model::new();
+        let a = m.add_var(-5.0, "a");
+        m.fix(a, false);
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(!s.value(a));
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn warm_start_survives_row_cap() {
+        let mut m = Model::new();
+        let a = m.add_var(1.0, "a");
+        for _ in 0..10 {
+            m.add_ge(vec![(a, 1.0)], 1.0);
+        }
+        let small = SolverConfig {
+            max_rows: 5,
+            ..cfg()
+        };
+        let s = solve(&m, &small, Some(&[true]));
+        assert_eq!(s.status, Status::Feasible);
+        assert!(s.value(a));
+        // Without a warm start the capped model is Unknown.
+        let s2 = solve(&m, &small, None);
+        assert_eq!(s2.status, Status::Unknown);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_rejected() {
+        let mut m = Model::new();
+        let a = m.add_var(-1.0, "a");
+        m.add_ge(vec![(a, 1.0)], 1.0);
+        // warm start violates the >= row
+        let s = solve(&m, &cfg(), Some(&[false]));
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.value(a));
+    }
+
+    #[test]
+    fn timeout_returns_feasible_with_warm_start() {
+        // An easy model but a zero time budget: the warm start must be
+        // returned as Feasible.
+        let mut m = Model::new();
+        let a = m.add_var(1.0, "a");
+        m.add_ge(vec![(a, 1.0)], 1.0);
+        let tiny = SolverConfig {
+            time_limit: Duration::from_secs(0),
+            ..cfg()
+        };
+        let s = solve(&m, &tiny, Some(&[true]));
+        assert_eq!(s.status, Status::Feasible);
+    }
+
+    #[test]
+    fn negative_cost_chain_is_taken() {
+        // Deleting a copy (negative cost) requires its support vars.
+        let mut m = Model::new();
+        let d = m.add_var(-7.0, "delete");
+        let s1 = m.add_var(2.0, "support1");
+        let s2 = m.add_var(3.0, "support2");
+        m.add_le(vec![(d, 1.0), (s1, -1.0)], 0.0);
+        m.add_le(vec![(d, 1.0), (s2, -1.0)], 0.0);
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round() as i64, -2);
+        assert!(s.value(d) && s.value(s1) && s.value(s2));
+    }
+
+    #[test]
+    fn equality_partition() {
+        // Exactly one of three, minimise cost.
+        let mut m = Model::new();
+        let v: Vec<_> = [5.0, 1.0, 3.0]
+            .iter()
+            .map(|c| m.add_var(*c, "v"))
+            .collect();
+        m.add_eq(v.iter().map(|&x| (x, 1.0)).collect(), 1.0);
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round() as i64, 1);
+        assert!(s.value(v[1]));
+    }
+
+    #[test]
+    fn warm_start_proved_optimal_counts_as_solved() {
+        // The warm start is already optimal; a completed search proves it
+        // and the result is not "warm start only".
+        let mut m = Model::new();
+        let a = m.add_var(1.0, "a");
+        m.add_ge(vec![(a, 1.0)], 1.0);
+        let s = solve(&m, &cfg(), Some(&[true]));
+        assert_eq!(s.status, Status::Optimal);
+        assert!(!s.warm_start_only);
+    }
+
+    #[test]
+    fn zero_budget_warm_start_is_flagged() {
+        let mut m = Model::new();
+        let a = m.add_var(1.0, "a");
+        m.add_ge(vec![(a, 1.0)], 1.0);
+        let tiny = SolverConfig {
+            time_limit: Duration::from_millis(0),
+            ..cfg()
+        };
+        let s = solve(&m, &tiny, Some(&[true]));
+        assert_eq!(s.status, Status::Feasible);
+        assert!(s.warm_start_only, "nothing was found by the search itself");
+    }
+
+    /// Exhaustive cross-check on small random models.
+    #[test]
+    fn matches_brute_force_on_small_models() {
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..200 {
+            let n = 2 + (rnd() % 7) as usize; // 2..8 vars
+            let rows = 1 + (rnd() % 5) as usize;
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n)
+                .map(|i| m.add_var((rnd() % 21) as f64 - 10.0, format!("v{i}")))
+                .collect();
+            for _ in 0..rows {
+                let mut coeffs = Vec::new();
+                for &v in &vars {
+                    if rnd() % 2 == 0 {
+                        coeffs.push((v, (rnd() % 7) as f64 - 3.0));
+                    }
+                }
+                let rhs = (rnd() % 5) as f64 - 2.0;
+                match rnd() % 3 {
+                    0 => m.add_le(coeffs, rhs),
+                    1 => m.add_ge(coeffs, rhs),
+                    _ => m.add_eq(coeffs, rhs),
+                }
+            }
+            // Brute force.
+            let mut best: Option<f64> = None;
+            for mask in 0..(1u32 << n) {
+                let assign: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                if m.is_feasible(&assign) {
+                    let o = m.objective(&assign);
+                    if best.is_none_or(|b| o < b) {
+                        best = Some(o);
+                    }
+                }
+            }
+            let s = solve(&m, &cfg(), None);
+            match best {
+                Some(bo) => {
+                    assert_eq!(
+                        s.status,
+                        Status::Optimal,
+                        "trial {trial}: expected optimal, got {:?}\n{}",
+                        s.status,
+                        m.to_lp_string()
+                    );
+                    assert!(
+                        (s.objective - bo).abs() < 1e-6,
+                        "trial {trial}: obj {} vs brute {bo}\n{}",
+                        s.objective,
+                        m.to_lp_string()
+                    );
+                    assert!(m.is_feasible(&s.values));
+                }
+                None => {
+                    assert_eq!(
+                        s.status,
+                        Status::Infeasible,
+                        "trial {trial}: expected infeasible\n{}",
+                        m.to_lp_string()
+                    );
+                }
+            }
+        }
+    }
+}

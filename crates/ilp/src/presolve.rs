@@ -1,0 +1,210 @@
+//! Light presolve: bound propagation over 0-1 variables.
+//!
+//! Run before the root LP and (cheaply) at every branch-and-bound node,
+//! the presolve repeatedly
+//!
+//! * applies the model's [`fix`](crate::Model::fix)ings,
+//! * computes each row's minimum/maximum activity under current bounds,
+//! * detects rows that can never be satisfied (node infeasible), and
+//! * fixes variables whose value is forced (e.g. when a `≥` row can only
+//!   reach its rhs with every positive-coefficient variable at one).
+//!
+//! Register-allocation models respond well to this: must-allocate rows over
+//! a single remaining candidate register pin that candidate immediately,
+//! and implication chains (`use ≤ x ≤ def`) collapse when an endpoint is
+//! branched on.
+
+use crate::model::{Model, Sense};
+
+/// Result of bound propagation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Propagation {
+    /// Bounds were tightened (possibly unchanged).
+    Ok,
+    /// Some constraint is unsatisfiable under the given bounds.
+    Infeasible,
+}
+
+/// Tighten `lb`/`ub` in place. Binary semantics: bounds only ever move to
+/// 0 or 1.
+pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
+    // Apply declared fixings first.
+    for j in 0..model.num_vars() {
+        if let Some(v) = model.fixed(crate::model::VarId(j as u32)) {
+            let v = if v { 1.0 } else { 0.0 };
+            if v < lb[j] - 1e-9 || v > ub[j] + 1e-9 {
+                return Propagation::Infeasible;
+            }
+            lb[j] = v;
+            ub[j] = v;
+        }
+    }
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 20 {
+        changed = false;
+        rounds += 1;
+        for row in model.rows() {
+            // Min/max activity under current bounds.
+            let mut min_act = 0.0;
+            let mut max_act = 0.0;
+            for (v, c) in &row.coeffs {
+                let (l, u) = (lb[v.index()], ub[v.index()]);
+                if *c >= 0.0 {
+                    min_act += c * l;
+                    max_act += c * u;
+                } else {
+                    min_act += c * u;
+                    max_act += c * l;
+                }
+            }
+            let need_le = matches!(row.sense, Sense::Le | Sense::Eq);
+            let need_ge = matches!(row.sense, Sense::Ge | Sense::Eq);
+            if need_le && min_act > row.rhs + 1e-7 {
+                return Propagation::Infeasible;
+            }
+            if need_ge && max_act < row.rhs - 1e-7 {
+                return Propagation::Infeasible;
+            }
+            // Per-variable implied bounds (binary rounding).
+            for (v, c) in &row.coeffs {
+                let j = v.index();
+                if lb[j] >= ub[j] {
+                    continue; // already fixed
+                }
+                if need_le {
+                    // Setting x_j to its max-increasing bound must keep
+                    // min activity ≤ rhs.
+                    let others_min = min_act - if *c >= 0.0 { c * lb[j] } else { c * ub[j] };
+                    if *c > 0.0 && others_min + c > row.rhs + 1e-7 {
+                        ub[j] = 0.0;
+                        changed = true;
+                    } else if *c < 0.0 && others_min > row.rhs + 1e-7 {
+                        // x_j must contribute: x_j = 1.
+                        lb[j] = 1.0;
+                        changed = true;
+                    }
+                }
+                if need_ge && lb[j] < ub[j] {
+                    let others_max = max_act - if *c >= 0.0 { c * ub[j] } else { c * lb[j] };
+                    if *c > 0.0 && others_max < row.rhs - 1e-7 {
+                        // x_j must be 1 for the row to be satisfiable.
+                        lb[j] = 1.0;
+                        changed = true;
+                    } else if *c < 0.0 && others_max + c < row.rhs - 1e-7 {
+                        ub[j] = 0.0;
+                        changed = true;
+                    }
+                }
+                if lb[j] > ub[j] + 1e-9 {
+                    return Propagation::Infeasible;
+                }
+            }
+        }
+    }
+    Propagation::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn free(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; n], vec![1.0; n])
+    }
+
+    #[test]
+    fn fixings_apply() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        m.fix(a, true);
+        let (mut lb, mut ub) = free(1);
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Ok);
+        assert_eq!((lb[0], ub[0]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn conflicting_fixing_detected() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        m.fix(a, true);
+        let mut lb = vec![0.0];
+        let mut ub = vec![0.0]; // branched to 0
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn singleton_ge_forces_one() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        m.add_ge(vec![(a, 1.0)], 1.0);
+        let (mut lb, mut ub) = free(1);
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Ok);
+        assert_eq!(lb[0], 1.0);
+    }
+
+    #[test]
+    fn singleton_le_forces_zero() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        m.add_le(vec![(a, 1.0)], 0.0);
+        let (mut lb, mut ub) = free(1);
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Ok);
+        assert_eq!(ub[0], 0.0);
+    }
+
+    #[test]
+    fn must_allocate_with_one_candidate_pins_it() {
+        // a + b >= 1 with b fixed to 0 -> a forced to 1.
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        let b = m.add_var(0.0, "b");
+        m.add_ge(vec![(a, 1.0), (b, 1.0)], 1.0);
+        m.fix(b, false);
+        let (mut lb, mut ub) = free(2);
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Ok);
+        assert_eq!(lb[0], 1.0);
+        assert_eq!(ub[1], 0.0);
+    }
+
+    #[test]
+    fn implication_chain_collapses() {
+        // u <= x, x <= d; branch u = 1 -> x = 1 -> d = 1.
+        let mut m = Model::new();
+        let u = m.add_var(0.0, "u");
+        let x = m.add_var(0.0, "x");
+        let d = m.add_var(0.0, "d");
+        m.add_le(vec![(u, 1.0), (x, -1.0)], 0.0);
+        m.add_le(vec![(x, 1.0), (d, -1.0)], 0.0);
+        let mut lb = vec![1.0, 0.0, 0.0];
+        let mut ub = vec![1.0, 1.0, 1.0];
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Ok);
+        assert_eq!(lb, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn infeasible_ge_detected() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        let b = m.add_var(0.0, "b");
+        m.add_ge(vec![(a, 1.0), (b, 1.0)], 2.0);
+        m.fix(a, false);
+        let (mut lb, mut ub) = free(2);
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn equality_propagates_both_directions() {
+        // a + b = 1, a fixed 1 -> b must be 0.
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        let b = m.add_var(0.0, "b");
+        m.add_eq(vec![(a, 1.0), (b, 1.0)], 1.0);
+        m.fix(a, true);
+        let (mut lb, mut ub) = free(2);
+        assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Ok);
+        assert_eq!(ub[1], 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Control-flow analyses: predecessor/successor maps, reverse postorder,
+//! dominators, and natural-loop nesting.
+//!
+//! Loop nesting drives the static execution-count estimate (the factor *A*
+//! of the paper's cost model) in [`profile`](crate::profile).
+
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// Precomputed control-flow information for one [`Function`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_pos: Vec<usize>,
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Compute the CFG analyses for `f`.
+    ///
+    /// Unreachable blocks are kept in the block arrays but receive no
+    /// position in the reverse postorder and no dominator.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            let ss = f.block(b).successors();
+            for &s in &ss {
+                preds[s.index()].push(b);
+            }
+            succs[b.index()] = ss;
+        }
+
+        // Reverse postorder via iterative DFS from the entry block.
+        let mut rpo = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        state[f.entry().index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                rpo.push(b);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+
+        // Iterative dominator computation (Cooper–Harvey–Kennedy).
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry().index()] = Some(f.entry());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_pos,
+            idom,
+        }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first). Unreachable blocks are
+    /// omitted.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// True if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// Immediate dominator of `b` (the entry block dominates itself).
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            let d = match self.idom[x.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+            if d == x {
+                return false; // reached entry
+            }
+            x = d;
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_pos[a.index()] > rpo_pos[b.index()] {
+            a = idom[a.index()].expect("reachable");
+        }
+        while rpo_pos[b.index()] > rpo_pos[a.index()] {
+            b = idom[b.index()].expect("reachable");
+        }
+    }
+    a
+}
+
+/// Natural-loop nesting information.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Detect natural loops (via back edges `t → h` where `h` dominates
+    /// `t`) and compute each block's loop-nesting depth.
+    ///
+    /// The workload CFGs are reducible by construction, so back edges and
+    /// natural loops fully describe the loop structure.
+    pub fn new(f: &Function, cfg: &Cfg) -> LoopInfo {
+        let n = f.num_blocks();
+        let mut depth = vec![0u32; n];
+        for &t in cfg.rpo() {
+            for &h in cfg.succs(t) {
+                if cfg.dominates(h, t) {
+                    // Natural loop of back edge t -> h: h plus all blocks
+                    // that reach t without passing through h.
+                    let mut in_loop = vec![false; n];
+                    in_loop[h.index()] = true;
+                    let mut work = vec![t];
+                    while let Some(b) = work.pop() {
+                        if in_loop[b.index()] {
+                            continue;
+                        }
+                        in_loop[b.index()] = true;
+                        for &p in cfg.preds(b) {
+                            if !in_loop[p.index()] {
+                                work.push(p);
+                            }
+                        }
+                    }
+                    for (i, inl) in in_loop.iter().enumerate() {
+                        if *inl {
+                            depth[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        LoopInfo { depth }
+    }
+
+    /// Loop-nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// The maximum nesting depth in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::ids::Width;
+    use crate::inst::{Cond, Operand};
+
+    /// entry -> loop_head <-> loop_body ; loop_head -> exit
+    fn loop_func() -> Function {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.new_sym(Width::B32);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.load_imm(i, 0);
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(
+            Cond::Lt,
+            Operand::sym(i),
+            Operand::Imm(10),
+            Width::B32,
+            body,
+            exit,
+        );
+        b.switch_to(body);
+        b.bin(
+            crate::inst::BinOp::Add,
+            i,
+            Operand::sym(i),
+            Operand::Imm(1),
+        );
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        b.finish()
+    }
+
+    #[test]
+    fn preds_succs() {
+        let f = loop_func();
+        let cfg = Cfg::new(&f);
+        let (head, body, exit) = (BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(cfg.succs(BlockId(0)), &[head]);
+        assert_eq!(cfg.succs(head), &[body, exit]);
+        let mut hp = cfg.preds(head).to_vec();
+        hp.sort();
+        assert_eq!(hp, vec![BlockId(0), body]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = loop_func();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn dominators() {
+        let f = loop_func();
+        let cfg = Cfg::new(&f);
+        let (head, body, exit) = (BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(cfg.idom(head), Some(BlockId(0)));
+        assert_eq!(cfg.idom(body), Some(head));
+        assert_eq!(cfg.idom(exit), Some(head));
+        assert!(cfg.dominates(BlockId(0), exit));
+        assert!(cfg.dominates(head, body));
+        assert!(!cfg.dominates(body, exit));
+        assert!(cfg.dominates(exit, exit));
+    }
+
+    #[test]
+    fn loop_depths() {
+        let f = loop_func();
+        let cfg = Cfg::new(&f);
+        let li = LoopInfo::new(&f, &cfg);
+        assert_eq!(li.depth(BlockId(0)), 0);
+        assert_eq!(li.depth(BlockId(1)), 1); // head
+        assert_eq!(li.depth(BlockId(2)), 1); // body
+        assert_eq!(li.depth(BlockId(3)), 0); // exit
+        assert_eq!(li.max_depth(), 1);
+    }
+
+    #[test]
+    fn nested_loops_depth_two() {
+        // entry -> h1 ; h1 -> h2 | exit ; h2 -> b2 | h1 ; b2 -> h2
+        let mut fb = FunctionBuilder::new("nest");
+        let x = fb.new_sym(Width::B32);
+        let h1 = fb.block();
+        let h2 = fb.block();
+        let b2 = fb.block();
+        let exit = fb.block();
+        fb.load_imm(x, 0);
+        fb.jump(h1);
+        fb.switch_to(h1);
+        fb.branch(
+            Cond::Lt,
+            Operand::sym(x),
+            Operand::Imm(3),
+            Width::B32,
+            h2,
+            exit,
+        );
+        fb.switch_to(h2);
+        fb.branch(
+            Cond::Lt,
+            Operand::sym(x),
+            Operand::Imm(9),
+            Width::B32,
+            b2,
+            h1,
+        );
+        fb.switch_to(b2);
+        fb.bin(
+            crate::inst::BinOp::Add,
+            x,
+            Operand::sym(x),
+            Operand::Imm(1),
+        );
+        fb.jump(h2);
+        fb.switch_to(exit);
+        fb.ret(Some(x));
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+        let li = LoopInfo::new(&f, &cfg);
+        assert_eq!(li.depth(h1), 1);
+        assert_eq!(li.depth(h2), 2);
+        assert_eq!(li.depth(b2), 2);
+        assert_eq!(li.depth(exit), 0);
+        assert_eq!(li.max_depth(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut fb = FunctionBuilder::new("unreach");
+        let x = fb.new_sym(Width::B32);
+        let dead = fb.block();
+        fb.load_imm(x, 1);
+        fb.ret(Some(x));
+        fb.switch_to(dead);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.idom(dead), None);
+        assert!(!cfg.dominates(BlockId(0), dead));
+    }
+}

@@ -1,0 +1,193 @@
+//! Human-readable printing of functions and instructions.
+
+use std::fmt;
+
+use crate::func::Function;
+use crate::inst::{Address, Dst, Inst, Loc, Operand};
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Sym(s) => write!(f, "{s}"),
+            Loc::Real(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Loc(l) => write!(f, "{l}"),
+            Operand::Imm(i) => write!(f, "#{i}"),
+            Operand::Slot(s) => write!(f, "[{s}]"),
+        }
+    }
+}
+
+impl fmt::Display for Dst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dst::Loc(l) => write!(f, "{l}"),
+            Dst::Slot(s) => write!(f, "[{s}]"),
+        }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Address::Global(g) => write!(f, "@g{g}"),
+            Address::Indirect { base, index, disp } => {
+                write!(f, "[")?;
+                let mut first = true;
+                if let Some(b) = base {
+                    write!(f, "{b}")?;
+                    first = false;
+                }
+                if let Some((i, s)) = index {
+                    if !first {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{i}*{}", s.factor())?;
+                    first = false;
+                }
+                if *disp != 0 || first {
+                    if !first {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{disp}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::LoadImm { dst, imm, width } => {
+                write!(f, "{dst} = imm{} {imm}", width.bits())
+            }
+            Inst::Copy { dst, src, width } => write!(f, "{dst} = copy{} {src}", width.bits()),
+            Inst::Load { dst, addr, width } => write!(f, "{dst} = load{} {addr}", width.bits()),
+            Inst::Store { addr, src, width } => {
+                write!(f, "store{} {addr}, {src}", width.bits())
+            }
+            Inst::Bin {
+                op,
+                dst,
+                lhs,
+                rhs,
+                width,
+            } => write!(f, "{dst} = {op:?}{} {lhs}, {rhs}", width.bits()),
+            Inst::Un {
+                op,
+                dst,
+                src,
+                width,
+            } => write!(f, "{dst} = {op:?}{} {src}", width.bits()),
+            Inst::Call {
+                callee, ret, args, ..
+            } => {
+                if let Some(r) = ret {
+                    write!(f, "{r} = ")?;
+                }
+                write!(f, "call fn{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::SpillLoad { dst, slot, width } => {
+                write!(f, "{dst} = spill_load{} {slot}", width.bits())
+            }
+            Inst::SpillStore { slot, src, width } => {
+                write!(f, "spill_store{} {slot}, {src}", width.bits())
+            }
+            Inst::Jump { target } => write!(f, "jump {target}"),
+            Inst::Branch {
+                cond,
+                lhs,
+                rhs,
+                then_blk,
+                else_blk,
+                ..
+            } => write!(f, "br {cond:?} {lhs}, {rhs} ? {then_blk} : {else_blk}"),
+            Inst::Ret { val } => match val {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}() {{", self.name())?;
+        for (gi, g) in self.globals().iter().enumerate() {
+            writeln!(
+                f,
+                "  global g{gi}: {} \"{}\"{}{}",
+                g.width.bits(),
+                g.name,
+                if g.is_param { " param" } else { "" },
+                if g.aliased { " aliased" } else { "" },
+            )?;
+        }
+        for b in self.block_ids() {
+            writeln!(f, "{b}:")?;
+            for inst in &self.block(b).insts {
+                writeln!(f, "  {inst}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::ids::{SymId, Width};
+    use crate::inst::{BinOp, Scale};
+
+    #[test]
+    fn instruction_formats() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(1)),
+            rhs: Operand::Imm(5),
+            width: Width::B32,
+        };
+        assert_eq!(i.to_string(), "s0 = Add32 s1, #5");
+    }
+
+    #[test]
+    fn address_formats() {
+        let a = Address::Indirect {
+            base: Some(Loc::Sym(SymId(1))),
+            index: Some((Loc::Sym(SymId(2)), Scale::S4)),
+            disp: 8,
+        };
+        assert_eq!(a.to_string(), "[s1 + s2*4 + 8]");
+        assert_eq!(Address::Global(3).to_string(), "@g3");
+    }
+
+    #[test]
+    fn function_format_contains_blocks() {
+        let mut b = FunctionBuilder::new("show");
+        let x = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.ret(Some(x));
+        let s = b.finish().to_string();
+        assert!(s.contains("fn show()"));
+        assert!(s.contains("b0:"));
+        assert!(s.contains("s0 = imm32 1"));
+        assert!(s.contains("ret s0"));
+    }
+}

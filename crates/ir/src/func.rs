@@ -1,0 +1,478 @@
+//! Functions, basic blocks and the [`FunctionBuilder`].
+
+use crate::ids::{BlockId, SlotId, SymId, Width};
+use crate::inst::{Address, BinOp, Cond, Dst, GlobalId, Inst, Loc, Operand, UnOp};
+
+/// A statically-addressed memory slot: a function parameter (parameters
+/// arrive on the stack in the x86 calling convention) or a global variable.
+///
+/// Globals are the *predefined memory values* of §5.5 of the paper: a value
+/// that exists in memory at function entry. A symbolic register defined by
+/// loading a non-aliased global may have its home memory location coalesced
+/// with the global's.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GlobalSlot {
+    /// Human-readable name (for printing).
+    pub name: String,
+    /// Width of the stored value.
+    pub width: Width,
+    /// True if the address of this slot escapes (e.g. is passed to a
+    /// callee), making the slot *aliased*: condition (3) of §5.5 then
+    /// forbids home-location coalescing.
+    pub aliased: bool,
+    /// True if this slot is an incoming function parameter; the interpreter
+    /// initialises parameter slots from the caller-supplied arguments.
+    pub is_param: bool,
+    /// Initial value for non-parameter slots.
+    pub init: i64,
+}
+
+/// Metadata for one spill slot created by an allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlotInfo {
+    /// Width of the spilled value.
+    pub width: Width,
+    /// If set, the slot is *coalesced* with a global's home memory location
+    /// (§5.5) instead of occupying fresh stack space.
+    pub home: Option<GlobalId>,
+}
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// terminator.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    /// The instructions; the last one is the terminator.
+    pub insts: Vec<Inst>,
+}
+
+impl Block {
+    /// The block's terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty (a builder invariant violation).
+    pub fn terminator(&self) -> &Inst {
+        self.insts.last().expect("block has no terminator")
+    }
+
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.terminator().successors()
+    }
+}
+
+/// A function: the unit of global register allocation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    name: String,
+    blocks: Vec<Block>,
+    sym_widths: Vec<Width>,
+    globals: Vec<GlobalSlot>,
+    slots: Vec<SlotInfo>,
+}
+
+impl Function {
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The entry block id (always `b0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Iterate over block ids in storage order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block (used by the rewrite modules).
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Number of symbolic registers.
+    pub fn num_syms(&self) -> usize {
+        self.sym_widths.len()
+    }
+
+    /// Iterate over all symbolic-register ids.
+    pub fn sym_ids(&self) -> impl Iterator<Item = SymId> {
+        (0..self.sym_widths.len() as u32).map(SymId)
+    }
+
+    /// Width of a symbolic register.
+    pub fn sym_width(&self, s: SymId) -> Width {
+        self.sym_widths[s.index()]
+    }
+
+    /// True if any symbolic register is 64 bits wide. Such functions are
+    /// not attempted by the allocators, mirroring Table 2 of the paper.
+    pub fn uses_64bit(&self) -> bool {
+        self.sym_widths.contains(&Width::B64)
+    }
+
+    /// The global-slot table.
+    pub fn globals(&self) -> &[GlobalSlot] {
+        &self.globals
+    }
+
+    /// A specific global slot.
+    pub fn global(&self, g: GlobalId) -> &GlobalSlot {
+        &self.globals[g as usize]
+    }
+
+    /// The spill-slot table.
+    pub fn slots(&self) -> &[SlotInfo] {
+        &self.slots
+    }
+
+    /// Metadata for a spill slot.
+    pub fn slot(&self, s: SlotId) -> SlotInfo {
+        self.slots[s.index()]
+    }
+
+    /// Create a new spill slot (allocator use). `home` requests §5.5
+    /// home-location coalescing with a global.
+    pub fn add_slot(&mut self, width: Width, home: Option<GlobalId>) -> SlotId {
+        let id = SlotId(self.slots.len() as u32);
+        self.slots.push(SlotInfo { width, home });
+        id
+    }
+
+    /// Create a fresh symbolic register (used by pre-allocation rewrites
+    /// such as the baseline's traditional two-address copy insertion).
+    pub fn add_sym(&mut self, width: Width) -> SymId {
+        let id = SymId(self.sym_widths.len() as u32);
+        self.sym_widths.push(width);
+        id
+    }
+
+    /// Total number of instructions across all blocks (the x-axis of
+    /// Fig. 9 of the paper).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterate over `(block, instruction index, instruction)`.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
+        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(ii, inst)| (BlockId(bi as u32), ii, inst))
+        })
+    }
+}
+
+/// Incrementally constructs a [`Function`].
+///
+/// The builder starts with an implicit entry block; [`FunctionBuilder::block`]
+/// creates further blocks and [`FunctionBuilder::switch_to`] selects the
+/// insertion point. [`FunctionBuilder::finish`] checks that every block ends
+/// in a terminator.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given name. The entry block is
+    /// created and selected.
+    pub fn new(name: &str) -> FunctionBuilder {
+        FunctionBuilder {
+            f: Function {
+                name: name.to_string(),
+                blocks: vec![Block::default()],
+                sym_widths: Vec::new(),
+                globals: Vec::new(),
+                slots: Vec::new(),
+            },
+            cur: BlockId(0),
+        }
+    }
+
+    /// Create a fresh symbolic register of the given width.
+    pub fn new_sym(&mut self, width: Width) -> SymId {
+        self.f.add_sym(width)
+    }
+
+    /// Declare a global variable slot.
+    pub fn new_global(&mut self, name: &str, width: Width, init: i64) -> GlobalId {
+        self.f.globals.push(GlobalSlot {
+            name: name.to_string(),
+            width,
+            aliased: false,
+            is_param: false,
+            init,
+        });
+        (self.f.globals.len() - 1) as GlobalId
+    }
+
+    /// Declare an incoming parameter slot (§5.5 predefined memory value).
+    pub fn new_param(&mut self, name: &str, width: Width) -> GlobalId {
+        self.f.globals.push(GlobalSlot {
+            name: name.to_string(),
+            width,
+            aliased: false,
+            is_param: true,
+            init: 0,
+        });
+        (self.f.globals.len() - 1) as GlobalId
+    }
+
+    /// Mark a global as aliased (its address escapes), which disables
+    /// §5.5 home-location coalescing for it.
+    pub fn mark_aliased(&mut self, g: GlobalId) {
+        self.f.globals[g as usize].aliased = true;
+    }
+
+    /// Create a new, empty block (not selected).
+    pub fn block(&mut self) -> BlockId {
+        self.f.blocks.push(Block::default());
+        BlockId((self.f.blocks.len() - 1) as u32)
+    }
+
+    /// Select the insertion block for subsequent instructions.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The currently selected block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Append an arbitrary instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        self.f.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    /// `dst = imm`.
+    pub fn load_imm(&mut self, dst: SymId, imm: i64) {
+        let width = self.f.sym_width(dst);
+        self.push(Inst::LoadImm {
+            dst: Loc::Sym(dst),
+            imm,
+            width,
+        });
+    }
+
+    /// `dst = src`.
+    pub fn copy(&mut self, dst: SymId, src: SymId) {
+        let width = self.f.sym_width(dst);
+        self.push(Inst::Copy {
+            dst: Loc::Sym(dst),
+            src: Loc::Sym(src),
+            width,
+        });
+    }
+
+    /// `dst = load addr`.
+    pub fn load(&mut self, dst: SymId, addr: Address) {
+        let width = self.f.sym_width(dst);
+        self.push(Inst::Load {
+            dst: Loc::Sym(dst),
+            addr,
+            width,
+        });
+    }
+
+    /// `dst = load global`.
+    pub fn load_global(&mut self, dst: SymId, g: GlobalId) {
+        self.load(dst, Address::Global(g));
+    }
+
+    /// `store addr, src`.
+    pub fn store(&mut self, addr: Address, src: Operand, width: Width) {
+        self.push(Inst::Store { addr, src, width });
+    }
+
+    /// `store global, src`.
+    pub fn store_global(&mut self, g: GlobalId, src: Operand) {
+        let width = self.f.globals[g as usize].width;
+        self.store(Address::Global(g), src, width);
+    }
+
+    /// `dst = lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: SymId, lhs: Operand, rhs: Operand) {
+        let width = self.f.sym_width(dst);
+        self.push(Inst::Bin {
+            op,
+            dst: Dst::sym(dst),
+            lhs,
+            rhs,
+            width,
+        });
+    }
+
+    /// `dst = op src`.
+    pub fn un(&mut self, op: UnOp, dst: SymId, src: Operand) {
+        let width = self.f.sym_width(dst);
+        self.push(Inst::Un {
+            op,
+            dst: Dst::sym(dst),
+            src,
+            width,
+        });
+    }
+
+    /// `ret = call callee(args…)`.
+    pub fn call(&mut self, callee: u32, ret: Option<SymId>, args: Vec<Operand>) {
+        let width = ret.map(|r| self.f.sym_width(r)).unwrap_or(Width::B32);
+        self.push(Inst::Call {
+            callee,
+            ret: ret.map(Loc::Sym),
+            args,
+            width,
+        });
+    }
+
+    /// Unconditional jump; terminates the current block.
+    pub fn jump(&mut self, target: BlockId) {
+        self.push(Inst::Jump { target });
+    }
+
+    /// Conditional branch; terminates the current block.
+    pub fn branch(
+        &mut self,
+        cond: Cond,
+        lhs: Operand,
+        rhs: Operand,
+        width: Width,
+        then_blk: BlockId,
+        else_blk: BlockId,
+    ) {
+        self.push(Inst::Branch {
+            cond,
+            lhs,
+            rhs,
+            width,
+            then_blk,
+            else_blk,
+        });
+    }
+
+    /// Return; terminates the current block.
+    pub fn ret(&mut self, val: Option<SymId>) {
+        self.push(Inst::Ret {
+            val: val.map(Operand::sym),
+        });
+    }
+
+    /// Finish construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator, to catch builder misuse
+    /// early (the [`verify`](crate::verify) module performs the full
+    /// structural check).
+    pub fn finish(self) -> Function {
+        for (i, b) in self.f.blocks.iter().enumerate() {
+            assert!(
+                b.insts.last().is_some_and(|t| t.is_terminator()),
+                "block b{i} of function `{}` lacks a terminator",
+                self.f.name
+            );
+        }
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_straightline() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_sym(Width::B32);
+        let y = b.new_sym(Width::B32);
+        b.load_imm(x, 5);
+        b.un(UnOp::Neg, y, Operand::sym(x));
+        b.ret(Some(y));
+        let f = b.finish();
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 3);
+        assert_eq!(f.num_syms(), 2);
+        assert_eq!(f.sym_width(x), Width::B32);
+        assert!(!f.uses_64bit());
+    }
+
+    #[test]
+    fn build_diamond_cfg() {
+        let mut b = FunctionBuilder::new("g");
+        let x = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        let t = b.block();
+        let e = b.block();
+        let j = b.block();
+        b.branch(
+            Cond::Eq,
+            Operand::sym(x),
+            Operand::Imm(0),
+            Width::B32,
+            t,
+            e,
+        );
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.block(BlockId(0)).successors(), vec![t, e]);
+        assert_eq!(f.block(t).successors(), vec![j]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn finish_rejects_unterminated_block() {
+        let mut b = FunctionBuilder::new("bad");
+        let x = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.finish();
+    }
+
+    #[test]
+    fn uses_64bit_detection() {
+        let mut b = FunctionBuilder::new("w64");
+        let x = b.new_sym(Width::B64);
+        b.load_imm(x, 1);
+        b.ret(None);
+        assert!(b.finish().uses_64bit());
+    }
+
+    #[test]
+    fn globals_and_slots() {
+        let mut b = FunctionBuilder::new("h");
+        let p = b.new_param("a", Width::B32);
+        let g = b.new_global("G", Width::B32, 42);
+        b.mark_aliased(g);
+        let x = b.new_sym(Width::B32);
+        b.load_global(x, p);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(f.globals().len(), 2);
+        assert!(f.global(p).is_param);
+        assert!(f.global(g).aliased);
+        assert_eq!(f.global(g).init, 42);
+        let s = f.add_slot(Width::B32, Some(p));
+        assert_eq!(f.slot(s).home, Some(p));
+    }
+}

@@ -1,0 +1,197 @@
+//! Small index newtypes shared across the IR and the allocators.
+
+use std::fmt;
+
+/// A *symbolic register*: one of the unbounded virtual registers the
+/// compiler front end generates. Register allocation maps each `SymId`
+/// either to a [`PhysReg`] or to a spill slot ([`SlotId`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u32);
+
+/// A basic-block identifier. Blocks are stored densely in a
+/// [`Function`](crate::Function); `BlockId(0)` is always the entry block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// A spill-slot identifier. Each spilled symbolic register owns exactly one
+/// slot (the classical "unique spill location" assumption the paper relies
+/// on in §5.2). Predefined-memory symbolic registers (§5.5) instead share
+/// the home location of a [`GlobalSlot`](crate::GlobalSlot).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+/// A physical (real) register, as an opaque dense index.
+///
+/// The IR does not interpret `PhysReg`s; their structure — widths, bit-field
+/// overlap (§5.3 of the paper), calling-convention roles — is defined by the
+/// machine model (the `regalloc-x86` crate), which also provides the
+/// [`RegFile`](crate::interp::RegFile) implementation used to execute
+/// allocated code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+/// Width class of a symbolic register or operation, in bits.
+///
+/// The x86 register structure is partitioned by width (§3.1): 8-bit values
+/// may live only in the AL/AH/…/DH fields, 16-bit values in AX…DI, and so
+/// on. `B64` values exist so that the workload generator can emit functions
+/// the allocator declines ("attempted" < "total" in Table 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Width {
+    /// 8 bits.
+    B8,
+    /// 16 bits.
+    B16,
+    /// 32 bits.
+    B32,
+    /// 64 bits (not handled by the allocators, as in the paper).
+    B64,
+}
+
+impl Width {
+    /// Size of a value of this width in bytes.
+    ///
+    /// ```
+    /// # use regalloc_ir::Width;
+    /// assert_eq!(Width::B16.bytes(), 2);
+    /// ```
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::B8 => 1,
+            Width::B16 => 2,
+            Width::B32 => 4,
+            Width::B64 => 8,
+        }
+    }
+
+    /// Size in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Mask selecting the low `bits()` of a `u64`.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::B64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// Truncate `v` to this width.
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+}
+
+impl fmt::Debug for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Debug for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl SymId {
+    /// Index into dense per-symbolic arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Index into dense per-block arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SlotId {
+    /// Index into dense per-slot arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PhysReg {
+    /// Index into dense per-register arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bytes_and_masks() {
+        assert_eq!(Width::B8.bytes(), 1);
+        assert_eq!(Width::B32.bytes(), 4);
+        assert_eq!(Width::B64.bytes(), 8);
+        assert_eq!(Width::B8.mask(), 0xff);
+        assert_eq!(Width::B16.mask(), 0xffff);
+        assert_eq!(Width::B32.mask(), 0xffff_ffff);
+        assert_eq!(Width::B64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn width_truncate() {
+        assert_eq!(Width::B8.truncate(0x1ff), 0xff);
+        assert_eq!(Width::B16.truncate(0x12345), 0x2345);
+        assert_eq!(Width::B32.truncate(u64::MAX), 0xffff_ffff);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SymId(3).to_string(), "s3");
+        assert_eq!(BlockId(1).to_string(), "b1");
+        assert_eq!(SlotId(2).to_string(), "slot2");
+        assert_eq!(PhysReg(0).to_string(), "r0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(SymId(1) < SymId(2));
+        assert!(BlockId(0) < BlockId(9));
+    }
+}

@@ -1,0 +1,64 @@
+//! Compiler intermediate representation used by the `precise-regalloc`
+//! register allocators.
+//!
+//! This crate is the compiler substrate of the reproduction of Kong &
+//! Wilken, *Precise Register Allocation for Irregular Architectures*
+//! (MICRO 1998). It provides everything a global register allocator needs
+//! from the surrounding compiler:
+//!
+//! * a three-address [`Function`] representation over an unbounded supply of
+//!   *symbolic registers* ([`SymId`]), organised as a control-flow graph of
+//!   [`Block`]s,
+//! * control-flow analyses: predecessors/successors, reverse postorder,
+//!   dominators and natural-loop nesting ([`mod@cfg`]),
+//! * backward-dataflow [`liveness`] analysis with per-instruction queries,
+//! * static execution-[`profile`] estimation (the factor *A* of the paper's
+//!   cost model, eq. (1)),
+//! * an executable [`interp`]reter with a pluggable register file, used to
+//!   check that an allocated function is observationally equivalent to the
+//!   original symbolic function, and
+//! * structural and post-allocation [`verify`]ers.
+//!
+//! The IR is deliberately machine-adjacent: instructions carry x86-shaped
+//! addressing modes ([`Address`]) and the operand positions that the
+//! irregular-architecture extensions of the paper care about (combined
+//! source/destination specifiers, memory operands, implicit registers) are
+//! recoverable from [`Inst`] by the machine model.
+//!
+//! # Example
+//!
+//! ```
+//! use regalloc_ir::{FunctionBuilder, Width, BinOp, Operand};
+//!
+//! let mut b = FunctionBuilder::new("add3");
+//! let x = b.new_sym(Width::B32);
+//! let y = b.new_sym(Width::B32);
+//! let z = b.new_sym(Width::B32);
+//! b.load_imm(x, 1);
+//! b.load_imm(y, 2);
+//! b.bin(BinOp::Add, z, Operand::sym(x), Operand::sym(y));
+//! b.ret(Some(z));
+//! let f = b.finish();
+//! assert_eq!(f.num_blocks(), 1);
+//! ```
+
+pub mod cfg;
+pub mod display;
+pub mod func;
+pub mod ids;
+pub mod inst;
+pub mod interp;
+pub mod liveness;
+pub mod parse;
+pub mod profile;
+pub mod verify;
+
+pub use cfg::{Cfg, LoopInfo};
+pub use func::{Block, Function, FunctionBuilder, GlobalSlot, SlotInfo};
+pub use ids::{BlockId, PhysReg, SlotId, SymId, Width};
+pub use inst::{Address, BinOp, Cond, Dst, GlobalId, Inst, Loc, Operand, Scale, UnOp, UseRole};
+pub use interp::{ExecOutcome, ExecStatus, Interp, InterpConfig, RegFile, SymRegFile};
+pub use liveness::{BitSet, Liveness};
+pub use parse::{parse_function, ParseError};
+pub use profile::Profile;
+pub use verify::{verify_allocated, verify_function, VerifyError};

@@ -1,0 +1,290 @@
+//! Backward-dataflow liveness analysis over symbolic registers.
+//!
+//! Both allocators consume liveness: the IP allocator builds symbolic
+//! register networks only over live ranges, and the graph-coloring baseline
+//! builds its interference graph from the same information.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::ids::{BlockId, SymId};
+
+/// A dense bit set over symbolic-register ids.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set sized for `n` elements.
+    pub fn new(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] >> b & 1;
+        self.words[w] |= 1 << b;
+        had == 0
+    }
+
+    /// Remove `i`.
+    pub fn remove(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Liveness analysis results for one function.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Run the analysis.
+    pub fn new(f: &Function, cfg: &Cfg) -> Liveness {
+        let nb = f.num_blocks();
+        let ns = f.num_syms();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![BitSet::new(ns); nb];
+        let mut kill = vec![BitSet::new(ns); nb];
+        for b in f.block_ids() {
+            let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
+            for inst in &f.block(b).insts {
+                inst.visit_uses(&mut |l, _| {
+                    if let Some(s) = l.as_sym() {
+                        if !k.contains(s.index()) {
+                            g.insert(s.index());
+                        }
+                    }
+                });
+                if let Some(s) = inst.sym_def() {
+                    k.insert(s.index());
+                }
+            }
+        }
+
+        let mut live_in = vec![BitSet::new(ns); nb];
+        let mut live_out = vec![BitSet::new(ns); nb];
+        // Iterate to fixpoint in postorder (reverse RPO) for fast
+        // convergence of the backward problem.
+        let order: Vec<BlockId> = cfg.rpo().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = BitSet::new(ns);
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                // in = gen ∪ (out − kill)
+                let mut inn = gen[b.index()].clone();
+                for s in out.iter() {
+                    if !kill[b.index()].contains(s) {
+                        inn.insert(s);
+                    }
+                }
+                if live_out[b.index()] != out {
+                    live_out[b.index()] = out;
+                    changed = true;
+                }
+                if live_in[b.index()] != inn {
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Symbolics live at entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Symbolics live at exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Compute, for every instruction of `b`, the set of symbolics live
+    /// *before* that instruction. Element `i` of the result corresponds to
+    /// the program point just before instruction `i`; the set just after
+    /// the last instruction is [`Liveness::live_out`].
+    pub fn live_before_insts(&self, f: &Function, b: BlockId) -> Vec<BitSet> {
+        let insts = &f.block(b).insts;
+        let mut live = self.live_out[b.index()].clone();
+        let mut out = vec![BitSet::default(); insts.len()];
+        for (i, inst) in insts.iter().enumerate().rev() {
+            if let Some(s) = inst.sym_def() {
+                live.remove(s.index());
+            }
+            inst.visit_uses(&mut |l, _| {
+                if let Some(s) = l.as_sym() {
+                    live.insert(s.index());
+                }
+            });
+            out[i] = live.clone();
+        }
+        out
+    }
+
+    /// True if `s` is live across some block boundary (its live range
+    /// spans more than one block). Values defined and fully consumed
+    /// inside a single block return false.
+    pub fn is_ever_live(&self, s: SymId) -> bool {
+        self.live_in.iter().any(|bs| bs.contains(s.index()))
+            || self.live_out.iter().any(|bs| bs.contains(s.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::ids::Width;
+    use crate::inst::{BinOp, Cond, Operand};
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        s.remove(0);
+        assert!(!s.contains(0));
+        let mut t = BitSet::new(130);
+        t.insert(7);
+        assert!(s.union_with(&t));
+        assert!(!s.union_with(&t));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7, 129]);
+    }
+
+    #[test]
+    fn straightline_liveness() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_sym(Width::B32);
+        let y = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.bin(BinOp::Add, y, Operand::sym(x), Operand::sym(x));
+        b.ret(Some(y));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        assert!(lv.live_in(f.entry()).is_empty());
+        assert!(lv.live_out(f.entry()).is_empty());
+        let per = lv.live_before_insts(&f, f.entry());
+        assert!(per[0].is_empty()); // before load_imm x
+        assert!(per[1].contains(x.index())); // before add
+        assert!(!per[1].contains(y.index()));
+        assert!(per[2].contains(y.index())); // before ret
+        assert!(!per[2].contains(x.index()));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // i defined in entry, used and redefined in loop body, used at exit.
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.new_sym(Width::B32);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.load_imm(i, 0);
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(
+            Cond::Lt,
+            Operand::sym(i),
+            Operand::Imm(10),
+            Width::B32,
+            body,
+            exit,
+        );
+        b.switch_to(body);
+        b.bin(BinOp::Add, i, Operand::sym(i), Operand::Imm(1));
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        assert!(lv.live_in(head).contains(i.index()));
+        assert!(lv.live_out(head).contains(i.index()));
+        assert!(lv.live_in(body).contains(i.index()));
+        assert!(lv.live_out(body).contains(i.index()));
+        assert!(lv.live_in(exit).contains(i.index()));
+        assert!(lv.is_ever_live(i));
+    }
+
+    #[test]
+    fn dead_def_not_live() {
+        let mut b = FunctionBuilder::new("dead");
+        let x = b.new_sym(Width::B32);
+        let y = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.load_imm(y, 2); // dead
+        b.ret(Some(x));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        assert!(!lv.is_ever_live(y));
+        // x is consumed within the entry block, so it too never crosses a
+        // block boundary.
+        assert!(!lv.is_ever_live(x));
+        let per = lv.live_before_insts(&f, f.entry());
+        assert!(per[2].contains(x.index()));
+        assert!(!per[2].contains(y.index()));
+    }
+}

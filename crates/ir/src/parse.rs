@@ -1,0 +1,644 @@
+//! Textual IR parser — the inverse of [`display`](crate::display).
+//!
+//! The printer's output parses back to an equal [`Function`], which makes
+//! IR dumps in bug reports and tests executable artefacts:
+//!
+//! ```
+//! use regalloc_ir::{parse_function, FunctionBuilder, Width, BinOp, Operand};
+//!
+//! let mut b = FunctionBuilder::new("f");
+//! let x = b.new_sym(Width::B32);
+//! b.load_imm(x, 4);
+//! b.ret(Some(x));
+//! let f = b.finish();
+//! let round = parse_function(&f.to_string()).unwrap();
+//! assert_eq!(f, round);
+//! ```
+
+use std::fmt;
+
+use crate::func::{Function, FunctionBuilder};
+use crate::ids::{BlockId, PhysReg, SlotId, SymId, Width};
+use crate::inst::{Address, BinOp, Cond, Dst, Inst, Loc, Operand, Scale, UnOp};
+
+/// A parse failure, with a line number and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    line: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line,
+            message: msg.into(),
+        })
+    }
+
+    fn width(&self, s: &str) -> Result<Width, ParseError> {
+        match s {
+            "8" => Ok(Width::B8),
+            "16" => Ok(Width::B16),
+            "32" => Ok(Width::B32),
+            "64" => Ok(Width::B64),
+            _ => self.err(format!("bad width `{s}`")),
+        }
+    }
+
+    fn loc(&self, s: &str) -> Result<Loc, ParseError> {
+        if let Some(n) = s.strip_prefix('s') {
+            if let Ok(v) = n.parse() {
+                return Ok(Loc::Sym(SymId(v)));
+            }
+        }
+        if let Some(n) = s.strip_prefix('r') {
+            if let Ok(v) = n.parse() {
+                return Ok(Loc::Real(PhysReg(v)));
+            }
+        }
+        self.err(format!("bad register `{s}`"))
+    }
+
+    fn operand(&self, s: &str) -> Result<Operand, ParseError> {
+        if let Some(imm) = s.strip_prefix('#') {
+            return match imm.parse() {
+                Ok(v) => Ok(Operand::Imm(v)),
+                Err(_) => self.err(format!("bad immediate `{s}`")),
+            };
+        }
+        if let Some(inner) = s.strip_prefix("[slot") {
+            let inner = inner.trim_end_matches(']');
+            return match inner.parse() {
+                Ok(v) => Ok(Operand::Slot(SlotId(v))),
+                Err(_) => self.err(format!("bad slot `{s}`")),
+            };
+        }
+        Ok(Operand::Loc(self.loc(s)?))
+    }
+
+    fn dst(&self, s: &str) -> Result<Dst, ParseError> {
+        if s.starts_with("[slot") {
+            match self.operand(s)? {
+                Operand::Slot(sl) => Ok(Dst::Slot(sl)),
+                _ => self.err("bad slot destination"),
+            }
+        } else {
+            Ok(Dst::Loc(self.loc(s)?))
+        }
+    }
+
+    fn address(&self, s: &str) -> Result<Address, ParseError> {
+        if let Some(g) = s.strip_prefix("@g") {
+            return match g.parse() {
+                Ok(v) => Ok(Address::Global(v)),
+                Err(_) => self.err(format!("bad global `{s}`")),
+            };
+        }
+        let inner = s
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| ParseError {
+                line: self.line,
+                message: format!("bad address `{s}`"),
+            })?;
+        let mut base = None;
+        let mut index = None;
+        let mut disp = 0i32;
+        let mut any = false;
+        for part in inner.split('+').map(str::trim) {
+            any = true;
+            if let Some((reg, scale)) = part.split_once('*') {
+                let l = self.loc(reg.trim())?;
+                let sc = match scale.trim() {
+                    "1" => Scale::S1,
+                    "2" => Scale::S2,
+                    "4" => Scale::S4,
+                    "8" => Scale::S8,
+                    other => return self.err(format!("bad scale `{other}`")),
+                };
+                index = Some((l, sc));
+            } else if part.starts_with('s') || part.starts_with('r') {
+                base = Some(self.loc(part)?);
+            } else {
+                disp = match part.parse() {
+                    Ok(v) => v,
+                    Err(_) => return self.err(format!("bad displacement `{part}`")),
+                };
+            }
+        }
+        if !any {
+            return self.err("empty address");
+        }
+        Ok(Address::Indirect { base, index, disp })
+    }
+
+    fn block_id(&self, s: &str) -> Result<BlockId, ParseError> {
+        match s.strip_prefix('b').and_then(|x| x.parse().ok()) {
+            Some(v) => Ok(BlockId(v)),
+            None => self.err(format!("bad block `{s}`")),
+        }
+    }
+
+    fn bin_op(&self, s: &str) -> Option<(BinOp, Width)> {
+        for (name, op) in [
+            ("Add", BinOp::Add),
+            ("Sub", BinOp::Sub),
+            ("And", BinOp::And),
+            ("Or", BinOp::Or),
+            ("Xor", BinOp::Xor),
+            ("Mul", BinOp::Mul),
+            ("Shl", BinOp::Shl),
+            ("Shr", BinOp::Shr),
+            ("Sar", BinOp::Sar),
+        ] {
+            if let Some(w) = s.strip_prefix(name) {
+                if let Ok(width) = self.width(w) {
+                    return Some((op, width));
+                }
+            }
+        }
+        None
+    }
+
+    fn un_op(&self, s: &str) -> Option<(UnOp, Width)> {
+        for (name, op) in [("Neg", UnOp::Neg), ("Not", UnOp::Not)] {
+            if let Some(w) = s.strip_prefix(name) {
+                if let Ok(width) = self.width(w) {
+                    return Some((op, width));
+                }
+            }
+        }
+        None
+    }
+
+    fn cond(&self, s: &str) -> Result<Cond, ParseError> {
+        match s {
+            "Eq" => Ok(Cond::Eq),
+            "Ne" => Ok(Cond::Ne),
+            "Lt" => Ok(Cond::Lt),
+            "Le" => Ok(Cond::Le),
+            "Gt" => Ok(Cond::Gt),
+            "Ge" => Ok(Cond::Ge),
+            _ => self.err(format!("bad condition `{s}`")),
+        }
+    }
+
+    fn inst(&self, line: &str) -> Result<Inst, ParseError> {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        // Non-assignment forms first.
+        match toks.as_slice() {
+            ["jump", t] => return Ok(Inst::Jump { target: self.block_id(t)? }),
+            ["ret"] => return Ok(Inst::Ret { val: None }),
+            ["ret", v] => {
+                return Ok(Inst::Ret {
+                    val: Some(self.operand(v)?),
+                })
+            }
+            ["br", cond, lhs, rhs, "?", t, ":", e] => {
+                return Ok(Inst::Branch {
+                    cond: self.cond(cond)?,
+                    lhs: self.operand(lhs.trim_end_matches(','))?,
+                    rhs: self.operand(rhs)?,
+                    width: Width::B32,
+                    then_blk: self.block_id(t)?,
+                    else_blk: self.block_id(e)?,
+                });
+            }
+            [st, ..] if st.starts_with("store") && !line.contains('=') => {
+                let width = self.width(st.trim_start_matches("store"))?;
+                let rest = line.trim_start().trim_start_matches(st).trim();
+                let (addr, src) = rest.rsplit_once(',').ok_or(ParseError {
+                    line: self.line,
+                    message: "store missing operand".into(),
+                })?;
+                return Ok(Inst::Store {
+                    addr: self.address(addr.trim())?,
+                    src: self.operand(src.trim())?,
+                    width,
+                });
+            }
+            [st, slot, src] if st.starts_with("spill_store") => {
+                let width = self.width(st.trim_start_matches("spill_store"))?;
+                let slot = match slot.trim_end_matches(',').strip_prefix("slot") {
+                    Some(n) => SlotId(n.parse().map_err(|_| ParseError {
+                        line: self.line,
+                        message: "bad slot".into(),
+                    })?),
+                    None => return self.err("bad slot"),
+                };
+                return Ok(Inst::SpillStore {
+                    slot,
+                    src: self.loc(src)?,
+                    width,
+                });
+            }
+            _ => {}
+        }
+
+        // Calls without a result have no `=`.
+        if line.trim_start().starts_with("call ") {
+            return self.call("", line.trim());
+        }
+
+        // Assignment forms: `<dst> = <rhs…>`.
+        let (dst_s, rest) = match line.split_once('=') {
+            Some((d, r)) => (d.trim(), r.trim()),
+            None => return self.err(format!("unrecognised instruction `{line}`")),
+        };
+        let rtoks: Vec<&str> = rest.split_whitespace().collect();
+        match rtoks.as_slice() {
+            [op, imm] if op.starts_with("imm") => Ok(Inst::LoadImm {
+                dst: self.loc(dst_s)?,
+                imm: imm.parse().map_err(|_| ParseError {
+                    line: self.line,
+                    message: format!("bad immediate `{imm}`"),
+                })?,
+                width: self.width(op.trim_start_matches("imm"))?,
+            }),
+            [op, src] if op.starts_with("copy") => Ok(Inst::Copy {
+                dst: self.loc(dst_s)?,
+                src: self.loc(src)?,
+                width: self.width(op.trim_start_matches("copy"))?,
+            }),
+            [op, ..] if op.starts_with("load") => Ok(Inst::Load {
+                dst: self.loc(dst_s)?,
+                addr: self.address(rest.trim_start_matches(op).trim())?,
+                width: self.width(op.trim_start_matches("load"))?,
+            }),
+            [op, slot] if op.starts_with("spill_load") => {
+                let slot = match slot.strip_prefix("slot") {
+                    Some(n) => SlotId(n.parse().map_err(|_| ParseError {
+                        line: self.line,
+                        message: "bad slot".into(),
+                    })?),
+                    None => return self.err("bad slot"),
+                };
+                Ok(Inst::SpillLoad {
+                    dst: self.loc(dst_s)?,
+                    slot,
+                    width: self.width(op.trim_start_matches("spill_load"))?,
+                })
+            }
+            [call, rest @ ..] if call.starts_with("call") || dst_s.is_empty() => {
+                let _ = rest;
+                self.call(dst_s, &rtoks.join(" "))
+            }
+            [op, lhs, rhs] if self.bin_op(op).is_some() => {
+                let (bop, width) = self.bin_op(op).unwrap();
+                Ok(Inst::Bin {
+                    op: bop,
+                    dst: self.dst(dst_s)?,
+                    lhs: self.operand(lhs.trim_end_matches(','))?,
+                    rhs: self.operand(rhs)?,
+                    width,
+                })
+            }
+            [op, src] if self.un_op(op).is_some() => {
+                let (uop, width) = self.un_op(op).unwrap();
+                Ok(Inst::Un {
+                    op: uop,
+                    dst: self.dst(dst_s)?,
+                    src: self.operand(src)?,
+                    width,
+                })
+            }
+            _ => self.err(format!("unrecognised instruction `{line}`")),
+        }
+    }
+
+    fn call(&self, dst_s: &str, rest: &str) -> Result<Inst, ParseError> {
+        // `call fnN(a, b, …)`
+        let body = rest.trim().strip_prefix("call").map(str::trim);
+        let Some(body) = body else {
+            return self.err(format!("unrecognised call `{rest}`"));
+        };
+        let Some((callee_s, args_s)) = body.split_once('(') else {
+            return self.err("call missing arguments");
+        };
+        let callee = match callee_s.trim().strip_prefix("fn").and_then(|x| x.parse().ok()) {
+            Some(v) => v,
+            None => return self.err(format!("bad callee `{callee_s}`")),
+        };
+        let args_s = args_s.trim_end_matches(')');
+        let mut args = Vec::new();
+        for a in args_s.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+            args.push(self.operand(a)?);
+        }
+        let ret = if dst_s.is_empty() {
+            None
+        } else {
+            Some(self.loc(dst_s)?)
+        };
+        // Width: the printer does not record it; default to 32 bits (all
+        // call results in this IR are 32-bit).
+        Ok(Inst::Call {
+            callee,
+            ret,
+            args,
+            width: Width::B32,
+        })
+    }
+}
+
+/// Parse the printer's output back into a [`Function`].
+///
+/// Widths of symbolic registers are reconstructed from their definitions
+/// and uses; spill-slot and global tables are rebuilt from the header and
+/// references.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let mut p = Parser { line: 0 };
+    let mut lines = text.lines();
+    // Header: `fn name() {`
+    let header = loop {
+        p.line += 1;
+        match lines.next() {
+            Some(l) if l.trim().is_empty() => continue,
+            Some(l) => break l.trim().to_string(),
+            None => return p.err("empty input"),
+        }
+    };
+    let name = header
+        .strip_prefix("fn ")
+        .and_then(|h| h.split('(').next())
+        .ok_or(ParseError {
+            line: p.line,
+            message: "expected `fn name() {`".into(),
+        })?
+        .to_string();
+
+    let mut b = FunctionBuilder::new(&name);
+    let mut blocks: Vec<(BlockId, Vec<Inst>)> = Vec::new();
+    let mut cur: Option<(BlockId, Vec<Inst>)> = None;
+    let mut globals = 0u32;
+    for l in lines {
+        p.line += 1;
+        let t = l.trim();
+        if t.is_empty() || t == "}" {
+            continue;
+        }
+        if let Some(g) = t.strip_prefix("global g") {
+            // `global gN: W "name" [param] [aliased]`
+            let (_, rest) = g.split_once(':').ok_or(ParseError {
+                line: p.line,
+                message: "bad global line".into(),
+            })?;
+            let mut it = rest.trim().split_whitespace();
+            let width = p.width(it.next().unwrap_or(""))?;
+            let gname = it
+                .next()
+                .unwrap_or("\"g\"")
+                .trim_matches('"')
+                .to_string();
+            let flags: Vec<&str> = it.collect();
+            let gid = if flags.contains(&"param") {
+                b.new_param(&gname, width)
+            } else {
+                b.new_global(&gname, width, 0)
+            };
+            if flags.contains(&"aliased") {
+                b.mark_aliased(gid);
+            }
+            globals += 1;
+            let _ = globals;
+            continue;
+        }
+        if let Some(bid) = t.strip_suffix(':') {
+            if let Some(done) = cur.take() {
+                blocks.push(done);
+            }
+            cur = Some((p.block_id(bid)?, Vec::new()));
+            continue;
+        }
+        let inst = p.inst(t)?;
+        match &mut cur {
+            Some((_, insts)) => insts.push(inst),
+            None => return p.err("instruction before first block label"),
+        }
+    }
+    if let Some(done) = cur.take() {
+        blocks.push(done);
+    }
+    if blocks.is_empty() {
+        return p.err("no blocks");
+    }
+
+    // Reconstruct symbol and slot tables: find the maximum ids referenced
+    // and their widths from defs/uses.
+    let mut max_sym: i64 = -1;
+    let mut max_slot: i64 = -1;
+    for (_, insts) in &blocks {
+        for inst in insts {
+            let mut see = |l: Loc| {
+                if let Loc::Sym(s) = l {
+                    max_sym = max_sym.max(s.0 as i64);
+                }
+            };
+            inst.visit_uses(&mut |l, _| see(l));
+            if let Some((d, _)) = inst.def() {
+                see(d);
+            }
+            let mut slot = |s: SlotId| max_slot = max_slot.max(s.0 as i64);
+            match inst {
+                Inst::SpillLoad { slot: s, .. } | Inst::SpillStore { slot: s, .. } => slot(*s),
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    if let Dst::Slot(s) = dst {
+                        slot(*s);
+                    }
+                    for o in [lhs, rhs] {
+                        if let Operand::Slot(s) = o {
+                            slot(*s);
+                        }
+                    }
+                }
+                Inst::Un { dst, src, .. } => {
+                    if let Dst::Slot(s) = dst {
+                        slot(*s);
+                    }
+                    if let Operand::Slot(s) = src {
+                        slot(*s);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Widths: default 32, refined by defining instructions.
+    let mut widths = vec![Width::B32; (max_sym + 1) as usize];
+    for (_, insts) in &blocks {
+        for inst in insts {
+            if let (Some((Loc::Sym(s), _)), Some(w)) = (inst.def(), inst.width()) {
+                widths[s.index()] = w;
+            }
+        }
+    }
+    for w in &widths {
+        let _ = w;
+    }
+    for (i, w) in widths.iter().enumerate() {
+        let s = b.new_sym(*w);
+        debug_assert_eq!(s.index(), i);
+    }
+
+    // Create the block skeleton: b0 exists; create the rest in order.
+    let nblocks = blocks.iter().map(|(id, _)| id.0 + 1).max().unwrap_or(1);
+    for _ in 1..nblocks {
+        b.block();
+    }
+    for (id, insts) in blocks {
+        b.switch_to(id);
+        for i in insts {
+            b.push(i);
+        }
+    }
+    let mut f = b.finish();
+    for _ in 0..=max_slot {
+        f.add_slot(Width::B32, None);
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Cond, Operand};
+
+    #[test]
+    fn roundtrip_straightline() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_sym(Width::B32);
+        let y = b.new_sym(Width::B32);
+        b.load_imm(x, -7);
+        b.bin(BinOp::Add, y, Operand::sym(x), Operand::Imm(9));
+        b.ret(Some(y));
+        let f = b.finish();
+        let g = parse_function(&f.to_string()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn roundtrip_cfg_and_memory() {
+        let mut b = FunctionBuilder::new("g");
+        let p = b.new_param("a", Width::B32);
+        let gg = b.new_global("G", Width::B32, 0);
+        b.mark_aliased(gg);
+        let x = b.new_sym(Width::B32);
+        let i = b.new_sym(Width::B32);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.load_global(x, p);
+        b.load_imm(i, 0);
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(
+            Cond::Lt,
+            Operand::sym(i),
+            Operand::Imm(3),
+            Width::B32,
+            body,
+            exit,
+        );
+        b.switch_to(body);
+        b.store(
+            Address::Indirect {
+                base: Some(Loc::Sym(x)),
+                index: Some((Loc::Sym(i), Scale::S4)),
+                disp: -8,
+            },
+            Operand::sym(i),
+            Width::B32,
+        );
+        b.bin(BinOp::Add, i, Operand::sym(i), Operand::Imm(1));
+        b.jump(head);
+        b.switch_to(exit);
+        b.store_global(gg, Operand::sym(i));
+        b.call(3, Some(x), vec![Operand::sym(i), Operand::Imm(2)]);
+        b.ret(Some(x));
+        let f = b.finish();
+        let g = parse_function(&f.to_string()).unwrap();
+        // Globals keep identity except initial values (not printed).
+        assert_eq!(f.num_blocks(), g.num_blocks());
+        assert_eq!(f.num_syms(), g.num_syms());
+        for (bi, (fb, gb)) in f
+            .block_ids()
+            .map(|i| (f.block(i), g.block(i)))
+            .enumerate()
+        {
+            assert_eq!(fb.insts, gb.insts, "block {bi}");
+        }
+        assert_eq!(g.globals().len(), 2);
+        assert!(g.global(0).is_param);
+        assert!(g.global(1).aliased);
+    }
+
+    #[test]
+    fn roundtrip_narrow_widths_and_unops() {
+        let mut b = FunctionBuilder::new("h");
+        let a = b.new_sym(Width::B8);
+        let c = b.new_sym(Width::B8);
+        b.load_imm(a, 3);
+        b.un(UnOp::Not, c, Operand::sym(a));
+        b.ret(None);
+        let f = b.finish();
+        let g = parse_function(&f.to_string()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn roundtrip_allocated_with_spills() {
+        let mut b = FunctionBuilder::new("sp");
+        let x = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let s = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            1,
+            Inst::SpillStore {
+                slot: s,
+                src: Loc::Sym(x),
+                width: Width::B32,
+            },
+        );
+        f.block_mut(e).insts.insert(
+            2,
+            Inst::SpillLoad {
+                dst: Loc::Sym(x),
+                slot: s,
+                width: Width::B32,
+            },
+        );
+        let g = parse_function(&f.to_string()).unwrap();
+        assert_eq!(f.block(e).insts, g.block(e).insts);
+        assert_eq!(g.slots().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_function("fn x() {\nb0:\n  gibberish\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+        assert!(parse_function("").is_err());
+        assert!(parse_function("fn only_header() {\n}").is_err());
+    }
+}

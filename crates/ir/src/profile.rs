@@ -1,0 +1,150 @@
+//! Execution-count estimation — the factor *A* of the paper's cost model.
+//!
+//! The paper obtains `A` (the execution count of the instruction an
+//! allocation action applies to) through profiling. This reproduction uses
+//! the standard static substitute: each block's estimated execution count
+//! is `10^d` where `d` is its natural-loop nesting depth, capped to avoid
+//! overflow. The workload generator may also supply measured frequencies
+//! directly via [`Profile::from_freqs`].
+
+use crate::cfg::{Cfg, LoopInfo};
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// Per-block execution-count estimates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    freqs: Vec<u64>,
+}
+
+/// Depth cap for the `10^depth` estimate; deeper nests saturate so the
+/// cost coefficients keep a numerically tractable dynamic range for the
+/// LP solver once multiplied by the paper's `B = 1000` weighting and the
+/// allocator's internal cost scale.
+const MAX_DEPTH: u32 = 3;
+
+impl Profile {
+    /// Estimate execution counts from loop structure: `freq(b) = 10^depth(b)`.
+    pub fn estimate(f: &Function, cfg: &Cfg, loops: &LoopInfo) -> Profile {
+        let freqs = f
+            .block_ids()
+            .map(|b| {
+                if cfg.is_reachable(b) {
+                    10u64.pow(loops.depth(b).min(MAX_DEPTH))
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Profile { freqs }
+    }
+
+    /// Wrap externally measured (or generated) frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs.len()` differs from the function's block count when
+    /// checked by consumers; the constructor itself stores what it is given.
+    pub fn from_freqs(freqs: Vec<u64>) -> Profile {
+        Profile { freqs }
+    }
+
+    /// Estimated execution count of block `b`. Every instruction in `b`
+    /// shares this count.
+    pub fn freq(&self, b: BlockId) -> u64 {
+        self.freqs[b.index()]
+    }
+
+    /// Total estimated dynamic instruction count for the function.
+    pub fn total_insts(&self, f: &Function) -> u64 {
+        f.block_ids()
+            .map(|b| self.freq(b) * f.block(b).insts.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::ids::Width;
+    use crate::inst::{BinOp, Cond, Operand};
+
+    #[test]
+    fn estimates_follow_loop_depth() {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.new_sym(Width::B32);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.load_imm(i, 0);
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(
+            Cond::Lt,
+            Operand::sym(i),
+            Operand::Imm(10),
+            Width::B32,
+            body,
+            exit,
+        );
+        b.switch_to(body);
+        b.bin(BinOp::Add, i, Operand::sym(i), Operand::Imm(1));
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let li = LoopInfo::new(&f, &cfg);
+        let p = Profile::estimate(&f, &cfg, &li);
+        assert_eq!(p.freq(BlockId(0)), 1);
+        assert_eq!(p.freq(head), 10);
+        assert_eq!(p.freq(body), 10);
+        assert_eq!(p.freq(exit), 1);
+        // entry: 2 insts ×1, head: 1 inst ×10, body: 2 insts ×10, exit: 1 ×1.
+        assert_eq!(p.total_insts(&f), 2 + 10 + 20 + 1);
+    }
+
+    #[test]
+    fn explicit_freqs() {
+        let p = Profile::from_freqs(vec![1, 100]);
+        assert_eq!(p.freq(BlockId(1)), 100);
+    }
+
+    #[test]
+    fn depth_saturates() {
+        // Construct nesting deeper than MAX_DEPTH artificially via from_freqs
+        // equivalence: estimate() itself is capped, checked by construction
+        // of an 8-deep nest.
+        let mut fb = FunctionBuilder::new("deep");
+        let x = fb.new_sym(Width::B32);
+        fb.load_imm(x, 0);
+        let mut heads = Vec::new();
+        for _ in 0..8 {
+            heads.push(fb.block());
+        }
+        let exit = fb.block();
+        fb.jump(heads[0]);
+        for d in 0..8 {
+            fb.switch_to(heads[d]);
+            let inner = if d + 1 < 8 { heads[d + 1] } else { exit };
+            let out = if d == 0 { exit } else { heads[d - 1] };
+            fb.branch(
+                Cond::Lt,
+                Operand::sym(x),
+                Operand::Imm(5),
+                Width::B32,
+                inner,
+                out,
+            );
+        }
+        fb.switch_to(exit);
+        fb.ret(Some(x));
+        let f = fb.finish();
+        let cfg = Cfg::new(&f);
+        let li = LoopInfo::new(&f, &cfg);
+        let p = Profile::estimate(&f, &cfg, &li);
+        // Deepest block saturates at 10^MAX_DEPTH.
+        assert_eq!(p.freq(heads[7]), 1_000);
+    }
+}

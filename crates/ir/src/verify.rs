@@ -1,0 +1,329 @@
+//! Structural verifiers for symbolic and allocated functions.
+//!
+//! [`verify_function`] checks the invariants the allocators rely on;
+//! [`verify_allocated`] checks the machine-independent invariants of
+//! allocator output (machine-*dependent* checks — two-address form,
+//! register widths, overlap — live with the machine model, and the
+//! strongest check of all is interpreting both versions and comparing
+//! [`ExecOutcome`](crate::interp::ExecOutcome)s).
+
+use std::fmt;
+
+use crate::func::Function;
+use crate::ids::{BlockId, SymId};
+use crate::inst::{Inst, Loc, Operand};
+
+/// A structural invariant violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A block has no instructions.
+    EmptyBlock(BlockId),
+    /// A block's last instruction is not a terminator.
+    MissingTerminator(BlockId),
+    /// A terminator appears before the end of a block.
+    EarlyTerminator(BlockId, usize),
+    /// A branch or jump targets a block id outside the function.
+    BadTarget(BlockId, BlockId),
+    /// An instruction references a symbolic register id outside the
+    /// function's symbol table.
+    BadSym(BlockId, usize),
+    /// A symbolic register is used with a width different from its
+    /// declared width.
+    WidthMismatch(BlockId, usize, SymId),
+    /// A symbolic-form function contains a physical register.
+    UnexpectedReal(BlockId, usize),
+    /// A symbolic-form function contains a spill-slot operand or spill
+    /// instruction.
+    UnexpectedSlot(BlockId, usize),
+    /// An allocated function still contains a symbolic register.
+    UnallocatedSym(BlockId, usize),
+    /// A spill-slot reference is out of range of the slot table.
+    BadSlot(BlockId, usize),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyBlock(b) => write!(f, "block {b} is empty"),
+            VerifyError::MissingTerminator(b) => write!(f, "block {b} lacks a terminator"),
+            VerifyError::EarlyTerminator(b, i) => {
+                write!(f, "terminator before end of block {b} at {i}")
+            }
+            VerifyError::BadTarget(b, t) => write!(f, "block {b} targets invalid block {t}"),
+            VerifyError::BadSym(b, i) => write!(f, "invalid symbolic register at {b}:{i}"),
+            VerifyError::WidthMismatch(b, i, s) => {
+                write!(f, "width mismatch for {s} at {b}:{i}")
+            }
+            VerifyError::UnexpectedReal(b, i) => {
+                write!(f, "physical register in symbolic function at {b}:{i}")
+            }
+            VerifyError::UnexpectedSlot(b, i) => {
+                write!(f, "spill slot in symbolic function at {b}:{i}")
+            }
+            VerifyError::UnallocatedSym(b, i) => {
+                write!(f, "symbolic register remains after allocation at {b}:{i}")
+            }
+            VerifyError::BadSlot(b, i) => write!(f, "invalid spill slot at {b}:{i}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn check_common(f: &Function, errs: &mut Vec<VerifyError>) {
+    let nb = f.num_blocks() as u32;
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        if insts.is_empty() {
+            errs.push(VerifyError::EmptyBlock(b));
+            continue;
+        }
+        if !insts.last().unwrap().is_terminator() {
+            errs.push(VerifyError::MissingTerminator(b));
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.is_terminator() && i + 1 != insts.len() {
+                errs.push(VerifyError::EarlyTerminator(b, i));
+            }
+            for t in inst.successors() {
+                if t.0 >= nb {
+                    errs.push(VerifyError::BadTarget(b, t));
+                }
+            }
+            // Slot range checks.
+            let mut check_slot = |s: crate::ids::SlotId| {
+                if s.index() >= f.slots().len() {
+                    errs.push(VerifyError::BadSlot(b, i));
+                }
+            };
+            match inst {
+                Inst::SpillLoad { slot, .. } | Inst::SpillStore { slot, .. } => check_slot(*slot),
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    if let crate::inst::Dst::Slot(s) = dst {
+                        check_slot(*s);
+                    }
+                    for o in [lhs, rhs] {
+                        if let Operand::Slot(s) = o {
+                            check_slot(*s);
+                        }
+                    }
+                }
+                Inst::Un { dst, src, .. } => {
+                    if let crate::inst::Dst::Slot(s) = dst {
+                        check_slot(*s);
+                    }
+                    if let Operand::Slot(s) = src {
+                        check_slot(*s);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Verify a symbolic-form function (allocator *input*).
+///
+/// # Errors
+///
+/// Returns every violated invariant: structure, symbol-table ranges,
+/// width consistency, and the absence of physical registers and spill
+/// slots.
+pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    check_common(f, &mut errs);
+    for b in f.block_ids() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            if inst.is_spill() {
+                errs.push(VerifyError::UnexpectedSlot(b, i));
+            }
+            let w = inst.width();
+            let mut visit = |l: Loc| match l {
+                Loc::Sym(s) => {
+                    if s.index() >= f.num_syms() {
+                        errs.push(VerifyError::BadSym(b, i));
+                    } else if let Some(w) = w {
+                        // Address registers are always read at pointer width
+                        // (32 bits), independent of the access width.
+                        let expected = f.sym_width(s);
+                        let is_addr_reg = {
+                            let mut addr = false;
+                            inst.visit_uses(&mut |ul, role| {
+                                if ul == l
+                                    && matches!(
+                                        role,
+                                        crate::inst::UseRole::AddrBase
+                                            | crate::inst::UseRole::AddrIndex { .. }
+                                    )
+                                {
+                                    addr = true;
+                                }
+                            });
+                            addr
+                        };
+                        if is_addr_reg {
+                            if expected != crate::ids::Width::B32 {
+                                errs.push(VerifyError::WidthMismatch(b, i, s));
+                            }
+                        } else if expected != w
+                            && !matches!(inst, Inst::Ret { .. } | Inst::Call { .. })
+                        {
+                            errs.push(VerifyError::WidthMismatch(b, i, s));
+                        }
+                    }
+                }
+                Loc::Real(_) => errs.push(VerifyError::UnexpectedReal(b, i)),
+            };
+            inst.visit_uses(&mut |l, _| visit(l));
+            if let Some((d, _)) = inst.def() {
+                visit(d);
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify the machine-independent invariants of an allocated function
+/// (allocator *output*): structure plus the absence of any remaining
+/// symbolic register.
+///
+/// # Errors
+///
+/// Returns every violated invariant.
+pub fn verify_allocated(f: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    check_common(f, &mut errs);
+    for b in f.block_ids() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            let mut check = |l: Loc| {
+                if matches!(l, Loc::Sym(_)) {
+                    errs.push(VerifyError::UnallocatedSym(b, i));
+                }
+            };
+            inst.visit_uses(&mut |l, _| check(l));
+            if let Some((d, _)) = inst.def() {
+                check(d);
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::ids::{PhysReg, Width};
+    use crate::inst::{BinOp, Dst, Operand};
+
+    fn ok_func() -> Function {
+        let mut b = FunctionBuilder::new("ok");
+        let x = b.new_sym(Width::B32);
+        let y = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.bin(BinOp::Add, y, Operand::sym(x), Operand::Imm(2));
+        b.ret(Some(y));
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        assert!(verify_function(&ok_func()).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        let mut f = ok_func();
+        let e = f.entry();
+        f.block_mut(e).insts.pop();
+        f.block_mut(e).insts.push(Inst::Jump {
+            target: BlockId(99),
+        });
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadTarget(_, _))));
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let mut b = FunctionBuilder::new("wm");
+        let x = b.new_sym(Width::B8);
+        let y = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        b.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::sym(y),
+            lhs: Operand::sym(x), // B8 used at B32
+            rhs: Operand::Imm(0),
+            width: Width::B32,
+        });
+        b.ret(Some(y));
+        let f = b.finish();
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::WidthMismatch(_, _, _))));
+    }
+
+    #[test]
+    fn rejects_real_reg_in_symbolic_form() {
+        let mut f = ok_func();
+        let e = f.entry();
+        f.block_mut(e).insts[0] = Inst::LoadImm {
+            dst: Loc::Real(PhysReg(0)),
+            imm: 1,
+            width: Width::B32,
+        };
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnexpectedReal(_, _))));
+    }
+
+    #[test]
+    fn verify_allocated_rejects_leftover_syms() {
+        let f = ok_func();
+        let errs = verify_allocated(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnallocatedSym(_, _))));
+    }
+
+    #[test]
+    fn rejects_early_terminator() {
+        let mut f = ok_func();
+        let e = f.entry();
+        f.block_mut(e)
+            .insts
+            .insert(0, Inst::Ret { val: None });
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::EarlyTerminator(_, 0))));
+    }
+
+    #[test]
+    fn rejects_bad_slot() {
+        let mut f = ok_func();
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::SpillStore {
+                slot: crate::ids::SlotId(5),
+                src: Loc::Real(PhysReg(0)),
+                width: Width::B32,
+            },
+        );
+        let errs = verify_allocated(&f).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::BadSlot(_, _))));
+    }
+}

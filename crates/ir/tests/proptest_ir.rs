@@ -1,0 +1,87 @@
+//! Property-based tests of IR substrate invariants.
+
+use proptest::prelude::*;
+use regalloc_ir::liveness::BitSet;
+use regalloc_ir::{BinOp, Cond, UnOp, Width};
+use std::collections::BTreeSet;
+
+fn widths() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::B8),
+        Just(Width::B16),
+        Just(Width::B32),
+        Just(Width::B64)
+    ]
+}
+
+proptest! {
+    /// BitSet behaves like a set of usize.
+    #[test]
+    fn bitset_models_btreeset(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..60)) {
+        let mut bs = BitSet::new(200);
+        let mut model = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                bs.insert(i);
+                model.insert(i);
+            } else {
+                bs.remove(i);
+                model.remove(&i);
+            }
+        }
+        prop_assert_eq!(bs.len(), model.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        for i in 0..200 {
+            prop_assert_eq!(bs.contains(i), model.contains(&i));
+        }
+    }
+
+    /// Union is idempotent and monotone.
+    #[test]
+    fn bitset_union_properties(a in proptest::collection::btree_set(0usize..128, 0..40),
+                               b in proptest::collection::btree_set(0usize..128, 0..40)) {
+        let mut x = BitSet::new(128);
+        for &i in &a { x.insert(i); }
+        let mut y = BitSet::new(128);
+        for &i in &b { y.insert(i); }
+        let changed = x.union_with(&y);
+        prop_assert_eq!(changed, !b.is_subset(&a));
+        prop_assert!(!x.union_with(&y), "second union is a no-op");
+        for &i in a.union(&b) {
+            prop_assert!(x.contains(i));
+        }
+    }
+
+    /// Truncation is idempotent and bounded by the mask.
+    #[test]
+    fn width_truncate_idempotent(v in any::<u64>(), w in widths()) {
+        let t = w.truncate(v);
+        prop_assert_eq!(w.truncate(t), t);
+        prop_assert!(t <= w.mask());
+    }
+
+    /// Binary operations stay within their width.
+    #[test]
+    fn binop_results_fit_width(a in any::<u64>(), b in any::<u64>(), w in widths()) {
+        for op in [BinOp::Add, BinOp::Sub, BinOp::And, BinOp::Or, BinOp::Xor,
+                   BinOp::Mul, BinOp::Shl, BinOp::Shr, BinOp::Sar] {
+            let r = op.eval(w, a, b);
+            prop_assert!(r <= w.mask(), "{op:?} overflowed: {r:#x}");
+        }
+        for op in [UnOp::Neg, UnOp::Not] {
+            prop_assert!(op.eval(w, a) <= w.mask());
+        }
+    }
+
+    /// Commutative operations commute; conditions are coherent.
+    #[test]
+    fn semantics_laws(a in any::<u64>(), b in any::<u64>(), w in widths()) {
+        for op in [BinOp::Add, BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Mul] {
+            prop_assert_eq!(op.eval(w, a, b), op.eval(w, b, a), "{:?}", op);
+        }
+        prop_assert_eq!(Cond::Eq.eval(w, a, b), !Cond::Ne.eval(w, a, b));
+        prop_assert_eq!(Cond::Lt.eval(w, a, b), !Cond::Ge.eval(w, a, b));
+        prop_assert_eq!(Cond::Le.eval(w, a, b), Cond::Lt.eval(w, a, b) || Cond::Eq.eval(w, a, b));
+        prop_assert_eq!(Cond::Gt.eval(w, a, b), Cond::Lt.eval(w, b, a));
+    }
+}

@@ -1,0 +1,36 @@
+//! Dump a generated workload as textual IR (one function after another),
+//! suitable for inspection or for feeding back through
+//! `examples/allocate_file.rs`.
+//!
+//! ```console
+//! $ cargo run --release -p regalloc-workloads --bin gen_workload -- xlisp 0.05 42
+//! ```
+//!
+//! Arguments: benchmark name (default `compress`), scale (default 0.1),
+//! seed (default 1998).
+
+use regalloc_workloads::{Benchmark, Suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = match args.first().map(String::as_str) {
+        None | Some("compress") => Benchmark::Compress,
+        Some("eqntott") => Benchmark::Eqntott,
+        Some("xlisp") => Benchmark::Xlisp,
+        Some("sc") => Benchmark::Sc,
+        Some("espresso") => Benchmark::Espresso,
+        Some("cc1") => Benchmark::Cc1,
+        Some(other) => panic!("unknown benchmark `{other}`"),
+    };
+    let scale: f64 = args.get(1).map_or(0.1, |s| s.parse().expect("scale"));
+    let seed: u64 = args.get(2).map_or(1998, |s| s.parse().expect("seed"));
+    let suite = Suite::generate_scaled(bench, seed, scale);
+    eprintln!(
+        "; {} functions, {} instructions total",
+        suite.functions.len(),
+        suite.total_insts()
+    );
+    for f in &suite.functions {
+        println!("{f}\n");
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests over the workload generator: every generated
+//! function is well-formed, terminates, and round-trips through both
+//! allocators with identical behaviour.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use regalloc_ir::{verify_function, ExecStatus, Interp, InterpConfig, SymRegFile};
+use regalloc_workloads::{generate_function, GenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural well-formedness and termination for arbitrary seeds and
+    /// sizes.
+    #[test]
+    fn generated_functions_are_well_formed(seed in any::<u64>(), size in 3usize..70) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = generate_function("pt", &mut rng, &GenConfig {
+            target_insts: size,
+            ..Default::default()
+        });
+        prop_assert!(verify_function(&f).is_ok());
+        let out = Interp::new(&f, SymRegFile, InterpConfig::default(), &[5, 9, 13]).run();
+        prop_assert_eq!(out.status, ExecStatus::Returned);
+        // Determinism.
+        let out2 = Interp::new(&f, SymRegFile, InterpConfig::default(), &[5, 9, 13]).run();
+        prop_assert_eq!(out, out2);
+    }
+
+    /// The textual printer and parser are inverses on arbitrary generated
+    /// functions (globals lose only their unprinted initial values, so the
+    /// comparison goes through a second print).
+    #[test]
+    fn print_parse_roundtrip(seed in any::<u64>(), size in 3usize..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = generate_function("pt", &mut rng, &GenConfig {
+            target_insts: size,
+            ..Default::default()
+        });
+        let text = f.to_string();
+        let parsed = regalloc_ir::parse_function(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(text, parsed.to_string());
+    }
+
+    /// Allocation correctness fuzz: the coloring baseline (cheap enough to
+    /// run under proptest) must preserve behaviour on arbitrary generated
+    /// functions. The IP allocator gets the same treatment in the
+    /// `end_to_end` integration tests with curated budgets.
+    #[test]
+    fn coloring_preserves_semantics(seed in any::<u64>(), size in 3usize..40) {
+        use regalloc_coloring::ColoringAllocator;
+        use regalloc_core::check;
+        use regalloc_x86::{X86Machine, X86RegFile};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = generate_function("pt", &mut rng, &GenConfig {
+            target_insts: size,
+            ..Default::default()
+        });
+        let m = X86Machine::pentium();
+        let out = ColoringAllocator::new(&m).allocate(&f).unwrap();
+        prop_assert!(regalloc_ir::verify_allocated(&out.func).is_ok());
+        prop_assert!(check::equivalent::<X86RegFile>(&f, &out.func, 2, seed).is_ok(),
+            "divergence on seed {seed}");
+    }
+}

@@ -1,0 +1,277 @@
+//! x86 instruction-size model.
+//!
+//! A simplified but faithful-in-shape encoding model used for code-size
+//! reporting and for the §5.4 cost rules: opcode + ModRM baseline, 16-bit
+//! operand-size prefixes, short immediate forms for the accumulator
+//! (§5.4.1), displacement sizing, SIB bytes, and the ESP/EBP addressing
+//! penalties (§5.4.2).
+//!
+//! Only *relative* sizes matter to the allocators (their cost model works
+//! in deltas); this module also pins the absolute sizes the paper's
+//! Table 1 relies on: spill loads/stores 3 bytes, copies 2 bytes.
+
+use regalloc_ir::{Address, Dst, Inst, Loc, Operand, Width};
+
+use crate::regs::{EBP, ESP};
+use crate::x86::X86Machine;
+
+fn imm_bytes(v: i64) -> u64 {
+    if (-128..=127).contains(&v) {
+        1
+    } else {
+        4
+    }
+}
+
+/// Operand-size prefix for 16-bit operations.
+fn prefix(width: Width) -> u64 {
+    u64::from(width == Width::B16)
+}
+
+/// Extra bytes contributed by an effective-address specification,
+/// including the §5.4.2 penalties.
+pub fn addr_bytes(addr: &Address) -> u64 {
+    match addr {
+        Address::Global(_) => 4, // disp32, ModRM counted in the base
+        Address::Indirect { base, index, disp } => {
+            let mut sz = 0;
+            if index.is_some() {
+                sz += 1; // SIB byte
+            }
+            if let Some(Loc::Real(b)) = base {
+                if *b == ESP && index.is_none() {
+                    sz += 1; // ESP base forces a SIB byte (§5.4.2)
+                }
+                if *b == EBP && *disp == 0 && index.is_none() {
+                    sz += 1; // [EBP] has no disp-less encoding (§5.4.2)
+                }
+            }
+            if *disp != 0 {
+                sz += imm_bytes(*disp as i64);
+            }
+            if base.is_none() && index.is_none() {
+                sz += 4; // absolute disp32
+            }
+            sz
+        }
+    }
+}
+
+fn operand_bytes(o: &Operand) -> u64 {
+    match o {
+        Operand::Loc(_) => 0,
+        Operand::Imm(v) => imm_bytes(*v),
+        Operand::Slot(_) => 2, // ModRM memory form: disp8 off the frame
+    }
+}
+
+/// Encoded size of an instruction in bytes.
+///
+/// The machine is consulted for the §5.4.1 short-form rule (accumulator
+/// operand with an immediate saves one byte).
+pub fn x86_inst_size(_m: &X86Machine, inst: &Inst) -> u64 {
+    match inst {
+        // mov r32, imm32 = 5; mov r16, imm16 = 4 (prefix + op + imm16);
+        // mov r8, imm8 = 2.
+        Inst::LoadImm { width, .. } => match width {
+            Width::B8 => 2,
+            Width::B16 => 4,
+            _ => 5,
+        },
+        // mov r, r = opcode + ModRM.
+        Inst::Copy { width, .. } => 2 + prefix(*width),
+        Inst::Load { addr, width, .. } | Inst::Store { addr, width, .. } => {
+            2 + prefix(*width) + addr_bytes(addr)
+        }
+        Inst::Bin {
+            dst,
+            lhs,
+            rhs,
+            width,
+            ..
+        } => {
+            let mut sz = 2 + prefix(*width);
+            sz += operand_bytes(rhs);
+            if matches!(dst, Dst::Slot(_)) || matches!(lhs, Operand::Slot(_)) {
+                sz += 2; // memory ModRM form
+            }
+            // §5.4.1: the accumulator short form drops the ModRM byte.
+            if X86Machine::has_short_imm_form(inst) {
+                if let Operand::Loc(Loc::Real(r)) = lhs {
+                    if *r == X86Machine::acc_reg(*width) {
+                        sz -= 1;
+                    }
+                }
+            }
+            sz
+        }
+        Inst::Un { dst, src, width, .. } => {
+            let mut sz = 2 + prefix(*width);
+            if matches!(dst, Dst::Slot(_)) || matches!(src, Operand::Slot(_)) {
+                sz += 2;
+            }
+            sz
+        }
+        Inst::Call { args, .. } => {
+            // push per argument (1 byte reg / 2+ imm) + call rel32.
+            5 + args
+                .iter()
+                .map(|a| match a {
+                    Operand::Loc(_) => 1,
+                    Operand::Imm(v) => 1 + imm_bytes(*v),
+                    Operand::Slot(_) => 3,
+                })
+                .sum::<u64>()
+        }
+        // Table 1: spill load/store are 3 bytes (ModRM + disp8 frame slot).
+        Inst::SpillLoad { .. } | Inst::SpillStore { .. } => 3,
+        Inst::Jump { .. } => 2,
+        // cmp (2 + operand) + jcc rel8 (2).
+        Inst::Branch { lhs, rhs, width, .. } => {
+            4 + prefix(*width) + operand_bytes(lhs) + operand_bytes(rhs)
+        }
+        Inst::Ret { .. } => 1,
+    }
+}
+
+/// Total encoded size of a function in bytes.
+pub fn function_size(m: &X86Machine, f: &regalloc_ir::Function) -> u64 {
+    f.insts().map(|(_, _, i)| x86_inst_size(m, i)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{EAX, EBX};
+    use regalloc_ir::{BinOp, PhysReg, SlotId};
+
+    fn real(r: PhysReg) -> Operand {
+        Operand::Loc(Loc::Real(r))
+    }
+
+    #[test]
+    fn table1_spill_sizes() {
+        let m = X86Machine::pentium();
+        let ld = Inst::SpillLoad {
+            dst: Loc::Real(EAX),
+            slot: SlotId(0),
+            width: Width::B32,
+        };
+        let st = Inst::SpillStore {
+            slot: SlotId(0),
+            src: Loc::Real(EAX),
+            width: Width::B32,
+        };
+        let cp = Inst::Copy {
+            dst: Loc::Real(EAX),
+            src: Loc::Real(EBX),
+            width: Width::B32,
+        };
+        assert_eq!(x86_inst_size(&m, &ld), 3);
+        assert_eq!(x86_inst_size(&m, &st), 3);
+        assert_eq!(x86_inst_size(&m, &cp), 2);
+    }
+
+    #[test]
+    fn short_form_saves_one_byte_for_eax() {
+        let m = X86Machine::pentium();
+        let mk = |r| Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(r)),
+            lhs: real(r),
+            rhs: Operand::Imm(1000), // imm32
+            width: Width::B32,
+        };
+        let eax = x86_inst_size(&m, &mk(EAX));
+        let ebx = x86_inst_size(&m, &mk(EBX));
+        assert_eq!(ebx - eax, 1, "§5.4.1: accumulator form is one byte shorter");
+    }
+
+    #[test]
+    fn esp_base_penalty_in_sizes() {
+        let m = X86Machine::with_esp();
+        let mk = |r| Inst::Load {
+            dst: Loc::Real(EAX),
+            addr: Address::Indirect {
+                base: Some(Loc::Real(r)),
+                index: None,
+                disp: 8,
+            },
+            width: Width::B32,
+        };
+        let esp = x86_inst_size(&m, &mk(ESP));
+        let ebx = x86_inst_size(&m, &mk(EBX));
+        assert_eq!(esp - ebx, 1, "§5.4.2: [disp8+ESP] needs the SIB byte");
+    }
+
+    #[test]
+    fn bare_ebp_penalty_in_sizes() {
+        let m = X86Machine::with_frame_pointer_free();
+        let mk = |r, disp| Inst::Load {
+            dst: Loc::Real(EAX),
+            addr: Address::Indirect {
+                base: Some(Loc::Real(r)),
+                index: None,
+                disp,
+            },
+            width: Width::B32,
+        };
+        // [EBP] pays; disp8[EBP] is the same size as disp8[EBX]+0?
+        let ebp0 = x86_inst_size(&m, &mk(EBP, 0));
+        let ebx0 = x86_inst_size(&m, &mk(EBX, 0));
+        assert_eq!(ebp0 - ebx0, 1, "§5.4.2: [EBP] has no disp-less form");
+        let ebp8 = x86_inst_size(&m, &mk(EBP, 8));
+        let ebx8 = x86_inst_size(&m, &mk(EBX, 8));
+        assert_eq!(ebp8, ebx8);
+    }
+
+    #[test]
+    fn sixteen_bit_prefix_counts() {
+        let m = X86Machine::pentium();
+        let mk = |w| Inst::Copy {
+            dst: Loc::Real(EAX),
+            src: Loc::Real(EBX),
+            width: w,
+        };
+        assert_eq!(
+            x86_inst_size(&m, &mk(Width::B16)) - x86_inst_size(&m, &mk(Width::B32)),
+            1
+        );
+    }
+
+    #[test]
+    fn imm_width_affects_size() {
+        let m = X86Machine::pentium();
+        let mk = |v| Inst::Bin {
+            op: BinOp::Xor,
+            dst: Dst::Loc(Loc::Real(EBX)),
+            lhs: real(EBX),
+            rhs: Operand::Imm(v),
+            width: Width::B32,
+        };
+        assert_eq!(x86_inst_size(&m, &mk(5000)) - x86_inst_size(&m, &mk(5)), 3);
+    }
+
+    #[test]
+    fn mem_operand_adds_modrm_bytes() {
+        let m = X86Machine::pentium();
+        let reg_form = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(EAX)),
+            lhs: real(EAX),
+            rhs: real(EBX),
+            width: Width::B32,
+        };
+        let mem_form = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(EAX)),
+            lhs: real(EAX),
+            rhs: Operand::Slot(SlotId(0)),
+            width: Width::B32,
+        };
+        assert_eq!(
+            x86_inst_size(&m, &mem_form) - x86_inst_size(&m, &reg_form),
+            2
+        );
+    }
+}

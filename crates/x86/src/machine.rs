@@ -1,0 +1,160 @@
+//! The [`Machine`] abstraction consumed by both register allocators.
+
+use regalloc_ir::{Inst, PhysReg, UseRole, Width};
+
+/// Costs of the spill-code instruction repertoire, in processor cycles and
+/// instruction bytes — the inputs to the paper's cost model, eq. (1).
+///
+/// For the x86 these are exactly Table 1 of the paper (Pentium timings):
+/// load/store/rematerialisation 1 cycle & 3 bytes, copy 1 cycle & 2 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpillCosts {
+    /// Cycles of a spill load.
+    pub load_cycles: u64,
+    /// Bytes of a spill load.
+    pub load_bytes: u64,
+    /// Cycles of a spill store.
+    pub store_cycles: u64,
+    /// Bytes of a spill store.
+    pub store_bytes: u64,
+    /// Cycles of a rematerialising constant load.
+    pub remat_cycles: u64,
+    /// Bytes of a rematerialising constant load.
+    pub remat_bytes: u64,
+    /// Cycles of a register-register copy.
+    pub copy_cycles: u64,
+    /// Bytes of a register-register copy.
+    pub copy_bytes: u64,
+    /// Extra cycles when an instruction takes one operand directly from
+    /// memory instead of a register (§5.2 separate memory specifier).
+    pub mem_use_extra_cycles: u64,
+    /// Extra bytes for the memory specifier of such an operand.
+    pub mem_use_extra_bytes: u64,
+    /// Extra cycles for a combined source/destination *memory* operand
+    /// (read-modify-write, §5.2).
+    pub mem_combined_extra_cycles: u64,
+    /// Extra bytes for the combined memory specifier.
+    pub mem_combined_extra_bytes: u64,
+}
+
+/// Register restrictions and per-register encoding costs for one operand
+/// position of one instruction.
+///
+/// This single mechanism expresses all of §3.2 and §5.4:
+///
+/// * implicit registers (a shift count must sit in CL) → [`allowed`],
+/// * exclusions (ESP cannot be a scaled index, §5.4.3) → [`allowed`],
+/// * per-register size differences (the §5.4.1 AL/AX/EAX short opcodes and
+///   the §5.4.2 ESP/EBP addressing-mode penalties) → [`size_penalty`],
+///   expressed as non-negative extra bytes relative to the cheapest
+///   register so the IP model's costs stay non-negative.
+///
+/// [`allowed`]: OperandConstraint::allowed
+/// [`size_penalty`]: OperandConstraint::size_penalty
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct OperandConstraint {
+    /// When `Some`, only these registers may hold the operand (already
+    /// intersected with the width class).
+    pub allowed: Option<Vec<PhysReg>>,
+    /// Extra instruction bytes when the operand lives in the given
+    /// register (registers not listed cost nothing extra).
+    pub size_penalty: Vec<(PhysReg, u64)>,
+}
+
+impl OperandConstraint {
+    /// A fully unconstrained operand.
+    pub fn any() -> OperandConstraint {
+        OperandConstraint::default()
+    }
+
+    /// The size penalty for holding the operand in `r`.
+    pub fn penalty(&self, r: PhysReg) -> u64 {
+        self.size_penalty
+            .iter()
+            .find(|(p, _)| *p == r)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    /// True if `r` may hold the operand.
+    pub fn admits(&self, r: PhysReg) -> bool {
+        self.allowed.as_ref().is_none_or(|a| a.contains(&r))
+    }
+}
+
+/// A target machine, as seen by the register allocators.
+///
+/// Implementations: [`X86Machine`](crate::X86Machine) (irregular) and
+/// [`RiscMachine`](crate::RiscMachine) (uniform).
+pub trait Machine {
+    /// Human-readable machine name.
+    fn name(&self) -> &str;
+
+    /// The allocatable registers able to hold a value of width `w`.
+    fn regs_for_width(&self, w: Width) -> &[PhysReg];
+
+    /// Maximal register sets sharing a single underlying bit field (§5.3).
+    /// On regular machines every group is a singleton. Only allocatable
+    /// registers appear.
+    fn overlap_groups(&self) -> &[Vec<PhysReg>];
+
+    /// All allocatable registers whose bits intersect `r` (including `r`).
+    fn aliases(&self, r: PhysReg) -> &[PhysReg];
+
+    /// True if a call destroys `r`.
+    fn is_caller_saved(&self, r: PhysReg) -> bool;
+
+    /// Architectural width of `r`.
+    fn reg_width(&self, r: PhysReg) -> Width;
+
+    /// Architectural name of `r`.
+    fn reg_name(&self, r: PhysReg) -> &'static str;
+
+    /// True if `inst` uses a combined source/destination specifier (§5.1):
+    /// its destination register must equal its first source (or either
+    /// source, when the operation is commutative).
+    fn is_two_address(&self, inst: &Inst) -> bool;
+
+    /// Register restrictions and per-register size costs for the use of a
+    /// `width`-wide value in position `role` of `inst`.
+    fn use_constraints(&self, inst: &Inst, role: UseRole, width: Width) -> OperandConstraint;
+
+    /// Register restrictions and per-register size costs for `inst`'s
+    /// definition of a `width`-wide value.
+    fn def_constraints(&self, inst: &Inst, width: Width) -> OperandConstraint;
+
+    /// True if position `role` of `inst` may take its operand directly
+    /// from memory (§5.2 separate memory specifier).
+    fn mem_use_ok(&self, inst: &Inst, role: UseRole) -> bool;
+
+    /// True if `inst` supports a combined source/destination *memory*
+    /// specifier (read-modify-write on one memory location, §5.2).
+    fn mem_combined_ok(&self, inst: &Inst) -> bool;
+
+    /// The spill-code cost table.
+    fn spill_costs(&self) -> &SpillCosts;
+
+    /// Encoded size in bytes of an (allocated) instruction; drives the
+    /// code-size reporting and the encoding model tests.
+    fn inst_size(&self, inst: &Inst) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_constraint_queries() {
+        let c = OperandConstraint {
+            allowed: Some(vec![PhysReg(2)]),
+            size_penalty: vec![(PhysReg(7), 1)],
+        };
+        assert!(c.admits(PhysReg(2)));
+        assert!(!c.admits(PhysReg(3)));
+        assert_eq!(c.penalty(PhysReg(7)), 1);
+        assert_eq!(c.penalty(PhysReg(2)), 0);
+        let any = OperandConstraint::any();
+        assert!(any.admits(PhysReg(0)));
+        assert_eq!(any.penalty(PhysReg(0)), 0);
+    }
+}

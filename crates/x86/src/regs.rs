@@ -1,0 +1,127 @@
+//! The x86 register namespace and its overlap structure.
+//!
+//! Every architecturally distinct register name gets its own
+//! [`PhysReg`] index; the bit-field sharing of §3.1 / Fig. 3 of the paper
+//! (AL and AH are the two low bytes of AX, which is the low half of EAX)
+//! is expressed through [`base_of`]/[`field_of`] and consumed by the
+//! machine model's overlap groups and by [`X86RegFile`](crate::X86RegFile).
+
+use regalloc_ir::{PhysReg, Width};
+
+macro_rules! defreg {
+    ($($name:ident = $idx:expr;)*) => {
+        $(
+            #[doc = concat!("The x86 `", stringify!($name), "` register.")]
+            pub const $name: PhysReg = PhysReg($idx);
+        )*
+    };
+}
+
+defreg! {
+    EAX = 0; EBX = 1; ECX = 2; EDX = 3; ESI = 4; EDI = 5; ESP = 6; EBP = 7;
+    AX = 8; BX = 9; CX = 10; DX = 11; SI = 12; DI = 13;
+    AL = 14; BL = 15; CL = 16; DL = 17;
+    AH = 18; BH = 19; CH = 20; DH = 21;
+}
+
+/// Total number of x86 register names the model knows.
+pub const NUM_REGS: usize = 22;
+
+/// The index of the 32-bit base register `r` belongs to (0 = EAX family …
+/// 7 = EBP).
+pub fn base_of(r: PhysReg) -> usize {
+    match r.0 {
+        0..=7 => r.0 as usize,
+        8..=13 => (r.0 - 8) as usize,
+        14..=17 => (r.0 - 14) as usize,
+        18..=21 => (r.0 - 18) as usize,
+        _ => panic!("not an x86 register: {r}"),
+    }
+}
+
+/// The bit field `(shift, bits)` of `r` within its 32-bit base.
+pub fn field_of(r: PhysReg) -> (u32, u32) {
+    match r.0 {
+        0..=7 => (0, 32),
+        8..=13 => (0, 16),
+        14..=17 => (0, 8),
+        18..=21 => (8, 8),
+        _ => panic!("not an x86 register: {r}"),
+    }
+}
+
+/// The architectural width of `r`.
+pub fn width_of(r: PhysReg) -> Width {
+    match field_of(r).1 {
+        8 => Width::B8,
+        16 => Width::B16,
+        _ => Width::B32,
+    }
+}
+
+/// True if `a` and `b` share any bits (reflexive).
+pub fn overlaps(a: PhysReg, b: PhysReg) -> bool {
+    if base_of(a) != base_of(b) {
+        return false;
+    }
+    let (sa, ba) = field_of(a);
+    let (sb, bb) = field_of(b);
+    sa < sb + bb && sb < sa + ba
+}
+
+/// The architectural name of `r`.
+pub fn name_of(r: PhysReg) -> &'static str {
+    const NAMES: [&str; NUM_REGS] = [
+        "eax", "ebx", "ecx", "edx", "esi", "edi", "esp", "ebp", "ax", "bx", "cx", "dx", "si",
+        "di", "al", "bl", "cl", "dl", "ah", "bh", "ch", "dh",
+    ];
+    NAMES[r.0 as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_families() {
+        assert_eq!(base_of(EAX), 0);
+        assert_eq!(base_of(AX), 0);
+        assert_eq!(base_of(AL), 0);
+        assert_eq!(base_of(AH), 0);
+        assert_eq!(base_of(DH), 3);
+        assert_eq!(base_of(DI), 5);
+        assert_eq!(base_of(EBP), 7);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(width_of(EAX), Width::B32);
+        assert_eq!(width_of(SI), Width::B16);
+        assert_eq!(width_of(CH), Width::B8);
+    }
+
+    #[test]
+    fn overlap_structure_matches_fig3() {
+        // Fig. 3: EAX ⊇ AX ⊇ {AL, AH}.
+        assert!(overlaps(EAX, AX));
+        assert!(overlaps(EAX, AL));
+        assert!(overlaps(EAX, AH));
+        assert!(overlaps(AX, AL));
+        assert!(overlaps(AX, AH));
+        // AL and AH are disjoint bytes.
+        assert!(!overlaps(AL, AH));
+        // Different families never overlap.
+        assert!(!overlaps(EAX, EBX));
+        assert!(!overlaps(AL, BL));
+        assert!(!overlaps(CX, EDX));
+        // Reflexive.
+        assert!(overlaps(ESI, ESI));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(name_of(EAX), "eax");
+        assert_eq!(name_of(AH), "ah");
+        assert_eq!(name_of(EBP), "ebp");
+    }
+}

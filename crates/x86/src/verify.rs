@@ -1,0 +1,313 @@
+//! Machine-aware static verification of allocated functions.
+//!
+//! The IR crate's [`verify_allocated`](regalloc_ir::verify_allocated)
+//! checks machine-independent structure; this module checks the *machine*
+//! invariants an allocator must establish:
+//!
+//! * every physical register holding a value of width *w* belongs to the
+//!   machine's width-*w* class;
+//! * two-address instructions have their destination equal to their first
+//!   source register (§5.1);
+//! * pinned operands sit in an admitted register (shift counts in the CL
+//!   family, return values in the accumulator — §3.2);
+//! * memory operands appear only in positions the machine supports, at
+//!   most one per instruction (§5.2).
+//!
+//! Together with interpreter equivalence this gives belt-and-braces
+//! coverage: the interpreter proves behaviour on sampled inputs, the
+//! static check proves encodability on every path.
+
+use std::fmt;
+
+use regalloc_ir::{Dst, Function, Inst, Loc, Operand, PhysReg, UseRole, Width};
+
+use crate::machine::Machine;
+
+/// A machine-invariant violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachineError {
+    /// Block index.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}:{}: {}", self.block, self.inst, self.message)
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+fn width_ok<M: Machine>(m: &M, r: PhysReg, w: Width) -> bool {
+    m.regs_for_width(w).contains(&r)
+}
+
+/// Check every machine invariant of an allocated function.
+///
+/// # Errors
+///
+/// Returns all violations found.
+pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<MachineError>> {
+    let mut errs = Vec::new();
+    for b in f.block_ids() {
+        for (ii, inst) in f.block(b).insts.iter().enumerate() {
+            let mut err = |msg: String| {
+                errs.push(MachineError {
+                    block: b.0,
+                    inst: ii,
+                    message: msg,
+                })
+            };
+
+            // Width classes, pinning and per-position memory rules for
+            // every use.
+            let mut mem_operands = 0usize;
+            inst.visit_uses(&mut |l, role| {
+                if let Loc::Real(r) = l {
+                    let w = match role {
+                        UseRole::AddrBase | UseRole::AddrIndex { .. } => Width::B32,
+                        // A return's width is the returned register's own
+                        // class (8-bit values come back in AL).
+                        UseRole::RetVal => m.reg_width(r),
+                        _ => inst.width().unwrap_or(Width::B32),
+                    };
+                    if !width_ok(m, r, w) {
+                        err(format!("{} is not a width-{} register in `{inst}`", m.reg_name(r), w.bits()));
+                    }
+                    let c = m.use_constraints(inst, role, w);
+                    if !c.admits(r) {
+                        err(format!(
+                            "{} not admitted for {role:?} in `{inst}`",
+                            m.reg_name(r)
+                        ));
+                    }
+                }
+            });
+            match inst {
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    for (o, role) in [(lhs, UseRole::Src1), (rhs, UseRole::Src2)] {
+                        if matches!(o, Operand::Slot(_)) {
+                            mem_operands += 1;
+                            let combined = matches!(dst, Dst::Slot(_)) && role == UseRole::Src1;
+                            if combined {
+                                if !m.mem_combined_ok(inst) {
+                                    err(format!("no combined memory form for `{inst}`"));
+                                }
+                            } else if !m.mem_use_ok(inst, role) {
+                                err(format!("no memory operand allowed at {role:?} in `{inst}`"));
+                            }
+                        }
+                    }
+                    if let Dst::Slot(s) = dst {
+                        match lhs {
+                            Operand::Slot(s2) if s2 == s => {}
+                            _ => err(format!("memory destination without combined source in `{inst}`")),
+                        }
+                    }
+                }
+                Inst::Un { dst, src, .. } => {
+                    if matches!(src, Operand::Slot(_)) {
+                        mem_operands += 1;
+                        if !(matches!(dst, Dst::Slot(_)) && m.mem_combined_ok(inst)) {
+                            err(format!("bad memory operand in `{inst}`"));
+                        }
+                    }
+                }
+                Inst::Branch { lhs, rhs, .. } => {
+                    for (o, role) in [(lhs, UseRole::BranchLhs), (rhs, UseRole::BranchRhs)] {
+                        if matches!(o, Operand::Slot(_)) {
+                            mem_operands += 1;
+                            if !m.mem_use_ok(inst, role) {
+                                err(format!("no memory operand at {role:?} in `{inst}`"));
+                            }
+                        }
+                    }
+                }
+                Inst::Call { args, .. } => {
+                    for a in args {
+                        if matches!(a, Operand::Slot(_)) {
+                            mem_operands += 1;
+                            if !m.mem_use_ok(inst, UseRole::CallArg) {
+                                err(format!("no memory argument allowed in `{inst}`"));
+                            }
+                        }
+                    }
+                }
+                Inst::Store { src, .. } => {
+                    if matches!(src, Operand::Slot(_)) {
+                        err(format!("memory-to-memory store `{inst}`"));
+                    }
+                }
+                _ => {}
+            }
+            if mem_operands > 1 {
+                err(format!("{mem_operands} memory operands in one instruction `{inst}`"));
+            }
+
+            // Definition width class + pinning.
+            if let Some((Loc::Real(r), w)) = inst.def() {
+                if !width_ok(m, r, w) {
+                    err(format!("definition register {} outside width-{} class", m.reg_name(r), w.bits()));
+                }
+                let dc = m.def_constraints(inst, w);
+                if !dc.admits(r) {
+                    err(format!("definition register {} not admitted in `{inst}`", m.reg_name(r)));
+                }
+            }
+
+            // Two-address form (§5.1): dst register equals the combined
+            // source register.
+            if m.is_two_address(inst) {
+                let pair = match inst {
+                    Inst::Bin { dst, lhs, .. } => Some((dst, lhs)),
+                    Inst::Un { dst, src, .. } => Some((dst, src)),
+                    _ => None,
+                };
+                if let Some((dst, lhs)) = pair {
+                    match (dst, lhs) {
+                        (Dst::Loc(Loc::Real(d)), Operand::Loc(Loc::Real(l))) if d != l => {
+                            err(format!("two-address violation in `{inst}`"));
+                        }
+                        (Dst::Slot(s), Operand::Slot(s2)) if s != s2 => {
+                            err(format!("combined memory specifier mismatch in `{inst}`"));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{AL, EAX, EBX, ECX};
+    use crate::x86::X86Machine;
+    use regalloc_ir::{BinOp, FunctionBuilder, SlotId};
+
+    fn real(r: PhysReg) -> Operand {
+        Operand::Loc(Loc::Real(r))
+    }
+
+    fn wrap(insts: Vec<Inst>) -> Function {
+        let mut b = FunctionBuilder::new("mv");
+        let _ = b.new_sym(Width::B32);
+        for i in insts {
+            b.push(i);
+        }
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_valid_two_address() {
+        let m = X86Machine::pentium();
+        let f = wrap(vec![
+            Inst::LoadImm {
+                dst: Loc::Real(EAX),
+                imm: 1,
+                width: Width::B32,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Dst::Loc(Loc::Real(EAX)),
+                lhs: real(EAX),
+                rhs: real(EBX),
+                width: Width::B32,
+            },
+        ]);
+        assert!(verify_machine(&m, &f).is_ok());
+    }
+
+    #[test]
+    fn rejects_three_address_form() {
+        let m = X86Machine::pentium();
+        let f = wrap(vec![Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(ECX)),
+            lhs: real(EAX),
+            rhs: real(EBX),
+            width: Width::B32,
+        }]);
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs[0].message.contains("two-address"));
+    }
+
+    #[test]
+    fn rejects_wrong_width_class() {
+        let m = X86Machine::pentium();
+        let f = wrap(vec![Inst::LoadImm {
+            dst: Loc::Real(AL),
+            imm: 1,
+            width: Width::B32, // 32-bit value into an 8-bit register
+        }]);
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs[0].message.contains("width-32"));
+    }
+
+    #[test]
+    fn rejects_unpinned_shift_count() {
+        let m = X86Machine::pentium();
+        let f = wrap(vec![Inst::Bin {
+            op: BinOp::Shl,
+            dst: Dst::Loc(Loc::Real(EAX)),
+            lhs: real(EAX),
+            rhs: real(EBX), // must be ECX
+            width: Width::B32,
+        }]);
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not admitted")));
+    }
+
+    #[test]
+    fn rejects_double_memory_operand() {
+        let m = X86Machine::pentium();
+        let mut f = wrap(vec![]);
+        let s0 = f.add_slot(Width::B32, None);
+        let s1 = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Dst::Slot(s0),
+                lhs: Operand::Slot(s0),
+                rhs: Operand::Slot(s1),
+                width: Width::B32,
+            },
+        );
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("memory operands")));
+        let _ = SlotId(0);
+    }
+
+    #[test]
+    fn rejects_memory_mul_destination() {
+        let m = X86Machine::pentium();
+        let mut f = wrap(vec![]);
+        let s0 = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::Bin {
+                op: BinOp::Mul,
+                dst: Dst::Slot(s0),
+                lhs: Operand::Slot(s0),
+                rhs: real(EAX),
+                width: Width::B32,
+            },
+        );
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("combined")));
+    }
+}

@@ -1,0 +1,595 @@
+//! The irregular x86 machine model and its bit-accurate register file.
+
+use regalloc_ir::{Address, BinOp, Inst, Operand, PhysReg, RegFile, UseRole, Width};
+
+use crate::machine::{Machine, OperandConstraint, SpillCosts};
+use crate::regs::{self, *};
+
+/// Pentium spill-code costs — Table 1 of the paper, plus the memory-operand
+/// deltas used by the §5.2 extension (Pentium ALU timings: reg-reg 1 cycle,
+/// reg-mem 2 cycles, mem read-modify-write 3 cycles; a memory specifier
+/// adds a ModRM displacement to the encoding).
+pub const PENTIUM_COSTS: SpillCosts = SpillCosts {
+    load_cycles: 1,
+    load_bytes: 3,
+    store_cycles: 1,
+    store_bytes: 3,
+    remat_cycles: 1,
+    remat_bytes: 3,
+    copy_cycles: 1,
+    copy_bytes: 2,
+    mem_use_extra_cycles: 1,
+    mem_use_extra_bytes: 2,
+    mem_combined_extra_cycles: 2,
+    mem_combined_extra_bytes: 2,
+};
+
+/// The x86 machine model.
+///
+/// By default the six classic allocatable 32-bit registers are available
+/// (EAX, EBX, ECX, EDX, ESI, EDI — the configuration the paper reports:
+/// "the x86 has 6"). [`X86Machine::with_frame_pointer_free`] adds EBP,
+/// engaging the §5.4.2 `[EBP]` penalty; [`X86Machine::with_esp`] adds ESP,
+/// engaging its base-register penalty and the §5.4.3 scaled-index
+/// exclusion (a deliberately extreme configuration used by tests and the
+/// ablation bench).
+#[derive(Clone, Debug)]
+pub struct X86Machine {
+    regs32: Vec<PhysReg>,
+    regs16: Vec<PhysReg>,
+    regs8: Vec<PhysReg>,
+    groups: Vec<Vec<PhysReg>>,
+    aliases: Vec<Vec<PhysReg>>,
+    costs: SpillCosts,
+}
+
+impl X86Machine {
+    /// The paper's configuration: 6 allocatable 32-bit registers, Pentium
+    /// costs.
+    pub fn pentium() -> X86Machine {
+        X86Machine::build(false, false)
+    }
+
+    /// Pentium costs plus EBP as a seventh allocatable register (frame
+    /// pointer omitted), with its `[EBP]` addressing-mode penalty.
+    pub fn with_frame_pointer_free() -> X86Machine {
+        X86Machine::build(true, false)
+    }
+
+    /// Pentium costs plus both EBP and ESP allocatable — exercises every
+    /// §5.4 irregularity at once.
+    pub fn with_esp() -> X86Machine {
+        X86Machine::build(true, true)
+    }
+
+    fn build(ebp: bool, esp: bool) -> X86Machine {
+        let mut regs32 = vec![EAX, EBX, ECX, EDX, ESI, EDI];
+        if ebp {
+            regs32.push(EBP);
+        }
+        if esp {
+            regs32.push(ESP);
+        }
+        let regs16 = vec![AX, BX, CX, DX, SI, DI];
+        let regs8 = vec![AL, BL, CL, DL, AH, BH, CH, DH];
+
+        // Maximal bit-field groups (§5.3): one per overlapping byte lane.
+        let mut groups = Vec::new();
+        for fam in 0..4 {
+            let (e, x, l, h) = (
+                PhysReg(fam),
+                PhysReg(8 + fam),
+                PhysReg(14 + fam),
+                PhysReg(18 + fam),
+            );
+            groups.push(vec![e, x, l]);
+            groups.push(vec![e, x, h]);
+        }
+        groups.push(vec![ESI, SI]);
+        groups.push(vec![EDI, DI]);
+        if ebp {
+            groups.push(vec![EBP]);
+        }
+        if esp {
+            groups.push(vec![ESP]);
+        }
+
+        let allocatable: Vec<PhysReg> = regs32
+            .iter()
+            .chain(&regs16)
+            .chain(&regs8)
+            .copied()
+            .collect();
+        let mut aliases = vec![Vec::new(); regs::NUM_REGS];
+        for &a in &allocatable {
+            for &b in &allocatable {
+                if regs::overlaps(a, b) {
+                    aliases[a.index()].push(b);
+                }
+            }
+        }
+
+        X86Machine {
+            regs32,
+            regs16,
+            regs8,
+            groups,
+            aliases,
+            costs: PENTIUM_COSTS,
+        }
+    }
+
+    /// True if this configuration can allocate `r` at all.
+    pub fn is_allocatable(&self, r: PhysReg) -> bool {
+        self.regs32.contains(&r) || self.regs16.contains(&r) || self.regs8.contains(&r)
+    }
+
+    /// The ECX-family register of width `w` (the implicit shift-count
+    /// register, §3.2).
+    pub fn count_reg(w: Width) -> PhysReg {
+        match w {
+            Width::B8 => CL,
+            Width::B16 => CX,
+            _ => ECX,
+        }
+    }
+
+    /// The EAX-family register of width `w` (short opcodes §5.4.1, return
+    /// values).
+    pub fn acc_reg(w: Width) -> PhysReg {
+        match w {
+            Width::B8 => AL,
+            Width::B16 => AX,
+            _ => EAX,
+        }
+    }
+
+    /// True if `inst` enjoys the §5.4.1 one-byte-shorter encoding when its
+    /// combined source/destination operand is AL/AX/EAX: an ALU operation
+    /// from the ADC/ADD/AND/CMP/OR/SUB/TEST/XCHG/XOR list with an
+    /// immediate operand.
+    pub fn has_short_imm_form(inst: &Inst) -> bool {
+        matches!(
+            inst,
+            Inst::Bin {
+                op: BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor,
+                rhs: Operand::Imm(_),
+                ..
+            }
+        )
+    }
+
+    fn addr_of(inst: &Inst) -> Option<&Address> {
+        match inst {
+            Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+}
+
+impl Machine for X86Machine {
+    fn name(&self) -> &str {
+        "x86 (Pentium)"
+    }
+
+    fn regs_for_width(&self, w: Width) -> &[PhysReg] {
+        match w {
+            Width::B8 => &self.regs8,
+            Width::B16 => &self.regs16,
+            Width::B32 => &self.regs32,
+            Width::B64 => &[],
+        }
+    }
+
+    fn overlap_groups(&self) -> &[Vec<PhysReg>] {
+        &self.groups
+    }
+
+    fn aliases(&self, r: PhysReg) -> &[PhysReg] {
+        &self.aliases[r.index()]
+    }
+
+    fn is_caller_saved(&self, r: PhysReg) -> bool {
+        // The EAX, ECX and EDX families are caller-saved in the x86 C
+        // convention; every sub-register dies with its base.
+        matches!(regs::base_of(r), 0 | 2 | 3)
+    }
+
+    fn reg_width(&self, r: PhysReg) -> Width {
+        regs::width_of(r)
+    }
+
+    fn reg_name(&self, r: PhysReg) -> &'static str {
+        regs::name_of(r)
+    }
+
+    fn is_two_address(&self, inst: &Inst) -> bool {
+        // All x86 ALU operations use the 2-specifier format (§3.2).
+        matches!(inst, Inst::Bin { .. } | Inst::Un { .. })
+    }
+
+    fn use_constraints(&self, inst: &Inst, role: UseRole, width: Width) -> OperandConstraint {
+        let mut c = OperandConstraint::any();
+        match role {
+            UseRole::RetVal => {
+                // Return values travel in the accumulator.
+                c.allowed = Some(vec![X86Machine::acc_reg(width)]);
+            }
+            UseRole::Src2 => {
+                if let Inst::Bin { op, .. } = inst {
+                    if op.is_shift() {
+                        // Register shift counts implicitly use CL (§3.2).
+                        c.allowed = Some(vec![X86Machine::count_reg(width)]);
+                    }
+                }
+            }
+            UseRole::Src1 => {
+                // §5.4.1: one byte longer for every register except the
+                // accumulator when the short immediate form exists.
+                if X86Machine::has_short_imm_form(inst) {
+                    let acc = X86Machine::acc_reg(width);
+                    c.size_penalty = self
+                        .regs_for_width(width)
+                        .iter()
+                        .filter(|r| **r != acc)
+                        .map(|r| (*r, 1))
+                        .collect();
+                }
+            }
+            UseRole::AddrBase => {
+                // §5.4.2: ESP as a base always costs one extra byte; EBP
+                // costs one extra byte in the bare `[EBP]` mode.
+                if self.regs32.contains(&ESP) {
+                    c.size_penalty.push((ESP, 1));
+                }
+                if self.regs32.contains(&EBP) {
+                    if let Some(Address::Indirect {
+                        index: None,
+                        disp: 0,
+                        ..
+                    }) = X86Machine::addr_of(inst)
+                    {
+                        c.size_penalty.push((EBP, 1));
+                    }
+                }
+            }
+            UseRole::AddrIndex { scaled } => {
+                // §5.4.3: ESP cannot be a scaled index.
+                if scaled && self.regs32.contains(&ESP) {
+                    c.allowed = Some(
+                        self.regs_for_width(Width::B32)
+                            .iter()
+                            .copied()
+                            .filter(|r| *r != ESP)
+                            .collect(),
+                    );
+                }
+            }
+            _ => {}
+        }
+        c
+    }
+
+    fn def_constraints(&self, inst: &Inst, width: Width) -> OperandConstraint {
+        let mut c = OperandConstraint::any();
+        if matches!(inst, Inst::Call { .. }) {
+            // Call results arrive in the accumulator.
+            c.allowed = Some(vec![X86Machine::acc_reg(width)]);
+        }
+        c
+    }
+
+    fn mem_use_ok(&self, inst: &Inst, role: UseRole) -> bool {
+        match (inst, role) {
+            // op r, r/m — the second source may be a memory operand,
+            // except shift counts (CL only) and 8-bit two-operand IMUL
+            // (which does not exist).
+            (Inst::Bin { op, width, .. }, UseRole::Src2) => {
+                !op.is_shift() && !(*op == BinOp::Mul && *width == Width::B8)
+            }
+            // cmp r/m, … — the left comparison operand may be memory.
+            (Inst::Branch { .. }, UseRole::BranchLhs) => true,
+            // push r/m.
+            (Inst::Call { .. }, UseRole::CallArg) => true,
+            _ => false,
+        }
+    }
+
+    fn mem_combined_ok(&self, inst: &Inst) -> bool {
+        // op m, r / op m, imm read-modify-write forms exist for every ALU
+        // operation except two-operand IMUL.
+        match inst {
+            Inst::Bin { op, .. } => *op != BinOp::Mul,
+            Inst::Un { .. } => true,
+            _ => false,
+        }
+    }
+
+    fn spill_costs(&self) -> &SpillCosts {
+        &self.costs
+    }
+
+    fn inst_size(&self, inst: &Inst) -> u64 {
+        crate::encoding::x86_inst_size(self, inst)
+    }
+}
+
+/// Bit-accurate x86 register file: eight 32-bit storage cells with the
+/// 16-bit and 8-bit architectural registers mapped onto their bit fields,
+/// exactly as in Fig. 3 of the paper. Writing `AX` changes the low half of
+/// `EAX`; `AH` is bits 8–15.
+#[derive(Clone, Debug, Default)]
+pub struct X86RegFile {
+    bases: [u32; 8],
+}
+
+impl X86RegFile {
+    /// A zeroed register file.
+    pub fn new() -> X86RegFile {
+        X86RegFile::default()
+    }
+}
+
+impl RegFile for X86RegFile {
+    fn read(&self, r: PhysReg) -> u64 {
+        let base = self.bases[regs::base_of(r)];
+        let (shift, bits) = regs::field_of(r);
+        let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+        ((base >> shift) & mask) as u64
+    }
+
+    fn write(&mut self, r: PhysReg, v: u64) {
+        let cell = &mut self.bases[regs::base_of(r)];
+        let (shift, bits) = regs::field_of(r);
+        let mask = if bits == 32 { u32::MAX } else { ((1u32 << bits) - 1) << shift };
+        *cell = (*cell & !mask) | (((v as u32) << shift) & mask);
+    }
+
+    fn reset(&mut self) {
+        self.bases = [0; 8];
+    }
+
+    fn clobber_for_call(&mut self, seed: u64) {
+        // EAX, ECX, EDX are caller-saved; fill them with recognisable
+        // garbage so values wrongly kept there across calls are caught.
+        for (i, fam) in [0usize, 2, 3].into_iter().enumerate() {
+            self.bases[fam] = regalloc_ir::interp::mix64(seed ^ (i as u64 + 1)) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_six_regs_as_in_the_paper() {
+        let m = X86Machine::pentium();
+        assert_eq!(m.regs_for_width(Width::B32).len(), 6);
+        assert_eq!(m.regs_for_width(Width::B16).len(), 6);
+        assert_eq!(m.regs_for_width(Width::B8).len(), 8);
+        assert!(m.regs_for_width(Width::B64).is_empty());
+        assert!(!m.is_allocatable(EBP));
+        assert!(!m.is_allocatable(ESP));
+    }
+
+    #[test]
+    fn frame_pointer_config_adds_ebp() {
+        let m = X86Machine::with_frame_pointer_free();
+        assert_eq!(m.regs_for_width(Width::B32).len(), 7);
+        assert!(m.is_allocatable(EBP));
+    }
+
+    #[test]
+    fn overlap_groups_match_section_53() {
+        let m = X86Machine::pentium();
+        // {EAX, AX, AL} and {EAX, AX, AH} per family A–D, plus {ESI,SI},
+        // {EDI,DI}: 10 groups.
+        assert_eq!(m.overlap_groups().len(), 10);
+        assert!(m
+            .overlap_groups()
+            .contains(&vec![EAX, AX, AL]));
+        assert!(m
+            .overlap_groups()
+            .contains(&vec![EAX, AX, AH]));
+        assert!(m.overlap_groups().contains(&vec![ESI, SI]));
+    }
+
+    #[test]
+    fn aliases_include_subregisters() {
+        let m = X86Machine::pentium();
+        let a = m.aliases(EAX);
+        assert!(a.contains(&EAX) && a.contains(&AX) && a.contains(&AL) && a.contains(&AH));
+        assert!(!a.contains(&EBX));
+        let al = m.aliases(AL);
+        assert!(al.contains(&EAX) && al.contains(&AX) && al.contains(&AL));
+        assert!(!al.contains(&AH));
+    }
+
+    #[test]
+    fn caller_saved_families() {
+        let m = X86Machine::pentium();
+        for r in [EAX, AX, AL, AH, ECX, CL, EDX, DX] {
+            assert!(m.is_caller_saved(r), "{r} should be caller-saved");
+        }
+        for r in [EBX, BL, ESI, SI, EDI, DI] {
+            assert!(!m.is_caller_saved(r), "{r} should be callee-saved");
+        }
+    }
+
+    #[test]
+    fn shift_count_pinned_to_cl() {
+        use regalloc_ir::{Dst, Loc, SymId};
+        let m = X86Machine::pentium();
+        let i = Inst::Bin {
+            op: BinOp::Shl,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(1)),
+            rhs: Operand::Loc(Loc::Sym(SymId(2))),
+            width: Width::B32,
+        };
+        let c = m.use_constraints(&i, UseRole::Src2, Width::B32);
+        assert_eq!(c.allowed, Some(vec![ECX]));
+    }
+
+    #[test]
+    fn short_imm_form_penalises_non_accumulator() {
+        use regalloc_ir::{Dst, SymId};
+        let m = X86Machine::pentium();
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(0)),
+            rhs: Operand::Imm(9),
+            width: Width::B32,
+        };
+        assert!(X86Machine::has_short_imm_form(&i));
+        let c = m.use_constraints(&i, UseRole::Src1, Width::B32);
+        assert_eq!(c.penalty(EAX), 0);
+        assert_eq!(c.penalty(EBX), 1);
+        assert_eq!(c.penalty(EDI), 1);
+        // Shifts have no short form.
+        let s = Inst::Bin {
+            op: BinOp::Shl,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(0)),
+            rhs: Operand::Imm(1),
+            width: Width::B32,
+        };
+        assert!(!X86Machine::has_short_imm_form(&s));
+    }
+
+    #[test]
+    fn esp_and_ebp_address_penalties() {
+        use regalloc_ir::{Loc, SymId};
+        let m = X86Machine::with_esp();
+        let bare_ebp = Inst::Load {
+            dst: Loc::Sym(SymId(0)),
+            addr: Address::Indirect {
+                base: Some(Loc::Sym(SymId(1))),
+                index: None,
+                disp: 0,
+            },
+            width: Width::B32,
+        };
+        let c = m.use_constraints(&bare_ebp, UseRole::AddrBase, Width::B32);
+        assert_eq!(c.penalty(ESP), 1, "ESP base always pays");
+        assert_eq!(c.penalty(EBP), 1, "[EBP] with no disp pays");
+        assert_eq!(c.penalty(EAX), 0);
+
+        let with_disp = Inst::Load {
+            dst: Loc::Sym(SymId(0)),
+            addr: Address::Indirect {
+                base: Some(Loc::Sym(SymId(1))),
+                index: None,
+                disp: 8,
+            },
+            width: Width::B32,
+        };
+        let c = m.use_constraints(&with_disp, UseRole::AddrBase, Width::B32);
+        assert_eq!(c.penalty(ESP), 1);
+        assert_eq!(c.penalty(EBP), 0, "disp8[EBP] is the normal encoding");
+    }
+
+    #[test]
+    fn esp_excluded_from_scaled_index() {
+        let m = X86Machine::with_esp();
+        let i = Inst::Load {
+            dst: regalloc_ir::Loc::Sym(regalloc_ir::SymId(0)),
+            addr: Address::Indirect {
+                base: None,
+                index: Some((regalloc_ir::Loc::Sym(regalloc_ir::SymId(1)), regalloc_ir::Scale::S4)),
+                disp: 0,
+            },
+            width: Width::B32,
+        };
+        let c = m.use_constraints(&i, UseRole::AddrIndex { scaled: true }, Width::B32);
+        let allowed = c.allowed.expect("scaled index restricts");
+        assert!(!allowed.contains(&ESP));
+        assert!(allowed.contains(&EAX));
+        // Unscaled index keeps ESP available (§5.4.3).
+        let c = m.use_constraints(&i, UseRole::AddrIndex { scaled: false }, Width::B32);
+        assert!(c.allowed.is_none());
+    }
+
+    #[test]
+    fn mem_operand_rules() {
+        use regalloc_ir::{Dst, SymId};
+        let m = X86Machine::pentium();
+        let add = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(0)),
+            rhs: Operand::sym(SymId(1)),
+            width: Width::B32,
+        };
+        assert!(m.mem_use_ok(&add, UseRole::Src2));
+        assert!(!m.mem_use_ok(&add, UseRole::Src1));
+        assert!(m.mem_combined_ok(&add));
+        let mul = Inst::Bin {
+            op: BinOp::Mul,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(0)),
+            rhs: Operand::sym(SymId(1)),
+            width: Width::B32,
+        };
+        assert!(m.mem_use_ok(&mul, UseRole::Src2));
+        assert!(!m.mem_combined_ok(&mul), "no imul m, r form");
+        let shl = Inst::Bin {
+            op: BinOp::Shl,
+            dst: Dst::sym(SymId(0)),
+            lhs: Operand::sym(SymId(0)),
+            rhs: Operand::sym(SymId(1)),
+            width: Width::B32,
+        };
+        assert!(!m.mem_use_ok(&shl, UseRole::Src2), "count must be CL");
+        assert!(m.mem_combined_ok(&shl), "shl m, cl exists");
+    }
+
+    #[test]
+    fn regfile_overlap_semantics() {
+        let mut rf = X86RegFile::new();
+        rf.write(EAX, 0xDEAD_BEEF);
+        assert_eq!(rf.read(EAX), 0xDEAD_BEEF);
+        assert_eq!(rf.read(AX), 0xBEEF);
+        assert_eq!(rf.read(AL), 0xEF);
+        assert_eq!(rf.read(AH), 0xBE);
+        rf.write(AH, 0x12);
+        assert_eq!(rf.read(EAX), 0xDEAD_12EF);
+        rf.write(AX, 0x3456);
+        assert_eq!(rf.read(EAX), 0xDEAD_3456);
+        // Other families untouched.
+        assert_eq!(rf.read(EBX), 0);
+        rf.write(BL, 0xFF);
+        assert_eq!(rf.read(EBX), 0xFF);
+        assert_eq!(rf.read(EAX), 0xDEAD_3456);
+    }
+
+    #[test]
+    fn regfile_clobbers_caller_saved_only() {
+        let mut rf = X86RegFile::new();
+        rf.write(EBX, 7);
+        rf.write(ESI, 8);
+        rf.write(EDI, 9);
+        rf.write(EAX, 1);
+        rf.write(ECX, 2);
+        rf.write(EDX, 3);
+        rf.clobber_for_call(42);
+        assert_eq!(rf.read(EBX), 7);
+        assert_eq!(rf.read(ESI), 8);
+        assert_eq!(rf.read(EDI), 9);
+        assert_ne!(rf.read(EAX), 1);
+        assert_ne!(rf.read(ECX), 2);
+        assert_ne!(rf.read(EDX), 3);
+    }
+
+    #[test]
+    fn pentium_costs_match_table_1() {
+        let m = X86Machine::pentium();
+        let c = m.spill_costs();
+        assert_eq!((c.load_cycles, c.load_bytes), (1, 3));
+        assert_eq!((c.store_cycles, c.store_bytes), (1, 3));
+        assert_eq!((c.remat_cycles, c.remat_bytes), (1, 3));
+        assert_eq!((c.copy_cycles, c.copy_bytes), (1, 2));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the x86 register file's overlap semantics
+//! (§3.1 / Fig. 3 of the paper).
+
+use proptest::prelude::*;
+use regalloc_ir::{PhysReg, RegFile};
+use regalloc_x86::{regs, X86RegFile};
+
+fn any_reg() -> impl Strategy<Value = PhysReg> {
+    (0u16..regs::NUM_REGS as u16).prop_map(PhysReg)
+}
+
+proptest! {
+    /// Writing r then reading r returns the truncated value.
+    #[test]
+    fn write_read_roundtrip(r in any_reg(), v in any::<u64>()) {
+        let mut rf = X86RegFile::new();
+        rf.write(r, v);
+        let expect = v & regs::width_of(r).mask();
+        prop_assert_eq!(rf.read(r), expect);
+    }
+
+    /// Writing one register changes another iff they overlap.
+    #[test]
+    fn overlap_governs_interference(a in any_reg(), b in any_reg(), v in any::<u64>()) {
+        let mut rf = X86RegFile::new();
+        // Distinctive initial pattern everywhere.
+        for fam in 0..8u16 {
+            rf.write(PhysReg(fam), 0xAAAA_AAAA);
+        }
+        let before = rf.read(b);
+        rf.write(a, v);
+        let after = rf.read(b);
+        if !regs::overlaps(a, b) {
+            prop_assert_eq!(before, after, "{} must not disturb {}", a, b);
+        }
+        // Reflexivity: the written register itself holds the value.
+        prop_assert_eq!(rf.read(a), v & regs::width_of(a).mask());
+    }
+
+    /// Sub-register writes preserve the untouched bits of the base.
+    #[test]
+    fn subregister_writes_are_surgical(fam in 0u16..4, v32 in any::<u32>(), v8 in any::<u8>()) {
+        let (e, l, h) = (PhysReg(fam), PhysReg(14 + fam), PhysReg(18 + fam));
+        let mut rf = X86RegFile::new();
+        rf.write(e, v32 as u64);
+        rf.write(l, v8 as u64);
+        let expect = (v32 & 0xFFFF_FF00) as u64 | v8 as u64;
+        prop_assert_eq!(rf.read(e), expect);
+        rf.write(h, v8 as u64);
+        let expect = (expect & !0xFF00) | ((v8 as u64) << 8);
+        prop_assert_eq!(rf.read(e), expect);
+    }
+
+    /// Calls clobber exactly the caller-saved families.
+    #[test]
+    fn clobber_is_precise(seed in any::<u64>()) {
+        let mut rf = X86RegFile::new();
+        for fam in 0..8u16 {
+            rf.write(PhysReg(fam), 0x1111_1111 * (fam as u64 + 1));
+        }
+        let (ebx, esi, edi, esp, ebp) = (
+            rf.read(regs::EBX), rf.read(regs::ESI), rf.read(regs::EDI),
+            rf.read(regs::ESP), rf.read(regs::EBP),
+        );
+        rf.clobber_for_call(seed);
+        prop_assert_eq!(rf.read(regs::EBX), ebx);
+        prop_assert_eq!(rf.read(regs::ESI), esi);
+        prop_assert_eq!(rf.read(regs::EDI), edi);
+        prop_assert_eq!(rf.read(regs::ESP), esp);
+        prop_assert_eq!(rf.read(regs::EBP), ebp);
+    }
+}
