@@ -68,7 +68,8 @@ fn bench_lp_relaxation(c: &mut Criterion) {
                         &vec![0.0; n],
                         &vec![1.0; n],
                         1_000_000,
-                        None,
+                        regalloc_ilp::Deadline::unlimited(),
+                        &mut regalloc_ilp::SolverHealth::default(),
                     )
                 })
             },

@@ -45,10 +45,10 @@ fn main() {
         if *y <= 0.0 {
             continue;
         }
-        let gx = ((x.ln() - min_x) / (max_x - min_x) * (w - 1) as f64)
-            .clamp(0.0, (w - 1) as f64) as usize;
-        let gy = ((y.ln() - min_y) / (max_y - min_y) * (h - 1) as f64)
-            .clamp(0.0, (h - 1) as f64) as usize;
+        let gx = ((x.ln() - min_x) / (max_x - min_x) * (w - 1) as f64).clamp(0.0, (w - 1) as f64)
+            as usize;
+        let gy = ((y.ln() - min_y) / (max_y - min_y) * (h - 1) as f64).clamp(0.0, (h - 1) as f64)
+            as usize;
         grid[h - 1 - gy][gx] = b'o';
     }
     eprintln!("solve time (log) ^");

@@ -9,10 +9,7 @@ use regalloc_bench::{loglog_slope, run_all, Options};
 
 fn main() {
     let o = Options::from_args();
-    eprintln!(
-        "generating suites at scale {} (seed {})…",
-        o.scale, o.seed
-    );
+    eprintln!("generating suites at scale {} (seed {})…", o.scale, o.seed);
     // Model construction only depends on the function, not on solving; a
     // tiny solver budget keeps this figure cheap.
     let o = Options {
@@ -47,10 +44,10 @@ fn main() {
     let (min_y, max_y) = (10.0_f64.ln(), 20000.0_f64.ln());
     let mut grid = vec![vec![b' '; w]; h];
     for (x, y) in &pts {
-        let gx = ((x.ln() - min_x) / (max_x - min_x) * (w - 1) as f64)
-            .clamp(0.0, (w - 1) as f64) as usize;
-        let gy = ((y.ln() - min_y) / (max_y - min_y) * (h - 1) as f64)
-            .clamp(0.0, (h - 1) as f64) as usize;
+        let gx = ((x.ln() - min_x) / (max_x - min_x) * (w - 1) as f64).clamp(0.0, (w - 1) as f64)
+            as usize;
+        let gy = ((y.ln() - min_y) / (max_y - min_y) * (h - 1) as f64).clamp(0.0, (h - 1) as f64)
+            as usize;
         grid[h - 1 - gy][gx] = b'o';
     }
     eprintln!("constraints (log) ^");

@@ -9,9 +9,15 @@ fn main() {
     let m = X86Machine::pentium();
     let c = m.spill_costs();
     println!("Table 1. Spill code cost ({}).", m.name());
-    println!("{:<18} {:>10} {:>12}", "instruction", "cycle cost", "memory cost");
+    println!(
+        "{:<18} {:>10} {:>12}",
+        "instruction", "cycle cost", "memory cost"
+    );
     println!("{:<18} {:>10} {:>12}", "load", c.load_cycles, c.load_bytes);
-    println!("{:<18} {:>10} {:>12}", "store", c.store_cycles, c.store_bytes);
+    println!(
+        "{:<18} {:>10} {:>12}",
+        "store", c.store_cycles, c.store_bytes
+    );
     println!(
         "{:<18} {:>10} {:>12}",
         "rematerialization", c.remat_cycles, c.remat_bytes

@@ -9,7 +9,7 @@
 //! weaker, so the split shifts downward with function size while keeping
 //! the same structure — see EXPERIMENTS.md.
 
-use regalloc_bench::{run_all, Options};
+use regalloc_bench::{run_all, DegradationSummary, Options};
 use regalloc_workloads::Benchmark;
 
 fn main() {
@@ -49,6 +49,20 @@ fn main() {
         op += optimal;
     }
     println!("{:<10} {:>7} {:>10} {:>8} {:>9}", "Total", t, a, s, op);
+    println!();
+    println!("Degradation ladder (robust pipeline):");
+    for b in Benchmark::all() {
+        let sum =
+            DegradationSummary::collect(recs.iter().filter(|r| r.benchmark == b && r.attempted));
+        println!("  {:<10} {sum}", b.name());
+    }
+    let total = DegradationSummary::collect(recs.iter().filter(|r| r.attempted));
+    println!("  {:<10} {total}", "Total");
+    println!(
+        "  {} of {} attempted functions degraded below the IP rungs; 0 process aborts",
+        total.degraded(),
+        a
+    );
     println!();
     println!(
         "solved {:.1}% of attempted, optimal {:.1}% of attempted",

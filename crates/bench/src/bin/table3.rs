@@ -13,7 +13,7 @@
 //!  * over the optimally-solved subset, where the reproduction's IP
 //!    allocations are provably the cost-model minimum.
 
-use regalloc_bench::{ratio, run_all, Options, Record};
+use regalloc_bench::{ratio, run_all, DegradationSummary, Options, Record};
 
 fn print_block(title: &str, rows: &[&Record]) {
     let mut ip = regalloc_core::SpillStats::default();
@@ -81,6 +81,9 @@ fn main() {
     println!();
     print_block("All attempted functions", &attempted);
     print_block("Optimally solved subset", &optimal);
+    let sum = DegradationSummary::collect(attempted.iter().copied());
+    println!("degradation ladder: {sum}");
+    println!();
     println!("paper: loads 0.41, stores 0.56, remat -29, copy 6.3, total 0.36;");
     println!("       551M vs 1410M cycles — a 61% overhead reduction.");
 }

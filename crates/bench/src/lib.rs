@@ -21,10 +21,10 @@
 use std::time::Duration;
 
 use regalloc_coloring::ColoringAllocator;
-use regalloc_core::{IpAllocator, SpillStats};
+use regalloc_core::{ReasonCode, RobustAllocator, Rung, SpillStats};
 use regalloc_ilp::SolverConfig;
 use regalloc_workloads::{Benchmark, Suite};
-use regalloc_x86::X86Machine;
+use regalloc_x86::{X86Machine, X86RegFile};
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Clone, Debug)]
@@ -121,13 +121,28 @@ pub struct Record {
     pub ip_bytes: u64,
     /// Encoded size of the baseline's output, in bytes.
     pub gc_bytes: u64,
+    /// Degradation-ladder rung that served the function (`None` when not
+    /// attempted).
+    pub rung: Option<Rung>,
+    /// Demotion reasons the robust pipeline recorded on the way down.
+    pub reasons: Vec<ReasonCode>,
 }
 
 /// Run both allocators over every generated benchmark.
+///
+/// The IP side runs through the fault-tolerant [`RobustAllocator`]
+/// pipeline (with the graph-coloring baseline injected as its fourth
+/// rung), so a solver failure on any function degrades that function
+/// instead of aborting the whole experiment; each record carries the rung
+/// that served it and any demotion reasons.
 pub fn run_all(o: &Options) -> Vec<Record> {
     let machine = X86Machine::pentium();
-    let ip = IpAllocator::new(&machine).with_solver_config(o.solver());
     let gc = ColoringAllocator::new(&machine);
+    let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+        .with_solver_config(o.solver())
+        .with_budget(o.time_limit.saturating_mul(4).max(Duration::from_secs(8)))
+        .with_equivalence(2, o.seed)
+        .with_baseline(&gc);
     let mut out = Vec::new();
     for b in Benchmark::all() {
         let suite = Suite::generate_scaled(b, o.seed, o.scale);
@@ -147,16 +162,21 @@ pub fn run_all(o: &Options) -> Vec<Record> {
                     gc: SpillStats::default(),
                     ip_bytes: 0,
                     gc_bytes: 0,
+                    rung: None,
+                    reasons: Vec::new(),
                 });
                 continue;
             }
-            let a = ip.allocate(f).expect("attempted");
+            let a = robust
+                .allocate(f)
+                .expect("ladder always produces an allocation");
             let c = gc.allocate(f).expect("attempted");
             // Paper pipeline: a function the IP solver does not solve
             // keeps the compiler's default (graph-coloring) allocation,
             // so its IP-side overhead equals the baseline's.
-            let ip_stats = if a.solved { a.stats } else { c.stats };
-            let ip_func = if a.solved { &a.func } else { &c.func };
+            let solved = a.report.solved();
+            let ip_stats = if solved { a.stats } else { c.stats };
+            let ip_func = if solved { &a.func } else { &c.func };
             let ip_bytes = regalloc_x86::encoding::function_size(&machine, ip_func);
             let gc_bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
             out.push(Record {
@@ -164,19 +184,78 @@ pub fn run_all(o: &Options) -> Vec<Record> {
                 name: f.name().to_string(),
                 insts: f.num_insts(),
                 attempted: true,
-                constraints: a.num_constraints,
-                variables: a.num_vars,
-                solved: a.solved,
-                optimal: a.solved_optimally,
-                solve_time: a.solve_time,
+                constraints: a.report.num_constraints,
+                variables: a.report.num_vars,
+                solved,
+                optimal: a.report.solved_optimally(),
+                solve_time: a.report.solve_time,
                 ip: ip_stats,
                 gc: c.stats,
                 ip_bytes,
                 gc_bytes,
+                rung: Some(a.report.rung),
+                reasons: a.report.demotions.iter().map(|d| d.reason).collect(),
             });
         }
     }
     out
+}
+
+/// Aggregated degradation-ladder accounting for a set of records,
+/// printed under the Table 2/Table 3 reports.
+#[derive(Clone, Debug, Default)]
+pub struct DegradationSummary {
+    /// Functions served per rung, in ladder order.
+    pub rungs: Vec<(Rung, usize)>,
+    /// Demotion reasons recorded, with counts.
+    pub reasons: Vec<(ReasonCode, usize)>,
+}
+
+impl DegradationSummary {
+    /// Tally rungs and demotion reasons over `recs`.
+    pub fn collect<'r>(recs: impl IntoIterator<Item = &'r Record>) -> DegradationSummary {
+        let mut rungs: Vec<(Rung, usize)> = Rung::ALL.iter().map(|&r| (r, 0)).collect();
+        let mut reasons: Vec<(ReasonCode, usize)> = Vec::new();
+        for r in recs {
+            if let Some(rung) = r.rung {
+                rungs.iter_mut().find(|(x, _)| *x == rung).unwrap().1 += 1;
+            }
+            for &rc in &r.reasons {
+                match reasons.iter_mut().find(|(x, _)| *x == rc) {
+                    Some(e) => e.1 += 1,
+                    None => reasons.push((rc, 1)),
+                }
+            }
+        }
+        DegradationSummary { rungs, reasons }
+    }
+
+    /// Functions that degraded below the IP rungs.
+    pub fn degraded(&self) -> usize {
+        self.rungs
+            .iter()
+            .filter(|(r, _)| *r > Rung::IpIncumbent)
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for DegradationSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rungs:")?;
+        for (r, n) in &self.rungs {
+            write!(f, " {r} {n}")?;
+        }
+        if self.reasons.is_empty() {
+            write!(f, "; no demotions")?;
+        } else {
+            write!(f, "; demotions:")?;
+            for (r, n) in &self.reasons {
+                write!(f, " {r} {n}")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Least-squares slope of `log(y)` against `log(x)` — the growth exponent
@@ -246,6 +325,14 @@ mod tests {
         assert!(recs.iter().any(|r| !r.attempted), "64-bit functions remain");
         for r in recs.iter().filter(|r| r.attempted) {
             assert!(r.constraints > 0);
+            assert!(r.rung.is_some(), "attempted functions report their rung");
         }
+        let summary = DegradationSummary::collect(recs.iter().filter(|r| r.attempted));
+        let served: usize = summary.rungs.iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            served,
+            recs.iter().filter(|r| r.attempted).count(),
+            "every attempted function was served by exactly one rung"
+        );
     }
 }

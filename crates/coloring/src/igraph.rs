@@ -234,8 +234,7 @@ impl Graph {
             'regs: for &r in &self.allowed[s.index()] {
                 for &nb in &self.adj[s.index()] {
                     if let Some(&nr) = assignment.get(&SymId(nb)) {
-                        if machine.aliases(nr).contains(&r) || machine.aliases(r).contains(&nr)
-                        {
+                        if machine.aliases(nr).contains(&r) || machine.aliases(r).contains(&nr) {
                             continue 'regs;
                         }
                     }

@@ -30,9 +30,7 @@ use std::collections::HashMap;
 
 use regalloc_core::fallback;
 pub use regalloc_core::{AllocError, SpillStats};
-use regalloc_ir::{
-    Cfg, Function, Inst, Liveness, Loc, LoopInfo, PhysReg, Profile, SymId,
-};
+use regalloc_ir::{Cfg, Function, Inst, Liveness, Loc, LoopInfo, PhysReg, Profile, SymId};
 use regalloc_x86::Machine;
 
 mod igraph;
@@ -81,11 +79,21 @@ impl<'m, M: Machine> ColoringAllocator<'m, M> {
         let cfg = Cfg::new(f);
         let loops = LoopInfo::new(f, &cfg);
         let profile = Profile::estimate(f, &cfg, &loops);
-        Ok(self.allocate_with_profile(f, &profile))
+        self.allocate_with_profile(f, &profile)
     }
 
     /// Allocate with an externally supplied profile.
-    pub fn allocate_with_profile(&self, f: &Function, profile: &Profile) -> ColoringOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Fallback`] if coloring degenerated to the
+    /// spill-everything fallback and the fallback itself could not
+    /// satisfy the machine's operand constraints.
+    pub fn allocate_with_profile(
+        &self,
+        f: &Function,
+        profile: &Profile,
+    ) -> Result<ColoringOutcome, AllocError> {
         let mut stats = SpillStats::default();
         let mut work = f.clone();
         let sc = *self.machine.spill_costs();
@@ -101,19 +109,12 @@ impl<'m, M: Machine> ColoringAllocator<'m, M> {
             let graph = Graph::build(&work, &cfg, &live, self.machine, &pins);
             match graph.color(self.machine, &work, profile) {
                 Ok(assignment) => {
-                    let func = rewrite(
-                        &work,
-                        &assignment,
-                        &graph,
-                        profile,
-                        &sc,
-                        &mut stats,
-                    );
-                    return ColoringOutcome {
+                    let func = rewrite(&work, &assignment, &graph, profile, &sc, &mut stats);
+                    return Ok(ColoringOutcome {
                         func,
                         stats,
                         rounds: r + 1,
-                    };
+                    });
                 }
                 Err(spills) => {
                     let spillable: Vec<SymId> = spills
@@ -137,12 +138,25 @@ impl<'m, M: Machine> ColoringAllocator<'m, M> {
             }
         }
         // Pathological fallback (mirrors GCC's last-resort reload pass).
-        let (func, fstats) = fallback::spill_everything(f, profile, self.machine);
-        ColoringOutcome {
+        let (func, fstats) =
+            fallback::spill_everything(f, profile, self.machine).map_err(AllocError::Fallback)?;
+        Ok(ColoringOutcome {
             func,
             stats: fstats,
             rounds: self.max_rounds,
-        }
+        })
+    }
+}
+
+impl<'m, M: Machine> regalloc_core::BaselineAllocator for ColoringAllocator<'m, M> {
+    fn allocate_baseline(
+        &self,
+        f: &Function,
+        profile: &Profile,
+    ) -> Result<(Function, SpillStats), String> {
+        self.allocate_with_profile(f, profile)
+            .map(|o| (o.func, o.stats))
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -298,5 +312,3 @@ fn rewrite(
 pub mod costs {
     pub use regalloc_core::CostModel;
 }
-
-

@@ -21,9 +21,7 @@
 use std::collections::HashMap;
 
 use regalloc_core::SpillStats;
-use regalloc_ir::{
-    Function, Inst, Liveness, Loc, Operand, PhysReg, Profile, SymId, UseRole,
-};
+use regalloc_ir::{Function, Inst, Liveness, Loc, Operand, PhysReg, Profile, SymId, UseRole};
 use regalloc_x86::Machine;
 
 /// Run the pre-pass over `work` in place, recording register pins for new
@@ -100,7 +98,12 @@ pub fn run<M: Machine>(
             }
 
             // --- Pinned definitions (call results) ----------------------
-            if let Inst::Call { ret: Some(Loc::Sym(d)), width, .. } = inst {
+            if let Inst::Call {
+                ret: Some(Loc::Sym(d)),
+                width,
+                ..
+            } = inst
+            {
                 let dc = machine.def_constraints(&inst, width);
                 if let Some(allowed) = dc.allowed {
                     let t = work.add_sym(width);
@@ -179,9 +182,8 @@ pub fn run<M: Machine>(
                         // destination itself out of the combined position:
                         // `d = d op x` needs no copy at all, and a copy
                         // `d ← x` would clobber the rhs reference to d.
-                        let dies = |s: Option<SymId>| {
-                            s.is_some_and(|s| !live_after.contains(s.index()))
-                        };
+                        let dies =
+                            |s: Option<SymId>| s.is_some_and(|s| !live_after.contains(s.index()));
                         if op.is_commutative()
                             && lhs_sym != Some(d)
                             && !dies(lhs_sym)

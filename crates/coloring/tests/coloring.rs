@@ -46,14 +46,12 @@ fn two_address_form_holds_after_allocation() {
     let out = alloc_x86(&b.finish());
     for (_, _, inst) in out.func.insts() {
         if let Inst::Bin { dst, lhs, .. } = inst {
-            if let (regalloc_ir::Dst::Loc(Loc::Real(d)), Operand::Loc(Loc::Real(l))) = (dst, lhs)
-            {
+            if let (regalloc_ir::Dst::Loc(Loc::Real(d)), Operand::Loc(Loc::Real(l))) = (dst, lhs) {
                 assert_eq!(d, l, "two-address violated: {inst}");
             }
         }
         if let Inst::Un { dst, src, .. } = inst {
-            if let (regalloc_ir::Dst::Loc(Loc::Real(d)), Operand::Loc(Loc::Real(l))) = (dst, src)
-            {
+            if let (regalloc_ir::Dst::Loc(Loc::Real(d)), Operand::Loc(Loc::Real(l))) = (dst, src) {
                 assert_eq!(d, l, "two-address violated: {inst}");
             }
         }
@@ -244,7 +242,11 @@ fn copies_deleted_by_coalescing() {
         .insts()
         .filter(|(_, _, i)| matches!(i, Inst::Copy { .. }))
         .count();
-    assert_eq!(copies_left, 0, "coalescing should kill the move:\n{}", out.func);
+    assert_eq!(
+        copies_left, 0,
+        "coalescing should kill the move:\n{}",
+        out.func
+    );
 }
 
 #[test]

@@ -32,7 +32,11 @@ fn live_lhs_of_subtract_keeps_its_value() {
         .insts()
         .filter(|(_, _, i)| matches!(i, Inst::Copy { .. }))
         .count();
-    assert!(copies >= 1, "the traditional lowering needs a copy:\n{}", out.func);
+    assert!(
+        copies >= 1,
+        "the traditional lowering needs a copy:\n{}",
+        out.func
+    );
 }
 
 /// `d = x op d` with a non-commutative op must shelter the rhs before the

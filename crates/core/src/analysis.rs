@@ -21,9 +21,7 @@
 
 use std::collections::HashMap;
 
-use regalloc_ir::{
-    BlockId, Cfg, Function, GlobalId, Inst, Liveness, Loc, SymId, UseRole, Width,
-};
+use regalloc_ir::{BlockId, Cfg, Function, GlobalId, Inst, Liveness, Loc, SymId, UseRole, Width};
 use regalloc_x86::Machine;
 
 /// A segment identifier: one maximal interval of one symbolic register's

@@ -37,6 +37,9 @@ use crate::analysis::{Analysis, Event, SegId};
 use crate::cost::CostModel;
 use crate::irregular::{encoding, mem_operand, overlap, predefined, two_address};
 
+/// A pending constraint row: (coefficients, is-≥, right-hand side).
+type PendingRow = (Vec<(VarId, f64)>, bool, f64);
+
 /// Decision variables for one use position (role) of one event.
 #[derive(Clone, Debug, Default)]
 pub struct RoleVars {
@@ -279,7 +282,12 @@ impl<'a, M: Machine> Builder<'a, M> {
             ev.load = regs
                 .iter()
                 .enumerate()
-                .map(|(i, r)| Some(self.model.add_var(self.cs(lc, i), format!("ld_s{}_{r}", s.0))))
+                .map(|(i, r)| {
+                    Some(
+                        self.model
+                            .add_var(self.cs(lc, i), format!("ld_s{}_{r}", s.0)),
+                    )
+                })
                 .collect();
             if self.a.remat[s.index()].is_some() {
                 let rc = self
@@ -288,7 +296,12 @@ impl<'a, M: Machine> Builder<'a, M> {
                 ev.remat = regs
                     .iter()
                     .enumerate()
-                    .map(|(i, r)| Some(self.model.add_var(self.cs(rc, i), format!("rm_s{}_{r}", s.0))))
+                    .map(|(i, r)| {
+                        Some(
+                            self.model
+                                .add_var(self.cs(rc, i), format!("rm_s{}_{r}", s.0)),
+                        )
+                    })
                     .collect();
             }
         }
@@ -307,7 +320,12 @@ impl<'a, M: Machine> Builder<'a, M> {
             ev.load_post = regs
                 .iter()
                 .enumerate()
-                .map(|(i, r)| Some(self.model.add_var(self.cs(lc, i), format!("lp_s{}_{r}", s.0))))
+                .map(|(i, r)| {
+                    Some(
+                        self.model
+                            .add_var(self.cs(lc, i), format!("lp_s{}_{r}", s.0)),
+                    )
+                })
                 .collect();
             if self.a.remat[s.index()].is_some() {
                 let rc = self
@@ -316,7 +334,12 @@ impl<'a, M: Machine> Builder<'a, M> {
                 ev.remat_post = regs
                     .iter()
                     .enumerate()
-                    .map(|(i, r)| Some(self.model.add_var(self.cs(rc, i), format!("rp_s{}_{r}", s.0))))
+                    .map(|(i, r)| {
+                        Some(
+                            self.model
+                                .add_var(self.cs(rc, i), format!("rp_s{}_{r}", s.0)),
+                        )
+                    })
                     .collect();
             }
         }
@@ -335,7 +358,10 @@ impl<'a, M: Machine> Builder<'a, M> {
             for (i, &r) in regs.iter().enumerate() {
                 if dc.admits(r) {
                     let c = self.cost.action_cost(0, 0, dc.penalty(r), 0);
-                    ev.def[i] = Some(self.model.add_var(self.cs(c, i), format!("def_s{}_{r}", s.0)));
+                    ev.def[i] = Some(
+                        self.model
+                            .add_var(self.cs(c, i), format!("def_s{}_{r}", s.0)),
+                    );
                 }
             }
             // Combined memory use/def (§5.2): requires the S = S op X
@@ -361,11 +387,18 @@ impl<'a, M: Machine> Builder<'a, M> {
                 && two_address::is_combinable_source(inst, s)
                 && e.gin.is_some()
             {
-                let cc = self.cost.action_cost(freq, sc.copy_cycles, sc.copy_bytes, 0);
+                let cc = self
+                    .cost
+                    .action_cost(freq, sc.copy_cycles, sc.copy_bytes, 0);
                 ev.copy_to = regs
                     .iter()
                     .enumerate()
-                    .map(|(i, r)| Some(self.model.add_var(self.cs(cc, i), format!("cp_s{}_{r}", s.0))))
+                    .map(|(i, r)| {
+                        Some(
+                            self.model
+                                .add_var(self.cs(cc, i), format!("cp_s{}_{r}", s.0)),
+                        )
+                    })
                     .collect();
             }
         }
@@ -429,9 +462,9 @@ impl<'a, M: Machine> Builder<'a, M> {
             has_in
         };
         if store_possible && e.gout.is_some() {
-            let stc = self
-                .cost
-                .action_cost(freq, sc.store_cycles, sc.store_bytes, w.bytes() as u64);
+            let stc =
+                self.cost
+                    .action_cost(freq, sc.store_cycles, sc.store_bytes, w.bytes() as u64);
             ev.store = Some(self.model.add_var(self.c0(stc), format!("st_s{}", s.0)));
         }
 
@@ -450,7 +483,7 @@ impl<'a, M: Machine> Builder<'a, M> {
         let sc = *self.machine.spill_costs();
         let ev = self.events[ei].clone();
         let in_xm = self.in_xm(e, &ev);
-        let mut rows: Vec<(Vec<(VarId, f64)>, bool, f64)> = Vec::new(); // (coeffs, is_ge, rhs)
+        let mut rows: Vec<PendingRow> = Vec::new();
 
         // Pre-load feasibility, per register: load[r] ≤ xm_in. (A single
         // aggregated row would be smaller but lets a fractional slot
@@ -524,7 +557,10 @@ impl<'a, M: Machine> Builder<'a, M> {
                     if let Some(x) = self.in_x(e, &ev, i) {
                         row.push((x, -1.0));
                     }
-                    for v in [ev.load[i], ev.remat[i], ev.copy_to[i]].into_iter().flatten() {
+                    for v in [ev.load[i], ev.remat[i], ev.copy_to[i]]
+                        .into_iter()
+                        .flatten()
+                    {
                         row.push((v, -1.0));
                     }
                     if row.len() == 1 {
@@ -543,8 +579,7 @@ impl<'a, M: Machine> Builder<'a, M> {
             }
             // Must-allocate: Σ use + mem (+ combined when this role is the
             // combined source position) ≥ 1.
-            let mut row: Vec<(VarId, f64)> =
-                rv.use_r.iter().flatten().map(|&v| (v, 1.0)).collect();
+            let mut row: Vec<(VarId, f64)> = rv.use_r.iter().flatten().map(|&v| (v, 1.0)).collect();
             if let Some(m) = rv.mem {
                 row.push((m, 1.0));
             }
@@ -581,14 +616,12 @@ impl<'a, M: Machine> Builder<'a, M> {
         // Must-define (exactly once) and the §5.1 combined-specifier
         // constraint.
         if e.defines && !e.predef_def {
-            let mut row: Vec<(VarId, f64)> =
-                ev.def.iter().flatten().map(|&v| (v, 1.0)).collect();
+            let mut row: Vec<(VarId, f64)> = ev.def.iter().flatten().map(|&v| (v, 1.0)).collect();
             if let Some(cmb) = ev.combined {
                 row.push((cmb, 1.0));
             }
             rows.push((row, true, 1.0)); // ≥ 1; uniqueness via occupancy? No: equality.
-            let mut row: Vec<(VarId, f64)> =
-                ev.def.iter().flatten().map(|&v| (v, 1.0)).collect();
+            let mut row: Vec<(VarId, f64)> = ev.def.iter().flatten().map(|&v| (v, 1.0)).collect();
             if let Some(cmb) = ev.combined {
                 row.push((cmb, 1.0));
             }
@@ -598,28 +631,29 @@ impl<'a, M: Machine> Builder<'a, M> {
             if self.machine.is_two_address(inst) {
                 let (lsym, rsym) = two_address::two_addr_parts(inst);
                 // Locate the use-end variables of the source events.
-                let end_vars = |sym: Option<SymId>, b: &Builder<'a, M>| -> Vec<Vec<Option<VarId>>> {
-                    let mut out = Vec::new();
-                    if let Some(sy) = sym {
-                        if let Some(&oei) = group_events.get(&sy) {
-                            for rv in &b.events[oei].roles {
-                                if rv.use_end.iter().any(Option::is_some) {
-                                    let matches_pos = match rv.role {
-                                        Some(UseRole::Src1) | Some(UseRole::Src) => {
-                                            lsym == Some(sy)
+                let end_vars =
+                    |sym: Option<SymId>, b: &Builder<'a, M>| -> Vec<Vec<Option<VarId>>> {
+                        let mut out = Vec::new();
+                        if let Some(sy) = sym {
+                            if let Some(&oei) = group_events.get(&sy) {
+                                for rv in &b.events[oei].roles {
+                                    if rv.use_end.iter().any(Option::is_some) {
+                                        let matches_pos = match rv.role {
+                                            Some(UseRole::Src1) | Some(UseRole::Src) => {
+                                                lsym == Some(sy)
+                                            }
+                                            Some(UseRole::Src2) => rsym == Some(sy),
+                                            _ => false,
+                                        };
+                                        if matches_pos {
+                                            out.push(rv.use_end.clone());
                                         }
-                                        Some(UseRole::Src2) => rsym == Some(sy),
-                                        _ => false,
-                                    };
-                                    if matches_pos {
-                                        out.push(rv.use_end.clone());
                                     }
                                 }
                             }
                         }
-                    }
-                    out
-                };
+                        out
+                    };
                 let lends = end_vars(lsym, self);
                 let rends = if rsym == lsym {
                     Vec::new()
@@ -668,15 +702,16 @@ impl<'a, M: Machine> Builder<'a, M> {
                                 .action_cost(freq, sc.copy_cycles, sc.copy_bytes, 0);
                             let mut dz = vec![None; n];
                             let mut sum: Vec<(VarId, f64)> = Vec::new();
-                            for i in 0..n {
+                            for (i, dzi) in dz.iter_mut().enumerate() {
                                 if let (Some(d), Some(Some(ue))) = (ev.def[i], ends.get(i)) {
-                                    let z = self
-                                        .model
-                                        .add_var(-self.c0(cc) + ((i % 8) as f64 + 1.0), format!("dz_s{}", s.0));
+                                    let z = self.model.add_var(
+                                        -self.c0(cc) + ((i % 8) as f64 + 1.0),
+                                        format!("dz_s{}", s.0),
+                                    );
                                     self.model.add_le(vec![(z, 1.0), (d, -1.0)], 0.0);
                                     self.model.add_le(vec![(z, 1.0), (*ue, -1.0)], 0.0);
                                     sum.push((z, 1.0));
-                                    dz[i] = Some(z);
+                                    *dzi = Some(z);
                                 }
                             }
                             if !sum.is_empty() {
@@ -697,8 +732,7 @@ impl<'a, M: Machine> Builder<'a, M> {
                     // §5.5: the value exists only in memory after its
                     // deleted definition; register residence is fixed off
                     // and xm is free.
-                    let xs: Vec<Option<VarId>> =
-                        self.seg_x[gi].iter().map(|v| Some(*v)).collect();
+                    let xs: Vec<Option<VarId>> = self.seg_x[gi].iter().map(|v| Some(*v)).collect();
                     predefined::fix_predef_def_registers(&mut self.model, &xs);
                 } else {
                     for i in 0..n {
@@ -723,10 +757,10 @@ impl<'a, M: Machine> Builder<'a, M> {
                     }
                 }
             } else {
-                for i in 0..n {
+                for (i, &reg) in regs.iter().enumerate() {
                     let xo = self.seg_x[gi][i];
                     let mut row = vec![(xo, 1.0)];
-                    let survives_call = !e.call || !self.machine.is_caller_saved(regs[i]);
+                    let survives_call = !e.call || !self.machine.is_caller_saved(reg);
                     if survives_call {
                         if let Some(x) = self.in_x(e, &ev, i) {
                             row.push((x, -1.0));

@@ -69,8 +69,7 @@ pub fn equivalent<RF: RegFile + Default>(
         };
         let o = Interp::new(orig, SymRegFile, cfg, &args).run();
         let a = Interp::new(alloc, RF::default(), cfg, &args).run();
-        outcomes_match(orig, &o, &a)
-            .map_err(|e| format!("run {run} (args {args:?}): {e}"))?;
+        outcomes_match(orig, &o, &a).map_err(|e| format!("run {run} (args {args:?}): {e}"))?;
     }
     Ok(())
 }

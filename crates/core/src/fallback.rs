@@ -18,18 +18,54 @@ use regalloc_x86::Machine;
 
 use crate::stats::SpillStats;
 
+/// Why the spill-everything fallback could not allocate a function.
+///
+/// The fallback is the last rung of every degradation ladder, so it must
+/// never panic: when an instruction's operand pinnings cannot be
+/// satisfied with the machine's scratch registers it reports *which*
+/// symbolic register failed and lets the caller surface the error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallbackError {
+    /// No scratch register satisfied a use occurrence's constraints
+    /// without overlapping the registers already handed to the other
+    /// operands of the same instruction.
+    NoScratchRegister { sym: SymId },
+    /// No register was admitted by the definition constraints of the
+    /// instruction defining `sym`.
+    NoDefRegister { sym: SymId },
+}
+
+impl std::fmt::Display for FallbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackError::NoScratchRegister { sym } => write!(
+                f,
+                "spill-everything fallback: ran out of scratch registers for {sym}"
+            ),
+            FallbackError::NoDefRegister { sym } => write!(
+                f,
+                "spill-everything fallback: no definition register admitted for {sym}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FallbackError {}
+
 /// Allocate `f` by spilling every symbolic register.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an instruction's operand pinnings cannot be satisfied with
-/// the machine's scratch registers — impossible for the instruction
-/// shapes the IR builder produces on the provided machine models.
+/// Returns a [`FallbackError`] if an instruction's operand pinnings
+/// cannot be satisfied with the machine's scratch registers — impossible
+/// for the instruction shapes the IR builder produces on the provided
+/// machine models, but a machine model with too few registers in a width
+/// class can trigger it.
 pub fn spill_everything<M: Machine>(
     f: &Function,
     profile: &Profile,
     machine: &M,
-) -> (Function, SpillStats) {
+) -> Result<(Function, SpillStats), FallbackError> {
     let mut nf = f.clone();
     let mut stats = SpillStats::default();
     let sc = *machine.spill_costs();
@@ -63,9 +99,13 @@ pub fn spill_everything<M: Machine>(
             // occurrence's constraint admits it.
             let mut taken: Vec<(SymId, PhysReg)> = Vec::new();
             let mut role_regs: Vec<(SymId, PhysReg)> = Vec::new();
+            let mut use_err: Option<FallbackError> = None;
             {
                 let probe = new.clone();
                 probe.visit_uses(&mut |l, role| {
+                    if use_err.is_some() {
+                        return;
+                    }
                     if let Loc::Sym(s) = l {
                         let w = f.sym_width(s);
                         let c = machine.use_constraints(&probe, role, w);
@@ -73,19 +113,21 @@ pub fn spill_everything<M: Machine>(
                             .iter()
                             .find(|(ts, tr)| *ts == s && c.admits(*tr))
                             .map(|(_, tr)| *tr);
-                        let r = reuse.unwrap_or_else(|| {
-                            machine
-                                .regs_for_width(w)
-                                .iter()
-                                .copied()
-                                .find(|r| {
-                                    c.admits(*r)
-                                        && !taken.iter().any(|(ts, tr)| {
-                                            *ts != s && machine.aliases(*tr).contains(r)
-                                        })
-                                })
-                                .expect("fallback: ran out of scratch registers")
+                        let fresh = reuse.or_else(|| {
+                            machine.regs_for_width(w).iter().copied().find(|r| {
+                                c.admits(*r)
+                                    && !taken.iter().any(|(ts, tr)| {
+                                        *ts != s && machine.aliases(*tr).contains(r)
+                                    })
+                            })
                         });
+                        let r = match fresh {
+                            Some(r) => r,
+                            None => {
+                                use_err = Some(FallbackError::NoScratchRegister { sym: s });
+                                return;
+                            }
+                        };
                         if reuse.is_none() {
                             taken.push((s, r));
                         }
@@ -93,25 +135,38 @@ pub fn spill_everything<M: Machine>(
                     }
                 });
             }
+            if let Some(e) = use_err {
+                return Err(e);
+            }
 
             // Definition register: the lhs-position register for
             // two-address instructions, else the first admitted register.
-            let def_reg: Option<PhysReg> = new.sym_def().map(|d| {
-                let w = f.sym_width(d);
-                if machine.is_two_address(&new) {
-                    if let Some(&(_, r)) = role_regs.first() {
-                        // lhs/src is visited first for Bin/Un.
-                        return r;
-                    }
+            let def_reg: Option<PhysReg> = match new.sym_def() {
+                None => None,
+                Some(d) => {
+                    let w = f.sym_width(d);
+                    // lhs/src is visited first for Bin/Un, so two-address
+                    // instructions reuse the lhs-position register.
+                    let two_addr = if machine.is_two_address(&new) {
+                        role_regs.first().map(|&(_, r)| r)
+                    } else {
+                        None
+                    };
+                    let r = match two_addr {
+                        Some(r) => r,
+                        None => {
+                            let c = machine.def_constraints(&new, w);
+                            machine
+                                .regs_for_width(w)
+                                .iter()
+                                .copied()
+                                .find(|r| c.admits(*r))
+                                .ok_or(FallbackError::NoDefRegister { sym: d })?
+                        }
+                    };
+                    Some(r)
                 }
-                let c = machine.def_constraints(&new, w);
-                machine
-                    .regs_for_width(w)
-                    .iter()
-                    .copied()
-                    .find(|r| c.admits(*r))
-                    .expect("fallback: no definition register admitted")
-            });
+            };
 
             // Emit the loads (one per distinct (symbolic, register) pair).
             let mut emitted: Vec<(SymId, PhysReg)> = Vec::new();
@@ -167,5 +222,5 @@ pub fn spill_everything<M: Machine>(
         }
         nf.block_mut(b).insts = out;
     }
-    (nf, stats)
+    Ok((nf, stats))
 }

@@ -61,8 +61,8 @@ mod tests {
             &mut m,
             vec![
                 vec![a, b],
-                vec![b, a],  // duplicate after sorting
-                vec![c],     // trivial
+                vec![b, a], // duplicate after sorting
+                vec![c],    // trivial
                 vec![a, c],
                 vec![],
             ],

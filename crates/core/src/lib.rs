@@ -68,6 +68,7 @@ pub mod check;
 pub mod cost;
 pub mod fallback;
 pub mod irregular;
+pub mod pipeline;
 pub mod rewrite;
 pub mod stats;
 pub mod warm;
@@ -79,6 +80,10 @@ use regalloc_ir::{Cfg, Function, Liveness, LoopInfo, Profile};
 use regalloc_x86::Machine;
 
 pub use cost::CostModel;
+pub use pipeline::{
+    AllocReport, BaselineAllocator, Demotion, FaultPlan, ReasonCode, RobustAllocator,
+    RobustOutcome, Rung,
+};
 pub use stats::SpillStats;
 
 /// Why a function could not be allocated at all.
@@ -88,12 +93,24 @@ pub enum AllocError {
     /// not handle (such functions are "not attempted" in Table 2 of the
     /// paper).
     Uses64Bit,
+    /// The solver produced no usable solution and the spill-everything
+    /// fallback itself failed (a machine model without enough scratch
+    /// registers for some instruction shape).
+    Fallback(fallback::FallbackError),
+    /// Every rung of the [`pipeline::RobustAllocator`] degradation
+    /// ladder failed to produce a validated allocation — including the
+    /// spill-everything rung of last resort.
+    LadderExhausted,
 }
 
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AllocError::Uses64Bit => write!(f, "function uses 64-bit values"),
+            AllocError::Fallback(e) => write!(f, "fallback allocation failed: {e}"),
+            AllocError::LadderExhausted => {
+                write!(f, "every rung of the degradation ladder failed validation")
+            }
         }
     }
 }
@@ -225,13 +242,13 @@ impl<'m, M: Machine> IpAllocator<'m, M> {
         let (solved, optimal) = match sol.status {
             Status::Optimal => (true, true),
             Status::Feasible => (!sol.warm_start_only, false),
-            Status::Infeasible | Status::Unknown => (false, false),
+            Status::Infeasible | Status::Unknown | Status::NumericalTrouble => (false, false),
         };
 
         let (func, stats) = if sol.has_solution() {
             rewrite::apply(f, profile, &analysis, &built, &sol.values, self.machine)
         } else {
-            fallback::spill_everything(f, profile, self.machine)
+            fallback::spill_everything(f, profile, self.machine).map_err(AllocError::Fallback)?
         };
 
         Ok(AllocOutcome {
@@ -260,7 +277,12 @@ impl<'m, M: Machine> IpAllocator<'m, M> {
         let live = Liveness::new(f, &cfg);
         let analysis = analysis::analyze(f, &cfg, &live, self.machine);
         Ok(build::build_model(
-            f, &cfg, &profile, &analysis, self.machine, &self.cost,
+            f,
+            &cfg,
+            &profile,
+            &analysis,
+            self.machine,
+            &self.cost,
         ))
     }
 }

@@ -1,0 +1,711 @@
+//! The fault-tolerant allocation pipeline: a staged degradation ladder
+//! around the IP allocator.
+//!
+//! The paper's experimental setup quietly assumes every stage of the
+//! allocator runs to completion: the model builds, CPLEX answers within
+//! its 1024-second budget, the rewrite applies cleanly. A production
+//! allocator cannot assume any of that — a solver can hit numerical
+//! trouble, a budget can expire, and a bug anywhere in the pipeline must
+//! degrade the *quality* of the allocation, never the *correctness* of
+//! the compiler. [`RobustAllocator`] makes the paper's implicit fallback
+//! story (unsolved functions go to GCC's allocator) explicit and total:
+//!
+//! 1. **IP-optimal** — the solver proves optimality ([`Rung::IpOptimal`]).
+//! 2. **IP-incumbent** — the solver found its own feasible incumbent but
+//!    no proof within the budget ([`Rung::IpIncumbent`]).
+//! 3. **Warm start** — the seeded spill-everything *assignment* applied
+//!    through the normal rewrite path ([`Rung::WarmStart`]).
+//! 4. **Graph coloring** — the baseline allocator, injected through
+//!    [`BaselineAllocator`] ([`Rung::Coloring`]).
+//! 5. **Spill everything** — the [`crate::fallback`] allocation
+//!    ([`Rung::SpillAll`]).
+//!
+//! No rung's output is trusted. Every candidate must pass structural
+//! verification ([`regalloc_ir::verify_allocated`]) *and* an
+//! interpreter-equivalence run ([`crate::check::equivalent`]) against the
+//! original function before it is accepted; any failure — a panic
+//! (isolated with [`std::panic::catch_unwind`]), an expired deadline,
+//! solver numerical trouble, or a validation divergence — demotes the
+//! ladder to the next rung and records a structured [`ReasonCode`] in the
+//! per-function [`AllocReport`].
+//!
+//! A seeded [`FaultPlan`] can inject failures (forced solver timeouts,
+//! panics in build/rewrite, bit-flipped solution vectors) to exercise
+//! every demotion edge deterministically; the reason codes recorded are
+//! always the *observed* failure, so a corrupted solution vector shows up
+//! as the validation failure that caught it.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use regalloc_ilp::{solve_with_deadline, Deadline, SolverConfig, SolverHealth, Status};
+use regalloc_ir::{verify_allocated, Cfg, Function, Liveness, LoopInfo, Profile, RegFile};
+use regalloc_x86::{Machine, X86RegFile};
+
+use crate::stats::SpillStats;
+use crate::{analysis, build, check, fallback, rewrite, warm, AllocError, CostModel};
+
+/// The ladder position an allocation came from, best to worst.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Rung {
+    /// The IP solver proved the allocation optimal (Table 2 "optimal").
+    IpOptimal,
+    /// The IP solver found its own incumbent but no optimality proof
+    /// (Table 2 "solved", not "optimal").
+    IpIncumbent,
+    /// The seeded spill-everything assignment applied through the normal
+    /// rewrite path — the solver itself produced nothing usable.
+    WarmStart,
+    /// The injected graph-coloring baseline allocator.
+    Coloring,
+    /// The last-resort spill-everything fallback.
+    SpillAll,
+}
+
+impl Rung {
+    /// All rungs, best to worst.
+    pub const ALL: [Rung; 5] = [
+        Rung::IpOptimal,
+        Rung::IpIncumbent,
+        Rung::WarmStart,
+        Rung::Coloring,
+        Rung::SpillAll,
+    ];
+
+    /// Short stable name (used by the report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::IpOptimal => "ip-optimal",
+            Rung::IpIncumbent => "ip-incumbent",
+            Rung::WarmStart => "warm-start",
+            Rung::Coloring => "coloring",
+            Rung::SpillAll => "spill-all",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a rung was demoted past.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ReasonCode {
+    /// The solver's wall-clock budget (or the shared per-function
+    /// deadline) expired before this rung could produce anything.
+    SolverTimeout,
+    /// The solver stopped on a resource limit other than time (nodes,
+    /// model size) without producing anything for this rung.
+    SolverLimit,
+    /// The solver reported numerical trouble (NaN/Inf contamination,
+    /// simplex cycling) and its answer cannot be trusted.
+    NumericalTrouble,
+    /// The model was proved infeasible — with the always-feasible warm
+    /// start present this indicates a model-construction bug.
+    Infeasible,
+    /// A panic was caught while this rung was computing its candidate.
+    Panic,
+    /// The candidate failed structural verification
+    /// ([`regalloc_ir::verify_allocated`]).
+    ValidationFailed,
+    /// The candidate failed the interpreter-equivalence check
+    /// ([`crate::check::equivalent`]).
+    EquivalenceFailed,
+    /// The shared per-function deadline expired before this rung ran.
+    DeadlineExceeded,
+    /// The rung has no implementation in this pipeline (no baseline
+    /// allocator was injected).
+    RungUnavailable,
+    /// The rung reported a structured error of its own (e.g.
+    /// [`fallback::FallbackError`]).
+    RungFailed,
+}
+
+impl ReasonCode {
+    /// Short stable name (used by the report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReasonCode::SolverTimeout => "solver-timeout",
+            ReasonCode::SolverLimit => "solver-limit",
+            ReasonCode::NumericalTrouble => "numerical-trouble",
+            ReasonCode::Infeasible => "infeasible",
+            ReasonCode::Panic => "panic",
+            ReasonCode::ValidationFailed => "validation-failed",
+            ReasonCode::EquivalenceFailed => "equivalence-failed",
+            ReasonCode::DeadlineExceeded => "deadline-exceeded",
+            ReasonCode::RungUnavailable => "rung-unavailable",
+            ReasonCode::RungFailed => "rung-failed",
+        }
+    }
+}
+
+impl std::fmt::Display for ReasonCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One demotion step: the rung given up on, why, and a human-readable
+/// detail (panic message, validation divergence, solver status).
+#[derive(Clone, Debug)]
+pub struct Demotion {
+    /// The rung that failed or was skipped.
+    pub from: Rung,
+    /// The structured reason.
+    pub reason: ReasonCode,
+    /// Free-form diagnostic detail.
+    pub detail: String,
+}
+
+/// Deterministic fault injection for exercising the ladder.
+///
+/// Faults are injected at the pipeline layer (not inside the solver), so
+/// a plan perturbs exactly the failure edges the ladder is supposed to
+/// survive. The default plan is clean.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    /// Give the IP solver a zero wall-clock budget, forcing the timeout
+    /// path regardless of the configured limit.
+    pub force_timeout: bool,
+    /// Panic at the start of analysis/model building (takes the IP and
+    /// warm-start rungs down together, as a real builder bug would).
+    pub panic_in_build: bool,
+    /// Panic inside the rewrite of every solver-derived candidate.
+    pub panic_in_rewrite: bool,
+    /// Flip decision-variable bits of the IP solution before rewrite,
+    /// seeded for determinism — the validators must catch the damage.
+    pub corrupt_solution: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The clean plan: no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A pseudo-random plan derived from `seed` (used by the fuzzing
+    /// tests to cover fault combinations).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let h = regalloc_ir::interp::mix64(seed);
+        FaultPlan {
+            force_timeout: h & 1 != 0,
+            panic_in_build: h & 2 != 0,
+            panic_in_rewrite: h & 4 != 0,
+            corrupt_solution: (h & 8 != 0).then(|| regalloc_ir::interp::mix64(h | 1)),
+        }
+    }
+
+    /// True when no fault is armed.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+/// Per-function report: which rung produced the emitted code, every
+/// demotion along the way, timings and solver health.
+#[derive(Clone, Debug)]
+pub struct AllocReport {
+    /// Function name.
+    pub name: String,
+    /// The rung whose (validated) output was accepted.
+    pub rung: Rung,
+    /// Demotions taken before acceptance, in ladder order.
+    pub demotions: Vec<Demotion>,
+    /// Time spent in analysis + model building.
+    pub build_time: Duration,
+    /// Time spent in the IP solver.
+    pub solve_time: Duration,
+    /// Time spent validating candidates (structural verification plus
+    /// interpreter-equivalence runs) across every rung attempted.
+    pub validate_time: Duration,
+    /// Numerical-health counters accumulated by the solver.
+    pub health: SolverHealth,
+    /// Branch-and-bound nodes used.
+    pub solver_nodes: u64,
+    /// Constraints in the integer program (0 if the model never built).
+    pub num_constraints: usize,
+    /// Decision variables in the integer program (0 if never built).
+    pub num_vars: usize,
+    /// Intermediate instructions analysed.
+    pub num_insts: usize,
+}
+
+impl AllocReport {
+    /// Table 2 "solved": the IP solver's own answer was accepted.
+    pub fn solved(&self) -> bool {
+        matches!(self.rung, Rung::IpOptimal | Rung::IpIncumbent)
+    }
+
+    /// Table 2 "optimal": the accepted answer carries an optimality proof.
+    pub fn solved_optimally(&self) -> bool {
+        self.rung == Rung::IpOptimal
+    }
+
+    /// True if any demotion was taken.
+    pub fn degraded(&self) -> bool {
+        !self.demotions.is_empty()
+    }
+}
+
+/// The result of a robust allocation: runnable, validated code plus the
+/// report describing how it was obtained.
+#[derive(Clone, Debug)]
+pub struct RobustOutcome {
+    /// The rewritten function (validated: structural + equivalence).
+    pub func: Function,
+    /// Spill accounting for the accepted rung.
+    pub stats: SpillStats,
+    /// How the ladder got here.
+    pub report: AllocReport,
+}
+
+/// The injected graph-coloring rung.
+///
+/// `regalloc-coloring` depends on this crate, so the pipeline cannot name
+/// `ColoringAllocator` directly; the baseline is injected through this
+/// object-safe trait instead (implemented by `ColoringAllocator`).
+pub trait BaselineAllocator {
+    /// Produce a complete allocation of `f`, or a description of why the
+    /// baseline could not.
+    fn allocate_baseline(
+        &self,
+        f: &Function,
+        profile: &Profile,
+    ) -> Result<(Function, SpillStats), String>;
+}
+
+/// The fault-tolerant allocator: [`crate::IpAllocator`]'s pipeline wrapped
+/// in the validated degradation ladder described in the module docs.
+///
+/// `RF` is the register file used for interpreter-equivalence validation;
+/// it must match the machine model `M` (the default pairs
+/// [`X86RegFile`] with `X86Machine`).
+pub struct RobustAllocator<'m, M, RF = X86RegFile> {
+    machine: &'m M,
+    cost: CostModel,
+    solver: SolverConfig,
+    budget: Duration,
+    equiv_runs: usize,
+    equiv_seed: u64,
+    faults: FaultPlan,
+    baseline: Option<&'m dyn BaselineAllocator>,
+    _rf: PhantomData<fn() -> RF>,
+}
+
+/// Stringify a caught panic payload.
+fn panic_msg(e: Box<dyn Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
+    /// A robust allocator with the paper's cost weights, the default
+    /// solver budget, a 30-second per-function wall-clock deadline across
+    /// all rungs, and 4 equivalence runs per candidate.
+    pub fn new(machine: &'m M) -> RobustAllocator<'m, M, RF> {
+        RobustAllocator {
+            machine,
+            cost: CostModel::paper(),
+            solver: SolverConfig::default(),
+            budget: Duration::from_secs(30),
+            equiv_runs: 4,
+            equiv_seed: 0x0b5e55ed,
+            faults: FaultPlan::none(),
+            baseline: None,
+            _rf: PhantomData,
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the IP solver configuration.
+    pub fn with_solver_config(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Replace the shared per-function wall-clock budget. The solver gets
+    /// at most `min(budget, solver.time_limit)`; lower rungs run even
+    /// after expiry (code must still be emitted) but intermediate rungs
+    /// are skipped with [`ReasonCode::DeadlineExceeded`].
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Configure the equivalence validator (`runs` random argument
+    /// vectors from `seed`). `runs = 0` disables interpreter validation
+    /// (structural verification still runs).
+    pub fn with_equivalence(mut self, runs: usize, seed: u64) -> Self {
+        self.equiv_runs = runs;
+        self.equiv_seed = seed;
+        self
+    }
+
+    /// Arm a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Inject the graph-coloring rung.
+    pub fn with_baseline(mut self, baseline: &'m dyn BaselineAllocator) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &M {
+        self.machine
+    }
+
+    /// Validate a candidate: structural verification, then interpreter
+    /// equivalence against the original function.
+    fn validate(&self, orig: &Function, cand: &Function) -> Result<(), (ReasonCode, String)> {
+        if let Err(errs) = verify_allocated(cand) {
+            return Err((
+                ReasonCode::ValidationFailed,
+                format!(
+                    "{} structural errors, first: {:?}",
+                    errs.len(),
+                    errs.first()
+                ),
+            ));
+        }
+        if self.equiv_runs > 0 {
+            check::equivalent::<RF>(orig, cand, self.equiv_runs, self.equiv_seed)
+                .map_err(|e| (ReasonCode::EquivalenceFailed, e))?;
+        }
+        Ok(())
+    }
+
+    /// Allocate registers for `f` through the degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// * [`AllocError::Uses64Bit`] — the function is not attempted, as in
+    ///   Table 2 of the paper.
+    /// * [`AllocError::LadderExhausted`] — every rung, including the
+    ///   spill-everything fallback, failed to produce a validated
+    ///   allocation. Unreachable on the provided machine models unless a
+    ///   fault plan sabotages the fallback itself.
+    pub fn allocate(&self, f: &Function) -> Result<RobustOutcome, AllocError> {
+        if f.uses_64bit() {
+            return Err(AllocError::Uses64Bit);
+        }
+        let cfg = Cfg::new(f);
+        let loops = LoopInfo::new(f, &cfg);
+        let profile = Profile::estimate(f, &cfg, &loops);
+        self.allocate_with_profile(f, &cfg, &profile)
+    }
+
+    /// Allocate with an externally supplied profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`RobustAllocator::allocate`].
+    pub fn allocate_with_profile(
+        &self,
+        f: &Function,
+        cfg: &Cfg,
+        profile: &Profile,
+    ) -> Result<RobustOutcome, AllocError> {
+        if f.uses_64bit() {
+            return Err(AllocError::Uses64Bit);
+        }
+        let deadline = Deadline::after(self.budget);
+        let mut demotions: Vec<Demotion> = Vec::new();
+        let mut health = SolverHealth::default();
+        let mut solve_time = Duration::ZERO;
+        let mut validate_time = Duration::ZERO;
+        let mut solver_nodes = 0u64;
+        let mut num_constraints = 0usize;
+        let mut num_vars = 0usize;
+
+        // ---- Stage 1: analysis + model build (guarded). -------------------
+        // A panic here takes the IP and warm-start rungs down together:
+        // all three need the built model.
+        let faults = self.faults;
+        let t0 = Instant::now();
+        let built_parts = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!faults.panic_in_build, "fault injection: panic_in_build");
+            let live = Liveness::new(f, cfg);
+            let analysis = analysis::analyze(f, cfg, &live, self.machine);
+            let built = build::build_model(f, cfg, profile, &analysis, self.machine, &self.cost);
+            let warm = warm::spill_everything_assignment(f, &analysis, &built, self.machine);
+            (analysis, built, warm)
+        }));
+        let build_time = t0.elapsed();
+
+        macro_rules! finish {
+            ($rung:expr, $func:expr, $stats:expr) => {
+                return Ok(RobustOutcome {
+                    func: $func,
+                    stats: $stats,
+                    report: AllocReport {
+                        name: f.name().to_string(),
+                        rung: $rung,
+                        demotions,
+                        build_time,
+                        solve_time,
+                        validate_time,
+                        health,
+                        solver_nodes,
+                        num_constraints,
+                        num_vars,
+                        num_insts: f.num_insts(),
+                    },
+                })
+            };
+        }
+
+        let model_rungs = match built_parts {
+            Ok(parts) => Some(parts),
+            Err(e) => {
+                let msg = panic_msg(e);
+                for rung in [Rung::IpOptimal, Rung::IpIncumbent, Rung::WarmStart] {
+                    demotions.push(Demotion {
+                        from: rung,
+                        reason: ReasonCode::Panic,
+                        detail: format!("model build panicked: {msg}"),
+                    });
+                }
+                None
+            }
+        };
+
+        // ---- Stage 2: solve + rewrite the solver-derived rungs. -----------
+        if let Some((analysis, built, warm_values)) = model_rungs {
+            num_constraints = built.model.num_rows();
+            num_vars = built.model.num_vars();
+
+            let solve_deadline = if faults.force_timeout {
+                Deadline::after(Duration::ZERO)
+            } else {
+                deadline
+            };
+            let sol = catch_unwind(AssertUnwindSafe(|| {
+                solve_with_deadline(
+                    &built.model,
+                    &self.solver,
+                    Some(&warm_values),
+                    solve_deadline,
+                )
+            }));
+
+            // Each solver-derived rung is a (rung, values) candidate; the
+            // first whose rewrite + validation succeeds wins.
+            let mut candidates: Vec<(Rung, Vec<bool>)> = Vec::new();
+            match sol {
+                Ok(sol) => {
+                    solve_time = sol.solve_time;
+                    solver_nodes = sol.nodes;
+                    health.merge(&sol.health);
+                    let (ip_reason, ip_detail) = match sol.status {
+                        Status::Optimal => {
+                            candidates.push((Rung::IpOptimal, sol.values.clone()));
+                            (None, String::new())
+                        }
+                        Status::Feasible if !sol.warm_start_only => {
+                            candidates.push((Rung::IpIncumbent, sol.values.clone()));
+                            (
+                                Some(ReasonCode::SolverTimeout),
+                                "no optimality proof within budget".to_string(),
+                            )
+                        }
+                        Status::Feasible => (
+                            Some(ReasonCode::SolverTimeout),
+                            "solver returned only the seeded warm start".to_string(),
+                        ),
+                        Status::NumericalTrouble => (
+                            Some(ReasonCode::NumericalTrouble),
+                            format!("solver health: {:?}", sol.health),
+                        ),
+                        Status::Infeasible => (
+                            Some(ReasonCode::Infeasible),
+                            "model proved infeasible".to_string(),
+                        ),
+                        Status::Unknown => (
+                            Some(ReasonCode::SolverLimit),
+                            "solver stopped with nothing usable".to_string(),
+                        ),
+                    };
+                    if let Some(reason) = ip_reason {
+                        let until = if candidates.is_empty() {
+                            // Neither IP rung has a candidate.
+                            vec![Rung::IpOptimal, Rung::IpIncumbent]
+                        } else {
+                            vec![Rung::IpOptimal]
+                        };
+                        for rung in until {
+                            demotions.push(Demotion {
+                                from: rung,
+                                reason,
+                                detail: ip_detail.clone(),
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    let msg = panic_msg(e);
+                    for rung in [Rung::IpOptimal, Rung::IpIncumbent] {
+                        demotions.push(Demotion {
+                            from: rung,
+                            reason: ReasonCode::Panic,
+                            detail: format!("solver panicked: {msg}"),
+                        });
+                    }
+                }
+            }
+            candidates.push((Rung::WarmStart, warm_values));
+
+            for (rung, mut values) in candidates {
+                if deadline.expired() && rung != Rung::WarmStart {
+                    demotions.push(Demotion {
+                        from: rung,
+                        reason: ReasonCode::DeadlineExceeded,
+                        detail: "per-function budget expired".to_string(),
+                    });
+                    continue;
+                }
+                // Bit-flip fault: damage solver-produced vectors only; the
+                // validators below must catch it.
+                if let (Some(seed), true) = (faults.corrupt_solution, rung != Rung::WarmStart) {
+                    if !values.is_empty() {
+                        for k in 0..8 {
+                            let i = regalloc_ir::interp::mix64(seed ^ k) as usize % values.len();
+                            values[i] = !values[i];
+                        }
+                    }
+                }
+                let cand = catch_unwind(AssertUnwindSafe(|| {
+                    assert!(
+                        !faults.panic_in_rewrite,
+                        "fault injection: panic_in_rewrite"
+                    );
+                    rewrite::apply(f, profile, &analysis, &built, &values, self.machine)
+                }));
+                let (func, stats) = match cand {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        demotions.push(Demotion {
+                            from: rung,
+                            reason: ReasonCode::Panic,
+                            detail: format!("rewrite panicked: {}", panic_msg(e)),
+                        });
+                        continue;
+                    }
+                };
+                let tv = Instant::now();
+                let valid = self.validate(f, &func);
+                validate_time += tv.elapsed();
+                match valid {
+                    Ok(()) => finish!(rung, func, stats),
+                    Err((reason, detail)) => {
+                        demotions.push(Demotion {
+                            from: rung,
+                            reason,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+
+        // ---- Stage 3: the graph-coloring baseline (guarded). --------------
+        match self.baseline {
+            None => demotions.push(Demotion {
+                from: Rung::Coloring,
+                reason: ReasonCode::RungUnavailable,
+                detail: "no baseline allocator injected".to_string(),
+            }),
+            Some(_) if deadline.expired() => demotions.push(Demotion {
+                from: Rung::Coloring,
+                reason: ReasonCode::DeadlineExceeded,
+                detail: "per-function budget expired".to_string(),
+            }),
+            Some(baseline) => {
+                let cand =
+                    catch_unwind(AssertUnwindSafe(|| baseline.allocate_baseline(f, profile)));
+                match cand {
+                    Ok(Ok((func, stats))) => {
+                        let tv = Instant::now();
+                        let valid = self.validate(f, &func);
+                        validate_time += tv.elapsed();
+                        match valid {
+                            Ok(()) => finish!(Rung::Coloring, func, stats),
+                            Err((reason, detail)) => demotions.push(Demotion {
+                                from: Rung::Coloring,
+                                reason,
+                                detail,
+                            }),
+                        }
+                    }
+                    Ok(Err(msg)) => demotions.push(Demotion {
+                        from: Rung::Coloring,
+                        reason: ReasonCode::RungFailed,
+                        detail: msg,
+                    }),
+                    Err(e) => demotions.push(Demotion {
+                        from: Rung::Coloring,
+                        reason: ReasonCode::Panic,
+                        detail: format!("baseline panicked: {}", panic_msg(e)),
+                    }),
+                }
+            }
+        }
+
+        // ---- Stage 4: spill everything — the rung of last resort. ---------
+        // Runs even past the deadline: code must still be emitted.
+        let cand = catch_unwind(AssertUnwindSafe(|| {
+            fallback::spill_everything(f, profile, self.machine)
+        }));
+        match cand {
+            Ok(Ok((func, stats))) => {
+                let tv = Instant::now();
+                let valid = self.validate(f, &func);
+                validate_time += tv.elapsed();
+                match valid {
+                    Ok(()) => finish!(Rung::SpillAll, func, stats),
+                    Err((reason, detail)) => {
+                        demotions.push(Demotion {
+                            from: Rung::SpillAll,
+                            reason,
+                            detail,
+                        });
+                        Err(AllocError::LadderExhausted)
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                demotions.push(Demotion {
+                    from: Rung::SpillAll,
+                    reason: ReasonCode::RungFailed,
+                    detail: e.to_string(),
+                });
+                Err(AllocError::LadderExhausted)
+            }
+            Err(e) => {
+                demotions.push(Demotion {
+                    from: Rung::SpillAll,
+                    reason: ReasonCode::Panic,
+                    detail: format!("fallback panicked: {}", panic_msg(e)),
+                });
+                Err(AllocError::LadderExhausted)
+            }
+        }
+    }
+}

@@ -14,9 +14,7 @@
 use std::collections::HashMap;
 
 use regalloc_ilp::VarId;
-use regalloc_ir::{
-    Dst, Function, Inst, Loc, Operand, PhysReg, Profile, SlotId, SymId,
-};
+use regalloc_ir::{Dst, Function, Inst, Loc, Operand, PhysReg, Profile, SlotId, SymId};
 use regalloc_x86::Machine;
 
 use crate::analysis::{Analysis, Event};
@@ -81,9 +79,7 @@ impl<'a, M: Machine> Rewriter<'a, M> {
     fn in_reg(&self, e: &Event, ev: &EventVars) -> Option<PhysReg> {
         let regs = self.regs(e.sym);
         let lookup = |xs: &[VarId]| -> Option<PhysReg> {
-            xs.iter()
-                .position(|&x| self.tv(x))
-                .map(|i| regs[i])
+            xs.iter().position(|&x| self.tv(x)).map(|i| regs[i])
         };
         if let Some(g) = e.gin {
             return lookup(&self.built.seg_x[g.index()]);
@@ -189,9 +185,7 @@ impl<'a, M: Machine> Rewriter<'a, M> {
                     let regs = self.regs(e.sym);
                     for (i, c) in ev.copy_to.iter().enumerate() {
                         if self.ov(*c) {
-                            let src = self
-                                .in_reg(e, ev)
-                                .expect("copy needs an incoming register");
+                            let src = self.in_reg(e, ev).expect("copy needs an incoming register");
                             out.push(Inst::Copy {
                                 dst: Loc::Real(regs[i]),
                                 src: Loc::Real(src),
@@ -213,18 +207,16 @@ impl<'a, M: Machine> Rewriter<'a, M> {
                     .iter()
                     .copied()
                     .find(|&ei| self.a.events[ei].defines);
-                let deleted = if def_event
-                    .is_some_and(|ei| self.a.events[ei].predef_def)
-                {
+                let deleted = if def_event.is_some_and(|ei| self.a.events[ei].predef_def) {
                     // §5.5: the defining load of a predefined memory
                     // symbolic is removed; the value already lives in its
                     // home location.
                     self.stats.loads -= freq as i64;
                     self.stats.code_bytes -= self.machine.inst_size(inst) as i64;
                     true
-                } else if def_event.is_some_and(|ei| {
-                    self.built.events[ei].dz.iter().any(|z| self.ov(*z))
-                }) {
+                } else if def_event
+                    .is_some_and(|ei| self.built.events[ei].dz.iter().any(|z| self.ov(*z)))
+                {
                     // §5.1 copy deletion.
                     self.stats.copies -= freq as i64;
                     self.stats.code_bytes -= sc.copy_bytes as i64;
@@ -438,7 +430,14 @@ impl<'a, M: Machine> Rewriter<'a, M> {
                 width: *width,
             },
             Inst::Copy { src, width, .. } => {
-                let src = loc(self, by_sym, &mut cursors, freq, *src, def_info.and_then(|d| d.1));
+                let src = loc(
+                    self,
+                    by_sym,
+                    &mut cursors,
+                    freq,
+                    *src,
+                    def_info.and_then(|d| d.1),
+                );
                 Inst::Copy {
                     dst: Loc::Real(def_info.unwrap().1.unwrap()),
                     src,
@@ -498,11 +497,10 @@ impl<'a, M: Machine> Rewriter<'a, M> {
                     Operand::Loc(Loc::Sym(s)) => Some(s),
                     _ => None,
                 };
-                if two_addr && lhs_sym.is_some() && lhs_sym == rhs_sym {
+                if let Some(s) = lhs_sym.filter(|_| two_addr && lhs_sym == rhs_sym) {
                     // Same symbolic in both positions: either role's use
                     // of the definition register justifies the combined
                     // specifier (def ≤ useEnd_ρ1 + useEnd_ρ2).
-                    let s = lhs_sym.unwrap();
                     let c0 = self.role_choice(by_sym, &mut cursors, s, Some(dreg), freq);
                     let c1 = self.role_choice(by_sym, &mut cursors, s, Some(dreg), freq);
                     let (l, r) = match (&c0, &c1) {
@@ -618,7 +616,9 @@ impl<'a, M: Machine> Rewriter<'a, M> {
                 }
             }
             Inst::Ret { val } => Inst::Ret {
-                val: val.as_ref().map(|v| op(self, by_sym, &mut cursors, freq, nf, v, None)),
+                val: val
+                    .as_ref()
+                    .map(|v| op(self, by_sym, &mut cursors, freq, nf, v, None)),
             },
             Inst::Jump { .. } | Inst::SpillLoad { .. } | Inst::SpillStore { .. } => inst.clone(),
         }

@@ -76,12 +76,10 @@ pub fn spill_everything_assignment<M: Machine>(
                                 regs.iter()
                                     .position(|r| {
                                         c.admits(*r)
-                                            && rv.use_r
-                                                [regs.iter().position(|x| x == r).unwrap()]
-                                            .is_some()
+                                            && rv.use_r[regs.iter().position(|x| x == r).unwrap()]
+                                                .is_some()
                                             && !taken.iter().any(|(ts, tr)| {
-                                                *ts != e.sym
-                                                    && machine.aliases(*tr).contains(r)
+                                                *ts != e.sym && machine.aliases(*tr).contains(r)
                                             })
                                     })
                                     .expect("warm start: no admissible scratch register")

@@ -3,9 +3,7 @@
 //! model.
 
 use regalloc_core::{check, IpAllocator};
-use regalloc_ir::{
-    verify_allocated, Address, BinOp, FunctionBuilder, Loc, Operand, Width,
-};
+use regalloc_ir::{verify_allocated, Address, BinOp, FunctionBuilder, Loc, Operand, Width};
 use regalloc_x86::{regs, Machine, X86Machine, X86RegFile};
 
 #[test]

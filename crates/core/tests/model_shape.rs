@@ -2,7 +2,7 @@
 //! must be visible in the model's structure, not just its solutions.
 
 use regalloc_core::IpAllocator;
-use regalloc_ir::{BinOp, Dst, FunctionBuilder, Function, Inst, Operand, UnOp, Width};
+use regalloc_ir::{BinOp, Dst, Function, FunctionBuilder, Inst, Operand, UnOp, Width};
 use regalloc_x86::{RiscMachine, X86Machine};
 
 fn x86_model(f: &Function) -> regalloc_core::build::BuiltModel {
@@ -58,15 +58,13 @@ fn combined_memory_variable_requires_rmw_shape_and_machine_support() {
         }
         b.finish()
     };
-    let has_combined = |f: &Function| {
-        x86_model(f)
-            .events
-            .iter()
-            .any(|ev| ev.combined.is_some())
-    };
+    let has_combined = |f: &Function| x86_model(f).events.iter().any(|ev| ev.combined.is_some());
     assert!(has_combined(&mk(BinOp::Add, true)), "add m, imm exists");
     assert!(!has_combined(&mk(BinOp::Add, false)), "needs dst == lhs");
-    assert!(!has_combined(&mk(BinOp::Mul, true)), "imul m, r does not exist");
+    assert!(
+        !has_combined(&mk(BinOp::Mul, true)),
+        "imul m, r does not exist"
+    );
 }
 
 #[test]
@@ -80,9 +78,14 @@ fn risc_model_has_no_two_address_machinery() {
     b.bin(BinOp::Add, z, Operand::sym(x), Operand::sym(y));
     b.ret(Some(z));
     let f = b.finish();
-    let built = IpAllocator::new(&RiscMachine::new()).build_only(&f).unwrap();
+    let built = IpAllocator::new(&RiscMachine::new())
+        .build_only(&f)
+        .unwrap();
     assert!(
-        built.events.iter().all(|ev| ev.copy_to.iter().all(Option::is_none)),
+        built
+            .events
+            .iter()
+            .all(|ev| ev.copy_to.iter().all(Option::is_none)),
         "three-address machines need no §5.1 copies"
     );
     assert!(built.events.iter().all(|ev| ev.combined.is_none()));
@@ -168,7 +171,9 @@ fn constraint_count_scales_with_register_file() {
     b.ret(Some(y));
     let f = b.finish();
     let bx = x86_model(&f);
-    let br = IpAllocator::new(&RiscMachine::new()).build_only(&f).unwrap();
+    let br = IpAllocator::new(&RiscMachine::new())
+        .build_only(&f)
+        .unwrap();
     assert!(br.model.num_vars() > 2 * bx.model.num_vars());
     assert!(br.model.num_rows() > bx.model.num_rows());
 }

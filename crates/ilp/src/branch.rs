@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::health::{Deadline, SolverHealth};
 use crate::model::Model;
 use crate::presolve::{propagate, Propagation};
 use crate::simplex::{solve_lp, LpOutcome};
@@ -36,7 +37,7 @@ impl Default for SolverConfig {
 }
 
 /// Solve outcome classification, matching the taxonomy of the paper's
-/// Table 2.
+/// Table 2 (plus the health-guard outcome).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Status {
     /// An optimal solution was found and proved optimal.
@@ -48,6 +49,11 @@ pub enum Status {
     Infeasible,
     /// No conclusion within the limits.
     Unknown,
+    /// No conclusion, and the search was dominated by numerical trouble
+    /// (NaN/Inf contamination or unusable pivots in the simplex) rather
+    /// than by resource exhaustion. The caller should not retry with a
+    /// bigger budget; it should degrade to a non-IP allocation.
+    NumericalTrouble,
 }
 
 /// The result of a solve.
@@ -70,6 +76,8 @@ pub struct Solution {
     pub lp_iters: u64,
     /// Wall-clock time spent.
     pub solve_time: Duration,
+    /// Numerical-health counters accumulated across every LP relaxation.
+    pub health: SolverHealth,
 }
 
 impl Solution {
@@ -108,7 +116,8 @@ fn dive(
     lb0: &[f64],
     ub0: &[f64],
     cfg: &SolverConfig,
-    deadline: Instant,
+    deadline: Deadline,
+    health: &mut SolverHealth,
 ) -> Option<(Vec<bool>, f64)> {
     let mut lb = lb0.to_vec();
     let mut ub = ub0.to_vec();
@@ -118,12 +127,12 @@ fn dive(
     let mut retry: Option<(Vec<f64>, Vec<f64>, usize, f64)> = None;
     let mut backtracks = 0u32;
     for _ in 0..(2 * model.num_vars()).max(16) {
-        if Instant::now() >= deadline {
+        if deadline.expired() {
             return None;
         }
         let feasible = matches!(propagate(model, &mut lb, &mut ub), Propagation::Ok);
         let lp = if feasible {
-            solve_lp(model, &lb, &ub, cfg.lp_iter_limit, Some(deadline))
+            solve_lp(model, &lb, &ub, cfg.lp_iter_limit, deadline, health)
         } else {
             LpOutcome::Infeasible
         };
@@ -143,7 +152,7 @@ fn dive(
                     _ => return None,
                 }
             }
-            LpOutcome::Limit => return None,
+            LpOutcome::Limit | LpOutcome::Numerical => return None,
         };
         // Freeze everything already integral.
         let mut best: Option<(usize, f64)> = None; // least fractional
@@ -184,8 +193,24 @@ fn dive(
 /// register allocator passes its spill-everything fallback here so a
 /// usable allocation always exists even when the search times out.
 pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> Solution {
+    solve_with_deadline(model, cfg, warm_start, Deadline::after(cfg.time_limit))
+}
+
+/// [`solve`], but bounded by an externally shared [`Deadline`] as well as
+/// the config's own time limit (whichever is earlier wins).
+///
+/// The allocation pipeline passes one per-function deadline token here so
+/// that the IP attempt, however configured, can never starve the
+/// degradation rungs that follow it.
+pub fn solve_with_deadline(
+    model: &Model,
+    cfg: &SolverConfig,
+    warm_start: Option<&[bool]>,
+    deadline: Deadline,
+) -> Solution {
     let start = Instant::now();
-    let deadline = start + cfg.time_limit;
+    let deadline = deadline.earliest(Deadline::after(cfg.time_limit));
+    let mut health = SolverHealth::default();
     let n = model.num_vars();
 
     let mut best: Option<(Vec<bool>, f64)> = None;
@@ -204,7 +229,8 @@ pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> 
                   best: Option<(Vec<bool>, f64)>,
                   nodes,
                   lp_iters,
-                  warm_start_only: bool| {
+                  warm_start_only: bool,
+                  health: SolverHealth| {
         let (values, objective) = best.unwrap_or((Vec::new(), f64::INFINITY));
         Solution {
             status,
@@ -214,6 +240,7 @@ pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> 
             lp_iters,
             warm_start_only,
             solve_time: start.elapsed(),
+            health,
         }
     };
 
@@ -223,16 +250,21 @@ pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> 
         } else {
             Status::Unknown
         };
-        return finish(status, best, 0, 0, warm_start_only);
+        return finish(status, best, 0, 0, warm_start_only, health);
     }
 
     // Primal dive from the root for a strong initial incumbent (the warm
     // start, when provided, is typically a weak spill-everything bound).
     {
-        let dive_deadline =
-            (Instant::now() + cfg.time_limit.mul_f64(0.8)).min(deadline);
-        if let Some((cand, obj)) = dive(model, &vec![0.0; n], &vec![1.0; n], cfg, dive_deadline)
-        {
+        let dive_deadline = deadline.earliest(Deadline::after(cfg.time_limit.mul_f64(0.8)));
+        if let Some((cand, obj)) = dive(
+            model,
+            &vec![0.0; n],
+            &vec![1.0; n],
+            cfg,
+            dive_deadline,
+            &mut health,
+        ) {
             if best.as_ref().is_none_or(|(_, inc)| obj < *inc - 1e-9) {
                 best = Some((cand, obj));
             }
@@ -251,7 +283,7 @@ pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> 
     let mut proof_lost = false;
 
     while let Some(mut node) = stack.pop() {
-        if Instant::now() >= deadline || nodes >= cfg.node_limit {
+        if deadline.expired() || nodes >= cfg.node_limit {
             proof_lost = true;
             break;
         }
@@ -262,11 +294,21 @@ pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> 
             Propagation::Ok => {}
         }
 
-        let lp = solve_lp(model, &node.lb, &node.ub, cfg.lp_iter_limit, Some(deadline));
+        let lp = solve_lp(
+            model,
+            &node.lb,
+            &node.ub,
+            cfg.lp_iter_limit,
+            deadline,
+            &mut health,
+        );
         let (x, obj, iters) = match lp {
             LpOutcome::Optimal { x, obj, iters } => (x, obj, iters),
             LpOutcome::Infeasible => continue,
-            LpOutcome::Limit => {
+            LpOutcome::Limit | LpOutcome::Numerical => {
+                // Abandoning the node loses the optimality proof; the
+                // incumbent (if any) stays valid. Numerical trouble is
+                // already counted in `health` by the simplex layer.
                 proof_lost = true;
                 continue;
             }
@@ -345,12 +387,15 @@ pub fn solve(model: &Model, cfg: &SolverConfig, warm_start: Option<&[bool]>) -> 
         (Some(_), false) => Status::Optimal,
         (Some(_), true) => Status::Feasible,
         (None, false) => Status::Infeasible,
+        // Nothing concluded: distinguish "ran out of budget" from "the
+        // numerics collapsed" so the caller degrades instead of retrying.
+        (None, true) if health.numerical_trouble() => Status::NumericalTrouble,
         (None, true) => Status::Unknown,
     };
     // A completed search that never replaced the warm start has *proved*
     // it optimal; that counts as the solver's own result.
     let wso = warm_start_only && status != Status::Optimal;
-    finish(status, best, nodes, lp_iters, wso)
+    finish(status, best, nodes, lp_iters, wso, health)
 }
 
 #[cfg(test)]
@@ -488,10 +533,7 @@ mod tests {
     fn equality_partition() {
         // Exactly one of three, minimise cost.
         let mut m = Model::new();
-        let v: Vec<_> = [5.0, 1.0, 3.0]
-            .iter()
-            .map(|c| m.add_var(*c, "v"))
-            .collect();
+        let v: Vec<_> = [5.0, 1.0, 3.0].iter().map(|c| m.add_var(*c, "v")).collect();
         m.add_eq(v.iter().map(|&x| (x, 1.0)).collect(), 1.0);
         let s = solve(&m, &cfg(), None);
         assert_eq!(s.status, Status::Optimal);

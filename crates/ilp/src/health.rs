@@ -1,0 +1,158 @@
+//! Solver health instrumentation: a shared wall-clock [`Deadline`] token
+//! and the [`SolverHealth`] counters surfaced with every solve.
+//!
+//! The paper's harness ran CPLEX under a hard 1024-second per-function
+//! budget and simply accounted for the functions that hit it (Table 2).
+//! This module gives the reproduction the same discipline end to end:
+//! one deadline token is threaded through branch-and-bound *and* every
+//! simplex iteration loop, so no layer of the solver can hang past its
+//! budget, and numerical trouble (NaN/Inf contamination, unusable
+//! pivots, suspected cycling) is counted and reported instead of
+//! panicking or spinning.
+
+use std::time::{Duration, Instant};
+
+/// A shared wall-clock budget token.
+///
+/// Cheap to copy and check; every solver loop (branch-and-bound nodes,
+/// simplex iterations, dive heuristics) polls the same token, so a
+/// caller-imposed budget bounds the whole solve, not just the node loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A deadline at the given instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline { at: Some(instant) }
+    }
+
+    /// No deadline: `expired` is always false.
+    pub fn unlimited() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// True once the wall clock has passed the deadline.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Remaining budget (`None` when unlimited, zero when expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The earlier of two deadlines.
+    pub fn earliest(self, other: Deadline) -> Deadline {
+        match (self.at, other.at) {
+            (Some(a), Some(b)) => Deadline { at: Some(a.min(b)) },
+            (a, b) => Deadline { at: a.or(b) },
+        }
+    }
+
+    /// The instant, when bounded.
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+}
+
+/// Counters describing how healthy a solve was.
+///
+/// Aggregated across every LP relaxation of a branch-and-bound run and
+/// reported on [`crate::Solution`]; the allocation pipeline folds them
+/// into its per-function `AllocReport`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverHealth {
+    /// NaN/Inf contamination detected in simplex state (iteration
+    /// aborted and reported instead of propagating garbage).
+    pub nan_events: u64,
+    /// Times the anti-cycling (Bland) rule had to engage after a
+    /// sustained degenerate streak — suspected cycling.
+    pub cycling_events: u64,
+    /// Degenerate simplex steps (zero-length pivots).
+    pub degenerate_pivots: u64,
+    /// Pivots rejected because the pivot element was numerically
+    /// unusable.
+    pub unstable_pivots: u64,
+    /// LP relaxations abandoned before optimality (iteration limit,
+    /// deadline, or numerical trouble).
+    pub lp_aborts: u64,
+}
+
+impl SolverHealth {
+    /// Fold another health record into this one.
+    pub fn merge(&mut self, other: &SolverHealth) {
+        self.nan_events += other.nan_events;
+        self.cycling_events += other.cycling_events;
+        self.degenerate_pivots += other.degenerate_pivots;
+        self.unstable_pivots += other.unstable_pivots;
+        self.lp_aborts += other.lp_aborts;
+    }
+
+    /// True when numerical trouble (as opposed to mere resource
+    /// exhaustion) was observed.
+    pub fn numerical_trouble(&self) -> bool {
+        self.nan_events > 0 || self.unstable_pivots > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::unlimited();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn earliest_picks_the_sooner_instant() {
+        let soon = Deadline::after(Duration::from_millis(1));
+        let late = Deadline::after(Duration::from_secs(3600));
+        let min = late.earliest(soon);
+        assert_eq!(min.instant(), soon.instant());
+        assert_eq!(
+            soon.earliest(Deadline::unlimited()).instant(),
+            soon.instant()
+        );
+        assert_eq!(
+            Deadline::unlimited()
+                .earliest(Deadline::unlimited())
+                .instant(),
+            None
+        );
+    }
+
+    #[test]
+    fn health_merge_accumulates() {
+        let mut a = SolverHealth {
+            nan_events: 1,
+            cycling_events: 2,
+            degenerate_pivots: 3,
+            unstable_pivots: 4,
+            lp_aborts: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.nan_events, 2);
+        assert_eq!(a.lp_aborts, 10);
+        assert!(a.numerical_trouble());
+        assert!(!SolverHealth::default().numerical_trouble());
+    }
+}

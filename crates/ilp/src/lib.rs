@@ -37,9 +37,11 @@
 //! ```
 
 pub mod branch;
+pub mod health;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
 
-pub use branch::{solve, Solution, SolverConfig, Status};
+pub use branch::{solve, solve_with_deadline, Solution, SolverConfig, Status};
+pub use health::{Deadline, SolverHealth};
 pub use model::{Model, Sense, VarId};

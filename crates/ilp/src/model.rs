@@ -215,7 +215,13 @@ impl Model {
         let mut first = true;
         for (i, c) in self.costs.iter().enumerate() {
             if *c != 0.0 {
-                let _ = write!(s, " {}{} x{}", if *c >= 0.0 { "+" } else { "-" }, c.abs(), i);
+                let _ = write!(
+                    s,
+                    " {}{} x{}",
+                    if *c >= 0.0 { "+" } else { "-" },
+                    c.abs(),
+                    i
+                );
                 first = false;
             }
         }

@@ -20,6 +20,7 @@
 //! memory limits effectively did in the paper's experiments, where a few
 //! functions went unsolved).
 
+use crate::health::{Deadline, SolverHealth};
 use crate::model::{Model, Sense};
 
 /// Feasibility/optimality tolerance.
@@ -30,6 +31,10 @@ const PIVOT_TOL: f64 = 1e-8;
 const BLAND_TRIGGER: u32 = 64;
 /// Basic-value refresh period (iterations).
 const REFRESH_PERIOD: u64 = 128;
+/// Degenerate-step streak length at which the solve is declared to be
+/// cycling and abandoned (floating-point noise can defeat even Bland's
+/// rule; surfacing the failure beats livelocking inside the allocator).
+const CYCLE_ABORT: u32 = 50_000;
 
 /// Result of an LP relaxation solve.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,8 +50,20 @@ pub enum LpOutcome {
     },
     /// The LP is infeasible (phase 1 could not reach zero infeasibility).
     Infeasible,
-    /// The iteration limit was exceeded or numerical trouble was detected.
+    /// The iteration limit was exceeded or the deadline passed.
     Limit,
+    /// Numerical trouble: NaN/Inf contamination, an unusable pivot, or
+    /// suspected cycling. The relaxation's result is unusable, but the
+    /// caller can prune the node and continue.
+    Numerical,
+}
+
+/// Why [`Tableau::optimize`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StopReason {
+    Optimal,
+    Limit,
+    Numerical,
 }
 
 struct Tableau<'a> {
@@ -95,9 +112,7 @@ impl<'a> Tableau<'a> {
         }
 
         let mut x = vec![0.0; n + m];
-        for j in 0..n {
-            x[j] = lo[j];
-        }
+        x[..n].copy_from_slice(&lo[..n]);
         let mut at_upper = vec![false; n + m];
         let mut in_basis = vec![false; n + m];
         let mut basis = vec![usize::MAX; m];
@@ -186,8 +201,9 @@ impl<'a> Tableau<'a> {
         for (i, &bi) in self.basis.iter().enumerate() {
             let cb = costs[bi];
             if cb != 0.0 {
-                for k in 0..self.m {
-                    y[k] += cb * self.binv[i * self.m + k];
+                let row = &self.binv[i * self.m..(i + 1) * self.m];
+                for (yk, bv) in y.iter_mut().zip(row) {
+                    *yk += cb * bv;
                 }
             }
         }
@@ -212,10 +228,8 @@ impl<'a> Tableau<'a> {
             }
         }
         for i in 0..self.m {
-            let mut v = 0.0;
-            for k in 0..self.m {
-                v += self.binv[i * self.m + k] * rhs[k];
-            }
+            let row = &self.binv[i * self.m..(i + 1) * self.m];
+            let v: f64 = row.iter().zip(&rhs).map(|(bv, rv)| bv * rv).sum();
             self.x[self.basis[i]] = v;
         }
         // Drift probe: the product-form updates of B⁻¹ accumulate error;
@@ -251,10 +265,8 @@ impl<'a> Tableau<'a> {
                 }
             }
             for i in 0..self.m {
-                let mut v = 0.0;
-                for k in 0..self.m {
-                    v += self.binv[i * self.m + k] * rhs[k];
-                }
+                let row = &self.binv[i * self.m..(i + 1) * self.m];
+                let v: f64 = row.iter().zip(&rhs).map(|(bv, rv)| bv * rv).sum();
                 self.x[self.basis[i]] = v;
             }
         }
@@ -314,15 +326,23 @@ impl<'a> Tableau<'a> {
         self.binv = inv;
     }
 
-    /// Run the simplex loop with the given costs until optimal or limit.
-    /// Returns false if the iteration limit/deadline was hit or numerical
-    /// trouble occurred.
+    /// True when the solution point is NaN/Inf contaminated. A variable's
+    /// *bounds* may be infinite but its value never legitimately is, so
+    /// any non-finite entry means the basis inverse has gone bad.
+    /// Checked on the refresh cadence so the cost stays amortised.
+    fn state_contaminated(&self) -> bool {
+        self.x.iter().any(|v| !v.is_finite())
+    }
+
+    /// Run the simplex loop with the given costs until optimal, limit,
+    /// or numerical trouble; counters accumulate into `health`.
     fn optimize(
         &mut self,
         costs: &[f64],
         iter_limit: u64,
-        deadline: Option<std::time::Instant>,
-    ) -> bool {
+        deadline: Deadline,
+        health: &mut SolverHealth,
+    ) -> StopReason {
         let mut y = vec![0.0; self.m];
         let mut w = vec![0.0; self.m];
         let mut degen_streak: u32 = 0;
@@ -330,9 +350,7 @@ impl<'a> Tableau<'a> {
         // reduced costs are differences of quantities of order max|c|, so
         // an absolute tolerance far below max|c|·1e-13 would make the
         // pricing loop chase floating-point phantoms forever.
-        let dtol = costs
-            .iter()
-            .fold(TOL, |a, &c| a.max(c.abs() * 1e-11));
+        let dtol = costs.iter().fold(TOL, |a, &c| a.max(c.abs() * 1e-11));
         // Sticky anti-cycling: once Bland's rule engages it stays engaged
         // until the objective makes real progress — otherwise floating-
         // point noise produces one tiny positive step inside a degenerate
@@ -342,39 +360,53 @@ impl<'a> Tableau<'a> {
         let mut progress_since_bland = 0.0_f64;
         loop {
             if self.iters >= iter_limit {
-                return false;
+                return StopReason::Limit;
             }
-            if self.iters % 256 == 0 {
-                if let Some(d) = deadline {
-                    if std::time::Instant::now() >= d {
-                        return false;
-                    }
-                }
+            if self.iters.is_multiple_of(256) && deadline.expired() {
+                return StopReason::Limit;
             }
             self.iters += 1;
-            if self.iters % REFRESH_PERIOD == 0 {
+            if self.iters.is_multiple_of(REFRESH_PERIOD) {
                 self.refresh_basics();
+                if self.state_contaminated() {
+                    health.nan_events += 1;
+                    return StopReason::Numerical;
+                }
             }
             #[cfg(feature = "debug-lp")]
             if self.iters % 20_000 == 0 {
                 let obj: f64 = (0..self.num_vars()).map(|j| costs[j] * self.x[j]).sum();
-                eprintln!("iter {} obj {obj} bland={bland_mode} streak={degen_streak}", self.iters);
+                eprintln!(
+                    "iter {} obj {obj} bland={bland_mode} streak={degen_streak}",
+                    self.iters
+                );
             }
 
             // Pricing.
             if degen_streak >= BLAND_TRIGGER && !bland_mode {
                 bland_mode = true;
+                health.cycling_events += 1;
                 progress_since_bland = 0.0;
+            }
+            if degen_streak >= CYCLE_ABORT {
+                // Bland's rule has not escaped the degenerate plateau:
+                // declare cycling rather than spin to the iteration limit.
+                return StopReason::Numerical;
             }
             self.btran(costs, &mut y);
             let bland = bland_mode;
             let mut enter: Option<(usize, f64, f64)> = None; // (var, d, sigma)
             let mut best_score = 0.0_f64;
+            let mut saw_nan = false;
             for j in 0..self.num_vars() {
                 if self.in_basis[j] || self.lo[j] >= self.hi[j] - 1e-12 {
                     continue;
                 }
                 let dj = self.reduced_cost(costs, &y, j);
+                if dj.is_nan() {
+                    saw_nan = true;
+                    break;
+                }
                 let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
                 // Improving when moving off the bound reduces cost.
                 if dj * sigma < -dtol {
@@ -389,9 +421,13 @@ impl<'a> Tableau<'a> {
                     }
                 }
             }
+            if saw_nan {
+                health.nan_events += 1;
+                return StopReason::Numerical;
+            }
             let (j, _dj, sigma) = match enter {
                 Some(e) => e,
-                None => return true, // optimal
+                None => return StopReason::Optimal,
             };
 
             self.ftran(j, &mut w);
@@ -440,12 +476,19 @@ impl<'a> Tableau<'a> {
                     leave = Some((i, at_upper));
                 }
             }
-            if t_best.is_infinite() {
-                // Unbounded direction; cannot happen for well-formed 0-1
-                // models but guard against numerical surprises.
-                return false;
+            if !t_best.is_finite() {
+                // Unbounded direction (or NaN from a contaminated ratio
+                // test); cannot happen for well-formed 0-1 models but
+                // guard against numerical surprises.
+                health.nan_events += u64::from(t_best.is_nan());
+                return StopReason::Numerical;
             }
-            degen_streak = if t_best < 1e-9 { degen_streak + 1 } else { 0 };
+            if t_best < 1e-9 {
+                degen_streak += 1;
+                health.degenerate_pivots += 1;
+            } else {
+                degen_streak = 0;
+            }
             if bland_mode {
                 // |d_j|·t is the objective improvement of this step; leave
                 // Bland's rule only after progress that is tangible *at
@@ -460,9 +503,8 @@ impl<'a> Tableau<'a> {
 
             // Apply the step.
             if t_best > 0.0 {
-                for i in 0..self.m {
-                    let k = self.basis[i];
-                    self.x[k] -= sigma * t_best * w[i];
+                for (&k, &wi) in self.basis.iter().zip(w.iter()) {
+                    self.x[k] -= sigma * t_best * wi;
                 }
                 self.x[j] += sigma * t_best;
             }
@@ -479,8 +521,9 @@ impl<'a> Tableau<'a> {
                 }
                 Some((r, leaves_upper)) => {
                     let k = self.basis[r];
-                    if w[r].abs() < PIVOT_TOL {
-                        return false; // numerically unusable pivot
+                    if w[r].abs() < PIVOT_TOL || !w[r].is_finite() {
+                        health.unstable_pivots += 1;
+                        return StopReason::Numerical;
                     }
                     self.x[k] = if leaves_upper { self.hi[k] } else { self.lo[k] };
                     self.at_upper[k] = leaves_upper;
@@ -511,14 +554,19 @@ impl<'a> Tableau<'a> {
 /// Solve the LP relaxation of `model` with per-variable bounds `lb`/`ub`
 /// (both of length `model.num_vars()`, each within `[0, 1]`).
 ///
-/// `iter_limit` bounds the total simplex iterations across both phases and
-/// `deadline`, when given, cuts the solve off at a wall-clock instant.
+/// `iter_limit` bounds the total simplex iterations across both phases
+/// and `deadline` cuts the solve off at a wall-clock instant (the same
+/// token the branch-and-bound loop polls, so a caller budget bounds the
+/// whole solve). Health counters accumulate into `health`; an abandoned
+/// relaxation (limit, deadline or numerical trouble) also bumps
+/// [`SolverHealth::lp_aborts`].
 pub fn solve_lp(
     model: &Model,
     lb: &[f64],
     ub: &[f64],
     iter_limit: u64,
-    deadline: Option<std::time::Instant>,
+    deadline: Deadline,
+    health: &mut SolverHealth,
 ) -> LpOutcome {
     debug_assert_eq!(lb.len(), model.num_vars());
     debug_assert_eq!(ub.len(), model.num_vars());
@@ -526,7 +574,22 @@ pub fn solve_lp(
     if lb.iter().zip(ub).any(|(l, u)| l > u) {
         return LpOutcome::Infeasible;
     }
+    // NaN bounds poison every comparison downstream; report rather than
+    // propagate.
+    if lb.iter().chain(ub).any(|v| v.is_nan()) {
+        health.nan_events += 1;
+        health.lp_aborts += 1;
+        return LpOutcome::Numerical;
+    }
     let mut t = Tableau::new(model, lb, ub);
+
+    let abort = |reason: StopReason, health: &mut SolverHealth| {
+        health.lp_aborts += 1;
+        match reason {
+            StopReason::Numerical => LpOutcome::Numerical,
+            _ => LpOutcome::Limit,
+        }
+    };
 
     // Phase 1 (only if artificials exist).
     if t.num_vars() > t.n_art_start {
@@ -534,10 +597,15 @@ pub fn solve_lp(
         for c in costs.iter_mut().skip(t.n_art_start) {
             *c = 1.0;
         }
-        if !t.optimize(&costs, iter_limit, deadline) {
-            return LpOutcome::Limit;
+        match t.optimize(&costs, iter_limit, deadline, health) {
+            StopReason::Optimal => {}
+            r => return abort(r, health),
         }
         let infeas: f64 = t.x[t.n_art_start..].iter().sum();
+        if infeas.is_nan() {
+            health.nan_events += 1;
+            return abort(StopReason::Numerical, health);
+        }
         if infeas > 1e-6 {
             return LpOutcome::Infeasible;
         }
@@ -553,8 +621,9 @@ pub fn solve_lp(
     // Phase 2.
     let mut costs = vec![0.0; t.num_vars()];
     costs[..t.n_struct].copy_from_slice(model.costs());
-    if !t.optimize(&costs, iter_limit, deadline) {
-        return LpOutcome::Limit;
+    match t.optimize(&costs, iter_limit, deadline, health) {
+        StopReason::Optimal => {}
+        r => return abort(r, health),
     }
     t.refresh_basics();
 
@@ -566,6 +635,10 @@ pub fn solve_lp(
         .zip(model.costs())
         .map(|(xj, cj)| xj * cj)
         .sum::<f64>();
+    if !obj.is_finite() || x.iter().any(|v| !v.is_finite()) {
+        health.nan_events += 1;
+        return abort(StopReason::Numerical, health);
+    }
     LpOutcome::Optimal {
         x,
         obj,
@@ -584,7 +657,8 @@ mod tests {
 
     fn lp(model: &Model) -> LpOutcome {
         let (lb, ub) = bounds(model.num_vars());
-        solve_lp(model, &lb, &ub, 100_000, None)
+        let mut health = SolverHealth::default();
+        solve_lp(model, &lb, &ub, 100_000, Deadline::unlimited(), &mut health)
     }
 
     #[test]
@@ -682,7 +756,14 @@ mod tests {
         m.add_le(vec![(a, 1.0), (b, 1.0)], 2.0);
         let lb = vec![0.0, 0.0];
         let ub = vec![0.0, 1.0];
-        match solve_lp(&m, &lb, &ub, 10_000, None) {
+        match solve_lp(
+            &m,
+            &lb,
+            &ub,
+            10_000,
+            Deadline::unlimited(),
+            &mut SolverHealth::default(),
+        ) {
             LpOutcome::Optimal { x, obj, .. } => {
                 assert!(x[0].abs() < 1e-6);
                 assert!((x[1] - 1.0).abs() < 1e-6);
@@ -696,7 +777,17 @@ mod tests {
     fn crossed_bounds_are_infeasible() {
         let mut m = Model::new();
         m.add_var(0.0, "a");
-        assert_eq!(solve_lp(&m, &[1.0], &[0.0], 100, None), LpOutcome::Infeasible);
+        assert_eq!(
+            solve_lp(
+                &m,
+                &[1.0],
+                &[0.0],
+                100,
+                Deadline::unlimited(),
+                &mut SolverHealth::default()
+            ),
+            LpOutcome::Infeasible
+        );
     }
 
     #[test]
@@ -758,6 +849,16 @@ mod tests {
         let mut m = Model::new();
         let a = m.add_var(-1.0, "a");
         m.add_le(vec![(a, 1.0)], 1.0);
-        assert_eq!(solve_lp(&m, &[0.0], &[1.0], 0, None), LpOutcome::Limit);
+        assert_eq!(
+            solve_lp(
+                &m,
+                &[0.0],
+                &[1.0],
+                0,
+                Deadline::unlimited(),
+                &mut SolverHealth::default()
+            ),
+            LpOutcome::Limit
+        );
     }
 }

@@ -4,10 +4,13 @@
 use proptest::prelude::*;
 use regalloc_ilp::{solve, Model, SolverConfig, VarId};
 
+/// A random constraint row: (coefficients, sense 0/1/2, rhs).
+type RandomRow = (Vec<(usize, i32)>, u8, i32);
+
 #[derive(Debug, Clone)]
 struct SmallModel {
     costs: Vec<i32>,
-    rows: Vec<(Vec<(usize, i32)>, u8, i32)>, // coeffs, sense 0/1/2, rhs
+    rows: Vec<RandomRow>,
 }
 
 fn small_model() -> impl Strategy<Value = SmallModel> {
@@ -84,7 +87,7 @@ proptest! {
     #[test]
     fn warm_start_is_never_lost(m in small_model()) {
         let model = build(&m);
-        if let Some(_) = brute_force(&model) {
+        if brute_force(&model).is_some() {
             // Find any feasible point to use as warm start.
             let n = model.num_vars();
             let warm = (0u32..(1 << n)).find_map(|mask| {

@@ -240,12 +240,7 @@ mod tests {
             exit,
         );
         b.switch_to(body);
-        b.bin(
-            crate::inst::BinOp::Add,
-            i,
-            Operand::sym(i),
-            Operand::Imm(1),
-        );
+        b.bin(crate::inst::BinOp::Add, i, Operand::sym(i), Operand::Imm(1));
         b.jump(head);
         b.switch_to(exit);
         b.ret(Some(i));
@@ -328,12 +323,7 @@ mod tests {
             h1,
         );
         fb.switch_to(b2);
-        fb.bin(
-            crate::inst::BinOp::Add,
-            x,
-            Operand::sym(x),
-            Operand::Imm(1),
-        );
+        fb.bin(crate::inst::BinOp::Add, x, Operand::sym(x), Operand::Imm(1));
         fb.jump(h2);
         fb.switch_to(exit);
         fb.ret(Some(x));

@@ -420,14 +420,7 @@ mod tests {
         let t = b.block();
         let e = b.block();
         let j = b.block();
-        b.branch(
-            Cond::Eq,
-            Operand::sym(x),
-            Operand::Imm(0),
-            Width::B32,
-            t,
-            e,
-        );
+        b.branch(Cond::Eq, Operand::sym(x), Operand::Imm(0), Width::B32, t, e);
         b.switch_to(t);
         b.jump(j);
         b.switch_to(e);

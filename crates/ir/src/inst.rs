@@ -440,7 +440,10 @@ pub enum Inst {
 impl Inst {
     /// True if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. }
+        )
     }
 
     /// Successor blocks of a terminator (empty for non-terminators and
@@ -575,7 +578,9 @@ impl Inst {
                 f(src);
                 f(d);
             }
-            Inst::Load { dst: d, addr: a, .. } => {
+            Inst::Load {
+                dst: d, addr: a, ..
+            } => {
                 addr(a, f);
                 f(d);
             }

@@ -216,9 +216,7 @@ impl<'f, R: RegFile> Interp<'f, R> {
     }
 
     fn record_store(&mut self, tag: u64, off: u64, v: u64) {
-        self.trace_hash = mix64(
-            self.trace_hash ^ mix64(tag.wrapping_mul(3).wrapping_add(off) ^ v),
-        );
+        self.trace_hash = mix64(self.trace_hash ^ mix64(tag.wrapping_mul(3).wrapping_add(off) ^ v));
         self.store_count += 1;
     }
 
@@ -235,7 +233,8 @@ impl<'f, R: RegFile> Interp<'f, R> {
                 }
                 let at = self.heap_index(a, w);
                 let mut bytes = [0u8; 8];
-                bytes[..w.bytes() as usize].copy_from_slice(&self.heap[at..at + w.bytes() as usize]);
+                bytes[..w.bytes() as usize]
+                    .copy_from_slice(&self.heap[at..at + w.bytes() as usize]);
                 u64::from_le_bytes(bytes)
             }
         }
@@ -281,9 +280,7 @@ impl<'f, R: RegFile> Interp<'f, R> {
             for i in 0..n {
                 let inst = self.f.block(cur).insts[i].clone();
                 match &inst {
-                    Inst::LoadImm { dst, imm, width } => {
-                        self.loc_write(*dst, *width, *imm as u64)
-                    }
+                    Inst::LoadImm { dst, imm, width } => self.loc_write(*dst, *width, *imm as u64),
                     Inst::Copy { dst, src, width } => {
                         let v = self.loc_read(*src, *width);
                         self.loc_write(*dst, *width, v);

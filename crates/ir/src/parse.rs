@@ -202,7 +202,11 @@ impl Parser {
         let toks: Vec<&str> = line.split_whitespace().collect();
         // Non-assignment forms first.
         match toks.as_slice() {
-            ["jump", t] => return Ok(Inst::Jump { target: self.block_id(t)? }),
+            ["jump", t] => {
+                return Ok(Inst::Jump {
+                    target: self.block_id(t)?,
+                })
+            }
             ["ret"] => return Ok(Inst::Ret { val: None }),
             ["ret", v] => {
                 return Ok(Inst::Ret {
@@ -330,7 +334,11 @@ impl Parser {
         let Some((callee_s, args_s)) = body.split_once('(') else {
             return self.err("call missing arguments");
         };
-        let callee = match callee_s.trim().strip_prefix("fn").and_then(|x| x.parse().ok()) {
+        let callee = match callee_s
+            .trim()
+            .strip_prefix("fn")
+            .and_then(|x| x.parse().ok())
+        {
             Some(v) => v,
             None => return self.err(format!("bad callee `{callee_s}`")),
         };
@@ -401,13 +409,9 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
                 line: p.line,
                 message: "bad global line".into(),
             })?;
-            let mut it = rest.trim().split_whitespace();
+            let mut it = rest.split_whitespace();
             let width = p.width(it.next().unwrap_or(""))?;
-            let gname = it
-                .next()
-                .unwrap_or("\"g\"")
-                .trim_matches('"')
-                .to_string();
+            let gname = it.next().unwrap_or("\"g\"").trim_matches('"').to_string();
             let flags: Vec<&str> = it.collect();
             let gid = if flags.contains(&"param") {
                 b.new_param(&gname, width)
@@ -578,11 +582,7 @@ mod tests {
         // Globals keep identity except initial values (not printed).
         assert_eq!(f.num_blocks(), g.num_blocks());
         assert_eq!(f.num_syms(), g.num_syms());
-        for (bi, (fb, gb)) in f
-            .block_ids()
-            .map(|i| (f.block(i), g.block(i)))
-            .enumerate()
-        {
+        for (bi, (fb, gb)) in f.block_ids().map(|i| (f.block(i), g.block(i))).enumerate() {
             assert_eq!(fb.insts, gb.insts, "block {bi}");
         }
         assert_eq!(g.globals().len(), 2);

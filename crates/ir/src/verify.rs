@@ -302,9 +302,7 @@ mod tests {
     fn rejects_early_terminator() {
         let mut f = ok_func();
         let e = f.entry();
-        f.block_mut(e)
-            .insts
-            .insert(0, Inst::Ret { val: None });
+        f.block_mut(e).insts.insert(0, Inst::Ret { val: None });
         let errs = verify_function(&f).unwrap_err();
         assert!(errs
             .iter()

@@ -31,8 +31,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use regalloc_ir::{
-    Address, BinOp, Cond, Function, FunctionBuilder, GlobalId, Operand, Scale, SymId, UnOp,
-    Width,
+    Address, BinOp, Cond, Function, FunctionBuilder, GlobalId, Operand, Scale, SymId, UnOp, Width,
 };
 
 /// One SPECint92 benchmark identity.
@@ -490,8 +489,14 @@ impl<'r> Gen<'r> {
         let else_b = self.b.block();
         let join = self.b.block();
         let k = self.rng.gen_range(-8..8);
-        self.b
-            .branch(cond, Operand::sym(c), Operand::Imm(k), Width::B32, then_b, else_b);
+        self.b.branch(
+            cond,
+            Operand::sym(c),
+            Operand::Imm(k),
+            Width::B32,
+            then_b,
+            else_b,
+        );
         self.budget -= 1;
 
         // Values defined inside an arm are not available at the join

@@ -105,7 +105,9 @@ pub fn x86_inst_size(_m: &X86Machine, inst: &Inst) -> u64 {
             }
             sz
         }
-        Inst::Un { dst, src, width, .. } => {
+        Inst::Un {
+            dst, src, width, ..
+        } => {
             let mut sz = 2 + prefix(*width);
             if matches!(dst, Dst::Slot(_)) || matches!(src, Operand::Slot(_)) {
                 sz += 2;
@@ -127,9 +129,9 @@ pub fn x86_inst_size(_m: &X86Machine, inst: &Inst) -> u64 {
         Inst::SpillLoad { .. } | Inst::SpillStore { .. } => 3,
         Inst::Jump { .. } => 2,
         // cmp (2 + operand) + jcc rel8 (2).
-        Inst::Branch { lhs, rhs, width, .. } => {
-            4 + prefix(*width) + operand_bytes(lhs) + operand_bytes(rhs)
-        }
+        Inst::Branch {
+            lhs, rhs, width, ..
+        } => 4 + prefix(*width) + operand_bytes(lhs) + operand_bytes(rhs),
         Inst::Ret { .. } => 1,
     }
 }

@@ -72,8 +72,8 @@ pub fn overlaps(a: PhysReg, b: PhysReg) -> bool {
 /// The architectural name of `r`.
 pub fn name_of(r: PhysReg) -> &'static str {
     const NAMES: [&str; NUM_REGS] = [
-        "eax", "ebx", "ecx", "edx", "esi", "edi", "esp", "ebp", "ax", "bx", "cx", "dx", "si",
-        "di", "al", "bl", "cl", "dl", "ah", "bh", "ch", "dh",
+        "eax", "ebx", "ecx", "edx", "esi", "edi", "esp", "ebp", "ax", "bx", "cx", "dx", "si", "di",
+        "al", "bl", "cl", "dl", "ah", "bh", "ch", "dh",
     ];
     NAMES[r.0 as usize]
 }

@@ -50,8 +50,8 @@ impl Default for RiscMachine {
 }
 
 const RISC_NAMES: [&str; NUM_RISC_REGS] = [
-    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13",
-    "r14", "r15", "r16", "r17", "r18", "r19", "r20", "r21", "r22", "r23",
+    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14",
+    "r15", "r16", "r17", "r18", "r19", "r20", "r21", "r22", "r23",
 ];
 
 impl RiscMachine {

@@ -76,7 +76,11 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                         _ => inst.width().unwrap_or(Width::B32),
                     };
                     if !width_ok(m, r, w) {
-                        err(format!("{} is not a width-{} register in `{inst}`", m.reg_name(r), w.bits()));
+                        err(format!(
+                            "{} is not a width-{} register in `{inst}`",
+                            m.reg_name(r),
+                            w.bits()
+                        ));
                     }
                     let c = m.use_constraints(inst, role, w);
                     if !c.admits(r) {
@@ -105,7 +109,9 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                     if let Dst::Slot(s) = dst {
                         match lhs {
                             Operand::Slot(s2) if s2 == s => {}
-                            _ => err(format!("memory destination without combined source in `{inst}`")),
+                            _ => err(format!(
+                                "memory destination without combined source in `{inst}`"
+                            )),
                         }
                     }
                 }
@@ -145,17 +151,26 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                 _ => {}
             }
             if mem_operands > 1 {
-                err(format!("{mem_operands} memory operands in one instruction `{inst}`"));
+                err(format!(
+                    "{mem_operands} memory operands in one instruction `{inst}`"
+                ));
             }
 
             // Definition width class + pinning.
             if let Some((Loc::Real(r), w)) = inst.def() {
                 if !width_ok(m, r, w) {
-                    err(format!("definition register {} outside width-{} class", m.reg_name(r), w.bits()));
+                    err(format!(
+                        "definition register {} outside width-{} class",
+                        m.reg_name(r),
+                        w.bits()
+                    ));
                 }
                 let dc = m.def_constraints(inst, w);
                 if !dc.admits(r) {
-                    err(format!("definition register {} not admitted in `{inst}`", m.reg_name(r)));
+                    err(format!(
+                        "definition register {} not admitted in `{inst}`",
+                        m.reg_name(r)
+                    ));
                 }
             }
 

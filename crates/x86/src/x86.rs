@@ -223,18 +223,16 @@ impl Machine for X86Machine {
                     }
                 }
             }
-            UseRole::Src1 => {
+            UseRole::Src1 if X86Machine::has_short_imm_form(inst) => {
                 // §5.4.1: one byte longer for every register except the
                 // accumulator when the short immediate form exists.
-                if X86Machine::has_short_imm_form(inst) {
-                    let acc = X86Machine::acc_reg(width);
-                    c.size_penalty = self
-                        .regs_for_width(width)
-                        .iter()
-                        .filter(|r| **r != acc)
-                        .map(|r| (*r, 1))
-                        .collect();
-                }
+                let acc = X86Machine::acc_reg(width);
+                c.size_penalty = self
+                    .regs_for_width(width)
+                    .iter()
+                    .filter(|r| **r != acc)
+                    .map(|r| (*r, 1))
+                    .collect();
             }
             UseRole::AddrBase => {
                 // §5.4.2: ESP as a base always costs one extra byte; EBP
@@ -253,17 +251,15 @@ impl Machine for X86Machine {
                     }
                 }
             }
-            UseRole::AddrIndex { scaled } => {
+            UseRole::AddrIndex { scaled } if scaled && self.regs32.contains(&ESP) => {
                 // §5.4.3: ESP cannot be a scaled index.
-                if scaled && self.regs32.contains(&ESP) {
-                    c.allowed = Some(
-                        self.regs_for_width(Width::B32)
-                            .iter()
-                            .copied()
-                            .filter(|r| *r != ESP)
-                            .collect(),
-                    );
-                }
+                c.allowed = Some(
+                    self.regs_for_width(Width::B32)
+                        .iter()
+                        .copied()
+                        .filter(|r| *r != ESP)
+                        .collect(),
+                );
             }
             _ => {}
         }
@@ -285,7 +281,7 @@ impl Machine for X86Machine {
             // except shift counts (CL only) and 8-bit two-operand IMUL
             // (which does not exist).
             (Inst::Bin { op, width, .. }, UseRole::Src2) => {
-                !op.is_shift() && !(*op == BinOp::Mul && *width == Width::B8)
+                !op.is_shift() && (*op != BinOp::Mul || *width != Width::B8)
             }
             // cmp r/m, … — the left comparison operand may be memory.
             (Inst::Branch { .. }, UseRole::BranchLhs) => true,
@@ -334,14 +330,22 @@ impl RegFile for X86RegFile {
     fn read(&self, r: PhysReg) -> u64 {
         let base = self.bases[regs::base_of(r)];
         let (shift, bits) = regs::field_of(r);
-        let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+        let mask = if bits == 32 {
+            u32::MAX
+        } else {
+            (1 << bits) - 1
+        };
         ((base >> shift) & mask) as u64
     }
 
     fn write(&mut self, r: PhysReg, v: u64) {
         let cell = &mut self.bases[regs::base_of(r)];
         let (shift, bits) = regs::field_of(r);
-        let mask = if bits == 32 { u32::MAX } else { ((1u32 << bits) - 1) << shift };
+        let mask = if bits == 32 {
+            u32::MAX
+        } else {
+            ((1u32 << bits) - 1) << shift
+        };
         *cell = (*cell & !mask) | (((v as u32) << shift) & mask);
     }
 
@@ -386,12 +390,8 @@ mod tests {
         // {EAX, AX, AL} and {EAX, AX, AH} per family A–D, plus {ESI,SI},
         // {EDI,DI}: 10 groups.
         assert_eq!(m.overlap_groups().len(), 10);
-        assert!(m
-            .overlap_groups()
-            .contains(&vec![EAX, AX, AL]));
-        assert!(m
-            .overlap_groups()
-            .contains(&vec![EAX, AX, AH]));
+        assert!(m.overlap_groups().contains(&vec![EAX, AX, AL]));
+        assert!(m.overlap_groups().contains(&vec![EAX, AX, AH]));
         assert!(m.overlap_groups().contains(&vec![ESI, SI]));
     }
 
@@ -498,7 +498,10 @@ mod tests {
             dst: regalloc_ir::Loc::Sym(regalloc_ir::SymId(0)),
             addr: Address::Indirect {
                 base: None,
-                index: Some((regalloc_ir::Loc::Sym(regalloc_ir::SymId(1)), regalloc_ir::Scale::S4)),
+                index: Some((
+                    regalloc_ir::Loc::Sym(regalloc_ir::SymId(1)),
+                    regalloc_ir::Scale::S4,
+                )),
                 disp: 0,
             },
             width: Width::B32,

@@ -51,9 +51,7 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "{n} functions: IP optimal on {optimal}, cheaper on {wins}, tied on {ties}"
-    );
+    println!("{n} functions: IP optimal on {optimal}, cheaper on {wins}, tied on {ties}");
     println!(
         "aggregate overhead: IP {} cycles vs GCC {} cycles",
         total_ip.overhead_cycles(),

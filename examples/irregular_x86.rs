@@ -4,9 +4,7 @@
 //! Run with `cargo run --release --example irregular_x86`.
 
 use precise_regalloc::core::{check, IpAllocator};
-use precise_regalloc::ir::{
-    BinOp, Function, FunctionBuilder, Inst, Loc, Operand, UnOp, Width,
-};
+use precise_regalloc::ir::{BinOp, Function, FunctionBuilder, Inst, Loc, Operand, UnOp, Width};
 use precise_regalloc::x86::{regs, X86Machine, X86RegFile};
 
 fn allocate(f: &Function) -> precise_regalloc::core::AllocOutcome {
@@ -104,9 +102,7 @@ fn predefined_memory() {
     let out = allocate(&f);
     println!("{}", out.func);
     let coalesced = out.func.slots().iter().any(|s| s.home.is_some());
-    println!(
-        "the defining load is deleted; home-coalesced slot present: {coalesced}\n",
-    );
+    println!("the defining load is deleted; home-coalesced slot present: {coalesced}\n",);
 }
 
 /// §3.2 — implicit registers: a register shift count must live in ECX.

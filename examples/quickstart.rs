@@ -5,9 +5,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use precise_regalloc::core::{check, IpAllocator};
-use precise_regalloc::ir::{
-    verify_allocated, BinOp, FunctionBuilder, Operand, Width,
-};
+use precise_regalloc::ir::{verify_allocated, BinOp, FunctionBuilder, Operand, Width};
 use precise_regalloc::x86::{X86Machine, X86RegFile};
 
 fn main() {

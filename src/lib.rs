@@ -59,11 +59,9 @@ pub use regalloc_x86 as x86;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use regalloc_core::{AllocOutcome, IpAllocator};
     pub use regalloc_coloring::ColoringAllocator;
-    pub use regalloc_ir::{
-        Address, BinOp, Cond, FunctionBuilder, Function, Operand, SymId, Width,
-    };
+    pub use regalloc_core::{AllocOutcome, IpAllocator};
+    pub use regalloc_ir::{Address, BinOp, Cond, Function, FunctionBuilder, Operand, SymId, Width};
     pub use regalloc_workloads::{Benchmark, Suite};
     pub use regalloc_x86::X86Machine;
 }

@@ -8,8 +8,8 @@
 //! original on multiple inputs, executed on the bit-accurate x86 register
 //! file.
 
-use precise_regalloc::core::{check, IpAllocator};
 use precise_regalloc::coloring::ColoringAllocator;
+use precise_regalloc::core::{check, IpAllocator};
 use precise_regalloc::ir::verify_allocated;
 use precise_regalloc::workloads::{Benchmark, Suite};
 use precise_regalloc::x86::{X86Machine, X86RegFile};
@@ -43,17 +43,25 @@ fn check_suite(benchmark: Benchmark, scale: f64, seed: u64) {
         verify_allocated(&out.func).unwrap_or_else(|e| panic!("{}: {e:?}", f.name()));
         precise_regalloc::x86::verify_machine(&machine, &out.func)
             .unwrap_or_else(|e| panic!("IP machine verify {}: {e:?}\n{}", f.name(), out.func));
-        check::equivalent::<X86RegFile>(f, &out.func, 3, seed)
-            .unwrap_or_else(|e| panic!("IP {}: {e}\n-- original:\n{f}\n-- allocated:\n{}", f.name(), out.func));
+        check::equivalent::<X86RegFile>(f, &out.func, 3, seed).unwrap_or_else(|e| {
+            panic!(
+                "IP {}: {e}\n-- original:\n{f}\n-- allocated:\n{}",
+                f.name(),
+                out.func
+            )
+        });
 
         let cout = gc.allocate(f).unwrap();
         verify_allocated(&cout.func).unwrap_or_else(|e| panic!("{}: {e:?}", f.name()));
         precise_regalloc::x86::verify_machine(&machine, &cout.func)
             .unwrap_or_else(|e| panic!("GC machine verify {}: {e:?}\n{}", f.name(), cout.func));
-        check::equivalent::<X86RegFile>(f, &cout.func, 3, seed)
-            .unwrap_or_else(|e| {
-                panic!("coloring {}: {e}\n-- original:\n{f}\n-- allocated:\n{}", f.name(), cout.func)
-            });
+        check::equivalent::<X86RegFile>(f, &cout.func, 3, seed).unwrap_or_else(|e| {
+            panic!(
+                "coloring {}: {e}\n-- original:\n{f}\n-- allocated:\n{}",
+                f.name(),
+                cout.func
+            )
+        });
     }
     assert!(attempted > 0);
 }

@@ -1,0 +1,434 @@
+//! A vendored, offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the surface the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range strategies over the primitive integers, [`Just`], tuples,
+//!   [`arbitrary::any`] for primitives,
+//! * [`collection::vec`] and [`collection::btree_set`] with flexible size
+//!   specifications,
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest: inputs are generated from a
+//! deterministic per-case seed (no persisted failure file) and failing
+//! cases are **not shrunk** — the panic message reports the case number
+//! and seed so a failure is reproducible by rerunning the suite.
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Deterministic RNG handed to strategies.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// A failed test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The input was rejected (not counted as a failure).
+    Reject(String),
+    /// The property did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> TestCaseError {
+        TestCaseError::Fail(e.to_string())
+    }
+}
+
+/// Test-runner configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod test_runner {
+    //! Minimal runner: one deterministic RNG per case.
+
+    pub use super::{ProptestConfig, TestCaseError, TestRng};
+    use rand::SeedableRng;
+
+    /// Drives the cases of one property.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        /// Base seed; mixed with the case index per case.
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner for `config`. The base seed is fixed so CI runs are
+        /// reproducible; set `PROPTEST_SEED` to explore other streams.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5eed_1998_cafe_f00d);
+            TestRunner { config, seed }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The RNG for case `i`.
+        pub fn rng_for(&self, i: u32) -> TestRng {
+            TestRng::seed_from_u64(
+                self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            )
+        }
+
+        /// Reproduction hint appended to failure messages.
+        pub fn describe(&self, case: u32) -> String {
+            format!(
+                "(base seed {:#x}, case {case}; set PROPTEST_SEED to vary)",
+                self.seed
+            )
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitives the workspace tests use.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An arbitrary value of `T`.
+    pub fn any<T: Arbitrary + std::fmt::Debug>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything that can describe a collection size: an exact length, a
+    /// half-open range, or an inclusive range.
+    pub trait IntoSizeRange {
+        /// Draw a target size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for BTreeSetStrategy<S, R>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            // Sets deduplicate: cap the attempts so tiny domains with big
+            // size requests terminate (real proptest rejects instead).
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..n.saturating_mul(4).max(16) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A `BTreeSet` of roughly `size` elements drawn from `element`.
+    pub fn btree_set<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> BTreeSetStrategy<S, R> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Run properties over generated inputs.
+///
+/// Supports the subset of real proptest syntax the workspace uses: an
+/// optional leading `#![proptest_config(...)]`, then `#[test]` functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($cfg);
+            for __case in 0..runner.cases() {
+                let mut __rng = runner.rng_for(__case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err(e) => panic!(
+                        "proptest case {} failed: {}\n{}",
+                        __case,
+                        e,
+                        runner.describe(__case)
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..500).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(v in 10i32..20, w in 3usize..=5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((3..=5).contains(&w));
+        }
+
+        #[test]
+        fn mapped_strategy(v in evens()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vectors_and_tuples(xs in crate::collection::vec((0usize..9, any::<bool>()), 0..7)) {
+            prop_assert!(xs.len() < 7);
+            for (n, _) in &xs {
+                prop_assert!(*n < 9, "bad element {n}");
+            }
+        }
+
+        #[test]
+        fn oneof_and_flat_map(x in (1usize..4).prop_flat_map(|n| crate::collection::vec(prop_oneof![Just(1u8), Just(2), Just(3)], n))) {
+            prop_assert!(!x.is_empty());
+            prop_assert!(x.iter().all(|v| (1..=3).contains(v)));
+        }
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn failures_panic_with_case_info() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(_v in 0u8..5) {
+                    prop_assert!(false, "doomed");
+                }
+            }
+            always_fails();
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("doomed"), "{msg}");
+        assert!(msg.contains("case 0"), "{msg}");
+    }
+}

@@ -1,0 +1,234 @@
+//! A vendored, offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! exactly the surface the workspace uses: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen_range`
+//! (integer `Range`/`RangeInclusive`), `gen_bool` and `gen_ratio`.
+//!
+//! The generator is xoshiro256++ (the same family the real `SmallRng`
+//! uses on 64-bit targets), seeded through SplitMix64 exactly as
+//! `rand_core` seeds from a `u64`, so streams are deterministic and of
+//! high quality, though not bit-identical to any particular `rand`
+//! release. All workspace consumers treat the stream as an arbitrary
+//! seeded source, so only determinism matters.
+
+/// A source of random `u64`s. The subset of `rand_core::RngCore` the
+/// workspace needs.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction. Subset of `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample. Panics on an empty range, like `rand`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = sample_below(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width u128 wrap (only reachable for 128-bit
+                    // types, which we do not implement): unreachable here.
+                    unreachable!()
+                }
+                let v = sample_below(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Uniform value in `[0, span)` by widening multiply with rejection on
+/// the biased zone (Lemire's method on 64 bits; `span` fits in 65 bits
+/// here because the implemented types are at most 64-bit).
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Span wider than 64 bits: fall back to rejection over the raw
+        // 65-bit-capable draw. Only reachable for full-width i64/u64
+        // inclusive ranges; a double draw keeps it uniform.
+        loop {
+            let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            let zone = u128::MAX - (u128::MAX - span + 1) % span;
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+    let s = span as u64;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(s as u128);
+        let lo = m as u64;
+        if lo >= s || lo >= (u64::MAX - s + 1) % s {
+            return m >> 64;
+        }
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`]. Subset of
+/// `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p}");
+        // 53-bit mantissa comparison, like rand's Bernoulli.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator == 0` or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio: zero denominator");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio: {numerator}/{denominator}"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the same
+    /// family the real `SmallRng` uses on 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut st = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = SmallRng::splitmix64(&mut st);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x1;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same = (0..100).all(|_| {
+            SmallRng::seed_from_u64(7);
+            a.gen_range(0..1000u32) == c.gen_range(0..1000u32)
+        });
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = r.gen_range(-50..50);
+            assert!((-50..50).contains(&v));
+            let w: usize = r.gen_range(3..=9);
+            assert!((3..=9).contains(&w));
+            let m = r.gen_range(0..=u64::MAX);
+            let _ = m;
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn gen_ratio_distribution() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+}
