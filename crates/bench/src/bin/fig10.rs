@@ -18,7 +18,9 @@ fn main() {
 
     println!("constraints,solve_seconds,benchmark,function");
     let mut pts = Vec::new();
-    for r in recs.iter().filter(|r| r.optimal) {
+    // Cache hits replay a stored allocation, so their solve_time is not a
+    // measurement — only freshly-solved functions belong in the fit.
+    for r in recs.iter().filter(|r| r.optimal && !r.cache_hit) {
         let secs = r.solve_time.as_secs_f64();
         println!(
             "{},{:.6},{},{}",

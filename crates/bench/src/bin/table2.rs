@@ -9,16 +9,16 @@
 //! weaker, so the split shifts downward with function size while keeping
 //! the same structure — see EXPERIMENTS.md.
 
-use regalloc_bench::{run_all, DegradationSummary, Options};
+use regalloc_bench::{run_all_stats, DegradationSummary, Options};
 use regalloc_workloads::Benchmark;
 
 fn main() {
     let o = Options::from_args();
     eprintln!(
-        "generating suites at scale {} (seed {}), solver limit {:?} per function…",
-        o.scale, o.seed, o.time_limit
+        "generating suites at scale {} (seed {}), solver limit {:?} per function, {} worker(s)…",
+        o.scale, o.seed, o.time_limit, o.jobs
     );
-    let recs = run_all(&o);
+    let (recs, stats) = run_all_stats(&o);
 
     println!(
         "Table 2. Number of functions solved with a solver time limit of {:?}.",
@@ -70,4 +70,21 @@ fn main() {
         100.0 * op as f64 / a.max(1) as f64
     );
     println!("paper (1024 s, CPLEX 6.0): total 2400, attempted 2363, solved 2354 (98.1%), optimal 2342 (97.6%)");
+    println!();
+    println!(
+        "driver: wall {:.1}s, cpu {:.1}s, speedup {:.2}x over sequential ({} worker(s), {:.0}% utilized)",
+        stats.wall_time.as_secs_f64(),
+        stats.cpu_time.as_secs_f64(),
+        stats.speedup(),
+        stats.jobs,
+        stats.utilization() * 100.0
+    );
+    println!(
+        "        throughput {:.1} fn/s; cache {} hits / {} misses ({:.0}% hit rate), {} rejected",
+        stats.throughput(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.cache_rejected
+    );
 }

@@ -17,14 +17,19 @@
 //! function count, default 0.2), `--seed <n>` (default 1998) and
 //! `--time-limit <seconds>` (per-function solver budget, default 4; the
 //! paper allowed CPLEX 1024 seconds per function on 1998 hardware).
+//! Experiments now run through the `regalloc-driver` batch service, so
+//! they also accept `--jobs <n>` (worker threads), `--budget-secs <s>`
+//! (global wall-clock budget), `--cache-dir <dir>` (solution-cache
+//! directory, default `results/cache`) and `--no-cache` (in-memory
+//! dedup only).
 
+use std::path::PathBuf;
 use std::time::Duration;
 
-use regalloc_coloring::ColoringAllocator;
-use regalloc_core::{ReasonCode, RobustAllocator, Rung, SpillStats};
+use regalloc_core::{ReasonCode, Rung, SpillStats};
+use regalloc_driver::{run_suite, CacheMode, DriverConfig, DriverStats};
 use regalloc_ilp::SolverConfig;
 use regalloc_workloads::{Benchmark, Suite};
-use regalloc_x86::{X86Machine, X86RegFile};
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Clone, Debug)]
@@ -35,6 +40,12 @@ pub struct Options {
     pub seed: u64,
     /// Per-function solver budget.
     pub time_limit: Duration,
+    /// Driver worker threads.
+    pub jobs: usize,
+    /// Optional global wall-clock budget for the whole run.
+    pub global_budget: Option<Duration>,
+    /// Solution-cache directory (`None` = in-memory dedup only).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -43,18 +54,28 @@ impl Default for Options {
             scale: 0.2,
             seed: 1998,
             time_limit: Duration::from_secs(4),
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            global_budget: None,
+            cache_dir: None,
         }
     }
 }
 
 impl Options {
-    /// Parse `--scale`, `--seed` and `--time-limit` from `std::env::args`.
+    /// Parse `--scale`, `--seed`, `--time-limit`, `--jobs`,
+    /// `--budget-secs`, `--cache-dir` and `--no-cache` from
+    /// `std::env::args`. Unlike [`Options::default`] (memory-only cache,
+    /// so library callers never touch the filesystem unasked), the CLI
+    /// defaults to persisting the solution cache under `results/cache`.
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Options {
-        let mut o = Options::default();
+        let mut o = Options {
+            cache_dir: Some(PathBuf::from("results/cache")),
+            ..Options::default()
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -76,17 +97,60 @@ impl Options {
                     o.time_limit = Duration::from_secs_f64(secs);
                     i += 2;
                 }
-                other => panic!("unknown argument {other}; supported: --scale --seed --time-limit"),
+                "--jobs" => {
+                    o.jobs = need(i).parse().expect("--jobs takes an integer");
+                    i += 2;
+                }
+                "--budget-secs" => {
+                    let secs: f64 = need(i).parse().expect("--budget-secs takes seconds");
+                    o.global_budget = Some(Duration::from_secs_f64(secs));
+                    i += 2;
+                }
+                "--cache-dir" => {
+                    o.cache_dir = Some(PathBuf::from(need(i)));
+                    i += 2;
+                }
+                "--no-cache" => {
+                    o.cache_dir = None;
+                    i += 1;
+                }
+                other => panic!(
+                    "unknown argument {other}; supported: --scale --seed --time-limit \
+                     --jobs --budget-secs --cache-dir --no-cache"
+                ),
             }
         }
         o
     }
 
-    /// The solver configuration the options describe.
+    /// The solver configuration the options describe. The driver applies
+    /// this configuration to every function and every IP rung (it is also
+    /// part of the solution-cache key), and each [`Record`] carries a copy
+    /// so downstream analysis knows exactly which limits produced it.
     pub fn solver(&self) -> SolverConfig {
         SolverConfig {
             time_limit: self.time_limit,
             ..Default::default()
+        }
+    }
+
+    /// The driver configuration the options describe.
+    pub fn driver(&self) -> DriverConfig {
+        DriverConfig {
+            jobs: self.jobs,
+            solver: self.solver(),
+            function_budget: self
+                .time_limit
+                .saturating_mul(4)
+                .max(Duration::from_secs(8)),
+            global_budget: self.global_budget,
+            cache: match &self.cache_dir {
+                Some(d) => CacheMode::Disk(d.clone()),
+                None => CacheMode::Memory,
+            },
+            equiv_runs: 2,
+            equiv_seed: self.seed,
+            compare_baseline: true,
         }
     }
 }
@@ -126,79 +190,88 @@ pub struct Record {
     pub rung: Option<Rung>,
     /// Demotion reasons the robust pipeline recorded on the way down.
     pub reasons: Vec<ReasonCode>,
+    /// The solver configuration this function was allocated under (the
+    /// same limits apply to every IP rung the ladder tried).
+    pub solver: SolverConfig,
+    /// Whether the driver's solution cache served this function.
+    pub cache_hit: bool,
 }
 
 /// Run both allocators over every generated benchmark.
 ///
-/// The IP side runs through the fault-tolerant [`RobustAllocator`]
+/// Since the driver rewire this is [`run_all_stats`] without the
+/// aggregate statistics.
+pub fn run_all(o: &Options) -> Vec<Record> {
+    run_all_stats(o).0
+}
+
+/// Run both allocators over every generated benchmark through the
+/// `regalloc-driver` batch service, returning per-function records plus
+/// the driver's aggregate statistics (wall-clock, speedup, cache
+/// traffic, per-rung counts).
+///
+/// The IP side runs through the fault-tolerant `RobustAllocator`
 /// pipeline (with the graph-coloring baseline injected as its fourth
 /// rung), so a solver failure on any function degrades that function
 /// instead of aborting the whole experiment; each record carries the rung
-/// that served it and any demotion reasons.
-pub fn run_all(o: &Options) -> Vec<Record> {
-    let machine = X86Machine::pentium();
-    let gc = ColoringAllocator::new(&machine);
-    let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
-        .with_solver_config(o.solver())
-        .with_budget(o.time_limit.saturating_mul(4).max(Duration::from_secs(8)))
-        .with_equivalence(2, o.seed)
-        .with_baseline(&gc);
-    let mut out = Vec::new();
+/// that served it, any demotion reasons, and the solver configuration it
+/// was allocated under.
+pub fn run_all_stats(o: &Options) -> (Vec<Record>, DriverStats) {
+    // One flat suite across all benchmarks, so the driver's scheduler and
+    // workers see the full mix; map results back by index afterwards.
+    let mut funcs = Vec::new();
+    let mut owner = Vec::new();
     for b in Benchmark::all() {
         let suite = Suite::generate_scaled(b, o.seed, o.scale);
-        for f in &suite.functions {
-            if f.uses_64bit() {
-                out.push(Record {
-                    benchmark: b,
-                    name: f.name().to_string(),
-                    insts: f.num_insts(),
-                    attempted: false,
-                    constraints: 0,
-                    variables: 0,
-                    solved: false,
-                    optimal: false,
-                    solve_time: Duration::ZERO,
-                    ip: SpillStats::default(),
-                    gc: SpillStats::default(),
-                    ip_bytes: 0,
-                    gc_bytes: 0,
-                    rung: None,
-                    reasons: Vec::new(),
-                });
-                continue;
-            }
-            let a = robust
-                .allocate(f)
-                .expect("ladder always produces an allocation");
-            let c = gc.allocate(f).expect("attempted");
+        owner.extend(std::iter::repeat_n(b, suite.functions.len()));
+        funcs.extend(suite.functions);
+    }
+    let solver = o.solver();
+    let outcome = run_suite(&funcs, &o.driver());
+
+    let records = outcome
+        .results
+        .into_iter()
+        .zip(owner)
+        .map(|(r, benchmark)| {
+            let base = r.baseline.as_ref();
+            let (gc_stats, gc_bytes) =
+                base.map_or((SpillStats::default(), 0), |c| (c.stats, c.bytes));
             // Paper pipeline: a function the IP solver does not solve
             // keeps the compiler's default (graph-coloring) allocation,
             // so its IP-side overhead equals the baseline's.
-            let solved = a.report.solved();
-            let ip_stats = if solved { a.stats } else { c.stats };
-            let ip_func = if solved { &a.func } else { &c.func };
-            let ip_bytes = regalloc_x86::encoding::function_size(&machine, ip_func);
-            let gc_bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
-            out.push(Record {
-                benchmark: b,
-                name: f.name().to_string(),
-                insts: f.num_insts(),
-                attempted: true,
-                constraints: a.report.num_constraints,
-                variables: a.report.num_vars,
+            let solved = r.solved();
+            let optimal = r.solved_optimally();
+            Record {
+                benchmark,
+                name: r.name,
+                insts: r.num_insts,
+                attempted: r.attempted,
+                constraints: r.num_constraints,
+                variables: r.num_vars,
                 solved,
-                optimal: a.report.solved_optimally(),
-                solve_time: a.report.solve_time,
-                ip: ip_stats,
-                gc: c.stats,
-                ip_bytes,
-                gc_bytes,
-                rung: Some(a.report.rung),
-                reasons: a.report.demotions.iter().map(|d| d.reason).collect(),
-            });
-        }
-    }
-    out
+                optimal,
+                solve_time: r.solve_time,
+                ip: if solved { r.stats } else { gc_stats },
+                gc: gc_stats,
+                ip_bytes: if r.attempted {
+                    if solved {
+                        r.ip_bytes
+                    } else {
+                        gc_bytes
+                    }
+                } else {
+                    0
+                },
+                gc_bytes: if r.attempted { gc_bytes } else { 0 },
+                rung: r.rung,
+                reasons: r.reasons,
+                solver: solver.clone(),
+                cache_hit: r.cache_hit,
+            }
+        })
+        .collect();
+    (records, outcome.stats)
 }
 
 /// Aggregated degradation-ladder accounting for a set of records,
@@ -319,20 +392,29 @@ mod tests {
             scale: 0.004,
             seed: 3,
             time_limit: Duration::from_millis(100),
+            ..Options::default()
         };
-        let recs = run_all(&o);
+        let (recs, stats) = run_all_stats(&o);
         assert!(recs.len() >= 6, "at least one function per benchmark");
         assert!(recs.iter().any(|r| !r.attempted), "64-bit functions remain");
         for r in recs.iter().filter(|r| r.attempted) {
             assert!(r.constraints > 0);
             assert!(r.rung.is_some(), "attempted functions report their rung");
+            assert_eq!(
+                r.solver.time_limit,
+                Duration::from_millis(100),
+                "records carry the solver configuration they ran under"
+            );
         }
         let summary = DegradationSummary::collect(recs.iter().filter(|r| r.attempted));
         let served: usize = summary.rungs.iter().map(|(_, n)| n).sum();
+        let attempted = recs.iter().filter(|r| r.attempted).count();
         assert_eq!(
-            served,
-            recs.iter().filter(|r| r.attempted).count(),
+            served, attempted,
             "every attempted function was served by exactly one rung"
         );
+        assert_eq!(stats.attempted, attempted);
+        assert_eq!(stats.functions, recs.len());
+        assert_eq!(stats.cache_hits + stats.cache_misses, attempted);
     }
 }

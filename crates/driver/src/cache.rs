@@ -1,0 +1,493 @@
+//! The content-addressed solution cache.
+//!
+//! Register allocation is a pure function of (function body, machine
+//! model, solver configuration), and bench suites are regenerated from
+//! seeds — so across runs the service sees the *same* allocation problems
+//! over and over. The cache memoizes solved allocations under a canonical
+//! content key so repeat runs are warm:
+//!
+//! * **Key** — FNV-1a over the function-body fingerprint
+//!   ([`regalloc_ir::fingerprint`], stable across processes and
+//!   print/parse round trips and independent of the function *name*),
+//!   chained with the machine-model name and every solver-configuration
+//!   field. Change any input and the key changes; rename a function and
+//!   it does not.
+//! * **Entry** — the full allocated function in canonical text, the spill
+//!   slot table the text cannot carry (widths, §5.5 home coalescing), the
+//!   spill statistics, model statistics and the degradation-ladder
+//!   outcome; guarded by a checksum over the payload.
+//! * **Persistence** — one file per entry under the cache directory
+//!   (`results/cache/` for the bench harness), written atomically
+//!   (temp file + rename) so concurrent workers never expose torn
+//!   entries.
+//!
+//! **A hit is never trusted blindly.** The stored allocation is re-parsed
+//! and replayed through [`regalloc_ir::verify_allocated`]; a checksum
+//! mismatch, parse failure, malformed field or verification error rejects
+//! the entry (counted in [`SolutionCache::rejected`]) and the driver
+//! falls through to a fresh solve. A poisoned cache can therefore cost
+//! time, never correctness.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use regalloc_core::{ReasonCode, Rung, SpillStats};
+use regalloc_ilp::SolverConfig;
+use regalloc_ir::fingerprint::{fingerprint, fnv1a, FNV_OFFSET};
+use regalloc_ir::{parse_function, verify_allocated, Function, SlotId, SlotInfo, Width};
+
+/// First line of every cache file; bump the version to invalidate old
+/// entries wholesale on a format change.
+pub const MAGIC: &str = "regalloc-cache v1";
+
+/// Checksum guarding an entry's payload (everything after the `check`
+/// line). Public so tooling and tests can produce well-formed entries.
+pub fn checksum(payload: &str) -> u64 {
+    fnv1a(FNV_OFFSET, payload.as_bytes())
+}
+
+/// The content key for allocating `f` on `machine_name` under `solver`.
+pub fn cache_key(f: &Function, machine_name: &str, solver: &SolverConfig) -> u64 {
+    let mut h = fingerprint(f);
+    h = fnv1a(h, machine_name.as_bytes());
+    h = fnv1a(h, &solver.time_limit.as_nanos().to_le_bytes());
+    h = fnv1a(h, &solver.lp_iter_limit.to_le_bytes());
+    h = fnv1a(h, &solver.node_limit.to_le_bytes());
+    h = fnv1a(h, &(solver.max_rows as u64).to_le_bytes());
+    h
+}
+
+/// One cached allocation: everything the driver needs to reproduce a
+/// solved function's result without re-running the solver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Degradation-ladder rung that produced the allocation.
+    pub rung: Rung,
+    /// Demotion reasons recorded on the way down.
+    pub reasons: Vec<ReasonCode>,
+    /// Spill accounting of the accepted allocation.
+    pub stats: SpillStats,
+    /// Constraints in the integer program.
+    pub num_constraints: usize,
+    /// Decision variables in the integer program.
+    pub num_vars: usize,
+    /// Intermediate instructions analysed.
+    pub num_insts: usize,
+    /// Branch-and-bound nodes the original solve used.
+    pub solver_nodes: u64,
+    /// Encoded size of the allocation, in bytes.
+    pub ip_bytes: u64,
+    /// The spill-slot table (the canonical text carries only slot
+    /// *references*).
+    pub slots: Vec<SlotInfo>,
+    /// The allocated function in canonical textual form.
+    pub func_text: String,
+}
+
+fn rung_from_name(s: &str) -> Option<Rung> {
+    Rung::ALL.iter().copied().find(|r| r.name() == s)
+}
+
+fn reason_from_name(s: &str) -> Option<ReasonCode> {
+    const ALL: [ReasonCode; 10] = [
+        ReasonCode::SolverTimeout,
+        ReasonCode::SolverLimit,
+        ReasonCode::NumericalTrouble,
+        ReasonCode::Infeasible,
+        ReasonCode::Panic,
+        ReasonCode::ValidationFailed,
+        ReasonCode::EquivalenceFailed,
+        ReasonCode::DeadlineExceeded,
+        ReasonCode::RungUnavailable,
+        ReasonCode::RungFailed,
+    ];
+    ALL.iter().copied().find(|r| r.name() == s)
+}
+
+fn width_from_bits(s: &str) -> Option<Width> {
+    match s {
+        "8" => Some(Width::B8),
+        "16" => Some(Width::B16),
+        "32" => Some(Width::B32),
+        "64" => Some(Width::B64),
+        _ => None,
+    }
+}
+
+impl CacheEntry {
+    /// Render the entry payload (everything after the `check` line).
+    fn payload(&self) -> String {
+        use std::fmt::Write;
+        let mut p = String::new();
+        writeln!(p, "rung {}", self.rung.name()).unwrap();
+        if self.reasons.is_empty() {
+            p.push_str("reasons -\n");
+        } else {
+            let names: Vec<&str> = self.reasons.iter().map(|r| r.name()).collect();
+            writeln!(p, "reasons {}", names.join(",")).unwrap();
+        }
+        writeln!(
+            p,
+            "stats {} {} {} {} {} {}",
+            self.stats.loads,
+            self.stats.stores,
+            self.stats.remats,
+            self.stats.copies,
+            self.stats.mem_operand_cycles,
+            self.stats.code_bytes
+        )
+        .unwrap();
+        writeln!(
+            p,
+            "model {} {} {} {}",
+            self.num_constraints, self.num_vars, self.num_insts, self.solver_nodes
+        )
+        .unwrap();
+        writeln!(p, "bytes {}", self.ip_bytes).unwrap();
+        if self.slots.is_empty() {
+            p.push_str("slots -\n");
+        } else {
+            let slots: Vec<String> = self
+                .slots
+                .iter()
+                .map(|s| match s.home {
+                    Some(g) => format!("{}:g{}", s.width.bits(), g),
+                    None => format!("{}:-", s.width.bits()),
+                })
+                .collect();
+            writeln!(p, "slots {}", slots.join(",")).unwrap();
+        }
+        writeln!(p, "func {}", self.func_text.lines().count()).unwrap();
+        p.push_str(&self.func_text);
+        if !self.func_text.ends_with('\n') {
+            p.push('\n');
+        }
+        p
+    }
+
+    /// Serialize to the on-disk file format.
+    pub fn serialize(&self) -> String {
+        let payload = self.payload();
+        format!("{MAGIC}\ncheck {:016x}\n{payload}", checksum(&payload))
+    }
+
+    /// Parse an on-disk entry, rejecting checksum mismatches and
+    /// malformed fields. Returns `None` rather than an error: every
+    /// failure mode is handled identically (treat as a miss).
+    pub fn deserialize(text: &str) -> Option<CacheEntry> {
+        let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+        let (check_line, payload) = rest.split_once('\n')?;
+        let stored: u64 = u64::from_str_radix(check_line.strip_prefix("check ")?, 16).ok()?;
+        if checksum(payload) != stored {
+            return None;
+        }
+
+        let mut lines = payload.lines();
+        let rung = rung_from_name(lines.next()?.strip_prefix("rung ")?)?;
+        let reasons_s = lines.next()?.strip_prefix("reasons ")?;
+        let reasons = if reasons_s == "-" {
+            Vec::new()
+        } else {
+            reasons_s
+                .split(',')
+                .map(reason_from_name)
+                .collect::<Option<Vec<_>>>()?
+        };
+        let st: Vec<i64> = lines
+            .next()?
+            .strip_prefix("stats ")?
+            .split(' ')
+            .map(|v| v.parse().ok())
+            .collect::<Option<Vec<_>>>()?;
+        let [loads, stores, remats, copies, mem_operand_cycles, code_bytes] = st[..] else {
+            return None;
+        };
+        let md: Vec<u64> = lines
+            .next()?
+            .strip_prefix("model ")?
+            .split(' ')
+            .map(|v| v.parse().ok())
+            .collect::<Option<Vec<_>>>()?;
+        let [num_constraints, num_vars, num_insts, solver_nodes] = md[..] else {
+            return None;
+        };
+        let ip_bytes: u64 = lines.next()?.strip_prefix("bytes ")?.parse().ok()?;
+        let slots_s = lines.next()?.strip_prefix("slots ")?;
+        let slots = if slots_s == "-" {
+            Vec::new()
+        } else {
+            slots_s
+                .split(',')
+                .map(|s| {
+                    let (w, home) = s.split_once(':')?;
+                    let width = width_from_bits(w)?;
+                    let home = match home {
+                        "-" => None,
+                        g => Some(g.strip_prefix('g')?.parse().ok()?),
+                    };
+                    Some(SlotInfo { width, home })
+                })
+                .collect::<Option<Vec<_>>>()?
+        };
+        let nlines: usize = lines.next()?.strip_prefix("func ")?.parse().ok()?;
+        let func_lines: Vec<&str> = lines.collect();
+        if func_lines.len() != nlines {
+            return None;
+        }
+        let mut func_text = func_lines.join("\n");
+        func_text.push('\n');
+        Some(CacheEntry {
+            rung,
+            reasons,
+            stats: SpillStats {
+                loads,
+                stores,
+                remats,
+                copies,
+                mem_operand_cycles,
+                code_bytes,
+            },
+            num_constraints: num_constraints as usize,
+            num_vars: num_vars as usize,
+            num_insts: num_insts as usize,
+            solver_nodes,
+            ip_bytes,
+            slots,
+            func_text,
+        })
+    }
+
+    /// Rebuild the allocated function from the stored text: parse,
+    /// restore the slot table, and run structural verification. `None`
+    /// means the entry cannot be trusted.
+    pub fn realize(&self) -> Option<Function> {
+        let mut func = parse_function(&self.func_text).ok()?;
+        // The parser reconstructs slots (32-bit, no home) from the
+        // references it sees; the stored table is authoritative. Fewer
+        // stored slots than referenced ones means the entry is damaged.
+        if self.slots.len() < func.slots().len() {
+            return None;
+        }
+        for (i, &info) in self.slots.iter().enumerate() {
+            if i < func.slots().len() {
+                func.set_slot(SlotId(i as u32), info);
+            } else {
+                func.add_slot(info.width, info.home);
+            }
+        }
+        if verify_allocated(&func).is_err() {
+            return None;
+        }
+        Some(func)
+    }
+}
+
+/// A verified allocation recovered from the cache.
+#[derive(Clone, Debug)]
+pub struct CachedAlloc {
+    /// The allocated function, slot table restored, structurally
+    /// verified.
+    pub func: Function,
+    /// The stored record.
+    pub entry: CacheEntry,
+}
+
+/// The two-level (memory + optional disk) solution cache. Safe to share
+/// across worker threads.
+pub struct SolutionCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<u64, CacheEntry>>,
+    rejected: AtomicUsize,
+}
+
+impl SolutionCache {
+    /// A cache persisting under `dir` (`None` = in-memory only, which
+    /// still deduplicates identical bodies within one run). The directory
+    /// is created eagerly; persistence degrades to memory-only if the
+    /// filesystem refuses.
+    pub fn new(dir: Option<PathBuf>) -> SolutionCache {
+        let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+        SolutionCache {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            rejected: AtomicUsize::new(0),
+        }
+    }
+
+    /// The file path backing `key`, when persistence is on.
+    pub fn path_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.alloc")))
+    }
+
+    /// Look `key` up and *verify* the stored allocation before returning
+    /// it. Corrupt or unverifiable entries are dropped and counted.
+    pub fn lookup(&self, key: u64) -> Option<CachedAlloc> {
+        let mem_hit = self.mem.lock().unwrap().get(&key).cloned();
+        let (entry, from_disk) = match mem_hit {
+            Some(e) => (e, false),
+            None => {
+                let path = self.path_for(key)?;
+                let text = std::fs::read_to_string(path).ok()?;
+                match CacheEntry::deserialize(&text) {
+                    Some(e) => (e, true),
+                    None => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                }
+            }
+        };
+        match entry.realize() {
+            Some(func) => {
+                if from_disk {
+                    self.mem.lock().unwrap().insert(key, entry.clone());
+                }
+                Some(CachedAlloc { func, entry })
+            }
+            None => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.mem.lock().unwrap().remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Store an entry in memory and (when configured) on disk. The disk
+    /// write is atomic (temp file + rename) so a concurrent reader never
+    /// sees a torn entry; write failures are ignored (the cache is an
+    /// accelerator, not a store of record).
+    pub fn store(&self, key: u64, entry: CacheEntry) {
+        if let Some(path) = self.path_for(key) {
+            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+            if std::fs::write(&tmp, entry.serialize()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+        self.mem.lock().unwrap().insert(key, entry);
+    }
+
+    /// Entries rejected by checksum, parse or verification failures.
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regalloc_ir::{FunctionBuilder, Loc, PhysReg, Width};
+
+    fn allocated_sample() -> Function {
+        // A tiny already-"allocated" function: only physical registers.
+        let mut b = FunctionBuilder::new("t");
+        b.push(regalloc_ir::Inst::LoadImm {
+            dst: Loc::Real(PhysReg(0)),
+            imm: 5,
+            width: Width::B32,
+        });
+        b.push(regalloc_ir::Inst::Ret {
+            val: Some(regalloc_ir::Operand::Loc(Loc::Real(PhysReg(0)))),
+        });
+        b.finish()
+    }
+
+    fn entry_for(f: &Function) -> CacheEntry {
+        CacheEntry {
+            rung: Rung::IpOptimal,
+            reasons: vec![ReasonCode::SolverTimeout],
+            stats: SpillStats {
+                loads: 1,
+                stores: -2,
+                remats: 3,
+                copies: 0,
+                mem_operand_cycles: 4,
+                code_bytes: -5,
+            },
+            num_constraints: 42,
+            num_vars: 17,
+            num_insts: 2,
+            solver_nodes: 9,
+            ip_bytes: 11,
+            slots: vec![
+                SlotInfo {
+                    width: Width::B8,
+                    home: Some(1),
+                },
+                SlotInfo {
+                    width: Width::B32,
+                    home: None,
+                },
+            ],
+            func_text: format!("{f}\n"),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_the_file_format() {
+        let f = allocated_sample();
+        let e = entry_for(&f);
+        let parsed = CacheEntry::deserialize(&e.serialize()).expect("parses");
+        assert_eq!(parsed, e);
+        let realized = parsed.realize().expect("verifies");
+        assert_eq!(realized.to_string(), f.to_string());
+    }
+
+    #[test]
+    fn checksum_mismatch_rejects() {
+        let e = entry_for(&allocated_sample());
+        let text = e.serialize().replace("imm32 5", "imm32 6");
+        assert!(CacheEntry::deserialize(&text).is_none());
+    }
+
+    #[test]
+    fn valid_checksum_with_unallocated_body_fails_verification() {
+        // Poisoning with a *well-formed* file: the checksum passes, but
+        // the function still contains a symbolic register, so replay
+        // verification must refuse it.
+        let mut e = entry_for(&allocated_sample());
+        e.func_text = e.func_text.replace("r0", "s0");
+        let reparsed = CacheEntry::deserialize(&e.serialize()).expect("checksum is consistent");
+        assert!(reparsed.realize().is_none());
+    }
+
+    #[test]
+    fn disk_cache_round_trip_and_rejection_counting() {
+        let dir = std::env::temp_dir().join(format!("regalloc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SolutionCache::new(Some(dir.clone()));
+        let f = allocated_sample();
+        let e = entry_for(&f);
+        cache.store(7, e.clone());
+
+        // A second cache over the same directory (fresh memory) hits disk.
+        let cache2 = SolutionCache::new(Some(dir.clone()));
+        let hit = cache2.lookup(7).expect("disk hit");
+        assert_eq!(hit.entry, e);
+        assert_eq!(hit.func.slot(SlotId(0)).width, Width::B8);
+
+        // Corrupt the file; a fresh cache must reject and count it.
+        let path = cache2.path_for(7).unwrap();
+        let mangled = std::fs::read_to_string(&path).unwrap().replace('5', "6");
+        std::fs::write(&path, mangled).unwrap();
+        let cache3 = SolutionCache::new(Some(dir.clone()));
+        assert!(cache3.lookup(7).is_none());
+        assert_eq!(cache3.rejected(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_inputs_but_not_names() {
+        let f = allocated_sample();
+        let cfg = SolverConfig::default();
+        let k = cache_key(&f, "pentium", &cfg);
+        assert_eq!(k, cache_key(&f, "pentium", &cfg));
+        assert_ne!(k, cache_key(&f, "risc24", &cfg));
+        let mut slow = cfg.clone();
+        slow.time_limit = std::time::Duration::from_secs(1024);
+        assert_ne!(k, cache_key(&f, "pentium", &slow));
+    }
+}

@@ -1,0 +1,460 @@
+//! `regalloc-driver` — the batch allocation service.
+//!
+//! The paper allocates each SPECint92 function independently under a
+//! per-function solver budget (1024 s, Table 2): an embarrassingly
+//! parallel workload that the bench harness nevertheless ran one function
+//! at a time on one core. This crate turns the per-function
+//! [`RobustAllocator`] pipeline into a suite-level service:
+//!
+//! * a hand-rolled **work-stealing thread pool** ([`pool`]) shards the
+//!   suite across `jobs` workers;
+//! * a **content-addressed solution cache** ([`cache`]) memoizes
+//!   allocations under a canonical hash of function body, machine model
+//!   and solver configuration, persisted on disk so repeat runs are
+//!   warm — every hit is re-verified through
+//!   [`regalloc_ir::verify_allocated`] before being trusted;
+//! * **deadline-aware scheduling** ([`schedule`]) orders the queue
+//!   cheapest-model-first and divides an optional global wall-clock
+//!   budget into shrinking per-function grants, mirroring how the
+//!   paper's 1024-second limit bounded tail functions — exhausted budget
+//!   demotes tail functions down the degradation ladder instead of
+//!   hanging the run.
+//!
+//! # Determinism
+//!
+//! [`run_suite`] returns results in suite order regardless of worker
+//! count or completion order. Allocations, statistics and reports are
+//! byte-identical for any `jobs` value provided the wall-clock limits do
+//! not bind (the solver's node and iteration limits, which normally
+//! terminate a solve, are deterministic). Only timing fields
+//! ([`FunctionResult::task_time`], [`DriverStats`] clocks) vary run to
+//! run. On a *cold* run the cache-hit accounting may differ across
+//! worker counts when a suite contains identically-bodied functions
+//! (with `jobs = 1` the second body hits the first's fresh entry; with
+//! racing workers both may solve) — the allocations themselves are still
+//! identical, which is what the guarantee covers.
+//!
+//! # Example
+//!
+//! ```
+//! use regalloc_driver::{run_suite, CacheMode, DriverConfig};
+//! use regalloc_workloads::{Benchmark, Suite};
+//!
+//! let suite = Suite::generate_scaled(Benchmark::Compress, 1998, 0.1);
+//! let cfg = DriverConfig {
+//!     jobs: 2,
+//!     cache: CacheMode::Memory,
+//!     ..DriverConfig::default()
+//! };
+//! let out = run_suite(&suite.functions, &cfg);
+//! assert_eq!(out.results.len(), suite.functions.len());
+//! assert!(out.results.iter().all(|r| !r.attempted || r.func.is_some()));
+//! ```
+
+pub mod cache;
+pub mod pool;
+pub mod schedule;
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use regalloc_coloring::ColoringAllocator;
+use regalloc_core::{ReasonCode, RobustAllocator, Rung, SpillStats};
+use regalloc_ilp::SolverConfig;
+use regalloc_ir::Function;
+use regalloc_x86::{Machine, X86Machine, X86RegFile};
+
+use cache::{cache_key, CacheEntry, SolutionCache};
+use schedule::BudgetGovernor;
+
+/// Where solved allocations are memoized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No cache at all (every function is solved fresh).
+    Off,
+    /// In-memory only: deduplicates identical bodies within one run.
+    Memory,
+    /// Memory plus one file per entry under the given directory, so
+    /// repeat runs are warm.
+    Disk(PathBuf),
+}
+
+/// Configuration for a batch run.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Worker threads (0 is treated as 1).
+    pub jobs: usize,
+    /// IP solver configuration, applied to every function (part of the
+    /// cache key).
+    pub solver: SolverConfig,
+    /// Per-function wall-clock ceiling across all ladder rungs (the
+    /// paper's 1024-second analogue).
+    pub function_budget: Duration,
+    /// Optional wall-clock budget for the whole suite; per-function
+    /// grants shrink as it drains. `None` = unlimited.
+    pub global_budget: Option<Duration>,
+    /// Solution-cache placement.
+    pub cache: CacheMode,
+    /// Interpreter-equivalence runs per accepted candidate (0 disables;
+    /// structural verification always runs).
+    pub equiv_runs: usize,
+    /// Seed for the equivalence argument vectors.
+    pub equiv_seed: u64,
+    /// Also run the graph-coloring baseline on every function and attach
+    /// the outcome (used by the paper-table harness).
+    pub compare_baseline: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        let solver = SolverConfig::default();
+        let function_budget = solver
+            .time_limit
+            .saturating_mul(4)
+            .max(Duration::from_secs(8));
+        DriverConfig {
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            solver,
+            function_budget,
+            global_budget: None,
+            cache: CacheMode::Memory,
+            equiv_runs: 2,
+            equiv_seed: 0x0b5e55ed,
+            compare_baseline: false,
+        }
+    }
+}
+
+/// The graph-coloring baseline's outcome for one function (present when
+/// [`DriverConfig::compare_baseline`] is set).
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The baseline allocation.
+    pub func: Function,
+    /// Its spill accounting.
+    pub stats: SpillStats,
+    /// Its encoded size in bytes.
+    pub bytes: u64,
+}
+
+/// Per-function outcome of a batch run.
+#[derive(Clone, Debug)]
+pub struct FunctionResult {
+    /// Function name.
+    pub name: String,
+    /// False for functions with 64-bit values (not attempted, as in
+    /// Table 2).
+    pub attempted: bool,
+    /// The accepted allocation (`None` when not attempted or errored).
+    pub func: Option<Function>,
+    /// Spill accounting of the accepted allocation.
+    pub stats: SpillStats,
+    /// Ladder rung that served the function.
+    pub rung: Option<Rung>,
+    /// Demotion reasons recorded on the way down.
+    pub reasons: Vec<ReasonCode>,
+    /// Constraints in the integer program.
+    pub num_constraints: usize,
+    /// Decision variables in the integer program.
+    pub num_vars: usize,
+    /// Intermediate instructions.
+    pub num_insts: usize,
+    /// Branch-and-bound nodes used (0 on a cache hit).
+    pub solver_nodes: u64,
+    /// IP solve time (zero on a cache hit; a timing field, varies).
+    pub solve_time: Duration,
+    /// Encoded size of the accepted allocation, in bytes.
+    pub ip_bytes: u64,
+    /// Whether the solution cache served this function.
+    pub cache_hit: bool,
+    /// Wall-clock budget the governor granted (full configured budget on
+    /// a cache hit, which consumes none of it).
+    pub granted_budget: Duration,
+    /// The scheduler's constraint-count estimate.
+    pub estimate: usize,
+    /// Wall-clock time this function's task took (a timing field).
+    pub task_time: Duration,
+    /// Graph-coloring comparison, when requested.
+    pub baseline: Option<BaselineResult>,
+    /// Set when the ladder itself failed (effectively unreachable
+    /// without fault injection).
+    pub error: Option<String>,
+}
+
+impl FunctionResult {
+    /// Table 2 "solved": an IP rung served the function.
+    pub fn solved(&self) -> bool {
+        matches!(self.rung, Some(Rung::IpOptimal) | Some(Rung::IpIncumbent))
+    }
+
+    /// Table 2 "optimal".
+    pub fn solved_optimally(&self) -> bool {
+        self.rung == Some(Rung::IpOptimal)
+    }
+}
+
+/// Aggregate accounting for a batch run.
+#[derive(Clone, Debug)]
+pub struct DriverStats {
+    /// Functions in the suite.
+    pub functions: usize,
+    /// Functions attempted (no 64-bit values).
+    pub attempted: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time for the whole suite.
+    pub wall_time: Duration,
+    /// Sum of per-function task times — the sequential-equivalent cost,
+    /// so `cpu_time / wall_time` estimates the parallel speedup.
+    pub cpu_time: Duration,
+    /// Functions served from the solution cache.
+    pub cache_hits: usize,
+    /// Functions solved fresh.
+    pub cache_misses: usize,
+    /// Cache entries rejected by checksum/parse/verification.
+    pub cache_rejected: usize,
+    /// Functions served per rung, ladder order.
+    pub rungs: Vec<(Rung, usize)>,
+    /// Busy time per worker.
+    pub worker_busy: Vec<Duration>,
+}
+
+impl DriverStats {
+    /// Cache hits over attempted functions (0.0 with nothing attempted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Functions per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            0.0
+        } else {
+            self.functions as f64 / self.wall_time.as_secs_f64()
+        }
+    }
+
+    /// Estimated wall-clock speedup over running the same tasks
+    /// sequentially (sum of task times / wall time).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            0.0
+        } else {
+            self.cpu_time.as_secs_f64() / self.wall_time.as_secs_f64()
+        }
+    }
+
+    /// Mean busy fraction across workers.
+    pub fn utilization(&self) -> f64 {
+        if self.worker_busy.is_empty() || self.wall_time.is_zero() {
+            return 0.0;
+        }
+        let total: Duration = self.worker_busy.iter().sum();
+        total.as_secs_f64() / (self.wall_time.as_secs_f64() * self.worker_busy.len() as f64)
+    }
+}
+
+/// A completed batch run.
+#[derive(Clone, Debug)]
+pub struct SuiteOutcome {
+    /// Per-function results, in suite order.
+    pub results: Vec<FunctionResult>,
+    /// Aggregate accounting.
+    pub stats: DriverStats,
+}
+
+fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
+    FunctionResult {
+        name: f.name().to_string(),
+        attempted: false,
+        func: None,
+        stats: SpillStats::default(),
+        rung: None,
+        reasons: Vec::new(),
+        num_constraints: 0,
+        num_vars: 0,
+        num_insts: f.num_insts(),
+        solver_nodes: 0,
+        solve_time: Duration::ZERO,
+        ip_bytes: 0,
+        cache_hit: false,
+        granted_budget: Duration::ZERO,
+        estimate,
+        task_time: Duration::ZERO,
+        baseline: None,
+        error: None,
+    }
+}
+
+/// Allocate every function of a suite through the parallel service.
+///
+/// Results come back in suite order; see the module docs for the
+/// determinism guarantee. The machine model is the paper's Pentium x86
+/// model (the same one the bench harness uses).
+pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
+    let machine = X86Machine::pentium();
+    let gc = ColoringAllocator::new(&machine);
+    let cache = match &cfg.cache {
+        CacheMode::Off => None,
+        CacheMode::Memory => Some(SolutionCache::new(None)),
+        CacheMode::Disk(dir) => Some(SolutionCache::new(Some(dir.clone()))),
+    };
+    let sched = schedule::plan(funcs);
+    let governor = BudgetGovernor::new(
+        cfg.global_budget,
+        cfg.function_budget,
+        cfg.jobs,
+        funcs.len(),
+    );
+
+    let run_one = |i: usize, f: &Function| -> FunctionResult {
+        let t0 = Instant::now();
+        let estimate = sched.estimates[i];
+        if f.uses_64bit() {
+            governor.skip();
+            return not_attempted(f, estimate);
+        }
+        let baseline = cfg.compare_baseline.then(|| {
+            let c = gc
+                .allocate(f)
+                .expect("baseline allocates attempted functions");
+            let bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
+            BaselineResult {
+                func: c.func,
+                stats: c.stats,
+                bytes,
+            }
+        });
+
+        let key = cache_key(f, machine.name(), &cfg.solver);
+        if let Some(cache) = &cache {
+            if let Some(hit) = cache.lookup(key) {
+                governor.skip();
+                return FunctionResult {
+                    name: f.name().to_string(),
+                    attempted: true,
+                    func: Some(hit.func),
+                    stats: hit.entry.stats,
+                    rung: Some(hit.entry.rung),
+                    reasons: hit.entry.reasons,
+                    num_constraints: hit.entry.num_constraints,
+                    num_vars: hit.entry.num_vars,
+                    num_insts: hit.entry.num_insts,
+                    solver_nodes: hit.entry.solver_nodes,
+                    solve_time: Duration::ZERO,
+                    ip_bytes: hit.entry.ip_bytes,
+                    cache_hit: true,
+                    granted_budget: cfg.function_budget,
+                    estimate,
+                    task_time: t0.elapsed(),
+                    baseline,
+                    error: None,
+                };
+            }
+        }
+
+        let granted = governor.grant();
+        let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+            .with_solver_config(cfg.solver.clone())
+            .with_budget(granted)
+            .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
+            .with_baseline(&gc);
+        match robust.allocate(f) {
+            Ok(out) => {
+                let ip_bytes = regalloc_x86::encoding::function_size(&machine, &out.func);
+                let reasons: Vec<ReasonCode> =
+                    out.report.demotions.iter().map(|d| d.reason).collect();
+                if let Some(cache) = &cache {
+                    cache.store(
+                        key,
+                        CacheEntry {
+                            rung: out.report.rung,
+                            reasons: reasons.clone(),
+                            stats: out.stats,
+                            num_constraints: out.report.num_constraints,
+                            num_vars: out.report.num_vars,
+                            num_insts: out.report.num_insts,
+                            solver_nodes: out.report.solver_nodes,
+                            ip_bytes,
+                            slots: out.func.slots().to_vec(),
+                            func_text: format!("{}\n", out.func),
+                        },
+                    );
+                }
+                FunctionResult {
+                    name: f.name().to_string(),
+                    attempted: true,
+                    func: Some(out.func),
+                    stats: out.stats,
+                    rung: Some(out.report.rung),
+                    reasons,
+                    num_constraints: out.report.num_constraints,
+                    num_vars: out.report.num_vars,
+                    num_insts: out.report.num_insts,
+                    solver_nodes: out.report.solver_nodes,
+                    solve_time: out.report.solve_time,
+                    ip_bytes,
+                    cache_hit: false,
+                    granted_budget: granted,
+                    estimate,
+                    task_time: t0.elapsed(),
+                    baseline,
+                    error: None,
+                }
+            }
+            Err(e) => FunctionResult {
+                name: f.name().to_string(),
+                attempted: true,
+                func: None,
+                stats: SpillStats::default(),
+                rung: None,
+                reasons: Vec::new(),
+                num_constraints: 0,
+                num_vars: 0,
+                num_insts: f.num_insts(),
+                solver_nodes: 0,
+                solve_time: Duration::ZERO,
+                ip_bytes: 0,
+                cache_hit: false,
+                granted_budget: granted,
+                estimate,
+                task_time: t0.elapsed(),
+                baseline,
+                error: Some(e.to_string()),
+            },
+        }
+    };
+
+    let start = Instant::now();
+    let (results, pool_stats) = pool::run_indexed(cfg.jobs, funcs, &sched.order, run_one);
+    let wall_time = start.elapsed();
+
+    let attempted = results.iter().filter(|r| r.attempted).count();
+    let cache_hits = results.iter().filter(|r| r.cache_hit).count();
+    let cache_misses = attempted - cache_hits;
+    let mut rungs: Vec<(Rung, usize)> = Rung::ALL.iter().map(|&r| (r, 0)).collect();
+    for r in &results {
+        if let Some(rung) = r.rung {
+            rungs.iter_mut().find(|(x, _)| *x == rung).unwrap().1 += 1;
+        }
+    }
+    let cpu_time = results.iter().map(|r| r.task_time).sum();
+    let stats = DriverStats {
+        functions: funcs.len(),
+        attempted,
+        jobs: cfg.jobs.max(1),
+        wall_time,
+        cpu_time,
+        cache_hits,
+        cache_misses,
+        cache_rejected: cache.as_ref().map_or(0, |c| c.rejected()),
+        rungs,
+        worker_busy: pool_stats.busy,
+    };
+    SuiteOutcome { results, stats }
+}

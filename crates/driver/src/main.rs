@@ -1,0 +1,278 @@
+//! Batch allocation CLI.
+//!
+//! ```console
+//! $ cargo run --release -p regalloc-driver -- --jobs 8 --budget-secs 60 xlisp
+//! ```
+//!
+//! Suite arguments are benchmark names (`compress`, `eqntott`, `xlisp`,
+//! `sc`, `espresso`, `cc1`), `all` for the whole Table 2 line-up, or
+//! paths to textual-IR files (one or more functions per file, as emitted
+//! by `gen_workload`). With no suite argument the tool runs `compress`.
+//!
+//! Output is split into a *deterministic* section (per-function table and
+//! allocation summary — byte-identical for any `--jobs` value and for
+//! warm vs cold caches) and an *operational* section (timing, throughput,
+//! cache traffic) suppressed by `--no-timing` so runs can be diffed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use regalloc_driver::{run_suite, CacheMode, DriverConfig, SuiteOutcome};
+use regalloc_ir::Function;
+use regalloc_workloads::{Benchmark, Suite};
+
+const USAGE: &str = "usage: regalloc-driver [options] [suite...]
+
+suite:        benchmark names (compress eqntott xlisp sc espresso cc1),
+              `all`, or paths to textual-IR files; default `compress`
+
+options:
+  --jobs N             worker threads (default: available parallelism)
+  --budget-secs S      global wall-clock budget for the whole run
+  --function-budget S  per-function wall-clock ceiling (default 8)
+  --time-limit S       IP solver time limit per solve (default 2)
+  --scale F            workload scale factor (default 0.1)
+  --seed N             workload generator seed (default 1998)
+  --cache-dir DIR      persistent cache directory (default results/cache)
+  --no-cache           in-memory dedup only, nothing persisted
+  --dump-allocs FILE   write every accepted allocation to FILE
+  --no-timing          suppress the non-deterministic timing section
+  --help               this text";
+
+struct Cli {
+    cfg: DriverConfig,
+    scale: f64,
+    seed: u64,
+    suite_args: Vec<String>,
+    dump_allocs: Option<PathBuf>,
+    timing: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: DriverConfig {
+            cache: CacheMode::Disk(PathBuf::from("results/cache")),
+            ..DriverConfig::default()
+        },
+        scale: 0.1,
+        seed: 1998,
+        suite_args: Vec::new(),
+        dump_allocs: None,
+        timing: true,
+    };
+    cli.cfg.compare_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--jobs" => {
+                cli.cfg.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--budget-secs" => {
+                let s: f64 = value("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("--budget-secs: {e}"))?;
+                cli.cfg.global_budget = Some(Duration::from_secs_f64(s));
+            }
+            "--function-budget" => {
+                let s: f64 = value("--function-budget")?
+                    .parse()
+                    .map_err(|e| format!("--function-budget: {e}"))?;
+                cli.cfg.function_budget = Duration::from_secs_f64(s);
+            }
+            "--time-limit" => {
+                let s: f64 = value("--time-limit")?
+                    .parse()
+                    .map_err(|e| format!("--time-limit: {e}"))?;
+                cli.cfg.solver.time_limit = Duration::from_secs_f64(s);
+            }
+            "--scale" => {
+                cli.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--cache-dir" => cli.cfg.cache = CacheMode::Disk(PathBuf::from(value("--cache-dir")?)),
+            "--no-cache" => cli.cfg.cache = CacheMode::Memory,
+            "--dump-allocs" => cli.dump_allocs = Some(PathBuf::from(value("--dump-allocs")?)),
+            "--no-timing" => cli.timing = false,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}\n\n{USAGE}"))
+            }
+            other => cli.suite_args.push(other.to_string()),
+        }
+    }
+    if cli.suite_args.is_empty() {
+        cli.suite_args.push("compress".to_string());
+    }
+    Ok(cli)
+}
+
+fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::all().into_iter().find(|b| b.name() == name)
+}
+
+/// Split a textual-IR file into functions (`fn ...` through the closing
+/// `}` at column zero) and parse each.
+fn parse_ir_file(path: &str) -> Result<Vec<Function>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut funcs = Vec::new();
+    let mut chunk = String::new();
+    for line in text.lines() {
+        if line.starts_with("fn ") && !chunk.is_empty() {
+            return Err(format!("{path}: `fn` before previous function closed"));
+        }
+        if line.starts_with(';') || (line.trim().is_empty() && chunk.is_empty()) {
+            continue;
+        }
+        chunk.push_str(line);
+        chunk.push('\n');
+        if line == "}" {
+            funcs.push(regalloc_ir::parse_function(&chunk).map_err(|e| format!("{path}: {e}"))?);
+            chunk.clear();
+        }
+    }
+    if !chunk.trim().is_empty() {
+        return Err(format!("{path}: unterminated function at end of file"));
+    }
+    Ok(funcs)
+}
+
+fn load_suite(cli: &Cli) -> Result<Vec<Function>, String> {
+    let mut funcs = Vec::new();
+    for arg in &cli.suite_args {
+        if arg == "all" {
+            for b in Benchmark::all() {
+                funcs.extend(Suite::generate_scaled(b, cli.seed, cli.scale).functions);
+            }
+        } else if let Some(b) = benchmark_by_name(arg) {
+            funcs.extend(Suite::generate_scaled(b, cli.seed, cli.scale).functions);
+        } else if std::path::Path::new(arg).exists() {
+            funcs.extend(parse_ir_file(arg)?);
+        } else {
+            return Err(format!(
+                "`{arg}` is neither a benchmark name nor a file\n\n{USAGE}"
+            ));
+        }
+    }
+    Ok(funcs)
+}
+
+fn print_deterministic(out: &SuiteOutcome) {
+    println!(
+        "{:<18} {:>6} {:>8} {:>7} {:<11} {:>7} {:>7}",
+        "function", "insts", "constrs", "vars", "rung", "spills", "bytes"
+    );
+    for r in &out.results {
+        if !r.attempted {
+            println!(
+                "{:<18} {:>6} {:>8} {:>7} {:<11}",
+                r.name, r.num_insts, "-", "-", "skip64"
+            );
+            continue;
+        }
+        let spills = r.stats.loads + r.stats.stores + r.stats.remats;
+        println!(
+            "{:<18} {:>6} {:>8} {:>7} {:<11} {:>7} {:>7}",
+            r.name,
+            r.num_insts,
+            r.num_constraints,
+            r.num_vars,
+            r.rung.map_or("error", |x| x.name()),
+            spills,
+            r.ip_bytes,
+        );
+    }
+    println!();
+    let solved = out.results.iter().filter(|r| r.solved()).count();
+    let optimal = out.results.iter().filter(|r| r.solved_optimally()).count();
+    println!(
+        "functions {}  attempted {}  ip-solved {}  optimal {}",
+        out.stats.functions, out.stats.attempted, solved, optimal
+    );
+    let rungs: Vec<String> = out
+        .stats
+        .rungs
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(r, n)| format!("{} {}", r.name(), n))
+        .collect();
+    println!("rungs: {}", rungs.join("  "));
+}
+
+fn print_timing(out: &SuiteOutcome) {
+    let s = &out.stats;
+    println!();
+    println!(
+        "wall {:.3}s  cpu {:.3}s  speedup {:.2}x  jobs {}  utilization {:.0}%",
+        s.wall_time.as_secs_f64(),
+        s.cpu_time.as_secs_f64(),
+        s.speedup(),
+        s.jobs,
+        s.utilization() * 100.0
+    );
+    println!(
+        "throughput {:.1} fn/s  cache: {} hits / {} misses ({:.0}% hit rate), {} rejected",
+        s.throughput(),
+        s.cache_hits,
+        s.cache_misses,
+        s.hit_rate() * 100.0,
+        s.cache_rejected
+    );
+}
+
+fn dump_allocs(path: &PathBuf, out: &SuiteOutcome) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for r in &out.results {
+        if let Some(f) = &r.func {
+            let _ = writeln!(text, "{f}\n");
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let funcs = match load_suite(&cli) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = run_suite(&funcs, &cli.cfg);
+    print_deterministic(&out);
+    if cli.timing {
+        print_timing(&out);
+    }
+    if let Some(path) = &cli.dump_allocs {
+        if let Err(msg) = dump_allocs(path, &out) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if out.results.iter().any(|r| r.error.is_some()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,172 @@
+//! Deadline-aware scheduling: cheapest-model-first ordering and the
+//! global wall-clock budget governor.
+//!
+//! The paper bounds every function with the same 1024-second CPLEX
+//! budget; a batch service has the dual problem — a budget for the *whole
+//! suite* that must be divided among functions of wildly uneven cost.
+//! Two mechanisms cooperate:
+//!
+//! 1. **Ordering.** The queue is sorted by the analysis-free
+//!    constraint-count estimate
+//!    ([`regalloc_core::build::estimate_constraints`]), cheapest first.
+//!    Cheap functions are both quick *and* near-certain to solve
+//!    optimally, so when the budget starts to drain the casualties are
+//!    confined to the expensive tail — the same functions the paper's
+//!    per-function limit sacrificed.
+//! 2. **Budget shrinking.** Each dequeued function asks the
+//!    [`BudgetGovernor`] for a wall-clock grant: its fair share of the
+//!    remaining global budget across the remaining functions (scaled by
+//!    the worker count, since `jobs` workers consume wall-clock
+//!    concurrently), capped at the configured per-function budget. As the
+//!    budget drains the grants shrink; once it is exhausted the grant is
+//!    zero and the degradation ladder falls straight through to its
+//!    always-terminating fallback rungs — tail functions demote, they
+//!    never hang.
+//!
+//! Determinism: the governor only changes *outcomes* when the global
+//! budget binds. With no global budget (or an ample one) every function
+//! receives the full per-function grant and results are independent of
+//! timing and worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use regalloc_ilp::Deadline;
+use regalloc_ir::Function;
+
+/// The dispatch plan for a suite: estimates and the cheapest-first order.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Constraint-count estimate per function (item-index order).
+    pub estimates: Vec<usize>,
+    /// Item indices sorted cheapest-first (ties broken by index, so the
+    /// plan is deterministic).
+    pub order: Vec<usize>,
+}
+
+/// Build the dispatch plan for `funcs`.
+pub fn plan(funcs: &[Function]) -> Schedule {
+    let estimates: Vec<usize> = funcs
+        .iter()
+        .map(regalloc_core::build::estimate_constraints)
+        .collect();
+    let mut order: Vec<usize> = (0..funcs.len()).collect();
+    order.sort_by_key(|&i| (estimates[i], i));
+    Schedule { estimates, order }
+}
+
+/// Divides a global wall-clock budget among the remaining functions.
+pub struct BudgetGovernor {
+    global: Deadline,
+    per_fn: Duration,
+    jobs: usize,
+    remaining: AtomicUsize,
+}
+
+impl BudgetGovernor {
+    /// A governor over `tasks` functions. `global = None` disables the
+    /// global budget entirely; `per_fn` is the ceiling any single
+    /// function may receive.
+    pub fn new(
+        global: Option<Duration>,
+        per_fn: Duration,
+        jobs: usize,
+        tasks: usize,
+    ) -> BudgetGovernor {
+        BudgetGovernor {
+            global: global.map_or(Deadline::unlimited(), Deadline::after),
+            per_fn,
+            jobs: jobs.max(1),
+            remaining: AtomicUsize::new(tasks),
+        }
+    }
+
+    /// Grant a wall-clock budget to the next dequeued function and
+    /// consume its slot in the fair-share calculation.
+    pub fn grant(&self) -> Duration {
+        let left = self.remaining.fetch_sub(1, Ordering::Relaxed).max(1);
+        match self.global.remaining() {
+            None => self.per_fn,
+            Some(rem) if rem.is_zero() => Duration::ZERO,
+            Some(rem) => {
+                // `jobs` workers drain wall clock concurrently, so the
+                // share of the remaining window for one of `left`
+                // functions is rem * jobs / left.
+                let share = rem.mul_f64(self.jobs as f64 / left as f64);
+                share.min(self.per_fn)
+            }
+        }
+    }
+
+    /// Release a slot without consuming budget (cache hits cost no solver
+    /// time, so they should not shrink anyone else's share).
+    pub fn skip(&self) {
+        self.remaining.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// True once the global budget has fully drained.
+    pub fn exhausted(&self) -> bool {
+        self.global.expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regalloc_ir::{BinOp, FunctionBuilder, Operand, Width};
+
+    fn chain(n: usize) -> Function {
+        let mut b = FunctionBuilder::new("c");
+        let mut x = b.new_sym(Width::B32);
+        b.load_imm(x, 1);
+        for _ in 0..n {
+            let y = b.new_sym(Width::B32);
+            b.bin(BinOp::Add, y, Operand::sym(x), Operand::Imm(1));
+            x = y;
+        }
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    #[test]
+    fn plan_orders_cheapest_first() {
+        let funcs = vec![chain(30), chain(2), chain(10)];
+        let s = plan(&funcs);
+        assert_eq!(s.order, vec![1, 2, 0]);
+        assert!(s.estimates[1] < s.estimates[2]);
+    }
+
+    #[test]
+    fn unlimited_governor_grants_the_full_per_function_budget() {
+        let g = BudgetGovernor::new(None, Duration::from_secs(5), 4, 100);
+        for _ in 0..100 {
+            assert_eq!(g.grant(), Duration::from_secs(5));
+        }
+        assert!(!g.exhausted());
+    }
+
+    #[test]
+    fn exhausted_budget_grants_zero() {
+        let g = BudgetGovernor::new(Some(Duration::ZERO), Duration::from_secs(5), 2, 10);
+        assert!(g.exhausted());
+        assert_eq!(g.grant(), Duration::ZERO);
+    }
+
+    #[test]
+    fn shares_shrink_with_the_queue_and_never_exceed_the_ceiling() {
+        let per_fn = Duration::from_secs(10);
+        let g = BudgetGovernor::new(Some(Duration::from_secs(1)), per_fn, 1, 1000);
+        let first = g.grant();
+        assert!(first <= per_fn);
+        assert!(
+            first <= Duration::from_millis(2),
+            "1s over 1000 tasks is ~1ms, got {first:?}"
+        );
+        // Skipping (cache hits) still drains slots.
+        for _ in 0..500 {
+            g.skip();
+        }
+        let later = g.grant();
+        assert!(later <= per_fn);
+    }
+}

@@ -1,0 +1,213 @@
+//! End-to-end tests for the batch allocation service: determinism across
+//! worker counts, warm-cache behaviour, cache poisoning, and global
+//! budget exhaustion.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use regalloc_driver::{run_suite, CacheMode, DriverConfig, FunctionResult, SuiteOutcome};
+use regalloc_ilp::SolverConfig;
+use regalloc_ir::Function;
+use regalloc_workloads::{Benchmark, Suite};
+
+/// A seeded ~50-function suite (xlisp has the most functions, so a small
+/// scale still yields a broad size mix).
+fn suite50() -> Vec<Function> {
+    let s = Suite::generate_scaled(Benchmark::Xlisp, 42, 0.14);
+    assert!(
+        s.functions.len() >= 40,
+        "expected a broad suite, got {}",
+        s.functions.len()
+    );
+    s.functions
+}
+
+/// A config cheap enough for CI: tight node/iteration limits and a low
+/// `max_rows` (declining big models is instant and deterministic)
+/// terminate every solve long before the wall-clock limits bind, which
+/// is exactly the regime the determinism guarantee covers.
+fn fast_config() -> DriverConfig {
+    DriverConfig {
+        jobs: 1,
+        solver: SolverConfig {
+            time_limit: Duration::from_secs(300),
+            lp_iter_limit: 2_000,
+            node_limit: 16,
+            max_rows: 600,
+        },
+        function_budget: Duration::from_secs(300),
+        global_budget: None,
+        cache: CacheMode::Off,
+        equiv_runs: 1,
+        equiv_seed: 7,
+        compare_baseline: false,
+    }
+}
+
+/// Everything about a result that the determinism guarantee covers
+/// (i.e. all fields except wall-clock timings).
+type Observable = (
+    String,
+    bool,
+    Option<String>,
+    String,
+    Vec<String>,
+    [usize; 3],
+    u64,
+    u64,
+);
+
+fn observable(r: &FunctionResult) -> Observable {
+    (
+        r.name.clone(),
+        r.attempted,
+        r.func.as_ref().map(|f| f.to_string()),
+        format!("{:?}/{:?}", r.rung, r.stats),
+        r.reasons.iter().map(|c| c.name().to_string()).collect(),
+        [r.num_constraints, r.num_vars, r.num_insts],
+        r.solver_nodes,
+        r.ip_bytes,
+    )
+}
+
+fn observables(out: &SuiteOutcome) -> Vec<Observable> {
+    out.results.iter().map(observable).collect()
+}
+
+#[test]
+fn determinism_across_worker_counts() {
+    let funcs = suite50();
+    let cfg1 = fast_config();
+    let base = run_suite(&funcs, &cfg1);
+    for jobs in [4, 8] {
+        let cfg = DriverConfig {
+            jobs,
+            ..fast_config()
+        };
+        let par = run_suite(&funcs, &cfg);
+        assert_eq!(
+            observables(&base),
+            observables(&par),
+            "jobs=1 and jobs={jobs} must produce byte-identical results"
+        );
+    }
+    // The run did real work on real functions.
+    assert!(base.results.iter().any(|r| r.attempted && r.func.is_some()));
+}
+
+#[test]
+fn warm_disk_cache_hits_and_matches_cold() {
+    let dir = tempdir("warm");
+    let funcs = suite50();
+    let cfg = DriverConfig {
+        jobs: 4,
+        cache: CacheMode::Disk(dir.clone()),
+        ..fast_config()
+    };
+    let cold = run_suite(&funcs, &cfg);
+    assert_eq!(cold.stats.cache_rejected, 0);
+    let warm = run_suite(&funcs, &cfg);
+    assert!(
+        warm.stats.hit_rate() >= 0.9,
+        "warm rerun should be >=90% cache hits, got {:.2} ({} hits / {} misses)",
+        warm.stats.hit_rate(),
+        warm.stats.cache_hits,
+        warm.stats.cache_misses
+    );
+    assert_eq!(
+        observables(&cold),
+        observables(&warm),
+        "warm results must be identical to cold"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_cache_entry_is_detected_and_resolved() {
+    let dir = tempdir("poison");
+    let funcs = suite50();
+    let cfg = DriverConfig {
+        jobs: 2,
+        cache: CacheMode::Disk(dir.clone()),
+        ..fast_config()
+    };
+    let cold = run_suite(&funcs, &cfg);
+
+    // Tamper with every persisted entry: un-allocate the body by
+    // rewriting physical registers back to symbolic ones, then re-stamp
+    // the checksum so only semantic verification can catch it.
+    let mut tampered = 0;
+    for e in std::fs::read_dir(&dir).unwrap() {
+        let path = e.unwrap().path();
+        if path.extension().is_none_or(|x| x != "alloc") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let poisoned = text.replace("r0", "s990").replace("r1", "s991");
+        if poisoned == text {
+            continue;
+        }
+        // Recompute the checksum over the tampered payload (everything
+        // after the `check` line) exactly as the cache does.
+        let mut lines: Vec<&str> = poisoned.lines().collect();
+        let payload = lines[2..].join("\n") + "\n";
+        let stamp = format!("check {:016x}", regalloc_driver::cache::checksum(&payload));
+        lines[1] = &stamp;
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        tampered += 1;
+    }
+    assert!(tampered > 0, "expected to tamper at least one cache entry");
+
+    let rerun = run_suite(&funcs, &cfg);
+    assert!(
+        rerun.stats.cache_rejected >= 1,
+        "verification must reject tampered entries"
+    );
+    assert_eq!(
+        observables(&cold),
+        observables(&rerun),
+        "rejected entries must be re-solved to the same allocations"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_global_budget_demotes_but_completes() {
+    let funcs = suite50();
+    let cfg = DriverConfig {
+        jobs: 4,
+        global_budget: Some(Duration::ZERO),
+        ..fast_config()
+    };
+    let out = run_suite(&funcs, &cfg);
+    assert_eq!(out.results.len(), funcs.len(), "every function completes");
+    for r in out.results.iter().filter(|r| r.attempted) {
+        assert!(
+            r.func.is_some(),
+            "{}: fallback rungs always produce code",
+            r.name
+        );
+        assert_eq!(
+            r.granted_budget,
+            Duration::ZERO,
+            "{}: no budget left",
+            r.name
+        );
+        let rung = r.rung.expect("allocated");
+        assert!(
+            !matches!(rung, regalloc_core::Rung::IpOptimal),
+            "{}: a zero deadline cannot prove optimality, got {:?}",
+            r.name,
+            rung
+        );
+    }
+}
+
+/// Unique-enough temp dir under the target directory (no external
+/// tempfile crate in the offline workspace).
+fn tempdir(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("regalloc-driver-test-{tag}-{pid}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}

@@ -129,7 +129,7 @@ impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "fn {}() {{", self.name())?;
         for (gi, g) in self.globals().iter().enumerate() {
-            writeln!(
+            write!(
                 f,
                 "  global g{gi}: {} \"{}\"{}{}",
                 g.width.bits(),
@@ -137,6 +137,14 @@ impl fmt::Display for Function {
                 if g.is_param { " param" } else { "" },
                 if g.aliased { " aliased" } else { "" },
             )?;
+            // Parameters receive their values from the caller; every other
+            // global's initial value is part of the function's content and
+            // must survive a print/parse round trip.
+            if g.is_param {
+                writeln!(f)?;
+            } else {
+                writeln!(f, " = {}", g.init)?;
+            }
         }
         for b in self.block_ids() {
             writeln!(f, "{b}:")?;

@@ -1,0 +1,129 @@
+//! Canonical content fingerprints for [`Function`]s.
+//!
+//! The driver's content-addressed solution cache and any cross-run
+//! memoization need a *stable* identity for a function body: the same
+//! content must hash identically in every process, on every platform, and
+//! across a [`Display`](std::fmt::Display)/[`parse`](crate::parse)
+//! round trip. Rust's `DefaultHasher` guarantees none of that, so this
+//! module hashes the **canonical textual form** of the function — the
+//! printer's output, which the parser inverts losslessly — with FNV-1a
+//! (64-bit), a fixed, dependency-free hash.
+//!
+//! What the fingerprint covers and deliberately ignores:
+//!
+//! * **Covered:** every global slot (width, name, param/aliased flags,
+//!   initial value), every block in order, every instruction including
+//!   widths, immediates, addressing modes and spill-slot references —
+//!   exactly the content that determines an allocator's decisions.
+//! * **Ignored:** the function's *name* (the header line is stripped):
+//!   two identically-bodied functions with different names are the same
+//!   allocation problem, which is precisely what a content-addressed
+//!   cache wants to exploit.
+//! * **Ignored:** the spill-slot *table* (widths/home-coalescing of slots
+//!   created by an allocator). The printed form does not carry it, and
+//!   fingerprints are taken of allocator *inputs*, which have no slots;
+//!   keeping it out preserves round-trip stability for allocated
+//!   functions too.
+//!
+//! Renumbering a symbolic register, changing an immediate, reordering
+//! instructions or editing a global's initial value all change the
+//! fingerprint; pretty-printing and re-parsing does not.
+
+use crate::func::Function;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a state. Start with [`FNV_OFFSET`] (or a
+/// previous state, to chain several fields into one hash).
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical fingerprint of a function body.
+///
+/// Stable across processes and across print/parse round trips; see the
+/// module docs for exactly what it covers.
+pub fn fingerprint(f: &Function) -> u64 {
+    let text = f.to_string();
+    // Strip the `fn name() {` header: the name is not part of the body.
+    let body = text.split_once('\n').map_or("", |(_, b)| b);
+    fnv1a(FNV_OFFSET, body.as_bytes())
+}
+
+/// [`fingerprint`] rendered as a fixed-width lower-case hex string
+/// (usable as a file name).
+pub fn fingerprint_hex(f: &Function) -> String {
+    format!("{:016x}", fingerprint(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::ids::Width;
+    use crate::inst::{BinOp, Operand};
+    use crate::parse::parse_function;
+
+    fn sample(name: &str, swap: bool, init: i64) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let g = b.new_global("G", Width::B32, init);
+        let s0 = b.new_sym(Width::B32);
+        let s1 = b.new_sym(Width::B32);
+        // `swap` renames the vregs: the roles of s0/s1 exchange, leaving
+        // the computation identical but the text different.
+        let (x, y) = if swap { (s1, s0) } else { (s0, s1) };
+        b.load_global(x, g);
+        b.bin(BinOp::Add, y, Operand::sym(x), Operand::Imm(3));
+        b.ret(Some(y));
+        b.finish()
+    }
+
+    #[test]
+    fn stable_across_parse_print_parse() {
+        let f = sample("f", false, 7);
+        let fp = fingerprint(&f);
+        let once = parse_function(&f.to_string()).unwrap();
+        assert_eq!(fingerprint(&once), fp, "print→parse keeps the fingerprint");
+        let twice = parse_function(&once.to_string()).unwrap();
+        assert_eq!(fingerprint(&twice), fp, "…and so does a second round");
+        assert_eq!(once.to_string(), twice.to_string());
+    }
+
+    #[test]
+    fn name_is_not_part_of_the_body() {
+        assert_eq!(
+            fingerprint(&sample("alpha", false, 7)),
+            fingerprint(&sample("beta", false, 7)),
+        );
+        assert_ne!(
+            fingerprint_hex(&sample("alpha", false, 7)),
+            fingerprint_hex(&sample("alpha", false, 8)),
+            "global initial values are content"
+        );
+    }
+
+    #[test]
+    fn renaming_a_vreg_changes_the_fingerprint() {
+        assert_ne!(
+            fingerprint(&sample("f", false, 7)),
+            fingerprint(&sample("f", true, 7)),
+        );
+    }
+
+    #[test]
+    fn fnv_chaining_differs_from_concatenation_order() {
+        let a = fnv1a(fnv1a(FNV_OFFSET, b"ab"), b"c");
+        let b = fnv1a(FNV_OFFSET, b"abc");
+        assert_eq!(a, b, "chaining is equivalent to one pass");
+        assert_ne!(fnv1a(FNV_OFFSET, b"abc"), fnv1a(FNV_OFFSET, b"acb"));
+    }
+}

@@ -151,6 +151,18 @@ impl Function {
         id
     }
 
+    /// Overwrite a spill slot's metadata. The textual form of a function
+    /// carries slot *references* but not the slot table, so callers that
+    /// reconstruct a function from text (e.g. the driver's solution
+    /// cache) use this to restore slot widths and §5.5 home coalescing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range of the slot table.
+    pub fn set_slot(&mut self, s: SlotId, info: SlotInfo) {
+        self.slots[s.index()] = info;
+    }
+
     /// Create a fresh symbolic register (used by pre-allocation rewrites
     /// such as the baseline's traditional two-address copy insertion).
     pub fn add_sym(&mut self, width: Width) -> SymId {

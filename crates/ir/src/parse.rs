@@ -404,7 +404,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             continue;
         }
         if let Some(g) = t.strip_prefix("global g") {
-            // `global gN: W "name" [param] [aliased]`
+            // `global gN: W "name" [param] [aliased] [= init]`
             let (_, rest) = g.split_once(':').ok_or(ParseError {
                 line: p.line,
                 message: "bad global line".into(),
@@ -413,10 +413,22 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             let width = p.width(it.next().unwrap_or(""))?;
             let gname = it.next().unwrap_or("\"g\"").trim_matches('"').to_string();
             let flags: Vec<&str> = it.collect();
+            let mut init = 0i64;
+            let mut k = 0;
+            while k < flags.len() {
+                if flags[k] == "=" {
+                    init = match flags.get(k + 1).and_then(|v| v.parse().ok()) {
+                        Some(v) => v,
+                        None => return p.err("bad global initial value"),
+                    };
+                    k += 1;
+                }
+                k += 1;
+            }
             let gid = if flags.contains(&"param") {
                 b.new_param(&gname, width)
             } else {
-                b.new_global(&gname, width, 0)
+                b.new_global(&gname, width, init)
             };
             if flags.contains(&"aliased") {
                 b.mark_aliased(gid);
@@ -542,7 +554,7 @@ mod tests {
     fn roundtrip_cfg_and_memory() {
         let mut b = FunctionBuilder::new("g");
         let p = b.new_param("a", Width::B32);
-        let gg = b.new_global("G", Width::B32, 0);
+        let gg = b.new_global("G", Width::B32, 17);
         b.mark_aliased(gg);
         let x = b.new_sym(Width::B32);
         let i = b.new_sym(Width::B32);
@@ -579,7 +591,7 @@ mod tests {
         b.ret(Some(x));
         let f = b.finish();
         let g = parse_function(&f.to_string()).unwrap();
-        // Globals keep identity except initial values (not printed).
+        assert_eq!(f, g, "round trip preserves globals including inits");
         assert_eq!(f.num_blocks(), g.num_blocks());
         assert_eq!(f.num_syms(), g.num_syms());
         for (bi, (fb, gb)) in f.block_ids().map(|i| (f.block(i), g.block(i))).enumerate() {

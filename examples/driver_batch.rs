@@ -1,0 +1,60 @@
+//! Batch allocation through the `regalloc-driver` service: a cold run
+//! followed by a warm rerun against the same solution cache, printing
+//! the parallel speedup and the cache hit rate.
+//!
+//! Run with `cargo run --release --example driver_batch -- [scale] [jobs]`.
+
+use precise_regalloc::driver::{run_suite, CacheMode, DriverConfig};
+use precise_regalloc::workloads::{Benchmark, Suite};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let jobs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    let mut funcs = Vec::new();
+    for b in Benchmark::all() {
+        funcs.extend(Suite::generate_scaled(b, 1998, scale).functions);
+    }
+    println!(
+        "{} functions at scale {scale}, {jobs} worker(s)\n",
+        funcs.len()
+    );
+
+    let dir = std::env::temp_dir().join(format!("driver-batch-example-{}", std::process::id()));
+    let cfg = DriverConfig {
+        jobs,
+        cache: CacheMode::Disk(dir.clone()),
+        ..DriverConfig::default()
+    };
+
+    for label in ["cold", "warm"] {
+        let out = run_suite(&funcs, &cfg);
+        let s = &out.stats;
+        println!(
+            "{label}: wall {:.2}s, cpu {:.2}s, speedup {:.2}x, utilization {:.0}%",
+            s.wall_time.as_secs_f64(),
+            s.cpu_time.as_secs_f64(),
+            s.speedup(),
+            s.utilization() * 100.0
+        );
+        println!(
+            "      cache {} hits / {} misses ({:.0}% hit rate); rungs: {}",
+            s.cache_hits,
+            s.cache_misses,
+            s.hit_rate() * 100.0,
+            s.rungs
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(r, n)| format!("{} {n}", r.name()))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -17,7 +17,10 @@
 //! * [`core`] — the paper's contribution: the ORA-style IP allocator with
 //!   every §5 irregularity extension,
 //! * [`coloring`] — the Chaitin–Briggs graph-coloring baseline ("GCC"),
-//! * [`workloads`] — a seeded synthetic SPECint92 workload generator.
+//! * [`workloads`] — a seeded synthetic SPECint92 workload generator,
+//! * [`driver`] — the parallel batch allocation service (work-stealing
+//!   workers, content-addressed solution cache, deadline-aware
+//!   scheduling).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -52,6 +55,7 @@
 
 pub use regalloc_coloring as coloring;
 pub use regalloc_core as core;
+pub use regalloc_driver as driver;
 pub use regalloc_ilp as ilp;
 pub use regalloc_ir as ir;
 pub use regalloc_workloads as workloads;
