@@ -63,6 +63,9 @@ fn main() {
         total.degraded(),
         a
     );
+    let lints: usize = recs.iter().map(|r| r.lints).sum();
+    let linted = recs.iter().filter(|r| r.lints > 0).count();
+    println!("  lint: {lints} finding(s) across {linted} function(s)");
     println!();
     println!(
         "solved {:.1}% of attempted, optimal {:.1}% of attempted",

@@ -151,6 +151,8 @@ impl Options {
             equiv_runs: 2,
             equiv_seed: self.seed,
             compare_baseline: true,
+            lint: true,
+            revalidate_cache: true,
         }
     }
 }
@@ -195,6 +197,8 @@ pub struct Record {
     pub solver: SolverConfig,
     /// Whether the driver's solution cache served this function.
     pub cache_hit: bool,
+    /// `regalloc-lint` quality findings over the accepted allocation.
+    pub lints: usize,
 }
 
 /// Run both allocators over every generated benchmark.
@@ -268,6 +272,7 @@ pub fn run_all_stats(o: &Options) -> (Vec<Record>, DriverStats) {
                 reasons: r.reasons,
                 solver: solver.clone(),
                 cache_hit: r.cache_hit,
+                lints: r.lints.len(),
             }
         })
         .collect();

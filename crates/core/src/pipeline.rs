@@ -115,6 +115,9 @@ pub enum ReasonCode {
     /// The candidate failed the interpreter-equivalence check
     /// ([`crate::check::equivalent`]).
     EquivalenceFailed,
+    /// The candidate failed the static dataflow translation validator
+    /// ([`regalloc_lint::validate`]).
+    StaticValidationFailed,
     /// The shared per-function deadline expired before this rung ran.
     DeadlineExceeded,
     /// The rung has no implementation in this pipeline (no baseline
@@ -136,6 +139,7 @@ impl ReasonCode {
             ReasonCode::Panic => "panic",
             ReasonCode::ValidationFailed => "validation-failed",
             ReasonCode::EquivalenceFailed => "equivalence-failed",
+            ReasonCode::StaticValidationFailed => "static-validation-failed",
             ReasonCode::DeadlineExceeded => "deadline-exceeded",
             ReasonCode::RungUnavailable => "rung-unavailable",
             ReasonCode::RungFailed => "rung-failed",
@@ -291,6 +295,7 @@ pub struct RobustAllocator<'m, M, RF = X86RegFile> {
     budget: Duration,
     equiv_runs: usize,
     equiv_seed: u64,
+    static_validation: bool,
     faults: FaultPlan,
     baseline: Option<&'m dyn BaselineAllocator>,
     _rf: PhantomData<fn() -> RF>,
@@ -319,6 +324,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             budget: Duration::from_secs(30),
             equiv_runs: 4,
             equiv_seed: 0x0b5e55ed,
+            static_validation: true,
             faults: FaultPlan::none(),
             baseline: None,
             _rf: PhantomData,
@@ -355,6 +361,15 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         self
     }
 
+    /// Enable or disable the static dataflow translation validator
+    /// ([`regalloc_lint::validate`]) in candidate acceptance. On by
+    /// default; disabling leaves only structural verification and the
+    /// (sampled) interpreter-equivalence check.
+    pub fn with_static_validation(mut self, on: bool) -> Self {
+        self.static_validation = on;
+        self
+    }
+
     /// Arm a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
@@ -384,6 +399,15 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                     errs.first()
                 ),
             ));
+        }
+        if self.static_validation {
+            let errs = regalloc_lint::validate(self.machine, orig, cand);
+            if !errs.is_empty() {
+                return Err((
+                    ReasonCode::StaticValidationFailed,
+                    format!("{} static errors, first: {}", errs.len(), errs[0]),
+                ));
+            }
         }
         if self.equiv_runs > 0 {
             check::equivalent::<RF>(orig, cand, self.equiv_runs, self.equiv_seed)

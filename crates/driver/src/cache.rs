@@ -91,7 +91,7 @@ fn rung_from_name(s: &str) -> Option<Rung> {
 }
 
 fn reason_from_name(s: &str) -> Option<ReasonCode> {
-    const ALL: [ReasonCode; 10] = [
+    const ALL: [ReasonCode; 11] = [
         ReasonCode::SolverTimeout,
         ReasonCode::SolverLimit,
         ReasonCode::NumericalTrouble,
@@ -99,6 +99,7 @@ fn reason_from_name(s: &str) -> Option<ReasonCode> {
         ReasonCode::Panic,
         ReasonCode::ValidationFailed,
         ReasonCode::EquivalenceFailed,
+        ReasonCode::StaticValidationFailed,
         ReasonCode::DeadlineExceeded,
         ReasonCode::RungUnavailable,
         ReasonCode::RungFailed,
@@ -368,6 +369,16 @@ impl SolutionCache {
             }
         }
         self.mem.lock().unwrap().insert(key, entry);
+    }
+
+    /// Drop `key` after a post-lookup check (e.g. static re-validation)
+    /// rejected the realized allocation, and count the rejection.
+    pub fn reject(&self, key: u64) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.mem.lock().unwrap().remove(&key);
+        if let Some(path) = self.path_for(key) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Entries rejected by checksum, parse or verification failures.

@@ -103,6 +103,13 @@ pub struct DriverConfig {
     /// Also run the graph-coloring baseline on every function and attach
     /// the outcome (used by the paper-table harness).
     pub compare_baseline: bool,
+    /// Run the `regalloc-lint` quality lints over every accepted
+    /// allocation and attach the diagnostics to the result.
+    pub lint: bool,
+    /// Statically re-validate cache hits with the dataflow translation
+    /// validator before trusting them; failing entries are evicted and
+    /// the function is solved fresh.
+    pub revalidate_cache: bool,
 }
 
 impl Default for DriverConfig {
@@ -121,6 +128,8 @@ impl Default for DriverConfig {
             equiv_runs: 2,
             equiv_seed: 0x0b5e55ed,
             compare_baseline: false,
+            lint: false,
+            revalidate_cache: true,
         }
     }
 }
@@ -174,6 +183,9 @@ pub struct FunctionResult {
     pub estimate: usize,
     /// Wall-clock time this function's task took (a timing field).
     pub task_time: Duration,
+    /// Quality lints over the accepted allocation (populated when
+    /// [`DriverConfig::lint`] is set).
+    pub lints: Vec<regalloc_lint::Diagnostic>,
     /// Graph-coloring comparison, when requested.
     pub baseline: Option<BaselineResult>,
     /// Set when the ladder itself failed (effectively unreachable
@@ -286,6 +298,7 @@ fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         granted_budget: Duration::ZERO,
         estimate,
         task_time: Duration::ZERO,
+        lints: Vec::new(),
         baseline: None,
         error: None,
     }
@@ -334,27 +347,43 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         let key = cache_key(f, machine.name(), &cfg.solver);
         if let Some(cache) = &cache {
             if let Some(hit) = cache.lookup(key) {
-                governor.skip();
-                return FunctionResult {
-                    name: f.name().to_string(),
-                    attempted: true,
-                    func: Some(hit.func),
-                    stats: hit.entry.stats,
-                    rung: Some(hit.entry.rung),
-                    reasons: hit.entry.reasons,
-                    num_constraints: hit.entry.num_constraints,
-                    num_vars: hit.entry.num_vars,
-                    num_insts: hit.entry.num_insts,
-                    solver_nodes: hit.entry.solver_nodes,
-                    solve_time: Duration::ZERO,
-                    ip_bytes: hit.entry.ip_bytes,
-                    cache_hit: true,
-                    granted_budget: cfg.function_budget,
-                    estimate,
-                    task_time: t0.elapsed(),
-                    baseline,
-                    error: None,
-                };
+                // The cache's own structural re-verification has passed;
+                // the static translation validator additionally proves the
+                // stored code computes *this* function's values. A failure
+                // means the entry was stale or corrupt: evict and resolve.
+                if cfg.revalidate_cache
+                    && !regalloc_lint::validate(&machine, f, &hit.func).is_empty()
+                {
+                    cache.reject(key);
+                } else {
+                    governor.skip();
+                    let lints = if cfg.lint {
+                        regalloc_lint::lint_allocation(&machine, f, &hit.func)
+                    } else {
+                        Vec::new()
+                    };
+                    return FunctionResult {
+                        name: f.name().to_string(),
+                        attempted: true,
+                        func: Some(hit.func),
+                        stats: hit.entry.stats,
+                        rung: Some(hit.entry.rung),
+                        reasons: hit.entry.reasons,
+                        num_constraints: hit.entry.num_constraints,
+                        num_vars: hit.entry.num_vars,
+                        num_insts: hit.entry.num_insts,
+                        solver_nodes: hit.entry.solver_nodes,
+                        solve_time: Duration::ZERO,
+                        ip_bytes: hit.entry.ip_bytes,
+                        cache_hit: true,
+                        granted_budget: cfg.function_budget,
+                        estimate,
+                        task_time: t0.elapsed(),
+                        lints,
+                        baseline,
+                        error: None,
+                    };
+                }
             }
         }
 
@@ -367,6 +396,11 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         match robust.allocate(f) {
             Ok(out) => {
                 let ip_bytes = regalloc_x86::encoding::function_size(&machine, &out.func);
+                let lints = if cfg.lint {
+                    regalloc_lint::lint_allocation(&machine, f, &out.func)
+                } else {
+                    Vec::new()
+                };
                 let reasons: Vec<ReasonCode> =
                     out.report.demotions.iter().map(|d| d.reason).collect();
                 if let Some(cache) = &cache {
@@ -403,6 +437,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                     granted_budget: granted,
                     estimate,
                     task_time: t0.elapsed(),
+                    lints,
                     baseline,
                     error: None,
                 }
@@ -424,6 +459,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                 granted_budget: granted,
                 estimate,
                 task_time: t0.elapsed(),
+                lints: Vec::new(),
                 baseline,
                 error: Some(e.to_string()),
             },

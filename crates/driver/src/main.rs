@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use regalloc_driver::{run_suite, CacheMode, DriverConfig, SuiteOutcome};
 use regalloc_ir::Function;
+use regalloc_lint::{code_by_name, Code, Report};
 use regalloc_workloads::{Benchmark, Suite};
 
 const USAGE: &str = "usage: regalloc-driver [options] [suite...]
@@ -37,8 +38,20 @@ options:
   --cache-dir DIR      persistent cache directory (default results/cache)
   --no-cache           in-memory dedup only, nothing persisted
   --dump-allocs FILE   write every accepted allocation to FILE
+  --lint               run allocation-quality lints over accepted code
+  --lint-format FMT    lint output format: text (default), json, sarif
+  --lint-out FILE      write the lint report to FILE instead of stdout
+  --deny CODE          exit nonzero if lint CODE fires (id like L001 or
+                       slug like dead-spill-store; repeatable)
   --no-timing          suppress the non-deterministic timing section
   --help               this text";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Cli {
     cfg: DriverConfig,
@@ -47,6 +60,9 @@ struct Cli {
     suite_args: Vec<String>,
     dump_allocs: Option<PathBuf>,
     timing: bool,
+    lint_format: LintFormat,
+    lint_out: Option<PathBuf>,
+    deny: Vec<Code>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -60,6 +76,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         suite_args: Vec::new(),
         dump_allocs: None,
         timing: true,
+        lint_format: LintFormat::Text,
+        lint_out: None,
+        deny: Vec::new(),
     };
     cli.cfg.compare_baseline = false;
     let mut it = args.iter();
@@ -107,6 +126,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--cache-dir" => cli.cfg.cache = CacheMode::Disk(PathBuf::from(value("--cache-dir")?)),
             "--no-cache" => cli.cfg.cache = CacheMode::Memory,
             "--dump-allocs" => cli.dump_allocs = Some(PathBuf::from(value("--dump-allocs")?)),
+            "--lint" => cli.cfg.lint = true,
+            "--lint-format" => {
+                cli.cfg.lint = true;
+                cli.lint_format = match value("--lint-format")?.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    "sarif" => LintFormat::Sarif,
+                    other => return Err(format!("--lint-format: unknown format `{other}`")),
+                };
+            }
+            "--lint-out" => {
+                cli.cfg.lint = true;
+                cli.lint_out = Some(PathBuf::from(value("--lint-out")?));
+            }
+            "--deny" => {
+                cli.cfg.lint = true;
+                let name = value("--deny")?;
+                cli.deny.push(
+                    code_by_name(&name)
+                        .ok_or_else(|| format!("--deny: unknown diagnostic code `{name}`"))?,
+                );
+            }
             "--no-timing" => cli.timing = false,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}\n\n{USAGE}"))
@@ -233,6 +274,47 @@ fn print_timing(out: &SuiteOutcome) {
     );
 }
 
+/// Assemble the suite's lint report in suite order (results already come
+/// back in suite order, so this is deterministic across `--jobs` values).
+fn lint_report(out: &SuiteOutcome) -> Report {
+    let mut report = Report::default();
+    for r in &out.results {
+        if !r.lints.is_empty() {
+            report.push(r.name.clone(), r.lints.clone());
+        }
+    }
+    report
+}
+
+fn emit_lints(cli: &Cli, out: &SuiteOutcome) -> Result<usize, String> {
+    let report = lint_report(out);
+    let text = match cli.lint_format {
+        LintFormat::Text => {
+            let mut t = report.to_text();
+            if report.is_empty() {
+                t.push_str("lint: clean\n");
+            } else {
+                t.push_str(&format!("lint: {} finding(s)\n", report.len()));
+            }
+            t
+        }
+        LintFormat::Json => report.to_json(),
+        LintFormat::Sarif => report.to_sarif(),
+    };
+    match &cli.lint_out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?,
+        None => print!("{text}"),
+    }
+    let denied: usize = cli.deny.iter().map(|c| report.count_of(*c)).sum();
+    for c in &cli.deny {
+        let n = report.count_of(*c);
+        if n > 0 {
+            eprintln!("error: denied lint {c} fired {n} time(s)");
+        }
+    }
+    Ok(denied)
+}
+
 fn dump_allocs(path: &PathBuf, out: &SuiteOutcome) -> Result<(), String> {
     use std::fmt::Write as _;
     let mut text = String::new();
@@ -262,6 +344,16 @@ fn main() -> ExitCode {
     };
     let out = run_suite(&funcs, &cli.cfg);
     print_deterministic(&out);
+    let mut denied = 0;
+    if cli.cfg.lint {
+        match emit_lints(&cli, &out) {
+            Ok(n) => denied = n,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if cli.timing {
         print_timing(&out);
     }
@@ -271,7 +363,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if out.results.iter().any(|r| r.error.is_some()) {
+    if out.results.iter().any(|r| r.error.is_some()) || denied > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -41,6 +41,8 @@ fn fast_config() -> DriverConfig {
         equiv_runs: 1,
         equiv_seed: 7,
         compare_baseline: false,
+        lint: false,
+        revalidate_cache: true,
     }
 }
 

@@ -33,5 +33,5 @@ pub mod x86;
 
 pub use machine::{Machine, OperandConstraint, SpillCosts};
 pub use risc::{RiscMachine, RiscRegFile};
-pub use verify::{verify_machine, MachineError};
+pub use verify::{verify_machine, MachineError, MachineErrorKind};
 pub use x86::{X86Machine, X86RegFile};

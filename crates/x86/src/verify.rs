@@ -11,7 +11,8 @@
 //! * pinned operands sit in an admitted register (shift counts in the CL
 //!   family, return values in the accumulator — §3.2);
 //! * memory operands appear only in positions the machine supports, at
-//!   most one per instruction (§5.2).
+//!   most one per instruction (§5.2) — definitions into memory count
+//!   toward that limit just like uses.
 //!
 //! Together with interpreter equivalence this gives belt-and-braces
 //! coverage: the interpreter proves behaviour on sampled inputs, the
@@ -23,6 +24,22 @@ use regalloc_ir::{Dst, Function, Inst, Loc, Operand, PhysReg, UseRole, Width};
 
 use crate::machine::Machine;
 
+/// Which machine invariant a [`MachineError`] violates. Each kind maps
+/// to one stable diagnostic code in the lint engine (M001–M005).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MachineErrorKind {
+    /// A register holds a value outside its width class.
+    WidthClass,
+    /// A pinned operand position holds a register it does not admit.
+    Pinning,
+    /// A memory operand in a position the machine cannot encode.
+    MemoryForm,
+    /// A two-address destination differs from its combined source.
+    TwoAddress,
+    /// More than one memory operand in a single instruction.
+    MemOperandCount,
+}
+
 /// A machine-invariant violation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MachineError {
@@ -30,6 +47,8 @@ pub struct MachineError {
     pub block: u32,
     /// Instruction index within the block.
     pub inst: usize,
+    /// Which invariant was violated.
+    pub kind: MachineErrorKind,
     /// Description.
     pub message: String,
 }
@@ -52,13 +71,15 @@ fn width_ok<M: Machine>(m: &M, r: PhysReg, w: Width) -> bool {
 ///
 /// Returns all violations found.
 pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<MachineError>> {
+    use MachineErrorKind::*;
     let mut errs = Vec::new();
     for b in f.block_ids() {
         for (ii, inst) in f.block(b).insts.iter().enumerate() {
-            let mut err = |msg: String| {
+            let mut err = |kind: MachineErrorKind, msg: String| {
                 errs.push(MachineError {
                     block: b.0,
                     inst: ii,
+                    kind,
                     message: msg,
                 })
             };
@@ -76,18 +97,21 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                         _ => inst.width().unwrap_or(Width::B32),
                     };
                     if !width_ok(m, r, w) {
-                        err(format!(
-                            "{} is not a width-{} register in `{inst}`",
-                            m.reg_name(r),
-                            w.bits()
-                        ));
+                        err(
+                            WidthClass,
+                            format!(
+                                "{} is not a width-{} register in `{inst}`",
+                                m.reg_name(r),
+                                w.bits()
+                            ),
+                        );
                     }
                     let c = m.use_constraints(inst, role, w);
                     if !c.admits(r) {
-                        err(format!(
-                            "{} not admitted for {role:?} in `{inst}`",
-                            m.reg_name(r)
-                        ));
+                        err(
+                            Pinning,
+                            format!("{} not admitted for {role:?} in `{inst}`", m.reg_name(r)),
+                        );
                     }
                 }
             });
@@ -99,19 +123,33 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                             let combined = matches!(dst, Dst::Slot(_)) && role == UseRole::Src1;
                             if combined {
                                 if !m.mem_combined_ok(inst) {
-                                    err(format!("no combined memory form for `{inst}`"));
+                                    err(
+                                        MemoryForm,
+                                        format!("no combined memory form for `{inst}`"),
+                                    );
                                 }
                             } else if !m.mem_use_ok(inst, role) {
-                                err(format!("no memory operand allowed at {role:?} in `{inst}`"));
+                                err(
+                                    MemoryForm,
+                                    format!("no memory operand allowed at {role:?} in `{inst}`"),
+                                );
                             }
                         }
                     }
                     if let Dst::Slot(s) = dst {
                         match lhs {
+                            // Combined use/def: one memory operand, already
+                            // counted at the Src1 position above.
                             Operand::Slot(s2) if s2 == s => {}
-                            _ => err(format!(
-                                "memory destination without combined source in `{inst}`"
-                            )),
+                            _ => {
+                                mem_operands += 1;
+                                err(
+                                    MemoryForm,
+                                    format!(
+                                        "memory destination without combined source in `{inst}`"
+                                    ),
+                                );
+                            }
                         }
                     }
                 }
@@ -119,7 +157,22 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                     if matches!(src, Operand::Slot(_)) {
                         mem_operands += 1;
                         if !(matches!(dst, Dst::Slot(_)) && m.mem_combined_ok(inst)) {
-                            err(format!("bad memory operand in `{inst}`"));
+                            err(MemoryForm, format!("bad memory operand in `{inst}`"));
+                        }
+                    }
+                    if let Dst::Slot(s) = dst {
+                        match src {
+                            // Combined use/def, counted once above.
+                            Operand::Slot(s2) if s2 == s => {}
+                            _ => {
+                                mem_operands += 1;
+                                err(
+                                    MemoryForm,
+                                    format!(
+                                        "memory destination without combined source in `{inst}`"
+                                    ),
+                                );
+                            }
                         }
                     }
                 }
@@ -128,7 +181,10 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                         if matches!(o, Operand::Slot(_)) {
                             mem_operands += 1;
                             if !m.mem_use_ok(inst, role) {
-                                err(format!("no memory operand at {role:?} in `{inst}`"));
+                                err(
+                                    MemoryForm,
+                                    format!("no memory operand at {role:?} in `{inst}`"),
+                                );
                             }
                         }
                     }
@@ -138,39 +194,49 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                         if matches!(a, Operand::Slot(_)) {
                             mem_operands += 1;
                             if !m.mem_use_ok(inst, UseRole::CallArg) {
-                                err(format!("no memory argument allowed in `{inst}`"));
+                                err(
+                                    MemoryForm,
+                                    format!("no memory argument allowed in `{inst}`"),
+                                );
                             }
                         }
                     }
                 }
                 Inst::Store { src, .. } => {
                     if matches!(src, Operand::Slot(_)) {
-                        err(format!("memory-to-memory store `{inst}`"));
+                        err(MemoryForm, format!("memory-to-memory store `{inst}`"));
                     }
                 }
                 _ => {}
             }
             if mem_operands > 1 {
-                err(format!(
-                    "{mem_operands} memory operands in one instruction `{inst}`"
-                ));
+                err(
+                    MemOperandCount,
+                    format!("{mem_operands} memory operands in one instruction `{inst}`"),
+                );
             }
 
             // Definition width class + pinning.
             if let Some((Loc::Real(r), w)) = inst.def() {
                 if !width_ok(m, r, w) {
-                    err(format!(
-                        "definition register {} outside width-{} class",
-                        m.reg_name(r),
-                        w.bits()
-                    ));
+                    err(
+                        WidthClass,
+                        format!(
+                            "definition register {} outside width-{} class",
+                            m.reg_name(r),
+                            w.bits()
+                        ),
+                    );
                 }
                 let dc = m.def_constraints(inst, w);
                 if !dc.admits(r) {
-                    err(format!(
-                        "definition register {} not admitted in `{inst}`",
-                        m.reg_name(r)
-                    ));
+                    err(
+                        Pinning,
+                        format!(
+                            "definition register {} not admitted in `{inst}`",
+                            m.reg_name(r)
+                        ),
+                    );
                 }
             }
 
@@ -185,10 +251,13 @@ pub fn verify_machine<M: Machine>(m: &M, f: &Function) -> Result<(), Vec<Machine
                 if let Some((dst, lhs)) = pair {
                     match (dst, lhs) {
                         (Dst::Loc(Loc::Real(d)), Operand::Loc(Loc::Real(l))) if d != l => {
-                            err(format!("two-address violation in `{inst}`"));
+                            err(TwoAddress, format!("two-address violation in `{inst}`"));
                         }
                         (Dst::Slot(s), Operand::Slot(s2)) if s != s2 => {
-                            err(format!("combined memory specifier mismatch in `{inst}`"));
+                            err(
+                                TwoAddress,
+                                format!("combined memory specifier mismatch in `{inst}`"),
+                            );
                         }
                         _ => {}
                     }
@@ -208,7 +277,7 @@ mod tests {
     use super::*;
     use crate::regs::{AL, EAX, EBX, ECX};
     use crate::x86::X86Machine;
-    use regalloc_ir::{BinOp, FunctionBuilder, SlotId};
+    use regalloc_ir::{BinOp, FunctionBuilder, SlotId, UnOp};
 
     fn real(r: PhysReg) -> Operand {
         Operand::Loc(Loc::Real(r))
@@ -256,6 +325,7 @@ mod tests {
         }]);
         let errs = verify_machine(&m, &f).unwrap_err();
         assert!(errs[0].message.contains("two-address"));
+        assert_eq!(errs[0].kind, MachineErrorKind::TwoAddress);
     }
 
     #[test]
@@ -268,6 +338,7 @@ mod tests {
         }]);
         let errs = verify_machine(&m, &f).unwrap_err();
         assert!(errs[0].message.contains("width-32"));
+        assert_eq!(errs[0].kind, MachineErrorKind::WidthClass);
     }
 
     #[test]
@@ -281,7 +352,49 @@ mod tests {
             width: Width::B32,
         }]);
         let errs = verify_machine(&m, &f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("not admitted")));
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == MachineErrorKind::Pinning && e.message.contains("not admitted")));
+    }
+
+    #[test]
+    fn accepts_pinned_shift_count() {
+        let m = X86Machine::pentium();
+        let f = wrap(vec![Inst::Bin {
+            op: BinOp::Shl,
+            dst: Dst::Loc(Loc::Real(EAX)),
+            lhs: real(EAX),
+            rhs: real(ECX),
+            width: Width::B32,
+        }]);
+        assert!(verify_machine(&m, &f).is_ok());
+    }
+
+    #[test]
+    fn rejects_ret_val_outside_accumulator() {
+        let m = X86Machine::pentium();
+        let mut b = FunctionBuilder::new("rv");
+        let _ = b.new_sym(Width::B32);
+        b.push(Inst::Ret {
+            val: Some(real(EBX)), // must be EAX
+        });
+        let f = b.finish();
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == MachineErrorKind::Pinning && e.message.contains("RetVal")));
+    }
+
+    #[test]
+    fn accepts_ret_val_in_accumulator() {
+        let m = X86Machine::pentium();
+        let mut b = FunctionBuilder::new("rv");
+        let _ = b.new_sym(Width::B32);
+        b.push(Inst::Ret {
+            val: Some(real(EAX)),
+        });
+        let f = b.finish();
+        assert!(verify_machine(&m, &f).is_ok());
     }
 
     #[test]
@@ -302,7 +415,9 @@ mod tests {
             },
         );
         let errs = verify_machine(&m, &f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("memory operands")));
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == MachineErrorKind::MemOperandCount));
         let _ = SlotId(0);
     }
 
@@ -324,5 +439,101 @@ mod tests {
         );
         let errs = verify_machine(&m, &f).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("combined")));
+    }
+
+    #[test]
+    fn rejects_un_memory_destination_without_combined_source() {
+        // neg [slot] with a *register* source is unencodable: the memory
+        // destination must also be the combined source.
+        let m = X86Machine::pentium();
+        let mut f = wrap(vec![]);
+        let s0 = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::Un {
+                op: UnOp::Neg,
+                dst: Dst::Slot(s0),
+                src: real(EAX),
+                width: Width::B32,
+            },
+        );
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == MachineErrorKind::MemoryForm
+            && e.message
+                .contains("memory destination without combined source")));
+    }
+
+    #[test]
+    fn accepts_combined_un_memory_form() {
+        let m = X86Machine::pentium();
+        let mut f = wrap(vec![]);
+        let s0 = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::Un {
+                op: UnOp::Neg,
+                dst: Dst::Slot(s0),
+                src: Operand::Slot(s0),
+                width: Width::B32,
+            },
+        );
+        assert!(verify_machine(&m, &f).is_ok());
+    }
+
+    #[test]
+    fn counts_memory_def_toward_operand_limit() {
+        // `[s0] = eax + [s1]` — the memory *definition* plus the memory
+        // rhs makes two memory operands even though only one is a use.
+        let m = X86Machine::pentium();
+        let mut f = wrap(vec![]);
+        let s0 = f.add_slot(Width::B32, None);
+        let s1 = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Dst::Slot(s0),
+                lhs: real(EAX),
+                rhs: Operand::Slot(s1),
+                width: Width::B32,
+            },
+        );
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == MachineErrorKind::MemOperandCount));
+        assert!(errs.iter().any(|e| e
+            .message
+            .contains("memory destination without combined source")));
+    }
+
+    #[test]
+    fn rejects_combined_specifier_mismatch() {
+        // `[s0] = [s1] + eax` — combined destination names a different
+        // slot than the combined source.
+        let m = X86Machine::pentium();
+        let mut f = wrap(vec![]);
+        let s0 = f.add_slot(Width::B32, None);
+        let s1 = f.add_slot(Width::B32, None);
+        let e = f.entry();
+        f.block_mut(e).insts.insert(
+            0,
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Dst::Slot(s0),
+                lhs: Operand::Slot(s1),
+                rhs: real(EAX),
+                width: Width::B32,
+            },
+        );
+        let errs = verify_machine(&m, &f).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == MachineErrorKind::TwoAddress
+            && e.message.contains("combined memory specifier mismatch")));
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == MachineErrorKind::MemOperandCount));
     }
 }

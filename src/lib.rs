@@ -20,7 +20,9 @@
 //! * [`workloads`] — a seeded synthetic SPECint92 workload generator,
 //! * [`driver`] — the parallel batch allocation service (work-stealing
 //!   workers, content-addressed solution cache, deadline-aware
-//!   scheduling).
+//!   scheduling),
+//! * [`lint`] — the static dataflow translation validator and
+//!   allocation-quality lint engine.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -58,6 +60,7 @@ pub use regalloc_core as core;
 pub use regalloc_driver as driver;
 pub use regalloc_ilp as ilp;
 pub use regalloc_ir as ir;
+pub use regalloc_lint as lint;
 pub use regalloc_workloads as workloads;
 pub use regalloc_x86 as x86;
 
