@@ -10,6 +10,7 @@
 //! the same structure — see EXPERIMENTS.md.
 
 use regalloc_bench::{run_all_stats, DegradationSummary, Options};
+use regalloc_core::WarmStartKind;
 use regalloc_workloads::Benchmark;
 
 fn main() {
@@ -89,5 +90,22 @@ fn main() {
         stats.cache_misses,
         stats.hit_rate() * 100.0,
         stats.cache_rejected
+    );
+    // Warm-start accounting over fresh solves only: a cache hit skips
+    // the solver entirely, so its recorded kind describes the original
+    // solve, not this run.
+    let fresh = |kind| {
+        recs.iter()
+            .filter(move |r| r.attempted && !r.cache_hit && r.warm_start == kind)
+    };
+    let nodes = |kind| fresh(kind).map(|r| r.solver_nodes).sum::<u64>();
+    println!(
+        "        warm starts: {} exact ({} nodes), {} projected ({} nodes), {} unseeded ({} nodes)",
+        fresh(WarmStartKind::Exact).count(),
+        nodes(WarmStartKind::Exact),
+        fresh(WarmStartKind::Projected).count(),
+        nodes(WarmStartKind::Projected),
+        fresh(WarmStartKind::None).count(),
+        nodes(WarmStartKind::None),
     );
 }

@@ -20,13 +20,14 @@
 //! Experiments now run through the `regalloc-driver` batch service, so
 //! they also accept `--jobs <n>` (worker threads), `--budget-secs <s>`
 //! (global wall-clock budget), `--cache-dir <dir>` (solution-cache
-//! directory, default `results/cache`) and `--no-cache` (in-memory
-//! dedup only).
+//! directory, default `results/cache`), `--no-cache` (in-memory
+//! dedup only) and `--warm-starts on|off` (cross-function incumbent
+//! warm starts from cached symbolic solutions, default on).
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use regalloc_core::{ReasonCode, Rung, SpillStats};
+use regalloc_core::{ReasonCode, Rung, SpillStats, WarmStartKind};
 use regalloc_driver::{run_suite, CacheMode, DriverConfig, DriverStats};
 use regalloc_ilp::SolverConfig;
 use regalloc_workloads::{Benchmark, Suite};
@@ -46,6 +47,8 @@ pub struct Options {
     pub global_budget: Option<Duration>,
     /// Solution-cache directory (`None` = in-memory dedup only).
     pub cache_dir: Option<PathBuf>,
+    /// Seed cache misses with projected cached symbolic solutions.
+    pub warm_starts: bool,
 }
 
 impl Default for Options {
@@ -57,6 +60,7 @@ impl Default for Options {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             global_budget: None,
             cache_dir: None,
+            warm_starts: true,
         }
     }
 }
@@ -114,9 +118,17 @@ impl Options {
                     o.cache_dir = None;
                     i += 1;
                 }
+                "--warm-starts" => {
+                    o.warm_starts = match need(i).as_str() {
+                        "on" => true,
+                        "off" => false,
+                        v => panic!("--warm-starts takes on|off, got {v}"),
+                    };
+                    i += 2;
+                }
                 other => panic!(
                     "unknown argument {other}; supported: --scale --seed --time-limit \
-                     --jobs --budget-secs --cache-dir --no-cache"
+                     --jobs --budget-secs --cache-dir --no-cache --warm-starts"
                 ),
             }
         }
@@ -153,6 +165,8 @@ impl Options {
             compare_baseline: true,
             lint: true,
             revalidate_cache: true,
+            warm_starts: self.warm_starts,
+            warm_start_distance: 0.25,
         }
     }
 }
@@ -197,6 +211,11 @@ pub struct Record {
     pub solver: SolverConfig,
     /// Whether the driver's solution cache served this function.
     pub cache_hit: bool,
+    /// Which incumbent seed the branch-and-bound search pruned against
+    /// (`None`, or an exact/projected cached symbolic solution).
+    pub warm_start: WarmStartKind,
+    /// Branch-and-bound nodes the solve expanded.
+    pub solver_nodes: u64,
     /// `regalloc-lint` quality findings over the accepted allocation.
     pub lints: usize,
 }
@@ -272,6 +291,8 @@ pub fn run_all_stats(o: &Options) -> (Vec<Record>, DriverStats) {
                 reasons: r.reasons,
                 solver: solver.clone(),
                 cache_hit: r.cache_hit,
+                warm_start: r.warm_start,
+                solver_nodes: r.solver_nodes,
                 lints: r.lints.len(),
             }
         })

@@ -36,6 +36,7 @@ use regalloc_x86::Machine;
 use crate::analysis::{Analysis, Event, SegId};
 use crate::cost::CostModel;
 use crate::irregular::{encoding, mem_operand, overlap, predefined, two_address};
+use crate::symbolic::{EventDecision, EventKey, RoleDecision, SymbolicSolution};
 
 /// A pending constraint row: (coefficients, is-≥, right-hand side).
 type PendingRow = (Vec<(VarId, f64)>, bool, f64);
@@ -107,11 +108,238 @@ pub struct BuiltModel {
     pub seg_xm: Vec<VarId>,
     /// Per-event variables, parallel to [`Analysis::events`].
     pub events: Vec<EventVars>,
+    /// Stable IR coordinate of each event, parallel to `events` — the
+    /// key space of [`SymbolicSolution`]s lifted from or lowered onto
+    /// this model.
+    pub keys: Vec<EventKey>,
+    /// Candidate registers of each event (the width class of its
+    /// symbolic), parallel to `events`.
+    pub event_regs: Vec<Vec<PhysReg>>,
+    /// Outgoing segment of each event, parallel to `events`. Every
+    /// segment is created by exactly one event's `gout`, which is what
+    /// makes segment residence expressible in event coordinates.
+    pub event_gout: Vec<Option<SegId>>,
 }
 
 /// Position of `r` in the width class `regs`.
 fn ridx(regs: &[PhysReg], r: PhysReg) -> Option<usize> {
     regs.iter().position(|x| *x == r)
+}
+
+impl BuiltModel {
+    /// Every decision variable touched by event `ei`, including the
+    /// residence variables of the segment the event creates.
+    fn event_var_ids(&self, ei: usize) -> Vec<VarId> {
+        let ev = &self.events[ei];
+        let mut out: Vec<VarId> = Vec::new();
+        let mut opt = |vars: &[Option<VarId>]| out.extend(vars.iter().flatten());
+        opt(&ev.load);
+        opt(&ev.remat);
+        opt(&ev.load_post);
+        opt(&ev.remat_post);
+        opt(&ev.def);
+        opt(&ev.copy_to);
+        opt(&ev.dz);
+        out.extend(ev.store);
+        out.extend(ev.combined);
+        for rv in &ev.roles {
+            out.extend(rv.use_r.iter().flatten());
+            out.extend(rv.mem);
+            out.extend(rv.use_end.iter().flatten());
+        }
+        if let Some(j) = &ev.join {
+            if let Some(js) = &j.j {
+                out.extend(js);
+            }
+            out.extend(j.jm);
+        }
+        if let Some(g) = self.event_gout[ei] {
+            out.extend(&self.seg_x[g.index()]);
+            out.push(self.seg_xm[g.index()]);
+        }
+        out
+    }
+
+    /// Lift a decision vector into stable IR coordinates. The inverse of
+    /// [`BuiltModel::lower`] on this model: `lower(lift(v)) == v` for any
+    /// vector over this model's variables.
+    pub fn lift(&self, values: &[bool]) -> SymbolicSolution {
+        let tv = |v: VarId| values.get(v.index()).copied().unwrap_or(false);
+        let ov = |v: Option<VarId>| v.is_some_and(tv);
+        let pick = |vars: &[Option<VarId>], regs: &[PhysReg]| -> Vec<PhysReg> {
+            vars.iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_some_and(tv))
+                .map(|(i, _)| regs[i])
+                .collect()
+        };
+        let mut decisions = Vec::with_capacity(self.events.len());
+        for (ei, ev) in self.events.iter().enumerate() {
+            let regs = &self.event_regs[ei];
+            let mut d = EventDecision::default();
+            if let Some(j) = &ev.join {
+                if let Some(js) = &j.j {
+                    d.join_regs = js
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| tv(**v))
+                        .map(|(i, _)| regs[i])
+                        .collect();
+                }
+                d.join_mem = ov(j.jm);
+            }
+            d.loads = pick(&ev.load, regs);
+            d.remats = pick(&ev.remat, regs);
+            d.loads_post = pick(&ev.load_post, regs);
+            d.remats_post = pick(&ev.remat_post, regs);
+            d.store = ov(ev.store);
+            d.def = ev
+                .def
+                .iter()
+                .enumerate()
+                .find(|(_, v)| v.is_some_and(tv))
+                .map(|(i, _)| regs[i]);
+            d.combined = ov(ev.combined);
+            d.copies = pick(&ev.copy_to, regs);
+            d.deletes = pick(&ev.dz, regs);
+            for rv in &ev.roles {
+                d.roles.push(RoleDecision {
+                    regs: pick(&rv.use_r, regs),
+                    mem: ov(rv.mem),
+                    ends: pick(&rv.use_end, regs),
+                });
+            }
+            if let Some(g) = self.event_gout[ei] {
+                d.out_regs = self.seg_x[g.index()]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| tv(**v))
+                    .map(|(i, _)| regs[i])
+                    .collect();
+                d.out_mem = tv(self.seg_xm[g.index()]);
+            }
+            decisions.push((self.keys[ei], d));
+        }
+        SymbolicSolution::from_decisions(decisions)
+    }
+
+    /// Write one event's decision into `v`. `None` when any recorded
+    /// choice names a variable this model does not have (inadmissible
+    /// register, missing action, role-count mismatch).
+    fn apply_decision(&self, ei: usize, d: &EventDecision, v: &mut [bool]) -> Option<()> {
+        let ev = &self.events[ei];
+        let regs = &self.event_regs[ei];
+        fn set_list(
+            vars: &[Option<VarId>],
+            list: &[PhysReg],
+            regs: &[PhysReg],
+            v: &mut [bool],
+        ) -> Option<()> {
+            for &r in list {
+                // A foreign decision can name an admissible register at
+                // an event whose action list is shorter (or absent) on
+                // this model — reject, never index out of bounds.
+                let var = (*vars.get(ridx(regs, r)?)?)?;
+                v[var.index()] = true;
+            }
+            Some(())
+        }
+        if !d.join_regs.is_empty() || d.join_mem {
+            let j = ev.join.as_ref()?;
+            if !d.join_regs.is_empty() {
+                let js = j.j.as_ref()?;
+                for &r in &d.join_regs {
+                    v[js.get(ridx(regs, r)?)?.index()] = true;
+                }
+            }
+            if d.join_mem {
+                v[j.jm?.index()] = true;
+            }
+        }
+        set_list(&ev.load, &d.loads, regs, v)?;
+        set_list(&ev.remat, &d.remats, regs, v)?;
+        set_list(&ev.load_post, &d.loads_post, regs, v)?;
+        set_list(&ev.remat_post, &d.remats_post, regs, v)?;
+        set_list(&ev.copy_to, &d.copies, regs, v)?;
+        set_list(&ev.dz, &d.deletes, regs, v)?;
+        if d.store {
+            v[ev.store?.index()] = true;
+        }
+        if d.combined {
+            v[ev.combined?.index()] = true;
+        }
+        if let Some(r) = d.def {
+            let var = (*ev.def.get(ridx(regs, r)?)?)?;
+            v[var.index()] = true;
+        }
+        if d.roles.len() != ev.roles.len() {
+            return None;
+        }
+        for (rd, rv) in d.roles.iter().zip(&ev.roles) {
+            set_list(&rv.use_r, &rd.regs, regs, v)?;
+            set_list(&rv.use_end, &rd.ends, regs, v)?;
+            if rd.mem {
+                v[rv.mem?.index()] = true;
+            }
+        }
+        if !d.out_regs.is_empty() || d.out_mem {
+            let g = self.event_gout[ei]?;
+            for &r in &d.out_regs {
+                v[self.seg_x[g.index()].get(ridx(regs, r)?)?.index()] = true;
+            }
+            if d.out_mem {
+                v[self.seg_xm[g.index()].index()] = true;
+            }
+        }
+        Some(())
+    }
+
+    /// Lower a symbolic solution onto this model's variable space.
+    /// Strict: every recorded choice must name an existing variable, or
+    /// the whole lowering is refused. Events absent from `sol` get an
+    /// all-false assignment. The result is *not* feasibility-checked —
+    /// callers gate it through `model.is_feasible` (or full validation).
+    pub fn lower(&self, sol: &SymbolicSolution) -> Option<Vec<bool>> {
+        let mut v = vec![false; self.model.num_vars()];
+        for ei in 0..self.events.len() {
+            if let Some(d) = sol.get(&self.keys[ei]) {
+                self.apply_decision(ei, d, &mut v)?;
+            }
+        }
+        Some(v)
+    }
+
+    /// Project a (possibly foreign) symbolic solution onto this model,
+    /// event by event: where a decision maps cleanly by coordinate, it
+    /// replaces the `base` assignment for that event's variables; where
+    /// it does not (no such event, inadmissible register, mismatched
+    /// shape), the event keeps `base` — typically the spill-everything
+    /// choice. The result may still be globally inconsistent, so callers
+    /// must gate it through `model.is_feasible` and drop failures.
+    pub fn project(&self, sol: &SymbolicSolution, base: &[bool]) -> Vec<bool> {
+        let n = self.model.num_vars();
+        let mut v = if base.len() == n {
+            base.to_vec()
+        } else {
+            vec![false; n]
+        };
+        for ei in 0..self.events.len() {
+            let Some(d) = sol.get(&self.keys[ei]) else {
+                continue;
+            };
+            let vars = self.event_var_ids(ei);
+            let saved: Vec<bool> = vars.iter().map(|x| v[x.index()]).collect();
+            for x in &vars {
+                v[x.index()] = false;
+            }
+            if self.apply_decision(ei, d, &mut v).is_none() {
+                for (x, old) in vars.iter().zip(saved) {
+                    v[x.index()] = old;
+                }
+            }
+        }
+        v
+    }
 }
 
 /// All model costs are scaled by this factor, leaving room for tiny
@@ -921,11 +1149,29 @@ pub fn build_model<M: Machine>(
             b.constrain_group(group);
         }
     }
+    let keys = a
+        .events
+        .iter()
+        .map(|e| EventKey {
+            sym: e.sym.0,
+            block: e.block.0,
+            inst: e.inst.map(|i| i as u32),
+        })
+        .collect();
+    let event_regs = a
+        .events
+        .iter()
+        .map(|e| machine.regs_for_width(f.sym_width(e.sym)).to_vec())
+        .collect();
+    let event_gout = a.events.iter().map(|e| e.gout).collect();
     BuiltModel {
         model: b.model,
         seg_x: b.seg_x,
         seg_xm: b.seg_xm,
         events: b.events,
+        keys,
+        event_regs,
+        event_gout,
     }
 }
 

@@ -71,6 +71,7 @@ pub mod irregular;
 pub mod pipeline;
 pub mod rewrite;
 pub mod stats;
+pub mod symbolic;
 pub mod warm;
 
 use std::time::{Duration, Instant};
@@ -81,10 +82,11 @@ use regalloc_x86::Machine;
 
 pub use cost::CostModel;
 pub use pipeline::{
-    AllocReport, BaselineAllocator, Demotion, FaultPlan, ReasonCode, RobustAllocator,
-    RobustOutcome, Rung,
+    AllocReport, BaselineAllocator, Demotion, DonorSolution, FaultPlan, ReasonCode,
+    RobustAllocator, RobustOutcome, Rung, WarmStartKind,
 };
 pub use stats::SpillStats;
+pub use symbolic::{EventDecision, EventKey, RoleDecision, SymbolicSolution};
 
 /// Why a function could not be allocated at all.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -229,9 +231,11 @@ impl<'m, M: Machine> IpAllocator<'m, M> {
 
         // Seed the search with the spill-everything assignment: the solver
         // then always has an allocation to return (Table 2 "solved") and
-        // an upper bound to prune against from the first node.
+        // an upper bound to prune against from the first node. A machine
+        // model without an admissible scratch register somewhere yields no
+        // warm start; the solver then runs cold.
         let warm = warm::spill_everything_assignment(f, &analysis, &built, self.machine);
-        let sol = solve(&built.model, &self.solver, Some(&warm));
+        let sol = solve(&built.model, &self.solver, warm.as_deref());
         let solve_time = sol.solve_time;
         // Table 2 semantics: "solved" means the *solver* produced an
         // allocation (an optimality proof or an incumbent it found

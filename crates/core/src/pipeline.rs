@@ -40,11 +40,12 @@ use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use regalloc_ilp::{solve_with_deadline, Deadline, SolverConfig, SolverHealth, Status};
+use regalloc_ilp::{solve_seeded, Deadline, Incumbent, SolverConfig, SolverHealth, Status};
 use regalloc_ir::{verify_allocated, Cfg, Function, Liveness, LoopInfo, Profile, RegFile};
 use regalloc_x86::{Machine, X86RegFile};
 
 use crate::stats::SpillStats;
+use crate::symbolic::SymbolicSolution;
 use crate::{analysis, build, check, fallback, rewrite, warm, AllocError, CostModel};
 
 /// The ladder position an allocation came from, best to worst.
@@ -153,6 +154,52 @@ impl std::fmt::Display for ReasonCode {
     }
 }
 
+/// Which cross-function seed incumbent actually seeded the IP solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum WarmStartKind {
+    /// The solve was seeded only by its own spill-everything bound (or
+    /// ran cold).
+    #[default]
+    None,
+    /// A cached solution of the *identical* function body seeded the
+    /// solve (same fingerprint, different name or a re-run).
+    Exact,
+    /// A cached solution of a *similar* function was projected onto this
+    /// model, survived feasibility, and seeded the solve.
+    Projected,
+}
+
+impl WarmStartKind {
+    /// Short stable name (used by the report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            WarmStartKind::None => "none",
+            WarmStartKind::Exact => "exact",
+            WarmStartKind::Projected => "projected",
+        }
+    }
+}
+
+impl std::fmt::Display for WarmStartKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A donor solution injected into the pipeline: the lifted symbolic
+/// decisions of a previously solved (cached) function, to be projected
+/// onto the current function's model and offered to the solver as an
+/// extra incumbent.
+#[derive(Clone, Debug)]
+pub struct DonorSolution {
+    /// True when the donor's function body is byte-identical to the
+    /// current one (same fingerprint) — the projection then maps every
+    /// event exactly.
+    pub exact: bool,
+    /// The donor's allocation in stable IR coordinates.
+    pub solution: SymbolicSolution,
+}
+
 /// One demotion step: the rung given up on, why, and a human-readable
 /// detail (panic message, validation divergence, solver status).
 #[derive(Clone, Debug)]
@@ -236,6 +283,8 @@ pub struct AllocReport {
     pub num_vars: usize,
     /// Intermediate instructions analysed.
     pub num_insts: usize,
+    /// Which injected donor incumbent (if any) seeded the IP solve.
+    pub warm_start: WarmStartKind,
 }
 
 impl AllocReport {
@@ -265,6 +314,10 @@ pub struct RobustOutcome {
     pub stats: SpillStats,
     /// How the ladder got here.
     pub report: AllocReport,
+    /// The accepted decision vector lifted into stable IR coordinates
+    /// (model-derived rungs only: IP and warm-start). `None` for the
+    /// coloring and spill-all rungs, which never touch the model.
+    pub symbolic: Option<SymbolicSolution>,
 }
 
 /// The injected graph-coloring rung.
@@ -298,6 +351,7 @@ pub struct RobustAllocator<'m, M, RF = X86RegFile> {
     static_validation: bool,
     faults: FaultPlan,
     baseline: Option<&'m dyn BaselineAllocator>,
+    donor: Option<DonorSolution>,
     _rf: PhantomData<fn() -> RF>,
 }
 
@@ -327,6 +381,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             static_validation: true,
             faults: FaultPlan::none(),
             baseline: None,
+            donor: None,
             _rf: PhantomData,
         }
     }
@@ -379,6 +434,17 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
     /// Inject the graph-coloring rung.
     pub fn with_baseline(mut self, baseline: &'m dyn BaselineAllocator) -> Self {
         self.baseline = Some(baseline);
+        self
+    }
+
+    /// Inject a donor solution (the lifted allocation of an identical or
+    /// similar cached function). Its projection onto this function's
+    /// model, when feasible, is offered to the solver as an extra
+    /// incumbent; an infeasible projection is dropped silently, so a bad
+    /// donor can only fail to speed the solve up, never change its
+    /// result's correctness.
+    pub fn with_donor(mut self, donor: Option<DonorSolution>) -> Self {
+        self.donor = donor;
         self
     }
 
@@ -458,6 +524,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         let mut solver_nodes = 0u64;
         let mut num_constraints = 0usize;
         let mut num_vars = 0usize;
+        let mut warm_kind = WarmStartKind::None;
 
         // ---- Stage 1: analysis + model build (guarded). -------------------
         // A panic here takes the IP and warm-start rungs down together:
@@ -475,7 +542,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         let build_time = t0.elapsed();
 
         macro_rules! finish {
-            ($rung:expr, $func:expr, $stats:expr) => {
+            ($rung:expr, $func:expr, $stats:expr, $symbolic:expr) => {
                 return Ok(RobustOutcome {
                     func: $func,
                     stats: $stats,
@@ -491,7 +558,9 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                         num_constraints,
                         num_vars,
                         num_insts: f.num_insts(),
+                        warm_start: warm_kind,
                     },
+                    symbolic: $symbolic,
                 })
             };
         }
@@ -521,13 +590,35 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             } else {
                 deadline
             };
+            // Assemble the seed incumbents: the spill-everything bound
+            // plus, when a donor was injected, its projection onto this
+            // model. An infeasible projection is dropped silently — a
+            // donor can only speed the solve up, never corrupt it.
+            let mut seeds: Vec<Incumbent> = Vec::new();
+            if let Some(w) = &warm_values {
+                seeds.push(Incumbent {
+                    source: "spill",
+                    values: w.clone(),
+                });
+            }
+            if let Some(donor) = &self.donor {
+                let base: &[bool] = warm_values.as_deref().unwrap_or(&[]);
+                // Same containment as the solver itself: a donor is
+                // foreign data, and a panic while mapping it must cost
+                // the seed, never the function.
+                let proj = catch_unwind(AssertUnwindSafe(|| {
+                    let proj = built.project(&donor.solution, base);
+                    built.model.is_feasible(&proj).then_some(proj)
+                }));
+                if let Ok(Some(proj)) = proj {
+                    seeds.push(Incumbent {
+                        source: if donor.exact { "exact" } else { "projected" },
+                        values: proj,
+                    });
+                }
+            }
             let sol = catch_unwind(AssertUnwindSafe(|| {
-                solve_with_deadline(
-                    &built.model,
-                    &self.solver,
-                    Some(&warm_values),
-                    solve_deadline,
-                )
+                solve_seeded(&built.model, &self.solver, &seeds, solve_deadline)
             }));
 
             // Each solver-derived rung is a (rung, values) candidate; the
@@ -538,6 +629,11 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                     solve_time = sol.solve_time;
                     solver_nodes = sol.nodes;
                     health.merge(&sol.health);
+                    warm_kind = match sol.incumbent_source {
+                        Some("exact") => WarmStartKind::Exact,
+                        Some("projected") => WarmStartKind::Projected,
+                        _ => WarmStartKind::None,
+                    };
                     let (ip_reason, ip_detail) = match sol.status {
                         Status::Optimal => {
                             candidates.push((Rung::IpOptimal, sol.values.clone()));
@@ -548,6 +644,19 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                             (
                                 Some(ReasonCode::SolverTimeout),
                                 "no optimality proof within budget".to_string(),
+                            )
+                        }
+                        // A donor incumbent the search could not beat is
+                        // still an IP-derived allocation — it was solved
+                        // to (or near) optimality for its donor and is
+                        // feasible on this model. A better seed must
+                        // never produce a worse rung, so only the
+                        // spill-everything seed demotes.
+                        Status::Feasible if sol.incumbent_source != Some("spill") => {
+                            candidates.push((Rung::IpIncumbent, sol.values.clone()));
+                            (
+                                Some(ReasonCode::SolverTimeout),
+                                "best known is the seeded donor incumbent".to_string(),
                             )
                         }
                         Status::Feasible => (
@@ -594,7 +703,17 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                     }
                 }
             }
-            candidates.push((Rung::WarmStart, warm_values));
+            match warm_values {
+                Some(w) => candidates.push((Rung::WarmStart, w)),
+                // Satellite of the machine model: no admissible scratch
+                // or definition register somewhere — skip the rung
+                // instead of panicking.
+                None => demotions.push(Demotion {
+                    from: Rung::WarmStart,
+                    reason: ReasonCode::RungFailed,
+                    detail: "no admissible spill-everything warm start".to_string(),
+                }),
+            }
 
             for (rung, mut values) in candidates {
                 if deadline.expired() && rung != Rung::WarmStart {
@@ -637,7 +756,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                 let valid = self.validate(f, &func);
                 validate_time += tv.elapsed();
                 match valid {
-                    Ok(()) => finish!(rung, func, stats),
+                    Ok(()) => finish!(rung, func, stats, Some(built.lift(&values))),
                     Err((reason, detail)) => {
                         demotions.push(Demotion {
                             from: rung,
@@ -670,7 +789,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                         let valid = self.validate(f, &func);
                         validate_time += tv.elapsed();
                         match valid {
-                            Ok(()) => finish!(Rung::Coloring, func, stats),
+                            Ok(()) => finish!(Rung::Coloring, func, stats, None),
                             Err((reason, detail)) => demotions.push(Demotion {
                                 from: Rung::Coloring,
                                 reason,
@@ -703,7 +822,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                 let valid = self.validate(f, &func);
                 validate_time += tv.elapsed();
                 match valid {
-                    Ok(()) => finish!(Rung::SpillAll, func, stats),
+                    Ok(()) => finish!(Rung::SpillAll, func, stats, None),
                     Err((reason, detail)) => {
                         demotions.push(Demotion {
                             from: Rung::SpillAll,

@@ -1,0 +1,356 @@
+//! Portable symbolic solutions: allocation decisions keyed by stable IR
+//! coordinates instead of `VarId` bit positions.
+//!
+//! A solved allocation normally exists only as a dense `Vec<bool>` over
+//! one exact [`BuiltModel`](crate::build::BuiltModel)'s variable space —
+//! rebuild the model (or build it for a *different* function) and the
+//! bit positions mean nothing. A [`SymbolicSolution`] re-expresses every
+//! decision in coordinates that survive outside the model that minted
+//! it:
+//!
+//! * an [`EventKey`] — `(symbolic, block, instruction-slot)` — names each
+//!   allocation event the way the analysis derives it from the IR, so
+//!   the same source position maps to the same key across rebuilds and
+//!   across *similar* functions;
+//! * an [`EventDecision`] records the chosen actions in [`PhysReg`]
+//!   terms (which register was loaded into, which register each use
+//!   occupies, whether the value was stored, …) plus the residence of
+//!   the event's *outgoing* segment — well-defined because every segment
+//!   is created by exactly one event's `gout`.
+//!
+//! The representation supports three operations, all on `BuiltModel`:
+//! `lift` (decision vector → symbolic), `lower` (symbolic → decision
+//! vector, strict: every recorded choice must name an existing
+//! variable), and `project` (symbolic → decision vector over a
+//! *different* function's model, tolerant: events that don't map keep a
+//! caller-supplied fallback assignment). Lowered and projected vectors
+//! are never trusted — callers gate them through
+//! [`Model::is_feasible`](regalloc_ilp::Model::is_feasible) and the full
+//! validation ladder, so a bad projection costs solver seeding, never
+//! correctness.
+
+use regalloc_ir::PhysReg;
+
+/// Stable coordinate of one allocation event: the symbolic register, the
+/// containing block, and the instruction index within the block (`None`
+/// for block-entry events).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey {
+    /// Symbolic-register number.
+    pub sym: u32,
+    /// Block number.
+    pub block: u32,
+    /// Instruction slot within the block (`None` = block entry).
+    pub inst: Option<u32>,
+}
+
+/// The decision taken for one use position (role) of an event.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RoleDecision {
+    /// Registers whose use variable is set (normally exactly one).
+    pub regs: Vec<PhysReg>,
+    /// The §5.2 memory-operand use was chosen.
+    pub mem: bool,
+    /// Registers whose §5.1 use-end variable is set.
+    pub ends: Vec<PhysReg>,
+}
+
+/// Every decision of one event, in physical-register terms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EventDecision {
+    /// Block-entry join residence registers (multi-predecessor joins).
+    pub join_regs: Vec<PhysReg>,
+    /// Block-entry join slot validity (`jm`).
+    pub join_mem: bool,
+    /// Registers reloaded into before the instruction.
+    pub loads: Vec<PhysReg>,
+    /// Registers rematerialised into before the instruction.
+    pub remats: Vec<PhysReg>,
+    /// Registers reloaded into after a call.
+    pub loads_post: Vec<PhysReg>,
+    /// Registers rematerialised into after a call.
+    pub remats_post: Vec<PhysReg>,
+    /// The value was stored to its spill slot here.
+    pub store: bool,
+    /// The register defined here, if any.
+    pub def: Option<PhysReg>,
+    /// The §5.2 combined memory use/def was chosen.
+    pub combined: bool,
+    /// Registers copied into before the instruction (§5.1).
+    pub copies: Vec<PhysReg>,
+    /// Registers whose copy-deletion conjunction (`dz`) is set.
+    pub deletes: Vec<PhysReg>,
+    /// Per-role decisions, parallel to the event's role list.
+    pub roles: Vec<RoleDecision>,
+    /// Residence registers of the outgoing segment created by this event.
+    pub out_regs: Vec<PhysReg>,
+    /// Slot validity of the outgoing segment.
+    pub out_mem: bool,
+}
+
+/// A complete allocation expressed in stable IR coordinates.
+///
+/// Decisions are stored sorted by key, so equality and serialization are
+/// deterministic regardless of construction order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymbolicSolution {
+    decisions: Vec<(EventKey, EventDecision)>,
+}
+
+fn regs_field(out: &mut String, tag: &str, regs: &[PhysReg]) {
+    use std::fmt::Write;
+    if !regs.is_empty() {
+        let names: Vec<String> = regs.iter().map(|r| format!("r{}", r.0)).collect();
+        write!(out, " {tag}={}", names.join("+")).unwrap();
+    }
+}
+
+fn parse_regs(s: &str) -> Option<Vec<PhysReg>> {
+    s.split('+')
+        .map(|r| r.strip_prefix('r')?.parse().ok().map(PhysReg))
+        .collect()
+}
+
+impl SymbolicSolution {
+    /// Build from an unordered decision list.
+    pub fn from_decisions(mut decisions: Vec<(EventKey, EventDecision)>) -> SymbolicSolution {
+        decisions.sort_by_key(|(k, _)| *k);
+        SymbolicSolution { decisions }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when no decisions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The decision for `key`, if recorded.
+    pub fn get(&self, key: &EventKey) -> Option<&EventDecision> {
+        self.decisions
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &self.decisions[i].1)
+    }
+
+    /// All decisions, sorted by key.
+    pub fn decisions(&self) -> &[(EventKey, EventDecision)] {
+        &self.decisions
+    }
+
+    /// Render as a line-oriented text block (one line per event), stable
+    /// across processes — the persistence format of the driver's cache.
+    pub fn serialize(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (k, d) in &self.decisions {
+            match k.inst {
+                Some(i) => write!(out, "s{} b{} i{}", k.sym, k.block, i).unwrap(),
+                None => write!(out, "s{} b{} entry", k.sym, k.block).unwrap(),
+            }
+            regs_field(&mut out, "join", &d.join_regs);
+            if d.join_mem {
+                out.push_str(" jm");
+            }
+            regs_field(&mut out, "ld", &d.loads);
+            regs_field(&mut out, "rm", &d.remats);
+            regs_field(&mut out, "lp", &d.loads_post);
+            regs_field(&mut out, "rp", &d.remats_post);
+            if d.store {
+                out.push_str(" st");
+            }
+            if let Some(r) = d.def {
+                write!(out, " def=r{}", r.0).unwrap();
+            }
+            if d.combined {
+                out.push_str(" cmb");
+            }
+            regs_field(&mut out, "cp", &d.copies);
+            regs_field(&mut out, "dz", &d.deletes);
+            for (ri, role) in d.roles.iter().enumerate() {
+                regs_field(&mut out, &format!("u{ri}"), &role.regs);
+                if role.mem {
+                    write!(out, " m{ri}").unwrap();
+                }
+                regs_field(&mut out, &format!("e{ri}"), &role.ends);
+            }
+            // Role count is explicit so empty trailing roles round-trip.
+            write!(out, " roles={}", d.roles.len()).unwrap();
+            regs_field(&mut out, "out", &d.out_regs);
+            if d.out_mem {
+                out.push_str(" om");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the [`SymbolicSolution::serialize`] format. Any malformed
+    /// line rejects the whole block (`None`): a symbolic solution is an
+    /// accelerator, and a damaged one must read as absent, not partial.
+    pub fn deserialize(text: &str) -> Option<SymbolicSolution> {
+        let mut decisions = Vec::new();
+        for line in text.lines() {
+            let mut fields = line.split(' ');
+            let sym: u32 = fields.next()?.strip_prefix('s')?.parse().ok()?;
+            let block: u32 = fields.next()?.strip_prefix('b')?.parse().ok()?;
+            let inst = match fields.next()? {
+                "entry" => None,
+                i => Some(i.strip_prefix('i')?.parse().ok()?),
+            };
+            let mut d = EventDecision::default();
+            let mut roles: Vec<(usize, RoleDecision)> = Vec::new();
+            let role_at = |roles: &mut Vec<(usize, RoleDecision)>, ri: usize| -> usize {
+                match roles.iter().position(|(i, _)| *i == ri) {
+                    Some(p) => p,
+                    None => {
+                        roles.push((ri, RoleDecision::default()));
+                        roles.len() - 1
+                    }
+                }
+            };
+            let mut role_count: usize = 0;
+            for field in fields {
+                match field {
+                    "jm" => d.join_mem = true,
+                    "st" => d.store = true,
+                    "cmb" => d.combined = true,
+                    "om" => d.out_mem = true,
+                    _ => {
+                        if let Some((tag, val)) = field.split_once('=') {
+                            match tag {
+                                "join" => d.join_regs = parse_regs(val)?,
+                                "ld" => d.loads = parse_regs(val)?,
+                                "rm" => d.remats = parse_regs(val)?,
+                                "lp" => d.loads_post = parse_regs(val)?,
+                                "rp" => d.remats_post = parse_regs(val)?,
+                                "st" => return None,
+                                "def" => {
+                                    d.def = Some(PhysReg(val.strip_prefix('r')?.parse().ok()?))
+                                }
+                                "cp" => d.copies = parse_regs(val)?,
+                                "dz" => d.deletes = parse_regs(val)?,
+                                "out" => d.out_regs = parse_regs(val)?,
+                                "roles" => role_count = val.parse().ok()?,
+                                _ => {
+                                    let (kind, ri) = tag.split_at(1);
+                                    let ri: usize = ri.parse().ok()?;
+                                    let p = role_at(&mut roles, ri);
+                                    match kind {
+                                        "u" => roles[p].1.regs = parse_regs(val)?,
+                                        "e" => roles[p].1.ends = parse_regs(val)?,
+                                        _ => return None,
+                                    }
+                                }
+                            }
+                        } else if let Some(ri) = field.strip_prefix('m') {
+                            let ri: usize = ri.parse().ok()?;
+                            let p = role_at(&mut roles, ri);
+                            roles[p].1.mem = true;
+                        } else {
+                            return None;
+                        }
+                    }
+                }
+            }
+            d.roles = vec![RoleDecision::default(); role_count];
+            for (ri, role) in roles {
+                if ri >= role_count {
+                    return None;
+                }
+                d.roles[ri] = role;
+            }
+            decisions.push((EventKey { sym, block, inst }, d));
+        }
+        Some(SymbolicSolution::from_decisions(decisions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SymbolicSolution {
+        SymbolicSolution::from_decisions(vec![
+            (
+                EventKey {
+                    sym: 1,
+                    block: 0,
+                    inst: Some(3),
+                },
+                EventDecision {
+                    loads: vec![PhysReg(2)],
+                    store: true,
+                    def: Some(PhysReg(0)),
+                    roles: vec![
+                        RoleDecision {
+                            regs: vec![PhysReg(2)],
+                            mem: false,
+                            ends: vec![PhysReg(2)],
+                        },
+                        RoleDecision {
+                            regs: Vec::new(),
+                            mem: true,
+                            ends: Vec::new(),
+                        },
+                    ],
+                    out_regs: vec![PhysReg(0)],
+                    out_mem: true,
+                    ..EventDecision::default()
+                },
+            ),
+            (
+                EventKey {
+                    sym: 0,
+                    block: 2,
+                    inst: None,
+                },
+                EventDecision {
+                    join_regs: vec![PhysReg(1), PhysReg(3)],
+                    join_mem: true,
+                    out_mem: true,
+                    ..EventDecision::default()
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let s = sample();
+        let text = s.serialize();
+        let back = SymbolicSolution::deserialize(&text).expect("parses");
+        assert_eq!(back, s);
+        // Keys come back sorted regardless of input order.
+        assert!(back.decisions()[0].0 < back.decisions()[1].0);
+    }
+
+    #[test]
+    fn empty_roles_round_trip() {
+        let s = SymbolicSolution::from_decisions(vec![(
+            EventKey {
+                sym: 5,
+                block: 1,
+                inst: Some(0),
+            },
+            EventDecision {
+                roles: vec![RoleDecision::default(); 2],
+                ..EventDecision::default()
+            },
+        )]);
+        let back = SymbolicSolution::deserialize(&s.serialize()).expect("parses");
+        assert_eq!(back.decisions()[0].1.roles.len(), 2);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_lines_reject_the_block() {
+        assert!(SymbolicSolution::deserialize("s1 b0 i3 bogus\n").is_none());
+        assert!(SymbolicSolution::deserialize("b0 i3\n").is_none());
+        assert!(SymbolicSolution::deserialize("s1 b0 i3 u9=r1 roles=1\n").is_none());
+        assert!(SymbolicSolution::deserialize("").is_some_and(|s| s.is_empty()));
+    }
+}

@@ -6,41 +6,55 @@
 //! answer when the time budget expires (the paper's Table 2 "solved"
 //! column counts exactly the functions for which the solver produced an
 //! allocation). This module mirrors [`fallback`](crate::fallback) in the
-//! decision-variable domain: every symbolic lives in its slot (`xm = 1`
-//! on every segment), each use is fed by a fresh reload into a scratch
-//! register chosen exactly as the fallback chooses it, every definition
-//! goes to a register and is stored back, and no copies or memory
-//! operands are used.
+//! decision domain: every symbolic lives in its slot (`xm = 1` on every
+//! segment), each use is fed by a fresh reload into a scratch register
+//! chosen exactly as the fallback chooses it, every definition goes to a
+//! register and is stored back, and no copies or memory operands are used.
+//!
+//! The construction happens in *symbolic coordinates*
+//! ([`SymbolicSolution`]) and is then lowered onto the model's variable
+//! space, which keeps it usable as a projection base for cross-function
+//! warm starts. Both entry points return `None` instead of panicking when
+//! the machine model admits no scratch or definition register for some
+//! instruction shape: the solver simply runs without a warm start, so a
+//! gap here degrades solution availability, not correctness.
 
-use regalloc_ilp::VarId;
 use regalloc_ir::{Function, PhysReg, SymId};
 use regalloc_x86::Machine;
 
 use crate::analysis::Analysis;
 use crate::build::BuiltModel;
 use crate::irregular::two_address;
+use crate::symbolic::{EventDecision, RoleDecision, SymbolicSolution};
 
-/// Build the spill-everything assignment for `built`.
+/// Build the spill-everything allocation as a [`SymbolicSolution`] over
+/// `built`'s event keys.
 ///
-/// The result is guaranteed feasible for correctly-built models; the
-/// solver re-validates it and silently ignores an infeasible warm start,
-/// so a bug here degrades solution availability, not correctness.
-pub fn spill_everything_assignment<M: Machine>(
+/// Returns `None` when no admissible scratch or definition register
+/// exists for some event (a machine model gap); callers skip the warm
+/// start in that case.
+pub fn spill_everything_solution<M: Machine>(
     f: &Function,
     a: &Analysis,
     built: &BuiltModel,
     machine: &M,
-) -> Vec<bool> {
-    let mut v = vec![false; built.model.num_vars()];
-    let set = |var: Option<VarId>, val: bool, v: &mut Vec<bool>| {
-        if let Some(x) = var {
-            v[x.index()] = val;
-        }
-    };
+) -> Option<SymbolicSolution> {
+    let mut ds: Vec<EventDecision> = built
+        .events
+        .iter()
+        .map(|ev| EventDecision {
+            roles: vec![RoleDecision::default(); ev.roles.len()],
+            ..EventDecision::default()
+        })
+        .collect();
 
-    // Every segment's slot holds the value; no register residence.
-    for &xm in &built.seg_xm {
-        v[xm.index()] = true;
+    // Every segment's slot holds the value, recorded at the event whose
+    // `gout` creates the segment (each segment has exactly one creator);
+    // no register residence anywhere.
+    for (ei, g) in built.event_gout.iter().enumerate() {
+        if g.is_some() {
+            ds[ei].out_mem = true;
+        }
     }
 
     for block in f.block_ids() {
@@ -50,8 +64,8 @@ pub fn spill_everything_assignment<M: Machine>(
                     // Entry joins: memory flows in from every predecessor.
                     for &ei in &group.events {
                         if let Some(j) = &built.events[ei].join {
-                            if let Some(jm) = j.jm {
-                                v[jm.index()] = true;
+                            if j.jm.is_some() {
+                                ds[ei].join_mem = true;
                             }
                         }
                     }
@@ -65,32 +79,36 @@ pub fn spill_everything_assignment<M: Machine>(
                     for &ei in &group.events {
                         let e = &a.events[ei];
                         let ev = &built.events[ei];
-                        let regs = machine.regs_for_width(f.sym_width(e.sym));
+                        let regs = &built.event_regs[ei];
                         let mut my_reg: Option<usize> = None;
                         for (ri, rv) in ev.roles.iter().enumerate() {
                             let role = e.roles[ri];
                             let c = machine.use_constraints(inst, role, f.sym_width(e.sym));
                             // Reuse if the previous pick is admitted.
                             let reuse = my_reg.filter(|&i| c.admits(regs[i]));
-                            let i = reuse.unwrap_or_else(|| {
-                                regs.iter()
-                                    .position(|r| {
-                                        c.admits(*r)
-                                            && rv.use_r[regs.iter().position(|x| x == r).unwrap()]
-                                                .is_some()
-                                            && !taken.iter().any(|(ts, tr)| {
-                                                *ts != e.sym && machine.aliases(*tr).contains(r)
-                                            })
-                                    })
-                                    .expect("warm start: no admissible scratch register")
-                            });
+                            let i = match reuse {
+                                Some(i) => i,
+                                None => (0..regs.len()).find(|&i| {
+                                    c.admits(regs[i])
+                                        && rv.use_r[i].is_some()
+                                        && !taken.iter().any(|(ts, tr)| {
+                                            *ts != e.sym && machine.aliases(*tr).contains(&regs[i])
+                                        })
+                                })?,
+                            };
                             if reuse.is_none() {
                                 taken.push((e.sym, regs[i]));
-                                set(ev.load[i], true, &mut v);
+                                if ev.load[i].is_some() {
+                                    ds[ei].loads.push(regs[i]);
+                                }
                             }
                             my_reg = Some(i);
-                            set(rv.use_r[i], true, &mut v);
-                            set(rv.use_end[i], true, &mut v);
+                            if rv.use_r[i].is_some() {
+                                ds[ei].roles[ri].regs.push(regs[i]);
+                            }
+                            if rv.use_end[i].is_some() {
+                                ds[ei].roles[ri].ends.push(regs[i]);
+                            }
                         }
                     }
                     // Definitions: two-address reuses the combined source's
@@ -101,9 +119,10 @@ pub fn spill_everything_assignment<M: Machine>(
                         if !e.defines || e.predef_def {
                             continue;
                         }
+                        let regs = &built.event_regs[ei];
                         let di = if machine.is_two_address(inst) {
-                            // The lhs (or commutative rhs) symbolic's
-                            // chosen register: find its use-end that we set.
+                            // The lhs (or commutative rhs) symbolic's chosen
+                            // register: the use-end we recorded above.
                             let (l, r) = two_address::two_addr_parts(inst);
                             let src = l.or(r);
                             src.and_then(|s| {
@@ -112,36 +131,48 @@ pub fn spill_everything_assignment<M: Machine>(
                                     .iter()
                                     .copied()
                                     .find(|&x| a.events[x].sym == s)?;
-                                built.events[sei].roles.iter().find_map(|rv| {
-                                    rv.use_end
-                                        .iter()
-                                        .position(|ue| ue.is_some_and(|u| v[u.index()]))
-                                })
+                                ds[sei]
+                                    .roles
+                                    .iter()
+                                    .find_map(|rd| rd.ends.first().copied())
+                                    .and_then(|r| regs.iter().position(|x| *x == r))
                             })
                         } else {
                             None
                         };
-                        let di = di.unwrap_or_else(|| {
-                            ev.def
-                                .iter()
-                                .position(Option::is_some)
-                                .expect("warm start: no definition register")
-                        });
-                        if ev.def[di].is_some() {
-                            set(ev.def[di], true, &mut v);
-                        } else {
+                        let di = match di {
                             // Two-address source register not admitted for
-                            // the def (cannot happen on provided machines).
-                            let alt = ev.def.iter().position(Option::is_some).unwrap();
-                            set(ev.def[alt], true, &mut v);
-                        }
-                        if e.gout.is_some() {
-                            set(ev.store, true, &mut v);
+                            // the def (cannot happen on provided machines):
+                            // fall back to the first admitted register.
+                            Some(i) if ev.def[i].is_some() => i,
+                            _ => ev.def.iter().position(Option::is_some)?,
+                        };
+                        ds[ei].def = Some(regs[di]);
+                        if e.gout.is_some() && ev.store.is_some() {
+                            ds[ei].store = true;
                         }
                     }
                 }
             }
         }
     }
-    v
+    Some(SymbolicSolution::from_decisions(
+        built.keys.iter().copied().zip(ds).collect(),
+    ))
+}
+
+/// Build the spill-everything assignment for `built` as a dense decision
+/// vector ([`spill_everything_solution`] lowered onto the model).
+///
+/// The result is guaranteed feasible for correctly-built models; the
+/// solver re-validates it and silently ignores an infeasible warm start,
+/// so a bug here degrades solution availability, not correctness.
+pub fn spill_everything_assignment<M: Machine>(
+    f: &Function,
+    a: &Analysis,
+    built: &BuiltModel,
+    machine: &M,
+) -> Option<Vec<bool>> {
+    let sol = spill_everything_solution(f, a, built, machine)?;
+    built.lower(&sol)
 }

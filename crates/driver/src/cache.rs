@@ -32,15 +32,18 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
-use regalloc_core::{ReasonCode, Rung, SpillStats};
+use regalloc_core::{ReasonCode, Rung, SpillStats, SymbolicSolution, WarmStartKind};
 use regalloc_ilp::SolverConfig;
 use regalloc_ir::fingerprint::{fingerprint, fnv1a, FNV_OFFSET};
-use regalloc_ir::{parse_function, verify_allocated, Function, SlotId, SlotInfo, Width};
+use regalloc_ir::{
+    parse_function, verify_allocated, Function, ShapeVector, SlotId, SlotInfo, Width,
+};
 
 /// First line of every cache file; bump the version to invalidate old
 /// entries wholesale on a format change.
-pub const MAGIC: &str = "regalloc-cache v1";
+pub const MAGIC: &str = "regalloc-cache v2";
 
 /// Checksum guarding an entry's payload (everything after the `check`
 /// line). Public so tooling and tests can produce well-formed entries.
@@ -49,6 +52,15 @@ pub fn checksum(payload: &str) -> u64 {
 }
 
 /// The content key for allocating `f` on `machine_name` under `solver`.
+///
+/// `solver` must be the *configured* base configuration, never one
+/// adjusted by the per-function [`BudgetGovernor`] — a governed deadline
+/// in the key would fragment the cache across `--budget-secs` settings
+/// and across positions in the run order. The deadline actually granted
+/// is recorded inside the entry ([`CacheEntry::effective_deadline`])
+/// where lookups can judge it instead.
+///
+/// [`BudgetGovernor`]: crate::schedule::BudgetGovernor
 pub fn cache_key(f: &Function, machine_name: &str, solver: &SolverConfig) -> u64 {
     let mut h = fingerprint(f);
     h = fnv1a(h, machine_name.as_bytes());
@@ -79,6 +91,23 @@ pub struct CacheEntry {
     pub solver_nodes: u64,
     /// Encoded size of the allocation, in bytes.
     pub ip_bytes: u64,
+    /// The per-function solve budget actually granted when this entry was
+    /// produced. The cache key deliberately ignores the governed budget;
+    /// this field lets a lookup recognise an entry that degraded under a
+    /// smaller deadline than the one now available and re-solve instead.
+    pub effective_deadline: Duration,
+    /// Body fingerprint of the source function (donor identity: an exact
+    /// fingerprint match means the donor solution lowers, not projects).
+    pub fingerprint: u64,
+    /// Shape vector of the source function, for nearest-neighbour donor
+    /// queries on cache misses.
+    pub shape: ShapeVector,
+    /// Which warm start the accepted solve consumed.
+    pub warm_start: WarmStartKind,
+    /// The accepted allocation lifted into stable IR coordinates, when
+    /// the IP rungs produced it — the donor payload for cross-function
+    /// warm starts. Degraded rungs carry `None`.
+    pub symbolic: Option<SymbolicSolution>,
     /// The spill-slot table (the canonical text carries only slot
     /// *references*).
     pub slots: Vec<SlotInfo>,
@@ -105,6 +134,17 @@ fn reason_from_name(s: &str) -> Option<ReasonCode> {
         ReasonCode::RungFailed,
     ];
     ALL.iter().copied().find(|r| r.name() == s)
+}
+
+fn warm_from_name(s: &str) -> Option<WarmStartKind> {
+    [
+        WarmStartKind::None,
+        WarmStartKind::Exact,
+        WarmStartKind::Projected,
+    ]
+    .iter()
+    .copied()
+    .find(|w| w.name() == s)
 }
 
 fn width_from_bits(s: &str) -> Option<Width> {
@@ -147,6 +187,19 @@ impl CacheEntry {
         )
         .unwrap();
         writeln!(p, "bytes {}", self.ip_bytes).unwrap();
+        writeln!(p, "deadline {}", self.effective_deadline.as_nanos()).unwrap();
+        writeln!(p, "fp {:016x}", self.fingerprint).unwrap();
+        let shape: Vec<String> = self.shape.counts.iter().map(u64::to_string).collect();
+        writeln!(p, "shape {}", shape.join(",")).unwrap();
+        writeln!(p, "warm {}", self.warm_start.name()).unwrap();
+        match &self.symbolic {
+            None => p.push_str("sym -\n"),
+            Some(s) => {
+                let text = s.serialize();
+                writeln!(p, "sym {}", text.lines().count()).unwrap();
+                p.push_str(&text);
+            }
+        }
         if self.slots.is_empty() {
             p.push_str("slots -\n");
         } else {
@@ -215,6 +268,31 @@ impl CacheEntry {
             return None;
         };
         let ip_bytes: u64 = lines.next()?.strip_prefix("bytes ")?.parse().ok()?;
+        let deadline_nanos: u128 = lines.next()?.strip_prefix("deadline ")?.parse().ok()?;
+        let effective_deadline = Duration::from_nanos(u64::try_from(deadline_nanos).ok()?);
+        let fp = u64::from_str_radix(lines.next()?.strip_prefix("fp ")?, 16).ok()?;
+        let counts: Vec<u64> = lines
+            .next()?
+            .strip_prefix("shape ")?
+            .split(',')
+            .map(|v| v.parse().ok())
+            .collect::<Option<Vec<_>>>()?;
+        let shape = ShapeVector {
+            counts: counts.try_into().ok()?,
+        };
+        let warm_start = warm_from_name(lines.next()?.strip_prefix("warm ")?)?;
+        let sym_s = lines.next()?.strip_prefix("sym ")?;
+        let symbolic = if sym_s == "-" {
+            None
+        } else {
+            let n: usize = sym_s.parse().ok()?;
+            let mut text = String::new();
+            for _ in 0..n {
+                text.push_str(lines.next()?);
+                text.push('\n');
+            }
+            Some(SymbolicSolution::deserialize(&text)?)
+        };
         let slots_s = lines.next()?.strip_prefix("slots ")?;
         let slots = if slots_s == "-" {
             Vec::new()
@@ -255,6 +333,11 @@ impl CacheEntry {
             num_insts: num_insts as usize,
             solver_nodes,
             ip_bytes,
+            effective_deadline,
+            fingerprint: fp,
+            shape,
+            warm_start,
+            symbolic,
             slots,
             func_text,
         })
@@ -293,6 +376,19 @@ pub struct CachedAlloc {
     pub func: Function,
     /// The stored record.
     pub entry: CacheEntry,
+}
+
+/// One donor candidate for cross-function warm starts: a solved entry's
+/// symbolic solution plus the coordinates used to match it against new
+/// functions.
+#[derive(Clone, Debug)]
+pub struct DonorEntry {
+    /// Body fingerprint of the donor's source function.
+    pub fingerprint: u64,
+    /// Shape vector of the donor's source function.
+    pub shape: ShapeVector,
+    /// The donor's allocation in stable IR coordinates.
+    pub solution: SymbolicSolution,
 }
 
 /// The two-level (memory + optional disk) solution cache. Safe to share
@@ -385,11 +481,60 @@ impl SolutionCache {
     pub fn rejected(&self) -> usize {
         self.rejected.load(Ordering::Relaxed)
     }
+
+    /// Snapshot every donor-eligible entry: IP-solved rungs carrying a
+    /// symbolic solution, from memory and (when persisting) disk. The
+    /// result is fingerprint-sorted and deduplicated, so the snapshot is
+    /// deterministic regardless of map iteration or directory order —
+    /// the driver freezes one snapshot per run to keep warm-start
+    /// selection independent of worker scheduling.
+    pub fn donor_snapshot(&self) -> Vec<DonorEntry> {
+        let mut donors: Vec<DonorEntry> = Vec::new();
+        let mut push = |e: &CacheEntry| {
+            if matches!(e.rung, Rung::IpOptimal | Rung::IpIncumbent) {
+                if let Some(sol) = &e.symbolic {
+                    donors.push(DonorEntry {
+                        fingerprint: e.fingerprint,
+                        shape: e.shape,
+                        solution: sol.clone(),
+                    });
+                }
+            }
+        };
+        for e in self.mem.lock().unwrap().values() {
+            push(e);
+        }
+        if let Some(dir) = &self.dir {
+            if let Ok(rd) = std::fs::read_dir(dir) {
+                let mut paths: Vec<PathBuf> = rd
+                    .flatten()
+                    .map(|d| d.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "alloc"))
+                    .collect();
+                paths.sort();
+                for p in paths {
+                    if let Ok(text) = std::fs::read_to_string(&p) {
+                        if let Some(e) = CacheEntry::deserialize(&text) {
+                            push(&e);
+                        }
+                    }
+                }
+            }
+        }
+        donors.sort_by(|a, b| {
+            a.fingerprint
+                .cmp(&b.fingerprint)
+                .then_with(|| a.solution.serialize().cmp(&b.solution.serialize()))
+        });
+        donors.dedup_by_key(|d| d.fingerprint);
+        donors
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use regalloc_core::{EventDecision, EventKey};
     use regalloc_ir::{FunctionBuilder, Loc, PhysReg, Width};
 
     fn allocated_sample() -> Function {
@@ -423,6 +568,24 @@ mod tests {
             num_insts: 2,
             solver_nodes: 9,
             ip_bytes: 11,
+            effective_deadline: Duration::from_millis(250),
+            fingerprint: fingerprint(f),
+            shape: ShapeVector {
+                counts: [1, 2, 0, 0, 2, 0, 0, 0],
+            },
+            warm_start: WarmStartKind::Projected,
+            symbolic: Some(SymbolicSolution::from_decisions(vec![(
+                EventKey {
+                    sym: 0,
+                    block: 0,
+                    inst: Some(0),
+                },
+                EventDecision {
+                    def: Some(PhysReg(0)),
+                    out_regs: vec![PhysReg(0)],
+                    ..EventDecision::default()
+                },
+            )])),
             slots: vec![
                 SlotInfo {
                     width: Width::B8,
@@ -487,6 +650,58 @@ mod tests {
         let cache3 = SolutionCache::new(Some(dir.clone()));
         assert!(cache3.lookup(7).is_none());
         assert_eq!(cache3.rejected(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_without_symbolic_round_trips() {
+        let mut e = entry_for(&allocated_sample());
+        e.symbolic = None;
+        e.warm_start = WarmStartKind::None;
+        let parsed = CacheEntry::deserialize(&e.serialize()).expect("parses");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn donor_snapshot_filters_sorts_and_dedupes() {
+        let dir = std::env::temp_dir().join(format!("regalloc-donor-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SolutionCache::new(Some(dir.clone()));
+        let f = allocated_sample();
+        let mut a = entry_for(&f);
+        a.fingerprint = 3;
+        let mut b = entry_for(&f);
+        b.fingerprint = 1;
+        b.rung = Rung::IpIncumbent;
+        let mut degraded = entry_for(&f);
+        degraded.fingerprint = 2;
+        degraded.rung = Rung::Coloring;
+        let mut bare = entry_for(&f);
+        bare.fingerprint = 4;
+        bare.symbolic = None;
+        cache.store(10, a);
+        cache.store(11, b);
+        cache.store(12, degraded);
+        cache.store(13, bare);
+
+        // Memory and disk both hold every entry; the snapshot filters to
+        // solved-with-symbolic, sorts by fingerprint and dedupes.
+        let fps: Vec<u64> = cache
+            .donor_snapshot()
+            .iter()
+            .map(|d| d.fingerprint)
+            .collect();
+        assert_eq!(fps, vec![1, 3]);
+
+        // A fresh cache over the same directory reads the same donors
+        // back from disk alone.
+        let cache2 = SolutionCache::new(Some(dir.clone()));
+        let fps2: Vec<u64> = cache2
+            .donor_snapshot()
+            .iter()
+            .map(|d| d.fingerprint)
+            .collect();
+        assert_eq!(fps2, vec![1, 3]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -18,7 +18,14 @@
 //!   budget into shrinking per-function grants, mirroring how the
 //!   paper's 1024-second limit bounded tail functions — exhausted budget
 //!   demotes tail functions down the degradation ladder instead of
-//!   hanging the run.
+//!   hanging the run;
+//! * **cross-function warm starts** — on a cache miss the driver finds
+//!   the nearest previously-solved function by shape vector, projects its
+//!   stored symbolic solution ([`regalloc_core::SymbolicSolution`]) onto
+//!   the new function's model and hands the feasibility-checked result to
+//!   the solver as an extra incumbent. A donor can only prune the
+//!   branch-and-bound search: accepted allocations are identical with
+//!   warm starts on or off whenever the solver reaches optimality.
 //!
 //! # Determinism
 //!
@@ -59,12 +66,12 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use regalloc_coloring::ColoringAllocator;
-use regalloc_core::{ReasonCode, RobustAllocator, Rung, SpillStats};
+use regalloc_core::{DonorSolution, ReasonCode, RobustAllocator, Rung, SpillStats, WarmStartKind};
 use regalloc_ilp::SolverConfig;
-use regalloc_ir::Function;
+use regalloc_ir::{fingerprint, shape_vector, Function};
 use regalloc_x86::{Machine, X86Machine, X86RegFile};
 
-use cache::{cache_key, CacheEntry, SolutionCache};
+use cache::{cache_key, CacheEntry, DonorEntry, SolutionCache};
 use schedule::BudgetGovernor;
 
 /// Where solved allocations are memoized.
@@ -110,6 +117,14 @@ pub struct DriverConfig {
     /// validator before trusting them; failing entries are evicted and
     /// the function is solved fresh.
     pub revalidate_cache: bool,
+    /// Seed cache misses with the nearest cached symbolic solution
+    /// (projected onto the new function's model) as a second solver
+    /// incumbent. Pure acceleration: projections are feasibility-checked
+    /// before seeding and only ever prune the search.
+    pub warm_starts: bool,
+    /// Maximum shape-vector distance (relative L1, in `[0, 1]`) at which
+    /// a cached solution is considered a warm-start donor.
+    pub warm_start_distance: f64,
 }
 
 impl Default for DriverConfig {
@@ -130,6 +145,8 @@ impl Default for DriverConfig {
             compare_baseline: false,
             lint: false,
             revalidate_cache: true,
+            warm_starts: true,
+            warm_start_distance: 0.25,
         }
     }
 }
@@ -176,6 +193,9 @@ pub struct FunctionResult {
     pub ip_bytes: u64,
     /// Whether the solution cache served this function.
     pub cache_hit: bool,
+    /// Which warm start the accepted solve consumed (the original
+    /// solve's, on a cache hit).
+    pub warm_start: WarmStartKind,
     /// Wall-clock budget the governor granted (full configured budget on
     /// a cache hit, which consumes none of it).
     pub granted_budget: Duration,
@@ -225,6 +245,12 @@ pub struct DriverStats {
     pub cache_misses: usize,
     /// Cache entries rejected by checksum/parse/verification.
     pub cache_rejected: usize,
+    /// Fresh solves whose accepted incumbent came from an exact-match
+    /// donor solution.
+    pub warm_exact: usize,
+    /// Fresh solves whose accepted incumbent came from a projected
+    /// (nearest-shape) donor solution.
+    pub warm_projected: usize,
     /// Functions served per rung, ladder order.
     pub rungs: Vec<(Rung, usize)>,
     /// Busy time per worker.
@@ -295,6 +321,7 @@ fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         solve_time: Duration::ZERO,
         ip_bytes: 0,
         cache_hit: false,
+        warm_start: WarmStartKind::None,
         granted_budget: Duration::ZERO,
         estimate,
         task_time: Duration::ZERO,
@@ -316,6 +343,14 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         CacheMode::Off => None,
         CacheMode::Memory => Some(SolutionCache::new(None)),
         CacheMode::Disk(dir) => Some(SolutionCache::new(Some(dir.clone()))),
+    };
+    // Donor candidates are frozen once, before any worker runs: entries
+    // stored *during* this run never donate, so warm-start selection is
+    // independent of worker count and completion order (the determinism
+    // guarantee above).
+    let donors: Vec<DonorEntry> = match (&cache, cfg.warm_starts) {
+        (Some(c), true) => c.donor_snapshot(),
+        _ => Vec::new(),
     };
     let sched = schedule::plan(funcs);
     let governor = BudgetGovernor::new(
@@ -347,6 +382,14 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         let key = cache_key(f, machine.name(), &cfg.solver);
         if let Some(cache) = &cache {
             if let Some(hit) = cache.lookup(key) {
+                // An entry that degraded below the IP-optimal rung under a
+                // smaller budget than the one now configured can plausibly
+                // do better today: treat it as a miss and re-solve (the
+                // key deliberately ignores the governed deadline so this
+                // judgment happens here). The entry stays in place — it
+                // may still donate its symbolic solution.
+                let stale_deadline = hit.entry.rung != Rung::IpOptimal
+                    && hit.entry.effective_deadline < cfg.function_budget;
                 // The cache's own structural re-verification has passed;
                 // the static translation validator additionally proves the
                 // stored code computes *this* function's values. A failure
@@ -355,6 +398,8 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                     && !regalloc_lint::validate(&machine, f, &hit.func).is_empty()
                 {
                     cache.reject(key);
+                } else if stale_deadline {
+                    // Fall through to a fresh solve below.
                 } else {
                     governor.skip();
                     let lints = if cfg.lint {
@@ -376,6 +421,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                         solve_time: Duration::ZERO,
                         ip_bytes: hit.entry.ip_bytes,
                         cache_hit: true,
+                        warm_start: hit.entry.warm_start,
                         granted_budget: cfg.function_budget,
                         estimate,
                         task_time: t0.elapsed(),
@@ -387,12 +433,34 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
             }
         }
 
+        // Nearest-neighbour donor lookup: the frozen snapshot's closest
+        // shape within the distance threshold, ties broken by fingerprint
+        // for determinism. An exact fingerprint match means the donor
+        // solved this very body (under a different solver configuration
+        // or before a stale-deadline re-solve) and lowers rather than
+        // projects.
+        let fp = fingerprint(f);
+        let shape = shape_vector(f);
+        let donor = donors
+            .iter()
+            .map(|d| (d.shape.distance(&shape), d))
+            .filter(|(dist, _)| *dist <= cfg.warm_start_distance)
+            .min_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then_with(|| a.1.fingerprint.cmp(&b.1.fingerprint))
+            })
+            .map(|(_, d)| DonorSolution {
+                exact: d.fingerprint == fp,
+                solution: d.solution.clone(),
+            });
+
         let granted = governor.grant();
         let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
             .with_solver_config(cfg.solver.clone())
             .with_budget(granted)
             .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
-            .with_baseline(&gc);
+            .with_baseline(&gc)
+            .with_donor(donor);
         match robust.allocate(f) {
             Ok(out) => {
                 let ip_bytes = regalloc_x86::encoding::function_size(&machine, &out.func);
@@ -415,6 +483,11 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                             num_insts: out.report.num_insts,
                             solver_nodes: out.report.solver_nodes,
                             ip_bytes,
+                            effective_deadline: granted,
+                            fingerprint: fp,
+                            shape,
+                            warm_start: out.report.warm_start,
+                            symbolic: out.symbolic.clone(),
                             slots: out.func.slots().to_vec(),
                             func_text: format!("{}\n", out.func),
                         },
@@ -434,6 +507,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                     solve_time: out.report.solve_time,
                     ip_bytes,
                     cache_hit: false,
+                    warm_start: out.report.warm_start,
                     granted_budget: granted,
                     estimate,
                     task_time: t0.elapsed(),
@@ -456,6 +530,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
                 solve_time: Duration::ZERO,
                 ip_bytes: 0,
                 cache_hit: false,
+                warm_start: WarmStartKind::None,
                 granted_budget: granted,
                 estimate,
                 task_time: t0.elapsed(),
@@ -480,6 +555,12 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         }
     }
     let cpu_time = results.iter().map(|r| r.task_time).sum();
+    let fresh_warm = |kind: WarmStartKind| {
+        results
+            .iter()
+            .filter(|r| !r.cache_hit && r.warm_start == kind)
+            .count()
+    };
     let stats = DriverStats {
         functions: funcs.len(),
         attempted,
@@ -489,6 +570,8 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         cache_hits,
         cache_misses,
         cache_rejected: cache.as_ref().map_or(0, |c| c.rejected()),
+        warm_exact: fresh_warm(WarmStartKind::Exact),
+        warm_projected: fresh_warm(WarmStartKind::Projected),
         rungs,
         worker_busy: pool_stats.busy,
     };

@@ -37,6 +37,12 @@ options:
   --seed N             workload generator seed (default 1998)
   --cache-dir DIR      persistent cache directory (default results/cache)
   --no-cache           in-memory dedup only, nothing persisted
+  --warm-starts MODE   on|off: seed cache misses with the nearest cached
+                       symbolic solution (default on)
+  --warm-distance F    max shape distance for a warm-start donor, 0..1
+                       (default 0.25)
+  --perturb SEED       deterministically perturb immediates in the loaded
+                       suite (same shapes, different bodies)
   --dump-allocs FILE   write every accepted allocation to FILE
   --lint               run allocation-quality lints over accepted code
   --lint-format FMT    lint output format: text (default), json, sarif
@@ -57,6 +63,7 @@ struct Cli {
     cfg: DriverConfig,
     scale: f64,
     seed: u64,
+    perturb: Option<u64>,
     suite_args: Vec<String>,
     dump_allocs: Option<PathBuf>,
     timing: bool,
@@ -73,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         },
         scale: 0.1,
         seed: 1998,
+        perturb: None,
         suite_args: Vec::new(),
         dump_allocs: None,
         timing: true,
@@ -125,6 +133,25 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--cache-dir" => cli.cfg.cache = CacheMode::Disk(PathBuf::from(value("--cache-dir")?)),
             "--no-cache" => cli.cfg.cache = CacheMode::Memory,
+            "--warm-starts" => {
+                cli.cfg.warm_starts = match value("--warm-starts")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--warm-starts: expected on|off, got `{other}`")),
+                }
+            }
+            "--warm-distance" => {
+                cli.cfg.warm_start_distance = value("--warm-distance")?
+                    .parse()
+                    .map_err(|e| format!("--warm-distance: {e}"))?
+            }
+            "--perturb" => {
+                cli.perturb = Some(
+                    value("--perturb")?
+                        .parse()
+                        .map_err(|e| format!("--perturb: {e}"))?,
+                )
+            }
             "--dump-allocs" => cli.dump_allocs = Some(PathBuf::from(value("--dump-allocs")?)),
             "--lint" => cli.cfg.lint = true,
             "--lint-format" => {
@@ -208,6 +235,13 @@ fn load_suite(cli: &Cli) -> Result<Vec<Function>, String> {
             ));
         }
     }
+    if let Some(seed) = cli.perturb {
+        funcs = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| regalloc_workloads::perturb_immediates(f, seed.wrapping_add(i as u64)))
+            .collect();
+    }
     Ok(funcs)
 }
 
@@ -251,6 +285,25 @@ fn print_deterministic(out: &SuiteOutcome) {
         .map(|(r, n)| format!("{} {}", r.name(), n))
         .collect();
     println!("rungs: {}", rungs.join("  "));
+    println!(
+        "warm-starts: exact {}  projected {}",
+        out.stats.warm_exact, out.stats.warm_projected
+    );
+    // One aggregate cost line so warm-on vs warm-off runs can be compared
+    // with a single grep: warm starts may only prune the search, never
+    // change what is accepted.
+    let attempted = out.results.iter().filter(|r| r.attempted);
+    let (mut loads, mut stores, mut remats, mut copies, mut bytes) = (0i64, 0i64, 0i64, 0i64, 0u64);
+    for r in attempted {
+        loads += r.stats.loads;
+        stores += r.stats.stores;
+        remats += r.stats.remats;
+        copies += r.stats.copies;
+        bytes += r.ip_bytes;
+    }
+    println!(
+        "totals: loads {loads}  stores {stores}  remats {remats}  copies {copies}  bytes {bytes}"
+    );
 }
 
 fn print_timing(out: &SuiteOutcome) {

@@ -158,14 +158,28 @@ mod tests {
 
     #[test]
     fn skewed_costs_are_stolen_across_workers() {
-        // One item is ~50x the cost of the rest; with two workers the
-        // cheap worker must steal or the run serialises.
+        // The first task parks its worker until the second worker has
+        // started a task (bounded wait, so a starved pool still ends the
+        // test); the remaining cheap tasks must then flow to the other
+        // worker or the run serialises. This is deterministic where a
+        // pure cost skew is not: under CPU contention the second worker
+        // can spawn late enough to miss an entire skewed run.
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let items: Vec<u64> = (0..40).collect();
         let order: Vec<usize> = (0..items.len()).collect();
+        let started = AtomicUsize::new(0);
         let (res, stats) = run_indexed(2, &items, &order, |i, &x| {
-            let reps = if i == 0 { 2_000_000 } else { 40_000 };
+            started.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                let t0 = std::time::Instant::now();
+                while started.load(Ordering::SeqCst) < 2
+                    && t0.elapsed() < std::time::Duration::from_secs(5)
+                {
+                    std::thread::yield_now();
+                }
+            }
             let mut acc = x;
-            for k in 0..reps {
+            for k in 0..40_000 {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
             }
             acc

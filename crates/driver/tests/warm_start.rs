@@ -1,0 +1,168 @@
+//! Cross-function warm starts, end to end: a cold run populates the
+//! cache with symbolic solutions; a perturbed re-run (same shapes,
+//! different bodies) misses the cache, projects the nearest donor onto
+//! each new model, and prunes the branch-and-bound search — without
+//! changing what is accepted wherever the solver reaches optimality.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use regalloc_core::Rung;
+use regalloc_driver::{run_suite, CacheMode, DriverConfig, SuiteOutcome};
+use regalloc_ilp::SolverConfig;
+use regalloc_ir::Function;
+use regalloc_workloads::{perturb_immediates, Benchmark, Suite};
+
+fn suite() -> Vec<Function> {
+    let s = Suite::generate_scaled(Benchmark::Xlisp, 42, 0.14);
+    assert!(
+        s.functions.len() >= 40,
+        "want ~50, got {}",
+        s.functions.len()
+    );
+    s.functions
+}
+
+fn perturbed(funcs: &[Function]) -> Vec<Function> {
+    funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| perturb_immediates(f, 1998 + i as u64))
+        .collect()
+}
+
+/// Deterministic solver limits generous enough for small models to reach
+/// optimality (so donors exist and the equal-outcome guarantee applies),
+/// with `max_rows` declining the expensive tail.
+fn config(dir: PathBuf, warm: bool) -> DriverConfig {
+    DriverConfig {
+        jobs: 2,
+        solver: SolverConfig {
+            time_limit: Duration::from_secs(300),
+            lp_iter_limit: 20_000,
+            node_limit: 512,
+            max_rows: 450,
+        },
+        function_budget: Duration::from_secs(300),
+        cache: CacheMode::Disk(dir),
+        equiv_runs: 1,
+        equiv_seed: 7,
+        warm_starts: warm,
+        ..DriverConfig::default()
+    }
+}
+
+fn fresh_solved(out: &SuiteOutcome) -> usize {
+    out.results
+        .iter()
+        .filter(|r| !r.cache_hit && r.solved())
+        .count()
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    sorted[sorted.len() / 2]
+}
+
+#[test]
+fn perturbed_rerun_projects_donors_and_prunes_the_search() {
+    let dir_on = tempdir("ws-on");
+    let dir_off = tempdir("ws-off");
+    let funcs = suite();
+    let pfuncs = perturbed(&funcs);
+
+    // Cold runs: the donor snapshot is frozen before any entry is
+    // stored, so a fresh cache can never warm-start — with the feature
+    // on or off, the cold runs are identical.
+    let cold_on = run_suite(&funcs, &config(dir_on.clone(), true));
+    assert_eq!(cold_on.stats.warm_exact + cold_on.stats.warm_projected, 0);
+    let cold_off = run_suite(&funcs, &config(dir_off.clone(), false));
+    assert!(cold_on.results.iter().any(|r| r.solved()));
+
+    // Perturbed re-runs over each cache. Immediate-only perturbation
+    // keeps every shape identical (distance 0) while changing every
+    // fingerprint, so donors project rather than hit.
+    let on = run_suite(&pfuncs, &config(dir_on.clone(), true));
+    let off = run_suite(&pfuncs, &config(dir_off.clone(), false));
+
+    let misses = on.stats.cache_misses;
+    assert!(misses > 0, "perturbed bodies must miss the cache");
+    assert_eq!(on.stats.warm_exact, 0, "no perturbed body is cached");
+    assert!(
+        on.stats.warm_projected * 5 >= misses,
+        "projected warm starts must fire for >=20% of misses: {} of {}",
+        on.stats.warm_projected,
+        misses
+    );
+
+    // A donor incumbent is a solution in hand: seeding can rescue
+    // functions the node-limited off-mode search loses entirely, and
+    // must never lose one it keeps.
+    assert!(
+        fresh_solved(&on) >= fresh_solved(&off),
+        "donor seeding lost functions: on {} vs off {}",
+        fresh_solved(&on),
+        fresh_solved(&off)
+    );
+
+    // Donor incumbents only prune: over the functions IP-solved in both
+    // modes, node counts drop (median and total).
+    let (mut nodes_on, mut nodes_off): (Vec<u64>, Vec<u64>) = on
+        .results
+        .iter()
+        .zip(&off.results)
+        .filter(|(a, b)| !a.cache_hit && a.solved() && b.solved())
+        .map(|(a, b)| (a.solver_nodes, b.solver_nodes))
+        .unzip();
+    nodes_on.sort_unstable();
+    nodes_off.sort_unstable();
+    assert!(
+        nodes_on.len() >= 5,
+        "too few functions solved in both modes: {}",
+        nodes_on.len()
+    );
+    assert!(
+        median(&nodes_on) <= median(&nodes_off),
+        "median nodes: on {} vs off {}",
+        median(&nodes_on),
+        median(&nodes_off)
+    );
+    let (sum_on, sum_off): (u64, u64) = (nodes_on.iter().sum(), nodes_off.iter().sum());
+    assert!(
+        sum_on < sum_off,
+        "donor seeding should prune somewhere: on {sum_on} vs off {sum_off}"
+    );
+
+    // Wherever both modes proved optimality, the accepted allocation is
+    // identical — a donor can change how fast the solver gets there,
+    // never where it lands.
+    let mut both_optimal = 0;
+    for (a, b) in on.results.iter().zip(&off.results) {
+        assert!(a.error.is_none() && b.error.is_none());
+        if a.rung == Some(Rung::IpOptimal) && b.rung == Some(Rung::IpOptimal) {
+            both_optimal += 1;
+            assert_eq!(
+                a.func.as_ref().map(Function::to_string),
+                b.func.as_ref().map(Function::to_string),
+                "{}: optimal allocations must match",
+                a.name
+            );
+            assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+            assert_eq!(a.ip_bytes, b.ip_bytes);
+        }
+    }
+    assert!(both_optimal > 0, "some functions must reach optimality");
+
+    // The cold-off run only exists to populate dir_off identically; its
+    // accepted allocations match the cold-on run outside timing fields.
+    assert_eq!(cold_on.stats.cache_misses, cold_off.stats.cache_misses);
+
+    std::fs::remove_dir_all(&dir_on).ok();
+    std::fs::remove_dir_all(&dir_off).ok();
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("regalloc-driver-test-{tag}-{pid}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}

@@ -56,6 +56,43 @@ pub enum Status {
     NumericalTrouble,
 }
 
+/// A candidate incumbent handed to the solver before the search starts.
+#[derive(Clone, Debug)]
+pub struct Incumbent {
+    /// Where the candidate came from (`"spill"`, `"exact"`,
+    /// `"projected"`, …). The accepted seed's tag is reported back in
+    /// [`Solution::incumbent_source`].
+    pub source: &'static str,
+    /// Candidate assignment over the model's variables. Mis-sized or
+    /// infeasible candidates are silently ignored.
+    pub values: Vec<bool>,
+}
+
+/// A supplier of warm-start incumbents for [`solve_seeded`].
+///
+/// Injecting the supplier (rather than a hardcoded vector) lets callers
+/// combine several independent seeds — the allocator's spill-everything
+/// bound, a projected solution from a similar cached function — without
+/// the solver knowing where any of them came from. Every candidate is
+/// re-validated against the model; a bad source can never corrupt a
+/// solve, only fail to speed it up.
+pub trait WarmStartSource {
+    /// Produce the candidate incumbents for `model`.
+    fn incumbents(&self, model: &Model) -> Vec<Incumbent>;
+}
+
+impl WarmStartSource for Vec<Incumbent> {
+    fn incumbents(&self, _model: &Model) -> Vec<Incumbent> {
+        self.clone()
+    }
+}
+
+impl WarmStartSource for [Incumbent] {
+    fn incumbents(&self, _model: &Model) -> Vec<Incumbent> {
+        self.to_vec()
+    }
+}
+
 /// The result of a solve.
 #[derive(Clone, Debug)]
 pub struct Solution {
@@ -72,6 +109,11 @@ pub struct Solution {
     /// Table 2 counts such functions as *unsolved* — the solver produced
     /// nothing — even though a usable allocation exists).
     pub warm_start_only: bool,
+    /// Source tag of the accepted (feasible, best-objective) seed
+    /// incumbent, `None` when the solve started cold. Records which seed
+    /// the search pruned against, even when a better solution was found
+    /// later.
+    pub incumbent_source: Option<&'static str>,
     /// Total simplex iterations.
     pub lp_iters: u64,
     /// Wall-clock time spent.
@@ -208,19 +250,53 @@ pub fn solve_with_deadline(
     warm_start: Option<&[bool]>,
     deadline: Deadline,
 ) -> Solution {
+    let seeds: Vec<Incumbent> = warm_start
+        .map(|w| {
+            vec![Incumbent {
+                source: "warm",
+                values: w.to_vec(),
+            }]
+        })
+        .unwrap_or_default();
+    solve_inner(model, cfg, &seeds, deadline)
+}
+
+/// [`solve_with_deadline`] with incumbents drawn from an injected
+/// [`WarmStartSource`]. The best feasible candidate (by objective) seeds
+/// the search; its source tag is reported in
+/// [`Solution::incumbent_source`].
+pub fn solve_seeded(
+    model: &Model,
+    cfg: &SolverConfig,
+    source: &dyn WarmStartSource,
+    deadline: Deadline,
+) -> Solution {
+    solve_inner(model, cfg, &source.incumbents(model), deadline)
+}
+
+fn solve_inner(
+    model: &Model,
+    cfg: &SolverConfig,
+    incumbents: &[Incumbent],
+    deadline: Deadline,
+) -> Solution {
     let start = Instant::now();
     let deadline = deadline.earliest(Deadline::after(cfg.time_limit));
     let mut health = SolverHealth::default();
     let n = model.num_vars();
 
     let mut best: Option<(Vec<bool>, f64)> = None;
-    let mut warm_start_only = false;
-    if let Some(w) = warm_start {
-        if w.len() == n && model.is_feasible(w) {
-            best = Some((w.to_vec(), model.objective(w)));
-            warm_start_only = true;
+    let mut incumbent_source: Option<&'static str> = None;
+    for inc in incumbents {
+        if inc.values.len() == n && model.is_feasible(&inc.values) {
+            let obj = model.objective(&inc.values);
+            if best.as_ref().is_none_or(|(_, b)| obj < *b - 1e-9) {
+                best = Some((inc.values.clone(), obj));
+                incumbent_source = Some(inc.source);
+            }
         }
     }
+    let mut warm_start_only = best.is_some();
 
     let mut nodes = 0u64;
     let mut lp_iters = 0u64;
@@ -239,6 +315,7 @@ pub fn solve_with_deadline(
             nodes,
             lp_iters,
             warm_start_only,
+            incumbent_source,
             solve_time: start.elapsed(),
             health,
         }

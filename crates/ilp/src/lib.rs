@@ -42,6 +42,9 @@ pub mod model;
 pub mod presolve;
 pub mod simplex;
 
-pub use branch::{solve, solve_with_deadline, Solution, SolverConfig, Status};
+pub use branch::{
+    solve, solve_seeded, solve_with_deadline, Incumbent, Solution, SolverConfig, Status,
+    WarmStartSource,
+};
 pub use health::{Deadline, SolverHealth};
 pub use model::{Model, Sense, VarId};

@@ -29,6 +29,7 @@
 //! instructions or editing a global's initial value all change the
 //! fingerprint; pretty-printing and re-parsing does not.
 
+use crate::cfg::{Cfg, LoopInfo};
 use crate::func::Function;
 
 /// FNV-1a 64-bit offset basis.
@@ -63,6 +64,60 @@ pub fn fingerprint(f: &Function) -> u64 {
 /// (usable as a file name).
 pub fn fingerprint_hex(f: &Function) -> String {
     format!("{:016x}", fingerprint(f))
+}
+
+/// Number of loop-depth histogram buckets in a [`ShapeVector`] (depths
+/// beyond the last bucket are clamped into it).
+pub const SHAPE_DEPTH_BUCKETS: usize = 4;
+
+/// A coarse structural signature of a function body, used for
+/// nearest-neighbour queries over cached allocations.
+///
+/// Where [`fingerprint`] answers "is this the *same* allocation problem?"
+/// (any edit, even to an immediate, changes it), the shape vector answers
+/// "is this a *similar* allocation problem?": it counts blocks,
+/// instructions, symbolic registers and calls, plus a histogram of
+/// instructions per loop depth. Editing immediates leaves the shape
+/// untouched; structural edits move it a little; unrelated functions land
+/// far apart. Distances are relative (normalised L1), so a one-block
+/// delta matters for a tiny function and is noise for a large one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShapeVector {
+    /// Component counts: blocks, instructions, symbolic registers, call
+    /// instructions, then instructions per loop depth (0, 1, 2, 3+).
+    pub counts: [u64; 4 + SHAPE_DEPTH_BUCKETS],
+}
+
+impl ShapeVector {
+    /// Relative L1 distance in `[0, 1]`: `Σ|a−b| / max(1, Σmax(a,b))`.
+    /// Identical shapes are at 0; disjoint shapes at 1.
+    pub fn distance(&self, other: &ShapeVector) -> f64 {
+        let mut diff = 0u64;
+        let mut scale = 0u64;
+        for (&a, &b) in self.counts.iter().zip(&other.counts) {
+            diff += a.abs_diff(b);
+            scale += a.max(b);
+        }
+        diff as f64 / scale.max(1) as f64
+    }
+}
+
+/// Compute the [`ShapeVector`] of a function body.
+pub fn shape_vector(f: &Function) -> ShapeVector {
+    let cfg = Cfg::new(f);
+    let loops = LoopInfo::new(f, &cfg);
+    let mut counts = [0u64; 4 + SHAPE_DEPTH_BUCKETS];
+    counts[0] = f.num_blocks() as u64;
+    counts[1] = f.num_insts() as u64;
+    counts[2] = f.num_syms() as u64;
+    for (b, _, inst) in f.insts() {
+        if matches!(inst, crate::inst::Inst::Call { .. }) {
+            counts[3] += 1;
+        }
+        let depth = (loops.depth(b) as usize).min(SHAPE_DEPTH_BUCKETS - 1);
+        counts[4 + depth] += 1;
+    }
+    ShapeVector { counts }
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ pub mod profile;
 pub mod verify;
 
 pub use cfg::{Cfg, LoopInfo};
-pub use fingerprint::{fingerprint, fingerprint_hex};
+pub use fingerprint::{fingerprint, fingerprint_hex, shape_vector, ShapeVector};
 pub use func::{Block, Function, FunctionBuilder, GlobalSlot, SlotInfo};
 pub use ids::{BlockId, PhysReg, SlotId, SymId, Width};
 pub use inst::{Address, BinOp, Cond, Dst, GlobalId, Inst, Loc, Operand, Scale, UnOp, UseRole};

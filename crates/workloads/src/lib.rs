@@ -31,7 +31,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use regalloc_ir::{
-    Address, BinOp, Cond, Function, FunctionBuilder, GlobalId, Operand, Scale, SymId, UnOp, Width,
+    Address, BinOp, Cond, Function, FunctionBuilder, GlobalId, Inst, Operand, Scale, SymId, UnOp,
+    Width,
 };
 
 /// One SPECint92 benchmark identity.
@@ -575,6 +576,51 @@ pub fn generate_function(name: &str, rng: &mut SmallRng, cfg: &GenConfig) -> Fun
     g.b.finish()
 }
 
+/// Deterministically perturb the *data* immediates of `f`: non-zero
+/// `LoadImm` constants and immediate operands of stores, calls and
+/// returns are replaced with fresh small values.
+///
+/// The result has the same instruction/block/symbolic shape as `f` (its
+/// [`shape_vector`](regalloc_ir::shape_vector) is identical) but a
+/// different body [`fingerprint`](regalloc_ir::fingerprint) — the
+/// workload for exercising cross-function warm starts, where a cached
+/// solution must *project* rather than hit. Control flow is untouched:
+/// branch comparisons, arithmetic immediates and zero loop-counter
+/// initialisers keep their values, so counted loops stay bounded and the
+/// perturbed function still terminates under the interpreter.
+pub fn perturb_immediates(f: &Function, seed: u64) -> Function {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut fresh = |v: &mut i64| {
+        let n = rng.gen_range(1..=100i64);
+        *v = if n == *v { (n % 100) + 1 } else { n };
+    };
+    let mut out = f.clone();
+    let blocks: Vec<_> = out.block_ids().collect();
+    for bid in blocks {
+        for inst in &mut out.block_mut(bid).insts {
+            match inst {
+                Inst::LoadImm { imm, .. } if *imm != 0 => fresh(imm),
+                Inst::Store {
+                    src: Operand::Imm(v),
+                    ..
+                } => fresh(v),
+                Inst::Ret {
+                    val: Some(Operand::Imm(v)),
+                } => fresh(v),
+                Inst::Call { args, .. } => {
+                    for a in args {
+                        if let Operand::Imm(v) = a {
+                            fresh(v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +671,30 @@ mod tests {
                 "function {i} must terminate (counted loops)\n{f}"
             );
         }
+    }
+
+    #[test]
+    fn perturbation_changes_bodies_but_not_shapes() {
+        use regalloc_ir::{fingerprint, shape_vector};
+        let s = Suite::generate_scaled(Benchmark::Xlisp, 42, 0.05);
+        let mut changed = 0;
+        for (i, f) in s.functions.iter().enumerate() {
+            let p = perturb_immediates(f, 7 + i as u64);
+            verify_function(&p).unwrap_or_else(|e| panic!("function {i}: {e:?}\n{p}"));
+            assert_eq!(shape_vector(&p), shape_vector(f), "shape drifted: {i}");
+            if fingerprint(&p) != fingerprint(f) {
+                changed += 1;
+            }
+            // Same seed, same perturbation; different seed, different one.
+            assert_eq!(perturb_immediates(f, 7 + i as u64), p);
+            let out = Interp::new(&p, SymRegFile, InterpConfig::default(), &[1, 2, 3]).run();
+            assert_eq!(out.status, ExecStatus::Returned, "perturbed {i} must halt");
+        }
+        assert!(
+            changed * 2 >= s.functions.len(),
+            "too few bodies changed: {changed}/{}",
+            s.functions.len()
+        );
     }
 
     #[test]

@@ -169,6 +169,9 @@ fn lint_report_is_deterministic_across_jobs() {
             compare_baseline: false,
             lint: true,
             revalidate_cache: true,
+            // No cache, so no donor snapshot exists to warm-start from.
+            warm_starts: false,
+            warm_start_distance: 0.25,
         };
         let out = run_suite(&suite.functions, &cfg);
         let mut report = Report::default();
