@@ -6,7 +6,7 @@
 //! growth exponent is the figure's point. CSV on stdout, fit and ASCII
 //! scatter on stderr.
 
-use regalloc_bench::{loglog_slope, run_all, Options};
+use regalloc_bench::{fig10_points, loglog_slope, run_all, Options};
 
 fn main() {
     let o = Options::from_args();
@@ -16,20 +16,23 @@ fn main() {
     );
     let recs = run_all(&o);
 
-    println!("constraints,solve_seconds,benchmark,function");
+    // The fit is produced from the `SolveDone` trace events and the
+    // trace's solve-phase wall time; the extractor cross-checks every
+    // point against the driver's result and drops cache hits (a replayed
+    // allocation's solve time is not a measurement).
+    println!("constraints,solve_seconds,nodes,lp_iters,benchmark,function");
     let mut pts = Vec::new();
-    // Cache hits replay a stored allocation, so their solve_time is not a
-    // measurement — only freshly-solved functions belong in the fit.
-    for r in recs.iter().filter(|r| r.optimal && !r.cache_hit) {
-        let secs = r.solve_time.as_secs_f64();
+    for p in fig10_points(&recs) {
         println!(
-            "{},{:.6},{},{}",
-            r.constraints,
-            secs,
-            r.benchmark.name(),
-            r.name
+            "{},{:.6},{},{},{},{}",
+            p.constraints,
+            p.solve_seconds,
+            p.nodes,
+            p.lp_iters,
+            p.benchmark.name(),
+            p.function
         );
-        pts.push((r.constraints as f64, secs));
+        pts.push((p.constraints as f64, p.solve_seconds));
     }
     let slope = loglog_slope(&pts);
     eprintln!();

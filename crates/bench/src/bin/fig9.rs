@@ -5,7 +5,7 @@
 //! scatter as CSV on stdout plus the fitted log-log growth exponent, and
 //! an ASCII rendition of the log-log scatter on stderr.
 
-use regalloc_bench::{loglog_slope, run_all, Options};
+use regalloc_bench::{fig9_points, loglog_slope, run_all, Options};
 
 fn main() {
     let o = Options::from_args();
@@ -18,17 +18,20 @@ fn main() {
     };
     let recs = run_all(&o);
 
-    println!("instructions,constraints,benchmark,function");
+    // The scatter is read from the `ModelBuilt` trace events; the
+    // extractor cross-checks each point against the driver's result.
+    println!("instructions,variables,constraints,benchmark,function");
     let mut pts = Vec::new();
-    for r in recs.iter().filter(|r| r.attempted) {
+    for p in fig9_points(&recs) {
         println!(
-            "{},{},{},{}",
-            r.insts,
-            r.constraints,
-            r.benchmark.name(),
-            r.name
+            "{},{},{},{},{}",
+            p.insts,
+            p.vars,
+            p.constraints,
+            p.benchmark.name(),
+            p.function
         );
-        pts.push((r.insts as f64, r.constraints as f64));
+        pts.push((p.insts as f64, p.constraints as f64));
     }
     let slope = loglog_slope(&pts);
     eprintln!();

@@ -9,7 +9,7 @@
 //! weaker, so the split shifts downward with function size while keeping
 //! the same structure — see EXPERIMENTS.md.
 
-use regalloc_bench::{run_all_stats, DegradationSummary, Options};
+use regalloc_bench::{run_all_metrics, DegradationSummary, Options};
 use regalloc_core::WarmStartKind;
 use regalloc_workloads::Benchmark;
 
@@ -19,7 +19,7 @@ fn main() {
         "generating suites at scale {} (seed {}), solver limit {:?} per function, {} worker(s)…",
         o.scale, o.seed, o.time_limit, o.jobs
     );
-    let (recs, stats) = run_all_stats(&o);
+    let (recs, stats, metrics) = run_all_metrics(&o);
 
     println!(
         "Table 2. Number of functions solved with a solver time limit of {:?}.",
@@ -29,7 +29,6 @@ fn main() {
         "{:<10} {:>7} {:>10} {:>8} {:>9}",
         "Benchmark", "Total", "Attempted", "Solved", "Optimal"
     );
-    let (mut t, mut a, mut s, mut op) = (0, 0, 0, 0);
     for b in Benchmark::all() {
         let rows: Vec<_> = recs.iter().filter(|r| r.benchmark == b).collect();
         let total = rows.len();
@@ -44,11 +43,15 @@ fn main() {
             solved,
             optimal
         );
-        t += total;
-        a += attempted;
-        s += solved;
-        op += optimal;
     }
+    // The Total row and the percentages below come from the driver's
+    // metrics registry, not from re-counting the per-function records —
+    // the registry is merged in suite order from per-task shards, so this
+    // also exercises that plumbing end to end.
+    let t = metrics.counter("regalloc_functions_total", &[]);
+    let a = metrics.counter("regalloc_functions_attempted_total", &[]);
+    let s = metrics.counter("regalloc_functions_solved_total", &[]);
+    let op = metrics.counter("regalloc_functions_optimal_total", &[]);
     println!("{:<10} {:>7} {:>10} {:>8} {:>9}", "Total", t, a, s, op);
     println!();
     println!("Degradation ladder (robust pipeline):");
@@ -57,14 +60,14 @@ fn main() {
             DegradationSummary::collect(recs.iter().filter(|r| r.benchmark == b && r.attempted));
         println!("  {:<10} {sum}", b.name());
     }
-    let total = DegradationSummary::collect(recs.iter().filter(|r| r.attempted));
+    let total = DegradationSummary::from_metrics(&metrics);
     println!("  {:<10} {total}", "Total");
     println!(
         "  {} of {} attempted functions degraded below the IP rungs; 0 process aborts",
         total.degraded(),
         a
     );
-    let lints: usize = recs.iter().map(|r| r.lints).sum();
+    let lints = metrics.counter_family_sum("regalloc_lint_findings_total");
     let linted = recs.iter().filter(|r| r.lints > 0).count();
     println!("  lint: {lints} finding(s) across {linted} function(s)");
     println!();

@@ -30,6 +30,7 @@ use std::time::Duration;
 use regalloc_core::{ReasonCode, Rung, SpillStats, WarmStartKind};
 use regalloc_driver::{run_suite, CacheMode, DriverConfig, DriverStats};
 use regalloc_ilp::SolverConfig;
+use regalloc_obs::{FunctionTrace, Metrics, Phase};
 use regalloc_workloads::{Benchmark, Suite};
 
 /// Command-line options shared by the experiment binaries.
@@ -167,6 +168,10 @@ impl Options {
             revalidate_cache: true,
             warm_starts: self.warm_starts,
             warm_start_distance: 0.25,
+            // The experiment harness always records traces: Figs. 9/10
+            // are produced from the trace events, cross-checked against
+            // the result fields.
+            trace: true,
         }
     }
 }
@@ -216,8 +221,13 @@ pub struct Record {
     pub warm_start: WarmStartKind,
     /// Branch-and-bound nodes the solve expanded.
     pub solver_nodes: u64,
+    /// Simplex iterations across every LP relaxation, including pruned
+    /// and abandoned nodes.
+    pub lp_iters: u64,
     /// `regalloc-lint` quality findings over the accepted allocation.
     pub lints: usize,
+    /// The structured solve trace (the harness always enables tracing).
+    pub trace: Option<FunctionTrace>,
 }
 
 /// Run both allocators over every generated benchmark.
@@ -240,6 +250,14 @@ pub fn run_all(o: &Options) -> Vec<Record> {
 /// that served it, any demotion reasons, and the solver configuration it
 /// was allocated under.
 pub fn run_all_stats(o: &Options) -> (Vec<Record>, DriverStats) {
+    let (recs, stats, _) = run_all_metrics(o);
+    (recs, stats)
+}
+
+/// [`run_all_stats`] plus the driver's merged metrics registry — the
+/// authoritative source for suite-level aggregates (the Table 2 report
+/// derives its solved/optimal/degradation counts from it).
+pub fn run_all_metrics(o: &Options) -> (Vec<Record>, DriverStats, Metrics) {
     // One flat suite across all benchmarks, so the driver's scheduler and
     // workers see the full mix; map results back by index afterwards.
     let mut funcs = Vec::new();
@@ -293,11 +311,113 @@ pub fn run_all_stats(o: &Options) -> (Vec<Record>, DriverStats) {
                 cache_hit: r.cache_hit,
                 warm_start: r.warm_start,
                 solver_nodes: r.solver_nodes,
+                lp_iters: r.lp_iters,
                 lints: r.lints.len(),
+                trace: r.trace,
             }
         })
         .collect();
-    (records, outcome.stats)
+    (records, outcome.stats, outcome.metrics)
+}
+
+/// One Fig. 9 point, read from a record's `ModelBuilt` trace event and
+/// cross-checked against the result fields.
+#[derive(Clone, Debug)]
+pub struct Fig9Point {
+    pub benchmark: Benchmark,
+    pub function: String,
+    /// Intermediate instructions (x-axis).
+    pub insts: u64,
+    /// IP decision variables.
+    pub vars: u64,
+    /// IP constraints (y-axis).
+    pub constraints: u64,
+}
+
+/// Extract the Fig. 9 scatter from the trace events of attempted
+/// functions whose model built.
+///
+/// # Panics
+///
+/// Panics if a trace's `ModelBuilt` payload disagrees with the record it
+/// rides on — the instrumentation would be lying about the experiment.
+pub fn fig9_points(recs: &[Record]) -> Vec<Fig9Point> {
+    let mut pts = Vec::new();
+    for r in recs.iter().filter(|r| r.attempted) {
+        let Some((insts, vars, constraints)) = r.trace.as_ref().and_then(|t| t.model_built())
+        else {
+            continue;
+        };
+        assert_eq!(
+            (insts, vars, constraints),
+            (r.insts as u64, r.variables as u64, r.constraints as u64),
+            "{}: ModelBuilt trace event disagrees with the driver result",
+            r.name
+        );
+        pts.push(Fig9Point {
+            benchmark: r.benchmark,
+            function: r.name.clone(),
+            insts,
+            vars,
+            constraints,
+        });
+    }
+    pts
+}
+
+/// One Fig. 10 point, read from a record's `SolveDone` trace event and the
+/// trace's solve-phase wall time.
+#[derive(Clone, Debug)]
+pub struct Fig10Point {
+    pub benchmark: Benchmark,
+    pub function: String,
+    /// IP constraints (x-axis).
+    pub constraints: u64,
+    /// IP solve wall time in seconds (y-axis; the trace's solve phase
+    /// equals `Solution::solve_time` exactly).
+    pub solve_seconds: f64,
+    /// Branch-and-bound nodes the solve expanded.
+    pub nodes: u64,
+    /// Simplex iterations across every LP relaxation.
+    pub lp_iters: u64,
+}
+
+/// Extract the Fig. 10 scatter from trace events: optimally-solved,
+/// freshly-solved functions only (cache hits replay a stored allocation,
+/// so their solve time is not a measurement).
+///
+/// # Panics
+///
+/// Panics if a trace's `SolveDone` payload disagrees with the record it
+/// rides on.
+pub fn fig10_points(recs: &[Record]) -> Vec<Fig10Point> {
+    let mut pts = Vec::new();
+    for r in recs.iter().filter(|r| r.optimal && !r.cache_hit) {
+        let Some(t) = &r.trace else { continue };
+        let Some((status, nodes, lp_iters)) = t.solve_done() else {
+            continue;
+        };
+        assert_eq!(
+            status, "optimal",
+            "{}: rung says optimal, trace says {status}",
+            r.name
+        );
+        assert_eq!(
+            (nodes, lp_iters),
+            (r.solver_nodes, r.lp_iters),
+            "{}: SolveDone trace event disagrees with the driver result",
+            r.name
+        );
+        pts.push(Fig10Point {
+            benchmark: r.benchmark,
+            function: r.name.clone(),
+            constraints: r.constraints as u64,
+            solve_seconds: t.phase_seconds(Phase::Solve),
+            nodes,
+            lp_iters,
+        });
+    }
+    pts
 }
 
 /// Aggregated degradation-ladder accounting for a set of records,
@@ -326,6 +446,36 @@ impl DegradationSummary {
                 }
             }
         }
+        DegradationSummary { rungs, reasons }
+    }
+
+    /// Tally rungs and demotion reasons from the driver's metrics
+    /// registry (`regalloc_rung_functions_total{rung=..}` and
+    /// `regalloc_demotions_total{reason=..}`) instead of re-counting
+    /// per-function results. Reasons come out in canonical
+    /// [`ReasonCode::ALL`] order.
+    pub fn from_metrics(m: &Metrics) -> DegradationSummary {
+        let by_rung = m.counter_by_label("regalloc_rung_functions_total", "rung");
+        let rungs = Rung::ALL
+            .iter()
+            .map(|&r| {
+                let n = by_rung
+                    .iter()
+                    .find(|(name, _)| Rung::from_name(name) == Some(r))
+                    .map_or(0, |(_, n)| *n as usize);
+                (r, n)
+            })
+            .collect();
+        let by_reason = m.counter_by_label("regalloc_demotions_total", "reason");
+        let reasons = ReasonCode::ALL
+            .iter()
+            .filter_map(|&rc| {
+                by_reason
+                    .iter()
+                    .find(|(name, _)| ReasonCode::from_name(name) == Some(rc))
+                    .map(|(_, n)| (rc, *n as usize))
+            })
+            .collect();
         DegradationSummary { rungs, reasons }
     }
 
@@ -442,5 +592,92 @@ mod tests {
         assert_eq!(stats.attempted, attempted);
         assert_eq!(stats.functions, recs.len());
         assert_eq!(stats.cache_hits + stats.cache_misses, attempted);
+    }
+
+    /// The figure extractors and the metrics registry must agree with the
+    /// per-function records and the driver's own totals — the traces are
+    /// an independent account of the same run.
+    #[test]
+    fn trace_totals_match_driver_totals() {
+        let o = Options {
+            scale: 0.004,
+            seed: 3,
+            time_limit: Duration::from_millis(100),
+            ..Options::default()
+        };
+        let (recs, stats, metrics) = run_all_metrics(&o);
+        let attempted: Vec<_> = recs.iter().filter(|r| r.attempted).collect();
+        assert!(!attempted.is_empty());
+        for r in &attempted {
+            assert!(r.trace.is_some(), "{}: harness runs always trace", r.name);
+        }
+
+        // Fig. 9: one point per attempted function whose model built; the
+        // extractor itself asserts each point equals the record fields.
+        let f9 = fig9_points(&recs);
+        let built = attempted
+            .iter()
+            .filter(|r| r.trace.as_ref().unwrap().model_built().is_some())
+            .count();
+        assert_eq!(f9.len(), built);
+        assert!(built > 0, "some models must build at this scale");
+
+        // Fig. 10: the trace-derived node/iteration totals are the same
+        // numbers the driver reports on the records.
+        let f10 = fig10_points(&recs);
+        let fresh_optimal: Vec<_> = recs.iter().filter(|r| r.optimal && !r.cache_hit).collect();
+        assert_eq!(f10.len(), fresh_optimal.len());
+        let trace_nodes: u64 = f10.iter().map(|p| p.nodes).sum();
+        let trace_iters: u64 = f10.iter().map(|p| p.lp_iters).sum();
+        assert_eq!(
+            trace_nodes,
+            fresh_optimal.iter().map(|r| r.solver_nodes).sum::<u64>()
+        );
+        assert_eq!(
+            trace_iters,
+            fresh_optimal.iter().map(|r| r.lp_iters).sum::<u64>()
+        );
+        for p in &f10 {
+            assert!(
+                p.solve_seconds > 0.0,
+                "{}: solve phase was timed",
+                p.function
+            );
+        }
+
+        // Metrics registry vs records and DriverStats.
+        assert_eq!(
+            metrics.counter("regalloc_functions_total", &[]),
+            recs.len() as u64
+        );
+        assert_eq!(
+            metrics.counter("regalloc_functions_attempted_total", &[]),
+            attempted.len() as u64
+        );
+        assert_eq!(
+            metrics.counter("regalloc_functions_solved_total", &[]),
+            recs.iter().filter(|r| r.solved).count() as u64
+        );
+        assert_eq!(
+            metrics.counter("regalloc_functions_optimal_total", &[]),
+            recs.iter().filter(|r| r.optimal).count() as u64
+        );
+        assert_eq!(
+            metrics.counter("regalloc_solver_nodes_total", &[]),
+            recs.iter().map(|r| r.solver_nodes).sum::<u64>()
+        );
+        assert_eq!(
+            stats.attempted as u64,
+            metrics.counter("regalloc_functions_attempted_total", &[])
+        );
+
+        // The metrics-sourced degradation summary matches the one counted
+        // from the records.
+        let from_recs = DegradationSummary::collect(recs.iter().filter(|r| r.attempted));
+        let from_metrics = DegradationSummary::from_metrics(&metrics);
+        assert_eq!(from_recs.rungs, from_metrics.rungs);
+        let total_reasons: usize = from_recs.reasons.iter().map(|(_, n)| n).sum();
+        let metric_reasons: usize = from_metrics.reasons.iter().map(|(_, n)| n).sum();
+        assert_eq!(total_reasons, metric_reasons);
     }
 }

@@ -40,8 +40,9 @@ use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use regalloc_ilp::{solve_seeded, Deadline, Incumbent, SolverConfig, SolverHealth, Status};
+use regalloc_ilp::{solve_seeded_traced, Deadline, Incumbent, SolverConfig, SolverHealth, Status};
 use regalloc_ir::{verify_allocated, Cfg, Function, Liveness, LoopInfo, Profile, RegFile};
+use regalloc_obs::{Event, Phase, Tracer};
 use regalloc_x86::{Machine, X86RegFile};
 
 use crate::stats::SpillStats;
@@ -84,6 +85,11 @@ impl Rung {
             Rung::Coloring => "coloring",
             Rung::SpillAll => "spill-all",
         }
+    }
+
+    /// Inverse of [`Rung::name`] (metrics-label and cache parsing).
+    pub fn from_name(name: &str) -> Option<Rung> {
+        Rung::ALL.into_iter().find(|r| r.name() == name)
     }
 }
 
@@ -130,6 +136,26 @@ pub enum ReasonCode {
 }
 
 impl ReasonCode {
+    /// All reason codes, in declaration order.
+    pub const ALL: [ReasonCode; 11] = [
+        ReasonCode::SolverTimeout,
+        ReasonCode::SolverLimit,
+        ReasonCode::NumericalTrouble,
+        ReasonCode::Infeasible,
+        ReasonCode::Panic,
+        ReasonCode::ValidationFailed,
+        ReasonCode::EquivalenceFailed,
+        ReasonCode::StaticValidationFailed,
+        ReasonCode::DeadlineExceeded,
+        ReasonCode::RungUnavailable,
+        ReasonCode::RungFailed,
+    ];
+
+    /// Inverse of [`ReasonCode::name`] (metrics-label and cache parsing).
+    pub fn from_name(name: &str) -> Option<ReasonCode> {
+        ReasonCode::ALL.into_iter().find(|r| r.name() == name)
+    }
+
     /// Short stable name (used by the report tables).
     pub fn name(self) -> &'static str {
         match self {
@@ -277,6 +303,9 @@ pub struct AllocReport {
     pub health: SolverHealth,
     /// Branch-and-bound nodes used.
     pub solver_nodes: u64,
+    /// Total simplex iterations across every LP relaxation of the solve
+    /// (including pruned and abandoned nodes).
+    pub lp_iters: u64,
     /// Constraints in the integer program (0 if the model never built).
     pub num_constraints: usize,
     /// Decision variables in the integer program (0 if never built).
@@ -455,18 +484,27 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
 
     /// Validate a candidate: structural verification, then interpreter
     /// equivalence against the original function.
-    fn validate(&self, orig: &Function, cand: &Function) -> Result<(), (ReasonCode, String)> {
-        if let Err(errs) = verify_allocated(cand) {
-            return Err((
-                ReasonCode::ValidationFailed,
-                format!(
-                    "{} structural errors, first: {:?}",
-                    errs.len(),
-                    errs.first()
-                ),
-            ));
+    fn validate(
+        &self,
+        orig: &Function,
+        cand: &Function,
+        tracer: &Tracer,
+    ) -> Result<(), (ReasonCode, String)> {
+        {
+            let _s = tracer.span(Phase::Verify);
+            if let Err(errs) = verify_allocated(cand) {
+                return Err((
+                    ReasonCode::ValidationFailed,
+                    format!(
+                        "{} structural errors, first: {:?}",
+                        errs.len(),
+                        errs.first()
+                    ),
+                ));
+            }
         }
         if self.static_validation {
+            let _s = tracer.span(Phase::StaticValidate);
             let errs = regalloc_lint::validate(self.machine, orig, cand);
             if !errs.is_empty() {
                 return Err((
@@ -476,6 +514,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             }
         }
         if self.equiv_runs > 0 {
+            let _s = tracer.span(Phase::InterpCheck);
             check::equivalent::<RF>(orig, cand, self.equiv_runs, self.equiv_seed)
                 .map_err(|e| (ReasonCode::EquivalenceFailed, e))?;
         }
@@ -493,13 +532,30 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
     ///   allocation. Unreachable on the provided machine models unless a
     ///   fault plan sabotages the fallback itself.
     pub fn allocate(&self, f: &Function) -> Result<RobustOutcome, AllocError> {
+        self.allocate_traced(f, &Tracer::off())
+    }
+
+    /// [`RobustAllocator::allocate`] with a trace recorder: phase spans
+    /// (build → solve → rewrite → verify → static-validate →
+    /// interp-check), model/demotion/acceptance events and the solver's
+    /// own search events land on `tracer`. A disabled tracer costs one
+    /// branch per hook.
+    ///
+    /// # Errors
+    ///
+    /// See [`RobustAllocator::allocate`].
+    pub fn allocate_traced(
+        &self,
+        f: &Function,
+        tracer: &Tracer,
+    ) -> Result<RobustOutcome, AllocError> {
         if f.uses_64bit() {
             return Err(AllocError::Uses64Bit);
         }
         let cfg = Cfg::new(f);
         let loops = LoopInfo::new(f, &cfg);
         let profile = Profile::estimate(f, &cfg, &loops);
-        self.allocate_with_profile(f, &cfg, &profile)
+        self.allocate_with_profile_traced(f, &cfg, &profile, tracer)
     }
 
     /// Allocate with an externally supplied profile.
@@ -513,6 +569,22 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         cfg: &Cfg,
         profile: &Profile,
     ) -> Result<RobustOutcome, AllocError> {
+        self.allocate_with_profile_traced(f, cfg, profile, &Tracer::off())
+    }
+
+    /// [`RobustAllocator::allocate_with_profile`] with a trace recorder
+    /// (see [`RobustAllocator::allocate_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`RobustAllocator::allocate`].
+    pub fn allocate_with_profile_traced(
+        &self,
+        f: &Function,
+        cfg: &Cfg,
+        profile: &Profile,
+        tracer: &Tracer,
+    ) -> Result<RobustOutcome, AllocError> {
         if f.uses_64bit() {
             return Err(AllocError::Uses64Bit);
         }
@@ -522,6 +594,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         let mut solve_time = Duration::ZERO;
         let mut validate_time = Duration::ZERO;
         let mut solver_nodes = 0u64;
+        let mut lp_iters = 0u64;
         let mut num_constraints = 0usize;
         let mut num_vars = 0usize;
         let mut warm_kind = WarmStartKind::None;
@@ -531,38 +604,65 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         // all three need the built model.
         let faults = self.faults;
         let t0 = Instant::now();
-        let built_parts = catch_unwind(AssertUnwindSafe(|| {
-            assert!(!faults.panic_in_build, "fault injection: panic_in_build");
-            let live = Liveness::new(f, cfg);
-            let analysis = analysis::analyze(f, cfg, &live, self.machine);
-            let built = build::build_model(f, cfg, profile, &analysis, self.machine, &self.cost);
-            let warm = warm::spill_everything_assignment(f, &analysis, &built, self.machine);
-            (analysis, built, warm)
-        }));
+        let built_parts = {
+            let _s = tracer.span(Phase::Build);
+            catch_unwind(AssertUnwindSafe(|| {
+                assert!(!faults.panic_in_build, "fault injection: panic_in_build");
+                let live = Liveness::new(f, cfg);
+                let analysis = analysis::analyze(f, cfg, &live, self.machine);
+                let built =
+                    build::build_model(f, cfg, profile, &analysis, self.machine, &self.cost);
+                let warm = warm::spill_everything_assignment(f, &analysis, &built, self.machine);
+                (analysis, built, warm)
+            }))
+        };
         let build_time = t0.elapsed();
 
         macro_rules! finish {
-            ($rung:expr, $func:expr, $stats:expr, $symbolic:expr) => {
+            ($rung:expr, $func:expr, $stats:expr, $symbolic:expr) => {{
+                let rung: Rung = $rung;
+                tracer.event(|| Event::Accepted {
+                    rung: rung.name(),
+                    warm_start: warm_kind.name(),
+                });
                 return Ok(RobustOutcome {
                     func: $func,
                     stats: $stats,
                     report: AllocReport {
                         name: f.name().to_string(),
-                        rung: $rung,
+                        rung,
                         demotions,
                         build_time,
                         solve_time,
                         validate_time,
                         health,
                         solver_nodes,
+                        lp_iters,
                         num_constraints,
                         num_vars,
                         num_insts: f.num_insts(),
                         warm_start: warm_kind,
                     },
                     symbolic: $symbolic,
-                })
-            };
+                });
+            }};
+        }
+
+        // Record a demotion and mirror it as a trace event.
+        macro_rules! demote {
+            ($rung:expr, $reason:expr, $detail:expr) => {{
+                let rung: Rung = $rung;
+                let reason: ReasonCode = $reason;
+                tracer.event(|| Event::Demoted {
+                    rung: rung.name(),
+                    reason: reason.name(),
+                });
+                demotions.push(Demotion {
+                    from: rung,
+                    reason,
+                    detail: $detail,
+                });
+            }};
         }
 
         let model_rungs = match built_parts {
@@ -570,11 +670,11 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             Err(e) => {
                 let msg = panic_msg(e);
                 for rung in [Rung::IpOptimal, Rung::IpIncumbent, Rung::WarmStart] {
-                    demotions.push(Demotion {
-                        from: rung,
-                        reason: ReasonCode::Panic,
-                        detail: format!("model build panicked: {msg}"),
-                    });
+                    demote!(
+                        rung,
+                        ReasonCode::Panic,
+                        format!("model build panicked: {msg}")
+                    );
                 }
                 None
             }
@@ -584,6 +684,11 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         if let Some((analysis, built, warm_values)) = model_rungs {
             num_constraints = built.model.num_rows();
             num_vars = built.model.num_vars();
+            tracer.event(|| Event::ModelBuilt {
+                insts: f.num_insts() as u64,
+                vars: num_vars as u64,
+                constraints: num_constraints as u64,
+            });
 
             let solve_deadline = if faults.force_timeout {
                 Deadline::after(Duration::ZERO)
@@ -610,15 +715,21 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                     let proj = built.project(&donor.solution, base);
                     built.model.is_feasible(&proj).then_some(proj)
                 }));
+                let source = if donor.exact { "exact" } else { "projected" };
                 if let Ok(Some(proj)) = proj {
                     seeds.push(Incumbent {
-                        source: if donor.exact { "exact" } else { "projected" },
+                        source,
                         values: proj,
+                    });
+                } else {
+                    tracer.event(|| Event::SeedRejected {
+                        source,
+                        reason: "infeasible-projection",
                     });
                 }
             }
             let sol = catch_unwind(AssertUnwindSafe(|| {
-                solve_seeded(&built.model, &self.solver, &seeds, solve_deadline)
+                solve_seeded_traced(&built.model, &self.solver, &seeds, solve_deadline, tracer)
             }));
 
             // Each solver-derived rung is a (rung, values) candidate; the
@@ -628,6 +739,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                 Ok(sol) => {
                     solve_time = sol.solve_time;
                     solver_nodes = sol.nodes;
+                    lp_iters = sol.lp_iters;
                     health.merge(&sol.health);
                     warm_kind = match sol.incumbent_source {
                         Some("exact") => WarmStartKind::Exact,
@@ -684,22 +796,14 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                             vec![Rung::IpOptimal]
                         };
                         for rung in until {
-                            demotions.push(Demotion {
-                                from: rung,
-                                reason,
-                                detail: ip_detail.clone(),
-                            });
+                            demote!(rung, reason, ip_detail.clone());
                         }
                     }
                 }
                 Err(e) => {
                     let msg = panic_msg(e);
                     for rung in [Rung::IpOptimal, Rung::IpIncumbent] {
-                        demotions.push(Demotion {
-                            from: rung,
-                            reason: ReasonCode::Panic,
-                            detail: format!("solver panicked: {msg}"),
-                        });
+                        demote!(rung, ReasonCode::Panic, format!("solver panicked: {msg}"));
                     }
                 }
             }
@@ -708,20 +812,20 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                 // Satellite of the machine model: no admissible scratch
                 // or definition register somewhere — skip the rung
                 // instead of panicking.
-                None => demotions.push(Demotion {
-                    from: Rung::WarmStart,
-                    reason: ReasonCode::RungFailed,
-                    detail: "no admissible spill-everything warm start".to_string(),
-                }),
+                None => demote!(
+                    Rung::WarmStart,
+                    ReasonCode::RungFailed,
+                    "no admissible spill-everything warm start".to_string()
+                ),
             }
 
             for (rung, mut values) in candidates {
                 if deadline.expired() && rung != Rung::WarmStart {
-                    demotions.push(Demotion {
-                        from: rung,
-                        reason: ReasonCode::DeadlineExceeded,
-                        detail: "per-function budget expired".to_string(),
-                    });
+                    demote!(
+                        rung,
+                        ReasonCode::DeadlineExceeded,
+                        "per-function budget expired".to_string()
+                    );
                     continue;
                 }
                 // Bit-flip fault: damage solver-produced vectors only; the
@@ -734,35 +838,34 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                         }
                     }
                 }
-                let cand = catch_unwind(AssertUnwindSafe(|| {
-                    assert!(
-                        !faults.panic_in_rewrite,
-                        "fault injection: panic_in_rewrite"
-                    );
-                    rewrite::apply(f, profile, &analysis, &built, &values, self.machine)
-                }));
+                let cand = {
+                    let _s = tracer.span(Phase::Rewrite);
+                    catch_unwind(AssertUnwindSafe(|| {
+                        assert!(
+                            !faults.panic_in_rewrite,
+                            "fault injection: panic_in_rewrite"
+                        );
+                        rewrite::apply(f, profile, &analysis, &built, &values, self.machine)
+                    }))
+                };
                 let (func, stats) = match cand {
                     Ok(pair) => pair,
                     Err(e) => {
-                        demotions.push(Demotion {
-                            from: rung,
-                            reason: ReasonCode::Panic,
-                            detail: format!("rewrite panicked: {}", panic_msg(e)),
-                        });
+                        demote!(
+                            rung,
+                            ReasonCode::Panic,
+                            format!("rewrite panicked: {}", panic_msg(e))
+                        );
                         continue;
                     }
                 };
                 let tv = Instant::now();
-                let valid = self.validate(f, &func);
+                let valid = self.validate(f, &func, tracer);
                 validate_time += tv.elapsed();
                 match valid {
                     Ok(()) => finish!(rung, func, stats, Some(built.lift(&values))),
                     Err((reason, detail)) => {
-                        demotions.push(Demotion {
-                            from: rung,
-                            reason,
-                            detail,
-                        });
+                        demote!(rung, reason, detail);
                     }
                 }
             }
@@ -770,83 +873,72 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
 
         // ---- Stage 3: the graph-coloring baseline (guarded). --------------
         match self.baseline {
-            None => demotions.push(Demotion {
-                from: Rung::Coloring,
-                reason: ReasonCode::RungUnavailable,
-                detail: "no baseline allocator injected".to_string(),
-            }),
-            Some(_) if deadline.expired() => demotions.push(Demotion {
-                from: Rung::Coloring,
-                reason: ReasonCode::DeadlineExceeded,
-                detail: "per-function budget expired".to_string(),
-            }),
+            None => demote!(
+                Rung::Coloring,
+                ReasonCode::RungUnavailable,
+                "no baseline allocator injected".to_string()
+            ),
+            Some(_) if deadline.expired() => demote!(
+                Rung::Coloring,
+                ReasonCode::DeadlineExceeded,
+                "per-function budget expired".to_string()
+            ),
             Some(baseline) => {
-                let cand =
-                    catch_unwind(AssertUnwindSafe(|| baseline.allocate_baseline(f, profile)));
+                let cand = {
+                    let _s = tracer.span(Phase::Baseline);
+                    catch_unwind(AssertUnwindSafe(|| baseline.allocate_baseline(f, profile)))
+                };
                 match cand {
                     Ok(Ok((func, stats))) => {
                         let tv = Instant::now();
-                        let valid = self.validate(f, &func);
+                        let valid = self.validate(f, &func, tracer);
                         validate_time += tv.elapsed();
                         match valid {
                             Ok(()) => finish!(Rung::Coloring, func, stats, None),
-                            Err((reason, detail)) => demotions.push(Demotion {
-                                from: Rung::Coloring,
-                                reason,
-                                detail,
-                            }),
+                            Err((reason, detail)) => demote!(Rung::Coloring, reason, detail),
                         }
                     }
-                    Ok(Err(msg)) => demotions.push(Demotion {
-                        from: Rung::Coloring,
-                        reason: ReasonCode::RungFailed,
-                        detail: msg,
-                    }),
-                    Err(e) => demotions.push(Demotion {
-                        from: Rung::Coloring,
-                        reason: ReasonCode::Panic,
-                        detail: format!("baseline panicked: {}", panic_msg(e)),
-                    }),
+                    Ok(Err(msg)) => demote!(Rung::Coloring, ReasonCode::RungFailed, msg),
+                    Err(e) => demote!(
+                        Rung::Coloring,
+                        ReasonCode::Panic,
+                        format!("baseline panicked: {}", panic_msg(e))
+                    ),
                 }
             }
         }
 
         // ---- Stage 4: spill everything — the rung of last resort. ---------
         // Runs even past the deadline: code must still be emitted.
-        let cand = catch_unwind(AssertUnwindSafe(|| {
-            fallback::spill_everything(f, profile, self.machine)
-        }));
+        let cand = {
+            let _s = tracer.span(Phase::Fallback);
+            catch_unwind(AssertUnwindSafe(|| {
+                fallback::spill_everything(f, profile, self.machine)
+            }))
+        };
         match cand {
             Ok(Ok((func, stats))) => {
                 let tv = Instant::now();
-                let valid = self.validate(f, &func);
+                let valid = self.validate(f, &func, tracer);
                 validate_time += tv.elapsed();
                 match valid {
                     Ok(()) => finish!(Rung::SpillAll, func, stats, None),
                     Err((reason, detail)) => {
-                        demotions.push(Demotion {
-                            from: Rung::SpillAll,
-                            reason,
-                            detail,
-                        });
+                        demote!(Rung::SpillAll, reason, detail);
                         Err(AllocError::LadderExhausted)
                     }
                 }
             }
             Ok(Err(e)) => {
-                demotions.push(Demotion {
-                    from: Rung::SpillAll,
-                    reason: ReasonCode::RungFailed,
-                    detail: e.to_string(),
-                });
+                demote!(Rung::SpillAll, ReasonCode::RungFailed, e.to_string());
                 Err(AllocError::LadderExhausted)
             }
             Err(e) => {
-                demotions.push(Demotion {
-                    from: Rung::SpillAll,
-                    reason: ReasonCode::Panic,
-                    detail: format!("fallback panicked: {}", panic_msg(e)),
-                });
+                demote!(
+                    Rung::SpillAll,
+                    ReasonCode::Panic,
+                    format!("fallback panicked: {}", panic_msg(e))
+                );
                 Err(AllocError::LadderExhausted)
             }
         }

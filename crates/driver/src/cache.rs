@@ -43,7 +43,7 @@ use regalloc_ir::{
 
 /// First line of every cache file; bump the version to invalidate old
 /// entries wholesale on a format change.
-pub const MAGIC: &str = "regalloc-cache v2";
+pub const MAGIC: &str = "regalloc-cache v3";
 
 /// Checksum guarding an entry's payload (everything after the `check`
 /// line). Public so tooling and tests can produce well-formed entries.
@@ -89,6 +89,9 @@ pub struct CacheEntry {
     pub num_insts: usize,
     /// Branch-and-bound nodes the original solve used.
     pub solver_nodes: u64,
+    /// Simplex iterations the original solve used (all relaxations,
+    /// including pruned and abandoned nodes).
+    pub lp_iters: u64,
     /// Encoded size of the allocation, in bytes.
     pub ip_bytes: u64,
     /// The per-function solve budget actually granted when this entry was
@@ -113,27 +116,6 @@ pub struct CacheEntry {
     pub slots: Vec<SlotInfo>,
     /// The allocated function in canonical textual form.
     pub func_text: String,
-}
-
-fn rung_from_name(s: &str) -> Option<Rung> {
-    Rung::ALL.iter().copied().find(|r| r.name() == s)
-}
-
-fn reason_from_name(s: &str) -> Option<ReasonCode> {
-    const ALL: [ReasonCode; 11] = [
-        ReasonCode::SolverTimeout,
-        ReasonCode::SolverLimit,
-        ReasonCode::NumericalTrouble,
-        ReasonCode::Infeasible,
-        ReasonCode::Panic,
-        ReasonCode::ValidationFailed,
-        ReasonCode::EquivalenceFailed,
-        ReasonCode::StaticValidationFailed,
-        ReasonCode::DeadlineExceeded,
-        ReasonCode::RungUnavailable,
-        ReasonCode::RungFailed,
-    ];
-    ALL.iter().copied().find(|r| r.name() == s)
 }
 
 fn warm_from_name(s: &str) -> Option<WarmStartKind> {
@@ -182,8 +164,8 @@ impl CacheEntry {
         .unwrap();
         writeln!(
             p,
-            "model {} {} {} {}",
-            self.num_constraints, self.num_vars, self.num_insts, self.solver_nodes
+            "model {} {} {} {} {}",
+            self.num_constraints, self.num_vars, self.num_insts, self.solver_nodes, self.lp_iters
         )
         .unwrap();
         writeln!(p, "bytes {}", self.ip_bytes).unwrap();
@@ -239,14 +221,14 @@ impl CacheEntry {
         }
 
         let mut lines = payload.lines();
-        let rung = rung_from_name(lines.next()?.strip_prefix("rung ")?)?;
+        let rung = Rung::from_name(lines.next()?.strip_prefix("rung ")?)?;
         let reasons_s = lines.next()?.strip_prefix("reasons ")?;
         let reasons = if reasons_s == "-" {
             Vec::new()
         } else {
             reasons_s
                 .split(',')
-                .map(reason_from_name)
+                .map(ReasonCode::from_name)
                 .collect::<Option<Vec<_>>>()?
         };
         let st: Vec<i64> = lines
@@ -264,7 +246,7 @@ impl CacheEntry {
             .split(' ')
             .map(|v| v.parse().ok())
             .collect::<Option<Vec<_>>>()?;
-        let [num_constraints, num_vars, num_insts, solver_nodes] = md[..] else {
+        let [num_constraints, num_vars, num_insts, solver_nodes, lp_iters] = md[..] else {
             return None;
         };
         let ip_bytes: u64 = lines.next()?.strip_prefix("bytes ")?.parse().ok()?;
@@ -332,6 +314,7 @@ impl CacheEntry {
             num_vars: num_vars as usize,
             num_insts: num_insts as usize,
             solver_nodes,
+            lp_iters,
             ip_bytes,
             effective_deadline,
             fingerprint: fp,
@@ -567,6 +550,7 @@ mod tests {
             num_vars: 17,
             num_insts: 2,
             solver_nodes: 9,
+            lp_iters: 31,
             ip_bytes: 11,
             effective_deadline: Duration::from_millis(250),
             fingerprint: fingerprint(f),

@@ -69,6 +69,10 @@ use regalloc_coloring::ColoringAllocator;
 use regalloc_core::{DonorSolution, ReasonCode, RobustAllocator, Rung, SpillStats, WarmStartKind};
 use regalloc_ilp::SolverConfig;
 use regalloc_ir::{fingerprint, shape_vector, Function};
+use regalloc_obs::{
+    jsonl_events, jsonl_timings, Event, FunctionTrace, Metrics, Phase, Tracer, SIZE_BUCKETS,
+    TIME_BUCKETS,
+};
 use regalloc_x86::{Machine, X86Machine, X86RegFile};
 
 use cache::{cache_key, CacheEntry, DonorEntry, SolutionCache};
@@ -125,6 +129,12 @@ pub struct DriverConfig {
     /// Maximum shape-vector distance (relative L1, in `[0, 1]`) at which
     /// a cached solution is considered a warm-start donor.
     pub warm_start_distance: f64,
+    /// Record a structured solve trace ([`regalloc_obs::FunctionTrace`])
+    /// for every function and attach it to the result. Off by default:
+    /// the deterministic pipeline pays only a branch per hook when
+    /// disabled. Trace *events* are deterministic across `--jobs` values;
+    /// only the timing records vary.
+    pub trace: bool,
 }
 
 impl Default for DriverConfig {
@@ -147,6 +157,7 @@ impl Default for DriverConfig {
             revalidate_cache: true,
             warm_starts: true,
             warm_start_distance: 0.25,
+            trace: false,
         }
     }
 }
@@ -187,6 +198,10 @@ pub struct FunctionResult {
     pub num_insts: usize,
     /// Branch-and-bound nodes used (0 on a cache hit).
     pub solver_nodes: u64,
+    /// Simplex iterations across every LP relaxation of the solve,
+    /// including pruned and abandoned nodes (the original solve's, on a
+    /// cache hit).
+    pub lp_iters: u64,
     /// IP solve time (zero on a cache hit; a timing field, varies).
     pub solve_time: Duration,
     /// Encoded size of the accepted allocation, in bytes.
@@ -208,6 +223,12 @@ pub struct FunctionResult {
     pub lints: Vec<regalloc_lint::Diagnostic>,
     /// Graph-coloring comparison, when requested.
     pub baseline: Option<BaselineResult>,
+    /// The structured solve trace (populated when [`DriverConfig::trace`]
+    /// is set).
+    pub trace: Option<FunctionTrace>,
+    /// This task's metrics shard; [`run_suite`] merges shards in suite
+    /// order into [`SuiteOutcome::metrics`].
+    pub metrics: Metrics,
     /// Set when the ladder itself failed (effectively unreachable
     /// without fault injection).
     pub error: Option<String>,
@@ -304,6 +325,10 @@ pub struct SuiteOutcome {
     pub results: Vec<FunctionResult>,
     /// Aggregate accounting.
     pub stats: DriverStats,
+    /// Per-task metric shards merged in suite order, plus suite-level
+    /// gauges. Counter and histogram totals here are the authoritative
+    /// aggregates (the report tables derive from this registry).
+    pub metrics: Metrics,
 }
 
 fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
@@ -318,6 +343,7 @@ fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         num_vars: 0,
         num_insts: f.num_insts(),
         solver_nodes: 0,
+        lp_iters: 0,
         solve_time: Duration::ZERO,
         ip_bytes: 0,
         cache_hit: false,
@@ -327,8 +353,187 @@ fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         task_time: Duration::ZERO,
         lints: Vec::new(),
         baseline: None,
+        trace: None,
+        metrics: Metrics::default(),
         error: None,
     }
+}
+
+/// Emit one `LintFindings` event per diagnostic code (sorted by slug).
+fn note_lints(tracer: &Tracer, lints: &[regalloc_lint::Diagnostic]) {
+    if !tracer.is_on() || lints.is_empty() {
+        return;
+    }
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for d in lints {
+        *counts.entry(d.code.slug).or_insert(0) += 1;
+    }
+    for (code, count) in counts {
+        tracer.event(|| Event::LintFindings { code, count });
+    }
+}
+
+/// Build one task's metrics shard from its finished result.
+/// `cache_outcome` is the lookup disposition (`hit` / `miss` / `stale` /
+/// `rejected`), absent when the cache is off.
+fn task_metrics(r: &FunctionResult, cache_outcome: Option<&'static str>) -> Metrics {
+    let mut m = Metrics::new();
+    m.inc("regalloc_functions_total", &[], 1);
+    m.observe(
+        "regalloc_function_insts",
+        &[],
+        SIZE_BUCKETS,
+        r.num_insts as f64,
+    );
+    if let Some(outcome) = cache_outcome {
+        m.inc("regalloc_cache_events_total", &[("outcome", outcome)], 1);
+    }
+    if !r.attempted {
+        return m;
+    }
+    m.inc("regalloc_functions_attempted_total", &[], 1);
+    if r.solved() {
+        m.inc("regalloc_functions_solved_total", &[], 1);
+    }
+    if r.solved_optimally() {
+        m.inc("regalloc_functions_optimal_total", &[], 1);
+    }
+    if let Some(rung) = r.rung {
+        m.inc("regalloc_rung_functions_total", &[("rung", rung.name())], 1);
+    }
+    for reason in &r.reasons {
+        m.inc("regalloc_demotions_total", &[("reason", reason.name())], 1);
+    }
+    if !r.cache_hit && r.warm_start != WarmStartKind::None {
+        m.inc(
+            "regalloc_warm_starts_total",
+            &[("kind", r.warm_start.name())],
+            1,
+        );
+    }
+    m.inc("regalloc_solver_nodes_total", &[], r.solver_nodes);
+    m.inc("regalloc_solver_lp_iters_total", &[], r.lp_iters);
+    for d in &r.lints {
+        m.inc("regalloc_lint_findings_total", &[("code", d.code.slug)], 1);
+    }
+    if r.num_vars > 0 {
+        m.observe("regalloc_model_vars", &[], SIZE_BUCKETS, r.num_vars as f64);
+        m.observe(
+            "regalloc_model_constraints",
+            &[],
+            SIZE_BUCKETS,
+            r.num_constraints as f64,
+        );
+    }
+    if let Some(t) = &r.trace {
+        for (phase, d) in &t.phase_times {
+            m.observe(
+                "regalloc_phase_seconds",
+                &[("phase", phase.name())],
+                TIME_BUCKETS,
+                d.as_secs_f64(),
+            );
+        }
+    }
+    m
+}
+
+/// Render the suite's traces as JSONL: every function's deterministic
+/// event records first (suite order), then every timing record. Consumers
+/// strip the timing section with the single predicate
+/// `"type" == "timing"` — that is what the `--jobs` determinism guarantee
+/// covers.
+pub fn trace_jsonl(out: &SuiteOutcome) -> String {
+    let mut s = String::new();
+    for r in &out.results {
+        if let Some(t) = &r.trace {
+            jsonl_events(&mut s, t);
+        }
+    }
+    for r in &out.results {
+        if let Some(t) = &r.trace {
+            jsonl_timings(&mut s, t);
+        }
+    }
+    s
+}
+
+/// The `--profile` self-profiling report: per-phase wall-time, cache and
+/// warm-start traffic, and the degradation ladder by rung and reason.
+/// Requires [`DriverConfig::trace`] for the phase table (phase times ride
+/// on the traces); the rest comes from the merged metrics registry.
+pub fn profile_report(out: &SuiteOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let mut totals: Vec<(Phase, f64, usize)> = Phase::ALL.iter().map(|&p| (p, 0.0, 0)).collect();
+    for r in &out.results {
+        if let Some(t) = &r.trace {
+            for (p, d) in &t.phase_times {
+                let slot = totals.iter_mut().find(|(x, _, _)| x == p).unwrap();
+                slot.1 += d.as_secs_f64();
+                slot.2 += 1;
+            }
+        }
+    }
+    let cpu = out.stats.cpu_time.as_secs_f64();
+    if totals.iter().any(|(_, secs, _)| *secs > 0.0) {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10} {:>7} {:>6}",
+            "phase", "seconds", "share", "fns"
+        );
+        for (p, secs, fns) in &totals {
+            if *fns > 0 {
+                let _ = writeln!(
+                    s,
+                    "{:<16} {:>10.3} {:>6.1}% {:>6}",
+                    p.name(),
+                    secs,
+                    100.0 * secs / cpu.max(1e-9),
+                    fns
+                );
+            }
+        }
+        let _ = writeln!(
+            s,
+            "(presolve and simplex are sub-phases of solve; shares overlap)"
+        );
+        s.push('\n');
+    }
+    let st = &out.stats;
+    let _ = writeln!(
+        s,
+        "cache: {} hits / {} misses ({:.0}% hit rate), {} rejected",
+        st.cache_hits,
+        st.cache_misses,
+        st.hit_rate() * 100.0,
+        st.cache_rejected
+    );
+    let cold = st
+        .cache_misses
+        .saturating_sub(st.warm_exact + st.warm_projected);
+    let _ = writeln!(
+        s,
+        "warm starts: {} exact / {} projected / {} cold",
+        st.warm_exact, st.warm_projected, cold
+    );
+    let rungs: Vec<String> = st
+        .rungs
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(r, n)| format!("{} {}", r.name(), n))
+        .collect();
+    let _ = writeln!(s, "rungs: {}", rungs.join("  "));
+    let demotions = out
+        .metrics
+        .counter_by_label("regalloc_demotions_total", "reason");
+    if !demotions.is_empty() {
+        let _ = writeln!(s, "demotions by reason:");
+        for (reason, n) in demotions {
+            let _ = writeln!(s, "  {reason:<26} {n}");
+        }
+    }
+    s
 }
 
 /// Allocate every function of a suite through the parallel service.
@@ -360,185 +565,235 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         funcs.len(),
     );
 
-    let run_one = |i: usize, f: &Function| -> FunctionResult {
-        let t0 = Instant::now();
-        let estimate = sched.estimates[i];
-        if f.uses_64bit() {
-            governor.skip();
-            return not_attempted(f, estimate);
-        }
-        let baseline = cfg.compare_baseline.then(|| {
-            let c = gc
-                .allocate(f)
-                .expect("baseline allocates attempted functions");
-            let bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
-            BaselineResult {
-                func: c.func,
-                stats: c.stats,
-                bytes,
+    let run_inner =
+        |i: usize, f: &Function, tracer: &Tracer| -> (FunctionResult, Option<&'static str>) {
+            let t0 = Instant::now();
+            let estimate = sched.estimates[i];
+            if f.uses_64bit() {
+                governor.skip();
+                return (not_attempted(f, estimate), None);
             }
-        });
+            let baseline = cfg.compare_baseline.then(|| {
+                let c = gc
+                    .allocate(f)
+                    .expect("baseline allocates attempted functions");
+                let bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
+                BaselineResult {
+                    func: c.func,
+                    stats: c.stats,
+                    bytes,
+                }
+            });
 
-        let key = cache_key(f, machine.name(), &cfg.solver);
-        if let Some(cache) = &cache {
-            if let Some(hit) = cache.lookup(key) {
-                // An entry that degraded below the IP-optimal rung under a
-                // smaller budget than the one now configured can plausibly
-                // do better today: treat it as a miss and re-solve (the
-                // key deliberately ignores the governed deadline so this
-                // judgment happens here). The entry stays in place — it
-                // may still donate its symbolic solution.
-                let stale_deadline = hit.entry.rung != Rung::IpOptimal
-                    && hit.entry.effective_deadline < cfg.function_budget;
-                // The cache's own structural re-verification has passed;
-                // the static translation validator additionally proves the
-                // stored code computes *this* function's values. A failure
-                // means the entry was stale or corrupt: evict and resolve.
-                if cfg.revalidate_cache
-                    && !regalloc_lint::validate(&machine, f, &hit.func).is_empty()
-                {
-                    cache.reject(key);
-                } else if stale_deadline {
-                    // Fall through to a fresh solve below.
-                } else {
-                    governor.skip();
+            let key = cache_key(f, machine.name(), &cfg.solver);
+            let mut cache_outcome = cache.as_ref().map(|_| "miss");
+            if let Some(cache) = &cache {
+                let hit = {
+                    let _c = tracer.time(Phase::Cache);
+                    cache.lookup(key)
+                };
+                if let Some(hit) = hit {
+                    // An entry that degraded below the IP-optimal rung under a
+                    // smaller budget than the one now configured can plausibly
+                    // do better today: treat it as a miss and re-solve (the
+                    // key deliberately ignores the governed deadline so this
+                    // judgment happens here). The entry stays in place — it
+                    // may still donate its symbolic solution.
+                    let stale_deadline = hit.entry.rung != Rung::IpOptimal
+                        && hit.entry.effective_deadline < cfg.function_budget;
+                    // The cache's own structural re-verification has passed;
+                    // the static translation validator additionally proves the
+                    // stored code computes *this* function's values. A failure
+                    // means the entry was stale or corrupt: evict and resolve.
+                    let revalidation_failed = cfg.revalidate_cache && {
+                        let _c = tracer.time(Phase::Cache);
+                        !regalloc_lint::validate(&machine, f, &hit.func).is_empty()
+                    };
+                    if revalidation_failed {
+                        cache.reject(key);
+                        cache_outcome = Some("rejected");
+                    } else if stale_deadline {
+                        cache_outcome = Some("stale");
+                    } else {
+                        governor.skip();
+                        tracer.event(|| Event::CacheLookup { outcome: "hit" });
+                        let lints = if cfg.lint {
+                            let _l = tracer.time(Phase::Lint);
+                            regalloc_lint::lint_allocation(&machine, f, &hit.func)
+                        } else {
+                            Vec::new()
+                        };
+                        note_lints(tracer, &lints);
+                        let result = FunctionResult {
+                            name: f.name().to_string(),
+                            attempted: true,
+                            func: Some(hit.func),
+                            stats: hit.entry.stats,
+                            rung: Some(hit.entry.rung),
+                            reasons: hit.entry.reasons,
+                            num_constraints: hit.entry.num_constraints,
+                            num_vars: hit.entry.num_vars,
+                            num_insts: hit.entry.num_insts,
+                            solver_nodes: hit.entry.solver_nodes,
+                            lp_iters: hit.entry.lp_iters,
+                            solve_time: Duration::ZERO,
+                            ip_bytes: hit.entry.ip_bytes,
+                            cache_hit: true,
+                            warm_start: hit.entry.warm_start,
+                            granted_budget: cfg.function_budget,
+                            estimate,
+                            task_time: t0.elapsed(),
+                            lints,
+                            baseline,
+                            trace: None,
+                            metrics: Metrics::default(),
+                            error: None,
+                        };
+                        return (result, Some("hit"));
+                    }
+                }
+            }
+            if let Some(outcome) = cache_outcome {
+                tracer.event(|| Event::CacheLookup { outcome });
+            }
+
+            // Nearest-neighbour donor lookup: the frozen snapshot's closest
+            // shape within the distance threshold, ties broken by fingerprint
+            // for determinism. An exact fingerprint match means the donor
+            // solved this very body (under a different solver configuration
+            // or before a stale-deadline re-solve) and lowers rather than
+            // projects.
+            let fp = fingerprint(f);
+            let shape = shape_vector(f);
+            let donor = donors
+                .iter()
+                .map(|d| (d.shape.distance(&shape), d))
+                .filter(|(dist, _)| *dist <= cfg.warm_start_distance)
+                .min_by(|a, b| {
+                    a.0.total_cmp(&b.0)
+                        .then_with(|| a.1.fingerprint.cmp(&b.1.fingerprint))
+                })
+                .map(|(_, d)| DonorSolution {
+                    exact: d.fingerprint == fp,
+                    solution: d.solution.clone(),
+                });
+
+            let granted = governor.grant();
+            let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+                .with_solver_config(cfg.solver.clone())
+                .with_budget(granted)
+                .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
+                .with_baseline(&gc)
+                .with_donor(donor);
+            let outcome = match robust.allocate_traced(f, tracer) {
+                Ok(out) => {
+                    let ip_bytes = {
+                        let _e = tracer.time(Phase::Encode);
+                        regalloc_x86::encoding::function_size(&machine, &out.func)
+                    };
                     let lints = if cfg.lint {
-                        regalloc_lint::lint_allocation(&machine, f, &hit.func)
+                        let _l = tracer.time(Phase::Lint);
+                        regalloc_lint::lint_allocation(&machine, f, &out.func)
                     } else {
                         Vec::new()
                     };
-                    return FunctionResult {
+                    note_lints(tracer, &lints);
+                    let reasons: Vec<ReasonCode> =
+                        out.report.demotions.iter().map(|d| d.reason).collect();
+                    if let Some(cache) = &cache {
+                        let _c = tracer.time(Phase::Cache);
+                        cache.store(
+                            key,
+                            CacheEntry {
+                                rung: out.report.rung,
+                                reasons: reasons.clone(),
+                                stats: out.stats,
+                                num_constraints: out.report.num_constraints,
+                                num_vars: out.report.num_vars,
+                                num_insts: out.report.num_insts,
+                                solver_nodes: out.report.solver_nodes,
+                                lp_iters: out.report.lp_iters,
+                                ip_bytes,
+                                effective_deadline: granted,
+                                fingerprint: fp,
+                                shape,
+                                warm_start: out.report.warm_start,
+                                symbolic: out.symbolic.clone(),
+                                slots: out.func.slots().to_vec(),
+                                func_text: format!("{}\n", out.func),
+                            },
+                        );
+                    }
+                    FunctionResult {
                         name: f.name().to_string(),
                         attempted: true,
-                        func: Some(hit.func),
-                        stats: hit.entry.stats,
-                        rung: Some(hit.entry.rung),
-                        reasons: hit.entry.reasons,
-                        num_constraints: hit.entry.num_constraints,
-                        num_vars: hit.entry.num_vars,
-                        num_insts: hit.entry.num_insts,
-                        solver_nodes: hit.entry.solver_nodes,
-                        solve_time: Duration::ZERO,
-                        ip_bytes: hit.entry.ip_bytes,
-                        cache_hit: true,
-                        warm_start: hit.entry.warm_start,
-                        granted_budget: cfg.function_budget,
+                        func: Some(out.func),
+                        stats: out.stats,
+                        rung: Some(out.report.rung),
+                        reasons,
+                        num_constraints: out.report.num_constraints,
+                        num_vars: out.report.num_vars,
+                        num_insts: out.report.num_insts,
+                        solver_nodes: out.report.solver_nodes,
+                        lp_iters: out.report.lp_iters,
+                        solve_time: out.report.solve_time,
+                        ip_bytes,
+                        cache_hit: false,
+                        warm_start: out.report.warm_start,
+                        granted_budget: granted,
                         estimate,
                         task_time: t0.elapsed(),
                         lints,
                         baseline,
+                        trace: None,
+                        metrics: Metrics::default(),
                         error: None,
-                    };
+                    }
                 }
-            }
-        }
-
-        // Nearest-neighbour donor lookup: the frozen snapshot's closest
-        // shape within the distance threshold, ties broken by fingerprint
-        // for determinism. An exact fingerprint match means the donor
-        // solved this very body (under a different solver configuration
-        // or before a stale-deadline re-solve) and lowers rather than
-        // projects.
-        let fp = fingerprint(f);
-        let shape = shape_vector(f);
-        let donor = donors
-            .iter()
-            .map(|d| (d.shape.distance(&shape), d))
-            .filter(|(dist, _)| *dist <= cfg.warm_start_distance)
-            .min_by(|a, b| {
-                a.0.total_cmp(&b.0)
-                    .then_with(|| a.1.fingerprint.cmp(&b.1.fingerprint))
-            })
-            .map(|(_, d)| DonorSolution {
-                exact: d.fingerprint == fp,
-                solution: d.solution.clone(),
-            });
-
-        let granted = governor.grant();
-        let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
-            .with_solver_config(cfg.solver.clone())
-            .with_budget(granted)
-            .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
-            .with_baseline(&gc)
-            .with_donor(donor);
-        match robust.allocate(f) {
-            Ok(out) => {
-                let ip_bytes = regalloc_x86::encoding::function_size(&machine, &out.func);
-                let lints = if cfg.lint {
-                    regalloc_lint::lint_allocation(&machine, f, &out.func)
-                } else {
-                    Vec::new()
-                };
-                let reasons: Vec<ReasonCode> =
-                    out.report.demotions.iter().map(|d| d.reason).collect();
-                if let Some(cache) = &cache {
-                    cache.store(
-                        key,
-                        CacheEntry {
-                            rung: out.report.rung,
-                            reasons: reasons.clone(),
-                            stats: out.stats,
-                            num_constraints: out.report.num_constraints,
-                            num_vars: out.report.num_vars,
-                            num_insts: out.report.num_insts,
-                            solver_nodes: out.report.solver_nodes,
-                            ip_bytes,
-                            effective_deadline: granted,
-                            fingerprint: fp,
-                            shape,
-                            warm_start: out.report.warm_start,
-                            symbolic: out.symbolic.clone(),
-                            slots: out.func.slots().to_vec(),
-                            func_text: format!("{}\n", out.func),
-                        },
-                    );
-                }
-                FunctionResult {
+                Err(e) => FunctionResult {
                     name: f.name().to_string(),
                     attempted: true,
-                    func: Some(out.func),
-                    stats: out.stats,
-                    rung: Some(out.report.rung),
-                    reasons,
-                    num_constraints: out.report.num_constraints,
-                    num_vars: out.report.num_vars,
-                    num_insts: out.report.num_insts,
-                    solver_nodes: out.report.solver_nodes,
-                    solve_time: out.report.solve_time,
-                    ip_bytes,
+                    func: None,
+                    stats: SpillStats::default(),
+                    rung: None,
+                    reasons: Vec::new(),
+                    num_constraints: 0,
+                    num_vars: 0,
+                    num_insts: f.num_insts(),
+                    solver_nodes: 0,
+                    lp_iters: 0,
+                    solve_time: Duration::ZERO,
+                    ip_bytes: 0,
                     cache_hit: false,
-                    warm_start: out.report.warm_start,
+                    warm_start: WarmStartKind::None,
                     granted_budget: granted,
                     estimate,
                     task_time: t0.elapsed(),
-                    lints,
+                    lints: Vec::new(),
                     baseline,
-                    error: None,
-                }
-            }
-            Err(e) => FunctionResult {
-                name: f.name().to_string(),
-                attempted: true,
-                func: None,
-                stats: SpillStats::default(),
-                rung: None,
-                reasons: Vec::new(),
-                num_constraints: 0,
-                num_vars: 0,
-                num_insts: f.num_insts(),
-                solver_nodes: 0,
-                solve_time: Duration::ZERO,
-                ip_bytes: 0,
-                cache_hit: false,
-                warm_start: WarmStartKind::None,
-                granted_budget: granted,
-                estimate,
-                task_time: t0.elapsed(),
-                lints: Vec::new(),
-                baseline,
-                error: Some(e.to_string()),
-            },
+                    trace: None,
+                    metrics: Metrics::default(),
+                    error: Some(e.to_string()),
+                },
+            };
+            (outcome, cache_outcome)
+        };
+
+    // Seal each task: drain its tracer into the result and build its
+    // metrics shard. Shards are merged in *suite order* at reassembly, so
+    // the registry is independent of worker count and completion order.
+    let run_one = |i: usize, f: &Function| -> FunctionResult {
+        let tracer = if cfg.trace {
+            Tracer::on()
+        } else {
+            Tracer::off()
+        };
+        let (mut r, cache_outcome) = run_inner(i, f, &tracer);
+        if cfg.trace {
+            r.trace = Some(tracer.finish(&r.name));
         }
+        r.metrics = task_metrics(&r, cache_outcome);
+        r
     };
 
     let start = Instant::now();
@@ -575,5 +830,19 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         rungs,
         worker_busy: pool_stats.busy,
     };
-    SuiteOutcome { results, stats }
+    let mut metrics = Metrics::new();
+    for r in &results {
+        metrics.merge(&r.metrics);
+    }
+    // Lookup-level rejections ("rejected" shard events) miss entries the
+    // cache itself dropped during parse/realize; the cache's own counter
+    // is authoritative, recorded as a suite-level gauge.
+    metrics.set_gauge("regalloc_cache_rejected", &[], stats.cache_rejected as f64);
+    metrics.set_gauge("regalloc_suite_functions", &[], funcs.len() as f64);
+    metrics.set_gauge("regalloc_jobs", &[], stats.jobs as f64);
+    SuiteOutcome {
+        results,
+        stats,
+        metrics,
+    }
 }

@@ -18,7 +18,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use regalloc_driver::{run_suite, CacheMode, DriverConfig, SuiteOutcome};
+use regalloc_driver::{
+    profile_report, run_suite, trace_jsonl, CacheMode, DriverConfig, SuiteOutcome,
+};
 use regalloc_ir::Function;
 use regalloc_lint::{code_by_name, Code, Report};
 use regalloc_workloads::{Benchmark, Suite};
@@ -33,6 +35,8 @@ options:
   --budget-secs S      global wall-clock budget for the whole run
   --function-budget S  per-function wall-clock ceiling (default 8)
   --time-limit S       IP solver time limit per solve (default 2)
+  --node-limit N       branch-and-bound node limit per solve
+  --lp-iter-limit N    total simplex iteration limit per solve
   --scale F            workload scale factor (default 0.1)
   --seed N             workload generator seed (default 1998)
   --cache-dir DIR      persistent cache directory (default results/cache)
@@ -49,6 +53,12 @@ options:
   --lint-out FILE      write the lint report to FILE instead of stdout
   --deny CODE          exit nonzero if lint CODE fires (id like L001 or
                        slug like dead-spill-store; repeatable)
+  --trace-out FILE     write the structured solve trace as JSONL (event
+                       records first, then `\"type\":\"timing\"` records)
+  --metrics-out FILE   write the merged metrics registry in Prometheus
+                       text exposition format
+  --profile            print a self-profiling report (per-phase time,
+                       cache/warm-start traffic, degradation ladder)
   --no-timing          suppress the non-deterministic timing section
   --help               this text";
 
@@ -70,6 +80,9 @@ struct Cli {
     lint_format: LintFormat,
     lint_out: Option<PathBuf>,
     deny: Vec<Code>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    profile: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -87,6 +100,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         lint_format: LintFormat::Text,
         lint_out: None,
         deny: Vec::new(),
+        trace_out: None,
+        metrics_out: None,
+        profile: false,
     };
     cli.cfg.compare_baseline = false;
     let mut it = args.iter();
@@ -120,6 +136,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--time-limit: {e}"))?;
                 cli.cfg.solver.time_limit = Duration::from_secs_f64(s);
+            }
+            "--node-limit" => {
+                cli.cfg.solver.node_limit = value("--node-limit")?
+                    .parse()
+                    .map_err(|e| format!("--node-limit: {e}"))?
+            }
+            "--lp-iter-limit" => {
+                cli.cfg.solver.lp_iter_limit = value("--lp-iter-limit")?
+                    .parse()
+                    .map_err(|e| format!("--lp-iter-limit: {e}"))?
             }
             "--scale" => {
                 cli.scale = value("--scale")?
@@ -174,6 +200,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     code_by_name(&name)
                         .ok_or_else(|| format!("--deny: unknown diagnostic code `{name}`"))?,
                 );
+            }
+            "--trace-out" => {
+                cli.cfg.trace = true;
+                cli.trace_out = Some(PathBuf::from(value("--trace-out")?));
+            }
+            "--metrics-out" => {
+                cli.cfg.trace = true;
+                cli.metrics_out = Some(PathBuf::from(value("--metrics-out")?));
+            }
+            "--profile" => {
+                cli.cfg.trace = true;
+                cli.profile = true;
             }
             "--no-timing" => cli.timing = false,
             other if other.starts_with('-') => {
@@ -409,6 +447,22 @@ fn main() -> ExitCode {
     }
     if cli.timing {
         print_timing(&out);
+    }
+    if cli.profile {
+        println!();
+        print!("{}", profile_report(&out));
+    }
+    if let Some(path) = &cli.trace_out {
+        if let Err(e) = std::fs::write(path, trace_jsonl(&out)) {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &cli.metrics_out {
+        if let Err(e) = std::fs::write(path, out.metrics.to_prometheus()) {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(path) = &cli.dump_allocs {
         if let Err(msg) = dump_allocs(path, &out) {

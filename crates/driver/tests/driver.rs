@@ -49,6 +49,7 @@ fn fast_config() -> DriverConfig {
         // warm starts get their own test file (`warm_start.rs`).
         warm_starts: false,
         warm_start_distance: 0.25,
+        trace: false,
     }
 }
 

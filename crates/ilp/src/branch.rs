@@ -2,7 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use crate::health::{Deadline, SolverHealth};
+use regalloc_obs::{Event, Phase, Tracer};
+
+use crate::health::{Deadline, HealthState, SolverHealth};
 use crate::model::Model;
 use crate::presolve::{propagate, Propagation};
 use crate::simplex::{solve_lp, LpOutcome};
@@ -54,6 +56,19 @@ pub enum Status {
     /// than by resource exhaustion. The caller should not retry with a
     /// bigger budget; it should degrade to a non-IP allocation.
     NumericalTrouble,
+}
+
+impl Status {
+    /// Stable name used in trace events and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Optimal => "optimal",
+            Status::Feasible => "feasible",
+            Status::Infeasible => "infeasible",
+            Status::Unknown => "unknown",
+            Status::NumericalTrouble => "numerical-trouble",
+        }
+    }
 }
 
 /// A candidate incumbent handed to the solver before the search starts.
@@ -114,7 +129,10 @@ pub struct Solution {
     /// the search pruned against, even when a better solution was found
     /// later.
     pub incumbent_source: Option<&'static str>,
-    /// Total simplex iterations.
+    /// Total simplex iterations across every LP relaxation touched by
+    /// the solve — including the dive heuristic and nodes whose
+    /// relaxation was abandoned or proved infeasible (their iterations
+    /// used to be dropped from the accounting).
     pub lp_iters: u64,
     /// Wall-clock time spent.
     pub solve_time: Duration,
@@ -148,11 +166,29 @@ fn round_point(x: &[f64]) -> Vec<bool> {
     x.iter().map(|v| *v >= 0.5).collect()
 }
 
+/// Emit a `Health` transition event when the coarse health state moved
+/// since the last observation. Checked between LP relaxations (not inside
+/// the simplex loop) so the hot path stays untouched.
+fn note_health(tracer: &Tracer, prev: &mut HealthState, health: &SolverHealth) {
+    let now = health.state();
+    if now != *prev {
+        let from = prev.name();
+        tracer.event(|| Event::Health {
+            from,
+            to: now.name(),
+        });
+        *prev = now;
+    }
+}
+
 /// LP-guided diving: repeatedly solve the relaxation, freeze the
 /// (nearly-)integral variables, and fix the least-fractional remaining
 /// variable to its nearest bound, until the point is integral or the
 /// dive dead-ends. A strong primal heuristic for these network-like
 /// models, whose LP optima are close to integral.
+///
+/// Returns the candidate (if any) plus the simplex iterations the dive
+/// consumed, so the caller can attribute them to the solve totals.
 fn dive(
     model: &Model,
     lb0: &[f64],
@@ -160,9 +196,11 @@ fn dive(
     cfg: &SolverConfig,
     deadline: Deadline,
     health: &mut SolverHealth,
-) -> Option<(Vec<bool>, f64)> {
+    tracer: &Tracer,
+) -> (Option<(Vec<bool>, f64)>, u64) {
     let mut lb = lb0.to_vec();
     let mut ub = ub0.to_vec();
+    let mut iters = 0u64;
     // When a fix dead-ends, retry once with the opposite value before
     // giving up (fractional action variables often round down onto an
     // unsatisfiable must-allocate row).
@@ -170,17 +208,22 @@ fn dive(
     let mut backtracks = 0u32;
     for _ in 0..(2 * model.num_vars()).max(16) {
         if deadline.expired() {
-            return None;
+            return (None, iters);
         }
-        let feasible = matches!(propagate(model, &mut lb, &mut ub), Propagation::Ok);
+        let feasible = {
+            let _t = tracer.time(Phase::Presolve);
+            matches!(propagate(model, &mut lb, &mut ub), Propagation::Ok)
+        };
         let lp = if feasible {
+            let _t = tracer.time(Phase::Simplex);
             solve_lp(model, &lb, &ub, cfg.lp_iter_limit, deadline, health)
         } else {
-            LpOutcome::Infeasible
+            LpOutcome::Infeasible { iters: 0 }
         };
+        iters += lp.iters();
         let x = match lp {
             LpOutcome::Optimal { x, .. } => x,
-            LpOutcome::Infeasible => {
+            LpOutcome::Infeasible { .. } => {
                 // One-level backtrack: flip the last dive fix.
                 match retry.take() {
                     Some((plb, pub_, j, r)) if backtracks < 32 => {
@@ -191,10 +234,10 @@ fn dive(
                         ub[j] = 1.0 - r;
                         continue;
                     }
-                    _ => return None,
+                    _ => return (None, iters),
                 }
             }
-            LpOutcome::Limit | LpOutcome::Numerical => return None,
+            LpOutcome::Limit { .. } | LpOutcome::Numerical { .. } => return (None, iters),
         };
         // Freeze everything already integral.
         let mut best: Option<(usize, f64)> = None; // least fractional
@@ -216,9 +259,9 @@ fn dive(
             let cand = round_point(&x);
             if model.is_feasible(&cand) {
                 let obj = model.objective(&cand);
-                return Some((cand, obj));
+                return (Some((cand, obj)), iters);
             }
-            return None;
+            return (None, iters);
         }
         let (j, _) = best.unwrap();
         let r = if x[j] >= 0.5 { 1.0 } else { 0.0 };
@@ -226,7 +269,7 @@ fn dive(
         lb[j] = r;
         ub[j] = r;
     }
-    None
+    (None, iters)
 }
 
 /// Solve the 0-1 program `model`.
@@ -258,7 +301,7 @@ pub fn solve_with_deadline(
             }]
         })
         .unwrap_or_default();
-    solve_inner(model, cfg, &seeds, deadline)
+    solve_inner(model, cfg, &seeds, deadline, &Tracer::off())
 }
 
 /// [`solve_with_deadline`] with incumbents drawn from an injected
@@ -271,7 +314,30 @@ pub fn solve_seeded(
     source: &dyn WarmStartSource,
     deadline: Deadline,
 ) -> Solution {
-    solve_inner(model, cfg, &source.incumbents(model), deadline)
+    solve_inner(
+        model,
+        cfg,
+        &source.incumbents(model),
+        deadline,
+        &Tracer::off(),
+    )
+}
+
+/// [`solve_seeded`] with a trace recorder. When the tracer is enabled the
+/// search emits seed acceptance/rejection, dive, per-node (with the
+/// simplex iterations each node consumed, pruned or not), incumbent
+/// improvement, health transition and final `SolveDone` events, and
+/// attributes presolve/simplex/solve wall-clock time to the tracer's
+/// phase accumulators. A disabled tracer ([`Tracer::off`]) costs one
+/// branch per hook and the search behaves identically.
+pub fn solve_seeded_traced(
+    model: &Model,
+    cfg: &SolverConfig,
+    source: &dyn WarmStartSource,
+    deadline: Deadline,
+    tracer: &Tracer,
+) -> Solution {
+    solve_inner(model, cfg, &source.incumbents(model), deadline, tracer)
 }
 
 fn solve_inner(
@@ -279,21 +345,47 @@ fn solve_inner(
     cfg: &SolverConfig,
     incumbents: &[Incumbent],
     deadline: Deadline,
+    tracer: &Tracer,
 ) -> Solution {
     let start = Instant::now();
     let deadline = deadline.earliest(Deadline::after(cfg.time_limit));
     let mut health = SolverHealth::default();
+    let mut hstate = HealthState::Healthy;
     let n = model.num_vars();
+    tracer.event(|| Event::SpanStart {
+        phase: Phase::Solve,
+    });
 
     let mut best: Option<(Vec<bool>, f64)> = None;
     let mut incumbent_source: Option<&'static str> = None;
     for inc in incumbents {
-        if inc.values.len() == n && model.is_feasible(&inc.values) {
-            let obj = model.objective(&inc.values);
-            if best.as_ref().is_none_or(|(_, b)| obj < *b - 1e-9) {
-                best = Some((inc.values.clone(), obj));
-                incumbent_source = Some(inc.source);
-            }
+        if inc.values.len() != n {
+            tracer.event(|| Event::SeedRejected {
+                source: inc.source,
+                reason: "wrong-size",
+            });
+            continue;
+        }
+        if !model.is_feasible(&inc.values) {
+            tracer.event(|| Event::SeedRejected {
+                source: inc.source,
+                reason: "infeasible",
+            });
+            continue;
+        }
+        let obj = model.objective(&inc.values);
+        if best.as_ref().is_none_or(|(_, b)| obj < *b - 1e-9) {
+            tracer.event(|| Event::SeedAccepted {
+                source: inc.source,
+                objective: obj,
+            });
+            best = Some((inc.values.clone(), obj));
+            incumbent_source = Some(inc.source);
+        } else {
+            tracer.event(|| Event::SeedRejected {
+                source: inc.source,
+                reason: "dominated",
+            });
         }
     }
     let mut warm_start_only = best.is_some();
@@ -303,10 +395,21 @@ fn solve_inner(
     let integral = model.has_integral_costs();
     let finish = |status: Status,
                   best: Option<(Vec<bool>, f64)>,
-                  nodes,
-                  lp_iters,
+                  nodes: u64,
+                  lp_iters: u64,
                   warm_start_only: bool,
                   health: SolverHealth| {
+        let solve_time = start.elapsed();
+        tracer.add_time(Phase::Solve, solve_time);
+        tracer.event(|| Event::SolveDone {
+            status: status.name(),
+            nodes,
+            lp_iters,
+            warm_start_only,
+        });
+        tracer.event(|| Event::SpanEnd {
+            phase: Phase::Solve,
+        });
         let (values, objective) = best.unwrap_or((Vec::new(), f64::INFINITY));
         Solution {
             status,
@@ -316,7 +419,7 @@ fn solve_inner(
             lp_iters,
             warm_start_only,
             incumbent_source,
-            solve_time: start.elapsed(),
+            solve_time,
             health,
         }
     };
@@ -334,18 +437,36 @@ fn solve_inner(
     // start, when provided, is typically a weak spill-everything bound).
     {
         let dive_deadline = deadline.earliest(Deadline::after(cfg.time_limit.mul_f64(0.8)));
-        if let Some((cand, obj)) = dive(
+        let (dived, dive_iters) = dive(
             model,
             &vec![0.0; n],
             &vec![1.0; n],
             cfg,
             dive_deadline,
             &mut health,
-        ) {
+            tracer,
+        );
+        lp_iters += dive_iters;
+        note_health(tracer, &mut hstate, &health);
+        let mut improved = false;
+        if let Some((cand, obj)) = dived {
             if best.as_ref().is_none_or(|(_, inc)| obj < *inc - 1e-9) {
                 best = Some((cand, obj));
+                improved = true;
             }
             warm_start_only = false;
+        }
+        tracer.event(|| Event::Dive {
+            lp_iters: dive_iters,
+            improved,
+        });
+        if improved {
+            let obj = best.as_ref().unwrap().1;
+            tracer.event(|| Event::Incumbent {
+                nodes: 0,
+                objective: obj,
+                source: "dive",
+            });
         }
     }
 
@@ -366,31 +487,62 @@ fn solve_inner(
         }
         nodes += 1;
 
-        match propagate(model, &mut node.lb, &mut node.ub) {
-            Propagation::Infeasible => continue,
+        let prop = {
+            let _t = tracer.time(Phase::Presolve);
+            propagate(model, &mut node.lb, &mut node.ub)
+        };
+        match prop {
+            Propagation::Infeasible => {
+                tracer.event(|| Event::Node {
+                    index: nodes,
+                    lp_iters: 0,
+                    outcome: "infeasible",
+                });
+                continue;
+            }
             Propagation::Ok => {}
         }
 
-        let lp = solve_lp(
-            model,
-            &node.lb,
-            &node.ub,
-            cfg.lp_iter_limit,
-            deadline,
-            &mut health,
-        );
-        let (x, obj, iters) = match lp {
-            LpOutcome::Optimal { x, obj, iters } => (x, obj, iters),
-            LpOutcome::Infeasible => continue,
-            LpOutcome::Limit | LpOutcome::Numerical => {
+        let lp = {
+            let _t = tracer.time(Phase::Simplex);
+            solve_lp(
+                model,
+                &node.lb,
+                &node.ub,
+                cfg.lp_iter_limit,
+                deadline,
+                &mut health,
+            )
+        };
+        // Attribute this node's simplex work whether or not the
+        // relaxation produced a usable point — pruned and abandoned
+        // nodes cost real iterations too.
+        let node_iters = lp.iters();
+        lp_iters += node_iters;
+        note_health(tracer, &mut hstate, &health);
+        let (x, obj) = match lp {
+            LpOutcome::Optimal { x, obj, .. } => (x, obj),
+            LpOutcome::Infeasible { .. } => {
+                tracer.event(|| Event::Node {
+                    index: nodes,
+                    lp_iters: node_iters,
+                    outcome: "lp-infeasible",
+                });
+                continue;
+            }
+            LpOutcome::Limit { .. } | LpOutcome::Numerical { .. } => {
                 // Abandoning the node loses the optimality proof; the
                 // incumbent (if any) stays valid. Numerical trouble is
                 // already counted in `health` by the simplex layer.
                 proof_lost = true;
+                tracer.event(|| Event::Node {
+                    index: nodes,
+                    lp_iters: node_iters,
+                    outcome: "abandoned",
+                });
                 continue;
             }
         };
-        lp_iters += iters;
 
         // Bound pruning (round up for integral costs, with slack scaled to
         // the objective magnitude to absorb LP round-off).
@@ -398,6 +550,11 @@ fn solve_inner(
         let bound = if integral { (obj - slack).ceil() } else { obj };
         if let Some((_, inc)) = &best {
             if bound >= *inc - 1e-9 {
+                tracer.event(|| Event::Node {
+                    index: nodes,
+                    lp_iters: node_iters,
+                    outcome: "pruned",
+                });
                 continue;
             }
         }
@@ -423,12 +580,27 @@ fn solve_inner(
                     let co = model.objective(&cand);
                     if best.as_ref().is_none_or(|(_, inc)| co < *inc - 1e-9) {
                         best = Some((cand, co));
+                        tracer.event(|| Event::Incumbent {
+                            nodes,
+                            objective: co,
+                            source: "node",
+                        });
                     }
                     warm_start_only = false;
+                    tracer.event(|| Event::Node {
+                        index: nodes,
+                        lp_iters: node_iters,
+                        outcome: "integral",
+                    });
                 } else {
                     // Numerically integral LP point that fails the exact
                     // check: abandon the subtree's optimality claim.
                     proof_lost = true;
+                    tracer.event(|| Event::Node {
+                        index: nodes,
+                        lp_iters: node_iters,
+                        outcome: "integral-invalid",
+                    });
                 }
             }
             Some((j, xj)) => {
@@ -439,6 +611,11 @@ fn solve_inner(
                         let co = model.objective(&cand);
                         best = Some((cand, co));
                         warm_start_only = false;
+                        tracer.event(|| Event::Incumbent {
+                            nodes,
+                            objective: co,
+                            source: "rounding",
+                        });
                     }
                 }
                 // Branch: explore the rounded side first (pushed last).
@@ -456,6 +633,11 @@ fn solve_inner(
                     stack.push(hi_side);
                     stack.push(lo_side);
                 }
+                tracer.event(|| Event::Node {
+                    index: nodes,
+                    lp_iters: node_iters,
+                    outcome: "branched",
+                });
             }
         }
     }

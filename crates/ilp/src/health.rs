@@ -77,6 +77,11 @@ pub struct SolverHealth {
     /// Times the anti-cycling (Bland) rule had to engage after a
     /// sustained degenerate streak — suspected cycling.
     pub cycling_events: u64,
+    /// Times a Bland-mode episode ended with real objective progress —
+    /// the cycling guard recovered instead of aborting. When every
+    /// engagement recovers ([`SolverHealth::recovered`]) the solve's
+    /// results are as trustworthy as a never-degenerate one.
+    pub cycling_recoveries: u64,
     /// Degenerate simplex steps (zero-length pivots).
     pub degenerate_pivots: u64,
     /// Pivots rejected because the pivot element was numerically
@@ -92,6 +97,7 @@ impl SolverHealth {
     pub fn merge(&mut self, other: &SolverHealth) {
         self.nan_events += other.nan_events;
         self.cycling_events += other.cycling_events;
+        self.cycling_recoveries += other.cycling_recoveries;
         self.degenerate_pivots += other.degenerate_pivots;
         self.unstable_pivots += other.unstable_pivots;
         self.lp_aborts += other.lp_aborts;
@@ -101,6 +107,51 @@ impl SolverHealth {
     /// exhaustion) was observed.
     pub fn numerical_trouble(&self) -> bool {
         self.nan_events > 0 || self.unstable_pivots > 0
+    }
+
+    /// True when every cycling-guard engagement ended with the simplex
+    /// making real objective progress again.
+    pub fn recovered(&self) -> bool {
+        self.cycling_events > 0 && self.cycling_recoveries >= self.cycling_events
+    }
+
+    /// Collapse the counters into a coarse state for trace events: the
+    /// branch-and-bound loop emits a `Health` transition event whenever
+    /// the state changes between LP relaxations.
+    pub fn state(&self) -> HealthState {
+        if self.numerical_trouble() {
+            HealthState::Troubled
+        } else if self.cycling_events > 0 || self.lp_aborts > 0 {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        }
+    }
+}
+
+/// Coarse classification of [`SolverHealth`], ordered by severity.
+///
+/// `Healthy` → no anti-cycling engagements and no abandoned relaxations
+/// (degenerate pivots alone are routine for these models and do not
+/// degrade the state); `Degraded` → the cycling guard engaged or an LP
+/// was abandoned, results valid but the optimality proof may be weaker;
+/// `Troubled` → NaN/Inf contamination or unusable pivots, matching
+/// [`SolverHealth::numerical_trouble`]. States never move back down
+/// within one solve because the counters only grow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    Healthy,
+    Degraded,
+    Troubled,
+}
+
+impl HealthState {
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Troubled => "troubled",
+        }
     }
 }
 
@@ -145,14 +196,111 @@ mod tests {
         let mut a = SolverHealth {
             nan_events: 1,
             cycling_events: 2,
+            cycling_recoveries: 1,
             degenerate_pivots: 3,
             unstable_pivots: 4,
             lp_aborts: 5,
         };
         a.merge(&a.clone());
         assert_eq!(a.nan_events, 2);
+        assert_eq!(a.cycling_recoveries, 2);
         assert_eq!(a.lp_aborts, 10);
         assert!(a.numerical_trouble());
         assert!(!SolverHealth::default().numerical_trouble());
+    }
+
+    #[test]
+    fn default_state_is_healthy() {
+        let h = SolverHealth::default();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(!h.recovered());
+    }
+
+    #[test]
+    fn degenerate_pivots_alone_stay_healthy() {
+        // Zero-length pivots are routine for these network-like models;
+        // only guard engagements and aborted relaxations degrade the
+        // state.
+        let h = SolverHealth {
+            degenerate_pivots: 10_000,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn nan_detection_is_troubled() {
+        let h = SolverHealth {
+            nan_events: 1,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Troubled);
+        assert!(h.numerical_trouble());
+    }
+
+    #[test]
+    fn unstable_pivot_is_troubled() {
+        let h = SolverHealth {
+            unstable_pivots: 1,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Troubled);
+    }
+
+    #[test]
+    fn cycling_guard_degrades_without_trouble() {
+        let h = SolverHealth {
+            cycling_events: 1,
+            degenerate_pivots: 64,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert!(!h.numerical_trouble());
+    }
+
+    #[test]
+    fn lp_abort_degrades() {
+        let h = SolverHealth {
+            lp_aborts: 1,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn trouble_dominates_cycling() {
+        // A solve can both cycle and go numerically bad; the state
+        // reports the worst.
+        let h = SolverHealth {
+            cycling_events: 3,
+            nan_events: 1,
+            lp_aborts: 2,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Troubled);
+    }
+
+    #[test]
+    fn recovery_requires_every_engagement_to_recover() {
+        let mut h = SolverHealth {
+            cycling_events: 2,
+            cycling_recoveries: 1,
+            ..SolverHealth::default()
+        };
+        assert!(!h.recovered());
+        h.cycling_recoveries += 1;
+        assert!(h.recovered());
+        // Recovery keeps the state at Degraded (the guard did engage),
+        // but the counters prove the episodes ended with progress.
+        assert_eq!(h.state(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn states_are_ordered_by_severity() {
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Troubled);
+        assert_eq!(HealthState::Troubled.name(), "troubled");
+        assert_eq!(HealthState::Healthy.name(), "healthy");
+        assert_eq!(HealthState::Degraded.name(), "degraded");
     }
 }

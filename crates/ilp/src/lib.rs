@@ -43,8 +43,8 @@ pub mod presolve;
 pub mod simplex;
 
 pub use branch::{
-    solve, solve_seeded, solve_with_deadline, Incumbent, Solution, SolverConfig, Status,
-    WarmStartSource,
+    solve, solve_seeded, solve_seeded_traced, solve_with_deadline, Incumbent, Solution,
+    SolverConfig, Status, WarmStartSource,
 };
-pub use health::{Deadline, SolverHealth};
+pub use health::{Deadline, HealthState, SolverHealth};
 pub use model::{Model, Sense, VarId};

@@ -37,6 +37,11 @@ const REFRESH_PERIOD: u64 = 128;
 const CYCLE_ABORT: u32 = 50_000;
 
 /// Result of an LP relaxation solve.
+///
+/// Every variant carries the simplex iterations spent (both phases), so
+/// callers can attribute work even when the relaxation is abandoned —
+/// previously iterations on infeasible or aborted nodes simply vanished
+/// from the accounting.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LpOutcome {
     /// An optimal basic solution was found.
@@ -49,13 +54,25 @@ pub enum LpOutcome {
         iters: u64,
     },
     /// The LP is infeasible (phase 1 could not reach zero infeasibility).
-    Infeasible,
+    Infeasible { iters: u64 },
     /// The iteration limit was exceeded or the deadline passed.
-    Limit,
+    Limit { iters: u64 },
     /// Numerical trouble: NaN/Inf contamination, an unusable pivot, or
     /// suspected cycling. The relaxation's result is unusable, but the
     /// caller can prune the node and continue.
-    Numerical,
+    Numerical { iters: u64 },
+}
+
+impl LpOutcome {
+    /// Simplex iterations spent producing this outcome.
+    pub fn iters(&self) -> u64 {
+        match self {
+            LpOutcome::Optimal { iters, .. }
+            | LpOutcome::Infeasible { iters }
+            | LpOutcome::Limit { iters }
+            | LpOutcome::Numerical { iters } => *iters,
+        }
+    }
 }
 
 /// Why [`Tableau::optimize`] stopped.
@@ -498,6 +515,10 @@ impl<'a> Tableau<'a> {
                 if progress_since_bland > dtol {
                     bland_mode = false;
                     degen_streak = 0;
+                    // The guard episode ended with tangible progress:
+                    // count the recovery so health consumers can tell a
+                    // contained cycle from an unresolved one.
+                    health.cycling_recoveries += 1;
                 }
             }
 
@@ -572,22 +593,22 @@ pub fn solve_lp(
     debug_assert_eq!(ub.len(), model.num_vars());
     // Trivial infeasibility: crossed bounds.
     if lb.iter().zip(ub).any(|(l, u)| l > u) {
-        return LpOutcome::Infeasible;
+        return LpOutcome::Infeasible { iters: 0 };
     }
     // NaN bounds poison every comparison downstream; report rather than
     // propagate.
     if lb.iter().chain(ub).any(|v| v.is_nan()) {
         health.nan_events += 1;
         health.lp_aborts += 1;
-        return LpOutcome::Numerical;
+        return LpOutcome::Numerical { iters: 0 };
     }
     let mut t = Tableau::new(model, lb, ub);
 
-    let abort = |reason: StopReason, health: &mut SolverHealth| {
+    let abort = |reason: StopReason, iters: u64, health: &mut SolverHealth| {
         health.lp_aborts += 1;
         match reason {
-            StopReason::Numerical => LpOutcome::Numerical,
-            _ => LpOutcome::Limit,
+            StopReason::Numerical => LpOutcome::Numerical { iters },
+            _ => LpOutcome::Limit { iters },
         }
     };
 
@@ -599,15 +620,15 @@ pub fn solve_lp(
         }
         match t.optimize(&costs, iter_limit, deadline, health) {
             StopReason::Optimal => {}
-            r => return abort(r, health),
+            r => return abort(r, t.iters, health),
         }
         let infeas: f64 = t.x[t.n_art_start..].iter().sum();
         if infeas.is_nan() {
             health.nan_events += 1;
-            return abort(StopReason::Numerical, health);
+            return abort(StopReason::Numerical, t.iters, health);
         }
         if infeas > 1e-6 {
-            return LpOutcome::Infeasible;
+            return LpOutcome::Infeasible { iters: t.iters };
         }
         // Pin artificials to zero for phase 2.
         for j in t.n_art_start..t.num_vars() {
@@ -623,7 +644,7 @@ pub fn solve_lp(
     costs[..t.n_struct].copy_from_slice(model.costs());
     match t.optimize(&costs, iter_limit, deadline, health) {
         StopReason::Optimal => {}
-        r => return abort(r, health),
+        r => return abort(r, t.iters, health),
     }
     t.refresh_basics();
 
@@ -637,7 +658,7 @@ pub fn solve_lp(
         .sum::<f64>();
     if !obj.is_finite() || x.iter().any(|v| !v.is_finite()) {
         health.nan_events += 1;
-        return abort(StopReason::Numerical, health);
+        return abort(StopReason::Numerical, t.iters, health);
     }
     LpOutcome::Optimal {
         x,
@@ -734,7 +755,7 @@ mod tests {
         let a = m.add_var(0.0, "a");
         m.add_ge(vec![(a, 1.0)], 1.0);
         m.add_le(vec![(a, 1.0)], 0.0);
-        assert_eq!(lp(&m), LpOutcome::Infeasible);
+        assert!(matches!(lp(&m), LpOutcome::Infeasible { .. }));
     }
 
     #[test]
@@ -744,7 +765,10 @@ mod tests {
         let a = m.add_var(0.0, "a");
         let b = m.add_var(0.0, "b");
         m.add_ge(vec![(a, 1.0), (b, 1.0)], 3.0);
-        assert_eq!(lp(&m), LpOutcome::Infeasible);
+        let out = lp(&m);
+        assert!(matches!(out, LpOutcome::Infeasible { .. }));
+        // Phase 1 had to run to prove infeasibility; the work is counted.
+        assert!(out.iters() > 0, "iterations attributed: {out:?}");
     }
 
     #[test]
@@ -786,7 +810,7 @@ mod tests {
                 Deadline::unlimited(),
                 &mut SolverHealth::default()
             ),
-            LpOutcome::Infeasible
+            LpOutcome::Infeasible { iters: 0 }
         );
     }
 
@@ -858,7 +882,7 @@ mod tests {
                 Deadline::unlimited(),
                 &mut SolverHealth::default()
             ),
-            LpOutcome::Limit
+            LpOutcome::Limit { iters: 0 }
         );
     }
 }

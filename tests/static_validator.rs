@@ -172,6 +172,7 @@ fn lint_report_is_deterministic_across_jobs() {
             // No cache, so no donor snapshot exists to warm-start from.
             warm_starts: false,
             warm_start_distance: 0.25,
+            trace: false,
         };
         let out = run_suite(&suite.functions, &cfg);
         let mut report = Report::default();
