@@ -161,6 +161,7 @@ impl Options {
                 Some(d) => CacheMode::Disk(d.clone()),
                 None => CacheMode::Memory,
             },
+            cache_limits: regalloc_driver::cache::CacheLimits::unlimited(),
             equiv_runs: 2,
             equiv_seed: self.seed,
             compare_baseline: true,

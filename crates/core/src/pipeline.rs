@@ -196,6 +196,13 @@ pub enum WarmStartKind {
 }
 
 impl WarmStartKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [WarmStartKind; 3] = [
+        WarmStartKind::None,
+        WarmStartKind::Exact,
+        WarmStartKind::Projected,
+    ];
+
     /// Short stable name (used by the report tables).
     pub fn name(self) -> &'static str {
         match self {
@@ -203,6 +210,11 @@ impl WarmStartKind {
             WarmStartKind::Exact => "exact",
             WarmStartKind::Projected => "projected",
         }
+    }
+
+    /// Inverse of [`WarmStartKind::name`] (cache and wire parsing).
+    pub fn from_name(name: &str) -> Option<WarmStartKind> {
+        WarmStartKind::ALL.into_iter().find(|w| w.name() == name)
     }
 }
 

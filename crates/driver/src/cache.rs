@@ -118,17 +118,6 @@ pub struct CacheEntry {
     pub func_text: String,
 }
 
-fn warm_from_name(s: &str) -> Option<WarmStartKind> {
-    [
-        WarmStartKind::None,
-        WarmStartKind::Exact,
-        WarmStartKind::Projected,
-    ]
-    .iter()
-    .copied()
-    .find(|w| w.name() == s)
-}
-
 fn width_from_bits(s: &str) -> Option<Width> {
     match s {
         "8" => Some(Width::B8),
@@ -262,7 +251,7 @@ impl CacheEntry {
         let shape = ShapeVector {
             counts: counts.try_into().ok()?,
         };
-        let warm_start = warm_from_name(lines.next()?.strip_prefix("warm ")?)?;
+        let warm_start = WarmStartKind::from_name(lines.next()?.strip_prefix("warm ")?)?;
         let sym_s = lines.next()?.strip_prefix("sym ")?;
         let symbolic = if sym_s == "-" {
             None
@@ -374,25 +363,127 @@ pub struct DonorEntry {
     pub solution: SymbolicSolution,
 }
 
+/// Retention limits for a long-lived cache. `None` fields are unlimited
+/// (the batch driver's historical behavior); the daemon and the CLI's
+/// `--cache-max-entries`/`--cache-max-bytes` flags bound growth with
+/// least-recently-used eviction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum live entries (memory and disk together).
+    pub max_entries: Option<usize>,
+    /// Maximum total serialized bytes across live entries.
+    pub max_bytes: Option<u64>,
+}
+
+impl CacheLimits {
+    /// No bounds at all.
+    pub fn unlimited() -> CacheLimits {
+        CacheLimits::default()
+    }
+
+    fn is_unlimited(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// Recency/size bookkeeping per live key.
+#[derive(Default)]
+struct LruMeta {
+    clock: u64,
+    /// key -> (last-use stamp, serialized bytes).
+    entries: HashMap<u64, (u64, u64)>,
+}
+
+/// RAII pin: while alive, the pinned key is exempt from LRU eviction.
+/// The driver pins an entry across lookup + static revalidation so the
+/// allocation being verified can never be yanked from under the verifier.
+pub struct CachePin<'a> {
+    cache: &'a SolutionCache,
+    key: u64,
+}
+
+impl Drop for CachePin<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.cache.pins.lock().unwrap();
+        if let Some(n) = pins.get_mut(&self.key) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&self.key);
+            }
+        }
+    }
+}
+
 /// The two-level (memory + optional disk) solution cache. Safe to share
 /// across worker threads.
 pub struct SolutionCache {
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<u64, CacheEntry>>,
     rejected: AtomicUsize,
+    evicted: AtomicUsize,
+    limits: CacheLimits,
+    lru: Mutex<LruMeta>,
+    pins: Mutex<HashMap<u64, usize>>,
 }
 
 impl SolutionCache {
     /// A cache persisting under `dir` (`None` = in-memory only, which
     /// still deduplicates identical bodies within one run). The directory
     /// is created eagerly; persistence degrades to memory-only if the
-    /// filesystem refuses.
+    /// filesystem refuses. No retention limits — see
+    /// [`SolutionCache::with_limits`].
     pub fn new(dir: Option<PathBuf>) -> SolutionCache {
+        SolutionCache::with_limits(dir, CacheLimits::unlimited())
+    }
+
+    /// A cache with LRU retention limits. Pre-existing entries under
+    /// `dir` are adopted into the accounting (stamped in sorted-filename
+    /// order, i.e. treated as equally old) and evicted immediately if the
+    /// directory already exceeds the limits — the bound holds *across*
+    /// runs, not just within one.
+    pub fn with_limits(dir: Option<PathBuf>, limits: CacheLimits) -> SolutionCache {
         let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
-        SolutionCache {
+        let cache = SolutionCache {
             dir,
             mem: Mutex::new(HashMap::new()),
             rejected: AtomicUsize::new(0),
+            evicted: AtomicUsize::new(0),
+            limits,
+            lru: Mutex::new(LruMeta::default()),
+            pins: Mutex::new(HashMap::new()),
+        };
+        if !cache.limits.is_unlimited() {
+            cache.adopt_disk_entries();
+            cache.enforce_limits();
+        }
+        cache
+    }
+
+    /// Record every `*.alloc` file already on disk in the LRU accounting.
+    fn adopt_disk_entries(&self) {
+        let Some(dir) = &self.dir else { return };
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut found: Vec<(u64, u64)> = rd
+            .flatten()
+            .filter_map(|d| {
+                let path = d.path();
+                let stem = path.file_stem()?.to_str()?;
+                if path.extension()? != "alloc" {
+                    return None;
+                }
+                let key = u64::from_str_radix(stem, 16).ok()?;
+                let bytes = d.metadata().ok()?.len();
+                Some((key, bytes))
+            })
+            .collect();
+        found.sort_unstable();
+        let mut lru = self.lru.lock().unwrap();
+        for (key, bytes) in found {
+            lru.clock += 1;
+            let stamp = lru.clock;
+            lru.entries.insert(key, (stamp, bytes));
         }
     }
 
@@ -403,19 +494,101 @@ impl SolutionCache {
             .map(|d| d.join(format!("{key:016x}.alloc")))
     }
 
+    /// Pin `key` against LRU eviction for the guard's lifetime.
+    pub fn pin(&self, key: u64) -> CachePin<'_> {
+        *self.pins.lock().unwrap().entry(key).or_insert(0) += 1;
+        CachePin { cache: self, key }
+    }
+
+    /// Bump `key`'s recency stamp (and record its size).
+    fn touch(&self, key: u64, bytes: u64) {
+        if self.limits.is_unlimited() {
+            return;
+        }
+        let mut lru = self.lru.lock().unwrap();
+        lru.clock += 1;
+        let stamp = lru.clock;
+        lru.entries.insert(key, (stamp, bytes));
+    }
+
+    /// Forget `key` in the LRU accounting.
+    fn forget(&self, key: u64) {
+        if !self.limits.is_unlimited() {
+            self.lru.lock().unwrap().entries.remove(&key);
+        }
+    }
+
+    /// Evict least-recently-used unpinned entries until the cache fits
+    /// its limits again. A single oversized entry that is pinned simply
+    /// waits: eviction retries on the next store.
+    fn enforce_limits(&self) {
+        if self.limits.is_unlimited() {
+            return;
+        }
+        loop {
+            let victim = {
+                let lru = self.lru.lock().unwrap();
+                let entries = lru.entries.len();
+                let bytes: u64 = lru.entries.values().map(|(_, b)| *b).sum();
+                let over_entries = self.limits.max_entries.is_some_and(|m| entries > m);
+                let over_bytes = self.limits.max_bytes.is_some_and(|m| bytes > m);
+                if !over_entries && !over_bytes {
+                    return;
+                }
+                let pins = self.pins.lock().unwrap();
+                let mut oldest: Option<(u64, u64)> = None; // (stamp, key)
+                for (&k, &(stamp, _)) in lru.entries.iter() {
+                    if pins.contains_key(&k) {
+                        continue;
+                    }
+                    if oldest.is_none_or(|(s, _)| stamp < s) {
+                        oldest = Some((stamp, k));
+                    }
+                }
+                oldest.map(|(_, k)| k)
+            };
+            let Some(key) = victim else {
+                // Everything over the limit is pinned; give up for now.
+                return;
+            };
+            self.forget(key);
+            self.mem.lock().unwrap().remove(&key);
+            if let Some(path) = self.path_for(key) {
+                let _ = std::fs::remove_file(path);
+            }
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Look `key` up and *verify* the stored allocation before returning
-    /// it. Corrupt or unverifiable entries are dropped and counted.
+    /// it. Corrupt, truncated, unreadable or unverifiable entries are
+    /// dropped and counted — a zero-byte or mid-write-truncated file is
+    /// treated exactly like a poisoned entry (reject and re-solve), never
+    /// a panic.
     pub fn lookup(&self, key: u64) -> Option<CachedAlloc> {
         let mem_hit = self.mem.lock().unwrap().get(&key).cloned();
         let (entry, from_disk) = match mem_hit {
             Some(e) => (e, false),
             None => {
                 let path = self.path_for(key)?;
-                let text = std::fs::read_to_string(path).ok()?;
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+                    Err(_) => {
+                        // The file exists but cannot be read (permissions,
+                        // non-UTF-8 garbage): poisoned, not a miss.
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::fs::remove_file(&path);
+                        self.forget(key);
+                        return None;
+                    }
+                };
                 match CacheEntry::deserialize(&text) {
                     Some(e) => (e, true),
                     None => {
                         self.rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::fs::remove_file(&path);
+                        self.forget(key);
                         return None;
                     }
                 }
@@ -423,31 +596,38 @@ impl SolutionCache {
         };
         match entry.realize() {
             Some(func) => {
+                let bytes = entry.serialize().len() as u64;
                 if from_disk {
                     self.mem.lock().unwrap().insert(key, entry.clone());
                 }
+                self.touch(key, bytes);
                 Some(CachedAlloc { func, entry })
             }
             None => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 self.mem.lock().unwrap().remove(&key);
+                self.forget(key);
                 None
             }
         }
     }
 
-    /// Store an entry in memory and (when configured) on disk. The disk
-    /// write is atomic (temp file + rename) so a concurrent reader never
-    /// sees a torn entry; write failures are ignored (the cache is an
-    /// accelerator, not a store of record).
+    /// Store an entry in memory and (when configured) on disk, then
+    /// enforce the retention limits. The disk write is atomic (temp
+    /// file then rename) so a concurrent reader never sees a torn entry; write
+    /// failures are ignored (the cache is an accelerator, not a store of
+    /// record).
     pub fn store(&self, key: u64, entry: CacheEntry) {
+        let serialized = entry.serialize();
         if let Some(path) = self.path_for(key) {
             let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-            if std::fs::write(&tmp, entry.serialize()).is_ok() {
+            if std::fs::write(&tmp, &serialized).is_ok() {
                 let _ = std::fs::rename(&tmp, &path);
             }
         }
         self.mem.lock().unwrap().insert(key, entry);
+        self.touch(key, serialized.len() as u64);
+        self.enforce_limits();
     }
 
     /// Drop `key` after a post-lookup check (e.g. static re-validation)
@@ -455,6 +635,7 @@ impl SolutionCache {
     pub fn reject(&self, key: u64) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         self.mem.lock().unwrap().remove(&key);
+        self.forget(key);
         if let Some(path) = self.path_for(key) {
             let _ = std::fs::remove_file(path);
         }
@@ -463,6 +644,17 @@ impl SolutionCache {
     /// Entries rejected by checksum, parse or verification failures.
     pub fn rejected(&self) -> usize {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU retention limits.
+    pub fn evicted(&self) -> usize {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Live entries in the LRU accounting (0 when unlimited — unlimited
+    /// caches do no bookkeeping).
+    pub fn tracked_entries(&self) -> usize {
+        self.lru.lock().unwrap().entries.len()
     }
 
     /// Snapshot every donor-eligible entry: IP-solved rungs carrying a
@@ -687,6 +879,116 @@ mod tests {
             .collect();
         assert_eq!(fps2, vec![1, 3]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_entries_within_and_across_runs() {
+        let dir = std::env::temp_dir().join(format!("regalloc-lru-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = allocated_sample();
+        let limits = CacheLimits {
+            max_entries: Some(2),
+            max_bytes: None,
+        };
+        let cache = SolutionCache::with_limits(Some(dir.clone()), limits);
+        cache.store(1, entry_for(&f));
+        cache.store(2, entry_for(&f));
+        cache.store(3, entry_for(&f));
+        assert_eq!(cache.evicted(), 1);
+        assert_eq!(cache.tracked_entries(), 2);
+        // Key 1 was least recently used: gone from memory and disk.
+        assert!(cache.lookup(1).is_none());
+        assert!(!cache.path_for(1).unwrap().exists());
+        assert!(cache.lookup(2).is_some() && cache.lookup(3).is_some());
+        // A lookup refreshes recency: touch 2, store 4, and 3 is the victim.
+        assert!(cache.lookup(2).is_some());
+        cache.store(4, entry_for(&f));
+        assert!(cache.lookup(3).is_none());
+        assert!(cache.lookup(2).is_some());
+
+        // A fresh cache over the same over-full directory (simulating a
+        // tighter limit configured on restart) prunes on startup.
+        let strict = SolutionCache::with_limits(
+            Some(dir.clone()),
+            CacheLimits {
+                max_entries: Some(1),
+                max_bytes: None,
+            },
+        );
+        assert_eq!(strict.tracked_entries(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_limit_evicts_oldest_entries() {
+        let f = allocated_sample();
+        let one_entry = entry_for(&f).serialize().len() as u64;
+        let cache = SolutionCache::with_limits(
+            None,
+            CacheLimits {
+                max_entries: None,
+                max_bytes: Some(one_entry * 2),
+            },
+        );
+        cache.store(1, entry_for(&f));
+        cache.store(2, entry_for(&f));
+        assert_eq!(cache.evicted(), 0);
+        cache.store(3, entry_for(&f));
+        assert_eq!(cache.evicted(), 1);
+        assert!(cache.lookup(1).is_none());
+        assert!(cache.lookup(3).is_some());
+    }
+
+    #[test]
+    fn eviction_never_evicts_a_pinned_entry() {
+        let f = allocated_sample();
+        let cache = SolutionCache::with_limits(
+            None,
+            CacheLimits {
+                max_entries: Some(1),
+                max_bytes: None,
+            },
+        );
+        cache.store(1, entry_for(&f));
+        // Pin key 1 as if it were mid-verification: storing key 2 must
+        // evict key 2 itself (the only unpinned entry), never key 1.
+        let pin = cache.pin(1);
+        cache.store(2, entry_for(&f));
+        assert!(cache.lookup(1).is_some(), "pinned entry survived");
+        assert!(cache.lookup(2).is_none(), "unpinned newcomer was evicted");
+        drop(pin);
+        // Unpinned now: the next store evicts key 1 normally.
+        cache.store(3, entry_for(&f));
+        assert!(cache.lookup(1).is_none());
+        assert!(cache.lookup(3).is_some());
+    }
+
+    #[test]
+    fn truncated_and_zero_byte_entries_reject_without_panicking() {
+        let dir = std::env::temp_dir().join(format!("regalloc-trunc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = allocated_sample();
+        let full = entry_for(&f).serialize();
+
+        // A mid-write truncation at every eighth boundary plus the
+        // zero-byte file: all must be clean rejections (miss + count).
+        let mut cuts: Vec<usize> = (0..8).map(|i| full.len() * i / 8).collect();
+        cuts.push(full.len() - 1);
+        for (i, cut) in cuts.into_iter().enumerate() {
+            let cache = SolutionCache::new(Some(dir.clone()));
+            let path = cache.path_for(7).unwrap();
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                cache.lookup(7).is_none(),
+                "truncation at {cut} bytes must miss"
+            );
+            assert_eq!(cache.rejected(), 1, "cut #{i} counted as a rejection");
+            assert!(!path.exists(), "poisoned file removed");
+            // The rejection leaves the slot clean: a store + lookup works.
+            cache.store(7, entry_for(&f));
+            assert!(cache.lookup(7).is_some());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

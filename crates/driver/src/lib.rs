@@ -61,22 +61,19 @@
 pub mod cache;
 pub mod pool;
 pub mod schedule;
+pub mod service;
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use regalloc_coloring::ColoringAllocator;
-use regalloc_core::{DonorSolution, ReasonCode, RobustAllocator, Rung, SpillStats, WarmStartKind};
+use regalloc_core::{ReasonCode, Rung, SpillStats, WarmStartKind};
 use regalloc_ilp::SolverConfig;
-use regalloc_ir::{fingerprint, shape_vector, Function};
-use regalloc_obs::{
-    jsonl_events, jsonl_timings, Event, FunctionTrace, Metrics, Phase, Tracer, SIZE_BUCKETS,
-    TIME_BUCKETS,
-};
-use regalloc_x86::{Machine, X86Machine, X86RegFile};
+use regalloc_ir::Function;
+use regalloc_obs::{jsonl_events, jsonl_timings, FunctionTrace, Metrics, Phase};
 
-use cache::{cache_key, CacheEntry, DonorEntry, SolutionCache};
+use cache::CacheLimits;
 use schedule::BudgetGovernor;
+pub use service::{parse_functions, AllocationService, BudgetSource, FixedGrant, RequestOptions};
 
 /// Where solved allocations are memoized.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -106,6 +103,10 @@ pub struct DriverConfig {
     pub global_budget: Option<Duration>,
     /// Solution-cache placement.
     pub cache: CacheMode,
+    /// Solution-cache capacity bounds (LRU eviction; unlimited by
+    /// default). A long-lived daemon sets these so the cache cannot grow
+    /// without bound.
+    pub cache_limits: CacheLimits,
     /// Interpreter-equivalence runs per accepted candidate (0 disables;
     /// structural verification always runs).
     pub equiv_runs: usize,
@@ -150,6 +151,7 @@ impl Default for DriverConfig {
             function_budget,
             global_budget: None,
             cache: CacheMode::Memory,
+            cache_limits: CacheLimits::unlimited(),
             equiv_runs: 2,
             equiv_seed: 0x0b5e55ed,
             compare_baseline: false,
@@ -331,7 +333,7 @@ pub struct SuiteOutcome {
     pub metrics: Metrics,
 }
 
-fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
+pub(crate) fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
     FunctionResult {
         name: f.name().to_string(),
         attempted: false,
@@ -357,85 +359,6 @@ fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         metrics: Metrics::default(),
         error: None,
     }
-}
-
-/// Emit one `LintFindings` event per diagnostic code (sorted by slug).
-fn note_lints(tracer: &Tracer, lints: &[regalloc_lint::Diagnostic]) {
-    if !tracer.is_on() || lints.is_empty() {
-        return;
-    }
-    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
-    for d in lints {
-        *counts.entry(d.code.slug).or_insert(0) += 1;
-    }
-    for (code, count) in counts {
-        tracer.event(|| Event::LintFindings { code, count });
-    }
-}
-
-/// Build one task's metrics shard from its finished result.
-/// `cache_outcome` is the lookup disposition (`hit` / `miss` / `stale` /
-/// `rejected`), absent when the cache is off.
-fn task_metrics(r: &FunctionResult, cache_outcome: Option<&'static str>) -> Metrics {
-    let mut m = Metrics::new();
-    m.inc("regalloc_functions_total", &[], 1);
-    m.observe(
-        "regalloc_function_insts",
-        &[],
-        SIZE_BUCKETS,
-        r.num_insts as f64,
-    );
-    if let Some(outcome) = cache_outcome {
-        m.inc("regalloc_cache_events_total", &[("outcome", outcome)], 1);
-    }
-    if !r.attempted {
-        return m;
-    }
-    m.inc("regalloc_functions_attempted_total", &[], 1);
-    if r.solved() {
-        m.inc("regalloc_functions_solved_total", &[], 1);
-    }
-    if r.solved_optimally() {
-        m.inc("regalloc_functions_optimal_total", &[], 1);
-    }
-    if let Some(rung) = r.rung {
-        m.inc("regalloc_rung_functions_total", &[("rung", rung.name())], 1);
-    }
-    for reason in &r.reasons {
-        m.inc("regalloc_demotions_total", &[("reason", reason.name())], 1);
-    }
-    if !r.cache_hit && r.warm_start != WarmStartKind::None {
-        m.inc(
-            "regalloc_warm_starts_total",
-            &[("kind", r.warm_start.name())],
-            1,
-        );
-    }
-    m.inc("regalloc_solver_nodes_total", &[], r.solver_nodes);
-    m.inc("regalloc_solver_lp_iters_total", &[], r.lp_iters);
-    for d in &r.lints {
-        m.inc("regalloc_lint_findings_total", &[("code", d.code.slug)], 1);
-    }
-    if r.num_vars > 0 {
-        m.observe("regalloc_model_vars", &[], SIZE_BUCKETS, r.num_vars as f64);
-        m.observe(
-            "regalloc_model_constraints",
-            &[],
-            SIZE_BUCKETS,
-            r.num_constraints as f64,
-        );
-    }
-    if let Some(t) = &r.trace {
-        for (phase, d) in &t.phase_times {
-            m.observe(
-                "regalloc_phase_seconds",
-                &[("phase", phase.name())],
-                TIME_BUCKETS,
-                d.as_secs_f64(),
-            );
-        }
-    }
-    m
 }
 
 /// Render the suite's traces as JSONL: every function's deterministic
@@ -542,21 +465,11 @@ pub fn profile_report(out: &SuiteOutcome) -> String {
 /// determinism guarantee. The machine model is the paper's Pentium x86
 /// model (the same one the bench harness uses).
 pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
-    let machine = X86Machine::pentium();
-    let gc = ColoringAllocator::new(&machine);
-    let cache = match &cfg.cache {
-        CacheMode::Off => None,
-        CacheMode::Memory => Some(SolutionCache::new(None)),
-        CacheMode::Disk(dir) => Some(SolutionCache::new(Some(dir.clone()))),
-    };
-    // Donor candidates are frozen once, before any worker runs: entries
-    // stored *during* this run never donate, so warm-start selection is
-    // independent of worker count and completion order (the determinism
-    // guarantee above).
-    let donors: Vec<DonorEntry> = match (&cache, cfg.warm_starts) {
-        (Some(c), true) => c.donor_snapshot(),
-        _ => Vec::new(),
-    };
+    // The service freezes the donor snapshot once, before any worker
+    // runs: entries stored *during* this run never donate, so warm-start
+    // selection is independent of worker count and completion order (the
+    // determinism guarantee above).
+    let svc = AllocationService::new(cfg.clone());
     let sched = schedule::plan(funcs);
     let governor = BudgetGovernor::new(
         cfg.global_budget,
@@ -565,237 +478,9 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         funcs.len(),
     );
 
-    let run_inner =
-        |i: usize, f: &Function, tracer: &Tracer| -> (FunctionResult, Option<&'static str>) {
-            let t0 = Instant::now();
-            let estimate = sched.estimates[i];
-            if f.uses_64bit() {
-                governor.skip();
-                return (not_attempted(f, estimate), None);
-            }
-            let baseline = cfg.compare_baseline.then(|| {
-                let c = gc
-                    .allocate(f)
-                    .expect("baseline allocates attempted functions");
-                let bytes = regalloc_x86::encoding::function_size(&machine, &c.func);
-                BaselineResult {
-                    func: c.func,
-                    stats: c.stats,
-                    bytes,
-                }
-            });
-
-            let key = cache_key(f, machine.name(), &cfg.solver);
-            let mut cache_outcome = cache.as_ref().map(|_| "miss");
-            if let Some(cache) = &cache {
-                let hit = {
-                    let _c = tracer.time(Phase::Cache);
-                    cache.lookup(key)
-                };
-                if let Some(hit) = hit {
-                    // An entry that degraded below the IP-optimal rung under a
-                    // smaller budget than the one now configured can plausibly
-                    // do better today: treat it as a miss and re-solve (the
-                    // key deliberately ignores the governed deadline so this
-                    // judgment happens here). The entry stays in place — it
-                    // may still donate its symbolic solution.
-                    let stale_deadline = hit.entry.rung != Rung::IpOptimal
-                        && hit.entry.effective_deadline < cfg.function_budget;
-                    // The cache's own structural re-verification has passed;
-                    // the static translation validator additionally proves the
-                    // stored code computes *this* function's values. A failure
-                    // means the entry was stale or corrupt: evict and resolve.
-                    let revalidation_failed = cfg.revalidate_cache && {
-                        let _c = tracer.time(Phase::Cache);
-                        !regalloc_lint::validate(&machine, f, &hit.func).is_empty()
-                    };
-                    if revalidation_failed {
-                        cache.reject(key);
-                        cache_outcome = Some("rejected");
-                    } else if stale_deadline {
-                        cache_outcome = Some("stale");
-                    } else {
-                        governor.skip();
-                        tracer.event(|| Event::CacheLookup { outcome: "hit" });
-                        let lints = if cfg.lint {
-                            let _l = tracer.time(Phase::Lint);
-                            regalloc_lint::lint_allocation(&machine, f, &hit.func)
-                        } else {
-                            Vec::new()
-                        };
-                        note_lints(tracer, &lints);
-                        let result = FunctionResult {
-                            name: f.name().to_string(),
-                            attempted: true,
-                            func: Some(hit.func),
-                            stats: hit.entry.stats,
-                            rung: Some(hit.entry.rung),
-                            reasons: hit.entry.reasons,
-                            num_constraints: hit.entry.num_constraints,
-                            num_vars: hit.entry.num_vars,
-                            num_insts: hit.entry.num_insts,
-                            solver_nodes: hit.entry.solver_nodes,
-                            lp_iters: hit.entry.lp_iters,
-                            solve_time: Duration::ZERO,
-                            ip_bytes: hit.entry.ip_bytes,
-                            cache_hit: true,
-                            warm_start: hit.entry.warm_start,
-                            granted_budget: cfg.function_budget,
-                            estimate,
-                            task_time: t0.elapsed(),
-                            lints,
-                            baseline,
-                            trace: None,
-                            metrics: Metrics::default(),
-                            error: None,
-                        };
-                        return (result, Some("hit"));
-                    }
-                }
-            }
-            if let Some(outcome) = cache_outcome {
-                tracer.event(|| Event::CacheLookup { outcome });
-            }
-
-            // Nearest-neighbour donor lookup: the frozen snapshot's closest
-            // shape within the distance threshold, ties broken by fingerprint
-            // for determinism. An exact fingerprint match means the donor
-            // solved this very body (under a different solver configuration
-            // or before a stale-deadline re-solve) and lowers rather than
-            // projects.
-            let fp = fingerprint(f);
-            let shape = shape_vector(f);
-            let donor = donors
-                .iter()
-                .map(|d| (d.shape.distance(&shape), d))
-                .filter(|(dist, _)| *dist <= cfg.warm_start_distance)
-                .min_by(|a, b| {
-                    a.0.total_cmp(&b.0)
-                        .then_with(|| a.1.fingerprint.cmp(&b.1.fingerprint))
-                })
-                .map(|(_, d)| DonorSolution {
-                    exact: d.fingerprint == fp,
-                    solution: d.solution.clone(),
-                });
-
-            let granted = governor.grant();
-            let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
-                .with_solver_config(cfg.solver.clone())
-                .with_budget(granted)
-                .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
-                .with_baseline(&gc)
-                .with_donor(donor);
-            let outcome = match robust.allocate_traced(f, tracer) {
-                Ok(out) => {
-                    let ip_bytes = {
-                        let _e = tracer.time(Phase::Encode);
-                        regalloc_x86::encoding::function_size(&machine, &out.func)
-                    };
-                    let lints = if cfg.lint {
-                        let _l = tracer.time(Phase::Lint);
-                        regalloc_lint::lint_allocation(&machine, f, &out.func)
-                    } else {
-                        Vec::new()
-                    };
-                    note_lints(tracer, &lints);
-                    let reasons: Vec<ReasonCode> =
-                        out.report.demotions.iter().map(|d| d.reason).collect();
-                    if let Some(cache) = &cache {
-                        let _c = tracer.time(Phase::Cache);
-                        cache.store(
-                            key,
-                            CacheEntry {
-                                rung: out.report.rung,
-                                reasons: reasons.clone(),
-                                stats: out.stats,
-                                num_constraints: out.report.num_constraints,
-                                num_vars: out.report.num_vars,
-                                num_insts: out.report.num_insts,
-                                solver_nodes: out.report.solver_nodes,
-                                lp_iters: out.report.lp_iters,
-                                ip_bytes,
-                                effective_deadline: granted,
-                                fingerprint: fp,
-                                shape,
-                                warm_start: out.report.warm_start,
-                                symbolic: out.symbolic.clone(),
-                                slots: out.func.slots().to_vec(),
-                                func_text: format!("{}\n", out.func),
-                            },
-                        );
-                    }
-                    FunctionResult {
-                        name: f.name().to_string(),
-                        attempted: true,
-                        func: Some(out.func),
-                        stats: out.stats,
-                        rung: Some(out.report.rung),
-                        reasons,
-                        num_constraints: out.report.num_constraints,
-                        num_vars: out.report.num_vars,
-                        num_insts: out.report.num_insts,
-                        solver_nodes: out.report.solver_nodes,
-                        lp_iters: out.report.lp_iters,
-                        solve_time: out.report.solve_time,
-                        ip_bytes,
-                        cache_hit: false,
-                        warm_start: out.report.warm_start,
-                        granted_budget: granted,
-                        estimate,
-                        task_time: t0.elapsed(),
-                        lints,
-                        baseline,
-                        trace: None,
-                        metrics: Metrics::default(),
-                        error: None,
-                    }
-                }
-                Err(e) => FunctionResult {
-                    name: f.name().to_string(),
-                    attempted: true,
-                    func: None,
-                    stats: SpillStats::default(),
-                    rung: None,
-                    reasons: Vec::new(),
-                    num_constraints: 0,
-                    num_vars: 0,
-                    num_insts: f.num_insts(),
-                    solver_nodes: 0,
-                    lp_iters: 0,
-                    solve_time: Duration::ZERO,
-                    ip_bytes: 0,
-                    cache_hit: false,
-                    warm_start: WarmStartKind::None,
-                    granted_budget: granted,
-                    estimate,
-                    task_time: t0.elapsed(),
-                    lints: Vec::new(),
-                    baseline,
-                    trace: None,
-                    metrics: Metrics::default(),
-                    error: Some(e.to_string()),
-                },
-            };
-            (outcome, cache_outcome)
-        };
-
-    // Seal each task: drain its tracer into the result and build its
-    // metrics shard. Shards are merged in *suite order* at reassembly, so
-    // the registry is independent of worker count and completion order.
     let run_one = |i: usize, f: &Function| -> FunctionResult {
-        let tracer = if cfg.trace {
-            Tracer::on()
-        } else {
-            Tracer::off()
-        };
-        let (mut r, cache_outcome) = run_inner(i, f, &tracer);
-        if cfg.trace {
-            r.trace = Some(tracer.finish(&r.name));
-        }
-        r.metrics = task_metrics(&r, cache_outcome);
-        r
+        svc.allocate_one(f, sched.estimates[i], &governor, &RequestOptions::default())
     };
-
     let start = Instant::now();
     let (results, pool_stats) = pool::run_indexed(cfg.jobs, funcs, &sched.order, run_one);
     let wall_time = start.elapsed();
@@ -824,7 +509,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         cpu_time,
         cache_hits,
         cache_misses,
-        cache_rejected: cache.as_ref().map_or(0, |c| c.rejected()),
+        cache_rejected: svc.cache().map_or(0, |c| c.rejected()),
         warm_exact: fresh_warm(WarmStartKind::Exact),
         warm_projected: fresh_warm(WarmStartKind::Projected),
         rungs,

@@ -41,6 +41,10 @@ options:
   --seed N             workload generator seed (default 1998)
   --cache-dir DIR      persistent cache directory (default results/cache)
   --no-cache           in-memory dedup only, nothing persisted
+  --cache-max-entries N  LRU-evict beyond N cached solutions (default
+                       unlimited)
+  --cache-max-bytes N  LRU-evict once serialized entries exceed N bytes
+                       (default unlimited)
   --warm-starts MODE   on|off: seed cache misses with the nearest cached
                        symbolic solution (default on)
   --warm-distance F    max shape distance for a warm-start donor, 0..1
@@ -159,6 +163,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--cache-dir" => cli.cfg.cache = CacheMode::Disk(PathBuf::from(value("--cache-dir")?)),
             "--no-cache" => cli.cfg.cache = CacheMode::Memory,
+            "--cache-max-entries" => {
+                cli.cfg.cache_limits.max_entries = Some(
+                    value("--cache-max-entries")?
+                        .parse()
+                        .map_err(|e| format!("--cache-max-entries: {e}"))?,
+                )
+            }
+            "--cache-max-bytes" => {
+                cli.cfg.cache_limits.max_bytes = Some(
+                    value("--cache-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--cache-max-bytes: {e}"))?,
+                )
+            }
             "--warm-starts" => {
                 cli.cfg.warm_starts = match value("--warm-starts")?.as_str() {
                     "on" => true,
@@ -234,26 +252,7 @@ fn benchmark_by_name(name: &str) -> Option<Benchmark> {
 /// `}` at column zero) and parse each.
 fn parse_ir_file(path: &str) -> Result<Vec<Function>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut funcs = Vec::new();
-    let mut chunk = String::new();
-    for line in text.lines() {
-        if line.starts_with("fn ") && !chunk.is_empty() {
-            return Err(format!("{path}: `fn` before previous function closed"));
-        }
-        if line.starts_with(';') || (line.trim().is_empty() && chunk.is_empty()) {
-            continue;
-        }
-        chunk.push_str(line);
-        chunk.push('\n');
-        if line == "}" {
-            funcs.push(regalloc_ir::parse_function(&chunk).map_err(|e| format!("{path}: {e}"))?);
-            chunk.clear();
-        }
-    }
-    if !chunk.trim().is_empty() {
-        return Err(format!("{path}: unterminated function at end of file"));
-    }
-    Ok(funcs)
+    regalloc_driver::parse_functions(path, &text)
 }
 
 fn load_suite(cli: &Cli) -> Result<Vec<Function>, String> {

@@ -22,8 +22,9 @@
 //! any worker count (provided the tasks themselves are deterministic).
 
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-run pool accounting, reported through `DriverStats`.
@@ -140,6 +141,178 @@ where
     )
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct ServiceShared {
+    /// One deque per worker, same steal discipline as [`run_indexed`]:
+    /// own front first, then victims' backs.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Count of pushed-but-unclaimed jobs; the condvar's guarded state.
+    pending: Mutex<usize>,
+    cond: Condvar,
+    shutting_down: AtomicBool,
+    active: AtomicUsize,
+    executed: AtomicUsize,
+    panicked: AtomicUsize,
+}
+
+/// The long-lived sibling of [`run_indexed`]: the same per-worker-deque /
+/// steal-from-the-back layout, but accepting jobs continuously instead of
+/// a frozen task list — the daemon multiplexes network requests onto it.
+///
+/// Robustness properties the batch pool never needed:
+///
+/// * **panic isolation** — a job that panics is counted
+///   ([`ServicePool::panicked`]) and its worker keeps serving; a panic
+///   can never take the pool down (callers typically also catch panics
+///   themselves to turn them into per-request error responses — this is
+///   the second line of defense);
+/// * **graceful shutdown** — [`ServicePool::shutdown`] lets every queued
+///   job run before joining the workers, so an accepted request is never
+///   dropped on the floor;
+/// * the queue itself is unbounded: *admission control belongs to the
+///   caller* (the daemon rejects with `BUSY` before submitting), so the
+///   pool never has to make a load-shedding decision it lacks context
+///   for.
+pub struct ServicePool {
+    shared: Arc<ServiceShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next: AtomicUsize,
+}
+
+impl ServicePool {
+    /// Spin up `jobs` long-lived workers (0 is treated as 1).
+    pub fn new(jobs: usize) -> ServicePool {
+        let jobs = jobs.max(1);
+        let shared = Arc::new(ServiceShared {
+            deques: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: Mutex::new(0),
+            cond: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+        });
+        let workers = (0..jobs)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("regalloc-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ServicePool {
+            shared,
+            workers: Mutex::new(workers),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Queue a job. Jobs are distributed round-robin across the worker
+    /// deques; an idle worker steals from the back of a loaded one, so a
+    /// skewed arrival pattern still uses every worker.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
+        self.shared.deques[w]
+            .lock()
+            .unwrap()
+            .push_back(Box::new(job));
+        *self.shared.pending.lock().unwrap() += 1;
+        self.shared.cond.notify_one();
+    }
+
+    /// Jobs queued but not yet claimed by a worker.
+    pub fn queued(&self) -> usize {
+        *self.shared.pending.lock().unwrap()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed (including panicked ones).
+    pub fn executed(&self) -> usize {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked (isolated, worker survived).
+    pub fn panicked(&self) -> usize {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing is queued or executing.
+    pub fn is_idle(&self) -> bool {
+        self.queued() == 0 && self.active() == 0
+    }
+
+    /// Drain the queue (every already-submitted job runs) and join the
+    /// workers. Idempotent; jobs submitted after shutdown never run.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &ServiceShared, w: usize) {
+    loop {
+        // Claim a pending job (or learn we are done).
+        {
+            let mut pending = shared.pending.lock().unwrap();
+            loop {
+                if *pending > 0 {
+                    *pending -= 1;
+                    break;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .cond
+                    .wait_timeout(pending, Duration::from_millis(50))
+                    .unwrap();
+                pending = guard;
+            }
+        }
+        // The claim guarantees a job exists in *some* deque; pop own
+        // front, then steal from victims' backs, retrying on the rare
+        // race where another claimant reached the same deque first.
+        let job = loop {
+            if let Some(j) = pop_job(&shared.deques, w) {
+                break j;
+            }
+            std::thread::yield_now();
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shared.executed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Pop a job: own deque first (front), then steal (back) sweeping the
+/// victims from `w + 1` around the ring — the [`next_task`] discipline
+/// over owned jobs instead of indices.
+fn pop_job(deques: &[Mutex<VecDeque<Job>>], w: usize) -> Option<Job> {
+    if let Some(j) = deques[w].lock().unwrap().pop_front() {
+        return Some(j);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        if let Some(j) = deques[(w + off) % n].lock().unwrap().pop_back() {
+            return Some(j);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +383,57 @@ mod tests {
     fn rejects_duplicate_order_entries() {
         let items = [1u32, 2];
         run_indexed(2, &items, &[0, 0], |_, &x| x);
+    }
+
+    #[test]
+    fn service_pool_runs_every_submitted_job() {
+        let pool = ServicePool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(pool.executed(), 64);
+        assert_eq!(pool.panicked(), 0);
+        assert!(pool.is_idle());
+    }
+
+    #[test]
+    fn service_pool_isolates_panics_and_keeps_serving() {
+        let pool = ServicePool::new(2);
+        let ok = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let ok = Arc::clone(&ok);
+            pool.submit(move || {
+                if i % 4 == 0 {
+                    panic!("injected job panic");
+                }
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(pool.panicked(), 5);
+        assert_eq!(ok.load(Ordering::SeqCst), 15);
+        assert_eq!(pool.executed(), 20);
+    }
+
+    #[test]
+    fn service_pool_shutdown_drains_queued_jobs_first() {
+        // One worker, many queued jobs: shutdown must let the backlog run.
+        let pool = ServicePool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_micros(200));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32, "no accepted job dropped");
     }
 }

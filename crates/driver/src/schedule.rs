@@ -1,5 +1,6 @@
-//! Deadline-aware scheduling: cheapest-model-first ordering and the
-//! global wall-clock budget governor.
+//! Deadline-aware scheduling: cheapest-model-first ordering, the global
+//! wall-clock budget governor (batch runs), and per-client token-bucket
+//! budgets ([`ClientBudgets`], the daemon's multi-tenant fair share).
 //!
 //! The paper bounds every function with the same 1024-second CPLEX
 //! budget; a batch service has the dual problem — a budget for the *whole
@@ -28,8 +29,10 @@
 //! receives the full per-function grant and results are independent of
 //! timing and worker count.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use regalloc_ilp::Deadline;
 use regalloc_ir::Function;
@@ -82,9 +85,12 @@ impl BudgetGovernor {
     }
 
     /// Grant a wall-clock budget to the next dequeued function and
-    /// consume its slot in the fair-share calculation.
+    /// consume its slot in the fair-share calculation. Granting more
+    /// often than the planned task count (a zero-function suite, or a
+    /// long-running daemon reusing one governor) saturates at "one
+    /// function left" rather than underflowing the fair share.
     pub fn grant(&self) -> Duration {
-        let left = self.remaining.fetch_sub(1, Ordering::Relaxed).max(1);
+        let left = self.consume_slot().max(1);
         match self.global.remaining() {
             None => self.per_fn,
             Some(rem) if rem.is_zero() => Duration::ZERO,
@@ -101,12 +107,156 @@ impl BudgetGovernor {
     /// Release a slot without consuming budget (cache hits cost no solver
     /// time, so they should not shrink anyone else's share).
     pub fn skip(&self) {
-        self.remaining.fetch_sub(1, Ordering::Relaxed);
+        self.consume_slot();
+    }
+
+    /// Decrement the remaining-task count without wrapping below zero;
+    /// returns the value *before* the decrement.
+    fn consume_slot(&self) -> usize {
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .unwrap_or(0)
     }
 
     /// True once the global budget has fully drained.
     pub fn exhausted(&self) -> bool {
         self.global.expired()
+    }
+}
+
+/// How a per-client grant compares to what was asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrantDisposition {
+    /// The full requested budget was granted.
+    Full,
+    /// The client's bucket covered only part of the request
+    /// (`DEADLINE_SHRUNK` on the wire): the function still solves, under
+    /// a smaller deadline that may demote it down the ladder.
+    Shrunk,
+    /// The bucket is empty (`BUDGET_EXHAUSTED`): the grant is zero and
+    /// the ladder falls straight through to its always-terminating
+    /// fallback rungs.
+    Exhausted,
+}
+
+impl GrantDisposition {
+    /// Short stable name (wire protocol and metrics label).
+    pub fn name(self) -> &'static str {
+        match self {
+            GrantDisposition::Full => "full",
+            GrantDisposition::Shrunk => "shrunk",
+            GrantDisposition::Exhausted => "exhausted",
+        }
+    }
+
+    fn of(want: Duration, granted: Duration) -> GrantDisposition {
+        if granted.is_zero() && !want.is_zero() {
+            GrantDisposition::Exhausted
+        } else if granted < want {
+            GrantDisposition::Shrunk
+        } else {
+            GrantDisposition::Full
+        }
+    }
+}
+
+/// One tenant's token bucket, in fractional seconds of solver time.
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Per-client fair-share solver-time budgets for the multi-tenant daemon
+/// — the [`BudgetGovernor`]'s dual. Where the governor divides one global
+/// wall clock among the functions of a single batch, `ClientBudgets`
+/// gives every client its own token bucket (capacity = burst, refill
+/// rate = sustained solver-seconds per wall-clock second) so one tenant
+/// flooding huge functions drains *its own* bucket and cannot starve
+/// anyone else's.
+///
+/// Admission *reserves* pessimistically ([`ClientBudgets::charge`] takes
+/// the full requested deadline out of the bucket) and completion
+/// *settles* optimistically ([`ClientBudgets::settle`] refunds the
+/// unused remainder), so a burst of cheap cache hits costs almost
+/// nothing while a tenant with many expensive solves in flight sees its
+/// later grants shrink toward zero.
+pub struct ClientBudgets {
+    capacity: Duration,
+    refill_per_sec: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl ClientBudgets {
+    /// Buckets of `capacity` solver-time, refilling at `refill_per_sec`
+    /// seconds of budget per second of wall clock (0.0 = no refill; the
+    /// bucket is a hard per-client allowance).
+    pub fn new(capacity: Duration, refill_per_sec: f64) -> ClientBudgets {
+        ClientBudgets {
+            capacity,
+            refill_per_sec: refill_per_sec.max(0.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn refill(&self, b: &mut Bucket, now: Instant) {
+        if self.refill_per_sec > 0.0 {
+            let dt = now.duration_since(b.last_refill).as_secs_f64();
+            b.tokens = (b.tokens + dt * self.refill_per_sec).min(self.capacity.as_secs_f64());
+        }
+        b.last_refill = now;
+    }
+
+    /// Reserve up to `want` from `client`'s bucket; returns the granted
+    /// deadline and how it compares to the request. A function larger
+    /// than the whole bucket is *shrunk to the bucket*, never refused —
+    /// the degradation ladder turns a small grant into a demoted
+    /// allocation rather than an error.
+    pub fn charge(&self, client: &str, want: Duration) -> (Duration, GrantDisposition) {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        let b = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: self.capacity.as_secs_f64(),
+            last_refill: now,
+        });
+        self.refill(b, now);
+        let granted = want.as_secs_f64().min(b.tokens).max(0.0);
+        b.tokens -= granted;
+        let granted = Duration::from_secs_f64(granted);
+        (granted, GrantDisposition::of(want, granted))
+    }
+
+    /// Refund the unused part of a reservation once the request finished:
+    /// `granted - used`, saturating, capped at the bucket capacity.
+    pub fn settle(&self, client: &str, granted: Duration, used: Duration) {
+        let refund = granted.saturating_sub(used);
+        if refund.is_zero() {
+            return;
+        }
+        let mut buckets = self.buckets.lock().unwrap();
+        if let Some(b) = buckets.get_mut(client) {
+            b.tokens = (b.tokens + refund.as_secs_f64()).min(self.capacity.as_secs_f64());
+        }
+    }
+
+    /// The client's current balance (full capacity for a never-seen
+    /// client).
+    pub fn available(&self, client: &str) -> Duration {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        match buckets.get_mut(client) {
+            None => self.capacity,
+            Some(b) => {
+                self.refill(b, now);
+                Duration::from_secs_f64(b.tokens.max(0.0))
+            }
+        }
+    }
+
+    /// Number of clients with a bucket.
+    pub fn clients(&self) -> usize {
+        self.buckets.lock().unwrap().len()
     }
 }
 
@@ -150,6 +300,70 @@ mod tests {
         let g = BudgetGovernor::new(Some(Duration::ZERO), Duration::from_secs(5), 2, 10);
         assert!(g.exhausted());
         assert_eq!(g.grant(), Duration::ZERO);
+    }
+
+    #[test]
+    fn client_buckets_shrink_then_exhaust_independently() {
+        // No refill: a hard allowance, so the arithmetic is deterministic.
+        let budgets = ClientBudgets::new(Duration::from_millis(100), 0.0);
+        let want = Duration::from_millis(80);
+        let (g, d) = budgets.charge("a", want);
+        assert_eq!((g, d), (want, GrantDisposition::Full));
+        // 20ms left: the next request is shrunk, not refused.
+        let (g, d) = budgets.charge("a", want);
+        assert_eq!(
+            (g, d),
+            (Duration::from_millis(20), GrantDisposition::Shrunk)
+        );
+        // Empty: exhausted, zero grant.
+        let (g, d) = budgets.charge("a", want);
+        assert_eq!((g, d), (Duration::ZERO, GrantDisposition::Exhausted));
+        // Client b's bucket is untouched by a's flood.
+        let (g, d) = budgets.charge("b", want);
+        assert_eq!((g, d), (want, GrantDisposition::Full));
+        assert_eq!(budgets.clients(), 2);
+    }
+
+    #[test]
+    fn oversized_request_is_shrunk_to_the_bucket_not_refused() {
+        let budgets = ClientBudgets::new(Duration::from_secs(1), 0.0);
+        let (g, d) = budgets.charge("a", Duration::from_secs(100));
+        assert_eq!(g, Duration::from_secs(1));
+        assert_eq!(d, GrantDisposition::Shrunk);
+    }
+
+    #[test]
+    fn settle_refunds_unused_reservation_up_to_capacity() {
+        let budgets = ClientBudgets::new(Duration::from_millis(100), 0.0);
+        let (g, _) = budgets.charge("a", Duration::from_millis(100));
+        // The solve actually used 10ms of the 100ms reservation.
+        budgets.settle("a", g, Duration::from_millis(10));
+        assert_eq!(budgets.available("a"), Duration::from_millis(90));
+        // Refunds never overflow the bucket.
+        budgets.settle("a", Duration::from_secs(100), Duration::ZERO);
+        assert_eq!(budgets.available("a"), Duration::from_millis(100));
+        // Using more than granted refunds nothing (and never underflows).
+        let (g, _) = budgets.charge("a", Duration::from_millis(50));
+        budgets.settle("a", g, Duration::from_secs(9));
+        assert_eq!(budgets.available("a"), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn governor_slots_saturate_instead_of_underflowing() {
+        // A zero-function suite (or a daemon granting past the planned
+        // count) must keep granting sane fair shares, not divide by a
+        // wrapped-around usize.
+        let g = BudgetGovernor::new(Some(Duration::from_secs(10)), Duration::from_secs(1), 1, 0);
+        for _ in 0..3 {
+            let grant = g.grant();
+            assert_eq!(
+                grant,
+                Duration::from_secs(1),
+                "saturated fair share stays at the per-function ceiling"
+            );
+        }
+        g.skip();
+        assert_eq!(g.grant(), Duration::from_secs(1));
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! The per-function allocation service — the single code path behind
+//! both the batch CLI ([`crate::run_suite`]) and the `regalloc-serve`
+//! daemon.
+//!
+//! Extracting this out of `run_suite` is what makes the daemon's
+//! byte-identity guarantee cheap to state: a request served over the
+//! wire runs *exactly* the code a batch run would, down to the cache
+//! lookup ordering and the warm-start donor selection. The two callers
+//! differ only in where the wall-clock grant comes from, which is
+//! abstracted behind [`BudgetSource`]:
+//!
+//! * the batch driver passes its [`BudgetGovernor`] (fair share of a
+//!   global budget, shrinking as it drains);
+//! * the daemon pre-charges a per-client token bucket
+//!   ([`crate::schedule::ClientBudgets`]) at admission and passes the
+//!   reserved grant as a [`FixedGrant`], settling the refund after the
+//!   solve.
+//!
+//! Fault injection ([`FaultPlan`]) is a per-request option so the chaos
+//! soak can hammer the daemon, but a faulted request **never touches the
+//! shared cache** — neither lookup nor store — so injected corruption
+//! cannot poison results served to well-behaved clients.
+
+use std::time::{Duration, Instant};
+
+use regalloc_coloring::ColoringAllocator;
+use regalloc_core::{DonorSolution, FaultPlan, ReasonCode, RobustAllocator, Rung, WarmStartKind};
+use regalloc_ir::{fingerprint, shape_vector, Function};
+use regalloc_obs::{Event, Metrics, Phase, Tracer, SIZE_BUCKETS, TIME_BUCKETS};
+use regalloc_x86::{Machine, X86Machine, X86RegFile};
+
+use crate::cache::{cache_key, CacheEntry, DonorEntry, SolutionCache};
+use crate::schedule::BudgetGovernor;
+use crate::{not_attempted, BaselineResult, CacheMode, DriverConfig, FunctionResult};
+
+/// Where a task's wall-clock grant comes from.
+///
+/// `grant` is called once per fresh solve (never on a cache hit or a
+/// skipped function — those call `skip`, which lets fair-share
+/// implementations return the unused share to the pool).
+pub trait BudgetSource: Sync {
+    /// Reserve and return the wall-clock budget for one fresh solve.
+    fn grant(&self) -> Duration;
+    /// Note that a task completed without solving (hit / not attempted).
+    fn skip(&self);
+}
+
+impl BudgetSource for BudgetGovernor {
+    fn grant(&self) -> Duration {
+        BudgetGovernor::grant(self)
+    }
+    fn skip(&self) {
+        BudgetGovernor::skip(self)
+    }
+}
+
+/// A pre-reserved grant: the daemon charges the client's token bucket at
+/// admission and hands the reservation here. During drain the daemon
+/// substitutes [`Duration::ZERO`], which drops in-flight work straight to
+/// the ladder's always-terminating fallback rungs.
+pub struct FixedGrant(pub Duration);
+
+impl BudgetSource for FixedGrant {
+    fn grant(&self) -> Duration {
+        self.0
+    }
+    fn skip(&self) {}
+}
+
+/// Per-request overrides layered over the service's [`DriverConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct RequestOptions {
+    /// Override [`DriverConfig::lint`] for this request.
+    pub lint: Option<bool>,
+    /// Override [`DriverConfig::trace`] for this request.
+    pub trace: Option<bool>,
+    /// Inject faults into this request's pipeline (chaos testing). A
+    /// faulted request always bypasses the cache.
+    pub faults: Option<FaultPlan>,
+    /// Bypass the solution cache entirely (no lookup, no store).
+    pub bypass_cache: bool,
+}
+
+/// The long-lived allocation service: machine model, solution cache and
+/// frozen donor snapshot, shared by every worker.
+///
+/// Donors are frozen at construction — exactly the batch driver's
+/// "cold run" semantics — so warm-start selection is independent of
+/// request arrival order and the byte-identity guarantee holds for any
+/// interleaving of clients.
+pub struct AllocationService {
+    cfg: DriverConfig,
+    machine: X86Machine,
+    cache: Option<SolutionCache>,
+    donors: Vec<DonorEntry>,
+}
+
+impl AllocationService {
+    /// Build the service from a driver configuration. `cfg.jobs` and
+    /// `cfg.global_budget` are carried but not consulted here — they
+    /// belong to the caller's scheduling layer.
+    pub fn new(cfg: DriverConfig) -> AllocationService {
+        let machine = X86Machine::pentium();
+        let cache = match &cfg.cache {
+            CacheMode::Off => None,
+            CacheMode::Memory => Some(SolutionCache::with_limits(None, cfg.cache_limits)),
+            CacheMode::Disk(dir) => Some(SolutionCache::with_limits(
+                Some(dir.clone()),
+                cfg.cache_limits,
+            )),
+        };
+        let donors: Vec<DonorEntry> = match (&cache, cfg.warm_starts) {
+            (Some(c), true) => c.donor_snapshot(),
+            _ => Vec::new(),
+        };
+        AllocationService {
+            cfg,
+            machine,
+            cache,
+            donors,
+        }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.cfg
+    }
+
+    /// The solution cache, if one is configured.
+    pub fn cache(&self) -> Option<&SolutionCache> {
+        self.cache.as_ref()
+    }
+
+    /// The machine model every request is allocated against.
+    pub fn machine(&self) -> &X86Machine {
+        &self.machine
+    }
+
+    /// The analysis-free cost estimate the admission layer sizes
+    /// requests with.
+    pub fn estimate(&self, f: &Function) -> usize {
+        regalloc_core::build::estimate_constraints(f)
+    }
+
+    /// Allocate one function: the sealed task the batch pool and the
+    /// daemon workers both run. Returns the finished [`FunctionResult`]
+    /// with its trace (when tracing) and metrics shard attached.
+    pub fn allocate_one(
+        &self,
+        f: &Function,
+        estimate: usize,
+        budget: &dyn BudgetSource,
+        opts: &RequestOptions,
+    ) -> FunctionResult {
+        let tracing = opts.trace.unwrap_or(self.cfg.trace);
+        let tracer = if tracing { Tracer::on() } else { Tracer::off() };
+        let (mut r, cache_outcome) = self.allocate_inner(f, estimate, budget, opts, &tracer);
+        if tracing {
+            r.trace = Some(tracer.finish(&r.name));
+        }
+        r.metrics = task_metrics(&r, cache_outcome);
+        r
+    }
+
+    fn allocate_inner(
+        &self,
+        f: &Function,
+        estimate: usize,
+        budget: &dyn BudgetSource,
+        opts: &RequestOptions,
+        tracer: &Tracer,
+    ) -> (FunctionResult, Option<&'static str>) {
+        let t0 = Instant::now();
+        let cfg = &self.cfg;
+        let machine = &self.machine;
+        let lint_on = opts.lint.unwrap_or(cfg.lint);
+        // A faulted request must not read or write shared state: its
+        // degraded (or corrupted-then-caught) outcome would otherwise be
+        // served to healthy clients and break byte-identity with batch.
+        let use_cache = !opts.bypass_cache && opts.faults.is_none();
+        if f.uses_64bit() {
+            budget.skip();
+            return (not_attempted(f, estimate), None);
+        }
+        let gc = ColoringAllocator::new(machine);
+        let baseline = cfg.compare_baseline.then(|| {
+            let c = gc
+                .allocate(f)
+                .expect("baseline allocates attempted functions");
+            let bytes = regalloc_x86::encoding::function_size(machine, &c.func);
+            BaselineResult {
+                func: c.func,
+                stats: c.stats,
+                bytes,
+            }
+        });
+
+        let key = cache_key(f, machine.name(), &cfg.solver);
+        let cache = if use_cache { self.cache.as_ref() } else { None };
+        let mut cache_outcome = cache.map(|_| "miss");
+        if let Some(cache) = cache {
+            // Pin across lookup + revalidation: a concurrent store from
+            // another worker may trigger LRU eviction, and an entry must
+            // never be evicted while it is being verified.
+            let _pin = cache.pin(key);
+            let hit = {
+                let _c = tracer.time(Phase::Cache);
+                cache.lookup(key)
+            };
+            if let Some(hit) = hit {
+                // An entry that degraded below the IP-optimal rung under a
+                // smaller budget than the one now configured can plausibly
+                // do better today: treat it as a miss and re-solve (the
+                // key deliberately ignores the governed deadline so this
+                // judgment happens here). The entry stays in place — it
+                // may still donate its symbolic solution.
+                let stale_deadline = hit.entry.rung != Rung::IpOptimal
+                    && hit.entry.effective_deadline < cfg.function_budget;
+                // The cache's own structural re-verification has passed;
+                // the static translation validator additionally proves the
+                // stored code computes *this* function's values. A failure
+                // means the entry was stale or corrupt: evict and resolve.
+                let revalidation_failed = cfg.revalidate_cache && {
+                    let _c = tracer.time(Phase::Cache);
+                    !regalloc_lint::validate(machine, f, &hit.func).is_empty()
+                };
+                if revalidation_failed {
+                    cache.reject(key);
+                    cache_outcome = Some("rejected");
+                } else if stale_deadline {
+                    cache_outcome = Some("stale");
+                } else {
+                    budget.skip();
+                    tracer.event(|| Event::CacheLookup { outcome: "hit" });
+                    let lints = if lint_on {
+                        let _l = tracer.time(Phase::Lint);
+                        regalloc_lint::lint_allocation(machine, f, &hit.func)
+                    } else {
+                        Vec::new()
+                    };
+                    note_lints(tracer, &lints);
+                    let result = FunctionResult {
+                        name: f.name().to_string(),
+                        attempted: true,
+                        func: Some(hit.func),
+                        stats: hit.entry.stats,
+                        rung: Some(hit.entry.rung),
+                        reasons: hit.entry.reasons,
+                        num_constraints: hit.entry.num_constraints,
+                        num_vars: hit.entry.num_vars,
+                        num_insts: hit.entry.num_insts,
+                        solver_nodes: hit.entry.solver_nodes,
+                        lp_iters: hit.entry.lp_iters,
+                        solve_time: Duration::ZERO,
+                        ip_bytes: hit.entry.ip_bytes,
+                        cache_hit: true,
+                        warm_start: hit.entry.warm_start,
+                        granted_budget: cfg.function_budget,
+                        estimate,
+                        task_time: t0.elapsed(),
+                        lints,
+                        baseline,
+                        trace: None,
+                        metrics: Metrics::default(),
+                        error: None,
+                    };
+                    return (result, Some("hit"));
+                }
+            }
+        }
+        if let Some(outcome) = cache_outcome {
+            tracer.event(|| Event::CacheLookup { outcome });
+        }
+
+        // Nearest-neighbour donor lookup: the frozen snapshot's closest
+        // shape within the distance threshold, ties broken by fingerprint
+        // for determinism. An exact fingerprint match means the donor
+        // solved this very body (under a different solver configuration
+        // or before a stale-deadline re-solve) and lowers rather than
+        // projects.
+        let fp = fingerprint(f);
+        let shape = shape_vector(f);
+        let donor = if use_cache {
+            self.donors
+                .iter()
+                .map(|d| (d.shape.distance(&shape), d))
+                .filter(|(dist, _)| *dist <= cfg.warm_start_distance)
+                .min_by(|a, b| {
+                    a.0.total_cmp(&b.0)
+                        .then_with(|| a.1.fingerprint.cmp(&b.1.fingerprint))
+                })
+                .map(|(_, d)| DonorSolution {
+                    exact: d.fingerprint == fp,
+                    solution: d.solution.clone(),
+                })
+        } else {
+            None
+        };
+
+        let granted = budget.grant();
+        let mut robust = RobustAllocator::<_, X86RegFile>::new(machine)
+            .with_solver_config(cfg.solver.clone())
+            .with_budget(granted)
+            .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
+            .with_baseline(&gc)
+            .with_donor(donor);
+        if let Some(faults) = &opts.faults {
+            robust = robust.with_faults(*faults);
+        }
+        let outcome = match robust.allocate_traced(f, tracer) {
+            Ok(out) => {
+                let ip_bytes = {
+                    let _e = tracer.time(Phase::Encode);
+                    regalloc_x86::encoding::function_size(machine, &out.func)
+                };
+                let lints = if lint_on {
+                    let _l = tracer.time(Phase::Lint);
+                    regalloc_lint::lint_allocation(machine, f, &out.func)
+                } else {
+                    Vec::new()
+                };
+                note_lints(tracer, &lints);
+                let reasons: Vec<ReasonCode> =
+                    out.report.demotions.iter().map(|d| d.reason).collect();
+                if let Some(cache) = cache {
+                    let _c = tracer.time(Phase::Cache);
+                    cache.store(
+                        key,
+                        CacheEntry {
+                            rung: out.report.rung,
+                            reasons: reasons.clone(),
+                            stats: out.stats,
+                            num_constraints: out.report.num_constraints,
+                            num_vars: out.report.num_vars,
+                            num_insts: out.report.num_insts,
+                            solver_nodes: out.report.solver_nodes,
+                            lp_iters: out.report.lp_iters,
+                            ip_bytes,
+                            effective_deadline: granted,
+                            fingerprint: fp,
+                            shape,
+                            warm_start: out.report.warm_start,
+                            symbolic: out.symbolic.clone(),
+                            slots: out.func.slots().to_vec(),
+                            func_text: format!("{}\n", out.func),
+                        },
+                    );
+                }
+                FunctionResult {
+                    name: f.name().to_string(),
+                    attempted: true,
+                    func: Some(out.func),
+                    stats: out.stats,
+                    rung: Some(out.report.rung),
+                    reasons,
+                    num_constraints: out.report.num_constraints,
+                    num_vars: out.report.num_vars,
+                    num_insts: out.report.num_insts,
+                    solver_nodes: out.report.solver_nodes,
+                    lp_iters: out.report.lp_iters,
+                    solve_time: out.report.solve_time,
+                    ip_bytes,
+                    cache_hit: false,
+                    warm_start: out.report.warm_start,
+                    granted_budget: granted,
+                    estimate,
+                    task_time: t0.elapsed(),
+                    lints,
+                    baseline,
+                    trace: None,
+                    metrics: Metrics::default(),
+                    error: None,
+                }
+            }
+            Err(e) => FunctionResult {
+                name: f.name().to_string(),
+                attempted: true,
+                func: None,
+                stats: Default::default(),
+                rung: None,
+                reasons: Vec::new(),
+                num_constraints: 0,
+                num_vars: 0,
+                num_insts: f.num_insts(),
+                solver_nodes: 0,
+                lp_iters: 0,
+                solve_time: Duration::ZERO,
+                ip_bytes: 0,
+                cache_hit: false,
+                warm_start: WarmStartKind::None,
+                granted_budget: granted,
+                estimate,
+                task_time: t0.elapsed(),
+                lints: Vec::new(),
+                baseline,
+                trace: None,
+                metrics: Metrics::default(),
+                error: Some(e.to_string()),
+            },
+        };
+        (outcome, cache_outcome)
+    }
+}
+
+/// Split textual IR into functions (`fn ...` through the closing `}` at
+/// column zero) and parse each. `label` names the source in errors (a
+/// file path, or a request id on the wire).
+pub fn parse_functions(label: &str, text: &str) -> Result<Vec<Function>, String> {
+    let mut funcs = Vec::new();
+    let mut chunk = String::new();
+    for line in text.lines() {
+        if line.starts_with("fn ") && !chunk.is_empty() {
+            return Err(format!("{label}: `fn` before previous function closed"));
+        }
+        if line.starts_with(';') || (line.trim().is_empty() && chunk.is_empty()) {
+            continue;
+        }
+        chunk.push_str(line);
+        chunk.push('\n');
+        if line == "}" {
+            funcs.push(regalloc_ir::parse_function(&chunk).map_err(|e| format!("{label}: {e}"))?);
+            chunk.clear();
+        }
+    }
+    if !chunk.trim().is_empty() {
+        return Err(format!("{label}: unterminated function at end of file"));
+    }
+    Ok(funcs)
+}
+
+/// Emit one `LintFindings` event per diagnostic code (sorted by slug).
+fn note_lints(tracer: &Tracer, lints: &[regalloc_lint::Diagnostic]) {
+    if !tracer.is_on() || lints.is_empty() {
+        return;
+    }
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for d in lints {
+        *counts.entry(d.code.slug).or_insert(0) += 1;
+    }
+    for (code, count) in counts {
+        tracer.event(|| Event::LintFindings { code, count });
+    }
+}
+
+/// Build one task's metrics shard from its finished result.
+/// `cache_outcome` is the lookup disposition (`hit` / `miss` / `stale` /
+/// `rejected`), absent when the cache is off or bypassed.
+fn task_metrics(r: &FunctionResult, cache_outcome: Option<&'static str>) -> Metrics {
+    let mut m = Metrics::new();
+    m.inc("regalloc_functions_total", &[], 1);
+    m.observe(
+        "regalloc_function_insts",
+        &[],
+        SIZE_BUCKETS,
+        r.num_insts as f64,
+    );
+    if let Some(outcome) = cache_outcome {
+        m.inc("regalloc_cache_events_total", &[("outcome", outcome)], 1);
+    }
+    if !r.attempted {
+        return m;
+    }
+    m.inc("regalloc_functions_attempted_total", &[], 1);
+    if r.solved() {
+        m.inc("regalloc_functions_solved_total", &[], 1);
+    }
+    if r.solved_optimally() {
+        m.inc("regalloc_functions_optimal_total", &[], 1);
+    }
+    if let Some(rung) = r.rung {
+        m.inc("regalloc_rung_functions_total", &[("rung", rung.name())], 1);
+    }
+    for reason in &r.reasons {
+        m.inc("regalloc_demotions_total", &[("reason", reason.name())], 1);
+    }
+    if !r.cache_hit && r.warm_start != WarmStartKind::None {
+        m.inc(
+            "regalloc_warm_starts_total",
+            &[("kind", r.warm_start.name())],
+            1,
+        );
+    }
+    m.inc("regalloc_solver_nodes_total", &[], r.solver_nodes);
+    m.inc("regalloc_solver_lp_iters_total", &[], r.lp_iters);
+    for d in &r.lints {
+        m.inc("regalloc_lint_findings_total", &[("code", d.code.slug)], 1);
+    }
+    if r.num_vars > 0 {
+        m.observe("regalloc_model_vars", &[], SIZE_BUCKETS, r.num_vars as f64);
+        m.observe(
+            "regalloc_model_constraints",
+            &[],
+            SIZE_BUCKETS,
+            r.num_constraints as f64,
+        );
+    }
+    if let Some(t) = &r.trace {
+        for (phase, d) in &t.phase_times {
+            m.observe(
+                "regalloc_phase_seconds",
+                &[("phase", phase.name())],
+                TIME_BUCKETS,
+                d.as_secs_f64(),
+            );
+        }
+    }
+    m
+}

@@ -38,6 +38,7 @@ fn fast_config() -> DriverConfig {
         function_budget: Duration::from_secs(300),
         global_budget: None,
         cache: CacheMode::Off,
+        cache_limits: regalloc_driver::cache::CacheLimits::unlimited(),
         equiv_runs: 1,
         equiv_seed: 7,
         compare_baseline: false,

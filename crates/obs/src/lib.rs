@@ -18,7 +18,7 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Histogram, Metrics, SIZE_BUCKETS, TIME_BUCKETS};
+pub use metrics::{Histogram, Metrics, SharedMetrics, SIZE_BUCKETS, TIME_BUCKETS};
 pub use trace::{
     jsonl_events, jsonl_timings, Event, FunctionTrace, Phase, SpanGuard, TimeGuard, Tracer,
 };

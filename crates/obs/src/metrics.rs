@@ -260,6 +260,60 @@ impl Metrics {
     }
 }
 
+/// A [`Metrics`] registry behind a mutex, for components that mutate one
+/// registry from many threads *live* (the long-running daemon) instead of
+/// merging per-task shards after the fact (the batch driver). Contention
+/// is negligible at the daemon's update granularity — a handful of
+/// counter bumps per request, never per solver iteration.
+#[derive(Debug, Default)]
+pub struct SharedMetrics(std::sync::Mutex<Metrics>);
+
+impl SharedMetrics {
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    /// Add `by` to a counter series.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        self.0.lock().unwrap().inc(name, labels, by);
+    }
+
+    /// Set a gauge series to an absolute value.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.0.lock().unwrap().set_gauge(name, labels, value);
+    }
+
+    /// Observe into a histogram series.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        self.0.lock().unwrap().observe(name, labels, bounds, value);
+    }
+
+    /// Fold a finished task's shard into the live registry.
+    pub fn merge(&self, shard: &Metrics) {
+        self.0.lock().unwrap().merge(shard);
+    }
+
+    /// Exact-series counter lookup (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.0.lock().unwrap().counter(name, labels)
+    }
+
+    /// Current gauge value, when set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.0.lock().unwrap().gauge(name, labels)
+    }
+
+    /// A point-in-time copy of the registry.
+    pub fn snapshot(&self) -> Metrics {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Render the current registry in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        self.0.lock().unwrap().to_prometheus()
+    }
+}
+
 /// Splice an `le` label into an existing (possibly empty) label block.
 fn with_le(labels: &str, le: &str) -> String {
     if labels.is_empty() {

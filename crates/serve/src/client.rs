@@ -1,0 +1,187 @@
+//! Blocking client for the `regalloc-serve` daemon.
+//!
+//! One [`Client`] owns one connection. Requests may be pipelined:
+//! [`Client::send_alloc`] writes a request without waiting, and
+//! [`Client::recv`] returns the next response frame (responses carry the
+//! request id, so callers match them up). [`Client::alloc`] is the simple
+//! send-then-wait wrapper that skips past unrelated pipelined responses'
+//! — it waits for *this* request's id.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{parse_ok_payload, Frame};
+
+/// Per-request knobs, mapped onto `ALLOC` header fields.
+#[derive(Clone, Debug, Default)]
+pub struct AllocOptions {
+    /// Requested solve deadline in milliseconds (server caps it at its
+    /// own per-function ceiling).
+    pub budget_ms: Option<u64>,
+    /// Ask for lint diagnostics in the response payload.
+    pub lint: bool,
+    /// Inject a seeded fault plan (chaos testing only).
+    pub fault_seed: Option<u64>,
+}
+
+/// A decoded terminal response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The raw frame (verb `OK`, `ERR`, `BUSY`, `DRAINING`, `PONG`).
+    pub frame: Frame,
+    /// For `OK`: the allocation text, byte-identical to the batch CLI's
+    /// `--dump-allocs` output for the same input and configuration.
+    pub func_text: Option<String>,
+    /// For `OK`: the `.report` section as a key/value map.
+    pub report: BTreeMap<String, String>,
+}
+
+impl Response {
+    fn decode(frame: Frame) -> Result<Response, String> {
+        let (func_text, report) = if frame.verb == "OK" && !frame.payload.is_empty() {
+            let (f, r) = parse_ok_payload(&frame.payload)?;
+            (Some(f), r)
+        } else {
+            (None, BTreeMap::new())
+        };
+        Ok(Response {
+            frame,
+            func_text,
+            report,
+        })
+    }
+
+    /// The response id.
+    pub fn id(&self) -> &str {
+        self.frame.id()
+    }
+
+    /// The `ERR`/`BUSY` explanation, or the payload as text.
+    pub fn message(&self) -> String {
+        String::from_utf8_lossy(&self.frame.payload).into_owned()
+    }
+}
+
+/// A blocking connection to the daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    client_id: String,
+    next_id: u64,
+    max_payload: usize,
+}
+
+impl Client {
+    /// Connect to `addr` identifying as `client_id` (the budget tenant).
+    pub fn connect(addr: &str, client_id: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+            client_id: client_id.to_string(),
+            next_id: 0,
+            max_payload: 16 << 20,
+        })
+    }
+
+    /// Bound how long a single `recv` may block.
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(t)
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("{}-{}", self.client_id, self.next_id)
+    }
+
+    /// Fire an `ALLOC` without waiting; returns the request id.
+    pub fn send_alloc(&mut self, ir_text: &str, opts: &AllocOptions) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        let mut f = Frame::new("ALLOC")
+            .field("id", &id)
+            .field("client", &self.client_id);
+        if let Some(ms) = opts.budget_ms {
+            f = f.field("budget_ms", ms);
+        }
+        if opts.lint {
+            f = f.field("lint", 1);
+        }
+        if let Some(seed) = opts.fault_seed {
+            f = f.field("fault_seed", seed);
+        }
+        let f = f.with_payload(ir_text.as_bytes().to_vec());
+        f.write_to(&mut self.writer)?;
+        Ok(id)
+    }
+
+    /// Read the next response frame, whatever request it answers.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        match Frame::read_from(&mut self.reader, self.max_payload)? {
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(Ok(frame)) => Response::decode(frame)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+            Some(Err(e)) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Send one allocation request and wait for *its* terminal response
+    /// (responses to other pipelined requests are an error here — use
+    /// `send_alloc`/`recv` for pipelining).
+    pub fn alloc(&mut self, ir_text: &str, opts: &AllocOptions) -> std::io::Result<Response> {
+        let id = self.send_alloc(ir_text, opts)?;
+        let resp = self.recv()?;
+        if resp.id() != id {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response id `{}` does not match request `{id}`", resp.id()),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        let id = self.fresh_id();
+        Frame::new("PING")
+            .field("id", &id)
+            .write_to(&mut self.writer)?;
+        self.recv()
+    }
+
+    /// Ask the server to drain and exit once in-flight work settles.
+    pub fn drain(&mut self) -> std::io::Result<Response> {
+        let id = self.fresh_id();
+        Frame::new("DRAIN")
+            .field("id", &id)
+            .write_to(&mut self.writer)?;
+        self.recv()
+    }
+}
+
+/// One-shot HTTP `GET /metrics` scrape over a fresh connection (the
+/// daemon multiplexes HTTP on its one port). Returns the Prometheus
+/// text body.
+pub fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    use std::io::Read as _;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: regalloc\r\nConnection: close\r\n\r\n")?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    match buf.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        _ => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "unexpected /metrics response: {}",
+                buf.lines().next().unwrap_or("")
+            ),
+        )),
+    }
+}

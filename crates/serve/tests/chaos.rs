@@ -1,0 +1,148 @@
+//! The chaos gate: a bounded seeded soak (checkers, flooders and
+//! fault-injecting disconnectors against a live daemon), plus the
+//! crash-only restart test — SIGKILL the daemon mid-suite, restart it on
+//! the same cache directory, and require the persisted cache (including
+//! any torn leftovers) to recover rather than wedge.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use regalloc_serve::{run_soak, AllocOptions, Client, SoakConfig};
+
+#[test]
+fn seeded_chaos_soak_holds_every_invariant() {
+    // CI-sized: bounded well under a minute; the full default-size soak
+    // is `regalloc-serve soak`.
+    let outcome = run_soak(&SoakConfig {
+        seed: 1998,
+        checkers: 1,
+        flooders: 1,
+        chaos: 1,
+        functions: 10,
+        jobs: 2,
+    });
+    assert!(
+        outcome.passed(),
+        "soak violations: {:#?}\nreport: {:?}",
+        outcome.violations,
+        outcome.report
+    );
+    assert!(
+        outcome.checked > 0,
+        "the checker must byte-verify something"
+    );
+}
+
+type DaemonStdout = BufReader<std::process::ChildStdout>;
+
+/// The returned reader must stay alive until after `wait()`: the daemon
+/// prints its drain summary at exit, and a closed pipe would turn that
+/// into a spurious non-zero status.
+fn spawn_daemon(cache_dir: &std::path::Path) -> (Child, String, DaemonStdout) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_regalloc-serve"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--function-budget",
+            "2",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn regalloc-serve");
+    // The readiness contract: the daemon prints `LISTENING <addr>` once
+    // the socket is bound.
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read daemon stdout") > 0,
+            "daemon exited before LISTENING"
+        );
+        if let Some(addr) = line.trim_end().strip_prefix("LISTENING ") {
+            break addr.to_string();
+        }
+    };
+    (child, addr, reader)
+}
+
+#[test]
+fn sigkill_then_restart_recovers_the_persisted_cache() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("regalloc-serve-crash-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).expect("mkdir cache");
+
+    let mut funcs =
+        regalloc_workloads::Suite::generate(regalloc_workloads::Benchmark::Eqntott, 5).functions;
+    funcs.truncate(3);
+    let texts: Vec<String> = funcs.iter().map(|f| format!("{f}\n")).collect();
+
+    // First life: solve everything (cache misses, persisted to disk)...
+    let (mut child, addr, _stdout1) = spawn_daemon(&cache_dir);
+    let mut first = Vec::new();
+    {
+        let mut client = Client::connect(&addr, "life1").expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).ok();
+        for t in &texts {
+            let resp = client.alloc(t, &AllocOptions::default()).expect("alloc");
+            assert_eq!(resp.frame.verb, "OK", "{}", resp.message());
+            assert_eq!(resp.frame.get("cache"), Some("miss"));
+            first.push(resp.func_text.unwrap_or_default());
+        }
+    }
+    // ... then die without any shutdown courtesy (SIGKILL, not SIGTERM).
+    child.kill().expect("kill -9");
+    child.wait().expect("reap");
+
+    // Simulate torn writes from the crash: a zero-byte entry and a
+    // truncated copy of a real one. Recovery must reject these
+    // gracefully, not wedge on them.
+    std::fs::write(cache_dir.join("0000000000000bad.alloc"), b"").expect("plant zero-byte");
+    let victim = std::fs::read_dir(&cache_dir)
+        .expect("read cache dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "alloc"))
+        .expect("at least one persisted entry");
+    let bytes = std::fs::read(&victim).expect("read entry");
+    std::fs::write(
+        cache_dir.join("000000000000dead.alloc"),
+        &bytes[..bytes.len() / 2],
+    )
+    .expect("plant torn entry");
+
+    // Second life, same cache directory: the surviving entries must be
+    // served as hits, byte-identical to the first life's answers.
+    let (mut child, addr, _stdout2) = spawn_daemon(&cache_dir);
+    {
+        let mut client = Client::connect(&addr, "life2").expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).ok();
+        for (t, want) in texts.iter().zip(&first) {
+            let resp = client.alloc(t, &AllocOptions::default()).expect("alloc");
+            assert_eq!(resp.frame.verb, "OK", "{}", resp.message());
+            assert_eq!(
+                resp.frame.get("cache"),
+                Some("hit"),
+                "restart must recover the persisted cache"
+            );
+            assert_eq!(
+                resp.func_text.as_deref().unwrap_or(""),
+                want,
+                "recovered entry differs from the original answer"
+            );
+        }
+        let resp = client.drain().expect("drain");
+        assert_eq!(resp.frame.verb, "OK");
+    }
+    let status = child.wait().expect("reap second life");
+    assert!(status.success(), "drained daemon must exit 0: {status:?}");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

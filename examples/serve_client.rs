@@ -1,0 +1,70 @@
+//! Allocation as a service, end to end in one process: bind a
+//! `regalloc-serve` daemon on an ephemeral port, allocate a small
+//! generated workload through the wire protocol, scrape the Prometheus
+//! endpoint, and drain.
+//!
+//! ```console
+//! $ cargo run --example serve_client
+//! ```
+//!
+//! With `--emit-ir FILE` the example instead writes its workload as
+//! textual IR and exits — the CI smoke test feeds that same file to both
+//! `regalloc-serve client solve` and `regalloc-driver --dump-allocs` and
+//! requires byte-identical allocations.
+
+use std::time::Duration;
+
+use regalloc_serve::{scrape_metrics, AllocOptions, Client, ServeConfig, Server};
+use regalloc_workloads::{Benchmark, Suite};
+
+fn workload() -> Vec<regalloc_ir::Function> {
+    let mut funcs = Suite::generate(Benchmark::Xlisp, 2026).functions;
+    funcs.truncate(8);
+    funcs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, path] = args.as_slice() {
+        if flag == "--emit-ir" {
+            let text: String = workload().iter().map(|f| format!("{f}\n")).collect();
+            std::fs::write(path, text).expect("write IR file");
+            return;
+        }
+    }
+
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    println!("daemon on {addr}");
+    let server = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr, "example").expect("connect");
+    client.set_timeout(Some(Duration::from_secs(60))).ok();
+    for f in &workload() {
+        let resp = client
+            .alloc(&format!("{f}\n"), &AllocOptions::default())
+            .expect("alloc");
+        println!(
+            "{:10} {:4} rung={} cache={} budget={}",
+            resp.report.get("name").map_or("?", |s| s),
+            resp.frame.verb,
+            resp.frame.get("rung").unwrap_or("-"),
+            resp.frame.get("cache").unwrap_or("-"),
+            resp.frame.get("budget").unwrap_or("-"),
+        );
+    }
+
+    let metrics = scrape_metrics(&addr).expect("scrape /metrics");
+    println!("--- /metrics (serve_* series) ---");
+    for line in metrics.lines().filter(|l| l.starts_with("serve_")) {
+        println!("{line}");
+    }
+
+    client.drain().expect("drain");
+    let report = server.join().expect("join").expect("serve");
+    println!(
+        "drained: accepted {} responded {}",
+        report.accepted, report.responded
+    );
+    assert_eq!(report.accepted, report.responded);
+}

@@ -164,6 +164,7 @@ fn lint_report_is_deterministic_across_jobs() {
             function_budget: Duration::from_secs(300),
             global_budget: None,
             cache: CacheMode::Off,
+            cache_limits: regalloc_driver::cache::CacheLimits::unlimited(),
             equiv_runs: 1,
             equiv_seed: 7,
             compare_baseline: false,
