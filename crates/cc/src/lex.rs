@@ -1,0 +1,196 @@
+//! Tokenizer for the C subset.
+//!
+//! Every token carries its 1-based line/column so parse and lowering
+//! errors can point at the offending source text — the same contract
+//! `regalloc-ir`'s own parser keeps for textual IR.
+
+use crate::CcError;
+
+/// Token classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Num,
+    /// Punctuation / operator.
+    Punct,
+    /// End of input (synthetic).
+    Eof,
+}
+
+/// One token with source coordinates.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// Literal value when `kind == Num`.
+    pub value: i64,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Token {
+    fn eof(line: usize, col: usize) -> Token {
+        Token {
+            kind: TokKind::Eof,
+            text: String::new(),
+            value: 0,
+            line,
+            col,
+        }
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "~",
+    "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",",
+];
+
+/// Tokenize `src`, stripping `//` and `/* */` comments.
+///
+/// # Errors
+///
+/// Returns a [`CcError`] for unterminated block comments, malformed
+/// number literals and bytes outside the subset's alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let (mut line, mut col) = (1usize, 1usize);
+    let bump = |line: &mut usize, col: &mut usize, b: u8| {
+        if b == b'\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+    'outer: while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            bump(&mut line, &mut col, b);
+            i += 1;
+            continue;
+        }
+        if bytes[i..].starts_with(b"//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+                col += 1;
+            }
+            continue;
+        }
+        if bytes[i..].starts_with(b"/*") {
+            let (sl, sc) = (line, col);
+            i += 2;
+            col += 2;
+            while i < bytes.len() {
+                if bytes[i..].starts_with(b"*/") {
+                    i += 2;
+                    col += 2;
+                    continue 'outer;
+                }
+                bump(&mut line, &mut col, bytes[i]);
+                i += 1;
+            }
+            return Err(CcError::new(sl, sc, "/*", "unterminated block comment"));
+        }
+        if b.is_ascii_digit() {
+            let (sl, sc) = (line, col);
+            let start = i;
+            let radix = if bytes[i..].starts_with(b"0x") || bytes[i..].starts_with(b"0X") {
+                i += 2;
+                col += 2;
+                16
+            } else {
+                10
+            };
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+                col += 1;
+            }
+            let text = &src[start..i];
+            let digits = if radix == 16 { &text[2..] } else { text };
+            let value = i64::from_str_radix(digits, radix)
+                .map_err(|_| CcError::new(sl, sc, text, format!("bad number `{text}`")))?;
+            toks.push(Token {
+                kind: TokKind::Num,
+                text: text.to_string(),
+                value,
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let (sl, sc) = (line, col);
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+                col += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                value: 0,
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        if let Some(p) = PUNCTS.iter().find(|p| src[i..].starts_with(**p)) {
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text: (*p).to_string(),
+                value: 0,
+                line,
+                col,
+            });
+            i += p.len();
+            col += p.len();
+            continue;
+        }
+        return Err(CcError::new(
+            line,
+            col,
+            &src[i..i + 1],
+            format!("unexpected character `{}`", &src[i..i + 1]),
+        ));
+    }
+    toks.push(Token::eof(line, col));
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_coordinates() {
+        let t = lex("int x;\n  x = 0x1f; // tail\n").unwrap();
+        assert_eq!(t[0].text, "int");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!(t[3].text, "x");
+        assert_eq!((t[3].line, t[3].col), (2, 3));
+        let num = t.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert_eq!(num.value, 0x1f);
+        assert_eq!(t.last().unwrap().kind, TokKind::Eof);
+    }
+
+    #[test]
+    fn comments_and_errors() {
+        assert!(lex("/* open").is_err());
+        let e = lex("int a @ b;").unwrap_err();
+        assert_eq!(e.token, "@");
+        assert_eq!((e.line, e.col), (1, 7));
+        assert!(lex("a /* x\n y */ b").unwrap().len() == 3); // a, b, eof
+    }
+
+    #[test]
+    fn maximal_munch() {
+        let t = lex("a <<= b").unwrap(); // `<<=` is not a subset token: `<<` then `=`
+        let texts: Vec<_> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "<<", "=", "b", ""]);
+    }
+}

@@ -1,0 +1,234 @@
+//! `regalloc-cc`: a small C-subset front end for `regalloc-ir`.
+//!
+//! The subset covers the shape of early educational C compilers
+//! (zcc/r9cc lineage): `int`/`long` scalars, pointers with indexing and
+//! dereference, the usual arithmetic/bitwise/shift/comparison
+//! operators, short-circuit `&&`/`||`, `if`/`while`/`return`, function
+//! calls and file-scope globals. Programs lower to [`regalloc_ir`]
+//! functions, so real call graphs, 64-bit values and irregular
+//! addressing shapes flow into the allocation pipeline unchanged.
+//!
+//! ```
+//! let src = "int add(int a, int b) { return a + b; }";
+//! let funcs = regalloc_cc::compile(src).unwrap();
+//! assert_eq!(funcs[0].name(), "add");
+//! regalloc_ir::verify_function(&funcs[0]).unwrap();
+//! ```
+
+use std::fmt;
+
+use regalloc_ir::Function;
+
+pub mod lex;
+pub mod lower;
+pub mod parse;
+
+/// A located front-end error (lex, parse or lowering).
+///
+/// Mirrors the `line:col` + offending-token contract of
+/// [`regalloc_ir::ParseError`].
+#[derive(Debug, Clone)]
+pub struct CcError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// The offending source token, empty when not applicable.
+    pub token: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CcError {
+    pub fn new(line: usize, col: usize, token: &str, message: impl Into<String>) -> CcError {
+        CcError {
+            line,
+            col,
+            token: token.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)?;
+        if !self.token.is_empty() {
+            write!(f, " (at `{}`)", self.token)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Compile a C-subset translation unit to IR functions, in definition
+/// order.
+///
+/// # Errors
+///
+/// Returns a located [`CcError`] for lexical, syntactic and
+/// type/lowering errors.
+pub fn compile(src: &str) -> Result<Vec<Function>, CcError> {
+    let toks = lex::lex(src)?;
+    let decls = parse::Parser::new(toks).program()?;
+    lower::lower_program(&decls)
+}
+
+/// Compile a translation unit to textual IR: a `;`-comment header
+/// followed by each function's display form, blank-line separated —
+/// the exact shape `regalloc-driver` and the corpus replay tests
+/// ingest.
+///
+/// # Errors
+///
+/// Propagates [`compile`] errors.
+pub fn compile_to_ir(src: &str) -> Result<String, CcError> {
+    let funcs = compile(src)?;
+    let mut out = String::from("; compiled by regalloc-cc\n");
+    for f in &funcs {
+        out.push('\n');
+        out.push_str(&f.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regalloc_ir::{
+        fingerprint, parse_function, verify_function, ExecStatus, Interp, InterpConfig, SymRegFile,
+    };
+
+    /// Compile, verify and interpret with args; return the exit value.
+    fn run(src: &str, func: &str, args: &[i64]) -> i64 {
+        let funcs = compile(src).unwrap();
+        let f = funcs.iter().find(|f| f.name() == func).unwrap();
+        verify_function(f).unwrap();
+        let args: Vec<u64> = args.iter().map(|&a| a as u64).collect();
+        let out = Interp::new(f, SymRegFile, InterpConfig::default(), &args).run();
+        assert_eq!(out.status, ExecStatus::Returned, "{func} did not return");
+        out.ret.unwrap() as i64
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow_execute() {
+        // `/` and `%` are outside the subset — the located error proves it.
+        let e = compile("int half(int a) { return a / 2; }").unwrap_err();
+        assert!(e.message.contains("division"));
+        assert_eq!(e.token, "/");
+
+        let src = r#"
+            int sum_to(int n) {
+                int s = 0;
+                int i = 1;
+                while (i <= n) { s = s + i; i = i + 1; }
+                return s;
+            }
+        "#;
+        assert_eq!(run(src, "sum_to", &[10]), 55);
+    }
+
+    #[test]
+    fn short_circuit_and_comparison_values() {
+        let src = r#"
+            int clamp01(int x) {
+                int inside = 0 <= x && x < 2;
+                if (!inside) { if (x < 0) { return 0; } return 1; }
+                return x;
+            }
+        "#;
+        assert_eq!(run(src, "clamp01", &[-5]), 0);
+        assert_eq!(run(src, "clamp01", &[1]), 1);
+        assert_eq!(run(src, "clamp01", &[99]), 1);
+    }
+
+    #[test]
+    fn longs_and_wide_immediates() {
+        let src = r#"
+            long widen(int a) {
+                long acc = 0x123456789;
+                long b = acc ^ (acc & 0xff);
+                if (a > 0) { return b; }
+                return b + 1;
+            }
+        "#;
+        let funcs = compile(src).unwrap();
+        assert!(funcs[0].uses_64bit());
+        verify_function(&funcs[0]).unwrap();
+        // `long` in a condition is rejected with a located error.
+        let bad = "long f(long a) { if (a) { return 1; } return 0; }";
+        let e = compile(bad).unwrap_err();
+        assert!(e.message.contains("64-bit"), "{e}");
+    }
+
+    #[test]
+    fn pointers_scale_and_round_trip() {
+        let src = r#"
+            int second(int *p) { return p[1]; }
+            long pick(long *q, int i) { return q[i]; }
+            int poke(int *p, int v) { *p = v; return *(p + 2); }
+        "#;
+        let funcs = compile(src).unwrap();
+        for f in &funcs {
+            verify_function(f).unwrap();
+        }
+        // q[i] must use an S8-scaled index for long elements.
+        let pick = funcs.iter().find(|f| f.name() == "pick").unwrap();
+        assert!(pick.to_string().contains("*8"), "{pick}");
+        // Textual round-trip preserves the fingerprint.
+        for f in &funcs {
+            let back = parse_function(&f.to_string()).unwrap();
+            assert_eq!(fingerprint(f), fingerprint(&back), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn globals_calls_and_program_order() {
+        let src = r#"
+            int counter = 0;
+            extern int observe(int x);
+            int bump(int by) { counter = counter + by; return counter; }
+            int twice(int x) { int a = bump(x); int b = bump(x); return observe(a + b); }
+        "#;
+        let funcs = compile(src).unwrap();
+        assert_eq!(funcs.len(), 2);
+        // Callee numbering follows program order: observe=0, bump=1, twice=2.
+        let twice = funcs.iter().find(|f| f.name() == "twice").unwrap();
+        let text = twice.to_string();
+        assert!(text.contains("call fn1("), "{text}");
+        assert!(text.contains("call fn0("), "{text}");
+        // A function that calls marks its used globals aliased.
+        let bump = funcs.iter().find(|f| f.name() == "bump").unwrap();
+        assert!(bump.globals().iter().any(|g| g.name == "counter"));
+        let g = twice.globals();
+        assert!(g.iter().all(|g| g.is_param || g.aliased));
+        for f in &funcs {
+            verify_function(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = compile("int f() { return x; }").unwrap_err();
+        assert_eq!(e.token, "x");
+        assert!(e.message.contains("unknown variable"));
+        let e = compile("int f(int a) {\n  return a +; }").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = compile("int f(int *p, long *q) { return p == q; }").unwrap_err();
+        assert!(e.message.contains("types"), "{e}");
+    }
+
+    #[test]
+    fn compile_to_ir_is_driver_shaped() {
+        let text = compile_to_ir("int id(int x) { return x; }").unwrap();
+        assert!(text.starts_with("; compiled by regalloc-cc\n"));
+        let body = text
+            .lines()
+            .filter(|l| !l.trim_start().starts_with(';') && !l.trim().is_empty())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let f = parse_function(&body).unwrap();
+        assert_eq!(f.name(), "id");
+    }
+}

@@ -1,0 +1,778 @@
+//! Lowering from the C-subset AST to `regalloc-ir`.
+//!
+//! Shapes that keep the textual IR round-trippable (the fuzzer's
+//! interchange format):
+//!
+//! * every branch compares at 32 bits — `long` values cannot appear in
+//!   conditions (a located error; the textual grammar does not record a
+//!   branch width);
+//! * call results are always `int` (the IR models callees as opaque
+//!   deterministic effects, so cross-function values stay 32-bit);
+//! * locals without initializers are defined to zero at declaration, so
+//!   every symbolic register has a defining instruction the IR parser
+//!   can reconstruct widths from.
+//!
+//! C parameters become the IR's parameter globals (`§5.5` predefined
+//! memory values) loaded into locals at entry; file-scope globals are
+//! materialized per function on first use; calls lower to the IR's
+//! opaque `call fnN(...)` with a deterministic program-wide numbering,
+//! and any function containing a call marks its used file-scope globals
+//! aliased (a callee may touch any global, as in C).
+
+use std::collections::HashMap;
+
+use regalloc_ir::{
+    Address, BinOp, Cond, Function, FunctionBuilder, GlobalId, Inst, Operand, Scale, SymId, Width,
+};
+
+use crate::parse::{BinOpK, CType, Decl, Expr, ExprKind, Param, Stmt, UnOpK};
+use crate::CcError;
+
+/// Program-wide callee numbering: definitions and `extern` declarations
+/// first, in program order, then undeclared names in first-call order.
+#[derive(Default)]
+pub struct CalleeMap {
+    ids: HashMap<String, u32>,
+    next: u32,
+}
+
+impl CalleeMap {
+    pub fn id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+}
+
+fn width_of(ty: &CType) -> Width {
+    match ty {
+        CType::Long => Width::B64,
+        _ => Width::B32,
+    }
+}
+
+/// A lowered value: an operand plus its C type. `lit` marks bare
+/// literals, which adopt the type of whatever they meet.
+#[derive(Clone, Debug)]
+struct Val {
+    op: Operand,
+    ty: CType,
+    lit: bool,
+}
+
+#[derive(Clone)]
+struct Local {
+    sym: SymId,
+    ty: CType,
+}
+
+struct FileGlobal {
+    ty: CType,
+    init: i64,
+}
+
+pub struct Lower<'p> {
+    b: FunctionBuilder,
+    locals: Vec<HashMap<String, Local>>,
+    file_globals: &'p HashMap<String, FileGlobal>,
+    used_globals: HashMap<String, (GlobalId, CType)>,
+    used_order: Vec<GlobalId>,
+    callees: &'p mut CalleeMap,
+    ret_ty: CType,
+    has_call: bool,
+    /// Whether the current block still needs a terminator.
+    open: bool,
+}
+
+fn err<T>(e: &Expr, msg: impl Into<String>) -> Result<T, CcError> {
+    Err(CcError::new(e.line, e.col, &e.tok, msg))
+}
+
+impl<'p> Lower<'p> {
+    fn lookup(&self, name: &str) -> Option<Local> {
+        self.locals.iter().rev().find_map(|s| s.get(name)).cloned()
+    }
+
+    fn bind(&mut self, name: &str, sym: SymId, ty: CType) {
+        self.locals
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), Local { sym, ty });
+    }
+
+    /// Materialize a file-scope global into this function on first use.
+    fn global(&mut self, e: &Expr, name: &str) -> Result<(GlobalId, CType), CcError> {
+        if let Some(g) = self.used_globals.get(name) {
+            return Ok(g.clone());
+        }
+        let Some(fg) = self.file_globals.get(name) else {
+            return err(e, format!("unknown variable `{name}`"));
+        };
+        let gid = self.b.new_global(name, width_of(&fg.ty), fg.init);
+        self.used_globals
+            .insert(name.to_string(), (gid, fg.ty.clone()));
+        self.used_order.push(gid);
+        Ok((gid, fg.ty.clone()))
+    }
+
+    fn fresh(&mut self, ty: &CType) -> SymId {
+        self.b.new_sym(width_of(ty))
+    }
+
+    /// Force a value into a symbolic register.
+    fn as_sym(&mut self, v: &Val) -> SymId {
+        match v.op {
+            Operand::Loc(regalloc_ir::Loc::Sym(s)) => s,
+            Operand::Imm(imm) => {
+                let s = self.fresh(&v.ty);
+                self.b.load_imm(s, imm);
+                s
+            }
+            _ => unreachable!("lowering only produces syms and immediates"),
+        }
+    }
+
+    /// Unify the types of two operands of a binary op; literals adopt
+    /// the other side.
+    fn unify(&self, e: &Expr, l: &Val, r: &Val) -> Result<CType, CcError> {
+        match (l.lit, r.lit) {
+            (true, true) => Ok(CType::Int),
+            (true, false) => Ok(r.ty.clone()),
+            (false, true) => Ok(l.ty.clone()),
+            (false, false) if l.ty == r.ty => Ok(l.ty.clone()),
+            _ => err(
+                e,
+                format!("operands have different types: {} vs {}", l.ty, r.ty),
+            ),
+        }
+    }
+
+    /// A 32-bit-comparable operand: `int`, pointer, or literal.
+    fn cond_operand(&mut self, e: &Expr) -> Result<Operand, CcError> {
+        let v = self.value(e)?;
+        if !v.lit && v.ty == CType::Long {
+            return err(
+                e,
+                "64-bit values cannot appear in comparisons or conditions",
+            );
+        }
+        Ok(v.op)
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn value(&mut self, e: &Expr) -> Result<Val, CcError> {
+        self.value_hint(e, None)
+    }
+
+    fn value_hint(&mut self, e: &Expr, hint: Option<&CType>) -> Result<Val, CcError> {
+        match &e.kind {
+            ExprKind::Num(v) => Ok(Val {
+                op: Operand::Imm(*v),
+                ty: hint.cloned().unwrap_or(CType::Int),
+                lit: true,
+            }),
+            ExprKind::Var(name) => {
+                if let Some(l) = self.lookup(name) {
+                    return Ok(Val {
+                        op: Operand::sym(l.sym),
+                        ty: l.ty,
+                        lit: false,
+                    });
+                }
+                let (gid, ty) = self.global(e, name)?;
+                let s = self.fresh(&ty);
+                self.b.load_global(s, gid);
+                Ok(Val {
+                    op: Operand::sym(s),
+                    ty,
+                    lit: false,
+                })
+            }
+            ExprKind::Un(op, inner) => self.unary(e, *op, inner, hint),
+            ExprKind::Bin(op, l, r) => self.binary(e, *op, l, r, hint),
+            ExprKind::Assign(target, rhs) => self.assign(e, target, rhs),
+            ExprKind::Call(name, args) => self.call(e, name, args),
+            ExprKind::Index(p, i) => {
+                let (addr, elem) = self.element_address(e, p, i)?;
+                let d = self.fresh(&elem);
+                self.b.load(d, addr);
+                Ok(Val {
+                    op: Operand::sym(d),
+                    ty: elem,
+                    lit: false,
+                })
+            }
+            ExprKind::Deref(p) => {
+                let pv = self.value(p)?;
+                let Some(elem) = pv.ty.pointee().cloned() else {
+                    return err(e, format!("cannot dereference a value of type {}", pv.ty));
+                };
+                let base = self.as_sym(&pv);
+                let d = self.fresh(&elem);
+                self.b.load(
+                    d,
+                    Address::Indirect {
+                        base: Some(regalloc_ir::Loc::Sym(base)),
+                        index: None,
+                        disp: 0,
+                    },
+                );
+                Ok(Val {
+                    op: Operand::sym(d),
+                    ty: elem,
+                    lit: false,
+                })
+            }
+        }
+    }
+
+    fn unary(
+        &mut self,
+        e: &Expr,
+        op: UnOpK,
+        inner: &Expr,
+        hint: Option<&CType>,
+    ) -> Result<Val, CcError> {
+        if op == UnOpK::LogNot {
+            return self.comparison_value(e);
+        }
+        let v = self.value_hint(inner, hint)?;
+        // Constant-fold literal operands so `-5` stays an immediate.
+        if let (true, Operand::Imm(imm)) = (v.lit, v.op) {
+            let folded = match op {
+                UnOpK::Neg => imm.wrapping_neg(),
+                UnOpK::BitNot => !imm,
+                UnOpK::LogNot => unreachable!(),
+            };
+            return Ok(Val {
+                op: Operand::Imm(folded),
+                ty: v.ty,
+                lit: true,
+            });
+        }
+        if v.ty.pointee().is_some() {
+            return err(e, "unary arithmetic on pointers is outside the subset");
+        }
+        let d = self.fresh(&v.ty);
+        let uop = match op {
+            UnOpK::Neg => regalloc_ir::UnOp::Neg,
+            UnOpK::BitNot => regalloc_ir::UnOp::Not,
+            UnOpK::LogNot => unreachable!(),
+        };
+        self.b.un(uop, d, v.op);
+        Ok(Val {
+            op: Operand::sym(d),
+            ty: v.ty,
+            lit: false,
+        })
+    }
+
+    fn binary(
+        &mut self,
+        e: &Expr,
+        op: BinOpK,
+        l: &Expr,
+        r: &Expr,
+        hint: Option<&CType>,
+    ) -> Result<Val, CcError> {
+        use BinOpK::*;
+        match op {
+            Eq | Ne | Lt | Le | Gt | Ge | LAnd | LOr => return self.comparison_value(e),
+            _ => {}
+        }
+        let lv = self.value_hint(l, hint)?;
+        let rv = self.value_hint(r, hint)?;
+
+        // Pointer arithmetic: scale the integer side by the element size.
+        if matches!(op, Add | Sub) {
+            let (pv, iv, swapped) = if lv.ty.pointee().is_some() {
+                (&lv, &rv, false)
+            } else if rv.ty.pointee().is_some() {
+                (&rv, &lv, true)
+            } else {
+                return self.int_binary(e, op, lv, rv);
+            };
+            if op == Sub && swapped {
+                return err(e, "cannot subtract a pointer from an integer");
+            }
+            if !iv.lit && iv.ty != CType::Int {
+                return err(e, "pointer offsets must be `int`");
+            }
+            let elem = pv.ty.pointee().unwrap().clone();
+            let scaled = match iv.op {
+                Operand::Imm(n) => Operand::Imm(n.wrapping_mul(elem.size())),
+                _ => {
+                    let i = self.as_sym(iv);
+                    let t = self.fresh(&CType::Int);
+                    let shift = if elem.size() == 8 { 3 } else { 2 };
+                    self.b
+                        .bin(BinOp::Shl, t, Operand::sym(i), Operand::Imm(shift));
+                    Operand::sym(t)
+                }
+            };
+            let base = self.as_sym(pv);
+            let d = self.fresh(&pv.ty);
+            let bop = if op == Add { BinOp::Add } else { BinOp::Sub };
+            self.b.bin(bop, d, Operand::sym(base), scaled);
+            return Ok(Val {
+                op: Operand::sym(d),
+                ty: pv.ty.clone(),
+                lit: false,
+            });
+        }
+        self.int_binary(e, op, lv, rv)
+    }
+
+    fn int_binary(&mut self, e: &Expr, op: BinOpK, lv: Val, rv: Val) -> Result<Val, CcError> {
+        use BinOpK::*;
+        let ty = self.unify(e, &lv, &rv)?;
+        if ty.pointee().is_some() {
+            return err(e, "arithmetic between two pointers is outside the subset");
+        }
+        let bop = match op {
+            Add => BinOp::Add,
+            Sub => BinOp::Sub,
+            Mul => BinOp::Mul,
+            BitAnd => BinOp::And,
+            BitOr => BinOp::Or,
+            BitXor => BinOp::Xor,
+            // C's `>>` on (signed) int is arithmetic on every target we
+            // model; `regalloc-ir`'s `Sar` matches.
+            Shl => BinOp::Shl,
+            Shr => BinOp::Sar,
+            _ => unreachable!("comparisons handled above"),
+        };
+        if bop.is_shift() && ty == CType::Long {
+            return err(e, "shifts on `long` are outside the subset");
+        }
+        // Two-address friendliness: a literal on the left of a
+        // non-commutative op is materialized.
+        let lhs = if !bop.is_commutative() || bop.is_shift() {
+            Operand::sym(self.as_sym(&lv))
+        } else {
+            lv.op
+        };
+        let d = self.fresh(&ty);
+        self.b.bin(bop, d, lhs, rv.op);
+        Ok(Val {
+            op: Operand::sym(d),
+            ty,
+            lit: false,
+        })
+    }
+
+    /// Lower a comparison / logical expression in *value* position to a
+    /// 0/1 `int` using a flag temporary defined on both paths.
+    fn comparison_value(&mut self, e: &Expr) -> Result<Val, CcError> {
+        let t = self.fresh(&CType::Int);
+        self.b.load_imm(t, 0);
+        let set = self.b.block();
+        let join = self.b.block();
+        self.condition(e, set, join)?;
+        self.b.switch_to(set);
+        self.b.load_imm(t, 1);
+        self.b.jump(join);
+        self.b.switch_to(join);
+        Ok(Val {
+            op: Operand::sym(t),
+            ty: CType::Int,
+            lit: false,
+        })
+    }
+
+    /// Lower `e` as a condition: branch to `tb` when true, `fb` when
+    /// false. Terminates the current block.
+    fn condition(
+        &mut self,
+        e: &Expr,
+        tb: regalloc_ir::BlockId,
+        fb: regalloc_ir::BlockId,
+    ) -> Result<(), CcError> {
+        match &e.kind {
+            ExprKind::Bin(op, l, r) if cond_of(*op).is_some() => {
+                let lv = self.value(l)?;
+                let rv = self.value(r)?;
+                for (v, src) in [(&lv, l), (&rv, r)] {
+                    if !v.lit && v.ty == CType::Long {
+                        return err(
+                            src,
+                            "64-bit values cannot appear in comparisons or conditions",
+                        );
+                    }
+                }
+                self.unify(e, &lv, &rv)?;
+                self.b
+                    .branch(cond_of(*op).unwrap(), lv.op, rv.op, Width::B32, tb, fb);
+                Ok(())
+            }
+            ExprKind::Bin(BinOpK::LAnd, l, r) => {
+                let mid = self.b.block();
+                self.condition(l, mid, fb)?;
+                self.b.switch_to(mid);
+                self.condition(r, tb, fb)
+            }
+            ExprKind::Bin(BinOpK::LOr, l, r) => {
+                let mid = self.b.block();
+                self.condition(l, tb, mid)?;
+                self.b.switch_to(mid);
+                self.condition(r, tb, fb)
+            }
+            ExprKind::Un(UnOpK::LogNot, inner) => self.condition(inner, fb, tb),
+            _ => {
+                let v = self.cond_operand(e)?;
+                self.b
+                    .branch(Cond::Ne, v, Operand::Imm(0), Width::B32, tb, fb);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, e: &Expr, target: &Expr, rhs: &Expr) -> Result<Val, CcError> {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                if let Some(l) = self.lookup(name) {
+                    let v = self.value_hint(rhs, Some(&l.ty))?;
+                    self.check_assignable(e, &l.ty, &v)?;
+                    match v.op {
+                        Operand::Imm(imm) => self.b.load_imm(l.sym, imm),
+                        Operand::Loc(regalloc_ir::Loc::Sym(s)) => self.b.copy(l.sym, s),
+                        _ => unreachable!(),
+                    }
+                    return Ok(Val {
+                        op: Operand::sym(l.sym),
+                        ty: l.ty,
+                        lit: false,
+                    });
+                }
+                let (gid, ty) = self.global(target, name)?;
+                let v = self.value_hint(rhs, Some(&ty))?;
+                self.check_assignable(e, &ty, &v)?;
+                self.b.store_global(gid, v.op);
+                Ok(v)
+            }
+            ExprKind::Deref(p) => {
+                let pv = self.value(p)?;
+                let Some(elem) = pv.ty.pointee().cloned() else {
+                    return err(e, format!("cannot store through a value of type {}", pv.ty));
+                };
+                let v = self.value_hint(rhs, Some(&elem))?;
+                self.check_assignable(e, &elem, &v)?;
+                let base = self.as_sym(&pv);
+                self.b.store(
+                    Address::Indirect {
+                        base: Some(regalloc_ir::Loc::Sym(base)),
+                        index: None,
+                        disp: 0,
+                    },
+                    v.op,
+                    width_of(&elem),
+                );
+                Ok(v)
+            }
+            ExprKind::Index(p, i) => {
+                let (addr, elem) = self.element_address(e, p, i)?;
+                let v = self.value_hint(rhs, Some(&elem))?;
+                self.check_assignable(e, &elem, &v)?;
+                self.b.store(addr, v.op, width_of(&elem));
+                Ok(v)
+            }
+            _ => err(e, "invalid assignment target"),
+        }
+    }
+
+    fn check_assignable(&self, e: &Expr, ty: &CType, v: &Val) -> Result<(), CcError> {
+        if v.lit || &v.ty == ty {
+            Ok(())
+        } else {
+            err(e, format!("cannot assign {} to {}", v.ty, ty))
+        }
+    }
+
+    /// `p[i]` → a scaled indirect address plus the element type. Literal
+    /// indices fold into the displacement.
+    fn element_address(
+        &mut self,
+        e: &Expr,
+        p: &Expr,
+        i: &Expr,
+    ) -> Result<(Address, CType), CcError> {
+        let pv = self.value(p)?;
+        let Some(elem) = pv.ty.pointee().cloned() else {
+            return err(e, format!("cannot index a value of type {}", pv.ty));
+        };
+        let iv = self.value(i)?;
+        if !iv.lit && iv.ty != CType::Int {
+            return err(e, "array indices must be `int`");
+        }
+        let base = self.as_sym(&pv);
+        let addr = match iv.op {
+            Operand::Imm(n) => Address::Indirect {
+                base: Some(regalloc_ir::Loc::Sym(base)),
+                index: None,
+                disp: n.wrapping_mul(elem.size()) as i32,
+            },
+            _ => {
+                let idx = self.as_sym(&iv);
+                let scale = if elem.size() == 8 {
+                    Scale::S8
+                } else {
+                    Scale::S4
+                };
+                Address::Indirect {
+                    base: Some(regalloc_ir::Loc::Sym(base)),
+                    index: Some((regalloc_ir::Loc::Sym(idx), scale)),
+                    disp: 0,
+                }
+            }
+        };
+        Ok((addr, elem))
+    }
+
+    fn call(&mut self, e: &Expr, name: &str, args: &[Expr]) -> Result<Val, CcError> {
+        let mut ops = Vec::with_capacity(args.len());
+        for a in args {
+            let v = self.value(a)?;
+            if !v.lit && v.ty == CType::Long {
+                return err(a, "64-bit call arguments are outside the subset");
+            }
+            ops.push(v.op);
+        }
+        let id = self.callees.id(name);
+        let ret = self.fresh(&CType::Int);
+        self.b.call(id, Some(ret), ops);
+        self.has_call = true;
+        let _ = e;
+        Ok(Val {
+            op: Operand::sym(ret),
+            ty: CType::Int,
+            lit: false,
+        })
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn stmts(&mut self, list: &[Stmt]) -> Result<(), CcError> {
+        self.locals.push(HashMap::new());
+        for s in list {
+            if !self.open {
+                break; // dead code after `return`
+            }
+            self.stmt(s)?;
+        }
+        self.locals.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CcError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.value(e)?;
+                Ok(())
+            }
+            Stmt::Decl { ty, name, init, .. } => {
+                let sym = self.fresh(ty);
+                match init {
+                    Some(e) => {
+                        let v = self.value_hint(e, Some(ty))?;
+                        self.check_assignable(e, ty, &v)?;
+                        match v.op {
+                            Operand::Imm(imm) => self.b.load_imm(sym, imm),
+                            Operand::Loc(regalloc_ir::Loc::Sym(s)) => self.b.copy(sym, s),
+                            _ => unreachable!(),
+                        }
+                    }
+                    // Subset semantics: uninitialized locals are zero, so
+                    // every symbolic register has a def.
+                    None => self.b.load_imm(sym, 0),
+                }
+                self.bind(name, sym, ty.clone());
+                Ok(())
+            }
+            Stmt::Ret(val, line, col) => {
+                match val {
+                    Some(e) => {
+                        let ty = self.ret_ty.clone();
+                        let v = self.value_hint(e, Some(&ty))?;
+                        self.check_assignable(e, &ty, &v)?;
+                        self.b.push(Inst::Ret { val: Some(v.op) });
+                    }
+                    None => {
+                        let _ = (line, col);
+                        self.b.push(Inst::Ret { val: None });
+                    }
+                }
+                self.open = false;
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let tb = self.b.block();
+                let eb = self.b.block();
+                let jb = self.b.block();
+                self.condition(cond, tb, eb)?;
+                self.b.switch_to(tb);
+                self.open = true;
+                self.stmts(then)?;
+                if self.open {
+                    self.b.jump(jb);
+                }
+                self.b.switch_to(eb);
+                self.open = true;
+                self.stmts(els)?;
+                if self.open {
+                    self.b.jump(jb);
+                }
+                // The join may be unreachable (both arms returned); it
+                // still gets a terminator from later statements or the
+                // function epilogue.
+                self.b.switch_to(jb);
+                self.open = true;
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.b.block();
+                let bodyb = self.b.block();
+                let exit = self.b.block();
+                self.b.jump(head);
+                self.b.switch_to(head);
+                self.condition(cond, bodyb, exit)?;
+                self.b.switch_to(bodyb);
+                self.open = true;
+                self.stmts(body)?;
+                if self.open {
+                    self.b.jump(head);
+                }
+                self.b.switch_to(exit);
+                self.open = true;
+                Ok(())
+            }
+        }
+    }
+}
+
+fn cond_of(op: BinOpK) -> Option<Cond> {
+    match op {
+        BinOpK::Eq => Some(Cond::Eq),
+        BinOpK::Ne => Some(Cond::Ne),
+        BinOpK::Lt => Some(Cond::Lt),
+        BinOpK::Le => Some(Cond::Le),
+        BinOpK::Gt => Some(Cond::Gt),
+        BinOpK::Ge => Some(Cond::Ge),
+        _ => None,
+    }
+}
+
+/// Lower one parsed function definition.
+fn lower_function(
+    ret: &CType,
+    name: &str,
+    params: &[Param],
+    body: &[Stmt],
+    file_globals: &HashMap<String, FileGlobal>,
+    callees: &mut CalleeMap,
+) -> Result<Function, CcError> {
+    let mut b = FunctionBuilder::new(name);
+    let mut entry_locals = HashMap::new();
+    // Parameters arrive in the IR's predefined parameter slots and are
+    // loaded into assignable locals at entry.
+    let mut param_syms = Vec::new();
+    for p in params {
+        let g = b.new_param(&p.name, width_of(&p.ty));
+        param_syms.push((g, p));
+    }
+    for (g, p) in param_syms {
+        let s = b.new_sym(width_of(&p.ty));
+        b.load_global(s, g);
+        entry_locals.insert(
+            p.name.clone(),
+            Local {
+                sym: s,
+                ty: p.ty.clone(),
+            },
+        );
+    }
+    let mut lw = Lower {
+        b,
+        locals: vec![entry_locals],
+        file_globals,
+        used_globals: HashMap::new(),
+        used_order: Vec::new(),
+        callees,
+        ret_ty: ret.clone(),
+        has_call: false,
+        open: true,
+    };
+    lw.stmts(body)?;
+    if lw.open {
+        // Falling off the end returns 0 (as `main` does in C).
+        lw.b.push(Inst::Ret {
+            val: Some(Operand::Imm(0)),
+        });
+    }
+    if lw.has_call {
+        // A callee may read or write any file-scope global.
+        for g in lw.used_order.clone() {
+            lw.b.mark_aliased(g);
+        }
+    }
+    Ok(lw.b.finish())
+}
+
+/// Lower a whole parsed program to IR functions, in definition order.
+pub fn lower_program(decls: &[Decl]) -> Result<Vec<Function>, CcError> {
+    let mut callees = CalleeMap::default();
+    let mut file_globals: HashMap<String, FileGlobal> = HashMap::new();
+    // Pass 1: number every known function name in program order and
+    // collect file-scope globals.
+    for d in decls {
+        match d {
+            Decl::Func { name, .. } | Decl::Extern { name } => {
+                callees.id(name);
+            }
+            Decl::Global { ty, name, init } => {
+                file_globals.insert(
+                    name.clone(),
+                    FileGlobal {
+                        ty: ty.clone(),
+                        init: *init,
+                    },
+                );
+            }
+        }
+    }
+    // Pass 2: lower definitions.
+    let mut out = Vec::new();
+    for d in decls {
+        if let Decl::Func {
+            ret,
+            name,
+            params,
+            body,
+            line,
+            col,
+        } = d
+        {
+            if out.iter().any(|f: &Function| f.name() == name) {
+                return Err(CcError::new(
+                    *line,
+                    *col,
+                    name,
+                    format!("duplicate definition of `{name}`"),
+                ));
+            }
+            out.push(lower_function(
+                ret,
+                name,
+                params,
+                body,
+                &file_globals,
+                &mut callees,
+            )?);
+        }
+    }
+    Ok(out)
+}

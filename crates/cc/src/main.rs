@@ -1,0 +1,63 @@
+//! `regalloc-cc`: compile a C-subset source file to textual `regalloc-ir`.
+//!
+//! ```text
+//! regalloc-cc input.c            # IR to stdout
+//! regalloc-cc input.c -o out.ir  # IR to a file
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => match it.next() {
+                Some(p) => output = Some(p),
+                None => {
+                    eprintln!("regalloc-cc: -o requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                eprintln!("usage: regalloc-cc <input.c> [-o <output.ir>]");
+                return ExitCode::SUCCESS;
+            }
+            _ if input.is_none() => input = Some(a),
+            _ => {
+                eprintln!("regalloc-cc: unexpected argument `{a}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: regalloc-cc <input.c> [-o <output.ir>]");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("regalloc-cc: cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match regalloc_cc::compile_to_ir(&src) {
+        Ok(ir) => {
+            if let Some(out) = output {
+                if let Err(e) = std::fs::write(&out, ir) {
+                    eprintln!("regalloc-cc: cannot write {out}: {e}");
+                    return ExitCode::from(2);
+                }
+            } else {
+                print!("{ir}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{input}: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

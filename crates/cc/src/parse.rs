@@ -1,0 +1,621 @@
+//! Recursive-descent parser for the C subset.
+//!
+//! The grammar (see DESIGN.md "Real-code ingestion") is the classic
+//! `r9cc`/`zcc` shape: declarations, `int`/`long`/pointer types,
+//! arithmetic/bitwise/shift/comparison operators with C precedence,
+//! short-circuit `&&`/`||`, `if`/`else`, `while`, `return`, calls,
+//! array indexing and pointer dereference. Division, casts, `&`
+//! (address-of), structs and floating point are outside the subset and
+//! produce located errors.
+
+use crate::lex::{TokKind, Token};
+use crate::CcError;
+
+/// A type in the subset: `int`, `long`, or pointers to either.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CType {
+    Int,
+    Long,
+    Ptr(Box<CType>),
+}
+
+impl CType {
+    /// Size of a value of this type, in bytes (pointers are 32-bit).
+    pub fn size(&self) -> i64 {
+        match self {
+            CType::Int | CType::Ptr(_) => 4,
+            CType::Long => 8,
+        }
+    }
+
+    /// The pointed-to type, if this is a pointer.
+    pub fn pointee(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CType::Int => write!(f, "int"),
+            CType::Long => write!(f, "long"),
+            CType::Ptr(t) => write!(f, "{t}*"),
+        }
+    }
+}
+
+/// Expression operators (no `/` or `%`: the IR has no division).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOpK {
+    Add,
+    Sub,
+    Mul,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LAnd,
+    LOr,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOpK {
+    Neg,
+    BitNot,
+    LogNot,
+}
+
+/// An expression, annotated with the source coordinates of its head
+/// token so lowering errors can point back into the C source.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: usize,
+    pub col: usize,
+    pub tok: String,
+}
+
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    Num(i64),
+    Var(String),
+    Un(UnOpK, Box<Expr>),
+    Bin(BinOpK, Box<Expr>, Box<Expr>),
+    Assign(Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+    Index(Box<Expr>, Box<Expr>),
+    Deref(Box<Expr>),
+}
+
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    Expr(Expr),
+    Decl {
+        ty: CType,
+        name: String,
+        init: Option<Expr>,
+        line: usize,
+        col: usize,
+    },
+    Ret(Option<Expr>, usize, usize),
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+}
+
+/// One function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub ty: CType,
+    pub name: String,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug)]
+pub enum Decl {
+    Func {
+        ret: CType,
+        name: String,
+        params: Vec<Param>,
+        body: Vec<Stmt>,
+        line: usize,
+        col: usize,
+    },
+    /// `int f(...);` — registers a callee name, no body.
+    Extern {
+        name: String,
+    },
+    Global {
+        ty: CType,
+        name: String,
+        init: i64,
+    },
+}
+
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(toks: Vec<Token>) -> Parser {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, text: &str) -> bool {
+        let t = self.peek();
+        t.kind != TokKind::Eof && t.text == text
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.at(text) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, text: &str) -> Result<Token, CcError> {
+        if self.at(text) {
+            Ok(self.next())
+        } else {
+            let t = self.peek();
+            Err(CcError::new(
+                t.line,
+                t.col,
+                &t.text,
+                format!("expected `{text}`, found `{}`", t.text),
+            ))
+        }
+    }
+
+    fn err_here<T>(&self, msg: impl Into<String>) -> Result<T, CcError> {
+        let t = self.peek();
+        Err(CcError::new(t.line, t.col, &t.text, msg))
+    }
+
+    fn base_type(&mut self) -> Result<Option<CType>, CcError> {
+        let base = match self.peek().text.as_str() {
+            "int" => CType::Int,
+            "long" => CType::Long,
+            _ => return Ok(None),
+        };
+        self.next();
+        Ok(Some(base))
+    }
+
+    fn full_type(&mut self, base: CType) -> CType {
+        let mut ty = base;
+        while self.eat("*") {
+            ty = CType::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    fn ident(&mut self) -> Result<Token, CcError> {
+        let t = self.peek().clone();
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            return self.err_here(format!("expected identifier, found `{}`", t.text));
+        }
+        self.next();
+        Ok(t)
+    }
+
+    /// Parse a whole translation unit.
+    pub fn program(&mut self) -> Result<Vec<Decl>, CcError> {
+        let mut decls = Vec::new();
+        while self.peek().kind != TokKind::Eof {
+            self.eat("extern");
+            let Some(base) = self.base_type()? else {
+                return self.err_here(format!(
+                    "expected a declaration, found `{}`",
+                    self.peek().text
+                ));
+            };
+            let ty = self.full_type(base);
+            let name_tok = self.ident()?;
+            if self.eat("(") {
+                decls.push(self.func_rest(ty, name_tok)?);
+            } else {
+                // Global: `type name [= num];`
+                let init = if self.eat("=") {
+                    let neg = self.eat("-");
+                    let t = self.peek().clone();
+                    if t.kind != TokKind::Num {
+                        return self.err_here("global initializers must be integer literals");
+                    }
+                    self.next();
+                    if neg {
+                        -t.value
+                    } else {
+                        t.value
+                    }
+                } else {
+                    0
+                };
+                self.expect(";")?;
+                decls.push(Decl::Global {
+                    ty,
+                    name: name_tok.text,
+                    init,
+                });
+            }
+        }
+        Ok(decls)
+    }
+
+    fn func_rest(&mut self, ret: CType, name_tok: Token) -> Result<Decl, CcError> {
+        let mut params = Vec::new();
+        if !self.eat(")") {
+            if self.at("void") && self.toks[self.pos + 1].text == ")" {
+                self.next();
+            } else {
+                loop {
+                    let Some(base) = self.base_type()? else {
+                        return self.err_here("expected parameter type");
+                    };
+                    let ty = self.full_type(base);
+                    let name = self.ident()?;
+                    params.push(Param {
+                        ty,
+                        name: name.text,
+                    });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect(")")?;
+        }
+        if self.eat(";") {
+            return Ok(Decl::Extern {
+                name: name_tok.text,
+            });
+        }
+        self.expect("{")?;
+        let body = self.block_body()?;
+        Ok(Decl::Func {
+            ret,
+            name: name_tok.text,
+            params,
+            body,
+            line: name_tok.line,
+            col: name_tok.col,
+        })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CcError> {
+        let mut stmts = Vec::new();
+        while !self.eat("}") {
+            if self.peek().kind == TokKind::Eof {
+                return self.err_here("unexpected end of input inside a block");
+            }
+            stmts.append(&mut self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// One statement; a brace block flattens into its statement list
+    /// (scoping is handled by the caller's nesting structure).
+    fn stmt(&mut self) -> Result<Vec<Stmt>, CcError> {
+        if self.eat("{") {
+            return self.block_body();
+        }
+        if self.at("return") {
+            let t = self.next();
+            let val = if self.at(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(";")?;
+            return Ok(vec![Stmt::Ret(val, t.line, t.col)]);
+        }
+        if self.eat("if") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let then = self.stmt()?;
+            let els = if self.eat("else") {
+                self.stmt()?
+            } else {
+                Vec::new()
+            };
+            return Ok(vec![Stmt::If { cond, then, els }]);
+        }
+        if self.eat("while") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let body = self.stmt()?;
+            return Ok(vec![Stmt::While { cond, body }]);
+        }
+        if let Some(base) = self.base_type()? {
+            let ty = self.full_type(base);
+            let name = self.ident()?;
+            let init = if self.eat("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(";")?;
+            return Ok(vec![Stmt::Decl {
+                ty,
+                name: name.text,
+                init,
+                line: name.line,
+                col: name.col,
+            }]);
+        }
+        let e = self.expr()?;
+        self.expect(";")?;
+        Ok(vec![Stmt::Expr(e)])
+    }
+
+    fn mk(&self, t: &Token, kind: ExprKind) -> Expr {
+        Expr {
+            kind,
+            line: t.line,
+            col: t.col,
+            tok: t.text.clone(),
+        }
+    }
+
+    pub fn expr(&mut self) -> Result<Expr, CcError> {
+        self.assign()
+    }
+
+    fn assign(&mut self) -> Result<Expr, CcError> {
+        let lhs = self.lor()?;
+        if self.at("=") {
+            let t = self.next();
+            let rhs = self.assign()?;
+            return Ok(self.mk(&t, ExprKind::Assign(Box::new(lhs), Box::new(rhs))));
+        }
+        Ok(lhs)
+    }
+
+    fn binary<F>(&mut self, ops: &[(&str, BinOpK)], next: F) -> Result<Expr, CcError>
+    where
+        F: Fn(&mut Parser) -> Result<Expr, CcError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (text, op) in ops {
+                if self.at(text) {
+                    let t = self.next();
+                    let rhs = next(self)?;
+                    lhs = self.mk(&t, ExprKind::Bin(*op, Box::new(lhs), Box::new(rhs)));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn lor(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("||", BinOpK::LOr)], Parser::land)
+    }
+
+    fn land(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("&&", BinOpK::LAnd)], Parser::bitor)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("|", BinOpK::BitOr)], Parser::bitxor)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("^", BinOpK::BitXor)], Parser::bitand)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("&", BinOpK::BitAnd)], Parser::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("==", BinOpK::Eq), ("!=", BinOpK::Ne)], Parser::rel)
+    }
+
+    fn rel(&mut self) -> Result<Expr, CcError> {
+        self.binary(
+            &[
+                ("<=", BinOpK::Le),
+                (">=", BinOpK::Ge),
+                ("<", BinOpK::Lt),
+                (">", BinOpK::Gt),
+            ],
+            Parser::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("<<", BinOpK::Shl), (">>", BinOpK::Shr)], Parser::add)
+    }
+
+    fn add(&mut self) -> Result<Expr, CcError> {
+        self.binary(&[("+", BinOpK::Add), ("-", BinOpK::Sub)], Parser::mul)
+    }
+
+    fn mul(&mut self) -> Result<Expr, CcError> {
+        let mut e = self.unary()?;
+        loop {
+            if self.at("/") || self.at("%") {
+                return self.err_here("division is outside the subset (the IR has no divide)");
+            }
+            if !self.at("*") {
+                return Ok(e);
+            }
+            let t = self.next();
+            let r = self.unary()?;
+            e = self.mk(&t, ExprKind::Bin(BinOpK::Mul, Box::new(e), Box::new(r)));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        for (text, op) in [
+            ("-", UnOpK::Neg),
+            ("~", UnOpK::BitNot),
+            ("!", UnOpK::LogNot),
+        ] {
+            if self.at(text) {
+                let t = self.next();
+                let e = self.unary()?;
+                return Ok(self.mk(&t, ExprKind::Un(op, Box::new(e))));
+            }
+        }
+        if self.at("*") {
+            let t = self.next();
+            let e = self.unary()?;
+            return Ok(self.mk(&t, ExprKind::Deref(Box::new(e))));
+        }
+        if self.at("&") {
+            return self.err_here("address-of is outside the subset");
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CcError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at("[") {
+                let t = self.next();
+                let idx = self.expr()?;
+                self.expect("]")?;
+                e = self.mk(&t, ExprKind::Index(Box::new(e), Box::new(idx)));
+            } else if self.at("(") {
+                let t = self.next();
+                let ExprKind::Var(name) = e.kind.clone() else {
+                    return Err(CcError::new(
+                        e.line,
+                        e.col,
+                        &e.tok,
+                        "only named functions can be called",
+                    ));
+                };
+                let mut args = Vec::new();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect(")")?;
+                }
+                e = self.mk(&t, ExprKind::Call(name, args));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CcError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokKind::Num => {
+                self.next();
+                Ok(self.mk(&t, ExprKind::Num(t.value)))
+            }
+            TokKind::Ident if !is_keyword(&t.text) => {
+                self.next();
+                Ok(self.mk(&t, ExprKind::Var(t.text.clone())))
+            }
+            _ if t.text == "(" => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            _ => self.err_here(format!("expected an expression, found `{}`", t.text)),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "int" | "long" | "if" | "else" | "while" | "return" | "void" | "extern"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse(src: &str) -> Result<Vec<Decl>, CcError> {
+        Parser::new(lex(src)?).program()
+    }
+
+    #[test]
+    fn parses_function_shapes() {
+        let d = parse(
+            "int g = -3;\n\
+             int add(int a, int b) { return a + b; }\n\
+             int f(void) { int i = 0; while (i < 10) { i = i + 1; } return i; }\n\
+             int ext(int x);\n",
+        )
+        .unwrap();
+        assert_eq!(d.len(), 4);
+        assert!(matches!(&d[0], Decl::Global { init: -3, .. }));
+        assert!(matches!(&d[3], Decl::Extern { .. }));
+    }
+
+    #[test]
+    fn precedence_and_pointers() {
+        let d = parse("int f(int *p, int n) { return p[n - 1] + (*p << 2 & 7); }").unwrap();
+        assert_eq!(d.len(), 1);
+        let d = parse("long h(long a) { long b = a * 2 + 1; return b; }").unwrap();
+        assert!(matches!(
+            &d[0],
+            Decl::Func {
+                ret: CType::Long,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse("int f() { return 1 / 2; }").unwrap_err();
+        assert!(e.message.contains("division"));
+        assert_eq!(e.token, "/");
+        assert_eq!(e.line, 1);
+        let e = parse("int f() { int = 3; }").unwrap_err();
+        assert!(e.message.contains("identifier"));
+        let e = parse("int f() { int 9x; }").unwrap_err();
+        assert!(e.message.contains("bad number"));
+        let e = parse("int f() { return &x; }").unwrap_err();
+        assert!(e.message.contains("address-of"));
+    }
+}

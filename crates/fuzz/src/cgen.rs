@@ -1,0 +1,341 @@
+//! Seeded random C-subset program generator.
+//!
+//! Emits programs that are subset-correct *by construction* — every
+//! generated program must compile through `regalloc-cc` — while
+//! exercising the shapes the front end lowers: call graphs over earlier
+//! definitions, file-scope globals, pointer parameters with indexed
+//! loads/stores, bounded `while` loops, short-circuit conditions, and
+//! (occasionally) 64-bit `long` locals that push a function onto the
+//! ladder-wide refusal path.
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs.
+#[derive(Clone, Debug)]
+pub struct CGenConfig {
+    /// Functions per program (at least 1).
+    pub funcs: usize,
+    /// Statements per function body (before control-flow expansion).
+    pub stmts: usize,
+    /// Percent chance a function gets a `long` local (making it 64-bit).
+    pub long_pct: u32,
+}
+
+impl Default for CGenConfig {
+    fn default() -> CGenConfig {
+        CGenConfig {
+            funcs: 3,
+            stmts: 6,
+            long_pct: 12,
+        }
+    }
+}
+
+struct Gen {
+    rng: SmallRng,
+    out: String,
+    /// `int` variables in scope, usable in expressions.
+    ints: Vec<String>,
+    /// `int *` parameters in scope.
+    ptrs: Vec<String>,
+    /// Loop counters — excluded from assignment targets.
+    frozen: Vec<String>,
+    /// Arity of every previously *defined* function (callable).
+    callables: Vec<(String, usize, bool)>,
+    /// File-scope globals.
+    globals: Vec<String>,
+    tmp: usize,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.tmp += 1;
+        format!("{prefix}{}", self.tmp)
+    }
+
+    fn small(&mut self) -> i64 {
+        self.rng.gen_range(-99i64..=99)
+    }
+
+    /// An `int` expression of bounded depth.
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_range(0u32..100) < 30 {
+            return match self.rng.gen_range(0u32..10) {
+                0..=3 if !self.ints.is_empty() => {
+                    let i = self.rng.gen_range(0..self.ints.len());
+                    self.ints[i].clone()
+                }
+                4 if !self.ptrs.is_empty() => {
+                    let p = self.ptrs[self.rng.gen_range(0..self.ptrs.len())].clone();
+                    let i = self.rng.gen_range(0i64..8);
+                    format!("{p}[{i}]")
+                }
+                5 if !self.globals.is_empty() => {
+                    let g = self.rng.gen_range(0..self.globals.len());
+                    self.globals[g].clone()
+                }
+                _ => format!("{}", self.small()),
+            };
+        }
+        match self.rng.gen_range(0u32..10) {
+            0..=4 => {
+                let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0usize..6)];
+                let l = self.expr(depth - 1);
+                let r = self.expr(depth - 1);
+                format!("({l} {op} {r})")
+            }
+            5 => {
+                let op = ["<<", ">>"][self.rng.gen_range(0usize..2)];
+                let l = self.expr(depth - 1);
+                let sh = self.rng.gen_range(0i64..12);
+                format!("({l} {op} {sh})")
+            }
+            6 => {
+                let op = ["-", "~"][self.rng.gen_range(0usize..2)];
+                let e = self.expr(depth - 1);
+                format!("{op}({e})")
+            }
+            7 => {
+                // Comparison as a 0/1 value.
+                let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.gen_range(0usize..6)];
+                let l = self.expr(depth - 1);
+                let r = self.expr(depth - 1);
+                format!("({l} {op} {r})")
+            }
+            _ if !self.callables.is_empty() => self.call_expr(depth),
+            _ => {
+                let l = self.expr(depth - 1);
+                let r = self.expr(depth - 1);
+                format!("({l} + {r})")
+            }
+        }
+    }
+
+    fn call_expr(&mut self, depth: usize) -> String {
+        let (name, arity, has_ptr) =
+            self.callables[self.rng.gen_range(0..self.callables.len())].clone();
+        let mut args = Vec::new();
+        if has_ptr {
+            // The first parameter is `int *`: pass one of ours, or reuse
+            // an int value (the interpreter wraps any address).
+            if let Some(p) = (!self.ptrs.is_empty())
+                .then(|| self.ptrs[self.rng.gen_range(0..self.ptrs.len())].clone())
+            {
+                args.push(p);
+            } else {
+                return self.expr(depth.saturating_sub(1)); // no pointer available
+            }
+        }
+        while args.len() < arity {
+            args.push(self.expr(depth.saturating_sub(1)));
+        }
+        format!("{name}({})", args.join(", "))
+    }
+
+    /// A boolean condition (comparison or short-circuit combination).
+    fn cond(&mut self, depth: usize) -> String {
+        if depth > 0 && self.rng.gen_range(0u32..100) < 30 {
+            let op = ["&&", "||"][self.rng.gen_range(0usize..2)];
+            let l = self.cond(depth - 1);
+            let r = self.cond(depth - 1);
+            return format!("({l} {op} {r})");
+        }
+        if self.rng.gen_range(0u32..100) < 15 {
+            let inner = self.cond(0);
+            return format!("!{inner}");
+        }
+        let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.gen_range(0usize..6)];
+        let l = self.expr(1);
+        let r = self.expr(1);
+        format!("({l} {op} {r})")
+    }
+
+    fn assign_target(&mut self) -> Option<String> {
+        let frozen = self.frozen.clone();
+        let mut targets: Vec<String> = self
+            .ints
+            .iter()
+            .filter(|v| !frozen.contains(v))
+            .cloned()
+            .collect();
+        targets.extend(self.globals.iter().cloned());
+        for p in self.ptrs.clone() {
+            let i = self.rng.gen_range(0i64..8);
+            targets.push(format!("{p}[{i}]"));
+        }
+        if targets.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..targets.len());
+        Some(targets[i].clone())
+    }
+
+    fn stmt(&mut self, indent: &str, depth: usize) {
+        match self.rng.gen_range(0u32..10) {
+            0..=2 => {
+                // Fresh local.
+                let name = self.fresh("v");
+                let e = self.expr(2);
+                let _ = writeln!(self.out, "{indent}int {name} = {e};");
+                self.ints.push(name);
+            }
+            3..=5 => {
+                if let Some(t) = self.assign_target() {
+                    let e = self.expr(2);
+                    let _ = writeln!(self.out, "{indent}{t} = {e};");
+                }
+            }
+            6 | 7 if depth > 0 => {
+                let c = self.cond(1);
+                let _ = writeln!(self.out, "{indent}if ({c}) {{");
+                let inner = format!("{indent}    ");
+                let scope = self.ints.len();
+                for _ in 0..self.rng.gen_range(1usize..=2) {
+                    self.stmt(&inner, depth - 1);
+                }
+                self.ints.truncate(scope);
+                if self.rng.gen_bool(0.4) {
+                    let _ = writeln!(self.out, "{indent}}} else {{");
+                    let scope = self.ints.len();
+                    for _ in 0..self.rng.gen_range(1usize..=2) {
+                        self.stmt(&inner, depth - 1);
+                    }
+                    self.ints.truncate(scope);
+                }
+                let _ = writeln!(self.out, "{indent}}}");
+            }
+            8 if depth > 0 => {
+                // Bounded loop: a frozen counter guarantees termination.
+                let i = self.fresh("i");
+                let n = self.rng.gen_range(2i64..=6);
+                let _ = writeln!(self.out, "{indent}int {i} = 0;");
+                let _ = writeln!(self.out, "{indent}while ({i} < {n}) {{");
+                let inner = format!("{indent}    ");
+                self.ints.push(i.clone());
+                self.frozen.push(i.clone());
+                let scope = self.ints.len();
+                for _ in 0..self.rng.gen_range(1usize..=2) {
+                    self.stmt(&inner, depth - 1);
+                }
+                self.ints.truncate(scope);
+                let _ = writeln!(self.out, "{inner}{i} = {i} + 1;");
+                let _ = writeln!(self.out, "{indent}}}");
+                self.frozen.pop();
+            }
+            _ => {
+                // Expression statement (often a call).
+                let e = if self.callables.is_empty() {
+                    self.expr(2)
+                } else {
+                    self.call_expr(2)
+                };
+                let _ = writeln!(self.out, "{indent}{e};");
+            }
+        }
+    }
+
+    fn function(&mut self, idx: usize, cfg: &CGenConfig) {
+        let name = format!("f{idx}");
+        let has_ptr = self.rng.gen_bool(0.35);
+        let int_params = self.rng.gen_range(1usize..=3);
+        self.ints.clear();
+        self.ptrs.clear();
+        self.frozen.clear();
+        let mut sig = Vec::new();
+        if has_ptr {
+            sig.push("int *p".to_string());
+            self.ptrs.push("p".to_string());
+        }
+        for i in 0..int_params {
+            sig.push(format!("int a{i}"));
+            self.ints.push(format!("a{i}"));
+        }
+        let _ = writeln!(self.out, "int {name}({}) {{", sig.join(", "));
+        if self.rng.gen_range(0u32..100) < cfg.long_pct {
+            // A 64-bit local: the whole function takes the ladder-wide
+            // refusal path, exercising the agreement oracle's other arm.
+            let wide = (self.rng.gen_range(1i64..=0xffff) << 32) | self.rng.gen_range(0i64..0xffff);
+            let _ = writeln!(self.out, "    long wide = {wide:#x};");
+            let _ = writeln!(
+                self.out,
+                "    long wide2 = wide ^ {:#x};",
+                0xff00ff00u32 as i64
+            );
+            let _ = writeln!(self.out, "    wide = wide + wide2;");
+        }
+        for _ in 0..cfg.stmts {
+            self.stmt("    ", 2);
+        }
+        let ret = self.expr(2);
+        let _ = writeln!(self.out, "    return {ret};");
+        let _ = writeln!(self.out, "}}");
+        self.callables
+            .push((name, int_params + has_ptr as usize, has_ptr));
+    }
+}
+
+/// Generate one deterministic C-subset program from `seed`.
+pub fn generate_program(seed: u64, cfg: &CGenConfig) -> String {
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(seed ^ 0xc9e2),
+        out: String::from("// generated by regalloc-fuzz cgen\n"),
+        ints: Vec::new(),
+        ptrs: Vec::new(),
+        frozen: Vec::new(),
+        callables: Vec::new(),
+        globals: Vec::new(),
+        tmp: 0,
+    };
+    for gi in 0..g.rng.gen_range(1usize..=3) {
+        let init = g.small();
+        let name = format!("g{gi}");
+        let _ = writeln!(g.out, "int {name} = {init};");
+        g.globals.push(name);
+    }
+    let funcs = cfg.funcs.max(1);
+    for i in 0..funcs {
+        g.function(i, cfg);
+    }
+    g.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_deterministic_and_compile() {
+        for seed in 0..40u64 {
+            let a = generate_program(seed, &CGenConfig::default());
+            let b = generate_program(seed, &CGenConfig::default());
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            let funcs =
+                regalloc_cc::compile(&a).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{a}"));
+            assert!(!funcs.is_empty());
+            for f in &funcs {
+                regalloc_ir::verify_function(f)
+                    .unwrap_or_else(|e| panic!("seed {seed} fn {}: {e:?}\n{a}", f.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn some_programs_reach_both_ladder_arms() {
+        let (mut wide, mut narrow) = (0, 0);
+        for seed in 0..60u64 {
+            for f in regalloc_cc::compile(&generate_program(seed, &CGenConfig::default())).unwrap()
+            {
+                if f.uses_64bit() {
+                    wide += 1;
+                } else {
+                    narrow += 1;
+                }
+            }
+        }
+        assert!(wide > 0, "no 64-bit functions generated");
+        assert!(narrow > wide, "64-bit functions should be the minority");
+    }
+}

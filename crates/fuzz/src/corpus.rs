@@ -1,0 +1,171 @@
+//! Replayable reproducer corpus.
+//!
+//! A reproducer is a single `.ir` file: `; key: value` metadata
+//! comments followed by the minimized function in textual IR. The
+//! format is driver-compatible (comment lines starting with `;` are
+//! ignored by `regalloc-driver`'s loader), so a reproducer can also be
+//! fed straight to the batch driver for inspection.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use regalloc_ir::{fingerprint_hex, parse_function, Function};
+
+use crate::Violation;
+
+/// A parsed reproducer file.
+#[derive(Clone, Debug)]
+pub struct Reproducer {
+    /// Campaign case index the violation came from.
+    pub case: u64,
+    /// The case's derived seed.
+    pub seed: u64,
+    /// The oracle that fired.
+    pub oracle: String,
+    /// The rung blamed (or `-`).
+    pub rung: String,
+    /// Fault seed armed during the run, if any.
+    pub fault: Option<u64>,
+    /// The minimized function.
+    pub func: Function,
+}
+
+/// Write `v` into `dir` as `repro-<fingerprint>.ir`; idempotent for
+/// identical functions (same fingerprint → same file name).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reproducer(dir: &Path, v: &Violation) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let fp = fingerprint_hex(&v.func);
+    let path = dir.join(format!("repro-{}.ir", &fp[..16.min(fp.len())]));
+    let fault = match v.fault {
+        Some(s) => format!("{s:#x}"),
+        None => "none".to_string(),
+    };
+    let text = format!(
+        "; regalloc-fuzz reproducer\n\
+         ; case: {}\n\
+         ; seed: {:#x}\n\
+         ; oracle: {}\n\
+         ; rung: {}\n\
+         ; fault: {}\n\
+         ; detail: {}\n\
+         {}",
+        v.case,
+        v.seed,
+        v.oracle,
+        v.rung,
+        fault,
+        v.detail.replace('\n', " "),
+        v.func
+    );
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+fn meta<'a>(lines: &'a [&str], key: &str) -> Option<&'a str> {
+    let prefix = format!("; {key}:");
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .map(str::trim)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = match s.strip_prefix("0x") {
+        Some(h) => u64::from_str_radix(h, 16),
+        None => s.parse(),
+    };
+    r.map_err(|_| format!("bad number `{s}`"))
+}
+
+/// Read a reproducer file back.
+///
+/// # Errors
+///
+/// Returns a description for unreadable files, missing metadata or
+/// unparsable IR.
+pub fn read_reproducer(path: &Path) -> Result<Reproducer, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let body = lines
+        .iter()
+        .filter(|l| !l.trim_start().starts_with(';') && !l.trim().is_empty())
+        .copied()
+        .collect::<Vec<_>>()
+        .join("\n");
+    let func =
+        parse_function(&body).map_err(|e| format!("{}: bad IR body: {e}", path.display()))?;
+    let fault = match meta(&lines, "fault") {
+        None | Some("none") => None,
+        Some(s) => Some(parse_u64(s)?),
+    };
+    Ok(Reproducer {
+        case: meta(&lines, "case")
+            .map(parse_u64)
+            .transpose()?
+            .unwrap_or(0),
+        seed: meta(&lines, "seed")
+            .map(parse_u64)
+            .transpose()?
+            .unwrap_or(0),
+        oracle: meta(&lines, "oracle").unwrap_or("").to_string(),
+        rung: meta(&lines, "rung").unwrap_or("-").to_string(),
+        fault,
+        func,
+    })
+}
+
+/// Replay a reproducer: re-run the rungs with the recorded fault plan
+/// and require the recorded oracle to fire again.
+///
+/// # Errors
+///
+/// Returns a description when the violation no longer reproduces (or
+/// the rungs fail differently than recorded).
+pub fn replay(r: &Reproducer, equiv_runs: usize) -> Result<(), String> {
+    let machine = regalloc_x86::X86Machine::pentium();
+    let outs = match crate::run_rungs(&machine, &r.func, r.fault) {
+        Ok(outs) => outs,
+        Err(e) => {
+            // A hard rung failure is recorded as an agreement violation.
+            return if r.oracle == "agreement" {
+                Ok(())
+            } else {
+                Err(format!(
+                    "rungs failed ({e}) but expected oracle `{}`",
+                    r.oracle
+                ))
+            };
+        }
+    };
+    let viols = crate::check_function(&machine, &r.func, &outs, equiv_runs, r.seed);
+    if viols.iter().any(|(o, _, _)| *o == r.oracle) {
+        Ok(())
+    } else {
+        Err(format!(
+            "oracle `{}` did not fire on replay (got {:?})",
+            r.oracle,
+            viols.iter().map(|(o, _, _)| o.as_str()).collect::<Vec<_>>()
+        ))
+    }
+}
+
+/// All `.ir` reproducers under `dir`, sorted by file name for
+/// deterministic iteration. Missing directory → empty list.
+pub fn corpus_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "ir"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}

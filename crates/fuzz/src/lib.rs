@@ -1,0 +1,417 @@
+//! `regalloc-fuzz`: a seeded, deterministic differential fuzzer for the
+//! allocation ladder.
+//!
+//! Each case is an IR function — generated directly via
+//! [`regalloc_workloads::fuzz_function`] or compiled from a random
+//! C-subset program via `regalloc-cc` — pushed through three independent
+//! allocation rungs:
+//!
+//! 1. the IP ladder ([`RobustAllocator`]) with its *internal* semantic
+//!    gates disabled, so the fuzzer's own oracles do the catching;
+//! 2. the graph-coloring baseline ([`ColoringAllocator`]);
+//! 3. the spill-everything fallback ([`fallback::spill_everything`]).
+//!
+//! Every produced allocation is cross-checked by three oracles:
+//!
+//! * **interp-equivalence** — the allocated code behaves exactly like
+//!   the original on seeded pseudo-random inputs
+//!   ([`check::equivalent`]);
+//! * **static-validator** — `regalloc_lint::validate` proves the
+//!   dataflow translation, no execution needed;
+//! * **agreement** — all allocators' outputs produce identical
+//!   observable outcomes on shared inputs, and either every rung
+//!   allocates a function or every rung refuses it (64-bit functions
+//!   are refused ladder-wide, as in the paper's Table 2).
+//!
+//! Failures are auto-minimized ([`shrink::minimize`]) and written as
+//! replayable corpus files ([`corpus`]). Everything is seeded: the same
+//! `--cases`/`--seed` pair explores the same programs and reaches the
+//! same verdicts on every run.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use regalloc_coloring::ColoringAllocator;
+use regalloc_core::pipeline::{FaultPlan, RobustAllocator, Rung};
+use regalloc_core::{check, fallback, AllocError};
+use regalloc_ilp::SolverConfig;
+use regalloc_ir::interp::mix64;
+use regalloc_ir::{Cfg, ExecOutcome, Function, Interp, InterpConfig, LoopInfo, Profile};
+use regalloc_workloads::{fuzz_function, GenConfig};
+use regalloc_x86::{X86Machine, X86RegFile};
+
+pub mod cgen;
+pub mod corpus;
+pub mod shrink;
+
+/// Which generator feeds a case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CaseKind {
+    /// Random IR functions (wide immediates, exotic addressing).
+    Ir,
+    /// Random C-subset programs through `regalloc-cc`.
+    C,
+    /// Alternate between the two (even cases IR, odd cases C).
+    Mixed,
+}
+
+impl CaseKind {
+    pub fn parse(s: &str) -> Option<CaseKind> {
+        match s {
+            "ir" => Some(CaseKind::Ir),
+            "c" => Some(CaseKind::C),
+            "mixed" => Some(CaseKind::Mixed),
+            _ => None,
+        }
+    }
+}
+
+/// Campaign configuration. Fully deterministic: no wall-clock limits
+/// participate in any verdict.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of cases to run.
+    pub cases: u64,
+    /// Master seed; case `i` derives its own stream from `(seed, i)`.
+    pub seed: u64,
+    /// Generator mix.
+    pub kind: CaseKind,
+    /// Optional solver-fault injection: seeds
+    /// [`FaultPlan::corrupt_solution`] with `mix64(fault ^ case)`, so
+    /// each case corrupts differently but reproducibly.
+    pub fault: Option<u64>,
+    /// Interpreter-equivalence runs per produced allocation.
+    pub equiv_runs: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            cases: 100,
+            seed: 7,
+            kind: CaseKind::Mixed,
+            fault: None,
+            equiv_runs: 3,
+        }
+    }
+}
+
+/// Deterministic solver limits: generous wall-clock (never the binding
+/// constraint), tight node/iteration caps so every machine takes the
+/// same path through the ladder.
+pub fn deterministic_solver() -> SolverConfig {
+    SolverConfig {
+        time_limit: Duration::from_secs(300),
+        lp_iter_limit: 2_000,
+        node_limit: 16,
+        max_rows: 600,
+    }
+}
+
+/// One oracle violation, carrying the (minimized) offending function.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Case index within the campaign.
+    pub case: u64,
+    /// The case's derived seed.
+    pub seed: u64,
+    /// Which oracle fired: `interp-equivalence`, `static-validator` or
+    /// `agreement`.
+    pub oracle: String,
+    /// Which rung produced the offending allocation (`ip`, `coloring`,
+    /// `spill-all`, or `-` for cross-rung disagreements).
+    pub rung: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The original (pre-allocation) function, minimized when the
+    /// campaign ran with minimization.
+    pub func: Function,
+    /// The fault seed armed when the violation fired.
+    pub fault: Option<u64>,
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Functions checked (C cases contribute several per case).
+    pub functions: u64,
+    /// Functions refused ladder-wide (64-bit).
+    pub refused: u64,
+    /// Accepted IP-ladder rung histogram, by rung name.
+    pub rungs: BTreeMap<String, u64>,
+    /// Violations found (minimized).
+    pub violations: Vec<Violation>,
+}
+
+/// The three allocations of one function, `None` where a rung refused
+/// (64-bit functions).
+pub struct RungOutputs {
+    /// IP ladder output and the accepted rung.
+    pub ip: Option<(Function, Rung)>,
+    /// Graph-coloring baseline output.
+    pub coloring: Option<Function>,
+    /// Spill-everything output.
+    pub spill: Option<Function>,
+}
+
+impl RungOutputs {
+    /// `(rung-name, allocated)` pairs for the rungs that produced code.
+    pub fn produced(&self) -> Vec<(&'static str, &Function)> {
+        let mut v = Vec::new();
+        if let Some((f, _)) = &self.ip {
+            v.push(("ip", f));
+        }
+        if let Some(f) = &self.coloring {
+            v.push(("coloring", f));
+        }
+        if let Some(f) = &self.spill {
+            v.push(("spill-all", f));
+        }
+        v
+    }
+}
+
+/// Run one function through all three rungs.
+///
+/// The IP ladder runs with its interpreter-equivalence and
+/// static-validation gates *off* and without an injected baseline: a
+/// corrupted-but-structurally-valid solution is accepted by the ladder
+/// and must be caught by this crate's oracles instead.
+///
+/// # Errors
+///
+/// Returns a description if a rung fails outright (ladder exhausted,
+/// fallback error) — itself a finding, reported as an `agreement`
+/// violation by [`check_function`]'s callers.
+pub fn run_rungs(
+    machine: &X86Machine,
+    f: &Function,
+    fault: Option<u64>,
+) -> Result<RungOutputs, String> {
+    let faults = match fault {
+        Some(seed) => FaultPlan {
+            corrupt_solution: Some(seed),
+            ..FaultPlan::none()
+        },
+        None => FaultPlan::none(),
+    };
+    let robust = RobustAllocator::<_, X86RegFile>::new(machine)
+        .with_solver_config(deterministic_solver())
+        .with_budget(Duration::from_secs(300))
+        .with_equivalence(0, 0)
+        .with_static_validation(false)
+        .with_faults(faults);
+    let ip = match robust.allocate(f) {
+        Ok(out) => Some((out.func, out.report.rung)),
+        Err(AllocError::Uses64Bit) => None,
+        Err(e) => return Err(format!("ip ladder failed: {e}")),
+    };
+    let coloring = match ColoringAllocator::new(machine).allocate(f) {
+        Ok(out) => Some(out.func),
+        Err(AllocError::Uses64Bit) => None,
+        Err(e) => return Err(format!("coloring failed: {e}")),
+    };
+    let spill = if f.uses_64bit() {
+        // The paper's pipeline never attempts 64-bit functions; keep the
+        // refusal ladder-wide so the agreement oracle can check it.
+        None
+    } else {
+        let cfg = Cfg::new(f);
+        let loops = LoopInfo::new(f, &cfg);
+        let profile = Profile::estimate(f, &cfg, &loops);
+        match fallback::spill_everything(f, &profile, machine) {
+            Ok((sf, _)) => Some(sf),
+            Err(e) => return Err(format!("spill-all failed: {e:?}")),
+        }
+    };
+    Ok(RungOutputs {
+        ip,
+        coloring,
+        spill,
+    })
+}
+
+fn outcome_key(o: &ExecOutcome) -> (u8, Option<u64>, u64, u64, Vec<u64>, u64) {
+    let status = match o.status {
+        regalloc_ir::ExecStatus::Returned => 0u8,
+        regalloc_ir::ExecStatus::OutOfFuel => 1,
+    };
+    (
+        status,
+        o.ret,
+        o.trace_hash,
+        o.stores,
+        o.globals.clone(),
+        o.blocks_executed,
+    )
+}
+
+/// Apply all three oracles to one function's rung outputs. Returns every
+/// violation found (without minimization).
+pub fn check_function(
+    machine: &X86Machine,
+    f: &Function,
+    outs: &RungOutputs,
+    equiv_runs: usize,
+    seed: u64,
+) -> Vec<(String, String, String)> {
+    let mut viols = Vec::new();
+    // Oracle 3a: refusal consistency — allocate everywhere or nowhere.
+    let produced = outs.produced();
+    let refusals = 3 - produced.len();
+    if refusals != 0 && refusals != 3 {
+        let names: Vec<_> = produced.iter().map(|(n, _)| *n).collect();
+        viols.push((
+            "agreement".to_string(),
+            "-".to_string(),
+            format!("only {names:?} allocated; expected all rungs or none (64-bit)"),
+        ));
+        return viols;
+    }
+    // Oracle 2: static dataflow translation validator.
+    for (name, alloc) in &produced {
+        let errs = regalloc_lint::validate(machine, f, alloc);
+        if !errs.is_empty() {
+            viols.push((
+                "static-validator".to_string(),
+                (*name).to_string(),
+                format!("{} diagnostics, first: {}", errs.len(), errs[0]),
+            ));
+        }
+    }
+    // Oracle 1: interpreter equivalence against the original.
+    for (name, alloc) in &produced {
+        if let Err(e) = check::equivalent::<X86RegFile>(f, alloc, equiv_runs, seed) {
+            viols.push(("interp-equivalence".to_string(), (*name).to_string(), e));
+        }
+    }
+    // Oracle 3b: inter-allocator agreement on shared inputs.
+    if produced.len() >= 2 {
+        let nargs = f.globals().iter().filter(|g| g.is_param).count();
+        for run in 0..equiv_runs.max(1) {
+            let base = mix64(seed ^ 0xa9ee ^ ((run as u64) << 21));
+            let args: Vec<u64> = (0..nargs).map(|i| mix64(base ^ i as u64) % 1000).collect();
+            let cfg = InterpConfig {
+                seed: base,
+                ..Default::default()
+            };
+            let outcomes: Vec<_> = produced
+                .iter()
+                .map(|(n, alloc)| {
+                    (
+                        *n,
+                        outcome_key(&Interp::new(alloc, X86RegFile::default(), cfg, &args).run()),
+                    )
+                })
+                .collect();
+            if let Some(w) = outcomes.iter().find(|(_, k)| *k != outcomes[0].1) {
+                viols.push((
+                    "agreement".to_string(),
+                    "-".to_string(),
+                    format!(
+                        "run {run} (args {args:?}): {} and {} disagree",
+                        outcomes[0].0, w.0
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    viols
+}
+
+/// True when `f` still trips an oracle named `oracle` under `fault` —
+/// the minimizer's predicate.
+pub fn still_fails(
+    machine: &X86Machine,
+    f: &Function,
+    oracle: &str,
+    fault: Option<u64>,
+    equiv_runs: usize,
+    seed: u64,
+) -> bool {
+    match run_rungs(machine, f, fault) {
+        Ok(outs) => check_function(machine, f, &outs, equiv_runs, seed)
+            .iter()
+            .any(|(o, _, _)| o == oracle),
+        Err(_) => false,
+    }
+}
+
+/// The functions of case `i`: one generated IR function or every
+/// function of a generated C program.
+pub fn case_functions(cfg: &FuzzConfig, i: u64) -> Vec<Function> {
+    let case_seed = mix64(cfg.seed ^ (i << 32 | 0x0ca5e));
+    let use_c = match cfg.kind {
+        CaseKind::Ir => false,
+        CaseKind::C => true,
+        CaseKind::Mixed => i % 2 == 1,
+    };
+    if use_c {
+        let src = cgen::generate_program(case_seed, &cgen::CGenConfig::default());
+        // The generator emits subset-correct programs by construction.
+        regalloc_cc::compile(&src).unwrap_or_else(|e| {
+            panic!("cgen produced an uncompilable program (seed {case_seed:#x}): {e}\n{src}")
+        })
+    } else {
+        vec![fuzz_function(
+            &format!("fz{i}"),
+            case_seed,
+            &GenConfig::fuzz(),
+        )]
+    }
+}
+
+/// Run a whole campaign; violations come back minimized.
+pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
+    let machine = X86Machine::pentium();
+    let mut report = CampaignReport::default();
+    for i in 0..cfg.cases {
+        let case_seed = mix64(cfg.seed ^ (i << 32 | 0x0ca5e));
+        let fault = cfg.fault.map(|fs| mix64(fs ^ i) | 1);
+        for f in case_functions(cfg, i) {
+            report.functions += 1;
+            let outs = match run_rungs(&machine, &f, fault) {
+                Ok(outs) => outs,
+                Err(e) => {
+                    report.violations.push(Violation {
+                        case: i,
+                        seed: case_seed,
+                        oracle: "agreement".to_string(),
+                        rung: "-".to_string(),
+                        detail: e,
+                        func: f,
+                        fault,
+                    });
+                    continue;
+                }
+            };
+            match &outs.ip {
+                Some((_, rung)) => {
+                    *report.rungs.entry(rung.name().to_string()).or_insert(0) += 1;
+                }
+                None => report.refused += 1,
+            }
+            for (oracle, rung, detail) in
+                check_function(&machine, &f, &outs, cfg.equiv_runs, case_seed)
+            {
+                let minimized = shrink::minimize(&f, 600, |cand| {
+                    still_fails(&machine, cand, &oracle, fault, cfg.equiv_runs, case_seed)
+                });
+                report.violations.push(Violation {
+                    case: i,
+                    seed: case_seed,
+                    oracle,
+                    rung,
+                    detail,
+                    func: minimized,
+                    fault,
+                });
+            }
+        }
+        report.cases += 1;
+    }
+    report
+}

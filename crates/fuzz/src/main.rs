@@ -1,0 +1,111 @@
+//! `regalloc-fuzz` CLI: seeded differential fuzzing of the allocation
+//! ladder.
+//!
+//! ```text
+//! regalloc-fuzz --cases 500 --seed 7                 # clean run, expect 0 violations
+//! regalloc-fuzz --cases 40 --seed 7 --fault 3 \
+//!               --corpus tests/corpus/ir            # fault injection, write reproducers
+//! regalloc-fuzz --replay tests/corpus/ir            # replay a corpus directory
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use regalloc_fuzz::{corpus, run_campaign, CaseKind, FuzzConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: regalloc-fuzz [--cases N] [--seed N] [--kind ir|c|mixed]\n\
+         \x20                   [--fault N] [--equiv-runs N] [--corpus DIR]\n\
+         \x20      regalloc-fuzz --replay DIR [--equiv-runs N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig::default();
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut replay_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--cases" => cfg.cases = val("--cases")?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => cfg.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--kind" => {
+                    let k = val("--kind")?;
+                    cfg.kind = CaseKind::parse(&k).ok_or(format!("unknown kind `{k}`"))?;
+                }
+                "--fault" => cfg.fault = Some(val("--fault")?.parse().map_err(|e| format!("{e}"))?),
+                "--equiv-runs" => {
+                    cfg.equiv_runs = val("--equiv-runs")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--corpus" => corpus_dir = Some(PathBuf::from(val("--corpus")?)),
+                "--replay" => replay_dir = Some(PathBuf::from(val("--replay")?)),
+                _ => return Err(format!("unknown argument `{a}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("regalloc-fuzz: {e}");
+            return usage();
+        }
+    }
+
+    if let Some(dir) = replay_dir {
+        let files = corpus::corpus_files(&dir);
+        if files.is_empty() {
+            eprintln!("regalloc-fuzz: no .ir reproducers under {}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let mut failed = 0;
+        for p in &files {
+            match corpus::read_reproducer(p).and_then(|r| corpus::replay(&r, cfg.equiv_runs)) {
+                Ok(()) => println!("replay {} .. ok", p.display()),
+                Err(e) => {
+                    failed += 1;
+                    println!("replay {} .. FAILED: {e}", p.display());
+                }
+            }
+        }
+        println!("replayed {} reproducer(s), {failed} failed", files.len());
+        return if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let report = run_campaign(&cfg);
+    println!(
+        "cases: {}  functions: {}  refused-64bit: {}",
+        report.cases, report.functions, report.refused
+    );
+    for (rung, n) in &report.rungs {
+        println!("  rung {rung}: {n}");
+    }
+    println!("violations: {}", report.violations.len());
+    for v in &report.violations {
+        println!(
+            "  case {} seed {:#x} oracle {} rung {}: {}",
+            v.case, v.seed, v.oracle, v.rung, v.detail
+        );
+        if let Some(dir) = &corpus_dir {
+            match corpus::write_reproducer(dir, v) {
+                Ok(p) => println!("    reproducer: {}", p.display()),
+                Err(e) => eprintln!("    cannot write reproducer: {e}"),
+            }
+        }
+    }
+    // A clean campaign must be silent; under fault injection violations
+    // are the expected outcome (they prove the oracles catch the fault).
+    if report.violations.is_empty() || cfg.fault.is_some() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,214 @@
+//! Greedy reproducer minimization.
+//!
+//! Candidate edits are proposed in a fixed order (instruction deletion,
+//! branch collapsing, call-argument dropping, operand simplification,
+//! unreachable-block removal) and an edit is kept only when the shrunk
+//! function still [`verifies`](regalloc_ir::verify_function) *and* the
+//! caller's oracle predicate still fails on it. The process is fully
+//! deterministic, so a minimized reproducer is stable across runs.
+
+use std::collections::BTreeSet;
+
+use regalloc_ir::{verify_function, BlockId, Function, FunctionBuilder, Inst, Loc, Operand};
+
+/// Keep a candidate only if it is structurally valid and still fails.
+fn accept(cand: &Function, fails: &impl Fn(&Function) -> bool) -> bool {
+    verify_function(cand).is_ok() && fails(cand)
+}
+
+/// Every way to simplify one operand to `#1`.
+fn simplify_operand(op: &mut Operand) -> bool {
+    if matches!(op, Operand::Loc(_)) {
+        *op = Operand::Imm(1);
+        true
+    } else {
+        false
+    }
+}
+
+/// Propose single-edit candidates, cheapest first. `step` indexes into
+/// the (deterministic) edit sequence; returns `None` when exhausted.
+fn candidate(f: &Function, step: usize) -> Option<Function> {
+    let mut idx = 0;
+    // 1. Delete one non-terminator instruction.
+    for b in f.block_ids() {
+        let n = f.block(b).insts.len();
+        for i in 0..n.saturating_sub(1) {
+            if idx == step {
+                let mut c = f.clone();
+                c.block_mut(b).insts.remove(i);
+                return Some(c);
+            }
+            idx += 1;
+        }
+    }
+    // 2. Collapse a branch to a jump (then-edge, then else-edge).
+    for b in f.block_ids() {
+        if let Inst::Branch {
+            then_blk, else_blk, ..
+        } = *f.block(b).terminator()
+        {
+            for target in [then_blk, else_blk] {
+                if idx == step {
+                    let mut c = f.clone();
+                    let t = c.block_mut(b).insts.last_mut().unwrap();
+                    *t = Inst::Jump { target };
+                    return Some(c);
+                }
+                idx += 1;
+            }
+        }
+    }
+    // 3. Drop one call argument.
+    for b in f.block_ids() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            if let Inst::Call { args, .. } = inst {
+                for a in 0..args.len() {
+                    if idx == step {
+                        let mut c = f.clone();
+                        if let Inst::Call { args, .. } = &mut c.block_mut(b).insts[i] {
+                            args.remove(a);
+                        }
+                        return Some(c);
+                    }
+                    idx += 1;
+                }
+            }
+        }
+    }
+    // 4. Replace one register operand with `#1`.
+    for b in f.block_ids() {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            let slots: usize = match inst {
+                Inst::Bin { .. } | Inst::Branch { .. } => 2,
+                Inst::Un { .. } | Inst::Store { .. } | Inst::Ret { val: Some(_) } => 1,
+                Inst::Call { args, .. } => args.len(),
+                _ => 0,
+            };
+            for s in 0..slots {
+                if idx == step {
+                    let mut c = f.clone();
+                    let done = match &mut c.block_mut(b).insts[i] {
+                        Inst::Bin { lhs, rhs, .. } | Inst::Branch { lhs, rhs, .. } => {
+                            simplify_operand(if s == 0 { lhs } else { rhs })
+                        }
+                        Inst::Un { src, .. } | Inst::Store { src, .. } => simplify_operand(src),
+                        Inst::Ret { val: Some(v) } => simplify_operand(v),
+                        Inst::Call { args, .. } => simplify_operand(&mut args[s]),
+                        _ => false,
+                    };
+                    if !done {
+                        return Some(f.clone()); // no-op; rejected as not-smaller upstream
+                    }
+                    return Some(c);
+                }
+                idx += 1;
+            }
+        }
+    }
+    // 5. Drop unreachable blocks (one compound edit).
+    if idx == step {
+        return drop_unreachable(f);
+    }
+    None
+}
+
+/// Rebuild `f` without its unreachable blocks (renumbering targets), or
+/// `None` if every block is reachable.
+fn drop_unreachable(f: &Function) -> Option<Function> {
+    let mut reach = BTreeSet::new();
+    let mut work = vec![f.entry()];
+    while let Some(b) = work.pop() {
+        if reach.insert(b) {
+            work.extend(f.block(b).successors());
+        }
+    }
+    if reach.len() == f.num_blocks() {
+        return None;
+    }
+    let order: Vec<BlockId> = f.block_ids().filter(|b| reach.contains(b)).collect();
+    let remap =
+        |old: BlockId| -> BlockId { BlockId(order.iter().position(|&b| b == old).unwrap() as u32) };
+    let mut b = FunctionBuilder::new(f.name());
+    for s in f.sym_ids() {
+        b.new_sym(f.sym_width(s));
+    }
+    for g in f.globals() {
+        let gid = if g.is_param {
+            b.new_param(&g.name, g.width)
+        } else {
+            b.new_global(&g.name, g.width, g.init)
+        };
+        if g.aliased {
+            b.mark_aliased(gid);
+        }
+    }
+    // Blocks: the first kept block is the entry the builder pre-created.
+    for _ in 1..order.len() {
+        b.block();
+    }
+    for (new_idx, &old) in order.iter().enumerate() {
+        b.switch_to(BlockId(new_idx as u32));
+        for inst in &f.block(old).insts {
+            let mut inst = inst.clone();
+            match &mut inst {
+                Inst::Jump { target } => *target = remap(*target),
+                Inst::Branch {
+                    then_blk, else_blk, ..
+                } => {
+                    *then_blk = remap(*then_blk);
+                    *else_blk = remap(*else_blk);
+                }
+                _ => {}
+            }
+            b.push(inst);
+        }
+    }
+    let mut out = b.finish();
+    for s in f.slots() {
+        out.add_slot(s.width, s.home);
+    }
+    Some(out)
+}
+
+/// Size metric guiding the greedy loop.
+pub fn size(f: &Function) -> usize {
+    f.num_insts() * 4
+        + f.num_blocks()
+        + f.block_ids()
+            .flat_map(|b| f.block(b).insts.iter())
+            .map(|i| match i {
+                Inst::Call { args, .. } => args.len(),
+                Inst::Bin { lhs, rhs, .. } | Inst::Branch { lhs, rhs, .. } => [lhs, rhs]
+                    .iter()
+                    .filter(|o| matches!(o, Operand::Loc(Loc::Sym(_))))
+                    .count(),
+                _ => 0,
+            })
+            .sum::<usize>()
+}
+
+/// Minimize `f` while `fails` keeps returning true, spending at most
+/// `budget` oracle evaluations. Returns the smallest failing function
+/// found (possibly `f` itself).
+pub fn minimize(f: &Function, budget: usize, fails: impl Fn(&Function) -> bool) -> Function {
+    let mut best = f.clone();
+    let mut spent = 0usize;
+    let mut step = 0usize;
+    while spent < budget {
+        let Some(cand) = candidate(&best, step) else {
+            break; // edit sequence exhausted with no accept since last reset
+        };
+        step += 1;
+        if size(&cand) >= size(&best) {
+            continue;
+        }
+        spent += 1;
+        if accept(&cand, &fails) {
+            best = cand;
+            // Restart the edit sequence on the smaller function.
+            step = 0;
+        }
+    }
+    best
+}

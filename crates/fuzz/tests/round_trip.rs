@@ -1,0 +1,76 @@
+//! Satellite property: the textual IR is a faithful serialization.
+//! `Display` → `parse_function` must reproduce the original function —
+//! same fingerprint, same re-printed text — over the whole generator
+//! surface (wide immediates, exotic addressing, C-compiled programs,
+//! minimized reproducers).
+
+use proptest::prelude::*;
+
+use regalloc_fuzz::cgen::{generate_program, CGenConfig};
+use regalloc_ir::{fingerprint_hex, parse_function};
+use regalloc_workloads::{fuzz_function, GenConfig};
+
+fn assert_round_trips(f: &regalloc_ir::Function, what: &str) {
+    let text = f.to_string();
+    let back = parse_function(&text)
+        .unwrap_or_else(|e| panic!("{what}: printed IR fails to parse: {e}\n{text}"));
+    assert_eq!(
+        fingerprint_hex(f),
+        fingerprint_hex(&back),
+        "{what}: fingerprint changed across Display→parse\n{text}"
+    );
+    assert_eq!(
+        text,
+        back.to_string(),
+        "{what}: re-printed text is not byte-identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fuzz-surface functions (64-bit immediates, every addressing
+    /// mode) round-trip with a stable fingerprint.
+    #[test]
+    fn fuzz_functions_round_trip(seed in any::<u64>()) {
+        let f = fuzz_function("rt", seed, &GenConfig::fuzz());
+        assert_round_trips(&f, "fuzz_function");
+    }
+
+    /// Workload-shaped functions round-trip too.
+    #[test]
+    fn workload_functions_round_trip(seed in any::<u64>()) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = regalloc_workloads::generate_function(
+            "rtw",
+            &mut rng,
+            &GenConfig { target_insts: 24, ..Default::default() },
+        );
+        assert_round_trips(&f, "generate_function");
+    }
+
+    /// Functions compiled from random C programs round-trip: the front
+    /// end emits nothing the textual format cannot carry.
+    #[test]
+    fn compiled_c_round_trips(seed in any::<u64>()) {
+        let src = generate_program(seed, &CGenConfig::default());
+        let funcs = regalloc_cc::compile(&src)
+            .unwrap_or_else(|e| panic!("cgen program does not compile: {e}\n{src}"));
+        for f in &funcs {
+            assert_round_trips(f, "regalloc-cc output");
+        }
+    }
+}
+
+/// The checked-in corpus reproducers round-trip byte-for-byte through
+/// their own parser (metadata comments aside).
+#[test]
+fn corpus_reproducers_round_trip() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/ir");
+    for path in regalloc_fuzz::corpus::corpus_files(&dir) {
+        let r = regalloc_fuzz::corpus::read_reproducer(&path).unwrap_or_else(|e| panic!("{e}"));
+        assert_round_trips(&r.func, &path.display().to_string());
+    }
+}

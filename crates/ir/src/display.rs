@@ -88,12 +88,21 @@ impl fmt::Display for Inst {
                 width,
             } => write!(f, "{dst} = {op:?}{} {src}", width.bits()),
             Inst::Call {
-                callee, ret, args, ..
+                callee,
+                ret,
+                args,
+                width,
             } => {
                 if let Some(r) = ret {
                     write!(f, "{r} = ")?;
                 }
-                write!(f, "call fn{callee}(")?;
+                // Bare `call` is the common 32-bit form; other return
+                // widths carry an explicit suffix so they round-trip.
+                if width.bits() == 32 {
+                    write!(f, "call fn{callee}(")?;
+                } else {
+                    write!(f, "call{} fn{callee}(", width.bits())?;
+                }
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;

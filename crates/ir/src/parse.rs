@@ -21,18 +21,28 @@ use crate::func::{Function, FunctionBuilder};
 use crate::ids::{BlockId, PhysReg, SlotId, SymId, Width};
 use crate::inst::{Address, BinOp, Cond, Dst, Inst, Loc, Operand, Scale, UnOp};
 
-/// A parse failure, with a line number and message.
+/// A parse failure, with source coordinates and the offending token.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based column of the offending token within the line (1 when the
+    /// error concerns the whole line or the token could not be located).
+    pub col: usize,
+    /// The offending token, verbatim; empty when the error concerns the
+    /// whole line (missing header, empty input, …).
+    pub token: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)?;
+        if !self.token.is_empty() {
+            write!(f, " (at `{}`)", self.token)?;
+        }
+        Ok(())
     }
 }
 
@@ -40,14 +50,35 @@ impl std::error::Error for ParseError {}
 
 struct Parser {
     line: usize,
+    /// The raw text of the line being parsed, for column recovery.
+    text: String,
 }
 
 impl Parser {
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
+    /// 1-based byte column of `token`'s first occurrence in the current
+    /// line, or 1 if it cannot be located (e.g. a derived sub-token).
+    fn col_of(&self, token: &str) -> usize {
+        if token.is_empty() {
+            return 1;
+        }
+        self.text.find(token).map(|i| i + 1).unwrap_or(1)
+    }
+
+    fn error(&self, token: &str, msg: impl Into<String>) -> ParseError {
+        ParseError {
             line: self.line,
+            col: self.col_of(token),
+            token: token.to_string(),
             message: msg.into(),
-        })
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(self.error("", msg))
+    }
+
+    fn err_at<T>(&self, token: &str, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(self.error(token, msg))
     }
 
     fn width(&self, s: &str) -> Result<Width, ParseError> {
@@ -56,7 +87,7 @@ impl Parser {
             "16" => Ok(Width::B16),
             "32" => Ok(Width::B32),
             "64" => Ok(Width::B64),
-            _ => self.err(format!("bad width `{s}`")),
+            _ => self.err_at(s, format!("bad width `{s}`")),
         }
     }
 
@@ -71,21 +102,21 @@ impl Parser {
                 return Ok(Loc::Real(PhysReg(v)));
             }
         }
-        self.err(format!("bad register `{s}`"))
+        self.err_at(s, format!("bad register `{s}`"))
     }
 
     fn operand(&self, s: &str) -> Result<Operand, ParseError> {
         if let Some(imm) = s.strip_prefix('#') {
             return match imm.parse() {
                 Ok(v) => Ok(Operand::Imm(v)),
-                Err(_) => self.err(format!("bad immediate `{s}`")),
+                Err(_) => self.err_at(s, format!("bad immediate `{s}`")),
             };
         }
         if let Some(inner) = s.strip_prefix("[slot") {
             let inner = inner.trim_end_matches(']');
             return match inner.parse() {
                 Ok(v) => Ok(Operand::Slot(SlotId(v))),
-                Err(_) => self.err(format!("bad slot `{s}`")),
+                Err(_) => self.err_at(s, format!("bad slot `{s}`")),
             };
         }
         Ok(Operand::Loc(self.loc(s)?))
@@ -95,7 +126,7 @@ impl Parser {
         if s.starts_with("[slot") {
             match self.operand(s)? {
                 Operand::Slot(sl) => Ok(Dst::Slot(sl)),
-                _ => self.err("bad slot destination"),
+                _ => self.err_at(s, "bad slot destination"),
             }
         } else {
             Ok(Dst::Loc(self.loc(s)?))
@@ -106,16 +137,13 @@ impl Parser {
         if let Some(g) = s.strip_prefix("@g") {
             return match g.parse() {
                 Ok(v) => Ok(Address::Global(v)),
-                Err(_) => self.err(format!("bad global `{s}`")),
+                Err(_) => self.err_at(s, format!("bad global `{s}`")),
             };
         }
         let inner = s
             .strip_prefix('[')
             .and_then(|x| x.strip_suffix(']'))
-            .ok_or_else(|| ParseError {
-                line: self.line,
-                message: format!("bad address `{s}`"),
-            })?;
+            .ok_or_else(|| self.error(s, format!("bad address `{s}`")))?;
         let mut base = None;
         let mut index = None;
         let mut disp = 0i32;
@@ -129,7 +157,7 @@ impl Parser {
                     "2" => Scale::S2,
                     "4" => Scale::S4,
                     "8" => Scale::S8,
-                    other => return self.err(format!("bad scale `{other}`")),
+                    other => return self.err_at(other, format!("bad scale `{other}`")),
                 };
                 index = Some((l, sc));
             } else if part.starts_with('s') || part.starts_with('r') {
@@ -137,12 +165,12 @@ impl Parser {
             } else {
                 disp = match part.parse() {
                     Ok(v) => v,
-                    Err(_) => return self.err(format!("bad displacement `{part}`")),
+                    Err(_) => return self.err_at(part, format!("bad displacement `{part}`")),
                 };
             }
         }
         if !any {
-            return self.err("empty address");
+            return self.err_at(s, "empty address");
         }
         Ok(Address::Indirect { base, index, disp })
     }
@@ -150,7 +178,7 @@ impl Parser {
     fn block_id(&self, s: &str) -> Result<BlockId, ParseError> {
         match s.strip_prefix('b').and_then(|x| x.parse().ok()) {
             Some(v) => Ok(BlockId(v)),
-            None => self.err(format!("bad block `{s}`")),
+            None => self.err_at(s, format!("bad block `{s}`")),
         }
     }
 
@@ -194,7 +222,7 @@ impl Parser {
             "Le" => Ok(Cond::Le),
             "Gt" => Ok(Cond::Gt),
             "Ge" => Ok(Cond::Ge),
-            _ => self.err(format!("bad condition `{s}`")),
+            _ => self.err_at(s, format!("bad condition `{s}`")),
         }
     }
 
@@ -226,10 +254,9 @@ impl Parser {
             [st, ..] if st.starts_with("store") && !line.contains('=') => {
                 let width = self.width(st.trim_start_matches("store"))?;
                 let rest = line.trim_start().trim_start_matches(st).trim();
-                let (addr, src) = rest.rsplit_once(',').ok_or(ParseError {
-                    line: self.line,
-                    message: "store missing operand".into(),
-                })?;
+                let (addr, src) = rest
+                    .rsplit_once(',')
+                    .ok_or_else(|| self.error(st, "store missing operand"))?;
                 return Ok(Inst::Store {
                     addr: self.address(addr.trim())?,
                     src: self.operand(src.trim())?,
@@ -239,11 +266,8 @@ impl Parser {
             [st, slot, src] if st.starts_with("spill_store") => {
                 let width = self.width(st.trim_start_matches("spill_store"))?;
                 let slot = match slot.trim_end_matches(',').strip_prefix("slot") {
-                    Some(n) => SlotId(n.parse().map_err(|_| ParseError {
-                        line: self.line,
-                        message: "bad slot".into(),
-                    })?),
-                    None => return self.err("bad slot"),
+                    Some(n) => SlotId(n.parse().map_err(|_| self.error(slot, "bad slot"))?),
+                    None => return self.err_at(slot, "bad slot"),
                 };
                 return Ok(Inst::SpillStore {
                     slot,
@@ -255,23 +279,29 @@ impl Parser {
         }
 
         // Calls without a result have no `=`.
-        if line.trim_start().starts_with("call ") {
+        let head = line.trim_start();
+        if head.strip_prefix("call").is_some_and(|r| {
+            r.trim_start_matches(|c: char| c.is_ascii_digit())
+                .starts_with(' ')
+        }) {
             return self.call("", line.trim());
         }
 
         // Assignment forms: `<dst> = <rhs…>`.
         let (dst_s, rest) = match line.split_once('=') {
             Some((d, r)) => (d.trim(), r.trim()),
-            None => return self.err(format!("unrecognised instruction `{line}`")),
+            None => {
+                let tok = toks.first().copied().unwrap_or("");
+                return self.err_at(tok, format!("unrecognised instruction `{line}`"));
+            }
         };
         let rtoks: Vec<&str> = rest.split_whitespace().collect();
         match rtoks.as_slice() {
             [op, imm] if op.starts_with("imm") => Ok(Inst::LoadImm {
                 dst: self.loc(dst_s)?,
-                imm: imm.parse().map_err(|_| ParseError {
-                    line: self.line,
-                    message: format!("bad immediate `{imm}`"),
-                })?,
+                imm: imm
+                    .parse()
+                    .map_err(|_| self.error(imm, format!("bad immediate `{imm}`")))?,
                 width: self.width(op.trim_start_matches("imm"))?,
             }),
             [op, src] if op.starts_with("copy") => Ok(Inst::Copy {
@@ -286,11 +316,8 @@ impl Parser {
             }),
             [op, slot] if op.starts_with("spill_load") => {
                 let slot = match slot.strip_prefix("slot") {
-                    Some(n) => SlotId(n.parse().map_err(|_| ParseError {
-                        line: self.line,
-                        message: "bad slot".into(),
-                    })?),
-                    None => return self.err("bad slot"),
+                    Some(n) => SlotId(n.parse().map_err(|_| self.error(slot, "bad slot"))?),
+                    None => return self.err_at(slot, "bad slot"),
                 };
                 Ok(Inst::SpillLoad {
                     dst: self.loc(dst_s)?,
@@ -321,18 +348,27 @@ impl Parser {
                     width,
                 })
             }
-            _ => self.err(format!("unrecognised instruction `{line}`")),
+            _ => {
+                let tok = rtoks.first().copied().unwrap_or("");
+                self.err_at(tok, format!("unrecognised instruction `{line}`"))
+            }
         }
     }
 
     fn call(&self, dst_s: &str, rest: &str) -> Result<Inst, ParseError> {
-        // `call fnN(a, b, …)`
+        // `call fnN(a, b, …)` — 32-bit result — or `call{8,16,64} fnN(…)`.
         let body = rest.trim().strip_prefix("call").map(str::trim);
         let Some(body) = body else {
             return self.err(format!("unrecognised call `{rest}`"));
         };
+        let bits: String = body.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let (width, body) = if bits.is_empty() {
+            (Width::B32, body)
+        } else {
+            (self.width(&bits)?, body[bits.len()..].trim_start())
+        };
         let Some((callee_s, args_s)) = body.split_once('(') else {
-            return self.err("call missing arguments");
+            return self.err_at(body, "call missing arguments");
         };
         let callee = match callee_s
             .trim()
@@ -340,7 +376,7 @@ impl Parser {
             .and_then(|x| x.parse().ok())
         {
             Some(v) => v,
-            None => return self.err(format!("bad callee `{callee_s}`")),
+            None => return self.err_at(callee_s.trim(), format!("bad callee `{callee_s}`")),
         };
         let args_s = args_s.trim_end_matches(')');
         let mut args = Vec::new();
@@ -352,13 +388,11 @@ impl Parser {
         } else {
             Some(self.loc(dst_s)?)
         };
-        // Width: the printer does not record it; default to 32 bits (all
-        // call results in this IR are 32-bit).
         Ok(Inst::Call {
             callee,
             ret,
             args,
-            width: Width::B32,
+            width,
         })
     }
 }
@@ -373,23 +407,31 @@ impl Parser {
 ///
 /// Returns the first syntax error with its line number.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
-    let mut p = Parser { line: 0 };
+    let mut p = Parser {
+        line: 0,
+        text: String::new(),
+    };
     let mut lines = text.lines();
     // Header: `fn name() {`
     let header = loop {
         p.line += 1;
         match lines.next() {
             Some(l) if l.trim().is_empty() => continue,
-            Some(l) => break l.trim().to_string(),
+            Some(l) => {
+                p.text = l.to_string();
+                break l.trim().to_string();
+            }
             None => return p.err("empty input"),
         }
     };
     let name = header
         .strip_prefix("fn ")
         .and_then(|h| h.split('(').next())
-        .ok_or(ParseError {
-            line: p.line,
-            message: "expected `fn name() {`".into(),
+        .ok_or_else(|| {
+            p.error(
+                header.split_whitespace().next().unwrap_or(""),
+                "expected `fn name() {`",
+            )
         })?
         .to_string();
 
@@ -399,16 +441,16 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     let mut globals = 0u32;
     for l in lines {
         p.line += 1;
+        p.text = l.to_string();
         let t = l.trim();
         if t.is_empty() || t == "}" {
             continue;
         }
         if let Some(g) = t.strip_prefix("global g") {
             // `global gN: W "name" [param] [aliased] [= init]`
-            let (_, rest) = g.split_once(':').ok_or(ParseError {
-                line: p.line,
-                message: "bad global line".into(),
-            })?;
+            let (_, rest) = g
+                .split_once(':')
+                .ok_or_else(|| p.error(t, "bad global line"))?;
             let mut it = rest.split_whitespace();
             let width = p.width(it.next().unwrap_or(""))?;
             let gname = it.next().unwrap_or("\"g\"").trim_matches('"').to_string();
@@ -447,7 +489,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         let inst = p.inst(t)?;
         match &mut cur {
             Some((_, insts)) => insts.push(inst),
-            None => return p.err("instruction before first block label"),
+            None => {
+                let tok = t.split_whitespace().next().unwrap_or("");
+                return p.err_at(tok, "instruction before first block label");
+            }
         }
     }
     if let Some(done) = cur.take() {
@@ -526,8 +571,16 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         }
     }
     let mut f = b.finish();
-    for _ in 0..=max_slot {
-        f.add_slot(Width::B32, None);
+    // Slot widths come from the spill instructions that reference them
+    // (the rewrite stage sizes each slot to its symbol's width).
+    let mut slot_widths = vec![Width::B32; (max_slot + 1) as usize];
+    for (_, _, inst) in f.insts() {
+        if let Inst::SpillLoad { slot, width, .. } | Inst::SpillStore { slot, width, .. } = inst {
+            slot_widths[slot.0 as usize] = *width;
+        }
+    }
+    for w in slot_widths {
+        f.add_slot(w, None);
     }
     Ok(f)
 }
@@ -652,5 +705,50 @@ mod tests {
         assert!(err.to_string().contains("line 3"));
         assert!(parse_function("").is_err());
         assert!(parse_function("fn only_header() {\n}").is_err());
+    }
+
+    #[test]
+    fn errors_carry_columns_and_tokens() {
+        // The offending token and its 1-based column are reported.
+        let err = parse_function("fn x() {\nb0:\n  s0 = copy32 q9\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.token, "q9");
+        assert_eq!(err.col, "  s0 = copy32 q9".find("q9").unwrap() + 1);
+        assert!(err.message.contains("bad register"));
+        let shown = err.to_string();
+        assert!(shown.contains("line 3:15"), "{shown}");
+        assert!(shown.contains("(at `q9`)"), "{shown}");
+
+        // A bad width points at the width digits inside the mnemonic.
+        let err = parse_function("fn x() {\nb0:\n  s0 = imm99 5\n}").unwrap_err();
+        assert_eq!((err.line, err.token.as_str()), (3, "99"));
+        assert!(err.message.contains("bad width"));
+
+        // Whole-line errors keep column 1 and an empty token.
+        let err = parse_function("fn x() {\n  s0 = imm32 1\n}").unwrap_err();
+        assert_eq!(err.message, "instruction before first block label");
+        assert_eq!(err.token, "s0");
+        let err = parse_function("").unwrap_err();
+        assert_eq!((err.line, err.col, err.token.as_str()), (1, 1, ""));
+    }
+
+    #[test]
+    fn error_messages_locate_operands() {
+        // Bad branch target.
+        let err = parse_function("fn x() {\nb0:\n  br Lt s0, #1 ? b1 : zz\n}").unwrap_err();
+        assert_eq!(err.token, "zz");
+        assert!(err.message.contains("bad block"));
+        // Bad displacement inside an address.
+        let err = parse_function("fn x() {\nb0:\n  s0 = load32 [s1 + wat]\n}").unwrap_err();
+        assert_eq!(err.token, "wat");
+        assert!(err.message.contains("bad displacement"));
+        // Bad callee.
+        let err = parse_function("fn x() {\nb0:\n  s0 = call bogus(s1)\n}").unwrap_err();
+        assert_eq!(err.token, "bogus");
+        assert!(err.message.contains("bad callee"));
+        // Bad immediate.
+        let err = parse_function("fn x() {\nb0:\n  s0 = imm32 4x\n}").unwrap_err();
+        assert_eq!(err.token, "4x");
+        assert!(err.message.contains("bad immediate"));
     }
 }

@@ -130,6 +130,18 @@ pub struct GenConfig {
     pub narrow_pct: u32,
     /// Emit a 64-bit value so the allocators refuse the function.
     pub make_64bit: bool,
+    /// Probability (percent) that an immediate is drawn from the full
+    /// 32-bit range — and, in `make_64bit` functions, that the 64-bit
+    /// value is loaded with a full-range `i64` immediate — instead of the
+    /// small windows the classic suite uses. `0` reproduces the classic
+    /// streams bit for bit.
+    pub wide_imm_pct: u32,
+    /// Probability (percent) that a memory statement uses an addressing
+    /// shape the classic suite never emits: absolute (displacement-only),
+    /// scaled index without a base register, or displacements far outside
+    /// the §5.4.1 short forms. `0` reproduces the classic streams bit for
+    /// bit.
+    pub exotic_addr_pct: u32,
 }
 
 impl Default for GenConfig {
@@ -141,6 +153,23 @@ impl Default for GenConfig {
             mem_pct: 18,
             narrow_pct: 8,
             make_64bit: false,
+            wide_imm_pct: 0,
+            exotic_addr_pct: 0,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The differential-fuzzing preset: the classic statement mix plus
+    /// the shapes the synthetic suites never emit (wide immediates and
+    /// exotic addressing), at a size small enough that the IP solver
+    /// finishes quickly on every case.
+    pub fn fuzz() -> GenConfig {
+        GenConfig {
+            target_insts: 18,
+            wide_imm_pct: 25,
+            exotic_addr_pct: 40,
+            ..GenConfig::default()
         }
     }
 }
@@ -267,9 +296,63 @@ impl<'r> Gen<'r> {
 
     fn operand32(&mut self) -> Operand {
         if self.rng.gen_ratio(3, 10) {
-            Operand::Imm(self.rng.gen_range(-512..512))
+            Operand::Imm(self.imm32())
         } else {
             Operand::sym(self.pick32())
+        }
+    }
+
+    /// A data immediate: the classic small window, or — under
+    /// `wide_imm_pct` — anywhere in the signed 32-bit range. The guard
+    /// consumes no randomness when the knob is off, keeping the classic
+    /// streams bit-identical.
+    fn imm32(&mut self) -> i64 {
+        if self.cfg.wide_imm_pct > 0 && self.rng.gen_range(0..100u32) < self.cfg.wide_imm_pct {
+            self.rng.gen_range(i32::MIN as i64..=i32::MAX as i64)
+        } else {
+            self.rng.gen_range(-512..512)
+        }
+    }
+
+    /// An addressing shape the classic generator never produces.
+    fn exotic_address(&mut self) -> Address {
+        match self.rng.gen_range(0..4u32) {
+            // Absolute: displacement only, no registers at all.
+            0 => Address::Indirect {
+                base: None,
+                index: None,
+                disp: self.rng.gen_range(0..4096),
+            },
+            // Scaled index without a base register.
+            1 => {
+                let i = self.pick32();
+                let scale = match self.rng.gen_range(0..3u32) {
+                    0 => Scale::S2,
+                    1 => Scale::S4,
+                    _ => Scale::S8,
+                };
+                Address::Indirect {
+                    base: None,
+                    index: Some((regalloc_ir::Loc::Sym(i), scale)),
+                    disp: self.rng.gen_range(-128..128),
+                }
+            }
+            // Base with a displacement far outside the short forms.
+            2 => Address::Indirect {
+                base: Some(regalloc_ir::Loc::Sym(self.pick32())),
+                index: None,
+                disp: self.rng.gen_range(4096..1 << 20),
+            },
+            // Base + scaled index with a large negative displacement.
+            _ => {
+                let b = self.pick32();
+                let i = self.pick32();
+                Address::Indirect {
+                    base: Some(regalloc_ir::Loc::Sym(b)),
+                    index: Some((regalloc_ir::Loc::Sym(i), Scale::S4)),
+                    disp: -self.rng.gen_range(4096i32..1 << 16),
+                }
+            }
         }
     }
 
@@ -319,21 +402,27 @@ impl<'r> Gen<'r> {
                     self.b.store_global(g, v);
                 }
             } else {
-                let base = self.pick32();
-                let index = self.rng.gen_bool(0.4).then(|| {
-                    let i = self.pick32();
-                    let scale = match self.rng.gen_range(0..4u32) {
-                        0 => Scale::S1,
-                        1 => Scale::S2,
-                        2 => Scale::S4,
-                        _ => Scale::S8,
-                    };
-                    (regalloc_ir::Loc::Sym(i), scale)
-                });
-                let addr = Address::Indirect {
-                    base: Some(regalloc_ir::Loc::Sym(base)),
-                    index,
-                    disp: self.rng.gen_range(-64..256),
+                let exotic = self.cfg.exotic_addr_pct > 0
+                    && self.rng.gen_range(0..100u32) < self.cfg.exotic_addr_pct;
+                let addr = if exotic {
+                    self.exotic_address()
+                } else {
+                    let base = self.pick32();
+                    let index = self.rng.gen_bool(0.4).then(|| {
+                        let i = self.pick32();
+                        let scale = match self.rng.gen_range(0..4u32) {
+                            0 => Scale::S1,
+                            1 => Scale::S2,
+                            2 => Scale::S4,
+                            _ => Scale::S8,
+                        };
+                        (regalloc_ir::Loc::Sym(i), scale)
+                    });
+                    Address::Indirect {
+                        base: Some(regalloc_ir::Loc::Sym(base)),
+                        index,
+                        disp: self.rng.gen_range(-64..256),
+                    }
                 };
                 if self.rng.gen_bool(0.55) {
                     let d = self.dest32();
@@ -568,12 +657,29 @@ pub fn generate_function(name: &str, rng: &mut SmallRng, cfg: &GenConfig) -> Fun
     g.region(0);
     if cfg.make_64bit {
         // One 64-bit value makes the function "not attempted" (Table 2).
+        // Under `wide_imm_pct` the value is a genuine 64-bit immediate
+        // (the classic suite only ever loads 1 here).
+        let imm = if cfg.wide_imm_pct > 0 && g.rng.gen_range(0..100u32) < cfg.wide_imm_pct {
+            g.rng.gen_range(i64::MIN..=i64::MAX)
+        } else {
+            1
+        };
         let w = g.b.new_sym(Width::B64);
-        g.b.load_imm(w, 1);
+        g.b.load_imm(w, imm);
     }
     let ret = (!g.rng.gen_ratio(1, 10)).then(|| g.pick32());
     g.b.ret(ret);
     g.b.finish()
+}
+
+/// Generate one function deterministically from a bare seed — the public
+/// seeded entry point used by the differential fuzzer (`regalloc-fuzz`)
+/// and anything else that wants reproducible single functions without
+/// managing an RNG. The same `(name, seed, cfg)` triple always yields the
+/// same function.
+pub fn fuzz_function(name: &str, seed: u64, cfg: &GenConfig) -> Function {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x000f_0220_5eed);
+    generate_function(name, &mut rng, cfg)
 }
 
 /// Deterministically perturb the *data* immediates of `f`: non-zero
@@ -734,6 +840,77 @@ mod tests {
         }
         assert!(with_blocks >= s.functions.len() / 3, "CFGs too flat");
         assert!(with_loops >= 2, "loops too rare: {with_loops}");
+    }
+
+    #[test]
+    fn fuzz_api_is_seeded_and_deterministic() {
+        let cfg = GenConfig::fuzz();
+        let a = fuzz_function("fz", 7, &cfg);
+        let b = fuzz_function("fz", 7, &cfg);
+        assert_eq!(a, b);
+        let c = fuzz_function("fz", 8, &cfg);
+        assert_ne!(a, c);
+        verify_function(&a).unwrap();
+    }
+
+    #[test]
+    fn fuzz_preset_emits_wide_imms_and_exotic_addresses() {
+        let cfg = GenConfig::fuzz();
+        let (mut wide, mut baseless, mut far_disp) = (0usize, 0usize, 0usize);
+        for seed in 0..120u64 {
+            let f = fuzz_function(&format!("fz{seed}"), seed, &cfg);
+            verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e:?}\n{f}"));
+            let out = Interp::new(&f, SymRegFile, InterpConfig::default(), &[1, 2, 3]).run();
+            assert_eq!(out.status, ExecStatus::Returned, "seed {seed} must halt");
+            for (_, _, inst) in f.insts() {
+                let imm = match inst {
+                    Inst::LoadImm { imm, .. } => Some(*imm),
+                    Inst::Bin {
+                        rhs: Operand::Imm(v),
+                        ..
+                    } => Some(*v),
+                    _ => None,
+                };
+                if imm.is_some_and(|v| !(-512..512).contains(&v)) {
+                    wide += 1;
+                }
+                let addr = match inst {
+                    Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(addr),
+                    _ => None,
+                };
+                if let Some(Address::Indirect { base, disp, .. }) = addr {
+                    if base.is_none() {
+                        baseless += 1;
+                    }
+                    if *disp >= 4096 || *disp <= -4096 {
+                        far_disp += 1;
+                    }
+                }
+            }
+        }
+        assert!(wide > 0, "wide immediates never appeared");
+        assert!(baseless > 0, "base-less addresses never appeared");
+        assert!(far_disp > 0, "large displacements never appeared");
+    }
+
+    #[test]
+    fn classic_streams_are_unaffected_by_new_knobs() {
+        // The new knobs only consume randomness when enabled, so a
+        // default config must generate exactly what it always did from
+        // the same RNG state.
+        let mut r1 = SmallRng::seed_from_u64(99);
+        let mut r2 = SmallRng::seed_from_u64(99);
+        let classic = GenConfig::default();
+        let zeroed = GenConfig {
+            wide_imm_pct: 0,
+            exotic_addr_pct: 0,
+            ..GenConfig::default()
+        };
+        for i in 0..40 {
+            let a = generate_function(&format!("s{i}"), &mut r1, &classic);
+            let b = generate_function(&format!("s{i}"), &mut r2, &zeroed);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   workers, content-addressed solution cache, deadline-aware
 //!   scheduling),
 //! * [`lint`] — the static dataflow translation validator and
-//!   allocation-quality lint engine.
+//!   allocation-quality lint engine,
+//! * [`cc`] — a C-subset front end lowering real code to the textual IR,
+//! * [`fuzz`] — a seeded differential fuzzer cross-checking every
+//!   allocator against three oracles, with auto-minimized, replayable
+//!   reproducers.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -55,9 +59,11 @@
 //! assert!(result.solved_optimally);
 //! ```
 
+pub use regalloc_cc as cc;
 pub use regalloc_coloring as coloring;
 pub use regalloc_core as core;
 pub use regalloc_driver as driver;
+pub use regalloc_fuzz as fuzz;
 pub use regalloc_ilp as ilp;
 pub use regalloc_ir as ir;
 pub use regalloc_lint as lint;

@@ -1,0 +1,11 @@
+// Population count: one mask-and-shift pass over all 32 bits.
+int bitcount(int x) {
+    int n = 0;
+    int i = 0;
+    while (i < 32) {
+        n = n + (x & 1);
+        x = x >> 1;
+        i = i + 1;
+    }
+    return n;
+}

@@ -1,0 +1,15 @@
+// Range clamping with short-circuit conditions and logical negation.
+int clamp(int x, int lo, int hi) {
+    if (lo > hi) {
+        int t = lo;
+        lo = hi;
+        hi = t;
+    }
+    if (!(x >= lo)) { return lo; }
+    if (x > hi) { return hi; }
+    return x;
+}
+
+int in_range(int x, int lo, int hi) {
+    return lo <= x && x <= hi;
+}

@@ -1,0 +1,14 @@
+// Collatz step count, bounded; even test via bit mask, halving via shift.
+int collatz_steps(int n) {
+    if (n < 1) { return 0; }
+    int steps = 0;
+    while (n != 1 && steps < 64) {
+        if ((n & 1) == 0) {
+            n = n >> 1;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}

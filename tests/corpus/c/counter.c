@@ -1,0 +1,20 @@
+// File-scope state mutated through calls: callers must treat the
+// globals as aliased.
+int total = 0;
+int calls = 0;
+
+int bump(int by) {
+    total = total + by;
+    calls = calls + 1;
+    return total;
+}
+
+int run(int n) {
+    if (n > 10) { n = 10; }
+    int i = 0;
+    while (i < n) {
+        bump(i * i);
+        i = i + 1;
+    }
+    return total + (calls << 8);
+}

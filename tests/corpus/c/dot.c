@@ -1,0 +1,11 @@
+// Dot product over two pointer operands with scaled indexing.
+int dot(int *a, int *b, int n) {
+    if (n > 16) { n = 16; }
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+        acc = acc + a[i] * b[i];
+        i = i + 1;
+    }
+    return acc;
+}

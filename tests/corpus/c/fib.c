@@ -1,0 +1,15 @@
+// Iterative Fibonacci, clamped to avoid 32-bit overflow surprises.
+int fib(int n) {
+    if (n < 0) { return 0; }
+    if (n > 40) { n = 40; }
+    int a = 0;
+    int b = 1;
+    int i = 0;
+    while (i < n) {
+        int t = a + b;
+        a = b;
+        b = t;
+        i = i + 1;
+    }
+    return a;
+}

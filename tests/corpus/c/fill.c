@@ -1,0 +1,16 @@
+// Fill a buffer through a pointer, then checksum it back.
+int fill_and_sum(int *p, int n, int v) {
+    if (n > 12) { n = 12; }
+    int i = 0;
+    while (i < n) {
+        p[i] = v + i;
+        i = i + 1;
+    }
+    int s = 0;
+    i = 0;
+    while (i < n) {
+        s = s ^ p[i];
+        i = i + 1;
+    }
+    return s;
+}

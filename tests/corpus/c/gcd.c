@@ -1,0 +1,13 @@
+// Euclid by repeated subtraction (the subset has no division).
+int gcd(int a, int b) {
+    if (a < 0) { a = -a; }
+    if (b < 0) { b = -b; }
+    while (a != 0 && b != 0) {
+        if (a > b) {
+            a = a - b;
+        } else {
+            b = b - a;
+        }
+    }
+    return a + b;
+}

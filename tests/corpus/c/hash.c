@@ -1,0 +1,10 @@
+// A xorshift-multiply mixer over three words.
+int mix(int a, int b, int c) {
+    int h = a ^ 0x9e3779b9;
+    h = (h ^ (h >> 16)) * 0x45d9f3b;
+    h = h + b;
+    h = (h ^ (h >> 13)) * 0x5bd1e995;
+    h = h ^ c;
+    h = h ^ (h >> 15);
+    return h;
+}

@@ -1,0 +1,14 @@
+// A small call graph: helpers defined first, a driver calling them.
+int imin(int a, int b) {
+    if (a < b) { return a; }
+    return b;
+}
+
+int imax(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+int median3(int a, int b, int c) {
+    return imax(imin(a, b), imin(imax(a, b), c));
+}

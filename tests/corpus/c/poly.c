@@ -1,0 +1,15 @@
+// Horner evaluation of a fixed cubic, plus a pointer-based variant.
+int horner3(int x, int c0, int c1) {
+    return ((c1 * x + c0) * x + 7) * x + 1;
+}
+
+int horner_p(int *c, int n, int x) {
+    if (n > 8) { n = 8; }
+    int acc = 0;
+    int i = n - 1;
+    while (i >= 0) {
+        acc = acc * x + c[i];
+        i = i - 1;
+    }
+    return acc;
+}

