@@ -1,0 +1,252 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The auditor never compares floats: every model coefficient and every
+//! certificate multiplier is converted to an exact rational once (the
+//! conversion from `f64` is lossless — a finite double *is* a dyadic
+//! rational), and all claim checking happens in `Rat`. Arithmetic is
+//! checked: any overflow surfaces as `None`, which the checker reports
+//! as a malformed certificate rather than silently accepting or
+//! rejecting a claim.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A rational number `num/den` with `den > 0` and `gcd(|num|, den) = 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+
+    /// An integer as a rational.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Normalize `num/den`. `None` when `den` is zero or normalization
+    /// overflows.
+    fn new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let (num, den) = if den < 0 {
+            (num.checked_neg()?, den.checked_neg()?)
+        } else {
+            (num, den)
+        };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        if g <= 1 {
+            return Some(Rat { num, den });
+        }
+        Some(Rat {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// Exact conversion of a finite double via its bit decomposition.
+    /// `None` for NaN, infinities, and magnitudes whose dyadic exponent
+    /// does not fit the `i128` representation (no certificate produced by
+    /// the solver comes close).
+    pub fn from_f64(x: f64) -> Option<Rat> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Rat::ZERO);
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mut mant, mut e) = if exp == 0 {
+            (frac as i128, -1074)
+        } else {
+            ((frac | (1 << 52)) as i128, exp - 1075)
+        };
+        while mant & 1 == 0 {
+            mant >>= 1;
+            e += 1;
+        }
+        let mant = if neg { -mant } else { mant };
+        if e >= 0 {
+            // mant < 2^53, so shifts up to 74 stay inside i128.
+            if e > 74 {
+                return None;
+            }
+            Some(Rat {
+                num: mant << e,
+                den: 1,
+            })
+        } else {
+            if e < -126 {
+                return None;
+            }
+            // mant is odd, so the fraction is already reduced.
+            Some(Rat {
+                num: mant,
+                den: 1i128 << (-e),
+            })
+        }
+    }
+
+    /// `self + other`, `None` on overflow.
+    pub fn checked_add(self, o: Rat) -> Option<Rat> {
+        // Reduce by gcd of the denominators first to limit growth.
+        let g = gcd(self.den.unsigned_abs(), o.den.unsigned_abs()) as i128;
+        let d = o.den / g;
+        let num = self
+            .num
+            .checked_mul(d)?
+            .checked_add(o.num.checked_mul(self.den / g)?)?;
+        let den = self.den.checked_mul(d)?;
+        Rat::new(num, den)
+    }
+
+    /// `self - other`, `None` on overflow.
+    pub fn checked_sub(self, o: Rat) -> Option<Rat> {
+        self.checked_add(Rat {
+            num: o.num.checked_neg()?,
+            den: o.den,
+        })
+    }
+
+    /// `self * other`, `None` on overflow.
+    pub fn checked_mul(self, o: Rat) -> Option<Rat> {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num.unsigned_abs(), o.den.unsigned_abs()).max(1) as i128;
+        let g2 = gcd(o.num.unsigned_abs(), self.den.unsigned_abs()).max(1) as i128;
+        let num = (self.num / g1).checked_mul(o.num / g2)?;
+        let den = (self.den / g2).checked_mul(o.den / g1)?;
+        Rat::new(num, den)
+    }
+
+    /// Exact comparison, `None` if the cross-multiplication overflows.
+    pub fn try_cmp(self, o: Rat) -> Option<Ordering> {
+        Some(
+            self.num
+                .checked_mul(o.den)?
+                .cmp(&o.num.checked_mul(self.den)?),
+        )
+    }
+
+    /// Sign of the value (`Less` when negative, `Greater` when positive).
+    pub fn sign(self) -> Ordering {
+        self.num.cmp(&0)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> Option<i128> {
+        let q = self.num.div_euclid(self.den);
+        if self.num.rem_euclid(self.den) == 0 {
+            Some(q)
+        } else {
+            q.checked_add(1)
+        }
+    }
+
+    /// The value as an integer when the denominator is one.
+    pub fn to_integer(self) -> Option<i128> {
+        (self.den == 1).then_some(self.num)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_conversion_is_exact() {
+        for (x, num, den) in [
+            (0.0, 0, 1),
+            (1.0, 1, 1),
+            (-1.0, -1, 1),
+            (0.5, 1, 2),
+            (0.25, 1, 4),
+            (-1.5, -3, 2),
+            (3.0, 3, 1),
+            (6.4e6, 6_400_000, 1),
+            (0.1, 3602879701896397, 36028797018963968),
+        ] {
+            let r = Rat::from_f64(x).expect("finite");
+            assert_eq!((r.num, r.den), (num, den), "for {x}");
+        }
+    }
+
+    #[test]
+    fn non_finite_and_extreme_rejected() {
+        assert_eq!(Rat::from_f64(f64::NAN), None);
+        assert_eq!(Rat::from_f64(f64::INFINITY), None);
+        assert_eq!(Rat::from_f64(f64::NEG_INFINITY), None);
+        assert_eq!(Rat::from_f64(1e300), None); // exponent too large
+        assert_eq!(Rat::from_f64(1e-300), None); // denominator too large
+        assert!(Rat::from_f64(-0.0) == Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let third = Rat::new(1, 3).unwrap();
+        let sixth = Rat::new(1, 6).unwrap();
+        assert_eq!(third.checked_add(sixth), Rat::new(1, 2));
+        assert_eq!(third.checked_sub(sixth), Some(sixth));
+        assert_eq!(third.checked_mul(Rat::from_int(6)), Some(Rat::from_int(2)));
+        // The float artifact that motivates the whole module: the f64
+        // literal 0.1 is strictly above 1/10, and exact arithmetic sees
+        // it where f64 comparison cancels it away.
+        let a = Rat::from_f64(0.1).unwrap();
+        let sum = a.checked_add(a).and_then(|s| s.checked_add(a)).unwrap();
+        assert_eq!(
+            sum.try_cmp(Rat::new(3, 10).unwrap()),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(sum, a.checked_mul(Rat::from_int(3)).unwrap());
+    }
+
+    #[test]
+    fn ceil_rounds_toward_positive_infinity() {
+        assert_eq!(Rat::new(7, 2).unwrap().ceil(), Some(4));
+        assert_eq!(Rat::new(-7, 2).unwrap().ceil(), Some(-3));
+        assert_eq!(Rat::from_int(-3).ceil(), Some(-3));
+        assert_eq!(Rat::ZERO.ceil(), Some(0));
+    }
+
+    #[test]
+    fn overflow_is_none_not_wrong() {
+        let big = Rat::from_int(i128::MAX);
+        assert_eq!(big.checked_add(Rat::from_int(1)), None);
+        assert_eq!(big.checked_mul(Rat::from_int(2)), None);
+        let tiny = Rat::new(1, i128::MAX).unwrap();
+        assert_eq!(tiny.checked_add(Rat::new(1, i128::MAX - 2).unwrap()), None);
+    }
+
+    #[test]
+    fn comparison_and_sign() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(333, 1000).unwrap();
+        assert_eq!(a.try_cmp(b), Some(Ordering::Greater));
+        assert_eq!(a.sign(), Ordering::Greater);
+        assert_eq!(Rat::from_int(-2).sign(), Ordering::Less);
+        assert_eq!(Rat::ZERO.sign(), Ordering::Equal);
+    }
+}

@@ -50,6 +50,9 @@ pub struct Options {
     pub cache_dir: Option<PathBuf>,
     /// Seed cache misses with projected cached symbolic solutions.
     pub warm_starts: bool,
+    /// Audit every optimality claim with the exact-rational certificate
+    /// checker before counting it in the Table 2 "optimal" column.
+    pub audit: bool,
 }
 
 impl Default for Options {
@@ -62,6 +65,7 @@ impl Default for Options {
             global_budget: None,
             cache_dir: None,
             warm_starts: true,
+            audit: false,
         }
     }
 }
@@ -127,9 +131,13 @@ impl Options {
                     };
                     i += 2;
                 }
+                "--audit" => {
+                    o.audit = true;
+                    i += 1;
+                }
                 other => panic!(
                     "unknown argument {other}; supported: --scale --seed --time-limit \
-                     --jobs --budget-secs --cache-dir --no-cache --warm-starts"
+                     --jobs --budget-secs --cache-dir --no-cache --warm-starts --audit"
                 ),
             }
         }
@@ -169,6 +177,7 @@ impl Options {
             revalidate_cache: true,
             warm_starts: self.warm_starts,
             warm_start_distance: 0.25,
+            audit: self.audit,
             // The experiment harness always records traces: Figs. 9/10
             // are produced from the trace events, cross-checked against
             // the result fields.

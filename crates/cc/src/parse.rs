@@ -3,10 +3,13 @@
 //! The grammar (see DESIGN.md "Real-code ingestion") is the classic
 //! `r9cc`/`zcc` shape: declarations, `int`/`long`/pointer types,
 //! arithmetic/bitwise/shift/comparison operators with C precedence,
-//! short-circuit `&&`/`||`, `if`/`else`, `while`, `return`, calls,
-//! array indexing and pointer dereference. Division, casts, `&`
-//! (address-of), structs and floating point are outside the subset and
-//! produce located errors.
+//! short-circuit `&&`/`||`, `if`/`else`, `while`, `for`, `return`,
+//! calls, array indexing and pointer dereference. `for` is pure sugar:
+//! the parser desugars `for (init; cond; step) body` into
+//! `init; while (cond) { body; step; }` (a missing condition is the
+//! constant 1, as in C), so lowering only ever sees `while`. Division,
+//! casts, `&` (address-of), structs and floating point are outside the
+//! subset and produce located errors.
 
 use crate::lex::{TokKind, Token};
 use crate::CcError;
@@ -359,6 +362,57 @@ impl Parser {
             let body = self.stmt()?;
             return Ok(vec![Stmt::While { cond, body }]);
         }
+        if self.eat("for") {
+            // Desugar to `init; while (cond) { body; step; }`. Blocks
+            // already flatten into the enclosing statement list, so an
+            // init declaration landing in the caller's scope matches the
+            // subset's (flat, function-level) scoping rules.
+            self.expect("(")?;
+            let mut out = Vec::new();
+            if !self.eat(";") {
+                if let Some(base) = self.base_type()? {
+                    let ty = self.full_type(base);
+                    let name = self.ident()?;
+                    let init = if self.eat("=") {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(";")?;
+                    out.push(Stmt::Decl {
+                        ty,
+                        name: name.text,
+                        init,
+                        line: name.line,
+                        col: name.col,
+                    });
+                } else {
+                    let e = self.expr()?;
+                    self.expect(";")?;
+                    out.push(Stmt::Expr(e));
+                }
+            }
+            let cond = if self.at(";") {
+                // `for (;;)` — C's empty condition is always true.
+                let t = self.peek().clone();
+                self.mk(&t, ExprKind::Num(1))
+            } else {
+                self.expr()?
+            };
+            self.expect(";")?;
+            let step = if self.at(")") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(")")?;
+            let mut body = self.stmt()?;
+            if let Some(step) = step {
+                body.push(Stmt::Expr(step));
+            }
+            out.push(Stmt::While { cond, body });
+            return Ok(out);
+        }
         if let Some(base) = self.base_type()? {
             let ty = self.full_type(base);
             let name = self.ident()?;
@@ -564,7 +618,7 @@ impl Parser {
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "int" | "long" | "if" | "else" | "while" | "return" | "void" | "extern"
+        "int" | "long" | "if" | "else" | "while" | "for" | "return" | "void" | "extern"
     )
 }
 
@@ -603,6 +657,56 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let d = parse(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) s = s + i; return s; }",
+        )
+        .unwrap();
+        let Decl::Func { body, .. } = &d[0] else {
+            panic!("not a function");
+        };
+        // s decl, i decl (hoisted from the for header), while, return.
+        assert_eq!(body.len(), 4);
+        assert!(matches!(&body[1], Stmt::Decl { name, .. } if name == "i"));
+        let Stmt::While { cond, body: wb } = &body[2] else {
+            panic!("for did not desugar to while: {:?}", body[2]);
+        };
+        assert!(matches!(cond.kind, ExprKind::Bin(BinOpK::Lt, ..)));
+        // Loop body is the original statement plus the appended step.
+        assert_eq!(wb.len(), 2);
+        assert!(matches!(&wb[1], Stmt::Expr(e) if matches!(e.kind, ExprKind::Assign(..))));
+    }
+
+    #[test]
+    fn for_header_clauses_are_all_optional() {
+        let d = parse(
+            "int f(int n) { int i = 0; for (;;) { if (i >= n) return i; i = i + 1; } return 0; }",
+        )
+        .unwrap();
+        let Decl::Func { body, .. } = &d[0] else {
+            panic!("not a function");
+        };
+        let Stmt::While { cond, body: wb } = &body[1] else {
+            panic!("for(;;) did not desugar to while");
+        };
+        assert!(matches!(cond.kind, ExprKind::Num(1)));
+        assert_eq!(wb.len(), 2, "no step appended");
+        // Expression init, empty step.
+        let d = parse("int g(int n) { int i; for (i = n; i > 0;) i = i - 1; return i; }").unwrap();
+        let Decl::Func { body, .. } = &d[0] else {
+            panic!("not a function");
+        };
+        assert!(matches!(&body[1], Stmt::Expr(_)), "init is an expression");
+        assert!(matches!(&body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn for_is_a_keyword_not_an_identifier() {
+        let e = parse("int f() { int for = 3; return for; }").unwrap_err();
+        assert!(e.message.contains("identifier"), "{}", e.message);
     }
 
     #[test]

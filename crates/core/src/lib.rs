@@ -82,7 +82,7 @@ use regalloc_x86::Machine;
 
 pub use cost::CostModel;
 pub use pipeline::{
-    AllocReport, BaselineAllocator, Demotion, DonorSolution, FaultPlan, ReasonCode,
+    AllocReport, AuditSummary, BaselineAllocator, Demotion, DonorSolution, FaultPlan, ReasonCode,
     RobustAllocator, RobustOutcome, Rung, WarmStartKind,
 };
 pub use stats::SpillStats;

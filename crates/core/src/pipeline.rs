@@ -133,11 +133,15 @@ pub enum ReasonCode {
     /// The rung reported a structured error of its own (e.g.
     /// [`fallback::FallbackError`]).
     RungFailed,
+    /// The solver's optimality proof failed the exact-rational audit (or
+    /// was missing while auditing was required); the solution itself may
+    /// still be accepted, one rung lower, without the proof.
+    CertificateRejected,
 }
 
 impl ReasonCode {
     /// All reason codes, in declaration order.
-    pub const ALL: [ReasonCode; 11] = [
+    pub const ALL: [ReasonCode; 12] = [
         ReasonCode::SolverTimeout,
         ReasonCode::SolverLimit,
         ReasonCode::NumericalTrouble,
@@ -149,6 +153,7 @@ impl ReasonCode {
         ReasonCode::DeadlineExceeded,
         ReasonCode::RungUnavailable,
         ReasonCode::RungFailed,
+        ReasonCode::CertificateRejected,
     ];
 
     /// Inverse of [`ReasonCode::name`] (metrics-label and cache parsing).
@@ -170,6 +175,7 @@ impl ReasonCode {
             ReasonCode::DeadlineExceeded => "deadline-exceeded",
             ReasonCode::RungUnavailable => "rung-unavailable",
             ReasonCode::RungFailed => "rung-failed",
+            ReasonCode::CertificateRejected => "certificate-rejected",
         }
     }
 }
@@ -294,6 +300,19 @@ impl FaultPlan {
     }
 }
 
+/// Outcome of auditing the solver's proof certificate for one function.
+#[derive(Clone, Debug)]
+pub struct AuditSummary {
+    /// The auditor's conclusion.
+    pub verdict: regalloc_audit::Verdict,
+    /// Leaves of the proof tree whose claim was checked.
+    pub leaves: u64,
+    /// Slug of the first audit finding (`None` when verified).
+    pub code: Option<&'static str>,
+    /// Full audit findings, for SARIF/JSON reporting.
+    pub diagnostics: Vec<regalloc_lint::Diagnostic>,
+}
+
 /// Per-function report: which rung produced the emitted code, every
 /// demotion along the way, timings and solver health.
 #[derive(Clone, Debug)]
@@ -326,6 +345,9 @@ pub struct AllocReport {
     pub num_insts: usize,
     /// Which injected donor incumbent (if any) seeded the IP solve.
     pub warm_start: WarmStartKind,
+    /// Certificate-audit outcome, when auditing was enabled and the
+    /// solver claimed a proved status.
+    pub audit: Option<AuditSummary>,
 }
 
 impl AllocReport {
@@ -359,6 +381,10 @@ pub struct RobustOutcome {
     /// (model-derived rungs only: IP and warm-start). `None` for the
     /// coloring and spill-all rungs, which never touch the model.
     pub symbolic: Option<SymbolicSolution>,
+    /// The audit-verified proof certificate, present only when auditing
+    /// was on, the accepted rung is [`Rung::IpOptimal`] and the audit
+    /// verified it (the driver cache persists it for hit-time re-audit).
+    pub certificate: Option<regalloc_ilp::Certificate>,
 }
 
 /// The injected graph-coloring rung.
@@ -390,6 +416,7 @@ pub struct RobustAllocator<'m, M, RF = X86RegFile> {
     equiv_runs: usize,
     equiv_seed: u64,
     static_validation: bool,
+    audit: bool,
     faults: FaultPlan,
     baseline: Option<&'m dyn BaselineAllocator>,
     donor: Option<DonorSolution>,
@@ -420,6 +447,7 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             equiv_runs: 4,
             equiv_seed: 0x0b5e55ed,
             static_validation: true,
+            audit: false,
             faults: FaultPlan::none(),
             baseline: None,
             donor: None,
@@ -463,6 +491,19 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
     /// (sampled) interpreter-equivalence check.
     pub fn with_static_validation(mut self, on: bool) -> Self {
         self.static_validation = on;
+        self
+    }
+
+    /// Enable certificate auditing: the solver is asked to emit proof
+    /// certificates and every optimality claim must survive the exact
+    /// rational audit ([`regalloc_audit::audit_solution`]) before the
+    /// [`Rung::IpOptimal`] rung is accepted. A rejected or missing
+    /// certificate demotes the claim to [`Rung::IpIncumbent`] with
+    /// [`ReasonCode::CertificateRejected`] — the allocation itself is
+    /// still used (it passes the same validation as any candidate), only
+    /// the optimality proof is withdrawn. Off by default.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 
@@ -610,6 +651,8 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         let mut num_constraints = 0usize;
         let mut num_vars = 0usize;
         let mut warm_kind = WarmStartKind::None;
+        let mut audit_summary: Option<AuditSummary> = None;
+        let mut certificate: Option<regalloc_ilp::Certificate> = None;
 
         // ---- Stage 1: analysis + model build (guarded). -------------------
         // A panic here takes the IP and warm-start rungs down together:
@@ -654,8 +697,14 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                         num_vars,
                         num_insts: f.num_insts(),
                         warm_start: warm_kind,
+                        audit: audit_summary.take(),
                     },
                     symbolic: $symbolic,
+                    certificate: if rung == Rung::IpOptimal {
+                        certificate.take()
+                    } else {
+                        None
+                    },
                 });
             }};
         }
@@ -740,8 +789,15 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                     });
                 }
             }
+            // Auditing needs the solver's proof; emission is pure
+            // observation (same pivots, same events, same solution), so
+            // flipping it on cannot change the allocation.
+            let solver_cfg = SolverConfig {
+                emit_certificates: self.audit,
+                ..self.solver.clone()
+            };
             let sol = catch_unwind(AssertUnwindSafe(|| {
-                solve_seeded_traced(&built.model, &self.solver, &seeds, solve_deadline, tracer)
+                solve_seeded_traced(&built.model, &solver_cfg, &seeds, solve_deadline, tracer)
             }));
 
             // Each solver-derived rung is a (rung, values) candidate; the
@@ -759,6 +815,45 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
                         _ => WarmStartKind::None,
                     };
                     let (ip_reason, ip_detail) = match sol.status {
+                        Status::Optimal if self.audit => {
+                            let outcome = {
+                                let _s = tracer.span(Phase::Audit);
+                                regalloc_audit::audit_solution(&built.model, &sol)
+                            };
+                            let leaves = outcome.leaves_checked;
+                            match outcome.verdict {
+                                regalloc_audit::Verdict::Verified => {
+                                    tracer.event(|| Event::CertificateChecked { leaves });
+                                    audit_summary = Some(AuditSummary {
+                                        verdict: outcome.verdict,
+                                        leaves,
+                                        code: None,
+                                        diagnostics: Vec::new(),
+                                    });
+                                    certificate = sol.certificate.clone();
+                                    candidates.push((Rung::IpOptimal, sol.values.clone()));
+                                    (None, String::new())
+                                }
+                                _ => {
+                                    let code = outcome.primary_code().unwrap_or("unknown");
+                                    tracer.event(|| Event::CertificateRejected { code });
+                                    audit_summary = Some(AuditSummary {
+                                        verdict: outcome.verdict,
+                                        leaves,
+                                        code: Some(code),
+                                        diagnostics: outcome.diagnostics,
+                                    });
+                                    // The assignment is still a checked,
+                                    // validated allocation — only the
+                                    // optimality proof is withdrawn.
+                                    candidates.push((Rung::IpIncumbent, sol.values.clone()));
+                                    (
+                                        Some(ReasonCode::CertificateRejected),
+                                        format!("certificate audit failed: {code}"),
+                                    )
+                                }
+                            }
+                        }
                         Status::Optimal => {
                             candidates.push((Rung::IpOptimal, sol.values.clone()));
                             (None, String::new())

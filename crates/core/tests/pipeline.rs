@@ -270,3 +270,39 @@ fn every_fault_combination_survives() {
         }
     }
 }
+
+#[test]
+fn audit_verifies_optimal_claims_end_to_end() {
+    let m = X86Machine::pentium();
+    let f = sample();
+    let out = robust(&m).with_audit(true).allocate(&f).unwrap();
+    assert_eq!(
+        out.report.rung,
+        Rung::IpOptimal,
+        "{:?}",
+        out.report.demotions
+    );
+    let audit = out.report.audit.as_ref().expect("audit ran");
+    assert_eq!(audit.verdict, regalloc_audit::Verdict::Verified);
+    assert!(audit.leaves > 0);
+    assert!(audit.diagnostics.is_empty());
+    // The verified certificate rides along for cache persistence, and its
+    // incumbent is the accepted solution.
+    let cert = out.certificate.as_ref().expect("certificate retained");
+    assert!(cert.incumbent.is_some());
+    verify_allocated(&out.func).unwrap();
+}
+
+#[test]
+fn audit_does_not_change_the_allocation() {
+    let m = X86Machine::pentium();
+    let f = sample();
+    let plain = robust(&m).allocate(&f).unwrap();
+    let audited = robust(&m).with_audit(true).allocate(&f).unwrap();
+    assert_eq!(plain.report.rung, audited.report.rung);
+    assert_eq!(plain.func, audited.func);
+    assert_eq!(plain.stats.loads, audited.stats.loads);
+    assert_eq!(plain.stats.stores, audited.stats.stores);
+    assert!(plain.report.audit.is_none());
+    assert!(plain.certificate.is_none());
+}

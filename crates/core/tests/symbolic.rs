@@ -134,6 +134,7 @@ fn feasible_assignments(f: &Function, m: &X86Machine, built: &BuiltModel) -> Vec
         lp_iter_limit: 10_000,
         node_limit: 300,
         max_rows: 6_000,
+        ..SolverConfig::default()
     };
     let sol = solve(&built.model, &cfg, Some(&warm));
     if matches!(sol.status, Status::Optimal | Status::Feasible) {

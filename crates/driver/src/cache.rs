@@ -43,7 +43,7 @@ use regalloc_ir::{
 
 /// First line of every cache file; bump the version to invalidate old
 /// entries wholesale on a format change.
-pub const MAGIC: &str = "regalloc-cache v3";
+pub const MAGIC: &str = "regalloc-cache v4";
 
 /// Checksum guarding an entry's payload (everything after the `check`
 /// line). Public so tooling and tests can produce well-formed entries.
@@ -111,6 +111,13 @@ pub struct CacheEntry {
     /// the IP rungs produced it — the donor payload for cross-function
     /// warm starts. Degraded rungs carry `None`.
     pub symbolic: Option<SymbolicSolution>,
+    /// The audit-verified proof certificate in its text codec
+    /// ([`regalloc_ilp::Certificate::to_text`]), present only for
+    /// [`Rung::IpOptimal`] entries produced under auditing. Hits are
+    /// re-audited against a freshly rebuilt model before the optimality
+    /// claim is trusted; entries without one are treated as stale when
+    /// auditing is on.
+    pub cert: Option<String>,
     /// The spill-slot table (the canonical text carries only slot
     /// *references*).
     pub slots: Vec<SlotInfo>,
@@ -169,6 +176,16 @@ impl CacheEntry {
                 let text = s.serialize();
                 writeln!(p, "sym {}", text.lines().count()).unwrap();
                 p.push_str(&text);
+            }
+        }
+        match &self.cert {
+            None => p.push_str("cert -\n"),
+            Some(text) => {
+                writeln!(p, "cert {}", text.lines().count()).unwrap();
+                p.push_str(text);
+                if !text.ends_with('\n') {
+                    p.push('\n');
+                }
             }
         }
         if self.slots.is_empty() {
@@ -264,6 +281,21 @@ impl CacheEntry {
             }
             Some(SymbolicSolution::deserialize(&text)?)
         };
+        let cert_s = lines.next()?.strip_prefix("cert ")?;
+        let cert = if cert_s == "-" {
+            None
+        } else {
+            let n: usize = cert_s.parse().ok()?;
+            let mut text = String::new();
+            for _ in 0..n {
+                text.push_str(lines.next()?);
+                text.push('\n');
+            }
+            // The embedded certificate must itself parse; a cache entry
+            // carrying syntactic garbage is damaged, not merely unproven.
+            regalloc_ilp::Certificate::from_text(&text)?;
+            Some(text)
+        };
         let slots_s = lines.next()?.strip_prefix("slots ")?;
         let slots = if slots_s == "-" {
             Vec::new()
@@ -310,6 +342,7 @@ impl CacheEntry {
             shape,
             warm_start,
             symbolic,
+            cert,
             slots,
             func_text,
         })
@@ -750,6 +783,7 @@ mod tests {
                 counts: [1, 2, 0, 0, 2, 0, 0, 0],
             },
             warm_start: WarmStartKind::Projected,
+            cert: None,
             symbolic: Some(SymbolicSolution::from_decisions(vec![(
                 EventKey {
                     sym: 0,
@@ -836,6 +870,38 @@ mod tests {
         e.warm_start = WarmStartKind::None;
         let parsed = CacheEntry::deserialize(&e.serialize()).expect("parses");
         assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn entry_with_certificate_round_trips() {
+        use regalloc_ilp::{Certificate, Claim, NodeCert, Step};
+        let mut e = entry_for(&allocated_sample());
+        let cert = Certificate {
+            incumbent: Some((vec![true, false], -2.0)),
+            leaves: vec![NodeCert {
+                steps: vec![Step::Decision {
+                    var: 0,
+                    value: true,
+                }],
+                claim: Claim::Bound {
+                    duals: vec![0.0, -1.0],
+                },
+            }],
+        };
+        e.cert = Some(cert.to_text());
+        let parsed = CacheEntry::deserialize(&e.serialize()).expect("parses");
+        assert_eq!(parsed, e);
+        let back = Certificate::from_text(parsed.cert.as_deref().unwrap()).expect("cert parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn garbage_certificate_text_rejects_the_entry() {
+        let mut e = entry_for(&allocated_sample());
+        e.cert = Some("inc zzz not a certificate\n".to_string());
+        // The checksum covers the garbage, so the damage is caught by the
+        // embedded certificate parse, not the checksum.
+        assert!(CacheEntry::deserialize(&e.serialize()).is_none());
     }
 
     #[test]

@@ -130,6 +130,15 @@ pub struct DriverConfig {
     /// Maximum shape-vector distance (relative L1, in `[0, 1]`) at which
     /// a cached solution is considered a warm-start donor.
     pub warm_start_distance: f64,
+    /// Audit every optimality claim with the exact-rational certificate
+    /// checker (`regalloc-audit`): fresh solves run under
+    /// [`regalloc_core::RobustAllocator::with_audit`], and cache hits at
+    /// the ip-optimal rung are only trusted after their persisted
+    /// certificate re-verifies against a freshly rebuilt model (a
+    /// rejected or absent certificate evicts the entry and re-solves).
+    /// Accepted audited entries persist their certificate so warm runs
+    /// stay warm.
+    pub audit: bool,
     /// Record a structured solve trace ([`regalloc_obs::FunctionTrace`])
     /// for every function and attach it to the result. Off by default:
     /// the deterministic pipeline pays only a branch per hook when
@@ -159,6 +168,7 @@ impl Default for DriverConfig {
             revalidate_cache: true,
             warm_starts: true,
             warm_start_distance: 0.25,
+            audit: false,
             trace: false,
         }
     }
@@ -223,6 +233,10 @@ pub struct FunctionResult {
     /// Quality lints over the accepted allocation (populated when
     /// [`DriverConfig::lint`] is set).
     pub lints: Vec<regalloc_lint::Diagnostic>,
+    /// Certificate-audit outcome (populated when [`DriverConfig::audit`]
+    /// is set and the function carried an optimality claim — fresh solve
+    /// or re-audited cache hit alike).
+    pub audit: Option<regalloc_core::AuditSummary>,
     /// Graph-coloring comparison, when requested.
     pub baseline: Option<BaselineResult>,
     /// The structured solve trace (populated when [`DriverConfig::trace`]
@@ -354,6 +368,7 @@ pub(crate) fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         estimate,
         task_time: Duration::ZERO,
         lints: Vec::new(),
+        audit: None,
         baseline: None,
         trace: None,
         metrics: Metrics::default(),
@@ -447,6 +462,29 @@ pub fn profile_report(out: &SuiteOutcome) -> String {
         .map(|(r, n)| format!("{} {}", r.name(), n))
         .collect();
     let _ = writeln!(s, "rungs: {}", rungs.join("  "));
+    // Certificate-audit traffic comes from the merged metrics registry
+    // (per-task shards summed in suite order), so the line is identical
+    // for any `--jobs` value.
+    let certs_checked = out
+        .metrics
+        .counter("regalloc_certificates_checked_total", &[]);
+    let certs_rejected = out
+        .metrics
+        .counter("regalloc_certificates_rejected_total", &[]);
+    if certs_checked > 0 || certs_rejected > 0 {
+        let audit_secs: f64 = out
+            .results
+            .iter()
+            .filter_map(|r| r.trace.as_ref())
+            .flat_map(|t| &t.phase_times)
+            .filter(|(p, _)| *p == Phase::Audit)
+            .map(|(_, d)| d.as_secs_f64())
+            .sum();
+        let _ = writeln!(
+            s,
+            "audit: {certs_checked} certificates checked / {certs_rejected} rejected, {audit_secs:.3}s"
+        );
+    }
     let demotions = out
         .metrics
         .counter_by_label("regalloc_demotions_total", "reason");

@@ -57,6 +57,12 @@ options:
   --lint-out FILE      write the lint report to FILE instead of stdout
   --deny CODE          exit nonzero if lint CODE fires (id like L001 or
                        slug like dead-spill-store; repeatable)
+  --audit              audit every optimality claim with the exact-rational
+                       certificate checker; rejected claims are demoted to
+                       ip-incumbent, and ip-optimal cache hits are only
+                       trusted after their stored certificate re-verifies
+  --audit-deny         --audit, and exit nonzero if any certificate is
+                       rejected or missing
   --trace-out FILE     write the structured solve trace as JSONL (event
                        records first, then `\"type\":\"timing\"` records)
   --metrics-out FILE   write the merged metrics registry in Prometheus
@@ -87,6 +93,7 @@ struct Cli {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     profile: bool,
+    audit_deny: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -107,6 +114,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace_out: None,
         metrics_out: None,
         profile: false,
+        audit_deny: false,
     };
     cli.cfg.compare_baseline = false;
     let mut it = args.iter();
@@ -219,6 +227,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .ok_or_else(|| format!("--deny: unknown diagnostic code `{name}`"))?,
                 );
             }
+            "--audit" => cli.cfg.audit = true,
+            "--audit-deny" => {
+                cli.cfg.audit = true;
+                cli.audit_deny = true;
+            }
             "--trace-out" => {
                 cli.cfg.trace = true;
                 cli.trace_out = Some(PathBuf::from(value("--trace-out")?));
@@ -326,6 +339,24 @@ fn print_deterministic(out: &SuiteOutcome) {
         "warm-starts: exact {}  projected {}",
         out.stats.warm_exact, out.stats.warm_projected
     );
+    // One audit per optimality claim (fresh solve or re-audited hit), so
+    // the counts are deterministic across `--jobs` values.
+    let audits: Vec<_> = out
+        .results
+        .iter()
+        .filter_map(|r| r.audit.as_ref())
+        .collect();
+    if !audits.is_empty() {
+        let verified = audits
+            .iter()
+            .filter(|a| a.verdict == regalloc_audit::Verdict::Verified)
+            .count();
+        println!(
+            "certificates: {} verified  {} rejected",
+            verified,
+            audits.len() - verified
+        );
+    }
     // One aggregate cost line so warm-on vs warm-off runs can be compared
     // with a single grep: warm starts may only prune the search, never
     // change what is accepted.
@@ -469,7 +500,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if out.results.iter().any(|r| r.error.is_some()) || denied > 0 {
+    let mut audit_denied = 0usize;
+    if cli.audit_deny {
+        for r in &out.results {
+            if let Some(a) = &r.audit {
+                if a.verdict != regalloc_audit::Verdict::Verified {
+                    audit_denied += 1;
+                    eprintln!(
+                        "error: {}: certificate audit failed ({})",
+                        r.name,
+                        a.code.unwrap_or("missing")
+                    );
+                }
+            }
+        }
+    }
+    if out.results.iter().any(|r| r.error.is_some()) || denied > 0 || audit_denied > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -224,10 +224,59 @@ impl AllocationService {
                     let _c = tracer.time(Phase::Cache);
                     !regalloc_lint::validate(machine, f, &hit.func).is_empty()
                 };
-                if revalidation_failed {
+                // Under auditing an ip-optimal hit is only as good as its
+                // proof: re-audit the persisted certificate against a
+                // freshly rebuilt model. No certificate (an entry stored
+                // without auditing) is stale — re-solve and store one; a
+                // failing one is poison — evict and re-solve. Either way
+                // the optimality claim is never served unproven.
+                let mut hit_audit: Option<regalloc_core::AuditSummary> = None;
+                let mut audit_stale = false;
+                let mut audit_rejected = false;
+                if !revalidation_failed
+                    && !stale_deadline
+                    && cfg.audit
+                    && hit.entry.rung == Rung::IpOptimal
+                {
+                    let _a = tracer.span(Phase::Audit);
+                    let cert = hit
+                        .entry
+                        .cert
+                        .as_deref()
+                        .and_then(regalloc_ilp::Certificate::from_text);
+                    match cert {
+                        None => audit_stale = true,
+                        Some(cert) => {
+                            let outcome =
+                                regalloc_core::IpAllocator::new(machine).build_only(f).map(
+                                    |built| regalloc_audit::audit_certificate(&built.model, &cert),
+                                );
+                            match outcome {
+                                Ok(a) if a.verdict == regalloc_audit::Verdict::Verified => {
+                                    tracer.event(|| Event::CertificateChecked {
+                                        leaves: a.leaves_checked,
+                                    });
+                                    hit_audit = Some(regalloc_core::AuditSummary {
+                                        verdict: a.verdict,
+                                        leaves: a.leaves_checked,
+                                        code: None,
+                                        diagnostics: Vec::new(),
+                                    });
+                                }
+                                Ok(a) => {
+                                    let code = a.primary_code().unwrap_or("unknown");
+                                    tracer.event(|| Event::CertificateRejected { code });
+                                    audit_rejected = true;
+                                }
+                                Err(_) => audit_stale = true,
+                            }
+                        }
+                    }
+                }
+                if revalidation_failed || audit_rejected {
                     cache.reject(key);
                     cache_outcome = Some("rejected");
-                } else if stale_deadline {
+                } else if stale_deadline || audit_stale {
                     cache_outcome = Some("stale");
                 } else {
                     budget.skip();
@@ -259,6 +308,7 @@ impl AllocationService {
                         estimate,
                         task_time: t0.elapsed(),
                         lints,
+                        audit: hit_audit,
                         baseline,
                         trace: None,
                         metrics: Metrics::default(),
@@ -302,6 +352,7 @@ impl AllocationService {
             .with_solver_config(cfg.solver.clone())
             .with_budget(granted)
             .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
+            .with_audit(cfg.audit)
             .with_baseline(&gc)
             .with_donor(donor);
         if let Some(faults) = &opts.faults {
@@ -341,6 +392,7 @@ impl AllocationService {
                             shape,
                             warm_start: out.report.warm_start,
                             symbolic: out.symbolic.clone(),
+                            cert: out.certificate.as_ref().map(|c| c.to_text()),
                             slots: out.func.slots().to_vec(),
                             func_text: format!("{}\n", out.func),
                         },
@@ -366,6 +418,7 @@ impl AllocationService {
                     estimate,
                     task_time: t0.elapsed(),
                     lints,
+                    audit: out.report.audit.clone(),
                     baseline,
                     trace: None,
                     metrics: Metrics::default(),
@@ -392,6 +445,7 @@ impl AllocationService {
                 estimate,
                 task_time: t0.elapsed(),
                 lints: Vec::new(),
+                audit: None,
                 baseline,
                 trace: None,
                 metrics: Metrics::default(),
@@ -484,6 +538,12 @@ fn task_metrics(r: &FunctionResult, cache_outcome: Option<&'static str>) -> Metr
     m.inc("regalloc_solver_lp_iters_total", &[], r.lp_iters);
     for d in &r.lints {
         m.inc("regalloc_lint_findings_total", &[("code", d.code.slug)], 1);
+    }
+    if let Some(a) = &r.audit {
+        m.inc("regalloc_certificates_checked_total", &[], 1);
+        if a.verdict != regalloc_audit::Verdict::Verified {
+            m.inc("regalloc_certificates_rejected_total", &[], 1);
+        }
     }
     if r.num_vars > 0 {
         m.observe("regalloc_model_vars", &[], SIZE_BUCKETS, r.num_vars as f64);

@@ -1,0 +1,183 @@
+//! End-to-end certificate auditing through the batch driver: fresh
+//! solves attach audit-verified proofs, cache hits re-verify the
+//! persisted certificate against a rebuilt model, and a forged
+//! certificate is rejected and re-solved — never served as "optimal".
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use regalloc_core::Rung;
+use regalloc_driver::cache::{checksum, MAGIC};
+use regalloc_driver::{run_suite, CacheMode, DriverConfig};
+use regalloc_ir::{BinOp, Function, FunctionBuilder, Operand, Width};
+
+fn sample(name: &str, imm: i64) -> Function {
+    let mut b = FunctionBuilder::new(name);
+    let p = b.new_param("p", Width::B32);
+    let x = b.new_sym(Width::B32);
+    let y = b.new_sym(Width::B32);
+    let z = b.new_sym(Width::B32);
+    b.load_global(x, p);
+    b.load_imm(y, imm);
+    b.bin(BinOp::Mul, z, Operand::sym(x), Operand::sym(y));
+    b.bin(BinOp::Add, z, Operand::sym(z), Operand::sym(x));
+    b.ret(Some(z));
+    b.finish()
+}
+
+fn audit_config(cache: CacheMode) -> DriverConfig {
+    DriverConfig {
+        jobs: 1,
+        cache,
+        audit: true,
+        function_budget: Duration::from_secs(300),
+        ..DriverConfig::default()
+    }
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regalloc-audit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_optimal_acceptance_carries_a_verified_audit() {
+    let funcs: Vec<Function> = (0..3).map(|i| sample(&format!("f{i}"), 3 + i)).collect();
+    let out = run_suite(&funcs, &audit_config(CacheMode::Memory));
+    for r in &out.results {
+        assert_eq!(r.rung, Some(Rung::IpOptimal), "{}", r.name);
+        let audit = r.audit.as_ref().expect("audit attached");
+        assert_eq!(audit.verdict, regalloc_audit::Verdict::Verified);
+        assert!(audit.leaves > 0);
+    }
+    assert_eq!(
+        out.metrics
+            .counter("regalloc_certificates_checked_total", &[]),
+        3
+    );
+    assert_eq!(
+        out.metrics
+            .counter("regalloc_certificates_rejected_total", &[]),
+        0
+    );
+}
+
+#[test]
+fn cache_hits_are_re_audited_and_forged_certificates_rejected() {
+    let dir = temp_cache_dir("hits");
+    let funcs = vec![sample("g", 7)];
+    let cfg = audit_config(CacheMode::Disk(dir.clone()));
+
+    // Cold run: fresh solve, verified, certificate persisted.
+    let cold = run_suite(&funcs, &cfg);
+    assert_eq!(cold.results[0].rung, Some(Rung::IpOptimal));
+    assert!(!cold.results[0].cache_hit);
+    assert_eq!(
+        cold.results[0].audit.as_ref().unwrap().verdict,
+        regalloc_audit::Verdict::Verified
+    );
+
+    // Warm run: the hit is only served after its stored certificate
+    // re-verifies against a freshly rebuilt model.
+    let warm = run_suite(&funcs, &cfg);
+    assert!(warm.results[0].cache_hit, "second run hits the cache");
+    assert_eq!(warm.results[0].rung, Some(Rung::IpOptimal));
+    assert_eq!(
+        warm.results[0].audit.as_ref().unwrap().verdict,
+        regalloc_audit::Verdict::Verified
+    );
+
+    // Forge the persisted certificate: claim a better objective by
+    // rewriting the incumbent line, with a *consistent* checksum so the
+    // only thing standing between the forgery and an accepted optimality
+    // claim is the exact-rational audit itself.
+    let entry_path = {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|d| d.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "alloc"))
+            .collect();
+        paths.sort();
+        assert_eq!(paths.len(), 1);
+        paths.remove(0)
+    };
+    let text = std::fs::read_to_string(&entry_path).unwrap();
+    let payload = text
+        .strip_prefix(MAGIC)
+        .unwrap()
+        .strip_prefix('\n')
+        .unwrap()
+        .split_once('\n')
+        .unwrap()
+        .1;
+    let inc_line = payload
+        .lines()
+        .find(|l| l.starts_with("inc "))
+        .expect("certificate incumbent line persisted");
+    let (_, obj_hex, _) = {
+        let mut it = inc_line.split(' ');
+        (it.next().unwrap(), it.next().unwrap(), it.next().unwrap())
+    };
+    let obj = f64::from_bits(u64::from_str_radix(obj_hex, 16).unwrap());
+    let forged_line = inc_line.replace(obj_hex, &format!("{:016x}", (obj - 1.0).to_bits()));
+    let forged_payload = payload.replace(inc_line, &forged_line);
+    assert_ne!(payload, forged_payload, "forgery actually changed the file");
+    std::fs::write(
+        &entry_path,
+        format!(
+            "{MAGIC}\ncheck {:016x}\n{forged_payload}",
+            checksum(&forged_payload)
+        ),
+    )
+    .unwrap();
+
+    let after = run_suite(&funcs, &cfg);
+    let r = &after.results[0];
+    // The forged entry was evicted and the function re-solved fresh; the
+    // final answer is again a *verified* optimality claim.
+    assert!(!r.cache_hit, "forged entry must not be served");
+    assert_eq!(r.rung, Some(Rung::IpOptimal));
+    assert_eq!(
+        r.audit.as_ref().unwrap().verdict,
+        regalloc_audit::Verdict::Verified
+    );
+    assert!(
+        after.stats.cache_rejected >= 1,
+        "forgery counted as rejection"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn entries_stored_without_audit_are_stale_under_audit() {
+    let dir = temp_cache_dir("stale");
+    let funcs = vec![sample("h", 5)];
+    let mut plain = audit_config(CacheMode::Disk(dir.clone()));
+    plain.audit = false;
+    // Unaudited cold run stores an entry without a certificate.
+    let cold = run_suite(&funcs, &plain);
+    assert_eq!(cold.results[0].rung, Some(Rung::IpOptimal));
+    assert!(cold.results[0].audit.is_none());
+
+    // Under auditing the certificate-less ip-optimal entry is stale: the
+    // function re-solves, this time with a verified proof.
+    let audited = run_suite(&funcs, &audit_config(CacheMode::Disk(dir.clone())));
+    let r = &audited.results[0];
+    assert!(!r.cache_hit);
+    assert_eq!(r.rung, Some(Rung::IpOptimal));
+    assert_eq!(
+        r.audit.as_ref().unwrap().verdict,
+        regalloc_audit::Verdict::Verified
+    );
+
+    // And now the cache is warm *with* a proof.
+    let warm = run_suite(&funcs, &audit_config(CacheMode::Disk(dir.clone())));
+    assert!(warm.results[0].cache_hit);
+    assert_eq!(
+        warm.results[0].audit.as_ref().unwrap().verdict,
+        regalloc_audit::Verdict::Verified
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -34,6 +34,7 @@ fn fast_config() -> DriverConfig {
             lp_iter_limit: 2_000,
             node_limit: 16,
             max_rows: 600,
+            ..SolverConfig::default()
         },
         function_budget: Duration::from_secs(300),
         global_budget: None,
@@ -50,6 +51,7 @@ fn fast_config() -> DriverConfig {
         // warm starts get their own test file (`warm_start.rs`).
         warm_starts: false,
         warm_start_distance: 0.25,
+        audit: false,
         trace: false,
     }
 }

@@ -29,6 +29,7 @@ fn traced_config(jobs: usize) -> DriverConfig {
             lp_iter_limit: 2_000,
             node_limit: 16,
             max_rows: 600,
+            ..SolverConfig::default()
         },
         function_budget: Duration::from_secs(300),
         global_budget: None,
@@ -41,6 +42,7 @@ fn traced_config(jobs: usize) -> DriverConfig {
         revalidate_cache: true,
         warm_starts: false,
         warm_start_distance: 0.25,
+        audit: false,
         trace: true,
     }
 }

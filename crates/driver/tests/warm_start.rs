@@ -42,6 +42,7 @@ fn config(dir: PathBuf, warm: bool) -> DriverConfig {
             lp_iter_limit: 20_000,
             node_limit: 512,
             max_rows: 450,
+            ..SolverConfig::default()
         },
         function_budget: Duration::from_secs(300),
         cache: CacheMode::Disk(dir),

@@ -27,6 +27,8 @@ pub struct Reproducer {
     pub rung: String,
     /// Fault seed armed during the run, if any.
     pub fault: Option<u64>,
+    /// Certificate-perturbation seed armed during the run, if any.
+    pub fault_cert: Option<u64>,
     /// The minimized function.
     pub func: Function,
 }
@@ -41,7 +43,7 @@ pub fn write_reproducer(dir: &Path, v: &Violation) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let fp = fingerprint_hex(&v.func);
     let path = dir.join(format!("repro-{}.ir", &fp[..16.min(fp.len())]));
-    let fault = match v.fault {
+    let hex = |s: Option<u64>| match s {
         Some(s) => format!("{s:#x}"),
         None => "none".to_string(),
     };
@@ -52,13 +54,15 @@ pub fn write_reproducer(dir: &Path, v: &Violation) -> io::Result<PathBuf> {
          ; oracle: {}\n\
          ; rung: {}\n\
          ; fault: {}\n\
+         ; fault-cert: {}\n\
          ; detail: {}\n\
          {}",
         v.case,
         v.seed,
         v.oracle,
         v.rung,
-        fault,
+        hex(v.fault),
+        hex(v.fault_cert),
         v.detail.replace('\n', " "),
         v.func
     );
@@ -104,6 +108,11 @@ pub fn read_reproducer(path: &Path) -> Result<Reproducer, String> {
         None | Some("none") => None,
         Some(s) => Some(parse_u64(s)?),
     };
+    // Absent in pre-audit reproducers: those replay without the drill.
+    let fault_cert = match meta(&lines, "fault-cert") {
+        None | Some("none") => None,
+        Some(s) => Some(parse_u64(s)?),
+    };
     Ok(Reproducer {
         case: meta(&lines, "case")
             .map(parse_u64)
@@ -116,6 +125,7 @@ pub fn read_reproducer(path: &Path) -> Result<Reproducer, String> {
         oracle: meta(&lines, "oracle").unwrap_or("").to_string(),
         rung: meta(&lines, "rung").unwrap_or("-").to_string(),
         fault,
+        fault_cert,
         func,
     })
 }
@@ -129,6 +139,14 @@ pub fn read_reproducer(path: &Path) -> Result<Reproducer, String> {
 /// the rungs fail differently than recorded).
 pub fn replay(r: &Reproducer, equiv_runs: usize) -> Result<(), String> {
     let machine = regalloc_x86::X86Machine::pentium();
+    if r.oracle == "certificate-audit" {
+        let viols = crate::check_certificate(&machine, &r.func, r.fault_cert).viols;
+        return if viols.iter().any(|(o, _, _)| *o == r.oracle) {
+            Ok(())
+        } else {
+            Err("oracle `certificate-audit` did not fire on replay".to_string())
+        };
+    }
     let outs = match crate::run_rungs(&machine, &r.func, r.fault) {
         Ok(outs) => outs,
         Err(e) => {

@@ -11,7 +11,7 @@
 //! 2. the graph-coloring baseline ([`ColoringAllocator`]);
 //! 3. the spill-everything fallback ([`fallback::spill_everything`]).
 //!
-//! Every produced allocation is cross-checked by three oracles:
+//! Every produced allocation is cross-checked by four oracles:
 //!
 //! * **interp-equivalence** — the allocated code behaves exactly like
 //!   the original on seeded pseudo-random inputs
@@ -21,7 +21,14 @@
 //! * **agreement** — all allocators' outputs produce identical
 //!   observable outcomes on shared inputs, and either every rung
 //!   allocates a function or every rung refuses it (64-bit functions
-//!   are refused ladder-wide, as in the paper's Table 2).
+//!   are refused ladder-wide, as in the paper's Table 2);
+//! * **certificate-audit** — an independent solve with proof emission
+//!   on: every `Optimal` claim must carry a certificate that survives
+//!   the exact-rational auditor (`regalloc_audit`), and — under the
+//!   `--fault-cert` drill — a seeded, provably-invalidating
+//!   perturbation of that certificate must be *rejected*; a perturbed
+//!   proof that still verifies is an auditor blind spot and fails the
+//!   campaign.
 //!
 //! Failures are auto-minimized ([`shrink::minimize`]) and written as
 //! replayable corpus files ([`corpus`]). Everything is seeded: the same
@@ -33,8 +40,10 @@ use std::time::Duration;
 
 use regalloc_coloring::ColoringAllocator;
 use regalloc_core::pipeline::{FaultPlan, RobustAllocator, Rung};
-use regalloc_core::{check, fallback, AllocError};
-use regalloc_ilp::SolverConfig;
+use regalloc_core::{check, fallback, AllocError, IpAllocator};
+use regalloc_ilp::cert::{Certificate, Claim, Step};
+use regalloc_ilp::model::{Model, Sense};
+use regalloc_ilp::{SolverConfig, Status};
 use regalloc_ir::interp::mix64;
 use regalloc_ir::{Cfg, ExecOutcome, Function, Interp, InterpConfig, LoopInfo, Profile};
 use regalloc_workloads::{fuzz_function, GenConfig};
@@ -80,6 +89,12 @@ pub struct FuzzConfig {
     /// [`FaultPlan::corrupt_solution`] with `mix64(fault ^ case)`, so
     /// each case corrupts differently but reproducibly.
     pub fault: Option<u64>,
+    /// Optional certificate-perturbation drill: for every audited
+    /// optimality proof, apply a seeded invalidating perturbation
+    /// ([`perturb_certificate`]) and require the auditor to reject it.
+    /// Unlike [`FuzzConfig::fault`], findings under this drill are real
+    /// auditor blind spots and fail the campaign.
+    pub fault_cert: Option<u64>,
     /// Interpreter-equivalence runs per produced allocation.
     pub equiv_runs: usize,
 }
@@ -91,6 +106,7 @@ impl Default for FuzzConfig {
             seed: 7,
             kind: CaseKind::Mixed,
             fault: None,
+            fault_cert: None,
             equiv_runs: 3,
         }
     }
@@ -105,6 +121,7 @@ pub fn deterministic_solver() -> SolverConfig {
         lp_iter_limit: 2_000,
         node_limit: 16,
         max_rows: 600,
+        ..SolverConfig::default()
     }
 }
 
@@ -115,8 +132,8 @@ pub struct Violation {
     pub case: u64,
     /// The case's derived seed.
     pub seed: u64,
-    /// Which oracle fired: `interp-equivalence`, `static-validator` or
-    /// `agreement`.
+    /// Which oracle fired: `interp-equivalence`, `static-validator`,
+    /// `agreement` or `certificate-audit`.
     pub oracle: String,
     /// Which rung produced the offending allocation (`ip`, `coloring`,
     /// `spill-all`, or `-` for cross-rung disagreements).
@@ -128,6 +145,8 @@ pub struct Violation {
     pub func: Function,
     /// The fault seed armed when the violation fired.
     pub fault: Option<u64>,
+    /// The certificate-perturbation seed armed when the violation fired.
+    pub fault_cert: Option<u64>,
 }
 
 /// Campaign summary.
@@ -139,6 +158,9 @@ pub struct CampaignReport {
     pub functions: u64,
     /// Functions refused ladder-wide (64-bit).
     pub refused: u64,
+    /// Optimality/infeasibility proofs audited by the certificate
+    /// oracle (perturbed as well when the drill was armed).
+    pub proofs: u64,
     /// Accepted IP-ladder rung histogram, by rung name.
     pub rungs: BTreeMap<String, u64>,
     /// Violations found (minimized).
@@ -322,16 +344,174 @@ pub fn check_function(
     viols
 }
 
+/// Result of the certificate-audit oracle on one function.
+pub struct CertOracle {
+    /// Whether the independent solve produced a proof claim to audit.
+    pub proved: bool,
+    /// Violations found, in `(oracle, rung, detail)` form.
+    pub viols: Vec<(String, String, String)>,
+}
+
+/// Oracle 4: independent proof-carrying solve plus exact-rational audit.
+///
+/// The function's 0-1 model is rebuilt from scratch and solved under the
+/// same deterministic limits with certificate emission on. A resulting
+/// `Optimal` or `Infeasible` claim must carry a certificate that the
+/// auditor verifies; with `fault_cert` armed, a seeded invalidating
+/// perturbation of that certificate must additionally be *rejected* — a
+/// perturbed proof that still verifies is an auditor blind spot.
+pub fn check_certificate(
+    machine: &X86Machine,
+    f: &Function,
+    fault_cert: Option<u64>,
+) -> CertOracle {
+    let mut out = CertOracle {
+        proved: false,
+        viols: Vec::new(),
+    };
+    // 64-bit functions are refused ladder-wide; nothing is claimed.
+    let Ok(built) = IpAllocator::new(machine).build_only(f) else {
+        return out;
+    };
+    let cfg = SolverConfig {
+        emit_certificates: true,
+        ..deterministic_solver()
+    };
+    let sol = regalloc_ilp::solve(&built.model, &cfg, None);
+    if !matches!(sol.status, Status::Optimal | Status::Infeasible) {
+        return out; // no proof claimed within the deterministic limits
+    }
+    out.proved = true;
+    let audit = regalloc_audit::audit_solution(&built.model, &sol);
+    if audit.verdict != regalloc_audit::Verdict::Verified {
+        out.viols.push((
+            "certificate-audit".to_string(),
+            "ip".to_string(),
+            format!(
+                "{:?} claim failed the audit ({})",
+                sol.status,
+                audit.primary_code().unwrap_or("missing-certificate")
+            ),
+        ));
+        return out;
+    }
+    if let (Some(seed), Some(cert)) = (fault_cert, &sol.certificate) {
+        if let Some((forged, kind)) = perturb_certificate(&built.model, cert, seed) {
+            let verdict = regalloc_audit::audit_certificate(&built.model, &forged).verdict;
+            if verdict == regalloc_audit::Verdict::Verified {
+                out.viols.push((
+                    "certificate-audit".to_string(),
+                    "ip".to_string(),
+                    format!("perturbed certificate ({kind}) still verified — auditor blind spot"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Apply one seeded, provably-invalidating perturbation to a verified
+/// certificate. The seed picks among four forgeries — a better claimed
+/// objective, a dropped leaf, a flipped branching decision, a
+/// wrong-signed dual multiplier — falling through to the next kind when
+/// the chosen one does not apply (e.g. no incumbent to forge on an
+/// infeasibility proof). `None` only when no kind applies at all.
+pub fn perturb_certificate(
+    model: &Model,
+    cert: &Certificate,
+    seed: u64,
+) -> Option<(Certificate, &'static str)> {
+    // The leaf with the longest decision trail: removing or rerouting it
+    // always breaks the partition (or empties the proof outright).
+    let deepest = (0..cert.leaves.len()).max_by_key(|&i| {
+        cert.leaves[i]
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Decision { .. }))
+            .count()
+    });
+    let start = mix64(seed ^ 0xce47);
+    for off in 0..4 {
+        let forged = match (start + off) % 4 {
+            0 => cert.incumbent.as_ref().and_then(|&(_, obj)| {
+                // Claim one better than the proved optimum. Guard the
+                // float actually changing (it always does at allocation
+                // scale, where objectives are small integers).
+                if obj - 1.0 == obj {
+                    return None;
+                }
+                let mut c = cert.clone();
+                if let Some(i) = c.incumbent.as_mut() {
+                    i.1 = obj - 1.0;
+                }
+                Some((c, "forged-objective"))
+            }),
+            1 => deepest.map(|i| {
+                let mut c = cert.clone();
+                c.leaves.remove(i);
+                (c, "dropped-leaf")
+            }),
+            2 => deepest.and_then(|i| {
+                let mut c = cert.clone();
+                let flipped = c.leaves[i].steps.iter_mut().find_map(|s| match s {
+                    Step::Decision { value, .. } => {
+                        *value = !*value;
+                        Some(())
+                    }
+                    Step::Deduce { .. } => None,
+                });
+                flipped.map(|()| (c, "flipped-decision"))
+            }),
+            _ => {
+                // A sign-violating multiplier on an inequality row of a
+                // bound/Farkas claim (such leaves replay to non-empty
+                // boxes, so the claim is never checked vacuously).
+                model
+                    .rows()
+                    .iter()
+                    .position(|r| matches!(r.sense, Sense::Le | Sense::Ge))
+                    .and_then(|ri| {
+                        let mut c = cert.clone();
+                        let hit = {
+                            let duals = c.leaves.iter_mut().find_map(|l| match &mut l.claim {
+                                Claim::Bound { duals } | Claim::Farkas { duals } => Some(duals),
+                                Claim::PropInfeasible { .. } => None,
+                            })?;
+                            duals[ri] = match model.rows()[ri].sense {
+                                Sense::Le => 1000.0,
+                                _ => -1000.0,
+                            };
+                            true
+                        };
+                        hit.then_some((c, "wrong-signed-dual"))
+                    })
+            }
+        };
+        if forged.is_some() {
+            return forged;
+        }
+    }
+    None
+}
+
 /// True when `f` still trips an oracle named `oracle` under `fault` —
-/// the minimizer's predicate.
+/// the minimizer's predicate. For `certificate-audit` the predicate is
+/// the independent proof-carrying solve, perturbed by `fault_cert`.
 pub fn still_fails(
     machine: &X86Machine,
     f: &Function,
     oracle: &str,
     fault: Option<u64>,
+    fault_cert: Option<u64>,
     equiv_runs: usize,
     seed: u64,
 ) -> bool {
+    if oracle == "certificate-audit" {
+        return check_certificate(machine, f, fault_cert)
+            .viols
+            .iter()
+            .any(|(o, _, _)| o == oracle);
+    }
     match run_rungs(machine, f, fault) {
         Ok(outs) => check_function(machine, f, &outs, equiv_runs, seed)
             .iter()
@@ -371,6 +551,7 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
     for i in 0..cfg.cases {
         let case_seed = mix64(cfg.seed ^ (i << 32 | 0x0ca5e));
         let fault = cfg.fault.map(|fs| mix64(fs ^ i) | 1);
+        let fault_cert = cfg.fault_cert.map(|fs| mix64(fs ^ i));
         for f in case_functions(cfg, i) {
             report.functions += 1;
             let outs = match run_rungs(&machine, &f, fault) {
@@ -384,6 +565,7 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
                         detail: e,
                         func: f,
                         fault,
+                        fault_cert,
                     });
                     continue;
                 }
@@ -394,11 +576,21 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
                 }
                 None => report.refused += 1,
             }
-            for (oracle, rung, detail) in
-                check_function(&machine, &f, &outs, cfg.equiv_runs, case_seed)
-            {
+            let mut found = check_function(&machine, &f, &outs, cfg.equiv_runs, case_seed);
+            let cert = check_certificate(&machine, &f, fault_cert);
+            report.proofs += cert.proved as u64;
+            found.extend(cert.viols);
+            for (oracle, rung, detail) in found {
                 let minimized = shrink::minimize(&f, 600, |cand| {
-                    still_fails(&machine, cand, &oracle, fault, cfg.equiv_runs, case_seed)
+                    still_fails(
+                        &machine,
+                        cand,
+                        &oracle,
+                        fault,
+                        fault_cert,
+                        cfg.equiv_runs,
+                        case_seed,
+                    )
                 });
                 report.violations.push(Violation {
                     case: i,
@@ -408,6 +600,7 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
                     detail,
                     func: minimized,
                     fault,
+                    fault_cert,
                 });
             }
         }

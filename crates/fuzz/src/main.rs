@@ -5,6 +5,8 @@
 //! regalloc-fuzz --cases 500 --seed 7                 # clean run, expect 0 violations
 //! regalloc-fuzz --cases 40 --seed 7 --fault 3 \
 //!               --corpus tests/corpus/ir            # fault injection, write reproducers
+//! regalloc-fuzz --cases 40 --seed 7 --fault-cert 3  # certificate-forgery drill:
+//!                                                   #   a finding = auditor blind spot
 //! regalloc-fuzz --replay tests/corpus/ir            # replay a corpus directory
 //! ```
 
@@ -16,7 +18,7 @@ use regalloc_fuzz::{corpus, run_campaign, CaseKind, FuzzConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: regalloc-fuzz [--cases N] [--seed N] [--kind ir|c|mixed]\n\
-         \x20                   [--fault N] [--equiv-runs N] [--corpus DIR]\n\
+         \x20                   [--fault N] [--fault-cert N] [--equiv-runs N] [--corpus DIR]\n\
          \x20      regalloc-fuzz --replay DIR [--equiv-runs N]"
     );
     ExitCode::from(2)
@@ -41,6 +43,9 @@ fn main() -> ExitCode {
                     cfg.kind = CaseKind::parse(&k).ok_or(format!("unknown kind `{k}`"))?;
                 }
                 "--fault" => cfg.fault = Some(val("--fault")?.parse().map_err(|e| format!("{e}"))?),
+                "--fault-cert" => {
+                    cfg.fault_cert = Some(val("--fault-cert")?.parse().map_err(|e| format!("{e}"))?)
+                }
                 "--equiv-runs" => {
                     cfg.equiv_runs = val("--equiv-runs")?.parse().map_err(|e| format!("{e}"))?
                 }
@@ -82,8 +87,8 @@ fn main() -> ExitCode {
 
     let report = run_campaign(&cfg);
     println!(
-        "cases: {}  functions: {}  refused-64bit: {}",
-        report.cases, report.functions, report.refused
+        "cases: {}  functions: {}  refused-64bit: {}  proofs-audited: {}",
+        report.cases, report.functions, report.refused, report.proofs
     );
     for (rung, n) in &report.rungs {
         println!("  rung {rung}: {n}");
@@ -101,9 +106,18 @@ fn main() -> ExitCode {
             }
         }
     }
-    // A clean campaign must be silent; under fault injection violations
-    // are the expected outcome (they prove the oracles catch the fault).
-    if report.violations.is_empty() || cfg.fault.is_some() {
+    // A clean campaign must be silent. Under `--fault` injection,
+    // violations from the differential oracles are the expected outcome
+    // (they prove the oracles catch the fault). Certificate-audit
+    // findings are never expected: under `--fault-cert` a finding means
+    // a forged proof *survived* the auditor, and without the drill it
+    // means a genuine proof failed it — both are real bugs.
+    let cert_findings = report
+        .violations
+        .iter()
+        .any(|v| v.oracle == "certificate-audit");
+    let only_expected = !cert_findings && cfg.fault.is_some();
+    if report.violations.is_empty() || only_expected {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -14,6 +14,7 @@ fn drill_config() -> FuzzConfig {
         seed: 7,
         kind: CaseKind::Ir,
         fault: Some(3),
+        fault_cert: None,
         equiv_runs: 2,
     }
 }
@@ -38,6 +39,7 @@ fn injected_faults_are_caught_and_minimized() {
                 &v.func,
                 &v.oracle,
                 v.fault,
+                v.fault_cert,
                 cfg.equiv_runs,
                 v.seed
             ),
@@ -95,6 +97,7 @@ fn campaigns_are_deterministic() {
         seed: 11,
         kind: CaseKind::Mixed,
         fault: Some(5),
+        fault_cert: None,
         equiv_runs: 2,
     };
     let digest = |cfg: &FuzzConfig| {
@@ -127,6 +130,7 @@ fn clean_campaign_is_quiet() {
         seed: 7,
         kind: CaseKind::Mixed,
         fault: None,
+        fault_cert: None,
         equiv_runs: 2,
     };
     let report = run_campaign(&cfg);

@@ -4,10 +4,11 @@ use std::time::{Duration, Instant};
 
 use regalloc_obs::{Event, Phase, Tracer};
 
+use crate::cert::{Certificate, Claim, NodeCert, Step};
 use crate::health::{Deadline, HealthState, SolverHealth};
 use crate::model::Model;
-use crate::presolve::{propagate, Propagation};
-use crate::simplex::{solve_lp, LpOutcome};
+use crate::presolve::{propagate, propagate_recorded, PropRecorder, Propagation};
+use crate::simplex::{solve_lp, solve_lp_with_duals, DualInfo, LpOutcome};
 
 /// Solver configuration.
 #[derive(Clone, Debug)]
@@ -25,6 +26,12 @@ pub struct SolverConfig {
     /// the analogue of the memory limits that left a few of the paper's
     /// functions unsolved.
     pub max_rows: usize,
+    /// Attach a [`Certificate`] to completed solves (proved
+    /// [`Status::Optimal`] or [`Status::Infeasible`]) of integral-cost
+    /// models. Emission is pure observation — the search path, events and
+    /// returned solution are bit-identical either way; it only costs one
+    /// extra dual extraction per node plus the recorded trails.
+    pub emit_certificates: bool,
 }
 
 impl Default for SolverConfig {
@@ -34,6 +41,7 @@ impl Default for SolverConfig {
             lp_iter_limit: 400_000,
             node_limit: 200_000,
             max_rows: 6_000,
+            emit_certificates: false,
         }
     }
 }
@@ -138,6 +146,12 @@ pub struct Solution {
     pub solve_time: Duration,
     /// Numerical-health counters accumulated across every LP relaxation.
     pub health: SolverHealth,
+    /// The composed proof of a completed search, present only when
+    /// [`SolverConfig::emit_certificates`] was set, the model has
+    /// integral costs, the search ran to completion
+    /// ([`Status::Optimal`] or [`Status::Infeasible`]), and every leaf
+    /// yielded a usable claim within the emission memory cap.
+    pub certificate: Option<Certificate>,
 }
 
 impl Solution {
@@ -159,6 +173,9 @@ impl Solution {
 struct Node {
     lb: Vec<f64>,
     ub: Vec<f64>,
+    /// Path from the root (decisions + presolve deductions), populated
+    /// only while certificate emission is active.
+    steps: Vec<Step>,
 }
 
 /// Round an LP point to the nearest 0-1 assignment.
@@ -398,7 +415,8 @@ fn solve_inner(
                   nodes: u64,
                   lp_iters: u64,
                   warm_start_only: bool,
-                  health: SolverHealth| {
+                  health: SolverHealth,
+                  certificate: Option<Certificate>| {
         let solve_time = start.elapsed();
         tracer.add_time(Phase::Solve, solve_time);
         tracer.event(|| Event::SolveDone {
@@ -421,6 +439,7 @@ fn solve_inner(
             incumbent_source,
             solve_time,
             health,
+            certificate,
         }
     };
 
@@ -430,7 +449,7 @@ fn solve_inner(
         } else {
             Status::Unknown
         };
-        return finish(status, best, 0, 0, warm_start_only, health);
+        return finish(status, best, 0, 0, warm_start_only, health, None);
     }
 
     // Primal dive from the root for a strong initial incumbent (the warm
@@ -474,11 +493,42 @@ fn solve_inner(
     let root = Node {
         lb: vec![0.0; n],
         ub: vec![1.0; n],
+        steps: Vec::new(),
     };
     let mut stack = vec![root];
     // True once any node had to be abandoned (LP limit/numerical): the
     // optimality proof is lost but incumbents remain valid.
     let mut proof_lost = false;
+    // Certificate emission: per-leaf claims with their root paths. Any
+    // leaf that cannot be certified (or blowing the memory cap) drops the
+    // whole certificate — never the solve.
+    let mut cert_ok = cfg.emit_certificates && integral;
+    let mut cert_leaves: Vec<NodeCert> = Vec::new();
+    let mut cert_mem: usize = 0;
+    const CERT_MEM_CAP: usize = 4_000_000;
+
+    // Record `node`'s box as a certificate leaf with the given claim.
+    macro_rules! cert_leaf {
+        ($node:expr, $claim:expr) => {{
+            if cert_ok {
+                let claim: Claim = $claim;
+                cert_mem += $node.steps.len()
+                    + match &claim {
+                        Claim::Bound { duals } | Claim::Farkas { duals } => duals.len(),
+                        Claim::PropInfeasible { .. } => 0,
+                    };
+                if cert_mem > CERT_MEM_CAP {
+                    cert_ok = false;
+                    cert_leaves = Vec::new();
+                } else {
+                    cert_leaves.push(NodeCert {
+                        steps: $node.steps.clone(),
+                        claim,
+                    });
+                }
+            }
+        }};
+    }
 
     while let Some(mut node) = stack.pop() {
         if deadline.expired() || nodes >= cfg.node_limit {
@@ -487,7 +537,24 @@ fn solve_inner(
         }
         nodes += 1;
 
-        let prop = {
+        let prop = if cert_ok {
+            let mut rec = PropRecorder {
+                steps: std::mem::take(&mut node.steps),
+                conflict: None,
+            };
+            let p = {
+                let _t = tracer.time(Phase::Presolve);
+                propagate_recorded(model, &mut node.lb, &mut node.ub, &mut rec)
+            };
+            node.steps = rec.steps;
+            if p == Propagation::Infeasible {
+                match rec.conflict {
+                    Some(witness) => cert_leaf!(node, Claim::PropInfeasible { witness }),
+                    None => cert_ok = false,
+                }
+            }
+            p
+        } else {
             let _t = tracer.time(Phase::Presolve);
             propagate(model, &mut node.lb, &mut node.ub)
         };
@@ -503,15 +570,17 @@ fn solve_inner(
             Propagation::Ok => {}
         }
 
+        let mut dual = DualInfo::default();
         let lp = {
             let _t = tracer.time(Phase::Simplex);
-            solve_lp(
+            solve_lp_with_duals(
                 model,
                 &node.lb,
                 &node.ub,
                 cfg.lp_iter_limit,
                 deadline,
                 &mut health,
+                cert_ok.then_some(&mut dual),
             )
         };
         // Attribute this node's simplex work whether or not the
@@ -523,6 +592,14 @@ fn solve_inner(
         let (x, obj) = match lp {
             LpOutcome::Optimal { x, obj, .. } => (x, obj),
             LpOutcome::Infeasible { .. } => {
+                if cert_ok {
+                    if dual.farkas && dual.y.len() == model.num_rows() {
+                        let duals = std::mem::take(&mut dual.y);
+                        cert_leaf!(node, Claim::Farkas { duals });
+                    } else {
+                        cert_ok = false;
+                    }
+                }
                 tracer.event(|| Event::Node {
                     index: nodes,
                     lp_iters: node_iters,
@@ -543,6 +620,7 @@ fn solve_inner(
                 continue;
             }
         };
+        let have_duals = cert_ok && !dual.farkas && dual.y.len() == model.num_rows();
 
         // Bound pruning (round up for integral costs, with slack scaled to
         // the objective magnitude to absorb LP round-off).
@@ -550,6 +628,14 @@ fn solve_inner(
         let bound = if integral { (obj - slack).ceil() } else { obj };
         if let Some((_, inc)) = &best {
             if bound >= *inc - 1e-9 {
+                if cert_ok {
+                    if have_duals {
+                        let duals = std::mem::take(&mut dual.y);
+                        cert_leaf!(node, Claim::Bound { duals });
+                    } else {
+                        cert_ok = false;
+                    }
+                }
                 tracer.event(|| Event::Node {
                     index: nodes,
                     lp_iters: node_iters,
@@ -587,6 +673,18 @@ fn solve_inner(
                         });
                     }
                     warm_start_only = false;
+                    // An integral leaf closes its box with the same dual
+                    // bound a prune would: the LP optimum here equals the
+                    // candidate's objective, which the final incumbent
+                    // (monotonically non-increasing) cannot exceed.
+                    if cert_ok {
+                        if have_duals {
+                            let duals = std::mem::take(&mut dual.y);
+                            cert_leaf!(node, Claim::Bound { duals });
+                        } else {
+                            cert_ok = false;
+                        }
+                    }
                     tracer.event(|| Event::Node {
                         index: nodes,
                         lp_iters: node_iters,
@@ -596,6 +694,7 @@ fn solve_inner(
                     // Numerically integral LP point that fails the exact
                     // check: abandon the subtree's optimality claim.
                     proof_lost = true;
+                    cert_ok = false;
                     tracer.event(|| Event::Node {
                         index: nodes,
                         lp_iters: node_iters,
@@ -622,10 +721,22 @@ fn solve_inner(
                 let mut hi_side = Node {
                     lb: node.lb.clone(),
                     ub: node.ub.clone(),
+                    steps: Vec::new(),
                 };
                 hi_side.lb[j] = 1.0;
                 let mut lo_side = node;
                 lo_side.ub[j] = 0.0;
+                if cert_ok {
+                    hi_side.steps = lo_side.steps.clone();
+                    hi_side.steps.push(Step::Decision {
+                        var: j as u32,
+                        value: true,
+                    });
+                    lo_side.steps.push(Step::Decision {
+                        var: j as u32,
+                        value: false,
+                    });
+                }
                 if *xj >= 0.5 {
                     stack.push(lo_side);
                     stack.push(hi_side);
@@ -651,10 +762,20 @@ fn solve_inner(
         (None, true) if health.numerical_trouble() => Status::NumericalTrouble,
         (None, true) => Status::Unknown,
     };
+    // Only a *completed* search composes a proof: every subtree was
+    // closed by a recorded claim, so the leaves cover the whole cube.
+    let certificate = (cert_ok
+        && !proof_lost
+        && stack.is_empty()
+        && matches!(status, Status::Optimal | Status::Infeasible))
+    .then(|| Certificate {
+        incumbent: best.clone(),
+        leaves: std::mem::take(&mut cert_leaves),
+    });
     // A completed search that never replaced the warm start has *proved*
     // it optimal; that counts as the solver's own result.
     let wso = warm_start_only && status != Status::Optimal;
-    finish(status, best, nodes, lp_iters, wso, health)
+    finish(status, best, nodes, lp_iters, wso, health, certificate)
 }
 
 #[cfg(test)]
@@ -824,6 +945,99 @@ mod tests {
         let s = solve(&m, &tiny, Some(&[true]));
         assert_eq!(s.status, Status::Feasible);
         assert!(s.warm_start_only, "nothing was found by the search itself");
+    }
+
+    fn cert_cfg() -> SolverConfig {
+        SolverConfig {
+            emit_certificates: true,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn certificates_off_by_default() {
+        let mut m = Model::new();
+        let a = m.add_var(1.0, "a");
+        m.add_ge(vec![(a, 1.0)], 1.0);
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.certificate.is_none());
+    }
+
+    #[test]
+    fn optimal_solve_carries_certificate() {
+        // Odd-cycle packing with cost 2 per vertex: the LP bound (-3)
+        // stays below the incumbent (-2) even after integral rounding, so
+        // the search must branch and the certificate has decision trails.
+        let mut m = Model::new();
+        let v: Vec<_> = (0..3).map(|i| m.add_var(-2.0, format!("x{i}"))).collect();
+        for i in 0..3 {
+            m.add_le(vec![(v[i], 1.0), (v[(i + 1) % 3], 1.0)], 1.0);
+        }
+        let s = solve(&m, &cert_cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        let cert = s.certificate.expect("optimal completed solve emits cert");
+        let (values, obj) = cert.incumbent.as_ref().expect("optimal has incumbent");
+        assert_eq!(values, &s.values);
+        assert_eq!(*obj, s.objective);
+        assert!(!cert.leaves.is_empty());
+        // Every bound/farkas leaf carries one multiplier per row.
+        for leaf in &cert.leaves {
+            match &leaf.claim {
+                crate::cert::Claim::Bound { duals } | crate::cert::Claim::Farkas { duals } => {
+                    assert_eq!(duals.len(), m.num_rows());
+                }
+                crate::cert::Claim::PropInfeasible { .. } => {}
+            }
+        }
+        // Some leaf branched: at least one decision step recorded.
+        assert!(cert.leaves.iter().any(|l| l
+            .steps
+            .iter()
+            .any(|st| matches!(st, crate::cert::Step::Decision { .. }))));
+    }
+
+    #[test]
+    fn infeasible_solve_carries_refutation_certificate() {
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        let b = m.add_var(0.0, "b");
+        m.add_ge(vec![(a, 1.0), (b, 1.0)], 2.0);
+        m.add_le(vec![(a, 1.0), (b, 1.0)], 1.0);
+        let s = solve(&m, &cert_cfg(), None);
+        assert_eq!(s.status, Status::Infeasible);
+        let cert = s.certificate.expect("proved infeasibility emits cert");
+        assert!(cert.incumbent.is_none());
+        assert!(!cert.leaves.is_empty());
+    }
+
+    #[test]
+    fn fractional_costs_suppress_certificate() {
+        // Bound claims round up to the next integer, which is only sound
+        // for integral costs; the solver declines to certify otherwise.
+        let mut m = Model::new();
+        let a = m.add_var(-1.5, "a");
+        m.add_le(vec![(a, 1.0)], 1.0);
+        let s = solve(&m, &cert_cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.certificate.is_none());
+    }
+
+    #[test]
+    fn emission_does_not_change_solution() {
+        let mut m = Model::new();
+        let v: Vec<_> = (0..5).map(|i| m.add_var(-1.0, format!("x{i}"))).collect();
+        for i in 0..5 {
+            m.add_le(vec![(v[i], 1.0), (v[(i + 1) % 5], 1.0)], 1.0);
+        }
+        let plain = solve(&m, &cfg(), None);
+        let certed = solve(&m, &cert_cfg(), None);
+        assert_eq!(plain.status, certed.status);
+        assert_eq!(plain.values, certed.values);
+        assert_eq!(plain.objective, certed.objective);
+        assert_eq!(plain.nodes, certed.nodes);
+        assert_eq!(plain.lp_iters, certed.lp_iters);
+        assert!(certed.certificate.is_some());
     }
 
     /// Exhaustive cross-check on small random models.

@@ -1,0 +1,372 @@
+//! Solver-emitted proof certificates.
+//!
+//! A completed branch-and-bound search partitions the 0-1 cube into the
+//! boxes of its leaf nodes. When [`SolverConfig::emit_certificates`] is
+//! set (and the model has integral costs), the search records, per leaf,
+//! the *path* that produced the leaf's box and a *claim* justifying why
+//! the search did not descend further:
+//!
+//! * [`Claim::Bound`] — a vector of Lagrangian multipliers whose exact
+//!   dual bound, rounded up to the next integer, meets the incumbent
+//!   objective (covers both pruned nodes and integral leaves);
+//! * [`Claim::Farkas`] — multipliers proving the leaf's box contains no
+//!   feasible point at all (phase-1 duals of the infeasible relaxation);
+//! * [`Claim::PropInfeasible`] — a single row or declared fixing that
+//!   bound propagation found unsatisfiable over the box.
+//!
+//! The path is a [`Step`] trail: branching decisions interleaved with the
+//! bound deductions presolve made along the way. A checker replays the
+//! trail to reconstruct the box, verifies each deduction from the model
+//! data alone, verifies the claim in exact rational arithmetic, and
+//! finally checks the decision trails of all leaves form a complete
+//! binary tree — together that proves no integer point anywhere in the
+//! cube beats the incumbent. `regalloc-audit` is that checker; this
+//! module only defines the data and its (cache-stable) text codec.
+//!
+//! [`SolverConfig::emit_certificates`]: crate::SolverConfig::emit_certificates
+
+use std::fmt::Write as _;
+
+/// One step of a leaf's path from the root.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Step {
+    /// The search branched: variable `var` was fixed to `value` on this
+    /// side of the split.
+    Decision {
+        /// Branching variable index.
+        var: u32,
+        /// The value taken on this path.
+        value: bool,
+    },
+    /// Presolve deduced `var = value` because the opposite value cannot
+    /// satisfy row `row` under the bounds current at this point.
+    Deduce {
+        /// The justifying constraint row index.
+        row: u32,
+        /// The deduced variable index.
+        var: u32,
+        /// The forced value.
+        value: bool,
+    },
+}
+
+/// Why a leaf's subtree needs no further search.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Claim {
+    /// Lagrangian multipliers `duals` (one per model row) whose exact
+    /// dual bound over the leaf box, rounded up, meets the incumbent.
+    Bound {
+        /// One multiplier per row: `≤ 0` for `Le` rows, `≥ 0` for `Ge`,
+        /// free for `Eq`.
+        duals: Vec<f64>,
+    },
+    /// Multipliers proving the box admits no feasible point: the dual
+    /// bound of the zero objective is strictly positive.
+    Farkas {
+        /// One multiplier per row, same sign conditions as [`Claim::Bound`].
+        duals: Vec<f64>,
+    },
+    /// Bound propagation refuted the box outright.
+    PropInfeasible {
+        /// What propagation contradicted.
+        witness: Witness,
+    },
+}
+
+impl Claim {
+    /// Stable name used in diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Claim::Bound { .. } => "bound",
+            Claim::Farkas { .. } => "farkas",
+            Claim::PropInfeasible { .. } => "prop-infeasible",
+        }
+    }
+}
+
+/// The contradicted object of a [`Claim::PropInfeasible`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Witness {
+    /// Row `index` cannot be satisfied over the leaf box.
+    Row(u32),
+    /// The declared fixing of variable `index` conflicts with the box.
+    Fix(u32),
+}
+
+/// One leaf of the completed search.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NodeCert {
+    /// Path from the root: decisions interleaved with presolve deductions.
+    pub steps: Vec<Step>,
+    /// Why the subtree below this box is closed.
+    pub claim: Claim,
+}
+
+/// The composed proof attached to a completed solve.
+///
+/// For [`Status::Optimal`](crate::Status::Optimal) the incumbent is the
+/// accepted assignment with its claimed objective; for a proved
+/// [`Status::Infeasible`](crate::Status::Infeasible) it is `None` and
+/// every leaf necessarily carries a refutation claim.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Certificate {
+    /// The accepted assignment and its claimed objective, when one exists.
+    pub incumbent: Option<(Vec<bool>, f64)>,
+    /// One entry per leaf of the completed search tree.
+    pub leaves: Vec<NodeCert>,
+}
+
+impl Certificate {
+    /// Total recorded dual multipliers across all leaves (the memory
+    /// gauge the solver caps emission on).
+    pub fn dual_len(&self) -> usize {
+        self.leaves
+            .iter()
+            .map(|l| match &l.claim {
+                Claim::Bound { duals } | Claim::Farkas { duals } => duals.len(),
+                Claim::PropInfeasible { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Serialize to the line-oriented text form used by the driver cache.
+    ///
+    /// Floats are written as `to_bits` hex so the round-trip is exact;
+    /// the layout is versioned by the cache's own magic line.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        match &self.incumbent {
+            None => s.push_str("inc -\n"),
+            Some((values, obj)) => {
+                let bits: String = values.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                let _ = writeln!(s, "inc {:016x} {bits}", obj.to_bits());
+            }
+        }
+        let _ = writeln!(s, "leaves {}", self.leaves.len());
+        for leaf in &self.leaves {
+            let _ = write!(s, "steps");
+            for st in &leaf.steps {
+                match st {
+                    Step::Decision { var, value } => {
+                        let _ = write!(s, " d{var}={}", *value as u8);
+                    }
+                    Step::Deduce { row, var, value } => {
+                        let _ = write!(s, " p{row}:{var}={}", *value as u8);
+                    }
+                }
+            }
+            s.push('\n');
+            match &leaf.claim {
+                Claim::Bound { duals } => {
+                    let _ = write!(s, "bound");
+                    for d in duals {
+                        let _ = write!(s, " {:016x}", d.to_bits());
+                    }
+                    s.push('\n');
+                }
+                Claim::Farkas { duals } => {
+                    let _ = write!(s, "farkas");
+                    for d in duals {
+                        let _ = write!(s, " {:016x}", d.to_bits());
+                    }
+                    s.push('\n');
+                }
+                Claim::PropInfeasible { witness } => {
+                    let _ = match witness {
+                        Witness::Row(r) => writeln!(s, "prop row {r}"),
+                        Witness::Fix(v) => writeln!(s, "prop fix {v}"),
+                    };
+                }
+            }
+        }
+        s
+    }
+
+    /// Parse the [`Certificate::to_text`] form. Returns `None` on any
+    /// syntactic damage (the cache treats that as a miss).
+    pub fn from_text(text: &str) -> Option<Certificate> {
+        let mut lines = text.lines();
+        let inc_line = lines.next()?;
+        let incumbent = match inc_line.strip_prefix("inc ")? {
+            "-" => None,
+            rest => {
+                let (hex, bits) = rest.split_once(' ')?;
+                let obj = f64::from_bits(u64::from_str_radix(hex, 16).ok()?);
+                let values = bits
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Some(false),
+                        '1' => Some(true),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<bool>>>()?;
+                Some((values, obj))
+            }
+        };
+        let n: usize = lines.next()?.strip_prefix("leaves ")?.parse().ok()?;
+        let mut leaves = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let step_line = lines.next()?;
+            let mut steps = Vec::new();
+            for tok in step_line.strip_prefix("steps")?.split_ascii_whitespace() {
+                let (head, val) = tok.split_once('=')?;
+                let value = match val {
+                    "0" => false,
+                    "1" => true,
+                    _ => return None,
+                };
+                if let Some(var) = head.strip_prefix('d') {
+                    steps.push(Step::Decision {
+                        var: var.parse().ok()?,
+                        value,
+                    });
+                } else if let Some(rest) = head.strip_prefix('p') {
+                    let (row, var) = rest.split_once(':')?;
+                    steps.push(Step::Deduce {
+                        row: row.parse().ok()?,
+                        var: var.parse().ok()?,
+                        value,
+                    });
+                } else {
+                    return None;
+                }
+            }
+            let claim_line = lines.next()?;
+            let parse_duals = |rest: &str| {
+                rest.split_ascii_whitespace()
+                    .map(|h| u64::from_str_radix(h, 16).ok().map(f64::from_bits))
+                    .collect::<Option<Vec<f64>>>()
+            };
+            let claim = if let Some(rest) = claim_line.strip_prefix("bound") {
+                Claim::Bound {
+                    duals: parse_duals(rest)?,
+                }
+            } else if let Some(rest) = claim_line.strip_prefix("farkas") {
+                Claim::Farkas {
+                    duals: parse_duals(rest)?,
+                }
+            } else if let Some(rest) = claim_line.strip_prefix("prop ") {
+                let (kind, idx) = rest.split_once(' ')?;
+                let idx: u32 = idx.parse().ok()?;
+                Claim::PropInfeasible {
+                    witness: match kind {
+                        "row" => Witness::Row(idx),
+                        "fix" => Witness::Fix(idx),
+                        _ => return None,
+                    },
+                }
+            } else {
+                return None;
+            };
+            leaves.push(NodeCert { steps, claim });
+        }
+        Some(Certificate { incumbent, leaves })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Certificate {
+        Certificate {
+            incumbent: Some((vec![true, false, true], -7.0)),
+            leaves: vec![
+                NodeCert {
+                    steps: vec![
+                        Step::Decision {
+                            var: 1,
+                            value: true,
+                        },
+                        Step::Deduce {
+                            row: 2,
+                            var: 0,
+                            value: false,
+                        },
+                    ],
+                    claim: Claim::Bound {
+                        duals: vec![0.0, -1.5, 0.25],
+                    },
+                },
+                NodeCert {
+                    steps: vec![Step::Decision {
+                        var: 1,
+                        value: false,
+                    }],
+                    claim: Claim::Farkas {
+                        duals: vec![2.0, 0.0, 0.0],
+                    },
+                },
+                NodeCert {
+                    steps: vec![],
+                    claim: Claim::PropInfeasible {
+                        witness: Witness::Fix(2),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let c = sample();
+        let parsed = Certificate::from_text(&c.to_text()).expect("parse");
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn infeasibility_certificate_round_trips() {
+        let c = Certificate {
+            incumbent: None,
+            leaves: vec![NodeCert {
+                steps: vec![],
+                claim: Claim::PropInfeasible {
+                    witness: Witness::Row(0),
+                },
+            }],
+        };
+        assert_eq!(Certificate::from_text(&c.to_text()), Some(c));
+    }
+
+    #[test]
+    fn nonfinite_and_negative_zero_duals_round_trip() {
+        let c = Certificate {
+            incumbent: Some((vec![], 0.0)),
+            leaves: vec![NodeCert {
+                steps: vec![],
+                claim: Claim::Bound {
+                    duals: vec![-0.0, f64::INFINITY, 1e-300],
+                },
+            }],
+        };
+        let parsed = Certificate::from_text(&c.to_text()).expect("parse");
+        match &parsed.leaves[0].claim {
+            Claim::Bound { duals } => {
+                assert_eq!(duals[0].to_bits(), (-0.0_f64).to_bits());
+                assert_eq!(duals[1], f64::INFINITY);
+                assert_eq!(duals[2], 1e-300);
+            }
+            c => panic!("unexpected claim {c:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_text_is_rejected() {
+        let good = sample().to_text();
+        assert!(Certificate::from_text(&good).is_some());
+        for bad in [
+            "",
+            "inc zzz\nleaves 0\n",
+            "inc -\nleaves 2\nsteps\nbound\n", // truncated leaf list
+            "inc -\nleaves 1\nsteps d1=2\nbound\n", // bad value
+            "inc -\nleaves 1\nsteps\nprop elf 3\n", // bad witness kind
+        ] {
+            assert_eq!(Certificate::from_text(bad), None, "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn dual_len_counts_bound_and_farkas() {
+        assert_eq!(sample().dual_len(), 6);
+    }
+}

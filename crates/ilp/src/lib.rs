@@ -13,7 +13,10 @@
 //! * a depth-first [`branch`]-and-bound search with most-fractional
 //!   branching, integral-cost bound rounding, a warm-start incumbent
 //!   channel and a wall-clock time limit (the paper's per-function
-//!   1024-second limit maps onto [`SolverConfig::time_limit`]).
+//!   1024-second limit maps onto [`SolverConfig::time_limit`]), and
+//! * an optional proof [`cert`]ificate attached to completed searches
+//!   ([`SolverConfig::emit_certificates`]), independently re-checkable in
+//!   exact rational arithmetic by the `regalloc-audit` crate.
 //!
 //! The solver reports the same outcome taxonomy the paper's Table 2 uses:
 //! [`Status::Optimal`] (proved), [`Status::Feasible`] (incumbent found but
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod branch;
+pub mod cert;
 pub mod health;
 pub mod model;
 pub mod presolve;
@@ -46,5 +50,8 @@ pub use branch::{
     solve, solve_seeded, solve_seeded_traced, solve_with_deadline, Incumbent, Solution,
     SolverConfig, Status, WarmStartSource,
 };
+pub use cert::{Certificate, Claim, NodeCert, Step, Witness};
 pub use health::{Deadline, HealthState, SolverHealth};
 pub use model::{Model, Sense, VarId};
+pub use presolve::{propagate, propagate_recorded, PropRecorder, Propagation};
+pub use simplex::{solve_lp, solve_lp_with_duals, DualInfo, LpOutcome};

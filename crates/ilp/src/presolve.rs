@@ -14,6 +14,7 @@
 //! and implication chains (`use ≤ x ≤ def`) collapse when an endpoint is
 //! branched on.
 
+use crate::cert::{Step, Witness};
 use crate::model::{Model, Sense};
 
 /// Result of bound propagation.
@@ -25,14 +26,51 @@ pub enum Propagation {
     Infeasible,
 }
 
+/// Deduction journal filled by [`propagate_recorded`]: every bound
+/// tightening as a replayable [`Step::Deduce`], and — on an infeasible
+/// outcome — the row or fixing that was contradicted.
+#[derive(Clone, Debug, Default)]
+pub struct PropRecorder {
+    /// Deductions in application order (appended; callers seed this with
+    /// the node's inherited trail).
+    pub steps: Vec<Step>,
+    /// The contradicted object when propagation returned
+    /// [`Propagation::Infeasible`].
+    pub conflict: Option<Witness>,
+}
+
 /// Tighten `lb`/`ub` in place. Binary semantics: bounds only ever move to
 /// 0 or 1.
 pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
+    propagate_impl(model, lb, ub, None)
+}
+
+/// [`propagate`] with a deduction journal for certificate emission. The
+/// bound tightening is bit-identical to the unrecorded path; only the
+/// journal is extra.
+pub fn propagate_recorded(
+    model: &Model,
+    lb: &mut [f64],
+    ub: &mut [f64],
+    rec: &mut PropRecorder,
+) -> Propagation {
+    propagate_impl(model, lb, ub, Some(rec))
+}
+
+fn propagate_impl(
+    model: &Model,
+    lb: &mut [f64],
+    ub: &mut [f64],
+    mut rec: Option<&mut PropRecorder>,
+) -> Propagation {
     // Apply declared fixings first.
     for j in 0..model.num_vars() {
         if let Some(v) = model.fixed(crate::model::VarId(j as u32)) {
             let v = if v { 1.0 } else { 0.0 };
             if v < lb[j] - 1e-9 || v > ub[j] + 1e-9 {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.conflict = Some(Witness::Fix(j as u32));
+                }
                 return Propagation::Infeasible;
             }
             lb[j] = v;
@@ -45,7 +83,7 @@ pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
     while changed && rounds < 20 {
         changed = false;
         rounds += 1;
-        for row in model.rows() {
+        for (ri, row) in model.rows().iter().enumerate() {
             // Min/max activity under current bounds.
             let mut min_act = 0.0;
             let mut max_act = 0.0;
@@ -62,12 +100,21 @@ pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
             let need_le = matches!(row.sense, Sense::Le | Sense::Eq);
             let need_ge = matches!(row.sense, Sense::Ge | Sense::Eq);
             if need_le && min_act > row.rhs + 1e-7 {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.conflict = Some(Witness::Row(ri as u32));
+                }
                 return Propagation::Infeasible;
             }
             if need_ge && max_act < row.rhs - 1e-7 {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.conflict = Some(Witness::Row(ri as u32));
+                }
                 return Propagation::Infeasible;
             }
-            // Per-variable implied bounds (binary rounding).
+            // Per-variable implied bounds (binary rounding). Each
+            // deduction is journalled with its justifying row: the
+            // checker re-verifies that the opposite value makes the row
+            // unsatisfiable under the bounds current at that point.
             for (v, c) in &row.coeffs {
                 let j = v.index();
                 if lb[j] >= ub[j] {
@@ -80,10 +127,24 @@ pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
                     if *c > 0.0 && others_min + c > row.rhs + 1e-7 {
                         ub[j] = 0.0;
                         changed = true;
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.steps.push(Step::Deduce {
+                                row: ri as u32,
+                                var: j as u32,
+                                value: false,
+                            });
+                        }
                     } else if *c < 0.0 && others_min > row.rhs + 1e-7 {
                         // x_j must contribute: x_j = 1.
                         lb[j] = 1.0;
                         changed = true;
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.steps.push(Step::Deduce {
+                                row: ri as u32,
+                                var: j as u32,
+                                value: true,
+                            });
+                        }
                     }
                 }
                 if need_ge && lb[j] < ub[j] {
@@ -92,12 +153,32 @@ pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
                         // x_j must be 1 for the row to be satisfiable.
                         lb[j] = 1.0;
                         changed = true;
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.steps.push(Step::Deduce {
+                                row: ri as u32,
+                                var: j as u32,
+                                value: true,
+                            });
+                        }
                     } else if *c < 0.0 && others_max + c < row.rhs - 1e-7 {
                         ub[j] = 0.0;
                         changed = true;
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.steps.push(Step::Deduce {
+                                row: ri as u32,
+                                var: j as u32,
+                                value: false,
+                            });
+                        }
                     }
                 }
                 if lb[j] > ub[j] + 1e-9 {
+                    // The same row has forced x_j both ways: its min/max
+                    // activity test over the tightened box fails, so the
+                    // row itself is the replayable witness.
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.conflict = Some(Witness::Row(ri as u32));
+                    }
                     return Propagation::Infeasible;
                 }
             }

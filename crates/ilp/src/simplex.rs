@@ -83,6 +83,54 @@ enum StopReason {
     Numerical,
 }
 
+/// Dual multipliers extracted from a solved relaxation, the raw material
+/// of a solver certificate (see [`crate::cert`]).
+///
+/// `y` has one entry per model row and is clamped into the row's dual
+/// cone (`≤ 0` for `Le` rows, `≥ 0` for `Ge`, free for `Eq`) — clamping
+/// a float-noise sign violation to zero weakens the bound slightly but
+/// keeps it *valid*, which is what the exact checker verifies. An empty
+/// `y` means no duals were available for the outcome.
+#[derive(Clone, Debug, Default)]
+pub struct DualInfo {
+    /// One multiplier per model row (empty when unavailable).
+    pub y: Vec<f64>,
+    /// True when `y` is a phase-1 infeasibility (Farkas) certificate
+    /// rather than an optimality bound.
+    pub farkas: bool,
+}
+
+/// Multipliers below this magnitude are numerical dust from the basis
+/// inverse, not genuine dual activity: model coefficients are unit-scale,
+/// so a 1e-12 multiplier moves any Lagrangian or Farkas combination by
+/// far less than the integrality slack the bound checks tolerate. Zeroing
+/// them keeps every emitted multiplier exactly representable as a small
+/// dyadic rational, which the certificate auditor requires (values near
+/// 1e-23 need denominators beyond i128 and would sink an honest proof).
+const DUAL_DUST: f64 = 1e-12;
+
+/// Clamp `y` into the dual cone, drop numerical dust, and reject
+/// non-finite contamination. Any sign-respecting multiplier vector is a
+/// valid dual witness, so both adjustments preserve certificate
+/// soundness — they can only weaken the bound by a negligible amount.
+fn clamp_duals(model: &Model, y: &mut Vec<f64>) {
+    if y.iter().any(|v| !v.is_finite()) {
+        y.clear();
+        return;
+    }
+    for (yi, row) in y.iter_mut().zip(model.rows()) {
+        if yi.abs() < DUAL_DUST {
+            *yi = 0.0;
+            continue;
+        }
+        match row.sense {
+            Sense::Le => *yi = yi.min(0.0),
+            Sense::Ge => *yi = yi.max(0.0),
+            Sense::Eq => {}
+        }
+    }
+}
+
 struct Tableau<'a> {
     model: &'a Model,
     /// Sparse columns, indexed by variable: (row, coefficient).
@@ -589,8 +637,33 @@ pub fn solve_lp(
     deadline: Deadline,
     health: &mut SolverHealth,
 ) -> LpOutcome {
+    solve_lp_with_duals(model, lb, ub, iter_limit, deadline, health, None)
+}
+
+/// [`solve_lp`], optionally extracting dual multipliers into `duals`.
+///
+/// On [`LpOutcome::Optimal`] the phase-2 duals `y = c_Bᵀ B⁻¹` are
+/// written (a Lagrangian bound on the relaxation); on
+/// [`LpOutcome::Infeasible`] the phase-1 duals are written with
+/// `farkas = true` (an exact checker can verify they refute the box).
+/// Other outcomes, and degenerate infeasibilities detected before the
+/// tableau exists, leave `duals.y` empty. Extraction is pure
+/// observation: the pivot sequence is identical with or without it.
+pub fn solve_lp_with_duals(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    iter_limit: u64,
+    deadline: Deadline,
+    health: &mut SolverHealth,
+    mut duals: Option<&mut DualInfo>,
+) -> LpOutcome {
     debug_assert_eq!(lb.len(), model.num_vars());
     debug_assert_eq!(ub.len(), model.num_vars());
+    if let Some(d) = duals.as_deref_mut() {
+        d.y.clear();
+        d.farkas = false;
+    }
     // Trivial infeasibility: crossed bounds.
     if lb.iter().zip(ub).any(|(l, u)| l > u) {
         return LpOutcome::Infeasible { iters: 0 };
@@ -628,6 +701,12 @@ pub fn solve_lp(
             return abort(StopReason::Numerical, t.iters, health);
         }
         if infeas > 1e-6 {
+            if let Some(d) = duals.as_deref_mut() {
+                d.y = vec![0.0; t.m];
+                t.btran(&costs, &mut d.y);
+                clamp_duals(model, &mut d.y);
+                d.farkas = true;
+            }
             return LpOutcome::Infeasible { iters: t.iters };
         }
         // Pin artificials to zero for phase 2.
@@ -659,6 +738,11 @@ pub fn solve_lp(
     if !obj.is_finite() || x.iter().any(|v| !v.is_finite()) {
         health.nan_events += 1;
         return abort(StopReason::Numerical, t.iters, health);
+    }
+    if let Some(d) = duals {
+        d.y = vec![0.0; t.m];
+        t.btran(&costs, &mut d.y);
+        clamp_duals(model, &mut d.y);
     }
     LpOutcome::Optimal {
         x,

@@ -9,7 +9,8 @@
 //! * `T…` — translation-validation errors (this crate's
 //!   [`validate`](crate::validate::validate)),
 //! * `L…` — allocation-quality lints (this crate's
-//!   [`lint_allocation`](crate::validate::lint_allocation)).
+//!   [`lint_allocation`](crate::validate::lint_allocation)),
+//! * `A…` — solver-certificate audit findings (`regalloc-audit`).
 //!
 //! Codes are append-only: a code's meaning never changes once released,
 //! so `--deny <code>` pins stay valid across versions.
@@ -136,6 +137,29 @@ codes! {
     L_SPILL_PING_PONG = "L004", "spill-ping-pong";
     /// A definition register outside the machine's class for its width.
     L_UNALLOCATABLE_WIDTH = "L005", "unallocatable-width";
+
+    // A-codes: certificate-audit findings (`regalloc-audit`). The anchor
+    // coordinate is reused as `b0:<leaf index>` — certificates have no
+    // program point, only branch-and-bound leaves.
+    /// A dual multiplier violates its row's sign condition.
+    A_DUAL_SIGN = "A001", "dual-sign-violation";
+    /// A prune claim's exact dual bound does not dominate the incumbent.
+    A_WEAK_BOUND = "A002", "weak-bound";
+    /// A Farkas claim's exact dual objective is not strictly positive.
+    A_FARKAS_NOT_POSITIVE = "A003", "farkas-not-positive";
+    /// The incumbent assignment violates a model constraint or fixing.
+    A_INCUMBENT_INFEASIBLE = "A004", "incumbent-infeasible";
+    /// The incumbent's exact objective differs from the claimed value.
+    A_OBJECTIVE_MISMATCH = "A005", "objective-mismatch";
+    /// The leaves do not cover the branch tree (a subtree has no claim).
+    A_COVERAGE_GAP = "A006", "coverage-gap";
+    /// A recorded propagation step is not implied by the current bounds.
+    A_DEDUCTION_UNJUSTIFIED = "A007", "deduction-unjustified";
+    /// An optimality claim arrived with no certificate attached.
+    A_MISSING_CERTIFICATE = "A008", "missing-certificate";
+    /// The certificate is structurally broken (bad index, wrong length,
+    /// or rational arithmetic overflowed i128 while checking it).
+    A_MALFORMED_CERTIFICATE = "A009", "malformed-certificate";
 }
 
 /// Look a code up by id or slug.

@@ -44,10 +44,12 @@ pub enum Phase {
     Lint,
     /// Solution-cache lookup and revalidation.
     Cache,
+    /// Certificate auditing (exact-rational proof checking).
+    Audit,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Build,
         Phase::Solve,
         Phase::Presolve,
@@ -61,6 +63,7 @@ impl Phase {
         Phase::Encode,
         Phase::Lint,
         Phase::Cache,
+        Phase::Audit,
     ];
 
     pub fn name(self) -> &'static str {
@@ -78,6 +81,7 @@ impl Phase {
             Phase::Encode => "encode",
             Phase::Lint => "lint",
             Phase::Cache => "cache",
+            Phase::Audit => "audit",
         }
     }
 
@@ -155,6 +159,11 @@ pub enum Event {
     CacheLookup { outcome: &'static str },
     /// Lint findings for this function, one event per diagnostic code.
     LintFindings { code: &'static str, count: u64 },
+    /// A solver proof certificate passed the exact-rational audit.
+    CertificateChecked { leaves: u64 },
+    /// A certificate was rejected (or missing); `code` is the slug of the
+    /// first audit finding (e.g. `weak-bound`, `missing-certificate`).
+    CertificateRejected { code: &'static str },
 }
 
 impl Event {
@@ -175,6 +184,8 @@ impl Event {
             Event::Accepted { .. } => "accepted",
             Event::CacheLookup { .. } => "cache",
             Event::LintFindings { .. } => "lint",
+            Event::CertificateChecked { .. } => "certificate-checked",
+            Event::CertificateRejected { .. } => "certificate-rejected",
         }
     }
 }
@@ -495,6 +506,13 @@ pub fn jsonl_events(out: &mut String, trace: &FunctionTrace) {
                 out.push_str(",\"code\":");
                 push_json_str(out, code);
                 let _ = write!(out, ",\"count\":{count}");
+            }
+            Event::CertificateChecked { leaves } => {
+                let _ = write!(out, ",\"leaves\":{leaves}");
+            }
+            Event::CertificateRejected { code } => {
+                out.push_str(",\"code\":");
+                push_json_str(out, code);
             }
         }
         out.push_str("}\n");

@@ -93,6 +93,7 @@ fn soak_driver_config(jobs: usize) -> DriverConfig {
             lp_iter_limit: 2_000,
             node_limit: 16,
             max_rows: 600,
+            ..SolverConfig::default()
         },
         function_budget: Duration::from_secs(2),
         cache: CacheMode::Memory,

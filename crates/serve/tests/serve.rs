@@ -19,6 +19,7 @@ fn test_driver_cfg(jobs: usize) -> DriverConfig {
             lp_iter_limit: 2_000,
             node_limit: 16,
             max_rows: 600,
+            ..SolverConfig::default()
         },
         function_budget: Duration::from_secs(2),
         cache: CacheMode::Memory,

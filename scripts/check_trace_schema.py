@@ -21,7 +21,7 @@ import sys
 PHASES = {
     "build", "solve", "presolve", "simplex", "rewrite", "verify",
     "static-validate", "interp-check", "baseline", "fallback", "encode",
-    "lint", "cache",
+    "lint", "cache", "audit",
 }
 CACHE_OUTCOMES = {"hit", "miss", "stale", "rejected"}
 RUNGS = {"ip-optimal", "ip-incumbent", "warm-start", "coloring", "spill-all"}
@@ -59,6 +59,8 @@ SCHEMAS = {
     "accepted": {"rung": RUNGS.__contains__, "warm_start": WARM_KINDS.__contains__},
     "cache": {"outcome": CACHE_OUTCOMES.__contains__},
     "lint": {"code": is_str, "count": is_u64},
+    "certificate-checked": {"leaves": is_u64},
+    "certificate-rejected": {"code": is_str},
     "timing": {"phase": PHASES.__contains__, "seconds": is_num},
 }
 

@@ -1,0 +1,20 @@
+// Nested for loops with an expression init in the inner header and an
+// early exit out of a for(;;) scan: exercises every desugaring path
+// (decl init, expression init, empty clauses, appended step).
+int nested_for(int *m, int w, int h) {
+    if (w > 8) { w = 8; }
+    if (h > 8) { h = 8; }
+    int acc = 0;
+    for (int r = 0; r < h; r = r + 1) {
+        int c;
+        for (c = 0; c < w; c = c + 1) {
+            acc = acc + m[r * w + c];
+        }
+    }
+    int i = 0;
+    for (;;) {
+        if (i >= w) { return acc; }
+        acc = acc + i;
+        i = i + 1;
+    }
+}

@@ -1,0 +1,10 @@
+// Triangular-number sum written with a for loop (the parser desugars
+// it to the while form the lowering knows).
+int sum_for(int n) {
+    if (n > 100) { n = 100; }
+    int s = 0;
+    for (int i = 1; i <= n; i = i + 1) {
+        s = s + i;
+    }
+    return s;
+}

@@ -122,6 +122,7 @@ fn driver_output_over_corpus_is_deterministic_across_jobs() {
                 lp_iter_limit: 2_000,
                 node_limit: 16,
                 max_rows: 600,
+                ..SolverConfig::default()
             },
             function_budget: Duration::from_secs(300),
             global_budget: None,
@@ -134,6 +135,7 @@ fn driver_output_over_corpus_is_deterministic_across_jobs() {
             revalidate_cache: true,
             warm_starts: false,
             warm_start_distance: 0.25,
+            audit: false,
             trace: false,
         };
         let out = run_suite(&funcs, &cfg);

@@ -160,6 +160,7 @@ fn lint_report_is_deterministic_across_jobs() {
                 lp_iter_limit: 2_000,
                 node_limit: 16,
                 max_rows: 600,
+                ..SolverConfig::default()
             },
             function_budget: Duration::from_secs(300),
             global_budget: None,
@@ -173,6 +174,7 @@ fn lint_report_is_deterministic_across_jobs() {
             // No cache, so no donor snapshot exists to warm-start from.
             warm_starts: false,
             warm_start_distance: 0.25,
+            audit: false,
             trace: false,
         };
         let out = run_suite(&suite.functions, &cfg);
