@@ -1,0 +1,126 @@
+//! §6 generalized — the IP model across every registered target.
+//!
+//! The paper compares the x86 model against a uniform 24-register RISC
+//! and finds the irregular machine's model *smaller* (fewer registers →
+//! fewer variables and constraints), turning irregularity into a solver
+//! advantage. With the target registry this binary extends that
+//! comparison to all registered machines, including the 8-register
+//! accumulator MCU, over two function pools:
+//!
+//! * the **portable** pool — 16-bit, no symbolic addressing — which every
+//!   target's register classes accept, so all machines model the *same*
+//!   functions; and
+//! * the **classic** pool — the paper's 32-bit workload mix — which the
+//!   MCU refuses (its pair registers stop at 16 bits), reproducing the
+//!   original two-machine table.
+//!
+//! For each pool the table reports per-target totals and the
+//! constraint-count ratio against the x86 baseline.
+
+use regalloc_bench::Options;
+use regalloc_core::targets;
+use regalloc_core::IpAllocator;
+use regalloc_ir::Function;
+use regalloc_machine::{refuses, TargetId};
+use regalloc_workloads::{fuzz_function, GenConfig};
+
+struct Row {
+    target: TargetId,
+    functions: usize,
+    constraints: usize,
+    variables: usize,
+}
+
+fn measure(o: &Options, pool: &[Function]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (t, m) in targets::all() {
+        let ip = IpAllocator::new(m.as_ref()).with_solver_config(o.solver());
+        let (mut n, mut c, mut v) = (0usize, 0usize, 0usize);
+        for f in pool {
+            if refuses(m.as_ref(), f) {
+                continue;
+            }
+            let built = ip.build_only(f).expect("accepted function must model");
+            n += 1;
+            c += built.model.num_rows();
+            v += built.model.num_vars();
+        }
+        rows.push(Row {
+            target: t,
+            functions: n,
+            constraints: c,
+            variables: v,
+        });
+    }
+    rows
+}
+
+fn print_table(title: &str, pool_size: usize, rows: &[Row]) {
+    println!("{title} ({pool_size} functions in pool)");
+    println!(
+        "  {:<12} {:>9} {:>12} {:>10} {:>10}",
+        "target", "functions", "constraints", "variables", "vs x86"
+    );
+    let base = rows
+        .iter()
+        .find(|r| r.target == TargetId::X86Pentium)
+        .map(|r| r.constraints)
+        .unwrap_or(0);
+    for r in rows {
+        let ratio = if base > 0 && r.functions > 0 {
+            format!("{:.2}", r.constraints as f64 / base as f64)
+        } else {
+            "—".to_string()
+        };
+        println!(
+            "  {:<12} {:>9} {:>12} {:>10} {:>10}",
+            r.target.name(),
+            r.functions,
+            r.constraints,
+            r.variables,
+            ratio
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let o = Options::from_args();
+    // Pool sizes follow --scale like the other binaries; model building
+    // dominates, so the samples stay light.
+    let count = ((o.scale * 250.0).round() as usize).max(8);
+
+    let portable: Vec<Function> = (0..count)
+        .map(|i| {
+            fuzz_function(
+                &format!("p16_{i}"),
+                o.seed.wrapping_add(i as u64),
+                &GenConfig::portable16(),
+            )
+        })
+        .collect();
+    let classic: Vec<Function> = (0..count)
+        .map(|i| {
+            fuzz_function(
+                &format!("c32_{i}"),
+                o.seed.wrapping_add(0x9e37 + i as u64),
+                &GenConfig::fuzz(),
+            )
+        })
+        .collect();
+
+    println!("per-target IP model comparison (§6, generalized)\n");
+    print_table(
+        "portable 16-bit pool — every target attempts",
+        portable.len(),
+        &measure(&o, &portable),
+    );
+    print_table(
+        "classic 32-bit pool — the paper's workload mix",
+        classic.len(),
+        &measure(&o, &classic),
+    );
+    println!("paper: fewer allocatable registers -> a smaller 0-1 model; the x86's");
+    println!("       irregularity is a size advantage, and the MCU (8 registers,");
+    println!("       accumulator-pinned) continues the trend below the x86.");
+}

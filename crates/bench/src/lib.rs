@@ -30,12 +30,16 @@ use std::time::Duration;
 use regalloc_core::{ReasonCode, Rung, SpillStats, WarmStartKind};
 use regalloc_driver::{run_suite, CacheMode, DriverConfig, DriverStats};
 use regalloc_ilp::SolverConfig;
+use regalloc_machine::TargetId;
 use regalloc_obs::{FunctionTrace, Metrics, Phase};
 use regalloc_workloads::{Benchmark, Suite};
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Clone, Debug)]
 pub struct Options {
+    /// Target machine the driver allocates for (the paper's tables are
+    /// measured on the default x86 Pentium model).
+    pub target: TargetId,
     /// Fraction of each benchmark's paper function count to generate.
     pub scale: f64,
     /// Workload seed.
@@ -58,6 +62,7 @@ pub struct Options {
 impl Default for Options {
     fn default() -> Options {
         Options {
+            target: TargetId::X86Pentium,
             scale: 0.2,
             seed: 1998,
             time_limit: Duration::from_secs(4),
@@ -93,6 +98,11 @@ impl Options {
                     .unwrap_or_else(|| panic!("missing value for {}", args[i]))
             };
             match args[i].as_str() {
+                "--target" => {
+                    let t = need(i);
+                    o.target = TargetId::parse(t).unwrap_or_else(|| panic!("unknown target `{t}`"));
+                    i += 2;
+                }
                 "--scale" => {
                     o.scale = need(i).parse().expect("--scale takes a float");
                     i += 2;
@@ -136,8 +146,9 @@ impl Options {
                     i += 1;
                 }
                 other => panic!(
-                    "unknown argument {other}; supported: --scale --seed --time-limit \
-                     --jobs --budget-secs --cache-dir --no-cache --warm-starts --audit"
+                    "unknown argument {other}; supported: --target --scale --seed \
+                     --time-limit --jobs --budget-secs --cache-dir --no-cache \
+                     --warm-starts --audit"
                 ),
             }
         }
@@ -158,6 +169,7 @@ impl Options {
     /// The driver configuration the options describe.
     pub fn driver(&self) -> DriverConfig {
         DriverConfig {
+            target: self.target,
             jobs: self.jobs,
             solver: self.solver(),
             function_budget: self

@@ -18,10 +18,13 @@
 use std::fmt;
 
 use regalloc_ir::Function;
+use regalloc_machine::TargetId;
 
 pub mod lex;
 pub mod lower;
 pub mod parse;
+
+pub use lower::LowerOptions;
 
 /// A located front-end error (lex, parse or lowering).
 ///
@@ -70,9 +73,32 @@ impl std::error::Error for CcError {}
 /// Returns a located [`CcError`] for lexical, syntactic and
 /// type/lowering errors.
 pub fn compile(src: &str) -> Result<Vec<Function>, CcError> {
+    compile_with(src, &LowerOptions::default())
+}
+
+/// Compile under explicit lowering options (word width, addressing
+/// shapes, frame placement).
+///
+/// # Errors
+///
+/// Returns a located [`CcError`] for lexical, syntactic and
+/// type/lowering errors.
+pub fn compile_with(src: &str, opts: &LowerOptions) -> Result<Vec<Function>, CcError> {
     let toks = lex::lex(src)?;
     let decls = parse::Parser::new(toks).program()?;
-    lower::lower_program(&decls)
+    lower::lower_program_with(&decls, opts)
+}
+
+/// Compile for a registered target: `int` and pointers take the
+/// target's word width, and only addressing shapes the target encodes
+/// are emitted. `compile_for(src, TargetId::X86Pentium)` is exactly
+/// [`compile`].
+///
+/// # Errors
+///
+/// Propagates [`compile_with`] errors.
+pub fn compile_for(src: &str, target: TargetId) -> Result<Vec<Function>, CcError> {
+    compile_with(src, &LowerOptions::for_target(target))
 }
 
 /// Compile a translation unit to textual IR: a `;`-comment header
@@ -84,7 +110,16 @@ pub fn compile(src: &str) -> Result<Vec<Function>, CcError> {
 ///
 /// Propagates [`compile`] errors.
 pub fn compile_to_ir(src: &str) -> Result<String, CcError> {
-    let funcs = compile(src)?;
+    compile_to_ir_with(src, &LowerOptions::default())
+}
+
+/// [`compile_to_ir`] under explicit lowering options.
+///
+/// # Errors
+///
+/// Propagates [`compile_with`] errors.
+pub fn compile_to_ir_with(src: &str, opts: &LowerOptions) -> Result<String, CcError> {
+    let funcs = compile_with(src, opts)?;
     let mut out = String::from("; compiled by regalloc-cc\n");
     for f in &funcs {
         out.push('\n');
@@ -206,6 +241,80 @@ mod tests {
         for f in &funcs {
             verify_function(f).unwrap();
         }
+    }
+
+    #[test]
+    fn address_of_pins_locals_to_memory() {
+        let src = r#"
+            int swap_sum(int a, int b) {
+                int x = a;
+                int y = b;
+                int *p = &x;
+                int *q = &y;
+                int t = *p;
+                *p = *q;
+                *q = t;
+                return x * 256 + y;
+            }
+        "#;
+        let funcs = compile(src).unwrap();
+        let f = &funcs[0];
+        verify_function(f).unwrap();
+        // x and y live at fixed absolute slots; every access is a
+        // memory operation, so no register ever holds an aliased value.
+        let text = f.to_string();
+        assert!(text.contains("[16252928]"), "{text}");
+        assert!(text.contains("[16252936]"), "{text}");
+        assert_eq!(run(src, "swap_sum", &[3, 7]), 7 * 256 + 3);
+        // Taking the address of anything but a local is rejected.
+        let e = compile("int g = 1; int f() { return *&g; }").unwrap_err();
+        assert!(e.message.contains("locals"), "{e}");
+        let e = compile("int f(int x) { return *&(x + 1); }").unwrap_err();
+        assert!(e.message.contains("named variables"), "{e}");
+    }
+
+    #[test]
+    fn address_of_params_and_round_trip() {
+        let src = r#"
+            int through(int v) {
+                int *p = &v;
+                *p = *p + 5;
+                return v;
+            }
+        "#;
+        assert_eq!(run(src, "through", &[10]), 15);
+        let funcs = compile(src).unwrap();
+        let back = parse_function(&funcs[0].to_string()).unwrap();
+        assert_eq!(fingerprint(&funcs[0]), fingerprint(&back));
+    }
+
+    #[test]
+    fn mcu_lowering_narrows_word_and_avoids_scaled_addressing() {
+        let src = r#"
+            int at(int *p, int i) { return p[i]; }
+            int sum_to(int n) {
+                int s = 0;
+                int i = 1;
+                while (i <= n) { s = s + i; i = i + 1; }
+                return s;
+            }
+        "#;
+        let x86 = compile(src).unwrap();
+        let mcu = compile_for(src, regalloc_machine::TargetId::Mcu).unwrap();
+        // x86 indexes with a scaled mode; the MCU shifts and adds.
+        assert!(x86[0].to_string().contains("*4"), "{}", x86[0]);
+        let mt = mcu[0].to_string();
+        assert!(!mt.contains("*2") && !mt.contains("*4"), "{mt}");
+        // Every MCU value is 16-bit or narrower.
+        for f in &mcu {
+            verify_function(f).unwrap();
+            for s in f.sym_ids() {
+                assert!(f.sym_width(s).bits() <= 16, "{}: {s}", f.name());
+            }
+        }
+        // Same observable result where values fit the narrow word.
+        let out = Interp::new(&mcu[1], SymRegFile, InterpConfig::default(), &[10]).run();
+        assert_eq!(out.ret, Some(55));
     }
 
     #[test]

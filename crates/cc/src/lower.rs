@@ -3,14 +3,19 @@
 //! Shapes that keep the textual IR round-trippable (the fuzzer's
 //! interchange format):
 //!
-//! * every branch compares at 32 bits — `long` values cannot appear in
-//!   conditions (a located error; the textual grammar does not record a
-//!   branch width);
+//! * every branch compares at the target word width — `long` values
+//!   cannot appear in conditions (a located error);
 //! * call results are always `int` (the IR models callees as opaque
-//!   deterministic effects, so cross-function values stay 32-bit);
+//!   deterministic effects, so cross-function values stay word-sized);
 //! * locals without initializers are defined to zero at declaration, so
 //!   every symbolic register has a defining instruction the IR parser
-//!   can reconstruct widths from.
+//!   can reconstruct widths from;
+//! * address-taken locals (`&x` anywhere in the function) are pinned to
+//!   fixed absolute memory slots and never become symbolic registers —
+//!   every read loads and every write stores through
+//!   `[frame_base + k*8]`, and `&x` is simply that address as an
+//!   integer. Registers can thus never have to hold an aliased value,
+//!   matching how the paper's compilers treat `&`.
 //!
 //! C parameters become the IR's parameter globals (`§5.5` predefined
 //! memory values) loaded into locals at entry; file-scope globals are
@@ -19,7 +24,7 @@
 //! and any function containing a call marks its used file-scope globals
 //! aliased (a callee may touch any global, as in C).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use regalloc_ir::{
     Address, BinOp, Cond, Function, FunctionBuilder, GlobalId, Inst, Operand, Scale, SymId, Width,
@@ -48,10 +53,43 @@ impl CalleeMap {
     }
 }
 
-fn width_of(ty: &CType) -> Width {
-    match ty {
-        CType::Long => Width::B64,
-        _ => Width::B32,
+/// Target-dependent lowering choices. The default is the 32-bit model
+/// every x86-class target uses; [`LowerOptions::for_target`] derives the
+/// right options for any registered target.
+#[derive(Clone, Debug)]
+pub struct LowerOptions {
+    /// Width of `int` and of pointers.
+    pub word: Width,
+    /// Whether scaled-index addressing (`[base + idx*s]`) may be used
+    /// for `p[i]`; targets without it get an explicit shift-and-add.
+    pub scaled_index: bool,
+    /// Base address of the fixed slots backing address-taken locals.
+    pub frame_base: i32,
+}
+
+impl Default for LowerOptions {
+    fn default() -> LowerOptions {
+        LowerOptions {
+            word: Width::B32,
+            scaled_index: true,
+            frame_base: 0x00F8_0000,
+        }
+    }
+}
+
+impl LowerOptions {
+    /// The options matching a registered target: the MCU has a 16-bit
+    /// word, no scaled addressing, and a 16-bit address space for the
+    /// frame slots; everything else takes the 32-bit defaults.
+    pub fn for_target(t: regalloc_machine::TargetId) -> LowerOptions {
+        match t {
+            regalloc_machine::TargetId::Mcu => LowerOptions {
+                word: Width::B16,
+                scaled_index: false,
+                frame_base: 0x4000,
+            },
+            _ => LowerOptions::default(),
+        }
     }
 }
 
@@ -64,9 +102,17 @@ struct Val {
     lit: bool,
 }
 
+/// Where a local lives: a symbolic register, or — when its address is
+/// taken anywhere in the function — a fixed absolute memory slot.
+#[derive(Clone, Copy)]
+enum LocalSlot {
+    Reg(SymId),
+    Mem(i32),
+}
+
 #[derive(Clone)]
 struct Local {
-    sym: SymId,
+    slot: LocalSlot,
     ty: CType,
 }
 
@@ -77,6 +123,7 @@ struct FileGlobal {
 
 pub struct Lower<'p> {
     b: FunctionBuilder,
+    opts: &'p LowerOptions,
     locals: Vec<HashMap<String, Local>>,
     file_globals: &'p HashMap<String, FileGlobal>,
     used_globals: HashMap<String, (GlobalId, CType)>,
@@ -84,8 +131,21 @@ pub struct Lower<'p> {
     callees: &'p mut CalleeMap,
     ret_ty: CType,
     has_call: bool,
+    /// Names whose address is taken somewhere in this function.
+    addressed: HashSet<String>,
+    /// Next free frame-slot index for address-taken locals.
+    frame_next: i32,
     /// Whether the current block still needs a terminator.
     open: bool,
+}
+
+/// The absolute address of an allocated frame slot.
+fn frame_addr(disp: i32) -> Address {
+    Address::Indirect {
+        base: None,
+        index: None,
+        disp,
+    }
 }
 
 fn err<T>(e: &Expr, msg: impl Into<String>) -> Result<T, CcError> {
@@ -93,15 +153,39 @@ fn err<T>(e: &Expr, msg: impl Into<String>) -> Result<T, CcError> {
 }
 
 impl<'p> Lower<'p> {
+    fn width_of(&self, ty: &CType) -> Width {
+        match ty {
+            CType::Long => Width::B64,
+            _ => self.opts.word,
+        }
+    }
+
+    /// Size of a value of `ty` in bytes under these options (`int` and
+    /// pointers are word-sized, `long` is always 8).
+    fn size_of(&self, ty: &CType) -> i64 {
+        match ty {
+            CType::Long => 8,
+            _ => self.opts.word.bytes() as i64,
+        }
+    }
+
+    /// Allocate the next fixed slot for an address-taken local. Slots
+    /// are 8 bytes apart so any scalar fits regardless of type.
+    fn alloc_frame_slot(&mut self) -> i32 {
+        let d = self.opts.frame_base + self.frame_next * 8;
+        self.frame_next += 1;
+        d
+    }
+
     fn lookup(&self, name: &str) -> Option<Local> {
         self.locals.iter().rev().find_map(|s| s.get(name)).cloned()
     }
 
-    fn bind(&mut self, name: &str, sym: SymId, ty: CType) {
+    fn bind(&mut self, name: &str, slot: LocalSlot, ty: CType) {
         self.locals
             .last_mut()
             .unwrap()
-            .insert(name.to_string(), Local { sym, ty });
+            .insert(name.to_string(), Local { slot, ty });
     }
 
     /// Materialize a file-scope global into this function on first use.
@@ -112,7 +196,7 @@ impl<'p> Lower<'p> {
         let Some(fg) = self.file_globals.get(name) else {
             return err(e, format!("unknown variable `{name}`"));
         };
-        let gid = self.b.new_global(name, width_of(&fg.ty), fg.init);
+        let gid = self.b.new_global(name, self.width_of(&fg.ty), fg.init);
         self.used_globals
             .insert(name.to_string(), (gid, fg.ty.clone()));
         self.used_order.push(gid);
@@ -120,7 +204,8 @@ impl<'p> Lower<'p> {
     }
 
     fn fresh(&mut self, ty: &CType) -> SymId {
-        self.b.new_sym(width_of(ty))
+        let w = self.width_of(ty);
+        self.b.new_sym(w)
     }
 
     /// Force a value into a symbolic register.
@@ -178,8 +263,17 @@ impl<'p> Lower<'p> {
             }),
             ExprKind::Var(name) => {
                 if let Some(l) = self.lookup(name) {
+                    let op = match l.slot {
+                        LocalSlot::Reg(s) => Operand::sym(s),
+                        LocalSlot::Mem(disp) => {
+                            // Address-taken: every read goes to memory.
+                            let d = self.fresh(&l.ty);
+                            self.b.load(d, frame_addr(disp));
+                            Operand::sym(d)
+                        }
+                    };
                     return Ok(Val {
-                        op: Operand::sym(l.sym),
+                        op,
                         ty: l.ty,
                         lit: false,
                     });
@@ -204,6 +298,23 @@ impl<'p> Lower<'p> {
                 Ok(Val {
                     op: Operand::sym(d),
                     ty: elem,
+                    lit: false,
+                })
+            }
+            ExprKind::Addr(name) => {
+                let Some(l) = self.lookup(name) else {
+                    return err(
+                        e,
+                        format!("`&` applies only to locals; `{name}` is not one in scope"),
+                    );
+                };
+                let LocalSlot::Mem(disp) = l.slot else {
+                    unreachable!("addressed locals are memory-pinned at declaration")
+                };
+                // The address itself is just a word-sized integer.
+                Ok(Val {
+                    op: Operand::Imm(disp as i64),
+                    ty: CType::Ptr(Box::new(l.ty)),
                     lit: false,
                 })
             }
@@ -304,12 +415,13 @@ impl<'p> Lower<'p> {
                 return err(e, "pointer offsets must be `int`");
             }
             let elem = pv.ty.pointee().unwrap().clone();
+            let esize = self.size_of(&elem);
             let scaled = match iv.op {
-                Operand::Imm(n) => Operand::Imm(n.wrapping_mul(elem.size())),
+                Operand::Imm(n) => Operand::Imm(n.wrapping_mul(esize)),
                 _ => {
                     let i = self.as_sym(iv);
                     let t = self.fresh(&CType::Int);
-                    let shift = if elem.size() == 8 { 3 } else { 2 };
+                    let shift = esize.trailing_zeros() as i64;
                     self.b
                         .bin(BinOp::Shl, t, Operand::sym(i), Operand::Imm(shift));
                     Operand::sym(t)
@@ -406,8 +518,9 @@ impl<'p> Lower<'p> {
                     }
                 }
                 self.unify(e, &lv, &rv)?;
+                let w = self.opts.word;
                 self.b
-                    .branch(cond_of(*op).unwrap(), lv.op, rv.op, Width::B32, tb, fb);
+                    .branch(cond_of(*op).unwrap(), lv.op, rv.op, w, tb, fb);
                 Ok(())
             }
             ExprKind::Bin(BinOpK::LAnd, l, r) => {
@@ -425,8 +538,8 @@ impl<'p> Lower<'p> {
             ExprKind::Un(UnOpK::LogNot, inner) => self.condition(inner, fb, tb),
             _ => {
                 let v = self.cond_operand(e)?;
-                self.b
-                    .branch(Cond::Ne, v, Operand::Imm(0), Width::B32, tb, fb);
+                let w = self.opts.word;
+                self.b.branch(Cond::Ne, v, Operand::Imm(0), w, tb, fb);
                 Ok(())
             }
         }
@@ -438,16 +551,25 @@ impl<'p> Lower<'p> {
                 if let Some(l) = self.lookup(name) {
                     let v = self.value_hint(rhs, Some(&l.ty))?;
                     self.check_assignable(e, &l.ty, &v)?;
-                    match v.op {
-                        Operand::Imm(imm) => self.b.load_imm(l.sym, imm),
-                        Operand::Loc(regalloc_ir::Loc::Sym(s)) => self.b.copy(l.sym, s),
-                        _ => unreachable!(),
+                    match l.slot {
+                        LocalSlot::Reg(sym) => {
+                            match v.op {
+                                Operand::Imm(imm) => self.b.load_imm(sym, imm),
+                                Operand::Loc(regalloc_ir::Loc::Sym(s)) => self.b.copy(sym, s),
+                                _ => unreachable!(),
+                            }
+                            return Ok(Val {
+                                op: Operand::sym(sym),
+                                ty: l.ty,
+                                lit: false,
+                            });
+                        }
+                        LocalSlot::Mem(disp) => {
+                            let w = self.width_of(&l.ty);
+                            self.b.store(frame_addr(disp), v.op, w);
+                            return Ok(v);
+                        }
                     }
-                    return Ok(Val {
-                        op: Operand::sym(l.sym),
-                        ty: l.ty,
-                        lit: false,
-                    });
                 }
                 let (gid, ty) = self.global(target, name)?;
                 let v = self.value_hint(rhs, Some(&ty))?;
@@ -470,7 +592,7 @@ impl<'p> Lower<'p> {
                         disp: 0,
                     },
                     v.op,
-                    width_of(&elem),
+                    self.width_of(&elem),
                 );
                 Ok(v)
             }
@@ -478,7 +600,8 @@ impl<'p> Lower<'p> {
                 let (addr, elem) = self.element_address(e, p, i)?;
                 let v = self.value_hint(rhs, Some(&elem))?;
                 self.check_assignable(e, &elem, &v)?;
-                self.b.store(addr, v.op, width_of(&elem));
+                let w = self.width_of(&elem);
+                self.b.store(addr, v.op, w);
                 Ok(v)
             }
             _ => err(e, "invalid assignment target"),
@@ -510,22 +633,43 @@ impl<'p> Lower<'p> {
             return err(e, "array indices must be `int`");
         }
         let base = self.as_sym(&pv);
+        let esize = self.size_of(&elem);
         let addr = match iv.op {
             Operand::Imm(n) => Address::Indirect {
                 base: Some(regalloc_ir::Loc::Sym(base)),
                 index: None,
-                disp: n.wrapping_mul(elem.size()) as i32,
+                disp: n.wrapping_mul(esize) as i32,
             },
-            _ => {
+            _ if self.opts.scaled_index => {
                 let idx = self.as_sym(&iv);
-                let scale = if elem.size() == 8 {
-                    Scale::S8
-                } else {
-                    Scale::S4
+                let scale = match esize {
+                    8 => Scale::S8,
+                    4 => Scale::S4,
+                    _ => Scale::S2,
                 };
                 Address::Indirect {
                     base: Some(regalloc_ir::Loc::Sym(base)),
                     index: Some((regalloc_ir::Loc::Sym(idx), scale)),
+                    disp: 0,
+                }
+            }
+            _ => {
+                // No scaled addressing on this target: an explicit
+                // shift-and-add computes the element address.
+                let idx = self.as_sym(&iv);
+                let t = self.fresh(&CType::Int);
+                self.b.bin(
+                    BinOp::Shl,
+                    t,
+                    Operand::sym(idx),
+                    Operand::Imm(esize.trailing_zeros() as i64),
+                );
+                let a = self.fresh(&pv.ty);
+                self.b
+                    .bin(BinOp::Add, a, Operand::sym(base), Operand::sym(t));
+                Address::Indirect {
+                    base: Some(regalloc_ir::Loc::Sym(a)),
+                    index: None,
                     disp: 0,
                 }
             }
@@ -575,6 +719,23 @@ impl<'p> Lower<'p> {
                 Ok(())
             }
             Stmt::Decl { ty, name, init, .. } => {
+                if self.addressed.contains(name) {
+                    // Address-taken: the local lives in its fixed slot
+                    // from birth and never becomes a symbolic register.
+                    let op = match init {
+                        Some(e) => {
+                            let v = self.value_hint(e, Some(ty))?;
+                            self.check_assignable(e, ty, &v)?;
+                            v.op
+                        }
+                        None => Operand::Imm(0),
+                    };
+                    let disp = self.alloc_frame_slot();
+                    let w = self.width_of(ty);
+                    self.b.store(frame_addr(disp), op, w);
+                    self.bind(name, LocalSlot::Mem(disp), ty.clone());
+                    return Ok(());
+                }
                 let sym = self.fresh(ty);
                 match init {
                     Some(e) => {
@@ -590,7 +751,7 @@ impl<'p> Lower<'p> {
                     // every symbolic register has a def.
                     None => self.b.load_imm(sym, 0),
                 }
-                self.bind(name, sym, ty.clone());
+                self.bind(name, LocalSlot::Reg(sym), ty.clone());
                 Ok(())
             }
             Stmt::Ret(val, line, col) => {
@@ -666,6 +827,49 @@ fn cond_of(op: BinOpK) -> Option<Cond> {
     }
 }
 
+/// Collect every name that appears under unary `&` anywhere in `e`.
+fn addressed_in_expr(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Addr(name) => {
+            out.insert(name.clone());
+        }
+        ExprKind::Un(_, i) | ExprKind::Deref(i) => addressed_in_expr(i, out),
+        ExprKind::Bin(_, l, r) | ExprKind::Assign(l, r) | ExprKind::Index(l, r) => {
+            addressed_in_expr(l, out);
+            addressed_in_expr(r, out);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                addressed_in_expr(a, out);
+            }
+        }
+        ExprKind::Num(_) | ExprKind::Var(_) => {}
+    }
+}
+
+fn addressed_in_stmts(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for st in stmts {
+        match st {
+            Stmt::Expr(e) | Stmt::Ret(Some(e), _, _) => addressed_in_expr(e, out),
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    addressed_in_expr(e, out);
+                }
+            }
+            Stmt::Ret(None, _, _) => {}
+            Stmt::If { cond, then, els } => {
+                addressed_in_expr(cond, out);
+                addressed_in_stmts(then, out);
+                addressed_in_stmts(els, out);
+            }
+            Stmt::While { cond, body } => {
+                addressed_in_expr(cond, out);
+                addressed_in_stmts(body, out);
+            }
+        }
+    }
+}
+
 /// Lower one parsed function definition.
 fn lower_function(
     ret: &CType,
@@ -674,38 +878,48 @@ fn lower_function(
     body: &[Stmt],
     file_globals: &HashMap<String, FileGlobal>,
     callees: &mut CalleeMap,
+    opts: &LowerOptions,
 ) -> Result<Function, CcError> {
-    let mut b = FunctionBuilder::new(name);
-    let mut entry_locals = HashMap::new();
-    // Parameters arrive in the IR's predefined parameter slots and are
-    // loaded into assignable locals at entry.
-    let mut param_syms = Vec::new();
-    for p in params {
-        let g = b.new_param(&p.name, width_of(&p.ty));
-        param_syms.push((g, p));
-    }
-    for (g, p) in param_syms {
-        let s = b.new_sym(width_of(&p.ty));
-        b.load_global(s, g);
-        entry_locals.insert(
-            p.name.clone(),
-            Local {
-                sym: s,
-                ty: p.ty.clone(),
-            },
-        );
-    }
+    // Pre-scan: any name under `&` is memory-pinned for the whole
+    // function (a name-level rule — the subset has no shadow-sensitive
+    // aliasing).
+    let mut addressed = HashSet::new();
+    addressed_in_stmts(body, &mut addressed);
     let mut lw = Lower {
-        b,
-        locals: vec![entry_locals],
+        b: FunctionBuilder::new(name),
+        opts,
+        locals: vec![HashMap::new()],
         file_globals,
         used_globals: HashMap::new(),
         used_order: Vec::new(),
         callees,
         ret_ty: ret.clone(),
         has_call: false,
+        addressed,
+        frame_next: 0,
         open: true,
     };
+    // Parameters arrive in the IR's predefined parameter slots and are
+    // loaded into assignable locals at entry; address-taken parameters
+    // are immediately stored out to their fixed slots.
+    let mut param_syms = Vec::new();
+    for p in params {
+        let g = lw.b.new_param(&p.name, lw.width_of(&p.ty));
+        param_syms.push((g, p));
+    }
+    for (g, p) in param_syms {
+        let s = lw.b.new_sym(lw.width_of(&p.ty));
+        lw.b.load_global(s, g);
+        let slot = if lw.addressed.contains(&p.name) {
+            let disp = lw.alloc_frame_slot();
+            let w = lw.width_of(&p.ty);
+            lw.b.store(frame_addr(disp), Operand::sym(s), w);
+            LocalSlot::Mem(disp)
+        } else {
+            LocalSlot::Reg(s)
+        };
+        lw.bind(&p.name, slot, p.ty.clone());
+    }
     lw.stmts(body)?;
     if lw.open {
         // Falling off the end returns 0 (as `main` does in C).
@@ -722,8 +936,14 @@ fn lower_function(
     Ok(lw.b.finish())
 }
 
-/// Lower a whole parsed program to IR functions, in definition order.
+/// Lower a whole parsed program to IR functions, in definition order,
+/// under the default (32-bit) options.
 pub fn lower_program(decls: &[Decl]) -> Result<Vec<Function>, CcError> {
+    lower_program_with(decls, &LowerOptions::default())
+}
+
+/// Lower a whole parsed program under explicit target options.
+pub fn lower_program_with(decls: &[Decl], opts: &LowerOptions) -> Result<Vec<Function>, CcError> {
     let mut callees = CalleeMap::default();
     let mut file_globals: HashMap<String, FileGlobal> = HashMap::new();
     // Pass 1: number every known function name in program order and
@@ -771,6 +991,7 @@ pub fn lower_program(decls: &[Decl]) -> Result<Vec<Function>, CcError> {
                 body,
                 &file_globals,
                 &mut callees,
+                opts,
             )?);
         }
     }

@@ -1,8 +1,9 @@
 //! `regalloc-cc`: compile a C-subset source file to textual `regalloc-ir`.
 //!
 //! ```text
-//! regalloc-cc input.c            # IR to stdout
-//! regalloc-cc input.c -o out.ir  # IR to a file
+//! regalloc-cc input.c                 # IR to stdout
+//! regalloc-cc input.c -o out.ir       # IR to a file
+//! regalloc-cc --target mcu input.c    # lower for a registered target
 //! ```
 
 use std::process::ExitCode;
@@ -11,6 +12,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
+    let mut opts = regalloc_cc::LowerOptions::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -21,8 +23,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--target" => match it
+                .next()
+                .as_deref()
+                .and_then(regalloc_machine::TargetId::parse)
+            {
+                Some(t) => opts = regalloc_cc::LowerOptions::for_target(t),
+                None => {
+                    eprintln!(
+                        "regalloc-cc: --target requires one of: {}",
+                        regalloc_machine::TargetId::ALL.map(|t| t.name()).join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "-h" | "--help" => {
-                eprintln!("usage: regalloc-cc <input.c> [-o <output.ir>]");
+                eprintln!("usage: regalloc-cc [--target NAME] <input.c> [-o <output.ir>]");
                 return ExitCode::SUCCESS;
             }
             _ if input.is_none() => input = Some(a),
@@ -33,7 +49,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(input) = input else {
-        eprintln!("usage: regalloc-cc <input.c> [-o <output.ir>]");
+        eprintln!("usage: regalloc-cc [--target NAME] <input.c> [-o <output.ir>]");
         return ExitCode::from(2);
     };
     let src = match std::fs::read_to_string(&input) {
@@ -43,7 +59,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match regalloc_cc::compile_to_ir(&src) {
+    match regalloc_cc::compile_to_ir_with(&src, &opts) {
         Ok(ir) => {
             if let Some(out) = output {
                 if let Err(e) = std::fs::write(&out, ir) {

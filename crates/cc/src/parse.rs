@@ -7,9 +7,11 @@
 //! calls, array indexing and pointer dereference. `for` is pure sugar:
 //! the parser desugars `for (init; cond; step) body` into
 //! `init; while (cond) { body; step; }` (a missing condition is the
-//! constant 1, as in C), so lowering only ever sees `while`. Division,
-//! casts, `&` (address-of), structs and floating point are outside the
-//! subset and produce located errors.
+//! constant 1, as in C), so lowering only ever sees `while`. Unary `&`
+//! applies to named locals only (`&x`); taking the address of globals,
+//! dereferences or arbitrary expressions is rejected. Division, casts,
+//! structs and floating point are outside the subset and produce
+//! located errors.
 
 use crate::lex::{TokKind, Token};
 use crate::CcError;
@@ -98,6 +100,8 @@ pub enum ExprKind {
     Call(String, Vec<Expr>),
     Index(Box<Expr>, Box<Expr>),
     Deref(Box<Expr>),
+    /// `&name`: the address of a named local.
+    Addr(String),
 }
 
 #[derive(Clone, Debug)]
@@ -553,7 +557,17 @@ impl Parser {
             return Ok(self.mk(&t, ExprKind::Deref(Box::new(e))));
         }
         if self.at("&") {
-            return self.err_here("address-of is outside the subset");
+            let t = self.next();
+            let e = self.unary()?;
+            let ExprKind::Var(name) = e.kind else {
+                return Err(CcError::new(
+                    t.line,
+                    t.col,
+                    "&",
+                    "`&` applies only to named variables",
+                ));
+            };
+            return Ok(self.mk(&t, ExprKind::Addr(name)));
         }
         self.postfix()
     }
@@ -719,7 +733,8 @@ mod tests {
         assert!(e.message.contains("identifier"));
         let e = parse("int f() { int 9x; }").unwrap_err();
         assert!(e.message.contains("bad number"));
-        let e = parse("int f() { return &x; }").unwrap_err();
-        assert!(e.message.contains("address-of"));
+        // `&` binds to named variables only.
+        let e = parse("int f() { return &(1 + 2); }").unwrap_err();
+        assert!(e.message.contains("named variables"), "{}", e.message);
     }
 }

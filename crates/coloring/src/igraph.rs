@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use regalloc_ir::{Cfg, Function, Inst, Liveness, Loc, PhysReg, Profile, SymId};
-use regalloc_x86::Machine;
+use regalloc_machine::Machine;
 
 /// The interference graph over symbolic registers, with a union-find
 /// overlay for coalesced copies.
@@ -25,7 +25,7 @@ impl Graph {
     /// Build the graph for `work`: interference edges, per-symbolic
     /// allowed-register sets (width class ∩ pins ∩ callee-saved when live
     /// across a call), and conservative copy coalescing.
-    pub fn build<M: Machine>(
+    pub fn build<M: Machine + ?Sized>(
         work: &Function,
         cfg: &Cfg,
         live: &Liveness,
@@ -178,7 +178,7 @@ impl Graph {
     ///
     /// Returns the representatives that failed to receive a register,
     /// ordered cheapest-to-spill first.
-    pub fn color<M: Machine>(
+    pub fn color<M: Machine + ?Sized>(
         &self,
         machine: &M,
         work: &Function,

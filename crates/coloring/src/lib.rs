@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use regalloc_core::fallback;
 pub use regalloc_core::{AllocError, SpillStats};
 use regalloc_ir::{Cfg, Function, Inst, Liveness, Loc, LoopInfo, PhysReg, Profile, SymId};
-use regalloc_x86::Machine;
+use regalloc_machine::Machine;
 
 mod igraph;
 mod prepass;
@@ -51,12 +51,12 @@ pub struct ColoringOutcome {
 
 /// The graph-coloring allocator.
 #[derive(Clone, Debug)]
-pub struct ColoringAllocator<'m, M> {
+pub struct ColoringAllocator<'m, M: ?Sized> {
     machine: &'m M,
     max_rounds: usize,
 }
 
-impl<'m, M: Machine> ColoringAllocator<'m, M> {
+impl<'m, M: Machine + ?Sized> ColoringAllocator<'m, M> {
     /// A new allocator over the given machine model.
     pub fn new(machine: &'m M) -> ColoringAllocator<'m, M> {
         ColoringAllocator {
@@ -69,12 +69,12 @@ impl<'m, M: Machine> ColoringAllocator<'m, M> {
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::Uses64Bit`] for functions with 64-bit values,
-    /// exactly like the IP allocator, so Table 2's "attempted" column is
-    /// identical for both.
+    /// Returns [`AllocError::WidthRefused`] for functions using widths the
+    /// target's register classes refuse, exactly like the IP allocator, so
+    /// Table 2's "attempted" column is identical for both.
     pub fn allocate(&self, f: &Function) -> Result<ColoringOutcome, AllocError> {
-        if f.uses_64bit() {
-            return Err(AllocError::Uses64Bit);
+        if regalloc_machine::refuses(self.machine, f) {
+            return Err(AllocError::WidthRefused);
         }
         let cfg = Cfg::new(f);
         let loops = LoopInfo::new(f, &cfg);
@@ -148,7 +148,7 @@ impl<'m, M: Machine> ColoringAllocator<'m, M> {
     }
 }
 
-impl<'m, M: Machine> regalloc_core::BaselineAllocator for ColoringAllocator<'m, M> {
+impl<'m, M: Machine + ?Sized> regalloc_core::BaselineAllocator for ColoringAllocator<'m, M> {
     fn allocate_baseline(
         &self,
         f: &Function,
@@ -161,7 +161,7 @@ impl<'m, M: Machine> regalloc_core::BaselineAllocator for ColoringAllocator<'m, 
 }
 
 /// Insert spill-everywhere code for the chosen symbolics.
-fn spill<M: Machine>(
+fn spill<M: Machine + ?Sized>(
     work: &mut Function,
     spills: &[SymId],
     machine: &M,
@@ -275,7 +275,7 @@ fn rewrite(
     assignment: &HashMap<SymId, PhysReg>,
     graph: &Graph,
     profile: &Profile,
-    sc: &regalloc_x86::SpillCosts,
+    sc: &regalloc_machine::SpillCosts,
     stats: &mut SpillStats,
 ) -> Function {
     let mut nf = work.clone();

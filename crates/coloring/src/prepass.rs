@@ -22,11 +22,11 @@ use std::collections::HashMap;
 
 use regalloc_core::SpillStats;
 use regalloc_ir::{Function, Inst, Liveness, Loc, Operand, PhysReg, Profile, SymId, UseRole};
-use regalloc_x86::Machine;
+use regalloc_machine::Machine;
 
 /// Run the pre-pass over `work` in place, recording register pins for new
 /// temporaries and counting inserted copies into `stats`.
-pub fn run<M: Machine>(
+pub fn run<M: Machine + ?Sized>(
     work: &mut Function,
     machine: &M,
     profile: &Profile,
@@ -36,6 +36,10 @@ pub fn run<M: Machine>(
     let sc = *machine.spill_costs();
     let cfg = regalloc_ir::Cfg::new(work);
     let live = Liveness::new(work, &cfg);
+    // Symbols created below (pin-copy and shelter temporaries) postdate
+    // the liveness solve; they are single-use by construction and die at
+    // the instruction that consumes them.
+    let n_live = work.num_syms();
 
     for b in work.block_ids() {
         let freq = profile.freq(b) as i64;
@@ -182,8 +186,11 @@ pub fn run<M: Machine>(
                         // destination itself out of the combined position:
                         // `d = d op x` needs no copy at all, and a copy
                         // `d ← x` would clobber the rhs reference to d.
-                        let dies =
-                            |s: Option<SymId>| s.is_some_and(|s| !live_after.contains(s.index()));
+                        let dies = |s: Option<SymId>| {
+                            s.is_some_and(|s| {
+                                s.index() >= n_live || !live_after.contains(s.index())
+                            })
+                        };
                         if op.is_commutative()
                             && lhs_sym != Some(d)
                             && !dies(lhs_sym)

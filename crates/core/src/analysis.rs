@@ -103,7 +103,10 @@ impl Analysis {
 
 /// Classify symbolics: definition counts, rematerialisable constants,
 /// predefined-memory candidates.
-fn classify<M: Machine>(f: &Function, _machine: &M) -> (Vec<Option<i64>>, Vec<Option<GlobalId>>) {
+fn classify<M: Machine + ?Sized>(
+    f: &Function,
+    _machine: &M,
+) -> (Vec<Option<i64>>, Vec<Option<GlobalId>>) {
     let ns = f.num_syms();
     let mut def_count = vec![0u32; ns];
     let mut def_inst: Vec<Option<Inst>> = vec![None; ns];
@@ -157,7 +160,12 @@ fn classify<M: Machine>(f: &Function, _machine: &M) -> (Vec<Option<i64>>, Vec<Op
 }
 
 /// Run the analysis for `f`.
-pub fn analyze<M: Machine>(f: &Function, cfg: &Cfg, live: &Liveness, machine: &M) -> Analysis {
+pub fn analyze<M: Machine + ?Sized>(
+    f: &Function,
+    cfg: &Cfg,
+    live: &Liveness,
+    machine: &M,
+) -> Analysis {
     let (remat, predefined) = classify(f, machine);
     let mut a = Analysis {
         block_groups: vec![Vec::new(); f.num_blocks()],

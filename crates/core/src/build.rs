@@ -357,7 +357,7 @@ impl BuiltModel {
 /// conditioning of the simplex.
 pub const COST_SCALE: i64 = 64;
 
-struct Builder<'a, M> {
+struct Builder<'a, M: ?Sized> {
     f: &'a Function,
     cfg: &'a Cfg,
     profile: &'a Profile,
@@ -370,7 +370,7 @@ struct Builder<'a, M> {
     events: Vec<EventVars>,
 }
 
-impl<'a, M: Machine> Builder<'a, M> {
+impl<'a, M: Machine + ?Sized> Builder<'a, M> {
     fn regs(&self, s: SymId) -> &'a [PhysReg] {
         self.machine.regs_for_width(self.f.sym_width(s))
     }
@@ -1112,7 +1112,7 @@ impl<'a, M: Machine> Builder<'a, M> {
 }
 
 /// Build the integer program for `f`.
-pub fn build_model<M: Machine>(
+pub fn build_model<M: Machine + ?Sized>(
     f: &Function,
     cfg: &Cfg,
     profile: &Profile,

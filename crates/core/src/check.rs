@@ -57,6 +57,24 @@ pub fn equivalent<RF: RegFile + Default>(
     runs: usize,
     seed: u64,
 ) -> Result<(), String> {
+    equivalent_with(orig, alloc, runs, seed, RF::default)
+}
+
+/// [`equivalent`] with an explicit register-file factory — the form used
+/// by the target-generic pipeline, where the register file comes from
+/// [`regalloc_machine::Machine::new_regfile`] rather than a type
+/// parameter.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence found.
+pub fn equivalent_with<RF: RegFile>(
+    orig: &Function,
+    alloc: &Function,
+    runs: usize,
+    seed: u64,
+    mut regfile: impl FnMut() -> RF,
+) -> Result<(), String> {
     for run in 0..runs {
         let base = regalloc_ir::interp::mix64(seed ^ (run as u64) << 17);
         let nargs = orig.globals().iter().filter(|g| g.is_param).count();
@@ -68,7 +86,7 @@ pub fn equivalent<RF: RegFile + Default>(
             ..Default::default()
         };
         let o = Interp::new(orig, SymRegFile, cfg, &args).run();
-        let a = Interp::new(alloc, RF::default(), cfg, &args).run();
+        let a = Interp::new(alloc, regfile(), cfg, &args).run();
         outcomes_match(orig, &o, &a).map_err(|e| format!("run {run} (args {args:?}): {e}"))?;
     }
     Ok(())

@@ -61,7 +61,7 @@ impl std::error::Error for FallbackError {}
 /// for the instruction shapes the IR builder produces on the provided
 /// machine models, but a machine model with too few registers in a width
 /// class can trigger it.
-pub fn spill_everything<M: Machine>(
+pub fn spill_everything<M: Machine + ?Sized>(
     f: &Function,
     profile: &Profile,
     machine: &M,

@@ -72,13 +72,14 @@ pub mod pipeline;
 pub mod rewrite;
 pub mod stats;
 pub mod symbolic;
+pub mod targets;
 pub mod warm;
 
 use std::time::{Duration, Instant};
 
 use regalloc_ilp::{solve, SolverConfig, Status};
 use regalloc_ir::{Cfg, Function, Liveness, LoopInfo, Profile};
-use regalloc_x86::Machine;
+use regalloc_machine::{refuses, Machine};
 
 pub use cost::CostModel;
 pub use pipeline::{
@@ -91,10 +92,11 @@ pub use symbolic::{EventDecision, EventKey, RoleDecision, SymbolicSolution};
 /// Why a function could not be allocated at all.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AllocError {
-    /// The function manipulates 64-bit values, which the allocator does
-    /// not handle (such functions are "not attempted" in Table 2 of the
-    /// paper).
-    Uses64Bit,
+    /// The function manipulates values of a width whose register class is
+    /// empty on the target machine, so it is not attempted (the paper's
+    /// "not attempted" 64-bit rule of Table 2, generalised: the MCU model
+    /// additionally refuses 32-bit values).
+    WidthRefused,
     /// The solver produced no usable solution and the spill-everything
     /// fallback itself failed (a machine model without enough scratch
     /// registers for some instruction shape).
@@ -108,7 +110,9 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::Uses64Bit => write!(f, "function uses 64-bit values"),
+            AllocError::WidthRefused => {
+                write!(f, "function uses values of a width the target refuses")
+            }
             AllocError::Fallback(e) => write!(f, "fallback allocation failed: {e}"),
             AllocError::LadderExhausted => {
                 write!(f, "every rung of the degradation ladder failed validation")
@@ -151,13 +155,13 @@ pub struct AllocOutcome {
 /// Construct with a [`Machine`] model, optionally adjust the cost weights
 /// and solver budget, then call [`IpAllocator::allocate`] per function.
 #[derive(Clone, Debug)]
-pub struct IpAllocator<'m, M> {
+pub struct IpAllocator<'m, M: ?Sized> {
     machine: &'m M,
     cost: CostModel,
     solver: SolverConfig,
 }
 
-impl<'m, M: Machine> IpAllocator<'m, M> {
+impl<'m, M: Machine + ?Sized> IpAllocator<'m, M> {
     /// An allocator with the paper's experimental cost weights
     /// (`B = 1000`, `C = 0`) and the default solver budget.
     pub fn new(machine: &'m M) -> IpAllocator<'m, M> {
@@ -191,11 +195,11 @@ impl<'m, M: Machine> IpAllocator<'m, M> {
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::Uses64Bit`] for functions the allocator does
-    /// not attempt.
+    /// Returns [`AllocError::WidthRefused`] for functions the allocator
+    /// does not attempt on this machine.
     pub fn allocate(&self, f: &Function) -> Result<AllocOutcome, AllocError> {
-        if f.uses_64bit() {
-            return Err(AllocError::Uses64Bit);
+        if refuses(self.machine, f) {
+            return Err(AllocError::WidthRefused);
         }
         let cfg = Cfg::new(f);
         let loops = LoopInfo::new(f, &cfg);
@@ -208,16 +212,16 @@ impl<'m, M: Machine> IpAllocator<'m, M> {
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::Uses64Bit`] for functions the allocator does
-    /// not attempt.
+    /// Returns [`AllocError::WidthRefused`] for functions the allocator
+    /// does not attempt on this machine.
     pub fn allocate_with_profile(
         &self,
         f: &Function,
         cfg: &Cfg,
         profile: &Profile,
     ) -> Result<AllocOutcome, AllocError> {
-        if f.uses_64bit() {
-            return Err(AllocError::Uses64Bit);
+        if refuses(self.machine, f) {
+            return Err(AllocError::WidthRefused);
         }
         let live = Liveness::new(f, cfg);
 
@@ -272,8 +276,8 @@ impl<'m, M: Machine> IpAllocator<'m, M> {
     /// Build the integer program without solving it (used by the model-
     /// size experiments, Figs. 9/10 and the x86-vs-RISC comparison).
     pub fn build_only(&self, f: &Function) -> Result<build::BuiltModel, AllocError> {
-        if f.uses_64bit() {
-            return Err(AllocError::Uses64Bit);
+        if refuses(self.machine, f) {
+            return Err(AllocError::WidthRefused);
         }
         let cfg = Cfg::new(f);
         let loops = LoopInfo::new(f, &cfg);

@@ -36,14 +36,13 @@
 //! as the validation failure that caught it.
 
 use std::any::Any;
-use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use regalloc_ilp::{solve_seeded_traced, Deadline, Incumbent, SolverConfig, SolverHealth, Status};
-use regalloc_ir::{verify_allocated, Cfg, Function, Liveness, LoopInfo, Profile, RegFile};
+use regalloc_ir::{verify_allocated, Cfg, Function, Liveness, LoopInfo, Profile};
+use regalloc_machine::{refuses, Machine};
 use regalloc_obs::{Event, Phase, Tracer};
-use regalloc_x86::{Machine, X86RegFile};
 
 use crate::stats::SpillStats;
 use crate::symbolic::SymbolicSolution;
@@ -405,10 +404,11 @@ pub trait BaselineAllocator {
 /// The fault-tolerant allocator: [`crate::IpAllocator`]'s pipeline wrapped
 /// in the validated degradation ladder described in the module docs.
 ///
-/// `RF` is the register file used for interpreter-equivalence validation;
-/// it must match the machine model `M` (the default pairs
-/// [`X86RegFile`] with `X86Machine`).
-pub struct RobustAllocator<'m, M, RF = X86RegFile> {
+/// Interpreter-equivalence validation runs on the register file the
+/// machine model itself supplies ([`Machine::new_regfile`]), so the
+/// allocator is target-generic — `M` may be a concrete model or
+/// `dyn Machine`.
+pub struct RobustAllocator<'m, M: ?Sized> {
     machine: &'m M,
     cost: CostModel,
     solver: SolverConfig,
@@ -420,7 +420,6 @@ pub struct RobustAllocator<'m, M, RF = X86RegFile> {
     faults: FaultPlan,
     baseline: Option<&'m dyn BaselineAllocator>,
     donor: Option<DonorSolution>,
-    _rf: PhantomData<fn() -> RF>,
 }
 
 /// Stringify a caught panic payload.
@@ -434,11 +433,11 @@ fn panic_msg(e: Box<dyn Any + Send>) -> String {
     }
 }
 
-impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
+impl<'m, M: Machine + ?Sized> RobustAllocator<'m, M> {
     /// A robust allocator with the paper's cost weights, the default
     /// solver budget, a 30-second per-function wall-clock deadline across
     /// all rungs, and 4 equivalence runs per candidate.
-    pub fn new(machine: &'m M) -> RobustAllocator<'m, M, RF> {
+    pub fn new(machine: &'m M) -> RobustAllocator<'m, M> {
         RobustAllocator {
             machine,
             cost: CostModel::paper(),
@@ -451,7 +450,6 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
             faults: FaultPlan::none(),
             baseline: None,
             donor: None,
-            _rf: PhantomData,
         }
     }
 
@@ -568,8 +566,10 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         }
         if self.equiv_runs > 0 {
             let _s = tracer.span(Phase::InterpCheck);
-            check::equivalent::<RF>(orig, cand, self.equiv_runs, self.equiv_seed)
-                .map_err(|e| (ReasonCode::EquivalenceFailed, e))?;
+            check::equivalent_with(orig, cand, self.equiv_runs, self.equiv_seed, || {
+                self.machine.new_regfile()
+            })
+            .map_err(|e| (ReasonCode::EquivalenceFailed, e))?;
         }
         Ok(())
     }
@@ -578,8 +578,8 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
     ///
     /// # Errors
     ///
-    /// * [`AllocError::Uses64Bit`] — the function is not attempted, as in
-    ///   Table 2 of the paper.
+    /// * [`AllocError::WidthRefused`] — the function is not attempted on
+    ///   this machine, as in Table 2 of the paper.
     /// * [`AllocError::LadderExhausted`] — every rung, including the
     ///   spill-everything fallback, failed to produce a validated
     ///   allocation. Unreachable on the provided machine models unless a
@@ -602,8 +602,8 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         f: &Function,
         tracer: &Tracer,
     ) -> Result<RobustOutcome, AllocError> {
-        if f.uses_64bit() {
-            return Err(AllocError::Uses64Bit);
+        if refuses(self.machine, f) {
+            return Err(AllocError::WidthRefused);
         }
         let cfg = Cfg::new(f);
         let loops = LoopInfo::new(f, &cfg);
@@ -638,8 +638,8 @@ impl<'m, M: Machine, RF: RegFile + Default> RobustAllocator<'m, M, RF> {
         profile: &Profile,
         tracer: &Tracer,
     ) -> Result<RobustOutcome, AllocError> {
-        if f.uses_64bit() {
-            return Err(AllocError::Uses64Bit);
+        if refuses(self.machine, f) {
+            return Err(AllocError::WidthRefused);
         }
         let deadline = Deadline::after(self.budget);
         let mut demotions: Vec<Demotion> = Vec::new();

@@ -29,7 +29,7 @@ use crate::stats::SpillStats;
 /// Panics if the assignment violates the model's own invariants (e.g. no
 /// definition register chosen) — such a violation is a solver or builder
 /// bug, caught loudly rather than silently miscompiled.
-pub fn apply<M: Machine>(
+pub fn apply<M: Machine + ?Sized>(
     f: &Function,
     profile: &Profile,
     a: &Analysis,
@@ -50,7 +50,7 @@ pub fn apply<M: Machine>(
     .run()
 }
 
-struct Rewriter<'a, M> {
+struct Rewriter<'a, M: ?Sized> {
     f: &'a Function,
     profile: &'a Profile,
     a: &'a Analysis,
@@ -61,7 +61,7 @@ struct Rewriter<'a, M> {
     slots: HashMap<SymId, SlotId>,
 }
 
-impl<'a, M: Machine> Rewriter<'a, M> {
+impl<'a, M: Machine + ?Sized> Rewriter<'a, M> {
     fn tv(&self, v: VarId) -> bool {
         self.values[v.index()]
     }
@@ -384,7 +384,7 @@ impl<'a, M: Machine> Rewriter<'a, M> {
             }
         });
 
-        fn loc<M2: Machine>(
+        fn loc<M2: Machine + ?Sized>(
             s: &mut Rewriter<'_, M2>,
             by_sym: &HashMap<SymId, usize>,
             cursors: &mut HashMap<SymId, usize>,
@@ -400,7 +400,7 @@ impl<'a, M: Machine> Rewriter<'a, M> {
                 real => real,
             }
         }
-        fn op<M2: Machine>(
+        fn op<M2: Machine + ?Sized>(
             s: &mut Rewriter<'_, M2>,
             by_sym: &HashMap<SymId, usize>,
             cursors: &mut HashMap<SymId, usize>,

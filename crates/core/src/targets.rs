@@ -1,0 +1,49 @@
+//! The concrete target registry.
+//!
+//! `regalloc-machine` defines [`TargetId`] but stays free of backend
+//! dependencies; this module, sitting above every backend crate, is the
+//! one place that maps an identifier to a live [`Machine`] model. The
+//! driver's `--target` flag, the serve protocol's `target=` field and
+//! the fuzzer's per-target campaigns all resolve through here.
+
+use regalloc_machine::{Machine, TargetId};
+
+/// Construct the machine model registered under `id`.
+///
+/// The x86 entry is the paper's Pentium configuration — the exact model
+/// the golden-output byte-identity suite pins down.
+pub fn machine_for(id: TargetId) -> Box<dyn Machine + Send + Sync> {
+    match id {
+        TargetId::X86Pentium => Box::new(regalloc_x86::X86Machine::pentium()),
+        TargetId::Risc24 => Box::new(regalloc_x86::RiscMachine::new()),
+        TargetId::Mcu => Box::new(regalloc_mcu::McuMachine::new()),
+    }
+}
+
+/// Every registered target with its model, in [`TargetId::ALL`] order.
+pub fn all() -> impl Iterator<Item = (TargetId, Box<dyn Machine + Send + Sync>)> {
+    TargetId::ALL.into_iter().map(|id| (id, machine_for(id)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_target() {
+        for (id, m) in all() {
+            assert!(!m.name().is_empty(), "{id}");
+            // Every registered model passes its own structural self-check.
+            let diags = regalloc_machine::check_machine(m.as_ref());
+            assert!(diags.is_empty(), "{id}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn registry_matches_the_paper_configuration() {
+        let x86 = machine_for(TargetId::X86Pentium);
+        assert_eq!(x86.name(), "x86 (Pentium)");
+        let mcu = machine_for(TargetId::Mcu);
+        assert!(mcu.regs_for_width(regalloc_ir::Width::B32).is_empty());
+    }
+}

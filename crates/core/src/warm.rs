@@ -33,7 +33,7 @@ use crate::symbolic::{EventDecision, RoleDecision, SymbolicSolution};
 /// Returns `None` when no admissible scratch or definition register
 /// exists for some event (a machine model gap); callers skip the warm
 /// start in that case.
-pub fn spill_everything_solution<M: Machine>(
+pub fn spill_everything_solution<M: Machine + ?Sized>(
     f: &Function,
     a: &Analysis,
     built: &BuiltModel,
@@ -167,7 +167,7 @@ pub fn spill_everything_solution<M: Machine>(
 /// The result is guaranteed feasible for correctly-built models; the
 /// solver re-validates it and silently ignores an infeasible warm start,
 /// so a bug here degrades solution availability, not correctness.
-pub fn spill_everything_assignment<M: Machine>(
+pub fn spill_everything_assignment<M: Machine + ?Sized>(
     f: &Function,
     a: &Analysis,
     built: &BuiltModel,

@@ -473,7 +473,7 @@ fn risc_model_is_larger_than_x86_model() {
 }
 
 #[test]
-fn sixty_four_bit_functions_are_not_attempted() {
+fn refused_width_functions_are_not_attempted() {
     let mut b = FunctionBuilder::new("w64");
     let x = b.new_sym(Width::B64);
     b.load_imm(x, 1);
@@ -482,7 +482,7 @@ fn sixty_four_bit_functions_are_not_attempted() {
     let m = X86Machine::pentium();
     assert_eq!(
         IpAllocator::new(&m).allocate(&f).unwrap_err(),
-        AllocError::Uses64Bit
+        AllocError::WidthRefused
     );
 }
 

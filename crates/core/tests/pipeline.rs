@@ -7,7 +7,7 @@ use std::time::Duration;
 use regalloc_core::pipeline::BaselineAllocator;
 use regalloc_core::{FaultPlan, ReasonCode, RobustAllocator, Rung, SpillStats};
 use regalloc_ir::{verify_allocated, BinOp, Function, FunctionBuilder, Operand, Profile, Width};
-use regalloc_x86::{X86Machine, X86RegFile};
+use regalloc_x86::X86Machine;
 
 fn sample() -> Function {
     let mut b = FunctionBuilder::new("sample");
@@ -23,8 +23,8 @@ fn sample() -> Function {
     b.finish()
 }
 
-fn robust(m: &X86Machine) -> RobustAllocator<'_, X86Machine, X86RegFile> {
-    RobustAllocator::<_, X86RegFile>::new(m)
+fn robust(m: &X86Machine) -> RobustAllocator<'_, X86Machine> {
+    RobustAllocator::new(m)
 }
 
 #[test]

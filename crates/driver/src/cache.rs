@@ -40,10 +40,13 @@ use regalloc_ir::fingerprint::{fingerprint, fnv1a, FNV_OFFSET};
 use regalloc_ir::{
     parse_function, verify_allocated, Function, ShapeVector, SlotId, SlotInfo, Width,
 };
+use regalloc_machine::TargetId;
 
 /// First line of every cache file; bump the version to invalidate old
-/// entries wholesale on a format change.
-pub const MAGIC: &str = "regalloc-cache v4";
+/// entries wholesale on a format change. v5 added the target identifier
+/// to the key and a `target` payload line; v4 entries fail the magic
+/// check and are treated as misses, never as errors.
+pub const MAGIC: &str = "regalloc-cache v5";
 
 /// Checksum guarding an entry's payload (everything after the `check`
 /// line). Public so tooling and tests can produce well-formed entries.
@@ -51,7 +54,11 @@ pub fn checksum(payload: &str) -> u64 {
     fnv1a(FNV_OFFSET, payload.as_bytes())
 }
 
-/// The content key for allocating `f` on `machine_name` under `solver`.
+/// The content key for allocating `f` on `target` under `solver`.
+///
+/// The target identifier is part of the key, so the same function
+/// allocated for two targets occupies two distinct entries — a shared
+/// cache directory can never serve one target's allocation to another.
 ///
 /// `solver` must be the *configured* base configuration, never one
 /// adjusted by the per-function [`BudgetGovernor`] — a governed deadline
@@ -61,9 +68,9 @@ pub fn checksum(payload: &str) -> u64 {
 /// where lookups can judge it instead.
 ///
 /// [`BudgetGovernor`]: crate::schedule::BudgetGovernor
-pub fn cache_key(f: &Function, machine_name: &str, solver: &SolverConfig) -> u64 {
+pub fn cache_key(f: &Function, target: TargetId, solver: &SolverConfig) -> u64 {
     let mut h = fingerprint(f);
-    h = fnv1a(h, machine_name.as_bytes());
+    h = fnv1a(h, target.name().as_bytes());
     h = fnv1a(h, &solver.time_limit.as_nanos().to_le_bytes());
     h = fnv1a(h, &solver.lp_iter_limit.to_le_bytes());
     h = fnv1a(h, &solver.node_limit.to_le_bytes());
@@ -75,6 +82,10 @@ pub fn cache_key(f: &Function, machine_name: &str, solver: &SolverConfig) -> u64
 /// solved function's result without re-running the solver.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CacheEntry {
+    /// The target the allocation was produced for. Recorded in the
+    /// payload as well as the key so a damaged or hand-moved file can
+    /// never masquerade as another target's entry.
+    pub target: TargetId,
     /// Degradation-ladder rung that produced the allocation.
     pub rung: Rung,
     /// Demotion reasons recorded on the way down.
@@ -140,6 +151,7 @@ impl CacheEntry {
     fn payload(&self) -> String {
         use std::fmt::Write;
         let mut p = String::new();
+        writeln!(p, "target {}", self.target.name()).unwrap();
         writeln!(p, "rung {}", self.rung.name()).unwrap();
         if self.reasons.is_empty() {
             p.push_str("reasons -\n");
@@ -227,6 +239,7 @@ impl CacheEntry {
         }
 
         let mut lines = payload.lines();
+        let target = TargetId::parse(lines.next()?.strip_prefix("target ")?)?;
         let rung = Rung::from_name(lines.next()?.strip_prefix("rung ")?)?;
         let reasons_s = lines.next()?.strip_prefix("reasons ")?;
         let reasons = if reasons_s == "-" {
@@ -321,6 +334,7 @@ impl CacheEntry {
         let mut func_text = func_lines.join("\n");
         func_text.push('\n');
         Some(CacheEntry {
+            target,
             rung,
             reasons,
             stats: SpillStats {
@@ -761,6 +775,7 @@ mod tests {
 
     fn entry_for(f: &Function) -> CacheEntry {
         CacheEntry {
+            target: TargetId::X86Pentium,
             rung: Rung::IpOptimal,
             reasons: vec![ReasonCode::SolverTimeout],
             stats: SpillStats {
@@ -1061,11 +1076,12 @@ mod tests {
     fn key_separates_inputs_but_not_names() {
         let f = allocated_sample();
         let cfg = SolverConfig::default();
-        let k = cache_key(&f, "pentium", &cfg);
-        assert_eq!(k, cache_key(&f, "pentium", &cfg));
-        assert_ne!(k, cache_key(&f, "risc24", &cfg));
+        let k = cache_key(&f, TargetId::X86Pentium, &cfg);
+        assert_eq!(k, cache_key(&f, TargetId::X86Pentium, &cfg));
+        assert_ne!(k, cache_key(&f, TargetId::Risc24, &cfg));
+        assert_ne!(k, cache_key(&f, TargetId::Mcu, &cfg));
         let mut slow = cfg.clone();
         slow.time_limit = std::time::Duration::from_secs(1024);
-        assert_ne!(k, cache_key(&f, "pentium", &slow));
+        assert_ne!(k, cache_key(&f, TargetId::X86Pentium, &slow));
     }
 }

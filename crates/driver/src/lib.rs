@@ -69,6 +69,7 @@ use std::time::{Duration, Instant};
 use regalloc_core::{ReasonCode, Rung, SpillStats, WarmStartKind};
 use regalloc_ilp::SolverConfig;
 use regalloc_ir::Function;
+use regalloc_machine::TargetId;
 use regalloc_obs::{jsonl_events, jsonl_timings, FunctionTrace, Metrics, Phase};
 
 use cache::CacheLimits;
@@ -90,6 +91,11 @@ pub enum CacheMode {
 /// Configuration for a batch run.
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
+    /// The target machine every function is allocated for. Resolved to a
+    /// concrete model through `regalloc_core::targets::machine_for`; part
+    /// of the solution-cache key, so one cache directory serves any mix
+    /// of targets without cross-contamination.
+    pub target: TargetId,
     /// Worker threads (0 is treated as 1).
     pub jobs: usize,
     /// IP solver configuration, applied to every function (part of the
@@ -155,6 +161,7 @@ impl Default for DriverConfig {
             .saturating_mul(4)
             .max(Duration::from_secs(8));
         DriverConfig {
+            target: TargetId::default(),
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             solver,
             function_budget,
@@ -500,8 +507,9 @@ pub fn profile_report(out: &SuiteOutcome) -> String {
 /// Allocate every function of a suite through the parallel service.
 ///
 /// Results come back in suite order; see the module docs for the
-/// determinism guarantee. The machine model is the paper's Pentium x86
-/// model (the same one the bench harness uses).
+/// determinism guarantee. The machine model is resolved from
+/// [`DriverConfig::target`] (the paper's Pentium x86 model by default —
+/// the same one the bench harness uses).
 pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
     // The service freezes the donor snapshot once, before any worker
     // runs: entries stored *during* this run never donate, so warm-start

@@ -23,6 +23,7 @@ use regalloc_driver::{
 };
 use regalloc_ir::Function;
 use regalloc_lint::{code_by_name, Code, Report};
+use regalloc_machine::TargetId;
 use regalloc_workloads::{Benchmark, Suite};
 
 const USAGE: &str = "usage: regalloc-driver [options] [suite...]
@@ -31,6 +32,7 @@ suite:        benchmark names (compress eqntott xlisp sc espresso cc1),
               `all`, or paths to textual-IR files; default `compress`
 
 options:
+  --target NAME        target machine: x86-pentium (default), risc24, mcu
   --jobs N             worker threads (default: available parallelism)
   --budget-secs S      global wall-clock budget for the whole run
   --function-budget S  per-function wall-clock ceiling (default 8)
@@ -126,6 +128,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         };
         match a.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
+            "--target" => {
+                let name = value("--target")?;
+                cli.cfg.target = TargetId::parse(&name).ok_or_else(|| {
+                    let known: Vec<&str> = TargetId::ALL.iter().map(|t| t.name()).collect();
+                    format!(
+                        "--target: unknown target `{name}` (registered targets: {})",
+                        known.join(", ")
+                    )
+                })?;
+            }
             "--jobs" => {
                 cli.cfg.jobs = value("--jobs")?
                     .parse()
@@ -447,6 +459,25 @@ fn dump_allocs(path: &PathBuf, out: &SuiteOutcome) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Run the M1xx structural self-check over every registered target
+/// model. A diagnostic here means the machine description itself is
+/// inconsistent — refusing to allocate anything is the only safe answer.
+fn self_check_targets() -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut msg = String::new();
+    for (id, m) in regalloc_core::targets::all() {
+        for d in regalloc_machine::check_machine(m.as_ref()) {
+            let diag = regalloc_lint::Diagnostic::from(&d);
+            let _ = writeln!(msg, "target {id}: [{}] {}", diag.code.id, d.message);
+        }
+    }
+    if msg.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("target model self-check failed:\n{msg}"))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -456,6 +487,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(msg) = self_check_targets() {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     let funcs = match load_suite(&cli) {
         Ok(f) => f,
         Err(msg) => {

@@ -26,8 +26,8 @@ use std::time::{Duration, Instant};
 use regalloc_coloring::ColoringAllocator;
 use regalloc_core::{DonorSolution, FaultPlan, ReasonCode, RobustAllocator, Rung, WarmStartKind};
 use regalloc_ir::{fingerprint, shape_vector, Function};
+use regalloc_machine::{function_size, refuses, Machine};
 use regalloc_obs::{Event, Metrics, Phase, Tracer, SIZE_BUCKETS, TIME_BUCKETS};
-use regalloc_x86::{Machine, X86Machine, X86RegFile};
 
 use crate::cache::{cache_key, CacheEntry, DonorEntry, SolutionCache};
 use crate::schedule::BudgetGovernor;
@@ -90,7 +90,7 @@ pub struct RequestOptions {
 /// interleaving of clients.
 pub struct AllocationService {
     cfg: DriverConfig,
-    machine: X86Machine,
+    machine: Box<dyn Machine + Send + Sync>,
     cache: Option<SolutionCache>,
     donors: Vec<DonorEntry>,
 }
@@ -100,7 +100,7 @@ impl AllocationService {
     /// `cfg.global_budget` are carried but not consulted here — they
     /// belong to the caller's scheduling layer.
     pub fn new(cfg: DriverConfig) -> AllocationService {
-        let machine = X86Machine::pentium();
+        let machine = regalloc_core::targets::machine_for(cfg.target);
         let cache = match &cfg.cache {
             CacheMode::Off => None,
             CacheMode::Memory => Some(SolutionCache::with_limits(None, cfg.cache_limits)),
@@ -131,9 +131,10 @@ impl AllocationService {
         self.cache.as_ref()
     }
 
-    /// The machine model every request is allocated against.
-    pub fn machine(&self) -> &X86Machine {
-        &self.machine
+    /// The machine model every request is allocated against — resolved
+    /// from [`DriverConfig::target`] through the registry at construction.
+    pub fn machine(&self) -> &(dyn Machine + Send + Sync) {
+        self.machine.as_ref()
     }
 
     /// The analysis-free cost estimate the admission layer sizes
@@ -172,13 +173,13 @@ impl AllocationService {
     ) -> (FunctionResult, Option<&'static str>) {
         let t0 = Instant::now();
         let cfg = &self.cfg;
-        let machine = &self.machine;
+        let machine: &(dyn Machine + Send + Sync) = self.machine.as_ref();
         let lint_on = opts.lint.unwrap_or(cfg.lint);
         // A faulted request must not read or write shared state: its
         // degraded (or corrupted-then-caught) outcome would otherwise be
         // served to healthy clients and break byte-identity with batch.
         let use_cache = !opts.bypass_cache && opts.faults.is_none();
-        if f.uses_64bit() {
+        if refuses(machine, f) {
             budget.skip();
             return (not_attempted(f, estimate), None);
         }
@@ -187,7 +188,7 @@ impl AllocationService {
             let c = gc
                 .allocate(f)
                 .expect("baseline allocates attempted functions");
-            let bytes = regalloc_x86::encoding::function_size(machine, &c.func);
+            let bytes = function_size(machine, &c.func);
             BaselineResult {
                 func: c.func,
                 stats: c.stats,
@@ -195,7 +196,7 @@ impl AllocationService {
             }
         });
 
-        let key = cache_key(f, machine.name(), &cfg.solver);
+        let key = cache_key(f, cfg.target, &cfg.solver);
         let cache = if use_cache { self.cache.as_ref() } else { None };
         let mut cache_outcome = cache.map(|_| "miss");
         if let Some(cache) = cache {
@@ -348,7 +349,7 @@ impl AllocationService {
         };
 
         let granted = budget.grant();
-        let mut robust = RobustAllocator::<_, X86RegFile>::new(machine)
+        let mut robust = RobustAllocator::new(machine)
             .with_solver_config(cfg.solver.clone())
             .with_budget(granted)
             .with_equivalence(cfg.equiv_runs, cfg.equiv_seed)
@@ -362,7 +363,7 @@ impl AllocationService {
             Ok(out) => {
                 let ip_bytes = {
                     let _e = tracer.time(Phase::Encode);
-                    regalloc_x86::encoding::function_size(machine, &out.func)
+                    function_size(machine, &out.func)
                 };
                 let lints = if lint_on {
                     let _l = tracer.time(Phase::Lint);
@@ -378,6 +379,7 @@ impl AllocationService {
                     cache.store(
                         key,
                         CacheEntry {
+                            target: cfg.target,
                             rung: out.report.rung,
                             reasons: reasons.clone(),
                             stats: out.stats,

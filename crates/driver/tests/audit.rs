@@ -27,6 +27,7 @@ fn sample(name: &str, imm: i64) -> Function {
 
 fn audit_config(cache: CacheMode) -> DriverConfig {
     DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 1,
         cache,
         audit: true,

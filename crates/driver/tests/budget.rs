@@ -11,6 +11,7 @@ use regalloc_workloads::{Benchmark, Suite};
 
 fn tight_cfg() -> DriverConfig {
     DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 2,
         solver: SolverConfig {
             time_limit: Duration::from_secs(300),

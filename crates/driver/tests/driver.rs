@@ -28,6 +28,7 @@ fn suite50() -> Vec<Function> {
 /// is exactly the regime the determinism guarantee covers.
 fn fast_config() -> DriverConfig {
     DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 1,
         solver: SolverConfig {
             time_limit: Duration::from_secs(300),
@@ -93,6 +94,7 @@ fn determinism_across_worker_counts() {
     let base = run_suite(&funcs, &cfg1);
     for jobs in [4, 8] {
         let cfg = DriverConfig {
+            target: regalloc_machine::TargetId::X86Pentium,
             jobs,
             ..fast_config()
         };
@@ -112,6 +114,7 @@ fn warm_disk_cache_hits_and_matches_cold() {
     let dir = tempdir("warm");
     let funcs = suite50();
     let cfg = DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 4,
         cache: CacheMode::Disk(dir.clone()),
         ..fast_config()
@@ -139,6 +142,7 @@ fn poisoned_cache_entry_is_detected_and_resolved() {
     let dir = tempdir("poison");
     let funcs = suite50();
     let cfg = DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 2,
         cache: CacheMode::Disk(dir.clone()),
         ..fast_config()
@@ -187,6 +191,7 @@ fn poisoned_cache_entry_is_detected_and_resolved() {
 fn exhausted_global_budget_demotes_but_completes() {
     let funcs = suite50();
     let cfg = DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 4,
         global_budget: Some(Duration::ZERO),
         ..fast_config()

@@ -23,6 +23,7 @@ fn suite50() -> Vec<Function> {
 /// stream between runs by design).
 fn traced_config(jobs: usize) -> DriverConfig {
     DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs,
         solver: SolverConfig {
             time_limit: Duration::from_secs(300),

@@ -36,6 +36,7 @@ fn perturbed(funcs: &[Function]) -> Vec<Function> {
 /// with `max_rows` declining the expensive tail.
 fn config(dir: PathBuf, warm: bool) -> DriverConfig {
     DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs: 2,
         solver: SolverConfig {
             time_limit: Duration::from_secs(300),

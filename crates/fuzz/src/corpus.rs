@@ -11,12 +11,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use regalloc_ir::{fingerprint_hex, parse_function, Function};
+use regalloc_machine::TargetId;
 
 use crate::Violation;
 
 /// A parsed reproducer file.
 #[derive(Clone, Debug)]
 pub struct Reproducer {
+    /// The target the campaign allocated for.
+    pub target: TargetId,
     /// Campaign case index the violation came from.
     pub case: u64,
     /// The case's derived seed.
@@ -49,6 +52,7 @@ pub fn write_reproducer(dir: &Path, v: &Violation) -> io::Result<PathBuf> {
     };
     let text = format!(
         "; regalloc-fuzz reproducer\n\
+         ; target: {}\n\
          ; case: {}\n\
          ; seed: {:#x}\n\
          ; oracle: {}\n\
@@ -57,6 +61,7 @@ pub fn write_reproducer(dir: &Path, v: &Violation) -> io::Result<PathBuf> {
          ; fault-cert: {}\n\
          ; detail: {}\n\
          {}",
+        v.target,
         v.case,
         v.seed,
         v.oracle,
@@ -113,7 +118,13 @@ pub fn read_reproducer(path: &Path) -> Result<Reproducer, String> {
         None | Some("none") => None,
         Some(s) => Some(parse_u64(s)?),
     };
+    // Absent in pre-multi-target reproducers: those came from x86 runs.
+    let target = match meta(&lines, "target") {
+        None => TargetId::X86Pentium,
+        Some(s) => TargetId::parse(s).ok_or_else(|| format!("unknown target `{s}`"))?,
+    };
     Ok(Reproducer {
+        target,
         case: meta(&lines, "case")
             .map(parse_u64)
             .transpose()?
@@ -138,16 +149,25 @@ pub fn read_reproducer(path: &Path) -> Result<Reproducer, String> {
 /// Returns a description when the violation no longer reproduces (or
 /// the rungs fail differently than recorded).
 pub fn replay(r: &Reproducer, equiv_runs: usize) -> Result<(), String> {
-    let machine = regalloc_x86::X86Machine::pentium();
+    let boxed = regalloc_core::targets::machine_for(r.target);
+    let machine = boxed.as_ref();
+    if r.oracle == "cross-target" {
+        let viols = crate::check_cross_target(&r.func, equiv_runs, r.seed);
+        return if viols.iter().any(|(o, _, _)| *o == r.oracle) {
+            Ok(())
+        } else {
+            Err("oracle `cross-target` did not fire on replay".to_string())
+        };
+    }
     if r.oracle == "certificate-audit" {
-        let viols = crate::check_certificate(&machine, &r.func, r.fault_cert).viols;
+        let viols = crate::check_certificate(machine, &r.func, r.fault_cert).viols;
         return if viols.iter().any(|(o, _, _)| *o == r.oracle) {
             Ok(())
         } else {
             Err("oracle `certificate-audit` did not fire on replay".to_string())
         };
     }
-    let outs = match crate::run_rungs(&machine, &r.func, r.fault) {
+    let outs = match crate::run_rungs(machine, &r.func, r.fault) {
         Ok(outs) => outs,
         Err(e) => {
             // A hard rung failure is recorded as an agreement violation.
@@ -161,7 +181,7 @@ pub fn replay(r: &Reproducer, equiv_runs: usize) -> Result<(), String> {
             };
         }
     };
-    let viols = crate::check_function(&machine, &r.func, &outs, equiv_runs, r.seed);
+    let viols = crate::check_function(machine, &r.func, &outs, equiv_runs, r.seed);
     if viols.iter().any(|(o, _, _)| *o == r.oracle) {
         Ok(())
     } else {

@@ -20,8 +20,13 @@
 //!   dataflow translation, no execution needed;
 //! * **agreement** — all allocators' outputs produce identical
 //!   observable outcomes on shared inputs, and either every rung
-//!   allocates a function or every rung refuses it (64-bit functions
-//!   are refused ladder-wide, as in the paper's Table 2);
+//!   allocates a function or every rung refuses it (functions of a
+//!   width the target refuses are refused ladder-wide, as in the
+//!   paper's Table 2);
+//! * **cross-target agreement** — the same function allocated
+//!   independently on every registered target that accepts it (x86 and
+//!   risc24 share every 32-bit case; the MCU joins on portable 16-bit
+//!   cases) must produce identical observable outcomes;
 //! * **certificate-audit** — an independent solve with proof emission
 //!   on: every `Optimal` claim must carry a certificate that survives
 //!   the exact-rational auditor (`regalloc_audit`), and — under the
@@ -46,8 +51,8 @@ use regalloc_ilp::model::{Model, Sense};
 use regalloc_ilp::{SolverConfig, Status};
 use regalloc_ir::interp::mix64;
 use regalloc_ir::{Cfg, ExecOutcome, Function, Interp, InterpConfig, LoopInfo, Profile};
+use regalloc_machine::{refuses, Machine, TargetId};
 use regalloc_workloads::{fuzz_function, GenConfig};
-use regalloc_x86::{X86Machine, X86RegFile};
 
 pub mod cgen;
 pub mod corpus;
@@ -79,6 +84,10 @@ impl CaseKind {
 /// participate in any verdict.
 #[derive(Clone, Debug)]
 pub struct FuzzConfig {
+    /// The target machine the campaign allocates for. The MCU campaign
+    /// generates portable 16-bit cases (and MCU-lowered C); the others
+    /// use the classic 32-bit fuzz mix.
+    pub target: TargetId,
     /// Number of cases to run.
     pub cases: u64,
     /// Master seed; case `i` derives its own stream from `(seed, i)`.
@@ -102,6 +111,7 @@ pub struct FuzzConfig {
 impl Default for FuzzConfig {
     fn default() -> FuzzConfig {
         FuzzConfig {
+            target: TargetId::X86Pentium,
             cases: 100,
             seed: 7,
             kind: CaseKind::Mixed,
@@ -128,12 +138,14 @@ pub fn deterministic_solver() -> SolverConfig {
 /// One oracle violation, carrying the (minimized) offending function.
 #[derive(Clone, Debug)]
 pub struct Violation {
+    /// The target the campaign allocated for.
+    pub target: TargetId,
     /// Case index within the campaign.
     pub case: u64,
     /// The case's derived seed.
     pub seed: u64,
     /// Which oracle fired: `interp-equivalence`, `static-validator`,
-    /// `agreement` or `certificate-audit`.
+    /// `agreement`, `cross-target` or `certificate-audit`.
     pub oracle: String,
     /// Which rung produced the offending allocation (`ip`, `coloring`,
     /// `spill-all`, or `-` for cross-rung disagreements).
@@ -156,7 +168,7 @@ pub struct CampaignReport {
     pub cases: u64,
     /// Functions checked (C cases contribute several per case).
     pub functions: u64,
-    /// Functions refused ladder-wide (64-bit).
+    /// Functions refused ladder-wide (refused widths).
     pub refused: u64,
     /// Optimality/infeasibility proofs audited by the certificate
     /// oracle (perturbed as well when the drill was armed).
@@ -168,7 +180,7 @@ pub struct CampaignReport {
 }
 
 /// The three allocations of one function, `None` where a rung refused
-/// (64-bit functions).
+/// (functions of a width the target refuses).
 pub struct RungOutputs {
     /// IP ladder output and the accepted rung.
     pub ip: Option<(Function, Rung)>,
@@ -207,8 +219,8 @@ impl RungOutputs {
 /// Returns a description if a rung fails outright (ladder exhausted,
 /// fallback error) — itself a finding, reported as an `agreement`
 /// violation by [`check_function`]'s callers.
-pub fn run_rungs(
-    machine: &X86Machine,
+pub fn run_rungs<M: Machine + ?Sized>(
+    machine: &M,
     f: &Function,
     fault: Option<u64>,
 ) -> Result<RungOutputs, String> {
@@ -219,7 +231,7 @@ pub fn run_rungs(
         },
         None => FaultPlan::none(),
     };
-    let robust = RobustAllocator::<_, X86RegFile>::new(machine)
+    let robust = RobustAllocator::new(machine)
         .with_solver_config(deterministic_solver())
         .with_budget(Duration::from_secs(300))
         .with_equivalence(0, 0)
@@ -227,17 +239,18 @@ pub fn run_rungs(
         .with_faults(faults);
     let ip = match robust.allocate(f) {
         Ok(out) => Some((out.func, out.report.rung)),
-        Err(AllocError::Uses64Bit) => None,
+        Err(AllocError::WidthRefused) => None,
         Err(e) => return Err(format!("ip ladder failed: {e}")),
     };
     let coloring = match ColoringAllocator::new(machine).allocate(f) {
         Ok(out) => Some(out.func),
-        Err(AllocError::Uses64Bit) => None,
+        Err(AllocError::WidthRefused) => None,
         Err(e) => return Err(format!("coloring failed: {e}")),
     };
-    let spill = if f.uses_64bit() {
-        // The paper's pipeline never attempts 64-bit functions; keep the
-        // refusal ladder-wide so the agreement oracle can check it.
+    let spill = if refuses(machine, f) {
+        // The paper's pipeline never attempts refused-width functions;
+        // keep the refusal ladder-wide so the agreement oracle can
+        // check it.
         None
     } else {
         let cfg = Cfg::new(f);
@@ -272,8 +285,8 @@ fn outcome_key(o: &ExecOutcome) -> (u8, Option<u64>, u64, u64, Vec<u64>, u64) {
 
 /// Apply all three oracles to one function's rung outputs. Returns every
 /// violation found (without minimization).
-pub fn check_function(
-    machine: &X86Machine,
+pub fn check_function<M: Machine + ?Sized>(
+    machine: &M,
     f: &Function,
     outs: &RungOutputs,
     equiv_runs: usize,
@@ -288,7 +301,7 @@ pub fn check_function(
         viols.push((
             "agreement".to_string(),
             "-".to_string(),
-            format!("only {names:?} allocated; expected all rungs or none (64-bit)"),
+            format!("only {names:?} allocated; expected all rungs or none (refused width)"),
         ));
         return viols;
     }
@@ -305,7 +318,8 @@ pub fn check_function(
     }
     // Oracle 1: interpreter equivalence against the original.
     for (name, alloc) in &produced {
-        if let Err(e) = check::equivalent::<X86RegFile>(f, alloc, equiv_runs, seed) {
+        if let Err(e) = check::equivalent_with(f, alloc, equiv_runs, seed, || machine.new_regfile())
+        {
             viols.push(("interp-equivalence".to_string(), (*name).to_string(), e));
         }
     }
@@ -324,7 +338,7 @@ pub fn check_function(
                 .map(|(n, alloc)| {
                     (
                         *n,
-                        outcome_key(&Interp::new(alloc, X86RegFile::default(), cfg, &args).run()),
+                        outcome_key(&Interp::new(alloc, machine.new_regfile(), cfg, &args).run()),
                     )
                 })
                 .collect();
@@ -360,8 +374,8 @@ pub struct CertOracle {
 /// auditor verifies; with `fault_cert` armed, a seeded invalidating
 /// perturbation of that certificate must additionally be *rejected* — a
 /// perturbed proof that still verifies is an auditor blind spot.
-pub fn check_certificate(
-    machine: &X86Machine,
+pub fn check_certificate<M: Machine + ?Sized>(
+    machine: &M,
     f: &Function,
     fault_cert: Option<u64>,
 ) -> CertOracle {
@@ -369,7 +383,7 @@ pub fn check_certificate(
         proved: false,
         viols: Vec::new(),
     };
-    // 64-bit functions are refused ladder-wide; nothing is claimed.
+    // Refused-width functions allocate nowhere; nothing is claimed.
     let Ok(built) = IpAllocator::new(machine).build_only(f) else {
         return out;
     };
@@ -497,8 +511,8 @@ pub fn perturb_certificate(
 /// True when `f` still trips an oracle named `oracle` under `fault` —
 /// the minimizer's predicate. For `certificate-audit` the predicate is
 /// the independent proof-carrying solve, perturbed by `fault_cert`.
-pub fn still_fails(
-    machine: &X86Machine,
+pub fn still_fails<M: Machine + ?Sized>(
+    machine: &M,
     f: &Function,
     oracle: &str,
     fault: Option<u64>,
@@ -506,6 +520,11 @@ pub fn still_fails(
     equiv_runs: usize,
     seed: u64,
 ) -> bool {
+    if oracle == "cross-target" {
+        return check_cross_target(f, equiv_runs, seed)
+            .iter()
+            .any(|(o, _, _)| o == oracle);
+    }
     if oracle == "certificate-audit" {
         return check_certificate(machine, f, fault_cert)
             .viols
@@ -531,22 +550,92 @@ pub fn case_functions(cfg: &FuzzConfig, i: u64) -> Vec<Function> {
     };
     if use_c {
         let src = cgen::generate_program(case_seed, &cgen::CGenConfig::default());
-        // The generator emits subset-correct programs by construction.
-        regalloc_cc::compile(&src).unwrap_or_else(|e| {
+        // The generator emits subset-correct programs by construction;
+        // lowering options track the campaign target (the MCU narrows
+        // the word and avoids scaled addressing).
+        regalloc_cc::compile_for(&src, cfg.target).unwrap_or_else(|e| {
             panic!("cgen produced an uncompilable program (seed {case_seed:#x}): {e}\n{src}")
         })
     } else {
-        vec![fuzz_function(
-            &format!("fz{i}"),
-            case_seed,
-            &GenConfig::fuzz(),
-        )]
+        let gen_cfg = match cfg.target {
+            TargetId::Mcu => GenConfig::portable16(),
+            _ => GenConfig::fuzz(),
+        };
+        vec![fuzz_function(&format!("fz{i}"), case_seed, &gen_cfg)]
     }
+}
+
+/// Oracle 5: cross-target agreement.
+///
+/// The same function is allocated independently (full IP ladder,
+/// deterministic limits) on every registered target whose register
+/// classes accept its widths, and every allocation is executed on shared
+/// inputs under its own target's register file. The interpreter's
+/// observable outcome is machine-independent, so any divergence is a
+/// target-model or allocator bug. x86 and risc24 share every 32-bit
+/// case; the MCU joins on portable 16-bit cases.
+pub fn check_cross_target(
+    f: &Function,
+    equiv_runs: usize,
+    seed: u64,
+) -> Vec<(String, String, String)> {
+    let mut viols = Vec::new();
+    let mut allocs: Vec<(TargetId, Function)> = Vec::new();
+    for (t, m) in regalloc_core::targets::all() {
+        if refuses(m.as_ref(), f) {
+            continue;
+        }
+        let robust = RobustAllocator::new(m.as_ref())
+            .with_solver_config(deterministic_solver())
+            .with_budget(Duration::from_secs(300))
+            .with_equivalence(0, 0)
+            .with_static_validation(false);
+        // A ladder that degrades to exhaustion on one target is not a
+        // cross-target disagreement; the per-target oracles own it.
+        if let Ok(out) = robust.allocate(f) {
+            allocs.push((t, out.func));
+        }
+    }
+    if allocs.len() < 2 {
+        return viols;
+    }
+    let nargs = f.globals().iter().filter(|g| g.is_param).count();
+    for run in 0..equiv_runs.max(1) {
+        let base = mix64(seed ^ 0xc705 ^ ((run as u64) << 17));
+        let args: Vec<u64> = (0..nargs).map(|i| mix64(base ^ i as u64) % 1000).collect();
+        let icfg = InterpConfig {
+            seed: base,
+            ..Default::default()
+        };
+        let outcomes: Vec<_> = allocs
+            .iter()
+            .map(|(t, alloc)| {
+                let m = regalloc_core::targets::machine_for(*t);
+                (
+                    *t,
+                    outcome_key(&Interp::new(alloc, m.new_regfile(), icfg, &args).run()),
+                )
+            })
+            .collect();
+        if let Some(w) = outcomes.iter().find(|(_, k)| *k != outcomes[0].1) {
+            viols.push((
+                "cross-target".to_string(),
+                "-".to_string(),
+                format!(
+                    "run {run} (args {args:?}): {} and {} disagree",
+                    outcomes[0].0, w.0
+                ),
+            ));
+            break;
+        }
+    }
+    viols
 }
 
 /// Run a whole campaign; violations come back minimized.
 pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
-    let machine = X86Machine::pentium();
+    let boxed = regalloc_core::targets::machine_for(cfg.target);
+    let machine = boxed.as_ref();
     let mut report = CampaignReport::default();
     for i in 0..cfg.cases {
         let case_seed = mix64(cfg.seed ^ (i << 32 | 0x0ca5e));
@@ -554,10 +643,11 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
         let fault_cert = cfg.fault_cert.map(|fs| mix64(fs ^ i));
         for f in case_functions(cfg, i) {
             report.functions += 1;
-            let outs = match run_rungs(&machine, &f, fault) {
+            let outs = match run_rungs(machine, &f, fault) {
                 Ok(outs) => outs,
                 Err(e) => {
                     report.violations.push(Violation {
+                        target: cfg.target,
                         case: i,
                         seed: case_seed,
                         oracle: "agreement".to_string(),
@@ -576,14 +666,19 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
                 }
                 None => report.refused += 1,
             }
-            let mut found = check_function(&machine, &f, &outs, cfg.equiv_runs, case_seed);
-            let cert = check_certificate(&machine, &f, fault_cert);
+            let mut found = check_function(machine, &f, &outs, cfg.equiv_runs, case_seed);
+            let cert = check_certificate(machine, &f, fault_cert);
             report.proofs += cert.proved as u64;
             found.extend(cert.viols);
+            // Faults corrupt this target's ladder only; comparing against
+            // other targets would re-detect the same injection.
+            if fault.is_none() && fault_cert.is_none() {
+                found.extend(check_cross_target(&f, cfg.equiv_runs, case_seed));
+            }
             for (oracle, rung, detail) in found {
                 let minimized = shrink::minimize(&f, 600, |cand| {
                     still_fails(
-                        &machine,
+                        machine,
                         cand,
                         &oracle,
                         fault,
@@ -593,6 +688,7 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
                     )
                 });
                 report.violations.push(Violation {
+                    target: cfg.target,
                     case: i,
                     seed: case_seed,
                     oracle,

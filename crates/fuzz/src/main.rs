@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! regalloc-fuzz --cases 500 --seed 7                 # clean run, expect 0 violations
+//! regalloc-fuzz --target mcu --cases 200 --seed 7    # portable cases on the MCU
 //! regalloc-fuzz --cases 40 --seed 7 --fault 3 \
 //!               --corpus tests/corpus/ir            # fault injection, write reproducers
 //! regalloc-fuzz --cases 40 --seed 7 --fault-cert 3  # certificate-forgery drill:
@@ -14,11 +15,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use regalloc_fuzz::{corpus, run_campaign, CaseKind, FuzzConfig};
+use regalloc_machine::TargetId;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: regalloc-fuzz [--cases N] [--seed N] [--kind ir|c|mixed]\n\
-         \x20                   [--fault N] [--fault-cert N] [--equiv-runs N] [--corpus DIR]\n\
+        "usage: regalloc-fuzz [--target x86-pentium|risc24|mcu] [--cases N] [--seed N]\n\
+         \x20                   [--kind ir|c|mixed] [--fault N] [--fault-cert N]\n\
+         \x20                   [--equiv-runs N] [--corpus DIR]\n\
          \x20      regalloc-fuzz --replay DIR [--equiv-runs N]"
     );
     ExitCode::from(2)
@@ -36,6 +39,10 @@ fn main() -> ExitCode {
         };
         let r: Result<(), String> = (|| {
             match a.as_str() {
+                "--target" => {
+                    let t = val("--target")?;
+                    cfg.target = TargetId::parse(&t).ok_or(format!("unknown target `{t}`"))?;
+                }
                 "--cases" => cfg.cases = val("--cases")?.parse().map_err(|e| format!("{e}"))?,
                 "--seed" => cfg.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--kind" => {
@@ -87,8 +94,8 @@ fn main() -> ExitCode {
 
     let report = run_campaign(&cfg);
     println!(
-        "cases: {}  functions: {}  refused-64bit: {}  proofs-audited: {}",
-        report.cases, report.functions, report.refused, report.proofs
+        "target: {}  cases: {}  functions: {}  refused: {}  proofs-audited: {}",
+        cfg.target, report.cases, report.functions, report.refused, report.proofs
     );
     for (rung, n) in &report.rungs {
         println!("  rung {rung}: {n}");

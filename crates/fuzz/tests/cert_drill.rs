@@ -12,6 +12,7 @@ use regalloc_x86::X86Machine;
 
 fn drill_config(kind: CaseKind) -> FuzzConfig {
     FuzzConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         cases: 10,
         seed: 7,
         kind,

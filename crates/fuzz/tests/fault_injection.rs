@@ -10,6 +10,7 @@ use regalloc_x86::X86Machine;
 
 fn drill_config() -> FuzzConfig {
     FuzzConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         cases: 12,
         seed: 7,
         kind: CaseKind::Ir,
@@ -93,6 +94,7 @@ fn reproducers_replay_from_disk() {
 #[test]
 fn campaigns_are_deterministic() {
     let cfg = FuzzConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         cases: 10,
         seed: 11,
         kind: CaseKind::Mixed,
@@ -126,6 +128,7 @@ fn campaigns_are_deterministic() {
 #[test]
 fn clean_campaign_is_quiet() {
     let cfg = FuzzConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         cases: 16,
         seed: 7,
         kind: CaseKind::Mixed,

@@ -15,7 +15,7 @@ use regalloc_fuzz::{deterministic_solver, perturb_certificate};
 use regalloc_ilp::{solve, SolverConfig, Status};
 use regalloc_obs::{Event, Phase, Tracer};
 use regalloc_workloads::{fuzz_function, GenConfig};
-use regalloc_x86::{X86Machine, X86RegFile};
+use regalloc_x86::X86Machine;
 
 /// A solved model with an emitted certificate, or `None` when the seed's
 /// function is refused (64-bit) or the deterministic limits close no
@@ -102,7 +102,7 @@ proptest! {
         let f = fuzz_function("pt", seed, &GenConfig::fuzz());
         let run = |audit: bool| {
             let tracer = Tracer::on();
-            let out = RobustAllocator::<_, X86RegFile>::new(&machine)
+            let out = RobustAllocator::new(&machine)
                 .with_solver_config(deterministic_solver())
                 .with_budget(std::time::Duration::from_secs(300))
                 .with_equivalence(0, 0)

@@ -122,10 +122,22 @@ impl fmt::Display for Inst {
                 cond,
                 lhs,
                 rhs,
+                width,
                 then_blk,
                 else_blk,
-                ..
-            } => write!(f, "br {cond:?} {lhs}, {rhs} ? {then_blk} : {else_blk}"),
+            } => {
+                // Bare `br` is the common 32-bit comparison; other widths
+                // carry an explicit suffix so they round-trip.
+                if width.bits() == 32 {
+                    write!(f, "br {cond:?} {lhs}, {rhs} ? {then_blk} : {else_blk}")
+                } else {
+                    write!(
+                        f,
+                        "br{} {cond:?} {lhs}, {rhs} ? {then_blk} : {else_blk}",
+                        width.bits()
+                    )
+                }
+            }
             Inst::Ret { val } => match val {
                 Some(v) => write!(f, "ret {v}"),
                 None => write!(f, "ret"),

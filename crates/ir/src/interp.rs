@@ -44,6 +44,23 @@ pub trait RegFile {
     fn clobber_for_call(&mut self, seed: u64);
 }
 
+// Boxed register files behave as the boxee — lets target-generic code
+// interpret with a `Box<dyn RegFile>` obtained from a machine model.
+impl<T: RegFile + ?Sized> RegFile for Box<T> {
+    fn read(&self, r: PhysReg) -> u64 {
+        (**self).read(r)
+    }
+    fn write(&mut self, r: PhysReg, v: u64) {
+        (**self).write(r, v)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn clobber_for_call(&mut self, seed: u64) {
+        (**self).clobber_for_call(seed)
+    }
+}
+
 /// A [`RegFile`] for running purely symbolic functions, where no physical
 /// register should ever be touched.
 #[derive(Clone, Debug, Default)]

@@ -241,12 +241,20 @@ impl Parser {
                     val: Some(self.operand(v)?),
                 })
             }
-            ["br", cond, lhs, rhs, "?", t, ":", e] => {
+            [br, cond, lhs, rhs, "?", t, ":", e] if br.starts_with("br") => {
+                // Bare `br` is 32-bit; `br8`/`br16`/`br64` carry the
+                // comparison width explicitly.
+                let suffix = br.trim_start_matches("br");
+                let width = if suffix.is_empty() {
+                    Width::B32
+                } else {
+                    self.width(suffix)?
+                };
                 return Ok(Inst::Branch {
                     cond: self.cond(cond)?,
                     lhs: self.operand(lhs.trim_end_matches(','))?,
                     rhs: self.operand(rhs)?,
-                    width: Width::B32,
+                    width,
                     then_blk: self.block_id(t)?,
                     else_blk: self.block_id(e)?,
                 });

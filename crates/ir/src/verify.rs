@@ -143,8 +143,11 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
                     if s.index() >= f.num_syms() {
                         errs.push(VerifyError::BadSym(b, i));
                     } else if let Some(w) = w {
-                        // Address registers are always read at pointer width
-                        // (32 bits), independent of the access width.
+                        // Address registers are read at a pointer width —
+                        // 32 bits on the x86/RISC models, 16 on the MCU —
+                        // independent of the access width. The IR-level
+                        // check accepts either; `verify_machine` pins the
+                        // exact width per target.
                         let expected = f.sym_width(s);
                         let is_addr_reg = {
                             let mut addr = false;
@@ -162,7 +165,8 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
                             addr
                         };
                         if is_addr_reg {
-                            if expected != crate::ids::Width::B32 {
+                            if !matches!(expected, crate::ids::Width::B16 | crate::ids::Width::B32)
+                            {
                                 errs.push(VerifyError::WidthMismatch(b, i, s));
                             }
                         } else if expected != w

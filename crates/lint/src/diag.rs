@@ -5,7 +5,9 @@
 //!
 //! * `V…` — machine-independent structural errors
 //!   ([`regalloc_ir::VerifyError`]),
-//! * `M…` — machine-invariant errors ([`regalloc_x86::MachineError`]),
+//! * `M0…` — machine-invariant errors ([`regalloc_machine::MachineError`]),
+//! * `M1…` — target-model self-check findings
+//!   ([`regalloc_machine::ModelDiagnostic`]),
 //! * `T…` — translation-validation errors (this crate's
 //!   [`validate`](crate::validate::validate)),
 //! * `L…` — allocation-quality lints (this crate's
@@ -18,7 +20,7 @@
 use std::fmt;
 
 use regalloc_ir::VerifyError;
-use regalloc_x86::{MachineError, MachineErrorKind};
+use regalloc_machine::{MachineError, MachineErrorKind, ModelCheckKind, ModelDiagnostic};
 
 /// How bad a finding is.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -102,7 +104,7 @@ codes! {
     /// A spill-slot reference is out of range.
     V_BAD_SLOT = "V010", "bad-slot";
 
-    // M-codes mirror `regalloc_x86::MachineErrorKind`.
+    // M0xx codes mirror `regalloc_machine::MachineErrorKind`.
     /// A register holds a value outside its width class.
     M_WIDTH_CLASS = "M001", "width-class";
     /// A pinned operand sits in a register the position does not admit.
@@ -113,6 +115,20 @@ codes! {
     M_TWO_ADDRESS = "M004", "two-address";
     /// More than one memory operand in a single instruction.
     M_MEM_OPERAND_COUNT = "M005", "mem-operand-count";
+
+    // M1xx codes mirror `regalloc_machine::ModelCheckKind`: findings of
+    // the target-model self-check, anchored at b0:0 (they describe the
+    // machine description itself, not any program point).
+    /// The alias relation is not reflexive/symmetric over allocatable
+    /// registers.
+    M_ALIAS_ASYMMETRY = "M101", "alias-asymmetry";
+    /// Overlap groups do not cover the allocatable set, or group sharing
+    /// disagrees with the alias relation.
+    M_OVERLAP_PARTITION = "M102", "overlap-partition";
+    /// A width class names a register outside every overlap group.
+    M_WIDTH_CLASS_ESCAPE = "M103", "width-class-escape";
+    /// A size-penalty entry names a register its constraint never admits.
+    M_PENALTY_NOT_ADMITTED = "M104", "penalty-not-admitted";
 
     // T-codes: translation validation (all-paths dataflow proof).
     /// Allocated code cannot be aligned with the original instruction
@@ -283,6 +299,24 @@ impl From<&MachineError> for Diagnostic {
 impl From<MachineError> for Diagnostic {
     fn from(e: MachineError) -> Diagnostic {
         Diagnostic::from(&e)
+    }
+}
+
+impl From<&ModelDiagnostic> for Diagnostic {
+    fn from(d: &ModelDiagnostic) -> Diagnostic {
+        let code = match d.kind {
+            ModelCheckKind::AliasAsymmetry => M_ALIAS_ASYMMETRY,
+            ModelCheckKind::OverlapPartition => M_OVERLAP_PARTITION,
+            ModelCheckKind::WidthClassEscape => M_WIDTH_CLASS_ESCAPE,
+            ModelCheckKind::PenaltyNotAdmitted => M_PENALTY_NOT_ADMITTED,
+        };
+        Diagnostic::error(code, 0, 0, d.message.clone())
+    }
+}
+
+impl From<ModelDiagnostic> for Diagnostic {
+    fn from(d: ModelDiagnostic) -> Diagnostic {
+        Diagnostic::from(&d)
     }
 }
 
@@ -467,6 +501,17 @@ mod tests {
         let d = Diagnostic::from(&e);
         assert_eq!(d.code, M_TWO_ADDRESS);
         assert_eq!((d.block, d.inst), (1, 2));
+    }
+
+    #[test]
+    fn model_diagnostic_maps_to_stable_code() {
+        let d = Diagnostic::from(ModelDiagnostic {
+            kind: ModelCheckKind::OverlapPartition,
+            message: "r7 appears in no overlap group".to_string(),
+        });
+        assert_eq!(d.code, M_OVERLAP_PARTITION);
+        assert_eq!((d.block, d.inst), (0, 0));
+        assert_eq!(d.severity, Severity::Error);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use regalloc_ir::{
     Address, BlockId, Cfg, Dst, Function, GlobalId, Inst, Loc, LoopInfo, Operand, PhysReg, SlotId,
     SymId, Width,
 };
-use regalloc_x86::Machine;
+use regalloc_machine::Machine;
 
 use crate::diag::{self, Diagnostic};
 
@@ -174,7 +174,7 @@ pub struct Analysis {
 /// allocated rewrite of it. The caller is expected to have run
 /// `verify_allocated` first; this analysis proves the *semantic* claim
 /// that `alloc` computes what `orig` computes, on every path.
-pub fn analyze<M: Machine>(m: &M, orig: &Function, alloc: &Function) -> Analysis {
+pub fn analyze<M: Machine + ?Sized>(m: &M, orig: &Function, alloc: &Function) -> Analysis {
     let v = Validator::new(m, orig, alloc);
     let mut errors = Vec::new();
     let mut lints = v.syntactic_lints();
@@ -192,16 +192,20 @@ pub fn analyze<M: Machine>(m: &M, orig: &Function, alloc: &Function) -> Analysis
 
 /// Translation-validate only: empty means `alloc` is proven to compute
 /// `orig`'s values on every path.
-pub fn validate<M: Machine>(m: &M, orig: &Function, alloc: &Function) -> Vec<Diagnostic> {
+pub fn validate<M: Machine + ?Sized>(m: &M, orig: &Function, alloc: &Function) -> Vec<Diagnostic> {
     analyze(m, orig, alloc).errors
 }
 
 /// Quality lints only.
-pub fn lint_allocation<M: Machine>(m: &M, orig: &Function, alloc: &Function) -> Vec<Diagnostic> {
+pub fn lint_allocation<M: Machine + ?Sized>(
+    m: &M,
+    orig: &Function,
+    alloc: &Function,
+) -> Vec<Diagnostic> {
     analyze(m, orig, alloc).lints
 }
 
-struct Validator<'a, M: Machine> {
+struct Validator<'a, M: Machine + ?Sized> {
     m: &'a M,
     orig: &'a Function,
     alloc: &'a Function,
@@ -212,7 +216,7 @@ struct Validator<'a, M: Machine> {
     gaccess: Vec<u32>,
 }
 
-impl<'a, M: Machine> Validator<'a, M> {
+impl<'a, M: Machine + ?Sized> Validator<'a, M> {
     fn new(m: &'a M, orig: &'a Function, alloc: &'a Function) -> Validator<'a, M> {
         let mut def_count = vec![0u32; orig.num_syms()];
         let mut gaccess = vec![0u32; orig.globals().len()];

@@ -1,0 +1,42 @@
+//! The target-machine abstraction consumed by every register allocator
+//! in the workspace.
+//!
+//! The paper's thesis is that architectural *irregularity shrinks* the
+//! 0-1 IP model (§6); observing that claim on more than one irregular
+//! target requires the machine model to be a first-class, pluggable
+//! interface rather than a property of one backend crate. This crate
+//! holds everything that is target-*generic*:
+//!
+//! * the [`Machine`] trait — register classes, overlap groups, operand
+//!   constraints, two-address rules, memory-operand forms, spill costs
+//!   and encoded sizes;
+//! * [`OperandConstraint`] and [`SpillCosts`], the vocabulary every
+//!   implementation speaks;
+//! * [`verify_machine`] — machine-invariant verification of allocated
+//!   code, parameterised only by the trait;
+//! * [`check_machine`] — the model self-check (M1xx diagnostics) run
+//!   over every registered target at driver startup;
+//! * [`TargetId`] — stable names for the registered targets
+//!   (`x86-pentium`, `risc24`, `mcu`).
+//!
+//! Concrete implementations live in their own crates (`regalloc-x86`,
+//! `regalloc-mcu`); the registry mapping a [`TargetId`] to a boxed
+//! machine lives in `regalloc_core::targets` so this crate depends only
+//! on the IR.
+
+mod machine;
+mod selfcheck;
+mod target;
+mod verify;
+
+pub use machine::{refuses, Machine, OperandConstraint, SpillCosts};
+pub use selfcheck::{check_machine, ModelCheckKind, ModelDiagnostic};
+pub use target::TargetId;
+pub use verify::{verify_machine, MachineError, MachineErrorKind};
+
+use regalloc_ir::Function;
+
+/// Total encoded size of a function in bytes under `m`'s encoding model.
+pub fn function_size(m: &(impl Machine + ?Sized), f: &Function) -> u64 {
+    f.insts().map(|(_, _, i)| m.inst_size(i)).sum()
+}

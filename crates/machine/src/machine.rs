@@ -1,6 +1,6 @@
 //! The [`Machine`] abstraction consumed by both register allocators.
 
-use regalloc_ir::{Inst, PhysReg, UseRole, Width};
+use regalloc_ir::{Inst, PhysReg, RegFile, UseRole, Width};
 
 /// Costs of the spill-code instruction repertoire, in processor cycles and
 /// instruction bytes — the inputs to the paper's cost model, eq. (1).
@@ -84,13 +84,21 @@ impl OperandConstraint {
 
 /// A target machine, as seen by the register allocators.
 ///
-/// Implementations: [`X86Machine`](crate::X86Machine) (irregular) and
-/// [`RiscMachine`](crate::RiscMachine) (uniform).
+/// Implementations: `X86Machine` (irregular, in `regalloc-x86`),
+/// `RiscMachine` (uniform, in `regalloc-x86`) and `McuMachine` (8-bit
+/// accumulator with paired registers, in `regalloc-mcu`). The trait is
+/// object-safe: the whole stack above `regalloc-core` threads a
+/// `&dyn Machine`.
 pub trait Machine {
     /// Human-readable machine name.
     fn name(&self) -> &str;
 
     /// The allocatable registers able to hold a value of width `w`.
+    ///
+    /// An *empty* class is a width-refusal rule: functions touching a
+    /// value of that width are not attempted on this machine (the x86 and
+    /// RISC models refuse 64-bit values, the MCU additionally refuses
+    /// 32-bit ones).
     fn regs_for_width(&self, w: Width) -> &[PhysReg];
 
     /// Maximal register sets sharing a single underlying bit field (§5.3).
@@ -109,6 +117,13 @@ pub trait Machine {
 
     /// Architectural name of `r`.
     fn reg_name(&self, r: PhysReg) -> &'static str;
+
+    /// Width of an address held in a register (the machine's pointer
+    /// width). Addressing operands (`AddrBase`, scaled indices) are
+    /// checked against this class.
+    fn addr_width(&self) -> Width {
+        Width::B32
+    }
 
     /// True if `inst` uses a combined source/destination specifier (§5.1):
     /// its destination register must equal its first source (or either
@@ -137,6 +152,25 @@ pub trait Machine {
     /// Encoded size in bytes of an (allocated) instruction; drives the
     /// code-size reporting and the encoding model tests.
     fn inst_size(&self, inst: &Inst) -> u64;
+
+    /// A fresh, zeroed register file modelling this machine's overlap
+    /// structure, for interpreter-equivalence checking of allocated code.
+    fn new_regfile(&self) -> Box<dyn RegFile>;
+}
+
+/// True if the machine refuses `f`: some value in the function has a
+/// width whose register class is empty. Generalises the paper's "64-bit
+/// functions are not attempted" rule (Table 2) to targets that refuse
+/// narrower widths too.
+pub fn refuses(m: &(impl Machine + ?Sized), f: &regalloc_ir::Function) -> bool {
+    let empty = |w: Width| m.regs_for_width(w).is_empty();
+    f.sym_ids().any(|s| empty(f.sym_width(s)))
+        || f.globals().iter().any(|g| empty(g.width))
+        || f.insts().any(|(_, _, i)| match i {
+            // A void call's width is a placeholder, not a value.
+            Inst::Call { ret: None, .. } => false,
+            _ => i.width().is_some_and(empty),
+        })
 }
 
 #[cfg(test)]

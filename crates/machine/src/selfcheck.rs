@@ -1,0 +1,280 @@
+//! Structural self-checks of a machine model.
+//!
+//! A wrong machine *model* is worse than a wrong allocator: the IP
+//! formulation inherits every error silently and the certificate auditor
+//! happily proves optimality against the broken model. These checks
+//! validate the internal consistency of a [`Machine`] implementation
+//! itself — they are run over every registered target at driver startup
+//! and property-tested in `regalloc-core`.
+//!
+//! Each check kind maps to one stable lint code (M101–M104):
+//!
+//! * **M101** — `aliases` must be symmetric and reflexive: overlap is a
+//!   physical property of shared bits.
+//! * **M102** — the overlap groups (§5.3) must partition the allocatable
+//!   registers: every allocatable register in exactly one group.
+//! * **M103** — every width class must be contained in the allocatable
+//!   set; a width-class register outside every overlap group would escape
+//!   the §5.3 single-assignment constraints.
+//! * **M104** — every register carrying a `size_penalty` in an operand
+//!   constraint must be admitted by that same constraint: a penalty on a
+//!   forbidden register can never price anything and indicates a typo in
+//!   the model (the penalised register need *not* be allocatable — the
+//!   x86 prices the non-allocatable ESP/EBP in addressing positions).
+
+use regalloc_ir::{
+    Address, BinOp, BlockId, Cond, Dst, Inst, Loc, Operand, PhysReg, Scale, UnOp, UseRole, Width,
+};
+
+use crate::machine::{Machine, OperandConstraint};
+
+/// Which structural invariant a [`ModelDiagnostic`] reports. Maps 1:1 to
+/// the lint engine's M101–M104 codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelCheckKind {
+    /// `aliases` is not symmetric/reflexive (M101).
+    AliasAsymmetry,
+    /// A register is in zero or multiple overlap groups (M102).
+    OverlapPartition,
+    /// A width-class register is outside every overlap group (M103).
+    WidthClassEscape,
+    /// A size-penalised register is not admitted by its constraint (M104).
+    PenaltyNotAdmitted,
+}
+
+/// One structural defect found in a machine model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModelDiagnostic {
+    /// Which invariant failed.
+    pub kind: ModelCheckKind,
+    /// Description naming the offending registers/positions.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+const WIDTHS: [Width; 4] = [Width::B8, Width::B16, Width::B32, Width::B64];
+
+/// Run every structural self-check on `m`. Empty result ⇔ the model is
+/// internally consistent.
+pub fn check_machine(m: &(impl Machine + ?Sized)) -> Vec<ModelDiagnostic> {
+    let mut out: Vec<ModelDiagnostic> = Vec::new();
+    let push = |out: &mut Vec<ModelDiagnostic>, kind, message: String| {
+        let d = ModelDiagnostic { kind, message };
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    };
+
+    // The allocatable universe is the union of the overlap groups.
+    let groups = m.overlap_groups();
+    let allocatable: Vec<PhysReg> = {
+        let mut v: Vec<PhysReg> = groups.iter().flatten().copied().collect();
+        v.sort_by_key(|r| r.0);
+        v.dedup();
+        v
+    };
+
+    // M102: the groups cover every allocatable register and agree with
+    // the alias relation — two registers share a group exactly when they
+    // alias (each group is a clique of one shared bit field, §5.3; a
+    // register spanning several fields, like EAX or an MCU pair, appears
+    // once per field).
+    for &r in &allocatable {
+        if !groups.iter().any(|g| g.contains(&r)) {
+            push(
+                &mut out,
+                ModelCheckKind::OverlapPartition,
+                format!("{} appears in no overlap group", m.reg_name(r)),
+            );
+        }
+    }
+    for &a in &allocatable {
+        for &b in &allocatable {
+            if a.0 >= b.0 {
+                continue;
+            }
+            let grouped = groups.iter().any(|g| g.contains(&a) && g.contains(&b));
+            let aliased = m.aliases(a).contains(&b);
+            if grouped != aliased {
+                push(
+                    &mut out,
+                    ModelCheckKind::OverlapPartition,
+                    format!(
+                        "{} and {} {} a group but {} alias",
+                        m.reg_name(a),
+                        m.reg_name(b),
+                        if grouped { "share" } else { "do not share" },
+                        if aliased { "do" } else { "do not" },
+                    ),
+                );
+            }
+        }
+    }
+
+    // M101: aliasing is reflexive and symmetric over the allocatable set.
+    for &r in &allocatable {
+        if !m.aliases(r).contains(&r) {
+            push(
+                &mut out,
+                ModelCheckKind::AliasAsymmetry,
+                format!("{} does not alias itself", m.reg_name(r)),
+            );
+        }
+        for &a in m.aliases(r) {
+            if !m.aliases(a).contains(&r) {
+                push(
+                    &mut out,
+                    ModelCheckKind::AliasAsymmetry,
+                    format!(
+                        "{} aliases {} but not vice versa",
+                        m.reg_name(r),
+                        m.reg_name(a)
+                    ),
+                );
+            }
+        }
+    }
+
+    // M103: width classes stay inside the allocatable set.
+    for w in WIDTHS {
+        for &r in m.regs_for_width(w) {
+            if !allocatable.contains(&r) {
+                push(
+                    &mut out,
+                    ModelCheckKind::WidthClassEscape,
+                    format!(
+                        "width-{} register {} is outside every overlap group",
+                        w.bits(),
+                        m.reg_name(r)
+                    ),
+                );
+            }
+        }
+    }
+
+    // M104: probe the instruction templates the generators and the C
+    // front end can produce and insist every size-penalised register is
+    // admitted by the constraint that penalises it.
+    let check_constraint = |out: &mut Vec<ModelDiagnostic>, c: &OperandConstraint, at: String| {
+        for &(r, _) in &c.size_penalty {
+            if !c.admits(r) {
+                push(
+                    out,
+                    ModelCheckKind::PenaltyNotAdmitted,
+                    format!(
+                        "{} carries a size penalty but is not admitted at {at}",
+                        m.reg_name(r)
+                    ),
+                );
+            }
+        }
+    };
+
+    for w in WIDTHS {
+        if m.regs_for_width(w).is_empty() {
+            continue; // refused width: constraints are never queried
+        }
+        let r0 = m.regs_for_width(w)[0];
+        let real = || Operand::Loc(Loc::Real(r0));
+        let ab = m
+            .regs_for_width(m.addr_width())
+            .first()
+            .copied()
+            .unwrap_or(r0);
+
+        let mut insts: Vec<Inst> = Vec::new();
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Mul,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Sar,
+        ] {
+            for rhs in [real(), Operand::Imm(1)] {
+                insts.push(Inst::Bin {
+                    op,
+                    dst: Dst::Loc(Loc::Real(r0)),
+                    lhs: real(),
+                    rhs,
+                    width: w,
+                });
+            }
+        }
+        for op in [UnOp::Neg, UnOp::Not] {
+            insts.push(Inst::Un {
+                op,
+                dst: Dst::Loc(Loc::Real(r0)),
+                src: real(),
+                width: w,
+            });
+        }
+        insts.push(Inst::Copy {
+            dst: Loc::Real(r0),
+            src: Loc::Real(r0),
+            width: w,
+        });
+        insts.push(Inst::LoadImm {
+            dst: Loc::Real(r0),
+            imm: 1,
+            width: w,
+        });
+        for scale in [Scale::S1, Scale::S4] {
+            let addr = Address::Indirect {
+                base: Some(Loc::Real(ab)),
+                index: Some((Loc::Real(ab), scale)),
+                disp: 8,
+            };
+            insts.push(Inst::Load {
+                dst: Loc::Real(r0),
+                addr,
+                width: w,
+            });
+            insts.push(Inst::Store {
+                addr,
+                src: real(),
+                width: w,
+            });
+        }
+        insts.push(Inst::Call {
+            callee: 0,
+            ret: Some(Loc::Real(r0)),
+            args: vec![real()],
+            width: w,
+        });
+        insts.push(Inst::Ret { val: Some(real()) });
+        insts.push(Inst::Branch {
+            cond: Cond::Eq,
+            lhs: real(),
+            rhs: real(),
+            width: w,
+            then_blk: BlockId(0),
+            else_blk: BlockId(0),
+        });
+
+        for inst in &insts {
+            inst.visit_uses(&mut |_, role| {
+                let uw = match role {
+                    UseRole::AddrBase | UseRole::AddrIndex { .. } => m.addr_width(),
+                    _ => w,
+                };
+                let c = m.use_constraints(inst, role, uw);
+                check_constraint(&mut out, &c, format!("{role:?} of `{inst}`"));
+            });
+            if inst.def().is_some() {
+                let c = m.def_constraints(inst, w);
+                check_constraint(&mut out, &c, format!("def of `{inst}`"));
+            }
+        }
+    }
+
+    out
+}

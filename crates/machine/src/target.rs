@@ -1,0 +1,64 @@
+//! Stable identifiers for the registered target machines.
+
+use std::fmt;
+
+/// A registered target machine.
+///
+/// The identifier is the stable, user-visible name threaded through the
+/// whole stack: the driver's `--target` flag, the serve protocol's
+/// `target=` field, the allocation-cache key and the fuzzer's per-target
+/// campaigns. The mapping from a `TargetId` to a concrete
+/// [`Machine`](crate::Machine) lives in `regalloc_core::targets` so this
+/// crate stays free of backend dependencies.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum TargetId {
+    /// The paper's Pentium x86 model (`regalloc_x86::X86Machine`).
+    #[default]
+    X86Pentium,
+    /// The regular 24-register RISC comparison model
+    /// (`regalloc_x86::RiscMachine`).
+    Risc24,
+    /// The 8-register paired-accumulator microcontroller model
+    /// (`regalloc_mcu::McuMachine`).
+    Mcu,
+}
+
+impl TargetId {
+    /// Every registered target, in registry order.
+    pub const ALL: [TargetId; 3] = [TargetId::X86Pentium, TargetId::Risc24, TargetId::Mcu];
+
+    /// The stable textual name (`x86-pentium`, `risc24`, `mcu`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetId::X86Pentium => "x86-pentium",
+            TargetId::Risc24 => "risc24",
+            TargetId::Mcu => "mcu",
+        }
+    }
+
+    /// Parse a stable name back into an identifier.
+    pub fn parse(s: &str) -> Option<TargetId> {
+        TargetId::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in TargetId::ALL {
+            assert_eq!(TargetId::parse(t.name()), Some(t));
+            assert_eq!(t.to_string(), t.name());
+        }
+        assert_eq!(TargetId::parse("pdp11"), None);
+        assert_eq!(TargetId::default(), TargetId::X86Pentium);
+    }
+}

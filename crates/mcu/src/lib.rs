@@ -1,0 +1,27 @@
+//! An MC-CPU-style microcontroller machine model.
+//!
+//! A second *irregular* target for the allocation stack, with its
+//! irregularity on a different axis than the x86's AL/AX/EAX nesting:
+//!
+//! * eight 8-bit registers `r0`–`r7` whose adjacent pairs form four
+//!   16-bit registers `p0`–`p3` (`pk` = `r(2k+1)`:`r(2k)`) — overlap
+//!   groups of *siblings*, not of nested sub-registers;
+//! * an accumulator architecture: two-address arithmetic whose combined
+//!   source/destination is pinned to `r0`/`p0`, comparisons that read
+//!   the accumulator, call results and return values in the accumulator;
+//! * a width-refusal rule one step harsher than the paper's: 32-bit
+//!   *and* 64-bit values have empty register classes, so functions
+//!   touching them are not attempted on this target;
+//! * a banked encoding: the high bank (`r4`–`r7`, `p2`–`p3`) costs one
+//!   prefix byte in the operand positions that can name it.
+//!
+//! The model plugs into the same [`Machine`](regalloc_machine::Machine)
+//! interface as the x86, so the entire stack — IP allocator, coloring
+//! fallback, verifier, interpreter-equivalence checking, fuzzing, cache
+//! and serve daemon — runs unmodified against it via `--target mcu`.
+
+mod mcu;
+mod regs;
+
+pub use mcu::{McuMachine, McuRegFile, MCU_COSTS};
+pub use regs::{NUM_MCU_REGS, P0, P1, P2, P3, R0, R1, R2, R3, R4, R5, R6, R7};

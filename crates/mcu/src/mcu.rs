@@ -1,0 +1,438 @@
+//! The MCU machine model and its bit-accurate register file.
+
+use regalloc_ir::{Inst, Operand, PhysReg, RegFile, UseRole, Width};
+
+use regalloc_machine::{Machine, OperandConstraint, SpillCosts};
+
+use crate::regs::{self, NUM_MCU_REGS, P0, R0};
+
+/// MCU spill costs: memory is on-chip SRAM, so loads and stores are two
+/// cycles; every spill access is a two-byte `opcode + addr8` form and a
+/// copy is a single-byte `mov`.
+pub const MCU_COSTS: SpillCosts = SpillCosts {
+    load_cycles: 2,
+    load_bytes: 2,
+    store_cycles: 2,
+    store_bytes: 2,
+    remat_cycles: 1,
+    remat_bytes: 2,
+    copy_cycles: 1,
+    copy_bytes: 1,
+    // Load/store architecture: no memory operands at all.
+    mem_use_extra_cycles: 0,
+    mem_use_extra_bytes: 0,
+    mem_combined_extra_cycles: 0,
+    mem_combined_extra_bytes: 0,
+};
+
+/// The 8-register paired-accumulator microcontroller.
+#[derive(Clone, Debug)]
+pub struct McuMachine {
+    regs8: Vec<PhysReg>,
+    regs16: Vec<PhysReg>,
+    groups: Vec<Vec<PhysReg>>,
+    aliases: Vec<Vec<PhysReg>>,
+}
+
+impl Default for McuMachine {
+    fn default() -> McuMachine {
+        McuMachine::new()
+    }
+}
+
+impl McuMachine {
+    /// The full machine: `r0`–`r7` allocatable at width 8, `p0`–`p3` at
+    /// width 16.
+    pub fn new() -> McuMachine {
+        let regs8: Vec<PhysReg> = (0..8u16).map(PhysReg).collect();
+        let regs16: Vec<PhysReg> = (8..12u16).map(PhysReg).collect();
+        // One maximal bit-field group per byte lane: each pair shares its
+        // low byte with one register and its high byte with another
+        // (§5.3, along the pairing axis rather than the x86 nesting axis).
+        let mut groups = Vec::new();
+        for k in 0..4u16 {
+            let p = PhysReg(8 + k);
+            groups.push(vec![p, PhysReg(2 * k)]);
+            groups.push(vec![p, PhysReg(2 * k + 1)]);
+        }
+        let aliases = (0..NUM_MCU_REGS as u16)
+            .map(PhysReg)
+            .map(|r| {
+                if regs::is_pair(r) {
+                    let k = r.0 - 8;
+                    vec![PhysReg(2 * k), PhysReg(2 * k + 1), r]
+                } else {
+                    vec![r, regs::pair_of(r)]
+                }
+            })
+            .collect();
+        McuMachine {
+            regs8,
+            regs16,
+            groups,
+            aliases,
+        }
+    }
+
+    /// The accumulator of width `w`: `r0` for bytes, `p0` for words.
+    pub fn acc_reg(w: Width) -> PhysReg {
+        match w {
+            Width::B8 => R0,
+            _ => P0,
+        }
+    }
+
+    fn pin(r: PhysReg) -> OperandConstraint {
+        OperandConstraint {
+            allowed: Some(vec![r]),
+            size_penalty: Vec::new(),
+        }
+    }
+
+    /// One prefix byte for every high-bank register admissible at a free
+    /// operand position of width `w`.
+    fn bank_penalty(&self, w: Width) -> Vec<(PhysReg, u64)> {
+        self.regs_for_width(w)
+            .iter()
+            .copied()
+            .filter(|r| regs::is_high_bank(*r))
+            .map(|r| (r, 1))
+            .collect()
+    }
+
+    /// Base encoded size of `inst`, excluding bank prefixes.
+    fn base_size(inst: &Inst) -> u64 {
+        let imm_bytes = |w: &Width| if *w == Width::B8 { 1 } else { 2 };
+        match inst {
+            Inst::LoadImm { width, .. } => 1 + imm_bytes(width),
+            Inst::Copy { .. } => 1,
+            // Load/store go through a 16-bit absolute or register-relative
+            // address: opcode + addr16.
+            Inst::Load { .. } | Inst::Store { .. } => 3,
+            Inst::Bin { rhs, width, .. } => match rhs {
+                Operand::Imm(_) => 1 + imm_bytes(width),
+                _ => 1,
+            },
+            Inst::Un { .. } => 1,
+            Inst::Call { .. } => 3,
+            Inst::SpillLoad { .. } | Inst::SpillStore { .. } => 2,
+            Inst::Jump { .. } => 2,
+            Inst::Branch { rhs, width, .. } => match rhs {
+                // compare-with-immediate + relative branch
+                Operand::Imm(_) => 2 + imm_bytes(width),
+                _ => 2,
+            },
+            Inst::Ret { .. } => 1,
+        }
+    }
+}
+
+impl Machine for McuMachine {
+    fn name(&self) -> &str {
+        "MCU (8-bit paired accumulator)"
+    }
+
+    fn regs_for_width(&self, w: Width) -> &[PhysReg] {
+        // 32- and 64-bit values have no home at all: the width-refusal
+        // rule that keeps such functions off this target.
+        match w {
+            Width::B8 => &self.regs8,
+            Width::B16 => &self.regs16,
+            Width::B32 | Width::B64 => &[],
+        }
+    }
+
+    fn overlap_groups(&self) -> &[Vec<PhysReg>] {
+        &self.groups
+    }
+
+    fn aliases(&self, r: PhysReg) -> &[PhysReg] {
+        &self.aliases[r.index()]
+    }
+
+    fn is_caller_saved(&self, r: PhysReg) -> bool {
+        // The low bank (r0–r3 and their pairs p0/p1) is caller-saved.
+        if regs::is_pair(r) {
+            r.index() < 10
+        } else {
+            r.index() < 4
+        }
+    }
+
+    fn reg_width(&self, r: PhysReg) -> Width {
+        if regs::is_pair(r) {
+            Width::B16
+        } else {
+            Width::B8
+        }
+    }
+
+    fn reg_name(&self, r: PhysReg) -> &'static str {
+        regs::NAMES[r.index()]
+    }
+
+    fn addr_width(&self) -> Width {
+        // Pointers are 16-bit: addresses live in the pair class.
+        Width::B16
+    }
+
+    fn is_two_address(&self, inst: &Inst) -> bool {
+        // Arithmetic reads and writes the accumulator.
+        matches!(inst, Inst::Bin { .. } | Inst::Un { .. })
+    }
+
+    fn use_constraints(&self, inst: &Inst, role: UseRole, width: Width) -> OperandConstraint {
+        let mut c = OperandConstraint::any();
+        match role {
+            // Results and return values travel in the accumulator.
+            UseRole::RetVal => return McuMachine::pin(McuMachine::acc_reg(width)),
+            // The combined source/destination of arithmetic is the
+            // accumulator itself.
+            UseRole::Src1 => {
+                if matches!(inst, Inst::Bin { .. }) {
+                    return McuMachine::pin(McuMachine::acc_reg(width));
+                }
+            }
+            UseRole::Src if matches!(inst, Inst::Un { .. }) => {
+                return McuMachine::pin(McuMachine::acc_reg(width));
+            }
+            // Comparisons read the accumulator on their left.
+            UseRole::BranchLhs => return McuMachine::pin(McuMachine::acc_reg(width)),
+            // Free positions: second sources, compare right-hand sides,
+            // stored values and call arguments pay the bank prefix when
+            // they name the high bank.
+            UseRole::Src2 | UseRole::BranchRhs | UseRole::StoreVal | UseRole::CallArg => {
+                c.size_penalty = self.bank_penalty(width);
+            }
+            // Addressing runs through the pairs; high-bank pairs carry
+            // the same prefix.
+            UseRole::AddrBase | UseRole::AddrIndex { .. } => {
+                c.size_penalty = self.bank_penalty(self.addr_width());
+            }
+            _ => {}
+        }
+        c
+    }
+
+    fn def_constraints(&self, inst: &Inst, width: Width) -> OperandConstraint {
+        match inst {
+            // Arithmetic results and call results land in the accumulator.
+            Inst::Bin { .. } | Inst::Un { .. } | Inst::Call { .. } => {
+                McuMachine::pin(McuMachine::acc_reg(width))
+            }
+            _ => {
+                let mut c = OperandConstraint::any();
+                c.size_penalty = self.bank_penalty(width);
+                c
+            }
+        }
+    }
+
+    fn mem_use_ok(&self, _inst: &Inst, _role: UseRole) -> bool {
+        false // strict load/store architecture
+    }
+
+    fn mem_combined_ok(&self, _inst: &Inst) -> bool {
+        false
+    }
+
+    fn spill_costs(&self) -> &SpillCosts {
+        &MCU_COSTS
+    }
+
+    fn inst_size(&self, inst: &Inst) -> u64 {
+        // Base form plus one bank-prefix byte per high-bank register
+        // named in a penalised (non-pinned) position — exactly the
+        // positions [`use_constraints`]/[`def_constraints`] price.
+        let mut size = McuMachine::base_size(inst);
+        inst.visit_uses(&mut |l, role| {
+            if let regalloc_ir::Loc::Real(r) = l {
+                let w = match role {
+                    UseRole::AddrBase | UseRole::AddrIndex { .. } => self.addr_width(),
+                    UseRole::RetVal => self.reg_width(r),
+                    _ => inst.width().unwrap_or(Width::B16),
+                };
+                size += self.use_constraints(inst, role, w).penalty(r);
+            }
+        });
+        if let Some((regalloc_ir::Loc::Real(r), w)) = inst.def() {
+            size += self.def_constraints(inst, w).penalty(r);
+        }
+        size
+    }
+
+    fn new_regfile(&self) -> Box<dyn RegFile> {
+        Box::new(McuRegFile::new())
+    }
+}
+
+/// Bit-accurate MCU register file: four 16-bit cells, each overlaid by
+/// its two byte registers (`r(2k)` is the low byte of `pk`).
+#[derive(Clone, Debug, Default)]
+pub struct McuRegFile {
+    pairs: [u16; 4],
+}
+
+impl McuRegFile {
+    /// A zeroed register file.
+    pub fn new() -> McuRegFile {
+        McuRegFile::default()
+    }
+}
+
+impl RegFile for McuRegFile {
+    fn read(&self, r: PhysReg) -> u64 {
+        if regs::is_pair(r) {
+            self.pairs[r.index() - 8] as u64
+        } else {
+            let cell = self.pairs[r.index() / 2];
+            let shift = (r.index() % 2) * 8;
+            ((cell >> shift) & 0xFF) as u64
+        }
+    }
+
+    fn write(&mut self, r: PhysReg, v: u64) {
+        if regs::is_pair(r) {
+            self.pairs[r.index() - 8] = v as u16;
+        } else {
+            let cell = &mut self.pairs[r.index() / 2];
+            let shift = (r.index() % 2) * 8;
+            *cell = (*cell & !(0xFF << shift)) | (((v & 0xFF) as u16) << shift);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pairs = [0; 4];
+    }
+
+    fn clobber_for_call(&mut self, seed: u64) {
+        // The caller-saved low bank is p0/p1 (= r0–r3).
+        for k in 0..2 {
+            self.pairs[k] = regalloc_ir::interp::mix64(seed ^ k as u64) as u16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{P1, P2, R1, R2, R4, R5};
+    use regalloc_ir::{BinOp, Cond, Dst, Loc};
+    use regalloc_machine::check_machine;
+
+    fn real(r: PhysReg) -> Operand {
+        Operand::Loc(Loc::Real(r))
+    }
+
+    #[test]
+    fn width_classes_and_refusal() {
+        let m = McuMachine::new();
+        assert_eq!(m.regs_for_width(Width::B8).len(), 8);
+        assert_eq!(m.regs_for_width(Width::B16).len(), 4);
+        assert!(m.regs_for_width(Width::B32).is_empty());
+        assert!(m.regs_for_width(Width::B64).is_empty());
+        assert_eq!(m.addr_width(), Width::B16);
+    }
+
+    #[test]
+    fn pairing_overlap_structure() {
+        let m = McuMachine::new();
+        // Eight two-register groups: one per byte lane.
+        assert_eq!(m.overlap_groups().len(), 8);
+        assert!(m.overlap_groups().iter().all(|g| g.len() == 2));
+        assert!(m.overlap_groups().contains(&vec![P0, R0]));
+        assert!(m.overlap_groups().contains(&vec![P0, R1]));
+        // Pair aliases both halves; halves alias only their pair.
+        assert_eq!(m.aliases(P1), &[R2, PhysReg(3), P1]);
+        assert_eq!(m.aliases(R2), &[R2, P1]);
+        assert_eq!(m.aliases(R1), &[R1, P0]);
+    }
+
+    #[test]
+    fn accumulator_pinning() {
+        let m = McuMachine::new();
+        let add = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(R0)),
+            lhs: real(R0),
+            rhs: real(R2),
+            width: Width::B8,
+        };
+        assert!(m.is_two_address(&add));
+        let src1 = m.use_constraints(&add, UseRole::Src1, Width::B8);
+        assert_eq!(src1.allowed, Some(vec![R0]));
+        assert_eq!(m.def_constraints(&add, Width::B8).allowed, Some(vec![R0]));
+        assert_eq!(m.def_constraints(&add, Width::B16).allowed, Some(vec![P0]));
+        // The second source is free but pays the bank prefix up high.
+        let src2 = m.use_constraints(&add, UseRole::Src2, Width::B8);
+        assert_eq!(src2.allowed, None);
+        assert_eq!(src2.penalty(R4), 1);
+        assert_eq!(src2.penalty(R2), 0);
+    }
+
+    #[test]
+    fn branch_reads_accumulator() {
+        let m = McuMachine::new();
+        let br = Inst::Branch {
+            cond: Cond::Lt,
+            lhs: real(R0),
+            rhs: real(R5),
+            width: Width::B8,
+            then_blk: regalloc_ir::BlockId(0),
+            else_blk: regalloc_ir::BlockId(1),
+        };
+        let lhs = m.use_constraints(&br, UseRole::BranchLhs, Width::B8);
+        assert_eq!(lhs.allowed, Some(vec![R0]));
+        // Base 2 bytes + high-bank prefix on the rhs.
+        assert_eq!(m.inst_size(&br), 3);
+    }
+
+    #[test]
+    fn encoding_matches_penalties() {
+        let m = McuMachine::new();
+        let low = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(R0)),
+            lhs: real(R0),
+            rhs: real(R1),
+            width: Width::B8,
+        };
+        let high = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(R0)),
+            lhs: real(R0),
+            rhs: real(R4),
+            width: Width::B8,
+        };
+        assert_eq!(m.inst_size(&low), 1);
+        assert_eq!(m.inst_size(&high), 2);
+        let imm16 = Inst::Bin {
+            op: BinOp::Add,
+            dst: Dst::Loc(Loc::Real(P0)),
+            lhs: real(P0),
+            rhs: Operand::Imm(300),
+            width: Width::B16,
+        };
+        assert_eq!(m.inst_size(&imm16), 3);
+    }
+
+    #[test]
+    fn regfile_pairing_semantics() {
+        let mut rf = McuRegFile::new();
+        rf.write(P1, 0xBEEF);
+        assert_eq!(rf.read(R2), 0xEF, "low byte of p1 is r2");
+        assert_eq!(rf.read(PhysReg(3)), 0xBE, "high byte of p1 is r3");
+        rf.write(R2, 0x12);
+        assert_eq!(rf.read(P1), 0xBE12, "byte write lands inside the pair");
+        rf.write(R5, 0x7);
+        assert_eq!(rf.read(P2) >> 8, 0x7);
+        rf.clobber_for_call(42);
+        assert_eq!(rf.read(P2) >> 8, 0x7, "callee-saved half preserved");
+        assert_ne!(rf.read(P0), 0, "caller-saved pair trashed");
+    }
+
+    #[test]
+    fn model_self_check_is_clean() {
+        assert!(check_machine(&McuMachine::new()).is_empty());
+    }
+}

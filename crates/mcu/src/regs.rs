@@ -1,0 +1,61 @@
+//! Register names of the MCU model.
+//!
+//! `PhysReg` 0–7 are the 8-bit registers `r0`–`r7`; 8–11 are the paired
+//! 16-bit registers `p0`–`p3`, where `pk` overlays `r(2k+1)`:`r(2k)`
+//! (low byte in the even register).
+
+use regalloc_ir::PhysReg;
+
+/// 8-bit register `r0` — the byte accumulator.
+pub const R0: PhysReg = PhysReg(0);
+/// 8-bit register `r1`.
+pub const R1: PhysReg = PhysReg(1);
+/// 8-bit register `r2`.
+pub const R2: PhysReg = PhysReg(2);
+/// 8-bit register `r3`.
+pub const R3: PhysReg = PhysReg(3);
+/// 8-bit register `r4` (high bank).
+pub const R4: PhysReg = PhysReg(4);
+/// 8-bit register `r5` (high bank).
+pub const R5: PhysReg = PhysReg(5);
+/// 8-bit register `r6` (high bank).
+pub const R6: PhysReg = PhysReg(6);
+/// 8-bit register `r7` (high bank).
+pub const R7: PhysReg = PhysReg(7);
+/// 16-bit pair `p0` = `r1`:`r0` — the word accumulator.
+pub const P0: PhysReg = PhysReg(8);
+/// 16-bit pair `p1` = `r3`:`r2`.
+pub const P1: PhysReg = PhysReg(9);
+/// 16-bit pair `p2` = `r5`:`r4` (high bank).
+pub const P2: PhysReg = PhysReg(10);
+/// 16-bit pair `p3` = `r7`:`r6` (high bank).
+pub const P3: PhysReg = PhysReg(11);
+
+/// Total number of architectural registers (8 bytes + 4 pairs).
+pub const NUM_MCU_REGS: usize = 12;
+
+/// Architectural names, indexed by `PhysReg`.
+pub(crate) const NAMES: [&str; NUM_MCU_REGS] = [
+    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "p0", "p1", "p2", "p3",
+];
+
+/// True if `r` is one of the four 16-bit pairs.
+pub(crate) fn is_pair(r: PhysReg) -> bool {
+    r.index() >= 8
+}
+
+/// The pair containing byte register `r`.
+pub(crate) fn pair_of(r: PhysReg) -> PhysReg {
+    debug_assert!(!is_pair(r));
+    PhysReg(8 + r.0 / 2)
+}
+
+/// True if `r` lives in the high bank (`r4`–`r7`, `p2`–`p3`), which costs
+/// a one-byte bank prefix in penalised operand positions.
+pub(crate) fn is_high_bank(r: PhysReg) -> bool {
+    if is_pair(r) {
+        r.index() >= 10
+    } else {
+        r.index() >= 4
+    }
+}

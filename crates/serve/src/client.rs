@@ -17,6 +17,9 @@ use crate::proto::{parse_ok_payload, Frame};
 /// Per-request knobs, mapped onto `ALLOC` header fields.
 #[derive(Clone, Debug, Default)]
 pub struct AllocOptions {
+    /// Target machine to allocate for (`target=` field); `None` serves
+    /// the daemon's default target.
+    pub target: Option<String>,
     /// Requested solve deadline in milliseconds (server caps it at its
     /// own per-function ceiling).
     pub budget_ms: Option<u64>,
@@ -104,6 +107,9 @@ impl Client {
         let mut f = Frame::new("ALLOC")
             .field("id", &id)
             .field("client", &self.client_id);
+        if let Some(t) = &opts.target {
+            f = f.field("target", t);
+        }
         if let Some(ms) = opts.budget_ms {
             f = f.field("budget_ms", ms);
         }

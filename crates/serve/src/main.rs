@@ -24,6 +24,8 @@ const USAGE: &str = "usage: regalloc-serve <serve|client|soak> [options]
 
 serve — run the allocation daemon until drained (SIGTERM or DRAIN):
   --addr A:P           bind address (default 127.0.0.1:0, prints LISTENING)
+  --target NAME        default target for requests without target=
+                       (x86-pentium, risc24, mcu; default x86-pentium)
   --jobs N             worker threads (default: available parallelism)
   --function-budget S  per-function wall-clock ceiling, seconds (default 8)
   --time-limit S       IP solver wall-clock limit per solve, seconds
@@ -48,6 +50,8 @@ client — talk to a daemon:
   ping                 liveness probe
   drain                ask the daemon to drain and exit
   metrics              scrape /metrics (Prometheus text)
+  --target NAME        allocate for this target (x86-pentium, risc24, mcu;
+                       default: the daemon's configured target)
   --budget-ms N        per-request deadline request
   --lint               include lint diagnostics in responses
 
@@ -93,6 +97,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => cfg.addr = next_val(&mut it, "--addr")?,
+            "--target" => {
+                let name = next_val(&mut it, "--target")?;
+                cfg.driver.target = regalloc_machine::TargetId::parse(&name)
+                    .ok_or_else(|| format!("--target: unknown target `{name}`"))?;
+            }
             "--jobs" => {
                 cfg.driver.jobs = next_val(&mut it, "--jobs")?
                     .parse()
@@ -218,6 +227,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         match a.as_str() {
             "--addr" => addr = Some(next_val(&mut it, "--addr")?),
             "--client" => client_id = next_val(&mut it, "--client")?,
+            "--target" => opts.target = Some(next_val(&mut it, "--target")?),
             "--budget-ms" => {
                 opts.budget_ms = Some(
                     next_val(&mut it, "--budget-ms")?

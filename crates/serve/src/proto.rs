@@ -10,13 +10,13 @@
 //!
 //! ```text
 //! request  := alloc | ping | drain
-//! alloc    := "ALLOC id=<tok> client=<tok> bytes=<n>"
+//! alloc    := "ALLOC id=<tok> client=<tok> bytes=<n>" [" target=<tok>"]
 //!             [" budget_ms=<n>"] [" lint=0|1"] [" fault_seed=<n>"] "\n" payload
 //! ping     := "PING id=<tok>\n"
 //! drain    := "DRAIN id=<tok>" [" grace_ms=<n>"] "\n"
 //!
 //! response := ok | err | busy | draining | pong
-//! ok       := "OK id=<tok> bytes=<n> rung=<tok> cache=hit|miss
+//! ok       := "OK id=<tok> bytes=<n> target=<tok> rung=<tok> cache=hit|miss
 //!              budget=full|shrunk|exhausted granted_ms=<n>\n" payload
 //! err      := "ERR id=<tok> code=<tok> bytes=<n>\n" payload
 //! busy     := "BUSY id=<tok> retry_ms=<n>\n"
@@ -40,6 +40,7 @@ use std::io::{BufRead, Write};
 
 /// Protocol-level error codes carried by `ERR` frames.
 pub const ERR_PARSE: &str = "parse";
+pub const ERR_TARGET: &str = "target";
 pub const ERR_PROTOCOL: &str = "protocol";
 pub const ERR_PANIC: &str = "panic";
 pub const ERR_INTERNAL: &str = "internal";

@@ -27,6 +27,7 @@
 //! the batch driver's code — so responses are byte-identical to
 //! `regalloc-driver` output for the same input and configuration.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,9 +40,10 @@ use regalloc_core::FaultPlan;
 use regalloc_driver::pool::ServicePool;
 use regalloc_driver::schedule::ClientBudgets;
 use regalloc_driver::{AllocationService, DriverConfig, FixedGrant, RequestOptions};
+use regalloc_machine::TargetId;
 use regalloc_obs::SharedMetrics;
 
-use crate::proto::{ok_payload, Frame, ERR_PANIC, ERR_PARSE, ERR_PROTOCOL};
+use crate::proto::{ok_payload, Frame, ERR_PANIC, ERR_PARSE, ERR_PROTOCOL, ERR_TARGET};
 
 /// Daemon configuration.
 pub struct ServeConfig {
@@ -107,7 +109,13 @@ pub struct ServeReport {
 }
 
 struct State {
-    svc: AllocationService,
+    /// One long-lived service per registered target, built eagerly at
+    /// bind so the first `target=mcu` request pays no setup and the donor
+    /// snapshots are frozen at the same instant for every target.
+    svcs: BTreeMap<TargetId, AllocationService>,
+    /// The target served when a request carries no `target=` field (the
+    /// daemon's configured driver target).
+    default_target: TargetId,
     pool: ServicePool,
     budgets: ClientBudgets,
     metrics: SharedMetrics,
@@ -131,6 +139,11 @@ struct State {
 }
 
 impl State {
+    /// The service for `t` (every registered target has one).
+    fn svc_for(&self, t: TargetId) -> &AllocationService {
+        &self.svcs[&t]
+    }
+
     /// All accepted requests have been answered.
     fn settled(&self) -> bool {
         self.accepted.load(Ordering::SeqCst) == self.responded.load(Ordering::SeqCst)
@@ -209,8 +222,17 @@ impl Server {
             )),
         };
         let jobs = cfg.driver.jobs.max(1);
+        let svcs: BTreeMap<TargetId, AllocationService> = TargetId::ALL
+            .into_iter()
+            .map(|t| {
+                let mut dcfg = cfg.driver.clone();
+                dcfg.target = t;
+                (t, AllocationService::new(dcfg))
+            })
+            .collect();
         let state = Arc::new(State {
-            svc: AllocationService::new(cfg.driver.clone()),
+            svcs,
+            default_target: cfg.driver.target,
             pool: ServicePool::new(jobs),
             budgets: ClientBudgets::new(cfg.client_capacity, cfg.client_refill),
             metrics: SharedMetrics::new(),
@@ -645,7 +667,31 @@ fn handle_alloc(
         return;
     }
     let func = funcs.into_iter().next().unwrap();
-    let estimate = state.svc.estimate(&func);
+    // Target selection: an absent field serves the daemon's default; an
+    // unregistered name is the client's error, refused before admission.
+    let target = match frame.get("target") {
+        None => state.default_target,
+        Some(name) => match TargetId::parse(name) {
+            Some(t) => t,
+            None => {
+                state.errors.fetch_add(1, Ordering::SeqCst);
+                let known: Vec<&str> = TargetId::ALL.iter().map(|t| t.name()).collect();
+                let resp = Frame::new("ERR")
+                    .field("id", &id)
+                    .field("code", ERR_TARGET)
+                    .with_payload(
+                        format!(
+                            "unknown target `{name}` (registered targets: {})",
+                            known.join(", ")
+                        )
+                        .into_bytes(),
+                    );
+                send(state, writer, &resp, &client, false);
+                return;
+            }
+        },
+    };
+    let estimate = state.svc_for(target).estimate(&func);
 
     // Admission control: shed load with an explicit BUSY before anything
     // is queued, so memory stays bounded by the watermarks.
@@ -701,6 +747,7 @@ fn handle_alloc(
             &outstanding2,
             &id,
             &client,
+            target,
             &func,
             estimate,
             granted,
@@ -718,6 +765,7 @@ fn run_alloc_job(
     outstanding: &AtomicUsize,
     id: &str,
     client: &str,
+    target: TargetId,
     func: &regalloc_ir::Function,
     estimate: usize,
     granted: Duration,
@@ -739,7 +787,7 @@ fn run_alloc_job(
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         state
-            .svc
+            .svc_for(target)
             .allocate_one(func, estimate, &FixedGrant(granted), opts)
     }));
     state
@@ -754,6 +802,7 @@ fn run_alloc_job(
             match &r.error {
                 None => Frame::new("OK")
                     .field("id", id)
+                    .field("target", target.name())
                     .field("rung", r.rung.map_or("none", |x| x.name()))
                     .field("cache", if r.cache_hit { "hit" } else { "miss" })
                     .field("budget", disposition.name())

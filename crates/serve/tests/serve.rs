@@ -13,6 +13,7 @@ use regalloc_workloads::{Benchmark, Suite};
 
 fn test_driver_cfg(jobs: usize) -> DriverConfig {
     DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs,
         solver: SolverConfig {
             time_limit: Duration::from_secs(300),

@@ -142,6 +142,22 @@ pub struct GenConfig {
     /// the §5.4.1 short forms. `0` reproduces the classic streams bit for
     /// bit.
     pub exotic_addr_pct: u32,
+    /// The machine word: the width of "ordinary" values — parameters,
+    /// globals, loop counters, the bulk arithmetic. [`Width::B32`] (the
+    /// default) reproduces the classic streams bit for bit; [`Width::B16`]
+    /// generates *portable* functions whose every value and displacement
+    /// fits the narrowest registered target (the paired-register MCU), so
+    /// the same function can be allocated — and its outputs compared —
+    /// on every machine model.
+    pub word_width: Width,
+    /// Whether memory statements may compute addresses in registers
+    /// (base/index addressing). `true` (the default) is the classic
+    /// behaviour. `false` restricts memory traffic to globals and
+    /// absolute (displacement-only) addresses, which every target's
+    /// pointer width covers — the x86 models address through 32-bit
+    /// registers, the MCU through 16-bit pairs, so a function meant to
+    /// allocate on *both* must not take addresses from registers.
+    pub symbolic_addresses: bool,
 }
 
 impl Default for GenConfig {
@@ -155,6 +171,8 @@ impl Default for GenConfig {
             make_64bit: false,
             wide_imm_pct: 0,
             exotic_addr_pct: 0,
+            word_width: Width::B32,
+            symbolic_addresses: true,
         }
     }
 }
@@ -170,6 +188,18 @@ impl GenConfig {
             wide_imm_pct: 25,
             exotic_addr_pct: 40,
             ..GenConfig::default()
+        }
+    }
+
+    /// The portable preset: the fuzz mix restricted to a 16-bit word, so
+    /// every generated function is accepted by *all* registered targets
+    /// (the MCU refuses anything wider). Used by the fuzzer's MCU
+    /// campaign and its cross-target agreement oracle.
+    pub fn portable16() -> GenConfig {
+        GenConfig {
+            word_width: Width::B16,
+            symbolic_addresses: false,
+            ..GenConfig::fuzz()
         }
     }
 }
@@ -245,12 +275,16 @@ struct Gen<'r> {
 }
 
 impl<'r> Gen<'r> {
+    fn word(&self) -> Width {
+        self.cfg.word_width
+    }
+
     fn pick32(&mut self) -> SymId {
         // Bias towards recent definitions, with occasional long-range
         // reuse to stretch live ranges.
         let n = self.avail32.len();
         if n == 0 {
-            let s = self.b.new_sym(Width::B32);
+            let s = self.b.new_sym(self.word());
             self.b.load_imm(s, self.rng.gen_range(-100..100));
             self.budget -= 1;
             self.avail32.push(s);
@@ -289,7 +323,7 @@ impl<'r> Gen<'r> {
                 return s;
             }
         }
-        let s = self.b.new_sym(Width::B32);
+        let s = self.b.new_sym(self.word());
         self.avail32.push(s);
         s
     }
@@ -308,14 +342,25 @@ impl<'r> Gen<'r> {
     /// streams bit-identical.
     fn imm32(&mut self) -> i64 {
         if self.cfg.wide_imm_pct > 0 && self.rng.gen_range(0..100u32) < self.cfg.wide_imm_pct {
-            self.rng.gen_range(i32::MIN as i64..=i32::MAX as i64)
+            match self.word() {
+                Width::B16 => self.rng.gen_range(i16::MIN as i64..=i16::MAX as i64),
+                _ => self.rng.gen_range(i32::MIN as i64..=i32::MAX as i64),
+            }
         } else {
             self.rng.gen_range(-512..512)
         }
     }
 
-    /// An addressing shape the classic generator never produces.
+    /// An addressing shape the classic generator never produces. Far
+    /// displacements stay inside the 16-bit address space under the
+    /// portable word so the narrow targets' addressing is exercised
+    /// without wrapping.
     fn exotic_address(&mut self) -> Address {
+        let far_hi: i32 = if self.word() == Width::B16 {
+            1 << 14
+        } else {
+            1 << 20
+        };
         match self.rng.gen_range(0..4u32) {
             // Absolute: displacement only, no registers at all.
             0 => Address::Indirect {
@@ -341,7 +386,7 @@ impl<'r> Gen<'r> {
             2 => Address::Indirect {
                 base: Some(regalloc_ir::Loc::Sym(self.pick32())),
                 index: None,
-                disp: self.rng.gen_range(4096..1 << 20),
+                disp: self.rng.gen_range(4096..far_hi),
             },
             // Base + scaled index with a large negative displacement.
             _ => {
@@ -350,7 +395,7 @@ impl<'r> Gen<'r> {
                 Address::Indirect {
                     base: Some(regalloc_ir::Loc::Sym(b)),
                     index: Some((regalloc_ir::Loc::Sym(i), Scale::S4)),
-                    disp: -self.rng.gen_range(4096i32..1 << 16),
+                    disp: -self.rng.gen_range(4096i32..far_hi.min(1 << 16)),
                 }
             }
         }
@@ -377,7 +422,7 @@ impl<'r> Gen<'r> {
             let nargs = self.rng.gen_range(0..=3usize);
             let args = (0..nargs).map(|_| self.operand32()).collect();
             let ret = self.rng.gen_bool(0.8).then(|| {
-                let s = self.b.new_sym(Width::B32);
+                let s = self.b.new_sym(self.word());
                 self.avail32.push(s);
                 s
             });
@@ -402,9 +447,16 @@ impl<'r> Gen<'r> {
                     self.b.store_global(g, v);
                 }
             } else {
-                let exotic = self.cfg.exotic_addr_pct > 0
-                    && self.rng.gen_range(0..100u32) < self.cfg.exotic_addr_pct;
-                let addr = if exotic {
+                let addr = if !self.cfg.symbolic_addresses {
+                    // Absolute only: no pointer ever touches a register.
+                    Address::Indirect {
+                        base: None,
+                        index: None,
+                        disp: self.rng.gen_range(0..4096),
+                    }
+                } else if self.cfg.exotic_addr_pct > 0
+                    && self.rng.gen_range(0..100u32) < self.cfg.exotic_addr_pct
+                {
                     self.exotic_address()
                 } else {
                     let base = self.pick32();
@@ -429,15 +481,21 @@ impl<'r> Gen<'r> {
                     self.b.load(d, addr);
                 } else {
                     let v = self.operand32();
-                    self.b.store(addr, v, Width::B32);
+                    let w = self.word();
+                    self.b.store(addr, v, w);
                 }
             }
         } else if roll < self.cfg.call_pct + self.cfg.mem_pct + self.cfg.narrow_pct {
-            // Narrow-width arithmetic (engages §5.3 overlap).
-            let w = if self.rng.gen_bool(0.6) {
+            // Narrow-width arithmetic (engages §5.3 overlap). Under the
+            // portable 16-bit word the only narrower width is 8 bits.
+            let w = if self.word() == Width::B16 {
                 Width::B8
             } else {
-                Width::B16
+                // Classic path: same RNG consumption as ever.
+                match self.rng.gen_bool(0.6) {
+                    true => Width::B8,
+                    false => Width::B16,
+                }
             };
             let a = self.pick_narrow(w);
             if self.rng.gen_bool(0.3) {
@@ -472,7 +530,7 @@ impl<'r> Gen<'r> {
             };
             let rhs = if op.is_shift() {
                 if self.rng.gen_bool(0.5) {
-                    Operand::Imm(self.rng.gen_range(0..31))
+                    Operand::Imm(self.rng.gen_range(0..self.word().bits() as i64 - 1))
                 } else {
                     Operand::sym(self.pick32())
                 }
@@ -483,7 +541,7 @@ impl<'r> Gen<'r> {
             // `d = x op d` with a non-commutative op is awkward on a
             // two-address machine; regenerate the destination.
             let d = if !op.is_commutative() && rhs == Operand::sym(d) {
-                let f = self.b.new_sym(Width::B32);
+                let f = self.b.new_sym(self.word());
                 self.avail32.push(f);
                 f
             } else {
@@ -527,7 +585,7 @@ impl<'r> Gen<'r> {
     }
 
     fn counted_loop(&mut self, depth: u32) {
-        let i = self.b.new_sym(Width::B32);
+        let i = self.b.new_sym(self.word());
         self.protected.push(i);
         let trip = self.rng.gen_range(2..=6i64);
         self.b.load_imm(i, 0);
@@ -537,14 +595,9 @@ impl<'r> Gen<'r> {
         let exit = self.b.block();
         self.b.jump(head);
         self.b.switch_to(head);
-        self.b.branch(
-            Cond::Lt,
-            Operand::sym(i),
-            Operand::Imm(trip),
-            Width::B32,
-            body,
-            exit,
-        );
+        let w = self.word();
+        self.b
+            .branch(Cond::Lt, Operand::sym(i), Operand::Imm(trip), w, body, exit);
         self.b.switch_to(body);
         // Values defined inside the body do not dominate the exit: they
         // must not be available afterwards.
@@ -579,14 +632,9 @@ impl<'r> Gen<'r> {
         let else_b = self.b.block();
         let join = self.b.block();
         let k = self.rng.gen_range(-8..8);
-        self.b.branch(
-            cond,
-            Operand::sym(c),
-            Operand::Imm(k),
-            Width::B32,
-            then_b,
-            else_b,
-        );
+        let w = self.word();
+        self.b
+            .branch(cond, Operand::sym(c), Operand::Imm(k), w, then_b, else_b);
         self.budget -= 1;
 
         // Values defined inside an arm are not available at the join
@@ -629,16 +677,16 @@ pub fn generate_function(name: &str, rng: &mut SmallRng, cfg: &GenConfig) -> Fun
     let mut globals = Vec::new();
     let mut avail32 = Vec::new();
     for p in 0..nparams {
-        let g = b.new_param(&format!("p{p}"), Width::B32);
-        let s = b.new_sym(Width::B32);
+        let g = b.new_param(&format!("p{p}"), cfg.word_width);
+        let s = b.new_sym(cfg.word_width);
         b.load_global(s, g);
         avail32.push(s);
     }
     for gi in 0..nglobals {
-        globals.push(b.new_global(&format!("G{gi}"), Width::B32, rng.gen_range(-50..50)));
+        globals.push(b.new_global(&format!("G{gi}"), cfg.word_width, rng.gen_range(-50..50)));
     }
     if avail32.is_empty() {
-        let s = b.new_sym(Width::B32);
+        let s = b.new_sym(cfg.word_width);
         b.load_imm(s, rng.gen_range(1..64));
         avail32.push(s);
     }
@@ -910,6 +958,29 @@ mod tests {
             let a = generate_function(&format!("s{i}"), &mut r1, &classic);
             let b = generate_function(&format!("s{i}"), &mut r2, &zeroed);
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn portable16_preset_fits_narrow_targets() {
+        // Every portable function must be made only of widths the MCU's
+        // register classes accept (8- and 16-bit), verify, and terminate.
+        let cfg = GenConfig::portable16();
+        for seed in 0..60u64 {
+            let f = fuzz_function(&format!("p{seed}"), seed, &cfg);
+            verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e:?}\n{f}"));
+            for s in f.sym_ids() {
+                assert!(
+                    matches!(f.sym_width(s), Width::B8 | Width::B16),
+                    "seed {seed}: {s} is {:?}",
+                    f.sym_width(s)
+                );
+            }
+            for g in f.globals() {
+                assert!(matches!(g.width, Width::B8 | Width::B16), "seed {seed}");
+            }
+            let out = Interp::new(&f, SymRegFile, InterpConfig::default(), &[1, 2, 3]).run();
+            assert_eq!(out.status, ExecStatus::Returned, "seed {seed} must halt");
         }
     }
 

@@ -25,13 +25,14 @@
 //! 16 bits of `EAX`.
 
 pub mod encoding;
-pub mod machine;
 pub mod regs;
 pub mod risc;
-pub mod verify;
 pub mod x86;
 
-pub use machine::{Machine, OperandConstraint, SpillCosts};
+// The machine abstraction itself lives in `regalloc-machine`; re-exported
+// here so existing `regalloc_x86::Machine` paths keep working.
+pub use regalloc_machine::{
+    verify_machine, Machine, MachineError, MachineErrorKind, OperandConstraint, SpillCosts,
+};
 pub use risc::{RiscMachine, RiscRegFile};
-pub use verify::{verify_machine, MachineError, MachineErrorKind};
 pub use x86::{X86Machine, X86RegFile};

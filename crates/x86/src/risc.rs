@@ -11,7 +11,7 @@
 
 use regalloc_ir::{Inst, PhysReg, RegFile, UseRole, Width};
 
-use crate::machine::{Machine, OperandConstraint, SpillCosts};
+use regalloc_machine::{Machine, OperandConstraint, SpillCosts};
 
 /// Number of allocatable registers (matching the RISC target of the prior
 /// ORA paper).
@@ -142,6 +142,10 @@ impl Machine for RiscMachine {
 
     fn inst_size(&self, _inst: &Inst) -> u64 {
         4 // fixed-width encoding
+    }
+
+    fn new_regfile(&self) -> Box<dyn RegFile> {
+        Box::new(RiscRegFile::new())
     }
 }
 

@@ -2,8 +2,8 @@
 
 use regalloc_ir::{Address, BinOp, Inst, Operand, PhysReg, RegFile, UseRole, Width};
 
-use crate::machine::{Machine, OperandConstraint, SpillCosts};
 use crate::regs::{self, *};
+use regalloc_machine::{Machine, OperandConstraint, SpillCosts};
 
 /// Pentium spill-code costs — Table 1 of the paper, plus the memory-operand
 /// deltas used by the §5.2 extension (Pentium ALU timings: reg-reg 1 cycle,
@@ -307,6 +307,10 @@ impl Machine for X86Machine {
 
     fn inst_size(&self, inst: &Inst) -> u64 {
         crate::encoding::x86_inst_size(self, inst)
+    }
+
+    fn new_regfile(&self) -> Box<dyn RegFile> {
+        Box::new(X86RegFile::new())
     }
 }
 

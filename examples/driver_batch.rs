@@ -28,6 +28,7 @@ fn main() {
 
     let dir = std::env::temp_dir().join(format!("driver-batch-example-{}", std::process::id()));
     let cfg = DriverConfig {
+        target: regalloc_machine::TargetId::X86Pentium,
         jobs,
         cache: CacheMode::Disk(dir.clone()),
         ..DriverConfig::default()

@@ -10,7 +10,6 @@ use std::time::Duration;
 
 use precise_regalloc::core::{FaultPlan, RobustAllocator};
 use precise_regalloc::prelude::*;
-use precise_regalloc::x86::X86RegFile;
 
 fn sample() -> Function {
     // return (a * 3) + a
@@ -33,7 +32,7 @@ fn main() {
     let f = sample();
 
     // A clean run lands on the top rung.
-    let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+    let robust = RobustAllocator::new(&machine)
         .with_budget(Duration::from_secs(5))
         .with_baseline(&gc);
     let out = robust.allocate(&f).expect("ladder always returns code");
@@ -47,7 +46,7 @@ fn main() {
     // Inject faults: a forced solver timeout plus a bit-flipped solution.
     // The ladder demotes past the broken stages and still returns code
     // that passed structural verification and interpreter equivalence.
-    let faulty = RobustAllocator::<_, X86RegFile>::new(&machine)
+    let faulty = RobustAllocator::new(&machine)
         .with_budget(Duration::from_secs(5))
         .with_baseline(&gc)
         .with_faults(FaultPlan {

@@ -1,0 +1,13 @@
+// An address-taken accumulator updated through its pointer inside a
+// loop, then read both directly and through the pointer.
+int accum(int n) {
+    int s = 0;
+    int *p = &s;
+    int i = 0;
+    if (n > 12) { n = 12; }
+    while (i < n) {
+        *p = *p + i;
+        i = i + 1;
+    }
+    return s + *p;
+}

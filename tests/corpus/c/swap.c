@@ -1,0 +1,12 @@
+// Pointer swap through address-taken locals: `x` and `y` live in fixed
+// memory slots, never in registers.
+int swap_sum(int a, int b) {
+    int x = a;
+    int y = b;
+    int *p = &x;
+    int *q = &y;
+    int t = *p;
+    *p = *q;
+    *q = t;
+    return x * 256 + y;
+}

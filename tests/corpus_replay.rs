@@ -116,6 +116,7 @@ fn driver_output_over_corpus_is_deterministic_across_jobs() {
     let funcs = compile_corpus();
     let report_for = |jobs: usize| {
         let cfg = DriverConfig {
+            target: regalloc_machine::TargetId::X86Pentium,
             jobs,
             solver: SolverConfig {
                 time_limit: Duration::from_secs(300),

@@ -14,7 +14,7 @@ use precise_regalloc::core::{FaultPlan, RobustAllocator, Rung};
 use precise_regalloc::ilp::SolverConfig;
 use precise_regalloc::ir::verify_allocated;
 use precise_regalloc::workloads::{generate_function, GenConfig};
-use precise_regalloc::x86::{X86Machine, X86RegFile};
+use precise_regalloc::x86::X86Machine;
 
 fn quick_solver() -> SolverConfig {
     SolverConfig {
@@ -41,7 +41,7 @@ proptest! {
         }
         let machine = X86Machine::pentium();
         let gc = ColoringAllocator::new(&machine);
-        let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+        let robust = RobustAllocator::new(&machine)
             .with_solver_config(quick_solver())
             .with_budget(Duration::from_secs(10))
             .with_equivalence(3, seed)
@@ -69,7 +69,7 @@ proptest! {
         let plan = FaultPlan::seeded(seed);
         let machine = X86Machine::pentium();
         let gc = ColoringAllocator::new(&machine);
-        let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+        let robust = RobustAllocator::new(&machine)
             .with_solver_config(quick_solver())
             .with_budget(Duration::from_secs(10))
             .with_equivalence(2, seed)

@@ -46,7 +46,7 @@ fn corrupted_solutions_are_caught_statically() {
     let mut static_demotions = 0;
     for f in suite.functions.iter().filter(|f| !f.uses_64bit()) {
         for corrupt_seed in 1u64..=10 {
-            let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+            let robust = RobustAllocator::new(&machine)
                 .with_solver_config(SolverConfig {
                     time_limit: Duration::from_secs(3),
                     ..Default::default()
@@ -97,7 +97,7 @@ fn no_false_positives_on_clean_pipeline() {
     for b in [Benchmark::Compress, Benchmark::Eqntott] {
         let suite = Suite::generate_scaled(b, 1998, 0.05);
         for f in suite.functions.iter().filter(|f| !f.uses_64bit()) {
-            let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+            let robust = RobustAllocator::new(&machine)
                 .with_solver_config(quick_solver())
                 .with_budget(Duration::from_secs(10))
                 .with_equivalence(2, 7)
@@ -134,7 +134,7 @@ proptest! {
         }
         let machine = X86Machine::pentium();
         let gc = ColoringAllocator::new(&machine);
-        let robust = RobustAllocator::<_, X86RegFile>::new(&machine)
+        let robust = RobustAllocator::new(&machine)
             .with_solver_config(quick_solver())
             .with_budget(Duration::from_secs(10))
             .with_equivalence(2, seed)
@@ -154,6 +154,7 @@ fn lint_report_is_deterministic_across_jobs() {
     let suite = Suite::generate_scaled(Benchmark::Compress, 1998, 0.05);
     let report_for = |jobs: usize| {
         let cfg = DriverConfig {
+            target: regalloc_machine::TargetId::X86Pentium,
             jobs,
             solver: SolverConfig {
                 time_limit: Duration::from_secs(300),
