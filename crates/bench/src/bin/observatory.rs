@@ -1,0 +1,118 @@
+//! `observatory` — build a performance-regression snapshot.
+//!
+//! Runs the seeded paper workloads plus the compiled-C corpus under the
+//! deterministic observatory solver regime (every outcome decided by
+//! node/iteration limits, never by the clock) against every registered
+//! target, and writes one schema-versioned JSON snapshot.
+//!
+//! With `--no-timing` the snapshot is byte-identical across `--jobs`
+//! values and repeat runs; that is the form CI diffs. With timing on,
+//! the wall-clock section is filled in for advisory comparison
+//! (`scripts/bench_diff.py` warns on drift but never fails on it).
+//!
+//! ```text
+//! observatory [--out FILE] [--jobs N] [--seed N] [--scale F]
+//!             [--corpus DIR] [--no-timing]
+//! ```
+
+use std::path::PathBuf;
+
+use regalloc_driver::observatory::{seeded_suites, snapshot, SuiteSpec};
+use regalloc_machine::TargetId;
+
+struct Args {
+    out: Option<PathBuf>,
+    jobs: usize,
+    seed: u64,
+    scale: f64,
+    corpus: Option<PathBuf>,
+    timing: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: None,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed: 1998,
+        scale: 0.12,
+        corpus: Some(PathBuf::from("tests/corpus/c")),
+        timing: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--out" => args.out = Some(PathBuf::from(value("--out"))),
+            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs N"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed N"),
+            "--scale" => args.scale = value("--scale").parse().expect("--scale F"),
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus"))),
+            "--no-corpus" => args.corpus = None,
+            "--no-timing" => args.timing = false,
+            "--help" | "-h" => {
+                println!(
+                    "observatory [--out FILE] [--jobs N] [--seed N] [--scale F] \
+                     [--corpus DIR | --no-corpus] [--no-timing]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One suite per corpus C file, compiled through `regalloc-cc`. Sorted
+/// by file name so the snapshot's suite order is stable.
+fn corpus_suites(dir: &std::path::Path) -> Vec<SuiteSpec> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "c"))
+            .collect(),
+        Err(e) => {
+            eprintln!("observatory: cannot read corpus dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let src =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+            let functions = regalloc_cc::compile(&src)
+                .unwrap_or_else(|e| panic!("compile {}: {e}", p.display()));
+            let stem = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            SuiteSpec {
+                name: format!("cc/{stem}"),
+                functions,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let mut suites = seeded_suites(args.seed, args.scale);
+    if let Some(dir) = &args.corpus {
+        suites.extend(corpus_suites(dir));
+    }
+    let doc = snapshot(&suites, &TargetId::ALL, args.jobs, args.timing);
+    match &args.out {
+        None => print!("{doc}"),
+        Some(p) => {
+            std::fs::write(p, &doc).unwrap_or_else(|e| panic!("write {}: {e}", p.display()));
+            eprintln!("observatory: wrote {}", p.display());
+        }
+    }
+}

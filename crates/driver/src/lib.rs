@@ -59,6 +59,7 @@
 //! ```
 
 pub mod cache;
+pub mod observatory;
 pub mod pool;
 pub mod schedule;
 pub mod service;
@@ -67,7 +68,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use regalloc_core::{ReasonCode, Rung, SpillStats, WarmStartKind};
-use regalloc_ilp::SolverConfig;
+use regalloc_ilp::{SolverConfig, SolverHealth};
 use regalloc_ir::Function;
 use regalloc_machine::TargetId;
 use regalloc_obs::{jsonl_events, jsonl_timings, FunctionTrace, Metrics, Phase};
@@ -223,6 +224,15 @@ pub struct FunctionResult {
     pub lp_iters: u64,
     /// IP solve time (zero on a cache hit; a timing field, varies).
     pub solve_time: Duration,
+    /// Model build time (zero on a cache hit; a timing field, varies).
+    pub build_time: Duration,
+    /// Validation time across accepted candidates (zero on a cache hit;
+    /// a timing field, varies).
+    pub validate_time: Duration,
+    /// Flight-recorder counters accumulated across every solve the
+    /// ladder ran for this function (zero on a cache hit or when no IP
+    /// rung was reached). Deterministic across worker counts and runs.
+    pub health: SolverHealth,
     /// Encoded size of the accepted allocation, in bytes.
     pub ip_bytes: u64,
     /// Whether the solution cache served this function.
@@ -368,6 +378,9 @@ pub(crate) fn not_attempted(f: &Function, estimate: usize) -> FunctionResult {
         solver_nodes: 0,
         lp_iters: 0,
         solve_time: Duration::ZERO,
+        build_time: Duration::ZERO,
+        validate_time: Duration::ZERO,
+        health: SolverHealth::default(),
         ip_bytes: 0,
         cache_hit: false,
         warm_start: WarmStartKind::None,
@@ -501,6 +514,78 @@ pub fn profile_report(out: &SuiteOutcome) -> String {
             let _ = writeln!(s, "  {reason:<26} {n}");
         }
     }
+    // Flight-recorder totals: the solver-internal counters the simplex
+    // and branch-and-bound layers record on every solve.
+    let pivots = out.metrics.counter("regalloc_solver_pivots_total", &[]);
+    if pivots > 0 {
+        let _ = writeln!(
+            s,
+            "solver: {pivots} pivots ({} degenerate), {} ratio-test ties, {} presolve eliminations",
+            out.metrics
+                .counter("regalloc_solver_degenerate_pivots_total", &[]),
+            out.metrics.counter("regalloc_solver_ratio_ties_total", &[]),
+            out.metrics
+                .counter("regalloc_presolve_eliminations_total", &[]),
+        );
+    }
+    // Exact nearest-rank percentiles from the merged quantile sketches.
+    // Solver families are deterministic across `--jobs`; task-seconds is
+    // wall-clock and varies run to run.
+    let dists: &[(&str, bool)] = &[
+        ("regalloc_solver_nodes_dist", false),
+        ("regalloc_solver_lp_iters_dist", false),
+        ("regalloc_solver_pivots_dist", false),
+        ("regalloc_model_constraints_dist", false),
+        ("regalloc_task_seconds_dist", true),
+    ];
+    if dists
+        .iter()
+        .any(|(f, _)| out.metrics.sketch(f, &[]).is_some())
+    {
+        s.push('\n');
+        let _ = writeln!(
+            s,
+            "{:<32} {:>9} {:>9} {:>9}",
+            "distribution", "p50", "p95", "p99"
+        );
+        for (fam, is_seconds) in dists {
+            if let Some(sk) = out.metrics.sketch(fam, &[]) {
+                let q = |p: f64| sk.quantile(p).unwrap_or(0.0);
+                if *is_seconds {
+                    let _ = writeln!(
+                        s,
+                        "{:<32} {:>9.4} {:>9.4} {:>9.4}",
+                        fam,
+                        q(0.5),
+                        q(0.95),
+                        q(0.99)
+                    );
+                } else {
+                    let _ = writeln!(
+                        s,
+                        "{:<32} {:>9.0} {:>9.0} {:>9.0}",
+                        fam,
+                        q(0.5),
+                        q(0.95),
+                        q(0.99)
+                    );
+                }
+            }
+        }
+    }
+    if let Some(workers) = out.metrics.gauge("regalloc_pool_workers", &[]) {
+        let _ = writeln!(
+            s,
+            "pool: {workers} workers, {} steals, {:.3}s queued, {:.0}% utilized",
+            out.metrics
+                .gauge("regalloc_pool_steals", &[])
+                .unwrap_or(0.0),
+            out.metrics
+                .gauge("regalloc_pool_queue_wait_seconds", &[])
+                .unwrap_or(0.0),
+            out.stats.utilization() * 100.0
+        );
+    }
     s
 }
 
@@ -559,7 +644,7 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
         warm_exact: fresh_warm(WarmStartKind::Exact),
         warm_projected: fresh_warm(WarmStartKind::Projected),
         rungs,
-        worker_busy: pool_stats.busy,
+        worker_busy: pool_stats.busy.clone(),
     };
     let mut metrics = Metrics::new();
     for r in &results {
@@ -571,6 +656,42 @@ pub fn run_suite(funcs: &[Function], cfg: &DriverConfig) -> SuiteOutcome {
     metrics.set_gauge("regalloc_cache_rejected", &[], stats.cache_rejected as f64);
     metrics.set_gauge("regalloc_suite_functions", &[], funcs.len() as f64);
     metrics.set_gauge("regalloc_jobs", &[], stats.jobs as f64);
+    // Thread-pool telemetry. Like every wall-clock family, these gauges
+    // are timing-class: they vary with worker count and scheduling, and
+    // determinism consumers strip the whole `regalloc_pool_` prefix.
+    metrics.set_gauge("regalloc_pool_workers", &[], pool_stats.busy.len() as f64);
+    let steals: usize = pool_stats.steals_per_worker.iter().sum();
+    metrics.set_gauge("regalloc_pool_steals", &[], steals as f64);
+    let queue_wait: Duration = pool_stats.queue_wait_per_worker.iter().sum();
+    metrics.set_gauge(
+        "regalloc_pool_queue_wait_seconds",
+        &[],
+        queue_wait.as_secs_f64(),
+    );
+    for w in 0..pool_stats.busy.len() {
+        let id = w.to_string();
+        let labels: &[(&str, &str)] = &[("worker", id.as_str())];
+        metrics.set_gauge(
+            "regalloc_pool_worker_busy_seconds",
+            labels,
+            pool_stats.busy[w].as_secs_f64(),
+        );
+        metrics.set_gauge(
+            "regalloc_pool_worker_tasks",
+            labels,
+            pool_stats.tasks_per_worker[w] as f64,
+        );
+        metrics.set_gauge(
+            "regalloc_pool_worker_steals",
+            labels,
+            pool_stats.steals_per_worker[w] as f64,
+        );
+        metrics.set_gauge(
+            "regalloc_pool_worker_queue_wait_seconds",
+            labels,
+            pool_stats.queue_wait_per_worker[w].as_secs_f64(),
+        );
+    }
     SuiteOutcome {
         results,
         stats,

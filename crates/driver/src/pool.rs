@@ -37,6 +37,13 @@ pub struct PoolStats {
     /// Tasks executed per worker (index = worker id). The imbalance
     /// between this and an even split is what stealing absorbed.
     pub tasks_per_worker: Vec<usize>,
+    /// Tasks each worker claimed from a *victim's* deque rather than its
+    /// own (index = worker id) — how often rebalancing actually fired.
+    pub steals_per_worker: Vec<usize>,
+    /// Time each claimed task spent queued before a worker popped it
+    /// (run start to pop, summed per claiming worker). All tasks are
+    /// seeded up front, so this is exact, not an approximation.
+    pub queue_wait_per_worker: Vec<Duration>,
 }
 
 impl PoolStats {
@@ -52,15 +59,16 @@ impl PoolStats {
 }
 
 /// Pop a task: own deque first (front), then steal (back) sweeping the
-/// victims from `w + 1` around the ring.
-fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+/// victims from `w + 1` around the ring. The flag reports whether the
+/// task came from a victim (a steal) rather than the worker's own deque.
+fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
     if let Some(i) = deques[w].lock().unwrap().pop_front() {
-        return Some(i);
+        return Some((i, false));
     }
     let n = deques.len();
     for off in 1..n {
         if let Some(i) = deques[(w + off) % n].lock().unwrap().pop_back() {
-            return Some(i);
+            return Some((i, true));
         }
     }
     None
@@ -99,20 +107,38 @@ where
         deques[k % jobs].lock().unwrap().push_back(i);
     }
 
-    let (tx, rx) = mpsc::channel::<(usize, usize, R, Duration)>();
+    struct TaskReport<R> {
+        index: usize,
+        worker: usize,
+        result: R,
+        busy: Duration,
+        stolen: bool,
+        queue_wait: Duration,
+    }
+    let (tx, rx) = mpsc::channel::<TaskReport<R>>();
     std::thread::scope(|s| {
         for w in 0..jobs {
             let tx = tx.clone();
             let deques = &deques;
             let f = &f;
             s.spawn(move || {
-                while let Some(i) = next_task(deques, w) {
+                while let Some((i, stolen)) = next_task(deques, w) {
+                    // Every task is seeded before the workers start, so
+                    // run-start-to-pop is exactly its time in the queue.
+                    let queue_wait = start.elapsed();
                     let t0 = Instant::now();
                     let r = f(i, &items[i]);
                     // The receiver outlives the scope; a send can only
                     // fail if the parent thread died, in which case the
                     // panic is already propagating.
-                    let _ = tx.send((i, w, r, t0.elapsed()));
+                    let _ = tx.send(TaskReport {
+                        index: i,
+                        worker: w,
+                        result: r,
+                        busy: t0.elapsed(),
+                        stolen,
+                        queue_wait,
+                    });
                 }
             });
         }
@@ -122,10 +148,16 @@ where
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut busy = vec![Duration::ZERO; jobs];
     let mut tasks_per_worker = vec![0usize; jobs];
-    for (i, w, r, dt) in rx {
-        results[i] = Some(r);
-        busy[w] += dt;
-        tasks_per_worker[w] += 1;
+    let mut steals_per_worker = vec![0usize; jobs];
+    let mut queue_wait_per_worker = vec![Duration::ZERO; jobs];
+    for t in rx {
+        results[t.index] = Some(t.result);
+        busy[t.worker] += t.busy;
+        tasks_per_worker[t.worker] += 1;
+        if t.stolen {
+            steals_per_worker[t.worker] += 1;
+        }
+        queue_wait_per_worker[t.worker] += t.queue_wait;
     }
     let results = results
         .into_iter()
@@ -137,6 +169,8 @@ where
             wall: start.elapsed(),
             busy,
             tasks_per_worker,
+            steals_per_worker,
+            queue_wait_per_worker,
         },
     )
 }
@@ -364,6 +398,39 @@ mod tests {
             stats.tasks_per_worker.iter().all(|&t| t > 0),
             "both workers ran tasks: {:?}",
             stats.tasks_per_worker
+        );
+    }
+
+    #[test]
+    fn steals_and_queue_wait_are_accounted() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..16).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let started = AtomicUsize::new(0);
+        let (res, stats) = run_indexed(2, &items, &order, |i, &x| {
+            started.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                // Park the first worker until every other task has
+                // started — the second worker can only get there by
+                // stealing the parked worker's backlog (bounded wait so
+                // a starved pool still ends the test).
+                let t0 = std::time::Instant::now();
+                while started.load(Ordering::SeqCst) < items.len()
+                    && t0.elapsed() < std::time::Duration::from_secs(5)
+                {
+                    std::thread::yield_now();
+                }
+            }
+            x
+        });
+        assert_eq!(res.len(), 16);
+        assert_eq!(stats.steals_per_worker.len(), 2);
+        assert_eq!(stats.queue_wait_per_worker.len(), 2);
+        let steals: usize = stats.steals_per_worker.iter().sum();
+        assert!(
+            steals > 0,
+            "second worker stole the parked backlog: {:?}",
+            stats.steals_per_worker
         );
     }
 

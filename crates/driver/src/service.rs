@@ -302,6 +302,9 @@ impl AllocationService {
                         solver_nodes: hit.entry.solver_nodes,
                         lp_iters: hit.entry.lp_iters,
                         solve_time: Duration::ZERO,
+                        build_time: Duration::ZERO,
+                        validate_time: Duration::ZERO,
+                        health: regalloc_ilp::SolverHealth::default(),
                         ip_bytes: hit.entry.ip_bytes,
                         cache_hit: true,
                         warm_start: hit.entry.warm_start,
@@ -413,6 +416,9 @@ impl AllocationService {
                     solver_nodes: out.report.solver_nodes,
                     lp_iters: out.report.lp_iters,
                     solve_time: out.report.solve_time,
+                    build_time: out.report.build_time,
+                    validate_time: out.report.validate_time,
+                    health: out.report.health,
                     ip_bytes,
                     cache_hit: false,
                     warm_start: out.report.warm_start,
@@ -440,6 +446,9 @@ impl AllocationService {
                 solver_nodes: 0,
                 lp_iters: 0,
                 solve_time: Duration::ZERO,
+                build_time: Duration::ZERO,
+                validate_time: Duration::ZERO,
+                health: regalloc_ilp::SolverHealth::default(),
                 ip_bytes: 0,
                 cache_hit: false,
                 warm_start: WarmStartKind::None,
@@ -538,6 +547,31 @@ fn task_metrics(r: &FunctionResult, cache_outcome: Option<&'static str>) -> Metr
     }
     m.inc("regalloc_solver_nodes_total", &[], r.solver_nodes);
     m.inc("regalloc_solver_lp_iters_total", &[], r.lp_iters);
+    // Flight-recorder counters from the solver internals. Deterministic:
+    // pure observations of the (already deterministic) pivot sequence.
+    m.inc("regalloc_solver_pivots_total", &[], r.health.pivots);
+    m.inc(
+        "regalloc_solver_degenerate_pivots_total",
+        &[],
+        r.health.degenerate_pivots,
+    );
+    m.inc(
+        "regalloc_solver_ratio_ties_total",
+        &[],
+        r.health.ratio_test_ties,
+    );
+    m.inc(
+        "regalloc_presolve_eliminations_total",
+        &[],
+        r.health.presolve_eliminations,
+    );
+    // Exact quantile sketches, one observation per function. Solver and
+    // model families are deterministic; the task-seconds family is
+    // wall-clock (timing-class, excluded from determinism diffs).
+    m.observe_quantile("regalloc_solver_nodes_dist", &[], r.solver_nodes as f64);
+    m.observe_quantile("regalloc_solver_lp_iters_dist", &[], r.lp_iters as f64);
+    m.observe_quantile("regalloc_solver_pivots_dist", &[], r.health.pivots as f64);
+    m.observe_quantile("regalloc_task_seconds_dist", &[], r.task_time.as_secs_f64());
     for d in &r.lints {
         m.inc("regalloc_lint_findings_total", &[("code", d.code.slug)], 1);
     }
@@ -553,6 +587,11 @@ fn task_metrics(r: &FunctionResult, cache_outcome: Option<&'static str>) -> Metr
             "regalloc_model_constraints",
             &[],
             SIZE_BUCKETS,
+            r.num_constraints as f64,
+        );
+        m.observe_quantile(
+            "regalloc_model_constraints_dist",
+            &[],
             r.num_constraints as f64,
         );
     }

@@ -77,14 +77,20 @@ fn trace_stream_is_identical_across_worker_counts() {
 
     // The merged metrics registry is deterministic too — shards are
     // merged in suite order, independent of which worker ran what. The
-    // two wall-clock-dependent families are excluded: the phase-time
-    // histogram measures real elapsed time, and the jobs gauge reports
-    // the (deliberately different) configuration.
+    // wall-clock-dependent families are excluded: the phase-time
+    // histogram and the task-seconds sketch measure real elapsed time,
+    // the pool telemetry depends on scheduling, and the jobs gauge
+    // reports the (deliberately different) configuration.
     let deterministic_metrics = |out: &SuiteOutcome| {
         out.metrics
             .to_prometheus()
             .lines()
-            .filter(|l| !l.contains("regalloc_phase_seconds") && !l.contains("regalloc_jobs"))
+            .filter(|l| {
+                !l.contains("regalloc_phase_seconds")
+                    && !l.contains("regalloc_jobs")
+                    && !l.contains("regalloc_pool_")
+                    && !l.contains("regalloc_task_seconds_dist")
+            })
             .collect::<Vec<_>>()
             .join("\n")
     };
@@ -92,6 +98,32 @@ fn trace_stream_is_identical_across_worker_counts() {
         deterministic_metrics(&base),
         deterministic_metrics(&par),
         "jobs=1 and jobs=8 must produce byte-identical deterministic metrics"
+    );
+}
+
+/// The observatory snapshot (the performance-regression baseline) obeys
+/// the same guarantee as the trace stream: with timing stripped it is
+/// byte-identical across worker counts and across repeat runs.
+#[test]
+fn observatory_snapshot_is_identical_across_jobs_and_runs() {
+    use regalloc_driver::observatory::{snapshot, SuiteSpec};
+
+    let suites = vec![SuiteSpec {
+        name: "seeded/xlisp".to_string(),
+        functions: suite50(),
+    }];
+    let targets = [regalloc_machine::TargetId::X86Pentium];
+    let serial = snapshot(&suites, &targets, 1, false);
+    let parallel = snapshot(&suites, &targets, 8, false);
+    assert_eq!(
+        serial, parallel,
+        "jobs=1 and jobs=8 must produce byte-identical timing-stripped snapshots"
+    );
+    let again = snapshot(&suites, &targets, 8, false);
+    assert_eq!(parallel, again, "repeat runs must reproduce the snapshot");
+    assert!(
+        serial.contains("\"pivots\""),
+        "snapshot carries solver counters"
     );
 }
 

@@ -7,7 +7,7 @@ use regalloc_obs::{Event, Phase, Tracer};
 use crate::cert::{Certificate, Claim, NodeCert, Step};
 use crate::health::{Deadline, HealthState, SolverHealth};
 use crate::model::Model;
-use crate::presolve::{propagate, propagate_recorded, PropRecorder, Propagation};
+use crate::presolve::{propagate_counted, propagate_recorded_counted, PropRecorder, Propagation};
 use crate::simplex::{solve_lp, solve_lp_with_duals, DualInfo, LpOutcome};
 
 /// Solver configuration.
@@ -176,6 +176,9 @@ struct Node {
     /// Path from the root (decisions + presolve deductions), populated
     /// only while certificate emission is active.
     steps: Vec<Step>,
+    /// Branching decisions from the root to this node (always tracked,
+    /// unlike `steps`): the flight recorder reports it on `Node` events.
+    depth: u64,
 }
 
 /// Round an LP point to the nearest 0-1 assignment.
@@ -205,7 +208,8 @@ fn note_health(tracer: &Tracer, prev: &mut HealthState, health: &SolverHealth) {
 /// models, whose LP optima are close to integral.
 ///
 /// Returns the candidate (if any) plus the simplex iterations the dive
-/// consumed, so the caller can attribute them to the solve totals.
+/// consumed and the deepest fix depth it reached, so the caller can
+/// attribute them to the solve totals and the flight recorder.
 fn dive(
     model: &Model,
     lb0: &[f64],
@@ -214,10 +218,13 @@ fn dive(
     deadline: Deadline,
     health: &mut SolverHealth,
     tracer: &Tracer,
-) -> (Option<(Vec<bool>, f64)>, u64) {
+) -> (Option<(Vec<bool>, f64)>, u64, u64) {
     let mut lb = lb0.to_vec();
     let mut ub = ub0.to_vec();
     let mut iters = 0u64;
+    // Variables explicitly fixed by the dive so far (backtracks re-fix at
+    // the same depth rather than deepening it).
+    let mut depth = 0u64;
     // When a fix dead-ends, retry once with the opposite value before
     // giving up (fractional action variables often round down onto an
     // unsatisfiable must-allocate row).
@@ -225,11 +232,13 @@ fn dive(
     let mut backtracks = 0u32;
     for _ in 0..(2 * model.num_vars()).max(16) {
         if deadline.expired() {
-            return (None, iters);
+            return (None, iters, depth);
         }
         let feasible = {
             let _t = tracer.time(Phase::Presolve);
-            matches!(propagate(model, &mut lb, &mut ub), Propagation::Ok)
+            let (p, elims) = propagate_counted(model, &mut lb, &mut ub);
+            health.presolve_eliminations += elims;
+            matches!(p, Propagation::Ok)
         };
         let lp = if feasible {
             let _t = tracer.time(Phase::Simplex);
@@ -251,10 +260,10 @@ fn dive(
                         ub[j] = 1.0 - r;
                         continue;
                     }
-                    _ => return (None, iters),
+                    _ => return (None, iters, depth),
                 }
             }
-            LpOutcome::Limit { .. } | LpOutcome::Numerical { .. } => return (None, iters),
+            LpOutcome::Limit { .. } | LpOutcome::Numerical { .. } => return (None, iters, depth),
         };
         // Freeze everything already integral.
         let mut best: Option<(usize, f64)> = None; // least fractional
@@ -276,17 +285,18 @@ fn dive(
             let cand = round_point(&x);
             if model.is_feasible(&cand) {
                 let obj = model.objective(&cand);
-                return (Some((cand, obj)), iters);
+                return (Some((cand, obj)), iters, depth);
             }
-            return (None, iters);
+            return (None, iters, depth);
         }
         let (j, _) = best.unwrap();
         let r = if x[j] >= 0.5 { 1.0 } else { 0.0 };
         retry = Some((lb.clone(), ub.clone(), j, r));
         lb[j] = r;
         ub[j] = r;
+        depth += 1;
     }
-    (None, iters)
+    (None, iters, depth)
 }
 
 /// Solve the 0-1 program `model`.
@@ -419,6 +429,15 @@ fn solve_inner(
                   certificate: Option<Certificate>| {
         let solve_time = start.elapsed();
         tracer.add_time(Phase::Solve, solve_time);
+        // Flight-recorder rollup: the always-on effort counters, emitted
+        // once per solve just before the outcome event.
+        tracer.event(|| Event::SolverCounters {
+            pivots: health.pivots,
+            degenerate_pivots: health.degenerate_pivots,
+            ratio_test_ties: health.ratio_test_ties,
+            presolve_eliminations: health.presolve_eliminations,
+            max_dive_depth: health.max_dive_depth,
+        });
         tracer.event(|| Event::SolveDone {
             status: status.name(),
             nodes,
@@ -456,7 +475,7 @@ fn solve_inner(
     // start, when provided, is typically a weak spill-everything bound).
     {
         let dive_deadline = deadline.earliest(Deadline::after(cfg.time_limit.mul_f64(0.8)));
-        let (dived, dive_iters) = dive(
+        let (dived, dive_iters, dive_depth) = dive(
             model,
             &vec![0.0; n],
             &vec![1.0; n],
@@ -466,6 +485,7 @@ fn solve_inner(
             tracer,
         );
         lp_iters += dive_iters;
+        health.max_dive_depth = health.max_dive_depth.max(dive_depth);
         note_health(tracer, &mut hstate, &health);
         let mut improved = false;
         if let Some((cand, obj)) = dived {
@@ -477,6 +497,7 @@ fn solve_inner(
         }
         tracer.event(|| Event::Dive {
             lp_iters: dive_iters,
+            depth: dive_depth,
             improved,
         });
         if improved {
@@ -494,6 +515,7 @@ fn solve_inner(
         lb: vec![0.0; n],
         ub: vec![1.0; n],
         steps: Vec::new(),
+        depth: 0,
     };
     let mut stack = vec![root];
     // True once any node had to be abandoned (LP limit/numerical): the
@@ -536,16 +558,18 @@ fn solve_inner(
             break;
         }
         nodes += 1;
+        let node_depth = node.depth;
 
         let prop = if cert_ok {
             let mut rec = PropRecorder {
                 steps: std::mem::take(&mut node.steps),
                 conflict: None,
             };
-            let p = {
+            let (p, elims) = {
                 let _t = tracer.time(Phase::Presolve);
-                propagate_recorded(model, &mut node.lb, &mut node.ub, &mut rec)
+                propagate_recorded_counted(model, &mut node.lb, &mut node.ub, &mut rec)
             };
+            health.presolve_eliminations += elims;
             node.steps = rec.steps;
             if p == Propagation::Infeasible {
                 match rec.conflict {
@@ -556,12 +580,15 @@ fn solve_inner(
             p
         } else {
             let _t = tracer.time(Phase::Presolve);
-            propagate(model, &mut node.lb, &mut node.ub)
+            let (p, elims) = propagate_counted(model, &mut node.lb, &mut node.ub);
+            health.presolve_eliminations += elims;
+            p
         };
         match prop {
             Propagation::Infeasible => {
                 tracer.event(|| Event::Node {
                     index: nodes,
+                    depth: node_depth,
                     lp_iters: 0,
                     outcome: "infeasible",
                 });
@@ -602,6 +629,7 @@ fn solve_inner(
                 }
                 tracer.event(|| Event::Node {
                     index: nodes,
+                    depth: node_depth,
                     lp_iters: node_iters,
                     outcome: "lp-infeasible",
                 });
@@ -614,6 +642,7 @@ fn solve_inner(
                 proof_lost = true;
                 tracer.event(|| Event::Node {
                     index: nodes,
+                    depth: node_depth,
                     lp_iters: node_iters,
                     outcome: "abandoned",
                 });
@@ -638,6 +667,7 @@ fn solve_inner(
                 }
                 tracer.event(|| Event::Node {
                     index: nodes,
+                    depth: node_depth,
                     lp_iters: node_iters,
                     outcome: "pruned",
                 });
@@ -687,6 +717,7 @@ fn solve_inner(
                     }
                     tracer.event(|| Event::Node {
                         index: nodes,
+                        depth: node_depth,
                         lp_iters: node_iters,
                         outcome: "integral",
                     });
@@ -697,6 +728,7 @@ fn solve_inner(
                     cert_ok = false;
                     tracer.event(|| Event::Node {
                         index: nodes,
+                        depth: node_depth,
                         lp_iters: node_iters,
                         outcome: "integral-invalid",
                     });
@@ -722,10 +754,12 @@ fn solve_inner(
                     lb: node.lb.clone(),
                     ub: node.ub.clone(),
                     steps: Vec::new(),
+                    depth: node_depth + 1,
                 };
                 hi_side.lb[j] = 1.0;
                 let mut lo_side = node;
                 lo_side.ub[j] = 0.0;
+                lo_side.depth = node_depth + 1;
                 if cert_ok {
                     hi_side.steps = lo_side.steps.clone();
                     hi_side.steps.push(Step::Decision {
@@ -746,6 +780,7 @@ fn solve_inner(
                 }
                 tracer.event(|| Event::Node {
                     index: nodes,
+                    depth: node_depth,
                     lp_iters: node_iters,
                     outcome: "branched",
                 });
@@ -1037,7 +1072,31 @@ mod tests {
         assert_eq!(plain.objective, certed.objective);
         assert_eq!(plain.nodes, certed.nodes);
         assert_eq!(plain.lp_iters, certed.lp_iters);
+        assert_eq!(
+            plain.health, certed.health,
+            "flight-recorder counters are identical with certification on"
+        );
         assert!(certed.certificate.is_some());
+    }
+
+    #[test]
+    fn flight_recorder_counters_populate() {
+        // Odd-cycle packing forces real simplex work: the always-on
+        // counters must reflect it and stay within the iteration total.
+        let mut m = Model::new();
+        let v: Vec<_> = (0..5).map(|i| m.add_var(-1.0, format!("x{i}"))).collect();
+        for i in 0..5 {
+            m.add_le(vec![(v[i], 1.0), (v[(i + 1) % 5], 1.0)], 1.0);
+        }
+        let s = solve(&m, &cfg(), None);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.health.pivots > 0, "basis changes were counted");
+        assert!(
+            s.health.pivots <= s.lp_iters,
+            "pivots ({}) are a subset of simplex iterations ({})",
+            s.health.pivots,
+            s.lp_iters
+        );
     }
 
     /// Exhaustive cross-check on small random models.

@@ -90,6 +90,20 @@ pub struct SolverHealth {
     /// LP relaxations abandoned before optimality (iteration limit,
     /// deadline, or numerical trouble).
     pub lp_aborts: u64,
+    /// Basis-changing simplex pivots performed (bound flips excluded).
+    /// Always on: the flight recorder's primary measure of LP effort,
+    /// finer-grained than the iteration count `lp_iters`.
+    pub pivots: u64,
+    /// Ratio-test ties broken by the stability heuristic (or Bland's
+    /// rule). A high tie rate flags heavy degeneracy before it shows up
+    /// as cycling.
+    pub ratio_test_ties: u64,
+    /// Variable-domain deductions applied by presolve bound propagation
+    /// (fixings plus min/max-activity tightenings) across every node.
+    pub presolve_eliminations: u64,
+    /// Deepest dive the rounding heuristic took (variables fixed before
+    /// it gave up or found an incumbent). Merged by maximum.
+    pub max_dive_depth: u64,
 }
 
 impl SolverHealth {
@@ -101,6 +115,10 @@ impl SolverHealth {
         self.degenerate_pivots += other.degenerate_pivots;
         self.unstable_pivots += other.unstable_pivots;
         self.lp_aborts += other.lp_aborts;
+        self.pivots += other.pivots;
+        self.ratio_test_ties += other.ratio_test_ties;
+        self.presolve_eliminations += other.presolve_eliminations;
+        self.max_dive_depth = self.max_dive_depth.max(other.max_dive_depth);
     }
 
     /// True when numerical trouble (as opposed to mere resource
@@ -200,13 +218,35 @@ mod tests {
             degenerate_pivots: 3,
             unstable_pivots: 4,
             lp_aborts: 5,
+            pivots: 100,
+            ratio_test_ties: 7,
+            presolve_eliminations: 9,
+            max_dive_depth: 6,
         };
         a.merge(&a.clone());
         assert_eq!(a.nan_events, 2);
         assert_eq!(a.cycling_recoveries, 2);
         assert_eq!(a.lp_aborts, 10);
+        assert_eq!(a.pivots, 200);
+        assert_eq!(a.ratio_test_ties, 14);
+        assert_eq!(a.presolve_eliminations, 18);
+        assert_eq!(a.max_dive_depth, 6, "dive depth merges by maximum");
         assert!(a.numerical_trouble());
         assert!(!SolverHealth::default().numerical_trouble());
+    }
+
+    #[test]
+    fn flight_recorder_counters_do_not_affect_state() {
+        // The always-on effort counters are observability, not health:
+        // a solve with millions of pivots and ties is still Healthy.
+        let h = SolverHealth {
+            pivots: 1_000_000,
+            ratio_test_ties: 50_000,
+            presolve_eliminations: 4_000,
+            max_dive_depth: 64,
+            ..SolverHealth::default()
+        };
+        assert_eq!(h.state(), HealthState::Healthy);
     }
 
     #[test]

@@ -53,5 +53,8 @@ pub use branch::{
 pub use cert::{Certificate, Claim, NodeCert, Step, Witness};
 pub use health::{Deadline, HealthState, SolverHealth};
 pub use model::{Model, Sense, VarId};
-pub use presolve::{propagate, propagate_recorded, PropRecorder, Propagation};
+pub use presolve::{
+    propagate, propagate_counted, propagate_recorded, propagate_recorded_counted, PropRecorder,
+    Propagation,
+};
 pub use simplex::{solve_lp, solve_lp_with_duals, DualInfo, LpOutcome};

@@ -42,7 +42,18 @@ pub struct PropRecorder {
 /// Tighten `lb`/`ub` in place. Binary semantics: bounds only ever move to
 /// 0 or 1.
 pub fn propagate(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> Propagation {
-    propagate_impl(model, lb, ub, None)
+    let mut elims = 0;
+    propagate_impl(model, lb, ub, None, &mut elims)
+}
+
+/// [`propagate`] that also reports how many variable domains it narrowed
+/// (fixings applied plus min/max-activity deductions) — the flight
+/// recorder's `presolve_eliminations` counter. The tightening itself is
+/// bit-identical to [`propagate`].
+pub fn propagate_counted(model: &Model, lb: &mut [f64], ub: &mut [f64]) -> (Propagation, u64) {
+    let mut elims = 0;
+    let p = propagate_impl(model, lb, ub, None, &mut elims);
+    (p, elims)
 }
 
 /// [`propagate`] with a deduction journal for certificate emission. The
@@ -54,7 +65,22 @@ pub fn propagate_recorded(
     ub: &mut [f64],
     rec: &mut PropRecorder,
 ) -> Propagation {
-    propagate_impl(model, lb, ub, Some(rec))
+    let mut elims = 0;
+    propagate_impl(model, lb, ub, Some(rec), &mut elims)
+}
+
+/// [`propagate_recorded`] that also returns the deduction count, so the
+/// certified and uncertified node paths feed the flight recorder the
+/// exact same `presolve_eliminations` numbers.
+pub fn propagate_recorded_counted(
+    model: &Model,
+    lb: &mut [f64],
+    ub: &mut [f64],
+    rec: &mut PropRecorder,
+) -> (Propagation, u64) {
+    let mut elims = 0;
+    let p = propagate_impl(model, lb, ub, Some(rec), &mut elims);
+    (p, elims)
 }
 
 fn propagate_impl(
@@ -62,6 +88,7 @@ fn propagate_impl(
     lb: &mut [f64],
     ub: &mut [f64],
     mut rec: Option<&mut PropRecorder>,
+    elims: &mut u64,
 ) -> Propagation {
     // Apply declared fixings first.
     for j in 0..model.num_vars() {
@@ -72,6 +99,9 @@ fn propagate_impl(
                     r.conflict = Some(Witness::Fix(j as u32));
                 }
                 return Propagation::Infeasible;
+            }
+            if lb[j] < ub[j] {
+                *elims += 1; // the fixing actually narrowed a domain
             }
             lb[j] = v;
             ub[j] = v;
@@ -127,6 +157,7 @@ fn propagate_impl(
                     if *c > 0.0 && others_min + c > row.rhs + 1e-7 {
                         ub[j] = 0.0;
                         changed = true;
+                        *elims += 1;
                         if let Some(r) = rec.as_deref_mut() {
                             r.steps.push(Step::Deduce {
                                 row: ri as u32,
@@ -138,6 +169,7 @@ fn propagate_impl(
                         // x_j must contribute: x_j = 1.
                         lb[j] = 1.0;
                         changed = true;
+                        *elims += 1;
                         if let Some(r) = rec.as_deref_mut() {
                             r.steps.push(Step::Deduce {
                                 row: ri as u32,
@@ -153,6 +185,7 @@ fn propagate_impl(
                         // x_j must be 1 for the row to be satisfiable.
                         lb[j] = 1.0;
                         changed = true;
+                        *elims += 1;
                         if let Some(r) = rec.as_deref_mut() {
                             r.steps.push(Step::Deduce {
                                 row: ri as u32,
@@ -163,6 +196,7 @@ fn propagate_impl(
                     } else if *c < 0.0 && others_max + c < row.rhs - 1e-7 {
                         ub[j] = 0.0;
                         changed = true;
+                        *elims += 1;
                         if let Some(r) = rec.as_deref_mut() {
                             r.steps.push(Step::Deduce {
                                 row: ri as u32,
@@ -274,6 +308,43 @@ mod tests {
         m.fix(a, false);
         let (mut lb, mut ub) = free(2);
         assert_eq!(propagate(&m, &mut lb, &mut ub), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn counted_propagation_reports_deductions() {
+        // a + b >= 1 with b fixed to 0: one fixing + one forced bound.
+        let mut m = Model::new();
+        let a = m.add_var(0.0, "a");
+        let b = m.add_var(0.0, "b");
+        m.add_ge(vec![(a, 1.0), (b, 1.0)], 1.0);
+        m.fix(b, false);
+        let (mut lb, mut ub) = free(2);
+        let (p, elims) = propagate_counted(&m, &mut lb, &mut ub);
+        assert_eq!(p, Propagation::Ok);
+        assert_eq!(elims, 2, "fixing b plus deducing a");
+        // Re-running on the tightened box deduces nothing new.
+        let (p, elims) = propagate_counted(&m, &mut lb, &mut ub);
+        assert_eq!(p, Propagation::Ok);
+        assert_eq!(elims, 0);
+    }
+
+    #[test]
+    fn counted_matches_uncounted_tightening() {
+        let mut m = Model::new();
+        let u = m.add_var(0.0, "u");
+        let x = m.add_var(0.0, "x");
+        let d = m.add_var(0.0, "d");
+        m.add_le(vec![(u, 1.0), (x, -1.0)], 0.0);
+        m.add_le(vec![(x, 1.0), (d, -1.0)], 0.0);
+        let mut lb1 = vec![1.0, 0.0, 0.0];
+        let mut ub1 = vec![1.0, 1.0, 1.0];
+        let mut lb2 = lb1.clone();
+        let mut ub2 = ub1.clone();
+        let p1 = propagate(&m, &mut lb1, &mut ub1);
+        let (p2, elims) = propagate_counted(&m, &mut lb2, &mut ub2);
+        assert_eq!(p1, p2);
+        assert_eq!((lb1, ub1), (lb2, ub2), "counting never changes bounds");
+        assert_eq!(elims, 2, "x then d forced to 1");
     }
 
     #[test]

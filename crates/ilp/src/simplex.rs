@@ -526,6 +526,9 @@ impl<'a> Tableau<'a> {
                     match leave {
                         None => t < t_best, // strictly beat a bound flip
                         Some((li, _)) => {
+                            // Two basic candidates within TOL of each other:
+                            // a genuine ratio-test tie, whichever side wins.
+                            health.ratio_test_ties += 1;
                             if bland {
                                 self.basis[i] < self.basis[li]
                             } else {
@@ -594,6 +597,7 @@ impl<'a> Tableau<'a> {
                         health.unstable_pivots += 1;
                         return StopReason::Numerical;
                     }
+                    health.pivots += 1;
                     self.x[k] = if leaves_upper { self.hi[k] } else { self.lo[k] };
                     self.at_upper[k] = leaves_upper;
                     self.in_basis[k] = false;

@@ -18,7 +18,10 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Histogram, Metrics, SharedMetrics, SIZE_BUCKETS, TIME_BUCKETS};
+pub use metrics::{
+    BucketMismatch, Histogram, Metrics, QuantileSketch, SharedMetrics, QUANTILES, SIZE_BUCKETS,
+    TIME_BUCKETS,
+};
 pub use trace::{
     jsonl_events, jsonl_timings, Event, FunctionTrace, Phase, SpanGuard, TimeGuard, Tracer,
 };

@@ -17,6 +17,61 @@ pub const TIME_BUCKETS: &[f64] = &[
 /// Default buckets for model sizes (constraint / variable counts).
 pub const SIZE_BUCKETS: &[f64] = &[10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0];
 
+/// The quantiles the registry exposes for every sketch series (p50/p95/p99).
+pub const QUANTILES: &[f64] = &[0.5, 0.95, 0.99];
+
+/// Exact streaming quantile sketch.
+///
+/// Unlike the fixed-bucket [`Histogram`] (whose quantile estimates are only
+/// as good as its bucket layout), the sketch keeps every observation and
+/// answers quantile queries exactly. Suites observe one value per function,
+/// so memory is bounded by suite size; the deterministic shard-merge order
+/// plus a total-order sort make every query byte-stable across worker
+/// counts and runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuantileSketch {
+    values: Vec<f64>,
+    sum: f64,
+}
+
+impl QuantileSketch {
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::default()
+    }
+
+    pub fn observe(&mut self, v: f64) {
+        self.values.push(v);
+        self.sum += v;
+    }
+
+    /// Fold another shard in. Concatenation order follows the registry's
+    /// deterministic merge order; queries sort, so order never shows.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.values.extend_from_slice(&other.values);
+        self.sum += other.sum;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact nearest-rank quantile (`q` in `[0, 1]`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(sorted[rank - 1])
+    }
+}
+
 /// Fixed-bucket histogram with an implicit `+Inf` bucket.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
@@ -49,18 +104,52 @@ impl Histogram {
         self.total += 1;
     }
 
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.bounds, other.bounds,
-            "merging histograms with different bucket layouts"
-        );
+    /// Fold another histogram in.
+    ///
+    /// When the shard's bucket layout doesn't match, the merge must not
+    /// abort the suite run it is part of: the shard's observations are
+    /// salvaged into the `+Inf` bucket (keeping `_count` and `_sum` exact,
+    /// losing only the per-bucket breakdown for those samples) and the
+    /// mismatch is reported for the caller to surface.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), BucketMismatch> {
+        if self.bounds != other.bounds {
+            *self.counts.last_mut().expect("histogram has +Inf bucket") += other.total;
+            self.sum += other.sum;
+            self.total += other.total;
+            return Err(BucketMismatch {
+                expected: self.bounds.clone(),
+                found: other.bounds.clone(),
+            });
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.sum += other.sum;
         self.total += other.total;
+        Ok(())
     }
 }
+
+/// A histogram shard arrived with a different bucket layout than the series
+/// it merges into. The observations were folded into `+Inf` rather than
+/// dropped; this error carries both layouts for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BucketMismatch {
+    pub expected: Vec<f64>,
+    pub found: Vec<f64>,
+}
+
+impl std::fmt::Display for BucketMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram bucket layout mismatch: expected {:?}, found {:?} (shard folded into +Inf)",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for BucketMismatch {}
 
 /// Build the canonical series key `name{k1="v1",k2="v2"}`.
 ///
@@ -110,6 +199,7 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl Metrics {
@@ -140,7 +230,20 @@ impl Metrics {
             .observe(value);
     }
 
+    /// Observe `value` into an exact quantile sketch series.
+    pub fn observe_quantile(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sketches
+            .entry(key(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
     /// Fold another registry (a worker shard) into this one.
+    ///
+    /// Never panics: a shard histogram whose bucket layout disagrees with
+    /// the accumulated series is folded into `+Inf` and counted under the
+    /// `obs_histogram_merge_mismatch_total` counter instead of aborting
+    /// the run.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -148,13 +251,22 @@ impl Metrics {
         for (k, v) in &other.gauges {
             *self.gauges.entry(k.clone()).or_insert(0.0) += v;
         }
+        let mut mismatches = 0u64;
         for (k, h) in &other.histograms {
             match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
+                Some(mine) => {
+                    if mine.merge(h).is_err() {
+                        mismatches += 1;
+                    }
+                }
                 None => {
                     self.histograms.insert(k.clone(), h.clone());
                 }
             }
+        }
+        self.inc("obs_histogram_merge_mismatch_total", &[], mismatches);
+        for (k, s) in &other.sketches {
+            self.sketches.entry(k.clone()).or_default().merge(s);
         }
     }
 
@@ -208,8 +320,21 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    pub fn sketch(&self, name: &str, labels: &[(&str, &str)]) -> Option<&QuantileSketch> {
+        self.sketches.get(&key(name, labels))
+    }
+
+    /// Exact nearest-rank quantile of a sketch series; `None` when the
+    /// series is absent or empty.
+    pub fn quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.sketch(name, labels).and_then(|s| s.quantile(q))
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// Prometheus-style text exposition. Deterministic: series are emitted in
@@ -256,6 +381,26 @@ impl Metrics {
             let _ = writeln!(out, "{fam}_sum{labels} {}", h.sum);
             let _ = writeln!(out, "{fam}_count{labels} {}", h.total);
         }
+        last_family.clear();
+        for (k, s) in &self.sketches {
+            let fam = family(k);
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} summary");
+                last_family = fam.to_string();
+            }
+            let labels = k.strip_prefix(fam).unwrap_or("");
+            for q in QUANTILES {
+                if let Some(v) = s.quantile(*q) {
+                    let _ = writeln!(
+                        out,
+                        "{fam}{} {v}",
+                        with_label(labels, "quantile", &format!("{q}"))
+                    );
+                }
+            }
+            let _ = writeln!(out, "{fam}_sum{labels} {}", s.sum());
+            let _ = writeln!(out, "{fam}_count{labels} {}", s.count());
+        }
         out
     }
 }
@@ -288,6 +433,11 @@ impl SharedMetrics {
         self.0.lock().unwrap().observe(name, labels, bounds, value);
     }
 
+    /// Observe into an exact quantile sketch series.
+    pub fn observe_quantile(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.0.lock().unwrap().observe_quantile(name, labels, value);
+    }
+
     /// Fold a finished task's shard into the live registry.
     pub fn merge(&self, shard: &Metrics) {
         self.0.lock().unwrap().merge(shard);
@@ -316,11 +466,17 @@ impl SharedMetrics {
 
 /// Splice an `le` label into an existing (possibly empty) label block.
 fn with_le(labels: &str, le: &str) -> String {
+    with_label(labels, "le", le)
+}
+
+/// Splice an extra `key="value"` label into an existing (possibly empty)
+/// label block.
+fn with_label(labels: &str, key: &str, value: &str) -> String {
     if labels.is_empty() {
-        format!("{{le=\"{le}\"}}")
+        format!("{{{key}=\"{value}\"}}")
     } else {
         let inner = &labels[1..labels.len() - 1];
-        format!("{{{inner},le=\"{le}\"}}")
+        format!("{{{inner},{key}=\"{value}\"}}")
     }
 }
 
@@ -410,6 +566,83 @@ mod tests {
         m.inc("f_total", &[("a", "2")], 1);
         let text = m.to_prometheus();
         assert_eq!(text.matches("# TYPE f_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_mismatch_folds_into_inf_instead_of_panicking() {
+        let mut a = Metrics::new();
+        a.observe("h", &[], &[1.0, 2.0], 0.5);
+        let mut bad_shard = Metrics::new();
+        bad_shard.observe("h", &[], &[5.0], 3.0);
+        bad_shard.observe("h", &[], &[5.0], 7.0);
+        a.merge(&bad_shard);
+        let h = a.histogram("h", &[]).unwrap();
+        // Nothing lost: count and sum are exact, the two mismatched samples
+        // just land in +Inf.
+        assert_eq!(h.total, 3);
+        assert!((h.sum - 10.5).abs() < 1e-12);
+        assert_eq!(h.counts, vec![1, 0, 2]);
+        assert_eq!(a.counter("obs_histogram_merge_mismatch_total", &[]), 1);
+    }
+
+    #[test]
+    fn histogram_merge_reports_mismatch_layouts() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[5.0]);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err.expected, vec![1.0, 2.0]);
+        assert_eq!(err.found, vec![5.0]);
+        assert!(err.to_string().contains("bucket layout mismatch"));
+    }
+
+    #[test]
+    fn quantile_sketch_is_exact_nearest_rank() {
+        let mut m = Metrics::new();
+        for v in 1..=100 {
+            m.observe_quantile("q_dist", &[], v as f64);
+        }
+        assert_eq!(m.quantile("q_dist", &[], 0.5), Some(50.0));
+        assert_eq!(m.quantile("q_dist", &[], 0.95), Some(95.0));
+        assert_eq!(m.quantile("q_dist", &[], 0.99), Some(99.0));
+        assert_eq!(m.quantile("q_dist", &[], 1.0), Some(100.0));
+        assert_eq!(m.quantile("q_dist", &[], 0.0), Some(1.0));
+        assert_eq!(m.quantile("absent", &[], 0.5), None);
+    }
+
+    #[test]
+    fn sketch_merge_is_order_invariant_for_queries() {
+        let mut s1 = QuantileSketch::new();
+        for v in [9.0, 1.0, 5.0] {
+            s1.observe(v);
+        }
+        let mut s2 = QuantileSketch::new();
+        for v in [3.0, 7.0] {
+            s2.observe(v);
+        }
+        let mut a = s1.clone();
+        a.merge(&s2);
+        let mut b = s2.clone();
+        b.merge(&s1);
+        for q in QUANTILES {
+            assert_eq!(a.quantile(*q), b.quantile(*q));
+        }
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn sketches_expose_as_prometheus_summaries() {
+        let mut m = Metrics::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.observe_quantile("pivots_dist", &[("target", "x86")], v);
+        }
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE pivots_dist summary"));
+        assert!(text.contains("pivots_dist{target=\"x86\",quantile=\"0.5\"} 2"));
+        assert!(text.contains("pivots_dist{target=\"x86\",quantile=\"0.95\"} 4"));
+        assert!(text.contains("pivots_dist{target=\"x86\",quantile=\"0.99\"} 4"));
+        assert!(text.contains("pivots_dist_sum{target=\"x86\"} 10"));
+        assert!(text.contains("pivots_dist_count{target=\"x86\"} 4"));
     }
 
     #[test]

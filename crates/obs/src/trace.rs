@@ -118,12 +118,19 @@ pub enum Event {
         source: &'static str,
         reason: &'static str,
     },
-    /// The LP-guided diving heuristic finished.
-    Dive { lp_iters: u64, improved: bool },
+    /// The LP-guided diving heuristic finished. `depth` is the number of
+    /// variables the dive explicitly fixed before it stopped.
+    Dive {
+        lp_iters: u64,
+        depth: u64,
+        improved: bool,
+    },
     /// One branch-and-bound node was processed. `lp_iters` counts the simplex
-    /// iterations spent on this node even when it is pruned or abandoned.
+    /// iterations spent on this node even when it is pruned or abandoned;
+    /// `depth` is the number of branching decisions from the root.
     Node {
         index: u64,
+        depth: u64,
         lp_iters: u64,
         outcome: &'static str,
     },
@@ -164,6 +171,16 @@ pub enum Event {
     /// A certificate was rejected (or missing); `code` is the slug of the
     /// first audit finding (e.g. `weak-bound`, `missing-certificate`).
     CertificateRejected { code: &'static str },
+    /// Flight-recorder rollup of the solver's always-on effort counters,
+    /// emitted once per solve just before `SolveDone`. Every field is a
+    /// pure function of the input model and solver configuration.
+    SolverCounters {
+        pivots: u64,
+        degenerate_pivots: u64,
+        ratio_test_ties: u64,
+        presolve_eliminations: u64,
+        max_dive_depth: u64,
+    },
 }
 
 impl Event {
@@ -186,6 +203,7 @@ impl Event {
             Event::LintFindings { .. } => "lint",
             Event::CertificateChecked { .. } => "certificate-checked",
             Event::CertificateRejected { .. } => "certificate-rejected",
+            Event::SolverCounters { .. } => "solver-counters",
         }
     }
 }
@@ -444,15 +462,26 @@ pub fn jsonl_events(out: &mut String, trace: &FunctionTrace) {
                 out.push_str(",\"reason\":");
                 push_json_str(out, reason);
             }
-            Event::Dive { lp_iters, improved } => {
-                let _ = write!(out, ",\"lp_iters\":{lp_iters},\"improved\":{improved}");
+            Event::Dive {
+                lp_iters,
+                depth,
+                improved,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lp_iters\":{lp_iters},\"depth\":{depth},\"improved\":{improved}"
+                );
             }
             Event::Node {
                 index,
+                depth,
                 lp_iters,
                 outcome,
             } => {
-                let _ = write!(out, ",\"index\":{index},\"lp_iters\":{lp_iters}");
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"depth\":{depth},\"lp_iters\":{lp_iters}"
+                );
                 out.push_str(",\"outcome\":");
                 push_json_str(out, outcome);
             }
@@ -513,6 +542,18 @@ pub fn jsonl_events(out: &mut String, trace: &FunctionTrace) {
             Event::CertificateRejected { code } => {
                 out.push_str(",\"code\":");
                 push_json_str(out, code);
+            }
+            Event::SolverCounters {
+                pivots,
+                degenerate_pivots,
+                ratio_test_ties,
+                presolve_eliminations,
+                max_dive_depth,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"pivots\":{pivots},\"degenerate_pivots\":{degenerate_pivots},\"ratio_test_ties\":{ratio_test_ties},\"presolve_eliminations\":{presolve_eliminations},\"max_dive_depth\":{max_dive_depth}"
+                );
             }
         }
         out.push_str("}\n");
@@ -624,6 +665,29 @@ mod tests {
     }
 
     #[test]
+    fn solver_counters_serialize_deterministically() {
+        let trace = FunctionTrace {
+            function: "f".into(),
+            events: vec![Event::SolverCounters {
+                pivots: 42,
+                degenerate_pivots: 3,
+                ratio_test_ties: 7,
+                presolve_eliminations: 11,
+                max_dive_depth: 5,
+            }],
+            phase_times: vec![],
+        };
+        let mut out = String::new();
+        jsonl_events(&mut out, &trace);
+        assert_eq!(
+            out,
+            "{\"type\":\"solver-counters\",\"fn\":\"f\",\"pivots\":42,\
+             \"degenerate_pivots\":3,\"ratio_test_ties\":7,\
+             \"presolve_eliminations\":11,\"max_dive_depth\":5}\n"
+        );
+    }
+
+    #[test]
     fn trace_helpers_find_events() {
         let trace = FunctionTrace {
             function: "f".into(),
@@ -635,10 +699,12 @@ mod tests {
                 },
                 Event::Dive {
                     lp_iters: 5,
+                    depth: 2,
                     improved: true,
                 },
                 Event::Node {
                     index: 1,
+                    depth: 0,
                     lp_iters: 7,
                     outcome: "pruned",
                 },

@@ -43,7 +43,11 @@ pub struct Response {
 
 impl Response {
     fn decode(frame: Frame) -> Result<Response, String> {
-        let (func_text, report) = if frame.verb == "OK" && !frame.payload.is_empty() {
+        // A `status=1` OK answers the STATUS verb; its payload is the
+        // recent-request ring, not a sectioned allocation document.
+        let alloc_ok =
+            frame.verb == "OK" && !frame.payload.is_empty() && frame.get("status").is_none();
+        let (func_text, report) = if alloc_ok {
             let (f, r) = parse_ok_payload(&frame.payload)?;
             (Some(f), r)
         } else {
@@ -156,6 +160,16 @@ impl Client {
     pub fn ping(&mut self) -> std::io::Result<Response> {
         let id = self.fresh_id();
         Frame::new("PING")
+            .field("id", &id)
+            .write_to(&mut self.writer)?;
+        self.recv()
+    }
+
+    /// Fetch the daemon's live counters and recent-request ring
+    /// (`STATUS` verb; answered with an `OK status=1` frame).
+    pub fn status(&mut self) -> std::io::Result<Response> {
+        let id = self.fresh_id();
+        Frame::new("STATUS")
             .field("id", &id)
             .write_to(&mut self.writer)?;
         self.recv()

@@ -48,6 +48,7 @@ client — talk to a daemon:
   --client ID          budget tenant id (default: cli)
   solve FILE           allocate every function in a textual-IR file
   ping                 liveness probe
+  status               live counters + recent-request phase timings
   drain                ask the daemon to drain and exit
   metrics              scrape /metrics (Prometheus text)
   --target NAME        allocate for this target (x86-pentium, risc24, mcu;
@@ -237,12 +238,12 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
             }
             "--lint" => opts.lint = true,
             "solve" => action = Some(("solve".into(), Some(next_val(&mut it, "solve")?))),
-            "ping" | "drain" | "metrics" => action = Some((a.clone(), None)),
+            "ping" | "status" | "drain" | "metrics" => action = Some((a.clone(), None)),
             other => return Err(format!("client: unknown argument {other}\n\n{USAGE}")),
         }
     }
     let addr = addr.ok_or("client: --addr is required")?;
-    let (verb, arg) = action.ok_or("client: need one of solve|ping|drain|metrics")?;
+    let (verb, arg) = action.ok_or("client: need one of solve|ping|status|drain|metrics")?;
     if verb == "metrics" {
         let body = scrape_metrics(&addr).map_err(|e| format!("metrics: {e}"))?;
         print!("{body}");
@@ -254,6 +255,28 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         "ping" => {
             let r = client.ping().map_err(|e| e.to_string())?;
             println!("{}", r.frame.verb);
+            Ok(ExitCode::SUCCESS)
+        }
+        "status" => {
+            let r = client.status().map_err(|e| e.to_string())?;
+            for key in [
+                "status",
+                "uptime_ms",
+                "accepted",
+                "responded",
+                "busy",
+                "errors",
+                "queued",
+                "active",
+            ] {
+                if let Some(v) = r.frame.get(key) {
+                    println!("{key}={v}");
+                }
+            }
+            let recent = r.message();
+            if !recent.is_empty() {
+                print!("{recent}");
+            }
             Ok(ExitCode::SUCCESS)
         }
         "drain" => {

@@ -9,11 +9,12 @@
 //! responses matched by id (responses may arrive out of order).
 //!
 //! ```text
-//! request  := alloc | ping | drain
+//! request  := alloc | ping | drain | status
 //! alloc    := "ALLOC id=<tok> client=<tok> bytes=<n>" [" target=<tok>"]
 //!             [" budget_ms=<n>"] [" lint=0|1"] [" fault_seed=<n>"] "\n" payload
 //! ping     := "PING id=<tok>\n"
 //! drain    := "DRAIN id=<tok>" [" grace_ms=<n>"] "\n"
+//! status   := "STATUS id=<tok>\n"
 //!
 //! response := ok | err | busy | draining | pong
 //! ok       := "OK id=<tok> bytes=<n> target=<tok> rung=<tok> cache=hit|miss
@@ -23,6 +24,13 @@
 //! draining := "DRAINING id=<tok>\n"
 //! pong     := "PONG id=<tok>\n"
 //! ```
+//!
+//! `STATUS` is answered with an `OK` frame carrying `status=1` plus the
+//! daemon's live counters (`uptime_ms`, `accepted`, `responded`, `busy`,
+//! `errors`, `queued`, `active`) and a payload of one
+//! `req id=... client=... rung=... cache=... total_ms=... build_ms=...
+//! solve_ms=... validate_ms=...` line per recently completed request
+//! (newest first, bounded ring).
 //!
 //! The `OK` payload is sectioned text: the accepted allocation between
 //! `.func` and `.report` (byte-identical to what `regalloc-driver

@@ -27,7 +27,7 @@
 //! the batch driver's code — so responses are byte-identical to
 //! `regalloc-driver` output for the same input and configuration.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -108,6 +108,23 @@ pub struct ServeReport {
     pub panics: u64,
 }
 
+/// How many completed requests the `STATUS` ring remembers.
+const RECENT_CAP: usize = 32;
+
+/// One completed allocation request's phase breakdown, kept in the
+/// bounded in-memory ring the `STATUS` verb reports.
+#[derive(Clone)]
+struct RecentRequest {
+    id: String,
+    client: String,
+    rung: String,
+    cache: &'static str,
+    total: Duration,
+    build: Duration,
+    solve: Duration,
+    validate: Duration,
+}
+
 struct State {
     /// One long-lived service per registered target, built eagerly at
     /// bind so the first `target=mcu` request pays no setup and the donor
@@ -136,6 +153,11 @@ struct State {
     inflight_estimate: AtomicUsize,
     connections: AtomicUsize,
     log: Option<Mutex<std::fs::File>>,
+    /// When the daemon bound its listener (`STATUS` reports uptime
+    /// against it).
+    started: Instant,
+    /// Bounded ring of recently completed requests, newest first.
+    recent: Mutex<VecDeque<RecentRequest>>,
 }
 
 impl State {
@@ -161,6 +183,16 @@ impl State {
         line.push_str("}\n");
         let mut f = log.lock().unwrap();
         let _ = f.write_all(line.as_bytes());
+    }
+
+    /// Record a completed request in the `STATUS` ring (newest first,
+    /// bounded at [`RECENT_CAP`]).
+    fn note_recent(&self, r: RecentRequest) {
+        let mut ring = self.recent.lock().unwrap();
+        if ring.len() == RECENT_CAP {
+            ring.pop_back();
+        }
+        ring.push_front(r);
     }
 
     fn log_response(&self, frame: &Frame, client: &str, extra: &[(&str, String)]) {
@@ -252,6 +284,8 @@ impl Server {
             inflight_estimate: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             log,
+            started: Instant::now(),
+            recent: Mutex::new(VecDeque::with_capacity(RECENT_CAP)),
         });
         state.log_line(&[
             ("event", "listening".to_string()),
@@ -379,11 +413,22 @@ fn rss_bytes() -> Option<u64> {
 type ConnWriter = Arc<Mutex<TcpStream>>;
 
 fn send(state: &State, w: &ConnWriter, frame: &Frame, client: &str, count_response: bool) {
+    send_logged(state, w, frame, client, count_response, &[]);
+}
+
+fn send_logged(
+    state: &State,
+    w: &ConnWriter,
+    frame: &Frame,
+    client: &str,
+    count_response: bool,
+    extra: &[(&str, String)],
+) {
     // A dead peer is not an error: the response is still "written" for
     // accounting (exactly-one-terminal-response is about the server
     // side; a client that hangs up forfeits delivery).
     let _ = frame.write_to(&mut *w.lock().unwrap());
-    state.log_response(frame, client, &[]);
+    state.log_response(frame, client, extra);
     state.metrics.inc(
         "serve_responses_total",
         &[("verb", verb_label(&frame.verb))],
@@ -582,6 +627,50 @@ fn handle_frame(
             let resp = Frame::new("OK")
                 .field("id", frame.id())
                 .field("draining", 1);
+            send(
+                state,
+                writer,
+                &resp,
+                frame.get("client").unwrap_or("?"),
+                false,
+            );
+        }
+        "STATUS" => {
+            state
+                .metrics
+                .inc("serve_requests_total", &[("verb", "status")], 1);
+            refresh_gauges(state);
+            let mut payload = String::new();
+            {
+                let ring = state.recent.lock().unwrap();
+                for r in ring.iter() {
+                    use std::fmt::Write as _;
+                    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+                    let _ = writeln!(
+                        payload,
+                        "req id={} client={} rung={} cache={} total_ms={:.3} build_ms={:.3} solve_ms={:.3} validate_ms={:.3}",
+                        r.id,
+                        r.client,
+                        r.rung,
+                        r.cache,
+                        ms(r.total),
+                        ms(r.build),
+                        ms(r.solve),
+                        ms(r.validate),
+                    );
+                }
+            }
+            let resp = Frame::new("OK")
+                .field("id", frame.id())
+                .field("status", 1)
+                .field("uptime_ms", state.started.elapsed().as_millis() as u64)
+                .field("accepted", state.accepted.load(Ordering::SeqCst))
+                .field("responded", state.responded.load(Ordering::SeqCst))
+                .field("busy", state.busy.load(Ordering::SeqCst))
+                .field("errors", state.errors.load(Ordering::SeqCst))
+                .field("queued", state.pool.queued() as u64)
+                .field("active", state.pool.active() as u64)
+                .with_payload(payload.into_bytes());
             send(
                 state,
                 writer,
@@ -796,9 +885,25 @@ fn run_alloc_job(
     state
         .inflight_estimate
         .fetch_sub(estimate, Ordering::SeqCst);
+    let total = t0.elapsed();
+    let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+    let mut extra: Vec<(&str, String)> = vec![("duration_ms", ms(total))];
     let resp = match outcome {
         Ok(r) => {
             state.metrics.merge(&r.metrics);
+            extra.push(("build_ms", ms(r.build_time)));
+            extra.push(("solve_ms", ms(r.solve_time)));
+            extra.push(("validate_ms", ms(r.validate_time)));
+            state.note_recent(RecentRequest {
+                id: id.to_string(),
+                client: client.to_string(),
+                rung: r.rung.map_or("none", |x| x.name()).to_string(),
+                cache: if r.cache_hit { "hit" } else { "miss" },
+                total,
+                build: r.build_time,
+                solve: r.solve_time,
+                validate: r.validate_time,
+            });
             match &r.error {
                 None => Frame::new("OK")
                     .field("id", id)
@@ -833,6 +938,6 @@ fn run_alloc_job(
                 .with_payload(msg.into_bytes())
         }
     };
-    send(state, writer, &resp, client, true);
+    send_logged(state, writer, &resp, client, true, &extra);
     outstanding.fetch_sub(1, Ordering::SeqCst);
 }

@@ -283,6 +283,56 @@ fn drain_stops_admission_and_a_stop_flag_drains_too() {
 }
 
 #[test]
+fn status_reports_counters_and_recent_request_timings() {
+    let (addr, server) = start(ServeConfig {
+        driver: test_driver_cfg(1),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr, "stest").expect("connect");
+    client.set_timeout(Some(Duration::from_secs(30))).ok();
+
+    // Fresh daemon: counters present, ring empty.
+    let empty = client.status().expect("status");
+    assert_eq!(empty.frame.verb, "OK");
+    assert_eq!(empty.frame.get("status"), Some("1"));
+    assert_eq!(empty.frame.get("accepted"), Some("0"));
+    assert!(empty.frame.get_u64("uptime_ms").is_some());
+    assert!(empty.frame.payload.is_empty(), "ring starts empty");
+
+    for f in workload(2) {
+        let resp = client.alloc(&f, &AllocOptions::default()).expect("alloc");
+        assert_eq!(resp.frame.verb, "OK", "{}", resp.message());
+    }
+
+    let full = client.status().expect("status");
+    assert_eq!(full.frame.verb, "OK");
+    assert_eq!(full.frame.get("accepted"), Some("2"));
+    assert_eq!(full.frame.get("responded"), Some("2"));
+    let body = full.message();
+    let req_lines: Vec<&str> = body.lines().filter(|l| l.starts_with("req ")).collect();
+    assert_eq!(
+        req_lines.len(),
+        2,
+        "two recent requests in the ring:\n{body}"
+    );
+    for line in req_lines {
+        for field in [
+            "id=",
+            "client=",
+            "rung=",
+            "cache=",
+            "total_ms=",
+            "build_ms=",
+            "solve_ms=",
+            "validate_ms=",
+        ] {
+            assert!(line.contains(field), "missing `{field}` in `{line}`");
+        }
+    }
+    drain_and_join(&addr, server);
+}
+
+#[test]
 fn metrics_endpoint_serves_prometheus_text_on_the_same_port() {
     let (addr, server) = start(ServeConfig {
         driver: test_driver_cfg(1),

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Compare two observatory snapshots (`observatory --out BENCH_<n>.json`).
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json [--timing-ratio R]
+
+Deterministic fields — solver effort (nodes, lp_iters, pivots,
+degenerate_pivots, ratio_test_ties, presolve_eliminations,
+max_dive_depth), model sizes (model_vars, model_constraints, ip_bytes),
+outcome counts (functions, attempted, solved, optimal), rung histograms
+and exact quantiles — must match EXACTLY; any drift (and any added,
+removed or renamed suite section) exits 1. The diagnostic says whether
+the counter moved up ("regression" for effort/size counters) or down
+("improvement" — still a failure: re-baseline deliberately by
+regenerating the checked-in snapshot).
+
+Timing fields (`"timing"` per suite) are advisory: a warning is printed
+when candidate/baseline exceeds --timing-ratio (default 1.5) in either
+direction, but timing never affects the exit code. If either side's
+timing is null (a `--no-timing` snapshot), the comparison is skipped.
+
+Snapshots with different "schema" versions are never compared (exit 2).
+
+Exit status: 0 clean (warnings allowed), 1 deterministic drift,
+2 usage/schema error.
+"""
+
+import json
+import sys
+
+# Counters where "more" means the solver or model got more expensive.
+# For these we can label the direction of a drift; for the rest (e.g.
+# "solved", "optimal") a change in either direction is just "changed".
+EFFORT_FIELDS = {
+    "nodes", "lp_iters", "pivots", "degenerate_pivots", "ratio_test_ties",
+    "max_dive_depth", "model_vars", "model_constraints", "ip_bytes",
+}
+SCALAR_FIELDS = [
+    "functions", "attempted", "solved", "optimal",
+    "nodes", "lp_iters", "pivots", "degenerate_pivots", "ratio_test_ties",
+    "presolve_eliminations", "max_dive_depth",
+    "model_vars", "model_constraints", "ip_bytes",
+]
+TIMING_KEYS = [
+    "wall_seconds", "cpu_seconds",
+    "build_seconds", "solve_seconds", "validate_seconds",
+]
+
+failures = []
+warnings = []
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or "schema" not in doc or "suites" not in doc:
+        print(f"bench_diff: {path} is not an observatory snapshot", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def index_suites(doc, path):
+    out = {}
+    for sec in doc["suites"]:
+        key = (sec.get("suite"), sec.get("target"))
+        if key in out:
+            print(f"bench_diff: {path}: duplicate section {key}", file=sys.stderr)
+            sys.exit(2)
+        out[key] = sec
+    return out
+
+
+def diff_scalar(where, field, base, cand):
+    if base == cand:
+        return
+    if field in EFFORT_FIELDS:
+        direction = "REGRESSION" if cand > base else "improvement"
+        failures.append(
+            f"{where}: {field} {direction}: {base} -> {cand} "
+            f"({cand - base:+})"
+        )
+    else:
+        failures.append(f"{where}: {field} changed: {base} -> {cand}")
+
+
+def diff_section(key, base, cand):
+    where = f"{key[0]} [{key[1]}]"
+    for field in SCALAR_FIELDS:
+        if field not in base or field not in cand:
+            failures.append(f"{where}: missing deterministic field {field!r}")
+            continue
+        diff_scalar(where, field, base[field], cand[field])
+    if base.get("rungs") != cand.get("rungs"):
+        failures.append(
+            f"{where}: rung histogram changed: "
+            f"{base.get('rungs')} -> {cand.get('rungs')}"
+        )
+    if base.get("quantiles") != cand.get("quantiles"):
+        failures.append(
+            f"{where}: quantiles changed: "
+            f"{base.get('quantiles')} -> {cand.get('quantiles')}"
+        )
+
+
+def diff_timing(key, base, cand, ratio):
+    bt, ct = base.get("timing"), cand.get("timing")
+    if bt is None or ct is None:
+        return  # --no-timing snapshot on at least one side: nothing to say
+    where = f"{key[0]} [{key[1]}]"
+    for k in TIMING_KEYS:
+        b, c = bt.get(k), ct.get(k)
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        # Sub-millisecond phases are all noise; don't warn on them.
+        if max(b, c) < 1e-3:
+            continue
+        if b > 0 and (c / b > ratio or b / c > ratio):
+            warnings.append(
+                f"{where}: {k} moved {b:.4f}s -> {c:.4f}s "
+                f"({c / b:.2f}x, advisory only)"
+            )
+
+
+def main(argv):
+    ratio = 1.5
+    paths = []
+    it = iter(argv)
+    for a in it:
+        if a == "--timing-ratio":
+            try:
+                ratio = float(next(it))
+            except (StopIteration, ValueError):
+                print("bench_diff: --timing-ratio requires a number", file=sys.stderr)
+                return 2
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base_doc, cand_doc = load(paths[0]), load(paths[1])
+    if base_doc["schema"] != cand_doc["schema"]:
+        print(
+            f"bench_diff: schema mismatch: {paths[0]} is v{base_doc['schema']}, "
+            f"{paths[1]} is v{cand_doc['schema']} — regenerate the baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    base = index_suites(base_doc, paths[0])
+    cand = index_suites(cand_doc, paths[1])
+    for key in base.keys() - cand.keys():
+        failures.append(f"{key[0]} [{key[1]}]: section missing from candidate")
+    for key in cand.keys() - base.keys():
+        failures.append(f"{key[0]} [{key[1]}]: section not in baseline")
+    for key in sorted(base.keys() & cand.keys()):
+        diff_section(key, base[key], cand[key])
+        diff_timing(key, base[key], cand[key], ratio)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    common = len(base.keys() & cand.keys())
+    if failures:
+        print(
+            f"bench_diff: {len(failures)} deterministic difference(s) across "
+            f"{common} common section(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench_diff: OK — {common} section(s) deterministically identical"
+        + (f", {len(warnings)} timing warning(s)" if warnings else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -43,7 +43,8 @@ LOG_SCHEMAS = {
     "drain_demote": (set(), set()),
     "drained": ({"accepted", "responded", "busy", "errors"}, set()),
     "response": ({"verb", "id", "client"},
-                 {"rung", "cache", "budget", "granted_ms", "code", "retry_ms"}),
+                 {"rung", "cache", "budget", "granted_ms", "code", "retry_ms",
+                  "duration_ms", "build_ms", "solve_ms", "validate_ms"}),
     "http": ({"path"}, set()),
 }
 
@@ -102,10 +103,40 @@ def check_log(path):
         fail(f"{path}: 'drained' must be the final event")
 
 
+STATUS_COUNTERS = {"accepted", "responded", "busy", "errors", "queued", "active"}
+
+# Fields carrying a duration in milliseconds, rendered as a non-negative
+# decimal string (`{:.3}` on the daemon side).
+MS_FIELDS = {"duration_ms", "build_ms", "solve_ms", "validate_ms",
+             "granted_ms", "retry_ms", "uptime_ms", "total_ms"}
+
+
+def check_ms_fields(fields, where):
+    for k in MS_FIELDS & set(fields):
+        v = fields[k]
+        try:
+            ok = float(v) >= 0
+        except (TypeError, ValueError):
+            ok = False
+        if not ok:
+            fail(f"{where}: {k} must be a non-negative decimal, got {v!r}")
+
+
 def check_response_fields(fields, where):
     verb = fields.get("verb")
     if verb not in RESPONSE_VERBS:
         fail(f"{where}: unknown response verb {verb!r}")
+        return
+    check_ms_fields(fields, where)
+    if verb == "OK" and "status" in fields:  # a STATUS report, not an ALLOC OK
+        if fields.get("status") != "1":
+            fail(f"{where}: STATUS response must carry status=1")
+        for k in sorted({"uptime_ms"} | STATUS_COUNTERS):
+            if k not in fields:
+                fail(f"{where}: STATUS response missing {k!r}")
+        for k in STATUS_COUNTERS & set(fields):
+            if not str(fields[k]).isdigit():
+                fail(f"{where}: STATUS {k} must be a non-negative integer")
         return
     if verb == "OK" and "rung" in fields:  # an ALLOC's OK, not DRAIN's ack
         for k in ("rung", "cache", "budget", "granted_ms"):
@@ -117,6 +148,9 @@ def check_response_fields(fields, where):
             fail(f"{where}: cache must be hit|miss, got {fields.get('cache')!r}")
         if fields.get("budget") not in BUDGETS:
             fail(f"{where}: unknown budget disposition {fields.get('budget')!r}")
+        # The request log adds the phase breakdown to every allocation OK.
+        if fields.get("event") == "response" and "duration_ms" not in fields:
+            fail(f"{where}: OK allocation log entry missing 'duration_ms'")
     if verb == "BUSY" and "retry_ms" not in fields:
         fail(f"{where}: BUSY without a retry_ms hint")
     if verb == "ERR":
@@ -173,8 +207,45 @@ def check_response_frame(verb, fields, payload, where):
     if "id" not in fields:
         fail(f"{where}: {verb} response without an id")
     check_response_fields({"verb": verb, **fields}, where)
-    if verb == "OK" and "rung" in fields:
+    if verb == "OK" and "status" in fields:
+        check_status_payload(payload, where)
+    elif verb == "OK" and "rung" in fields:
         check_ok_payload(payload, where)
+
+
+# Each recent-request line in a STATUS payload, e.g.
+#   req id=c-1 client=c rung=ip-optimal cache=miss total_ms=1.234 ...
+STATUS_REQ_KEYS = ["id", "client", "rung", "cache",
+                   "total_ms", "build_ms", "solve_ms", "validate_ms"]
+
+
+def check_status_payload(payload, where):
+    try:
+        text = payload.decode("utf-8")
+    except UnicodeDecodeError:
+        fail(f"{where}: STATUS payload is not UTF-8")
+        return
+    for i, line in enumerate(text.splitlines()):
+        tag = f"{where}:req{i}"
+        parts = line.split(" ")
+        if parts[0] != "req":
+            fail(f"{tag}: STATUS payload line must start with 'req ': {line!r}")
+            continue
+        got = {}
+        for p in parts[1:]:
+            if "=" not in p:
+                fail(f"{tag}: bad token {p!r}")
+                continue
+            k, v = p.split("=", 1)
+            got[k] = v
+        for k in STATUS_REQ_KEYS:
+            if k not in got:
+                fail(f"{tag}: missing {k}=")
+        if got.get("rung") not in RUNGS:
+            fail(f"{tag}: unknown rung {got.get('rung')!r}")
+        if got.get("cache") not in {"hit", "miss"}:
+            fail(f"{tag}: cache must be hit|miss, got {got.get('cache')!r}")
+        check_ms_fields(got, tag)
 
 
 def check_ok_payload(payload, where):
@@ -270,6 +341,19 @@ def probe(addr, ir_file):
             check_response_frame(verb, fields, payload, "probe:alloc")
             hdr_line = " ".join([verb] + [f"{k}={v}" for k, v in fields.items()])
             capture.extend(hdr_line.encode() + b"\n" + payload)
+
+    # STATUS after the (optional) ALLOC: counters must be present, and
+    # any recent-request ring entries must carry the phase breakdown.
+    s.sendall(b"STATUS id=probe3\n")
+    frame = recv_frame(rf, "probe:status")
+    if frame:
+        verb, fields, payload = frame
+        if verb != "OK" or fields.get("id") != "probe3":
+            fail(f"probe: STATUS answered {verb} id={fields.get('id')!r}")
+        else:
+            check_response_frame(verb, fields, payload, "probe:status")
+            if ir_file and not payload:
+                fail("probe: STATUS ring is empty right after an ALLOC")
     s.close()
 
     # A malformed header must be refused (ERR code=protocol), never hung on.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a `--trace-out` JSONL stream against the regalloc-obs event grammar.
 
-Usage: check_trace_schema.py TRACE.jsonl
+Usage: check_trace_schema.py TRACE.jsonl [METRICS.prom]
 
 Checks, per line:
   * the line is a single JSON object with a known "type" and a "fn" string;
@@ -12,10 +12,16 @@ and, across the stream:
     is quarantined at the end of the file);
   * spans balance per function (every span-start has its span-end).
 
+With a second argument, also validates a `--metrics-out` Prometheus
+exposition: every line is `# TYPE name kind` or `name{labels} value`,
+each series is declared before use, and every summary family carries
+exactly the quantile="0.5"/"0.95"/"0.99" series plus `_sum`/`_count`.
+
 Exit status 0 on success; 1 with one diagnostic per offending line.
 """
 
 import json
+import re
 import sys
 
 PHASES = {
@@ -45,8 +51,17 @@ SCHEMAS = {
     "model": {"insts": is_u64, "vars": is_u64, "constraints": is_u64},
     "seed-accepted": {"source": is_str, "objective": is_num},
     "seed-rejected": {"source": is_str, "reason": is_str},
-    "dive": {"lp_iters": is_u64, "improved": lambda v: isinstance(v, bool)},
-    "node": {"index": is_u64, "lp_iters": is_u64, "outcome": NODE_OUTCOMES.__contains__},
+    "dive": {"lp_iters": is_u64, "depth": is_u64,
+             "improved": lambda v: isinstance(v, bool)},
+    "node": {"index": is_u64, "depth": is_u64, "lp_iters": is_u64,
+             "outcome": NODE_OUTCOMES.__contains__},
+    "solver-counters": {
+        "pivots": is_u64,
+        "degenerate_pivots": is_u64,
+        "ratio_test_ties": is_u64,
+        "presolve_eliminations": is_u64,
+        "max_dive_depth": is_u64,
+    },
     "incumbent": {"nodes": is_u64, "objective": is_num, "source": is_str},
     "health": {"from": is_str, "to": is_str},
     "solve-done": {
@@ -143,8 +158,93 @@ def main(path):
     return 0
 
 
+METRIC_KINDS = {"counter", "gauge", "histogram", "summary"}
+QUANTILES = ["0.5", "0.95", "0.99"]
+SERIES_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)'
+    r'(?:\{(?P<labels>[^}]*)\})? (?P<value>[0-9.eE+-]+|NaN)$'
+)
+
+
+def check_metrics(path):
+    """Validate a Prometheus text exposition, including summary quantiles."""
+    errors = []
+    kinds = {}  # family -> kind
+    # summary family -> set of quantile labels seen, plus _sum/_count flags
+    summaries = {}
+
+    def family_of(name):
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        return base if base in kinds else name
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[1] != "TYPE" or parts[3] not in METRIC_KINDS:
+                    errors.append(f"{path}:{lineno}: bad TYPE declaration: {line!r}")
+                    continue
+                kinds[parts[2]] = parts[3]
+                if parts[3] == "summary":
+                    summaries[parts[2]] = {"q": set(), "sum": False, "count": False}
+                continue
+            m = SERIES_RE.match(line)
+            if not m:
+                errors.append(f"{path}:{lineno}: not a series line: {line!r}")
+                continue
+            name = m.group("name")
+            fam = family_of(name)
+            if fam not in kinds:
+                errors.append(f"{path}:{lineno}: series {name!r} has no TYPE declaration")
+                continue
+            if kinds[fam] == "summary":
+                rec = summaries[fam]
+                if name == fam + "_sum":
+                    rec["sum"] = True
+                elif name == fam + "_count":
+                    rec["count"] = True
+                else:
+                    labels = dict(
+                        kv.split("=", 1) for kv in (m.group("labels") or "").split(",") if "=" in kv
+                    )
+                    q = labels.get("quantile", "").strip('"')
+                    if q not in QUANTILES:
+                        errors.append(
+                            f"{path}:{lineno}: summary {fam} with quantile {q!r} "
+                            f"(expected one of {QUANTILES})"
+                        )
+                    else:
+                        rec["q"].add(q)
+
+    for fam, rec in sorted(summaries.items()):
+        missing = [q for q in QUANTILES if q not in rec["q"]]
+        if missing:
+            errors.append(f"{path}: summary {fam} missing quantile(s) {missing}")
+        if not rec["sum"] or not rec["count"]:
+            errors.append(f"{path}: summary {fam} missing _sum/_count")
+    if not summaries:
+        errors.append(f"{path}: no summary families found")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"{path}: OK ({len(kinds)} families, {len(summaries)} summaries)")
+    return 0
+
+
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    sys.exit(main(sys.argv[1]))
+    rc = main(sys.argv[1])
+    if len(sys.argv) == 3:
+        rc = check_metrics(sys.argv[2]) or rc
+    sys.exit(rc)
